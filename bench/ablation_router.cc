@@ -1,0 +1,146 @@
+// Ablation bench (DESIGN.md §6): isolates the cost of NVMetro's design
+// choices on the basic 512B random-read workload:
+//   - classifier on (NVMetro) vs fixed translation (MDev mode): the price
+//     of eBPF-based flexibility;
+//   - adaptive router workers vs always-spinning workers: CPU saved by
+//     idle parking at low load;
+//   - shared router worker vs one worker per VM at 4 VMs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ebpf/assembler.h"
+#include "functions/classifiers.h"
+
+namespace nvmetro::bench {
+namespace {
+
+FioResult RunWith(core::RouterCosts costs, u32 num_vms, u32 workers,
+                  const CellSpec& cell, const BenchOptions& opts,
+                  double rate_iops = 0) {
+  Testbed tb;
+  SolutionParams params;
+  params.seed = opts.seed;
+  params.num_vms = num_vms;
+  params.router_workers = workers;
+  params.router_costs = costs;
+  auto bundle = SolutionBundle::Create(&tb, SolutionKind::kNvmetro, params);
+  if (!bundle) return FioResult{};
+  FioConfig cfg;
+  cfg.block_size = cell.bs;
+  cfg.queue_depth = cell.qd;
+  cfg.num_jobs = cell.jobs;
+  cfg.mode = cell.mode;
+  cfg.warmup = opts.warmup;
+  cfg.duration = opts.duration;
+  cfg.seed = opts.seed;
+  cfg.rate_iops = rate_iops;
+  std::vector<baselines::StorageSolution*> sols;
+  for (u32 i = 0; i < bundle->num_vms(); i++) {
+    sols.push_back(bundle->vm_solution(i));
+  }
+  auto results = workload::Fio::RunMulti(&tb.sim, sols, cfg);
+  FioResult agg = results[0];
+  for (usize i = 1; i < results.size(); i++) {
+    agg.iops += results[i].iops;
+    agg.guest_cpu_pct += results[i].guest_cpu_pct;
+  }
+  return agg;
+}
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+
+  PrintHeader("Ablation: router design choices",
+              "512B random read; IOPS and host CPU%% per variant");
+  TablePrinter t({"variant", "KIOPS", "host CPU %"});
+
+  // (1) Classifier vs fixed translation at QD128.
+  {
+    CellSpec cell{512, 128, 1, FioMode::kRandRead};
+    FioResult nvmetro = RunCell(SolutionKind::kNvmetro, cell, opts);
+    FioResult mdev = RunCell(SolutionKind::kMdev, cell, opts);
+    t.AddRow({"eBPF classifier (NVMetro), qd128",
+              StrFormat("%.1f", nvmetro.iops / 1000.0),
+              StrFormat("%.0f", nvmetro.host_cpu_pct)});
+    t.AddRow({"fixed translation (MDev), qd128",
+              StrFormat("%.1f", mdev.iops / 1000.0),
+              StrFormat("%.0f", mdev.host_cpu_pct)});
+  }
+
+  // (2) Adaptive vs always-spinning worker at a low 5K IOPS rate.
+  {
+    CellSpec cell{512, 4, 1, FioMode::kRandRead};
+    core::RouterCosts adaptive;  // defaults: adaptive on
+    core::RouterCosts spinning;
+    spinning.adaptive_worker = false;
+    FioResult a = RunWith(adaptive, 1, 1, cell, opts, 5'000);
+    FioResult s = RunWith(spinning, 1, 1, cell, opts, 5'000);
+    t.AddRow({"adaptive worker @5K IOPS",
+              StrFormat("%.1f", a.iops / 1000.0),
+              StrFormat("%.0f", a.host_cpu_pct)});
+    t.AddRow({"spinning worker @5K IOPS",
+              StrFormat("%.1f", s.iops / 1000.0),
+              StrFormat("%.0f", s.host_cpu_pct)});
+  }
+
+  // (2b) Classifier complexity sweep: the same passthrough policy padded
+  // with extra (verified) eBPF work — flexibility must stay ~free even
+  // for much larger programs, because the per-request classifier cost is
+  // nanoseconds against a multi-microsecond device.
+  for (u32 pad : {0u, 64u, 256u}) {
+    CellSpec cell{512, 128, 1, FioMode::kRandRead};
+    Testbed tb;
+    SolutionParams params;
+    params.seed = opts.seed;
+    auto bundle = SolutionBundle::Create(&tb, SolutionKind::kNvmetro, params);
+    if (!bundle) continue;
+    std::string text;
+    for (u32 i = 0; i < pad; i++) text += "  mov r3, 7\n";
+    text += functions::PassthroughClassifierAsm();
+    auto prog = ebpf::Assemble(text, {});
+    if (!prog.ok()) continue;
+    core::VirtualController* vc = bundle->nvmetro_host()->controller(0);
+    if (!vc->InstallClassifier(std::move(*prog)).ok()) continue;
+    FioConfig cfg;
+    cfg.block_size = cell.bs;
+    cfg.queue_depth = cell.qd;
+    cfg.num_jobs = cell.jobs;
+    cfg.mode = cell.mode;
+    cfg.warmup = opts.warmup;
+    cfg.duration = opts.duration;
+    cfg.seed = opts.seed;
+    auto res = workload::Fio::Run(&tb.sim, bundle->vm_solution(0), cfg);
+    t.AddRow({StrFormat("classifier +%u padding insns, qd128", pad),
+              StrFormat("%.1f", res.iops / 1000.0),
+              StrFormat("%.0f", res.host_cpu_pct)});
+  }
+
+  // (3) Shared vs per-VM workers, 4 VMs at QD32.
+  {
+    CellSpec cell{512, 32, 1, FioMode::kRandRead};
+    core::RouterCosts costs;
+    FioResult shared = RunWith(costs, 4, 1, cell, opts);
+    FioResult per_vm = RunWith(costs, 4, 4, cell, opts);
+    t.AddRow({"4 VMs, 1 shared worker",
+              StrFormat("%.1f", shared.iops / 1000.0),
+              StrFormat("%.0f", shared.host_cpu_pct)});
+    t.AddRow({"4 VMs, 4 workers",
+              StrFormat("%.1f", per_vm.iops / 1000.0),
+              StrFormat("%.0f", per_vm.host_cpu_pct)});
+  }
+
+  t.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

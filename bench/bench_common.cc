@@ -1,0 +1,302 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace nvmetro::bench {
+
+void DefineBenchFlags(Flags* flags) {
+  flags->DefineBool("quick", false, "shorter runs for smoke testing");
+  flags->DefineInt("duration-ms", 200, "measurement window per cell (ms)");
+  flags->DefineInt("warmup-ms", 40, "warmup before measuring (ms)");
+  flags->DefineInt("seed", 7, "random seed");
+  flags->DefineString("solutions", "",
+                      "comma-separated solution filter (default: all)");
+  flags->DefineBool("csv", false, "emit CSV instead of aligned tables");
+}
+
+BenchOptions OptionsFromFlags(const Flags& flags) {
+  BenchOptions opts;
+  opts.duration = static_cast<SimTime>(flags.GetInt("duration-ms")) * kMs;
+  opts.warmup = static_cast<SimTime>(flags.GetInt("warmup-ms")) * kMs;
+  opts.seed = static_cast<u64>(flags.GetInt("seed"));
+  if (flags.GetBool("quick")) {
+    opts.duration = 60 * kMs;
+    opts.warmup = 20 * kMs;
+  }
+  return opts;
+}
+
+FioResult RunCell(SolutionKind kind, const CellSpec& cell,
+                  const BenchOptions& opts) {
+  Testbed tb;
+  SolutionParams params;
+  params.seed = opts.seed;
+  params.num_vms = opts.num_vms;
+  auto bundle = SolutionBundle::Create(&tb, kind, params);
+  if (!bundle) {
+    FioResult r;
+    r.solution = SolutionKindName(kind);
+    return r;
+  }
+  FioConfig cfg;
+  cfg.block_size = cell.bs;
+  cfg.queue_depth = cell.qd;
+  cfg.num_jobs = cell.jobs;
+  cfg.mode = cell.mode;
+  cfg.rate_iops = opts.rate_iops;
+  cfg.random_region = opts.random_region;
+  cfg.seq_region_per_job = opts.seq_region_per_job;
+  cfg.warmup = opts.warmup;
+  cfg.duration = opts.duration;
+  cfg.seed = opts.seed;
+
+  if (opts.num_vms == 1) {
+    return Fio::Run(&tb.sim, bundle->vm_solution(0), cfg);
+  }
+  // Multi-VM: aggregate.
+  std::vector<baselines::StorageSolution*> sols;
+  for (u32 i = 0; i < bundle->num_vms(); i++) {
+    sols.push_back(bundle->vm_solution(i));
+  }
+  auto results = Fio::RunMulti(&tb.sim, sols, cfg);
+  FioResult agg;
+  agg.solution = results[0].solution;
+  for (const auto& r : results) {
+    agg.iops += r.iops;
+    agg.mbps += r.mbps;
+    agg.ops += r.ops;
+    agg.errors += r.errors;
+    agg.lat.Merge(r.lat);
+    agg.read_lat.Merge(r.read_lat);
+    agg.write_lat.Merge(r.write_lat);
+    agg.guest_cpu_pct += r.guest_cpu_pct;
+  }
+  agg.host_cpu_pct = results[0].host_cpu_pct;  // host agents are shared
+  return agg;
+}
+
+const std::vector<SolutionKind>& BasicSolutions() {
+  static const std::vector<SolutionKind> kAll = {
+      SolutionKind::kNvmetro,    SolutionKind::kMdev,
+      SolutionKind::kPassthrough, SolutionKind::kVhostScsi,
+      SolutionKind::kQemu,       SolutionKind::kSpdk,
+  };
+  return kAll;
+}
+
+std::vector<SolutionKind> ParseSolutions(
+    const std::string& csv, const std::vector<SolutionKind>& def) {
+  if (csv.empty()) return def;
+  std::vector<SolutionKind> out;
+  for (const std::string& piece : StrSplit(csv, ',', true)) {
+    static const std::vector<SolutionKind> kAllKinds = {
+        SolutionKind::kNvmetro,
+        SolutionKind::kMdev,
+        SolutionKind::kPassthrough,
+        SolutionKind::kVhostScsi,
+        SolutionKind::kQemu,
+        SolutionKind::kSpdk,
+        SolutionKind::kNvmetroEncryption,
+        SolutionKind::kNvmetroSgx,
+        SolutionKind::kDmCrypt,
+        SolutionKind::kNvmetroReplication,
+        SolutionKind::kDmMirror,
+    };
+    bool found = false;
+    for (SolutionKind k : kAllKinds) {
+      if (piece == SolutionKindName(k)) {
+        out.push_back(k);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown solution '%s'\n", piece.c_str());
+    }
+  }
+  return out.empty() ? def : out;
+}
+
+std::string CellLabel(const CellSpec& cell) {
+  return StrFormat("%s %s qd=%u jobs=%u",
+                   FormatBlockSize(cell.bs).c_str(),
+                   workload::FioModeName(cell.mode), cell.qd, cell.jobs);
+}
+
+std::vector<CellSpec> Fig3Cells() {
+  std::vector<CellSpec> cells;
+  struct Panel {
+    u32 qd;
+    u32 jobs;
+  };
+  const Panel small_panels[] = {{1, 1}, {128, 1}, {128, 4}};
+  const Panel big_panels[] = {{1, 1}, {128, 1}, {1, 4}, {128, 4}};
+  for (const auto& p : small_panels) {
+    for (FioMode m :
+         {FioMode::kRandRead, FioMode::kRandWrite, FioMode::kRandRW}) {
+      cells.push_back({512, p.qd, p.jobs, m});
+    }
+  }
+  for (u64 bs : {16 * KiB, 128 * KiB}) {
+    for (const auto& p : big_panels) {
+      for (FioMode m :
+           {FioMode::kSeqRead, FioMode::kSeqWrite, FioMode::kSeqRW}) {
+        cells.push_back({bs, p.qd, p.jobs, m});
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellSpec> FunctionCells() {
+  std::vector<CellSpec> cells;
+  struct Panel {
+    u32 qd;
+    u32 jobs;
+  };
+  for (Panel p : {Panel{1, 1}, Panel{128, 4}}) {
+    for (u64 bs : {u64{512}, 16 * KiB, 128 * KiB}) {
+      std::vector<FioMode> modes =
+          bs == 512 ? std::vector<FioMode>{FioMode::kRandRead,
+                                           FioMode::kRandWrite,
+                                           FioMode::kRandRW}
+                    : std::vector<FioMode>{FioMode::kSeqRead,
+                                           FioMode::kSeqWrite,
+                                           FioMode::kSeqRW};
+      for (FioMode m : modes) cells.push_back({bs, p.qd, p.jobs, m});
+    }
+  }
+  return cells;
+}
+
+void PrintHeader(const std::string& title, const std::string& what) {
+  std::printf("=== %s ===\n%s\n\n", title.c_str(), what.c_str());
+}
+
+}  // namespace nvmetro::bench
+
+#include "fsx/flatfs.h"
+#include "kv/minikv.h"
+#include "workload/solution_fs.h"
+#include "workload/ycsb.h"
+
+namespace nvmetro::bench::ycsb_support {
+
+void DefineYcsbFlags(Flags* flags) {
+  flags->DefineInt("records", 40'000,
+                   "records per DB instance (paper: 3M, scaled)");
+  flags->DefineInt("ops", 15'000, "operations per job (paper: 1M, scaled)");
+  flags->DefineInt("value-bytes", 1'000, "record payload size");
+}
+
+YcsbBenchOptions YcsbOptionsFromFlags(const Flags& flags) {
+  YcsbBenchOptions opts;
+  opts.records = static_cast<u64>(flags.GetInt("records"));
+  opts.ops = static_cast<u64>(flags.GetInt("ops"));
+  opts.value_bytes = static_cast<u32>(flags.GetInt("value-bytes"));
+  opts.seed = static_cast<u64>(flags.GetInt("seed"));
+  if (flags.GetBool("quick")) {
+    opts.records = 5'000;
+    opts.ops = 2'000;
+  }
+  return opts;
+}
+
+YcsbCellResult RunYcsbCell(SolutionKind kind, char workload, u32 jobs,
+                           const YcsbBenchOptions& opts) {
+  YcsbCellResult out;
+  Testbed tb;
+  SolutionParams params;
+  params.seed = opts.seed;
+  auto bundle = SolutionBundle::Create(&tb, kind, params);
+  if (!bundle) return out;
+  baselines::StorageSolution* sol = bundle->vm_solution(0);
+
+  struct Instance {
+    std::unique_ptr<workload::SolutionFsBackend> backend;
+    std::unique_ptr<fsx::FlatFs> fs;
+    std::unique_ptr<kv::MiniKv> db;
+    workload::YcsbResult result;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<Instance>> instances;
+  u64 region = sol->capacity_bytes() / std::max<u32>(1, jobs);
+
+  workload::YcsbConfig cfg;
+  cfg.workload = workload;
+  cfg.record_count = opts.records;
+  cfg.op_count = opts.ops;
+  cfg.value_bytes = opts.value_bytes;
+  cfg.seed = opts.seed;
+
+  // Build + format + mount + open + load each instance.
+  for (u32 j = 0; j < jobs; j++) {
+    auto inst = std::make_unique<Instance>();
+    inst->backend = std::make_unique<workload::SolutionFsBackend>(
+        sol, j, static_cast<u64>(j) * region, region);
+    bool step_ok = false;
+    fsx::FlatFs::Format(inst->backend.get(), [&](Status st) {
+      step_ok = st.ok();
+    });
+    tb.sim.Run();
+    if (!step_ok) return out;
+    step_ok = false;
+    fsx::FlatFs::Mount(inst->backend.get(),
+                       [&](Result<std::unique_ptr<fsx::FlatFs>> r) {
+                         if (r.ok()) {
+                           inst->fs = std::move(*r);
+                           step_ok = true;
+                         }
+                       });
+    tb.sim.Run();
+    if (!step_ok) return out;
+    kv::MiniKvOptions kv_opts;
+    kv_opts.cpu = sol->vm()->vcpu(j % sol->vm()->num_vcpus());
+    step_ok = false;
+    kv::MiniKv::Open(&tb.sim, inst->fs.get(), kv_opts,
+                     [&](Result<std::unique_ptr<kv::MiniKv>> r) {
+                       if (r.ok()) {
+                         inst->db = std::move(*r);
+                         step_ok = true;
+                       }
+                     });
+    tb.sim.Run();
+    if (!step_ok) return out;
+    instances.push_back(std::move(inst));
+  }
+  // Load phase: all instances in parallel.
+  u32 loaded = 0;
+  for (auto& inst : instances) {
+    workload::Ycsb::Load(inst->db.get(), cfg, [&](Status st) {
+      if (st.ok()) loaded++;
+    });
+  }
+  tb.sim.Run();
+  if (loaded != jobs) return out;
+
+  // Run phase: concurrent closed-loop clients.
+  for (u32 j = 0; j < jobs; j++) {
+    Instance* inst = instances[j].get();
+    workload::YcsbConfig jcfg = cfg;
+    jcfg.seed = cfg.seed + j * 131;
+    workload::Ycsb::Run(&tb.sim, inst->db.get(),
+                        sol->vm()->vcpu(j % sol->vm()->num_vcpus()), jcfg,
+                        [inst](workload::YcsbResult r) {
+                          inst->result = std::move(r);
+                          inst->done = true;
+                        });
+  }
+  tb.sim.Run();
+  out.ok = true;
+  for (auto& inst : instances) {
+    if (!inst->done) {
+      out.ok = false;
+      continue;
+    }
+    out.total_ops_per_sec += inst->result.ops_per_sec;
+    out.failures += inst->result.failures;
+  }
+  return out;
+}
+
+}  // namespace nvmetro::bench::ycsb_support

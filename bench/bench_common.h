@@ -1,0 +1,106 @@
+// Shared support for the figure-reproduction benches: cell execution
+// (fresh testbed per cell, like rebooting between fio runs), solution
+// filters and standard flags.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/flags.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "workload/fio.h"
+
+namespace nvmetro::bench {
+
+using baselines::SolutionBundle;
+using baselines::SolutionKind;
+using baselines::SolutionParams;
+using baselines::Testbed;
+using workload::Fio;
+using workload::FioConfig;
+using workload::FioMode;
+using workload::FioResult;
+
+/// One fio cell of the evaluation matrix.
+struct CellSpec {
+  u64 bs = 512;
+  u32 qd = 1;
+  u32 jobs = 1;
+  FioMode mode = FioMode::kRandRead;
+};
+
+struct BenchOptions {
+  SimTime warmup = 40 * kMs;
+  SimTime duration = 200 * kMs;
+  u64 random_region = 1 * GiB;
+  u64 seq_region_per_job = 768 * MiB;
+  double rate_iops = 0;
+  u64 seed = 7;
+  u32 num_vms = 1;
+};
+
+/// Registers the standard bench flags (--quick, --duration-ms, --seed...).
+void DefineBenchFlags(Flags* flags);
+/// Builds options from parsed flags.
+BenchOptions OptionsFromFlags(const Flags& flags);
+
+/// Runs one fio cell for one solution kind on a fresh testbed. Also
+/// reports bundle-level host CPU through the FioResult cpu fields.
+FioResult RunCell(SolutionKind kind, const CellSpec& cell,
+                  const BenchOptions& opts);
+
+/// The six basic solutions of §V-B, in the paper's legend order.
+const std::vector<SolutionKind>& BasicSolutions();
+
+/// Parses a comma-separated solution filter ("NVMetro,QEMU"); empty ->
+/// `def`.
+std::vector<SolutionKind> ParseSolutions(const std::string& csv,
+                                         const std::vector<SolutionKind>& def);
+
+/// "512B RR qd=1 jobs=1" style cell label.
+std::string CellLabel(const CellSpec& cell);
+
+/// The fio cells of each Figure 3 panel row (paper Table II).
+std::vector<CellSpec> Fig3Cells();
+
+/// The fio cells of the storage-function figures (7, 9, 12, 13):
+/// {512B,16K,128K} x {qd1/jobs1, qd128/jobs4}.
+std::vector<CellSpec> FunctionCells();
+
+/// Prints a standard figure header.
+void PrintHeader(const std::string& title, const std::string& what);
+
+
+
+// --- YCSB cells (Figures 6, 8, 10) -------------------------------------------
+
+namespace ycsb_support {
+
+struct YcsbBenchOptions {
+  u64 records = 40'000;
+  u64 ops = 15'000;
+  u32 value_bytes = 1'000;
+  u64 seed = 7;
+};
+
+struct YcsbCellResult {
+  double total_ops_per_sec = 0;
+  u64 failures = 0;
+  bool ok = false;
+};
+
+/// Runs one YCSB cell: `jobs` parallel clients, each with its own DB
+/// instance on its own filesystem region (paper §V-A), on a fresh
+/// testbed of the given solution kind.
+YcsbCellResult RunYcsbCell(SolutionKind kind, char workload, u32 jobs,
+                           const YcsbBenchOptions& opts);
+
+void DefineYcsbFlags(Flags* flags);
+YcsbBenchOptions YcsbOptionsFromFlags(const Flags& flags);
+
+}  // namespace ycsb_support
+
+}  // namespace nvmetro::bench

@@ -1,0 +1,48 @@
+// Figure 11: whole-system CPU consumption (percent of one core: guest
+// vCPUs + host agents) of the basic fio evaluation cells (paper §V-E).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+  auto solutions = ParseSolutions(flags.GetString("solutions"),
+                                  BasicSolutions());
+
+  PrintHeader("Figure 11",
+              "total system CPU (%% of one core: VM + host agents) for "
+              "the basic fio cells");
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+  for (const CellSpec& cell : FunctionCells()) {
+    std::vector<std::string> row = {CellLabel(cell)};
+    for (SolutionKind kind : solutions) {
+      FioResult r = RunCell(kind, cell, opts);
+      row.push_back(StrFormat("%.0f", r.total_cpu_pct()));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

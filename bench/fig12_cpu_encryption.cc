@@ -1,0 +1,50 @@
+// Figure 12: CPU consumption of fio with disk encryption (NVMetro
+// encryption UIF / SGX UIF / dm-crypt), paper §V-E.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+  auto solutions = ParseSolutions(
+      flags.GetString("solutions"),
+      {SolutionKind::kNvmetroEncryption, SolutionKind::kNvmetroSgx,
+       SolutionKind::kDmCrypt});
+
+  PrintHeader("Figure 12",
+              "total system CPU (%% of one core) for the disk-encryption "
+              "fio cells");
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+  for (const CellSpec& cell : FunctionCells()) {
+    std::vector<std::string> row = {CellLabel(cell)};
+    for (SolutionKind kind : solutions) {
+      FioResult r = RunCell(kind, cell, opts);
+      row.push_back(StrFormat("%.0f", r.total_cpu_pct()));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

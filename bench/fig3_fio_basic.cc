@@ -1,0 +1,87 @@
+// Figure 3: basic fio throughput for each workload configuration and
+// storage virtualization method (paper §V-B). Also prints the Table II
+// configuration list with --list.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  flags.DefineBool("list", false, "print the Table II config list and exit");
+  flags.DefineString("bs", "", "filter: block size (512/16K/128K)");
+  flags.DefineInt("qd", 0, "filter: queue depth");
+  flags.DefineInt("jobs", 0, "filter: job count");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    flags.PrintHelp(argv[0]);
+    return 1;
+  }
+
+  if (flags.GetBool("list")) {
+    PrintHeader("Table II", "fio benchmark configurations");
+    TablePrinter t({"Block size", "Mode", "QD", "Nr. jobs"});
+    t.AddRow({"512", "Random read (RR)", "1, 128", "1"});
+    t.AddRow({"512", "Random write (RW)", "1, 128", "1"});
+    t.AddRow({"512", "Mixed random R/W (RRW)", "1, 128", "1"});
+    t.AddRow({"512", "Random read (RR)", "128", "4"});
+    t.AddRow({"512", "Random write (RW)", "128", "4"});
+    t.AddRow({"512", "Mixed random R/W (RRW)", "128", "4"});
+    t.AddRow({"16K", "Sequential read (SR)", "1, 128", "1, 4"});
+    t.AddRow({"16K", "Sequential write (SW)", "1, 128", "1, 4"});
+    t.AddRow({"16K", "Mixed sequential R/W (SRW)", "1, 128", "1, 4"});
+    t.AddRow({"128K", "Sequential read (SR)", "1, 128", "1, 4"});
+    t.AddRow({"128K", "Sequential write (SW)", "1, 128", "1, 4"});
+    t.AddRow({"128K", "Mixed sequential R/W (SRW)", "1, 128", "1, 4"});
+    t.Print();
+    return 0;
+  }
+
+  BenchOptions opts = OptionsFromFlags(flags);
+  auto solutions = ParseSolutions(flags.GetString("solutions"),
+                                  BasicSolutions());
+  u64 bs_filter = flags.GetString("bs").empty()
+                      ? 0
+                      : ParseBlockSize(flags.GetString("bs"));
+
+  PrintHeader("Figure 3",
+              "fio throughput (Kilo IOPS) per workload configuration and "
+              "storage virtualization method");
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+
+  for (const CellSpec& cell : Fig3Cells()) {
+    if (bs_filter && cell.bs != bs_filter) continue;
+    if (flags.GetInt("qd") && cell.qd != flags.GetInt("qd")) continue;
+    if (flags.GetInt("jobs") && cell.jobs != flags.GetInt("jobs")) continue;
+    std::vector<std::string> row = {CellLabel(cell)};
+    for (SolutionKind kind : solutions) {
+      FioResult r = RunCell(kind, cell, opts);
+      row.push_back(StrFormat("%.1f%s", r.iops / 1000.0,
+                              r.errors ? "!" : ""));
+      if (r.errors) {
+        std::fprintf(stderr, "WARNING: %s %s: %llu errored ops\n",
+                     SolutionKindName(kind), CellLabel(cell).c_str(),
+                     (unsigned long long)r.errors);
+      }
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

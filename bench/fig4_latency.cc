@@ -1,0 +1,76 @@
+// Figure 4: request latency at a fixed rate of 10,000 IOPS, varying block
+// sizes and queue depths; median latency per cell with the 99th
+// percentile alongside (the paper's whiskers).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  flags.DefineInt("rate", 10'000, "fixed request rate (IOPS)");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+  opts.rate_iops = static_cast<double>(flags.GetInt("rate"));
+  auto solutions = ParseSolutions(flags.GetString("solutions"),
+                                  BasicSolutions());
+
+  PrintHeader("Figure 4",
+              StrFormat("median / p99 latency (usec) at a fixed rate of "
+                        "%lld IOPS",
+                        static_cast<long long>(flags.GetInt("rate"))));
+
+  // Panels as in the figure: 512B at QD 1/4/32/128 (RR and RW), then
+  // 16K and 128K at QD 1 and 32.
+  struct Panel {
+    u64 bs;
+    u32 qd;
+    FioMode mode;
+  };
+  std::vector<Panel> panels;
+  for (u32 qd : {1u, 4u, 32u, 128u}) {
+    panels.push_back({512, qd, FioMode::kRandRead});
+    panels.push_back({512, qd, FioMode::kRandWrite});
+  }
+  for (u64 bs : {16 * KiB, 128 * KiB}) {
+    for (u32 qd : {1u, 32u}) {
+      panels.push_back({bs, qd, FioMode::kRandRead});
+      panels.push_back({bs, qd, FioMode::kRandWrite});
+    }
+  }
+
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+  for (const Panel& p : panels) {
+    CellSpec cell{p.bs, p.qd, 1, p.mode};
+    std::vector<std::string> row = {CellLabel(cell)};
+    for (SolutionKind kind : solutions) {
+      FioResult r = RunCell(kind, cell, opts);
+      row.push_back(StrFormat("%.0f/%.0f",
+                              static_cast<double>(r.lat.Median()) / 1000.0,
+                              static_cast<double>(r.lat.P99()) / 1000.0));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+    std::printf("\ncells are median/p99 in microseconds\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

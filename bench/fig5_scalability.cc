@@ -1,0 +1,87 @@
+// Figure 5: NVMetro scalability under an increasing number of small VMs
+// sharing ONE router worker thread; 512B random workloads at QD 1, 4, 32
+// and 128 (paper §V-B).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  flags.DefineInt("max-vms", 8, "largest VM count to sweep");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+
+  PrintHeader("Figure 5",
+              "NVMetro aggregate throughput (Kilo IOPS) with N small VMs "
+              "served by one shared router worker, 512B blocks");
+
+  u32 max_vms = static_cast<u32>(flags.GetInt("max-vms"));
+  std::vector<std::string> headers = {"config"};
+  for (u32 n = 1; n <= max_vms; n++) {
+    headers.push_back(StrFormat("%u VM%s", n, n > 1 ? "s" : ""));
+  }
+  TablePrinter table(headers);
+
+  for (FioMode mode :
+       {FioMode::kRandRead, FioMode::kRandWrite, FioMode::kRandRW}) {
+    for (u32 qd : {1u, 4u, 32u, 128u}) {
+      std::vector<std::string> row = {
+          StrFormat("%s qd=%u", workload::FioModeName(mode), qd)};
+      for (u32 n = 1; n <= max_vms; n++) {
+        BenchOptions cell_opts = opts;
+        cell_opts.num_vms = n;
+        // Small VMs: 1 dedicated core, own partition (paper footnote 1).
+        Testbed tb;
+        SolutionParams params;
+        params.seed = opts.seed;
+        params.num_vms = n;
+        params.guest_queues = 1;
+        params.vm_cfg.vcpus = 1;
+        params.vm_cfg.memory_bytes = 64 * MiB;
+        params.router_workers = 1;  // one host kernel thread serves all
+        auto bundle =
+            SolutionBundle::Create(&tb, SolutionKind::kNvmetro, params);
+        if (!bundle) {
+          row.push_back("-");
+          continue;
+        }
+        FioConfig cfg;
+        cfg.block_size = 512;
+        cfg.queue_depth = qd;
+        cfg.num_jobs = 1;
+        cfg.mode = mode;
+        cfg.random_region = 256 * MiB;  // within each small partition
+        cfg.warmup = cell_opts.warmup;
+        cfg.duration = cell_opts.duration;
+        cfg.seed = cell_opts.seed;
+        std::vector<baselines::StorageSolution*> sols;
+        for (u32 i = 0; i < n; i++) sols.push_back(bundle->vm_solution(i));
+        auto results = workload::Fio::RunMulti(&tb.sim, sols, cfg);
+        double total = 0;
+        for (const auto& r : results) total += r.iops;
+        row.push_back(StrFormat("%.1f", total / 1000.0));
+        std::fflush(stdout);
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

@@ -1,0 +1,50 @@
+// Figure 7: disk encryption with fio — NVMetro encryption UIF, the
+// SGX-enclave variant, and dm-crypt + vhost-scsi (paper §V-C).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+  auto solutions = ParseSolutions(
+      flags.GetString("solutions"),
+      {SolutionKind::kNvmetroEncryption, SolutionKind::kNvmetroSgx,
+       SolutionKind::kDmCrypt});
+
+  PrintHeader("Figure 7",
+              "disk encryption: fio throughput (Kilo IOPS)");
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+  for (const CellSpec& cell : FunctionCells()) {
+    std::vector<std::string> row = {CellLabel(cell)};
+    for (SolutionKind kind : solutions) {
+      FioResult r = RunCell(kind, cell, opts);
+      row.push_back(
+          StrFormat("%.1f%s", r.iops / 1000.0, r.errors ? "!" : ""));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

@@ -1,0 +1,60 @@
+// Figure 8: disk encryption with YCSB — NVMetro encryption UIF, the SGX
+// variant, and dm-crypt (paper §V-C).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  ycsb_support::DefineYcsbFlags(&flags);
+  flags.DefineString("workloads", "abcdef", "YCSB workloads to run");
+  flags.DefineString("jobs", "1,4", "job counts to run");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto opts = ycsb_support::YcsbOptionsFromFlags(flags);
+  auto solutions = ParseSolutions(
+      flags.GetString("solutions"),
+      {SolutionKind::kNvmetroEncryption, SolutionKind::kNvmetroSgx,
+       SolutionKind::kDmCrypt});
+
+  PrintHeader("Figure 8",
+              "disk encryption: YCSB throughput (Kilo ops/sec)");
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+  for (const std::string& j : StrSplit(flags.GetString("jobs"), ',', true)) {
+    u32 jobs = static_cast<u32>(std::stoul(j));
+    for (char w : flags.GetString("workloads")) {
+      std::vector<std::string> row = {
+          StrFormat("%c jobs=%u", static_cast<char>(toupper(w)), jobs)};
+      for (SolutionKind kind : solutions) {
+        auto r = ycsb_support::RunYcsbCell(
+            kind, static_cast<char>(tolower(w)), jobs, opts);
+        row.push_back(r.ok ? StrFormat("%.1f%s",
+                                       r.total_ops_per_sec / 1000.0,
+                                       r.failures ? "!" : "")
+                           : "-");
+        std::fflush(stdout);
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

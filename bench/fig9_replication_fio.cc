@@ -1,0 +1,49 @@
+// Figure 9: live disk replication with fio — NVMetro replication (fast
+// path reads, fanned-out writes with a remote NVMe-oF secondary) vs
+// dm-mirror + vhost-scsi (paper §V-D).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace nvmetro::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  DefineBenchFlags(&flags);
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = OptionsFromFlags(flags);
+  auto solutions = ParseSolutions(
+      flags.GetString("solutions"),
+      {SolutionKind::kNvmetroReplication, SolutionKind::kDmMirror});
+
+  PrintHeader("Figure 9", "disk replication: fio throughput (Kilo IOPS)");
+  std::vector<std::string> headers = {"config"};
+  for (SolutionKind k : solutions) headers.push_back(SolutionKindName(k));
+  TablePrinter table(headers);
+  for (const CellSpec& cell : FunctionCells()) {
+    std::vector<std::string> row = {CellLabel(cell)};
+    for (SolutionKind kind : solutions) {
+      FioResult r = RunCell(kind, cell, opts);
+      row.push_back(
+          StrFormat("%.1f%s", r.iops / 1000.0, r.errors ? "!" : ""));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

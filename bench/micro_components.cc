@@ -1,0 +1,166 @@
+// Component microbenchmarks (google-benchmark): NVMe ring operations,
+// PRP construction/walks, eBPF verification and per-invocation dispatch
+// of the shipped classifiers, XTS-AES throughput, map operations, and the
+// latency histogram.
+//
+// These measure REAL wall-clock cost of the library's data structures on
+// the build machine (unlike the figure benches, which measure simulated
+// time).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "crypto/xts.h"
+#include "ebpf/assembler.h"
+#include "ebpf/interpreter.h"
+#include "ebpf/map.h"
+#include "ebpf/verifier.h"
+#include "functions/classifiers.h"
+#include "mem/guest_memory.h"
+#include "nvme/prp.h"
+#include "nvme/queue.h"
+
+namespace nvmetro {
+namespace {
+
+void BM_SqRingPushPop(benchmark::State& state) {
+  std::vector<u8> mem(256 * sizeof(nvme::Sqe), 0);
+  nvme::SqRing ring(mem.data(), 256);
+  nvme::Sqe sqe = nvme::MakeRead(1, 0, 8, 0, 0);
+  nvme::Sqe out;
+  for (auto _ : state) {
+    ring.Push(sqe);
+    ring.PublishTail();
+    ring.Pop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqRingPushPop);
+
+void BM_CqRingPushPop(benchmark::State& state) {
+  std::vector<u8> mem(256 * sizeof(nvme::Cqe), 0);
+  nvme::CqRing ring(mem.data(), 256);
+  nvme::Cqe cqe;
+  nvme::Cqe out;
+  for (auto _ : state) {
+    ring.Push(cqe);
+    ring.Peek(&out);
+    ring.Pop();
+    ring.PublishHead();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CqRingPushPop);
+
+void BM_PrpBuildWalk(benchmark::State& state) {
+  mem::GuestMemory gm(64 * MiB);
+  u64 len = static_cast<u64>(state.range(0));
+  auto buf = gm.AllocPages((len + mem::kPageSize - 1) / mem::kPageSize + 1);
+  for (auto _ : state) {
+    auto chain = nvme::BuildPrps(gm, *buf, len);
+    std::vector<nvme::PrpSegment> segs;
+    benchmark::DoNotOptimize(
+        nvme::WalkPrps(gm, chain->prp1, chain->prp2, len, &segs));
+    nvme::FreePrpChain(gm, *chain);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<i64>(len));
+}
+BENCHMARK(BM_PrpBuildWalk)->Arg(4096)->Arg(16 * 1024)->Arg(128 * 1024);
+
+void BM_VerifierEncryptorClassifier(benchmark::State& state) {
+  auto prog = functions::EncryptorClassifier();
+  ebpf::Verifier verifier(core::NvmetroCtxDescriptor(),
+                          ebpf::HelperRegistry::Default());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Verify(*prog));
+  }
+}
+BENCHMARK(BM_VerifierEncryptorClassifier);
+
+void BM_ClassifierInvocation(benchmark::State& state) {
+  // Per-request cost of running the encryption classifier at HOOK_VSQ —
+  // the shortcut-processing hot path of the router.
+  auto prog = functions::EncryptorClassifier();
+  auto runtime = core::ClassifierRuntime::Create(std::move(*prog));
+  core::ClassifierCtx ctx;
+  ctx.opcode = nvme::kCmdRead;
+  ctx.slba = 1234;
+  for (auto _ : state) {
+    ctx.current_hook = core::kHookVsq;
+    benchmark::DoNotOptimize((*runtime)->Run(&ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifierInvocation);
+
+void BM_XtsEncrypt(benchmark::State& state) {
+  std::vector<u8> key(64);
+  Rng rng(3);
+  rng.Fill(key.data(), key.size());
+  auto xts = crypto::XtsCipher::Create(key.data(), key.size());
+  u64 len = static_cast<u64>(state.range(0));
+  std::vector<u8> buf(len);
+  rng.Fill(buf.data(), buf.size());
+  for (auto _ : state) {
+    xts->EncryptRange(0, 512, buf.data(), buf.data(), buf.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<i64>(len));
+  state.SetLabel(xts->using_aesni() ? "aesni" : "portable");
+}
+BENCHMARK(BM_XtsEncrypt)->Arg(512)->Arg(4096)->Arg(128 * 1024);
+
+void BM_XtsEncryptPortable(benchmark::State& state) {
+  std::vector<u8> key(64);
+  Rng rng(3);
+  rng.Fill(key.data(), key.size());
+  auto xts = crypto::XtsCipher::Create(key.data(), key.size());
+  xts->DisableAesni();
+  std::vector<u8> buf(4096);
+  for (auto _ : state) {
+    xts->EncryptRange(0, 512, buf.data(), buf.data(), buf.size());
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_XtsEncryptPortable);
+
+void BM_EbpfMapLookup(benchmark::State& state) {
+  ebpf::HashMap map(8, 8, 10'000);
+  Rng rng(5);
+  for (u64 i = 0; i < 5'000; i++) {
+    u64 k = i, v = i * 3;
+    map.Update(&k, &v);
+  }
+  u64 key = 2'500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Lookup(&key));
+  }
+}
+BENCHMARK(BM_EbpfMapLookup);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (auto _ : state) {
+    h.Record(100 + rng.NextBounded(1'000'000));
+  }
+  benchmark::DoNotOptimize(h.P99());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ScrambledZipfianGenerator gen(3'000'000, 0.99, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+}  // namespace nvmetro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Central calibration constants for the baseline storage-virtualization
+// solutions.
+//
+// Every number here models a real phenomenon of the corresponding Linux/
+// QEMU/SPDK stack and is chosen so the *relationships* in the paper's
+// evaluation hold (see EXPERIMENTS.md for the shape checks):
+//   - polling solutions (NVMetro, MDev, SPDK) share latency; passthrough
+//     pays interrupt forwarding (+18% median at 512B RR, Fig. 4);
+//   - vhost-scsi pays kick + kernel worker + SCSI translation (+74%);
+//   - QEMU pays kick + iothread wakeup + io_uring + irq (~3.4x), but
+//     regains throughput at high QD via batching and buffered host I/O;
+//   - SPDK burns the most CPU (dedicated reactors), passthrough the
+//     least (Fig. 11).
+#pragma once
+
+#include "common/types.h"
+
+namespace nvmetro::baselines {
+
+// --- Device passthrough -------------------------------------------------------
+
+struct PassthroughCosts {
+  /// Guest doorbell MMIO to real hardware.
+  SimTime doorbell_ns = 200;
+  /// Host CPU per forwarded interrupt (hardware MSI -> host handler ->
+  /// irqfd/posted interrupt to guest).
+  SimTime irq_forward_cpu_ns = 1'300;
+  /// Added latency of the interrupt forwarding path: cold when the host
+  /// core idled through a long device op (C-state exit), warm when
+  /// completions arrive back-to-back.
+  SimTime irq_forward_cold_ns = 12'000;
+  SimTime irq_forward_warm_ns = 2'000;
+};
+
+// --- virtio-based guests (vhost-scsi, QEMU, SPDK vhost-user) --------------------
+
+struct VirtioGuestCosts {
+  /// Guest CPU per request (virtio-blk/scsi driver, descriptor setup).
+  SimTime submit_cpu_ns = 900;
+  /// Guest cost of a doorbell that traps (vm-exit + eventfd signal).
+  SimTime kick_exit_ns = 2'100;
+  /// Guest cost of a doorbell the backend observes by polling (SPDK).
+  SimTime kick_polled_ns = 120;
+  /// Guest interrupt entry + per-completion handling.
+  SimTime irq_entry_ns = 1'600;
+  SimTime per_cqe_ns = 500;
+  /// Halted-vCPU wake latency (cold) vs running vCPU (warm).
+  SimTime halt_wake_cold_ns = 6'000;
+  SimTime halt_wake_warm_ns = 500;
+};
+
+// --- QEMU virtio-blk (userspace VMM, io_uring backend) ---------------------------
+
+struct QemuCosts {
+  /// iothread wakeup after a kick (or a uring completion) when the
+  /// thread has been idle a while: ppoll return + scheduler + C-state
+  /// exit on the testbed; warm when recently active.
+  SimTime iothread_wake_cold_ns = 100'000;
+  SimTime iothread_wake_warm_ns = 15'000;
+  /// iothread CPU per request (vring pop, request setup).
+  SimTime per_req_cpu_ns = 1'400;
+  /// io_uring submit per SQE (batched io_uring_enter amortized).
+  SimTime uring_submit_ns = 500;
+  /// iothread CPU per completion + irqfd injection.
+  SimTime per_cpl_cpu_ns = 1'100;
+  /// Latency of the virtual interrupt to the guest.
+  SimTime irq_latency_ns = 6'000;
+  /// Host page cache: per-byte copy cost on hits, and readahead window.
+  double cache_copy_ns_per_byte = 0.06;
+  u64 page_cache_bytes = 512 * MiB;
+  u64 readahead_bytes = 1 * MiB;
+};
+
+// --- SPDK vhost-user --------------------------------------------------------------
+
+struct SpdkCosts {
+  /// Reactor CPU per request (vring pop + bdev + nvme submit), the thin
+  /// userspace path.
+  SimTime per_req_cpu_ns = 650;
+  /// Reactor CPU per completion (+ guest irq signal).
+  SimTime per_cpl_cpu_ns = 500;
+  /// Latency of the guest interrupt (irqfd from userspace).
+  SimTime irq_latency_ns = 900;
+  /// Number of dedicated poller reactors (always spinning).
+  u32 reactors = 1;
+};
+
+}  // namespace nvmetro::baselines

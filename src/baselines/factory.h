@@ -1,0 +1,121 @@
+// Factory assembling complete storage-virtualization setups on a Testbed:
+// the six basic solutions of the paper's §V-B, and the storage-function
+// configurations of §V-C/D (NVMetro encryption / SGX encryption vs
+// dm-crypt, NVMetro replication vs dm-mirror).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/solutions.h"
+#include "core/router.h"
+#include "functions/encryptor_uif.h"
+#include "functions/replicator_uif.h"
+#include "kblock/dm.h"
+#include "uif/framework.h"
+
+namespace nvmetro::baselines {
+
+enum class SolutionKind {
+  kNvmetro,      // router + dummy (passthrough) classifier, no UIF
+  kMdev,         // MDev-NVMe: fixed in-kernel translation
+  kPassthrough,  // direct device assignment
+  kVhostScsi,    // in-kernel vhost-scsi
+  kQemu,         // QEMU virtio-blk with io_uring
+  kSpdk,         // SPDK vhost-user
+  // Storage functions (paper §V-C/D):
+  kNvmetroEncryption,
+  kNvmetroSgx,
+  kDmCrypt,      // dm-crypt + vhost-scsi
+  kNvmetroReplication,
+  kDmMirror,     // dm-mirror + vhost-scsi
+};
+
+const char* SolutionKindName(SolutionKind kind);
+
+struct SolutionParams {
+  u32 num_vms = 1;
+  u32 guest_queues = 4;
+  /// Router cost model override (NVMetro family; ablations).
+  core::RouterCosts router_costs{};
+  virt::VmConfig vm_cfg{.name = "vm", .memory_bytes = 96 * MiB, .vcpus = 4};
+  u32 router_workers = 1;
+  /// XTS key for the encryption variants (generated from `seed` when
+  /// empty).
+  std::vector<u8> xts_key;
+  u64 seed = 7;
+};
+
+/// Owns every object of one solution's stack (per testbed).
+class SolutionBundle {
+ public:
+  static std::unique_ptr<SolutionBundle> Create(Testbed* tb,
+                                                SolutionKind kind,
+                                                SolutionParams params = {});
+
+  ~SolutionBundle();
+
+  SolutionKind kind() const { return kind_; }
+  u32 num_vms() const { return static_cast<u32>(solutions_.size()); }
+  StorageSolution* vm_solution(u32 i) { return solutions_[i]; }
+
+  /// CPU burned by this bundle's host-side agents.
+  u64 HostAgentCpuNs() const;
+
+  // Internals for tests / white-box benches.
+  core::NvmetroHost* nvmetro_host() { return nvmetro_host_.get(); }
+  core::VirtualController* controller(u32 i) { return vcs_[i]; }
+  const std::vector<u8>& xts_key() const { return xts_key_; }
+  ssd::SimulatedController* secondary_drive(u32 i) {
+    return i < secondary_ctrls_.size() ? secondary_ctrls_[i].get() : nullptr;
+  }
+  const QemuBackend* qemu_backend() const {
+    return qemu_.empty() ? nullptr : qemu_[0].get();
+  }
+
+ private:
+  SolutionBundle() = default;
+
+  SolutionKind kind_ = SolutionKind::kNvmetro;
+  Testbed* tb_ = nullptr;
+  std::vector<u8> xts_key_;
+
+  // Host-agent CPU accounting closures.
+  std::vector<std::function<u64()>> host_cpu_fns_;
+
+  // NVMetro family.
+  std::unique_ptr<core::NvmetroHost> nvmetro_host_;
+  std::vector<core::VirtualController*> vcs_;
+  std::unique_ptr<kblock::NvmeBlockDevice> kernel_dev_;
+  std::unique_ptr<uif::UifHost> uif_host_;
+  std::vector<std::unique_ptr<core::NotifyChannel>> channels_;
+  std::vector<std::unique_ptr<uif::UifBase>> uifs_;
+
+  // Replication secondaries (one per VM).
+  std::vector<std::unique_ptr<mem::IommuSpace>> secondary_dmas_;
+  std::vector<std::unique_ptr<ssd::SimulatedController>> secondary_ctrls_;
+  std::vector<std::unique_ptr<kblock::NvmeBlockDevice>> secondary_devs_;
+  std::vector<std::unique_ptr<kblock::RemoteBlockDevice>> remote_devs_;
+
+  // Passthrough.
+  std::vector<std::unique_ptr<sim::VCpu>> irq_cpus_;
+  std::vector<std::unique_ptr<PassthroughBackend>> pt_backends_;
+
+  // vhost / dm family.
+  std::vector<std::unique_ptr<sim::VCpu>> host_workers_;  // vhost + kcryptd
+  std::vector<std::unique_ptr<kblock::NvmeBlockDevice>> lower_devs_;
+  std::vector<std::unique_ptr<kblock::BlockDevice>> dm_devs_;
+  std::vector<std::unique_ptr<kblock::VhostScsiBackend>> vhost_backends_;
+  std::vector<std::unique_ptr<VhostScsiAdapter>> vhost_adapters_;
+
+  // QEMU / SPDK.
+  std::vector<std::unique_ptr<QemuBackend>> qemu_;
+  std::vector<std::unique_ptr<SpdkBackend>> spdk_;
+
+  // The per-VM frontends (owned).
+  std::vector<std::unique_ptr<VmSolutionBase>> owned_solutions_;
+  std::vector<StorageSolution*> solutions_;
+};
+
+}  // namespace nvmetro::baselines

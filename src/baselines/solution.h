@@ -1,0 +1,99 @@
+// Common frontend for all storage-virtualization solutions.
+//
+// Workloads (fio, YCSB/MiniKv) issue block I/O against a StorageSolution,
+// which hides whether the underlying stack is NVMetro, MDev, passthrough,
+// vhost-scsi, QEMU virtio-blk or SPDK vhost — exactly the role the guest
+// block device plays for the benchmarks in the paper.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/guest_memory.h"
+#include "sim/simulator.h"
+#include "ssd/controller.h"
+#include "virt/vm.h"
+
+namespace nvmetro::baselines {
+
+/// Shared environment: the simulator, the physical drive and its DMA
+/// space — the "host machine" of the experiment.
+struct Testbed {
+  sim::Simulator sim;
+  mem::IommuSpace dma{nullptr, 1ull << 40};
+  std::unique_ptr<ssd::SimulatedController> phys;
+
+  explicit Testbed(ssd::ControllerConfig cfg = DefaultDrive()) {
+    phys = std::make_unique<ssd::SimulatedController>(&sim, &dma, cfg);
+  }
+
+  static ssd::ControllerConfig DefaultDrive() {
+    ssd::ControllerConfig cfg;
+    cfg.capacity = 8 * GiB;  // working area; the model scales regardless
+    cfg.max_io_queues = 256;
+    return cfg;
+  }
+};
+
+/// One VM's storage interface.
+class StorageSolution {
+ public:
+  enum class Op { kRead, kWrite, kFlush };
+
+  virtual ~StorageSolution() = default;
+
+  /// Issues one I/O from guest job `job` (jobs map to guest vCPUs).
+  /// `data` is optional: when null, the solution uses an internal guest
+  /// scratch buffer (fio mode); when set, `len` bytes are copied in
+  /// (writes) or out (reads) of guest memory so callers see real data
+  /// (filesystem / KV mode).
+  virtual void Submit(u32 job, Op op, u64 offset_bytes, u64 len, void* data,
+                      std::function<void(Status)> done) = 0;
+
+  virtual u64 capacity_bytes() const = 0;
+  virtual std::string name() const = 0;
+  virtual virt::Vm* vm() = 0;
+
+  /// CPU burned by host-side agents of this solution (router threads,
+  /// UIFs, vhost workers, QEMU iothreads, SPDK reactors, kcryptd...),
+  /// excluding the guest's own vCPUs.
+  virtual u64 HostAgentCpuNs() const = 0;
+
+  /// Guest + host agents.
+  u64 TotalCpuNs() { return vm()->TotalCpuBusyNs() + HostAgentCpuNs(); }
+};
+
+/// Guest scratch-buffer pool: reusable page-aligned buffers in guest
+/// memory, one free list per size class.
+class GuestBufferPool {
+ public:
+  explicit GuestBufferPool(mem::GuestMemory* gm) : gm_(gm) {}
+
+  /// Returns the gpa of a free buffer with room for `len` bytes.
+  Result<u64> Acquire(u64 len) {
+    u64 pages = (len + mem::kPageSize - 1) / mem::kPageSize;
+    auto& list = free_[pages];
+    if (!list.empty()) {
+      u64 gpa = list.back();
+      list.pop_back();
+      return gpa;
+    }
+    return gm_->AllocPages(pages);
+  }
+
+  void Release(u64 gpa, u64 len) {
+    u64 pages = (len + mem::kPageSize - 1) / mem::kPageSize;
+    free_[pages].push_back(gpa);
+  }
+
+ private:
+  mem::GuestMemory* gm_;
+  std::map<u64, std::vector<u64>> free_;
+};
+
+}  // namespace nvmetro::baselines

@@ -1,0 +1,274 @@
+// The storage-virtualization solutions compared in the paper's
+// evaluation: NVMetro (and MDev-NVMe mode), direct PCIe passthrough,
+// in-kernel vhost-scsi, QEMU virtio-blk (io_uring), and SPDK vhost-user.
+//
+// Each class is one VM's stack; the SolutionBundle factory (factory.h)
+// wires complete setups including the dm-crypt / dm-mirror baselines and
+// the NVMetro storage functions.
+#pragma once
+
+#include <deque>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/costs.h"
+#include "baselines/solution.h"
+#include "baselines/virtio_common.h"
+#include "core/router.h"
+#include "kblock/devices.h"
+#include "kblock/vhost_scsi.h"
+#include "nvme/prp.h"
+#include "sim/poller.h"
+#include "virt/guest_nvme.h"
+
+namespace nvmetro::baselines {
+
+// ---------------------------------------------------------------------------
+// Shared base: guest VM + scratch buffers + data copy plumbing.
+// ---------------------------------------------------------------------------
+
+class VmSolutionBase : public StorageSolution {
+ public:
+  virt::Vm* vm() override { return vm_.get(); }
+  u64 HostAgentCpuNs() const override {
+    return host_cpu_fn_ ? host_cpu_fn_() : 0;
+  }
+
+  /// Host-agent CPU is often shared across VMs (router threads, UIF
+  /// processes); the factory installs an accounting closure.
+  void SetHostCpuFn(std::function<u64()> fn) { host_cpu_fn_ = std::move(fn); }
+
+ protected:
+  VmSolutionBase(Testbed* tb, std::unique_ptr<virt::Vm> vm)
+      : tb_(tb), vm_(std::move(vm)), pool_(&vm_->memory()) {}
+
+  Testbed* tb_;
+  std::unique_ptr<virt::Vm> vm_;
+  GuestBufferPool pool_;
+  std::function<u64()> host_cpu_fn_;
+};
+
+// ---------------------------------------------------------------------------
+// NVMe-driver solutions: NVMetro / MDev (router) and passthrough.
+// ---------------------------------------------------------------------------
+
+/// Issues block I/O through a GuestNvmeDriver over any
+/// virt::VirtualNvmeBackend (NVMetro virtual controller, passthrough...).
+class NvmeDriverSolution : public VmSolutionBase {
+ public:
+  NvmeDriverSolution(Testbed* tb, std::unique_ptr<virt::Vm> vm,
+                     virt::VirtualNvmeBackend* backend, std::string name,
+                     u32 queues);
+
+  Status Init() { return driver_->Init(queues_); }
+
+  void Submit(u32 job, Op op, u64 offset_bytes, u64 len, void* data,
+              std::function<void(Status)> done) override;
+  u64 capacity_bytes() const override { return backend_->CapacityBytes(); }
+  std::string name() const override { return name_; }
+
+  virt::GuestNvmeDriver* driver() { return driver_.get(); }
+
+ private:
+  virt::VirtualNvmeBackend* backend_;
+  std::string name_;
+  u32 queues_;
+  std::unique_ptr<virt::GuestNvmeDriver> driver_;
+};
+
+/// Device passthrough: the guest's rings are attached directly to the
+/// physical controller; completions come back as forwarded interrupts.
+class PassthroughBackend : public virt::VirtualNvmeBackend {
+ public:
+  PassthroughBackend(Testbed* tb, virt::Vm* vm, sim::VCpu* host_irq_cpu,
+                     PassthroughCosts costs = PassthroughCosts());
+
+  Status AttachQueuePair(u16 qid, nvme::SqRing* sq, nvme::CqRing* cq,
+                         u64 sq_gpa, u64 cq_gpa) override;
+  SimTime SqDoorbell(u16 qid) override;
+  void CqDoorbell(u16 qid) override;
+  void SetIrqHandler(u16 qid, std::function<void()> handler) override;
+  u64 CapacityBytes() const override;
+
+ private:
+  struct Queue {
+    u16 guest_qid;
+    u16 host_qid;
+    std::function<void()> irq;
+    bool irq_pending = false;
+  };
+  void ForwardIrq(usize idx);
+
+  Testbed* tb_;
+  virt::Vm* vm_;
+  sim::VCpu* host_irq_cpu_;
+  PassthroughCosts costs_;
+  std::vector<Queue> queues_;
+};
+
+// ---------------------------------------------------------------------------
+// virtio-based solutions (vhost-scsi / QEMU / SPDK).
+// ---------------------------------------------------------------------------
+
+/// Block I/O through a VirtioGuestDriver over any VirtioBackend.
+class VirtioSolution : public VmSolutionBase {
+ public:
+  VirtioSolution(Testbed* tb, std::unique_ptr<virt::Vm> vm,
+                 VirtioBackend* backend, std::string name,
+                 u64 capacity_bytes);
+
+  void Submit(u32 job, Op op, u64 offset_bytes, u64 len, void* data,
+              std::function<void(Status)> done) override;
+  u64 capacity_bytes() const override { return capacity_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  u64 capacity_;
+  std::unique_ptr<VirtioGuestDriver> driver_;
+};
+
+/// Adapts the kblock vhost-scsi target (SCSI CDB translation + kernel
+/// worker) to the virtio interface.
+class VhostScsiAdapter : public VirtioBackend {
+ public:
+  VhostScsiAdapter(kblock::VhostScsiBackend* backend, virt::Vm* vm)
+      : backend_(backend), vm_(vm) {}
+
+  void Enqueue(VirtioRequest req) override;
+  void Kick() override { backend_->Kick(); }
+  bool polled() const override { return false; }
+  bool NeedsKick() const override { return !backend_->worker_active(); }
+
+ private:
+  kblock::VhostScsiBackend* backend_;
+  virt::Vm* vm_;
+};
+
+/// Host page cache (buffered I/O) for the QEMU backend: LRU 4K pages
+/// holding real data, with sequential readahead.
+class PageCache {
+ public:
+  PageCache(u64 capacity_bytes, u64 readahead_bytes);
+
+  bool ContainsRange(u64 offset, u64 len) const;
+  /// Copies cached bytes out; only valid when ContainsRange.
+  void CopyOut(u64 offset, u8* dst, u64 len) const;
+  /// Inserts (write-through) data.
+  void Insert(u64 offset, const u8* data, u64 len);
+
+  /// Drops any cached pages overlapping the range (write invalidation /
+  /// drop-behind).
+  void Invalidate(u64 offset, u64 len);
+
+  /// Returns the next readahead window [start,len) to fetch for a
+  /// sequential read ending at `end`, or len 0 when RA is not warranted.
+  std::pair<u64, u64> NextReadahead(u64 offset, u64 len, u64 device_cap);
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  void CountLookup(bool hit) { (hit ? hits_ : misses_)++; }
+
+ private:
+  struct Page {
+    std::unique_ptr<u8[]> data;
+    std::list<u64>::iterator lru_it;
+  };
+  void Touch(u64 page_idx);
+  void InsertPage(u64 page_idx, const u8* data);
+
+  u64 capacity_pages_;
+  u64 readahead_;
+  std::unordered_map<u64, Page> pages_;
+  std::list<u64> lru_;  // front = most recent
+  u64 next_expected_ = ~0ull;  // sequential stream detector
+  u64 ra_done_until_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+/// QEMU virtio-blk backend: an iothread woken by kicks, buffered host
+/// I/O (page cache + readahead) over the host NVMe block device, and
+/// io_uring-style submission costs.
+class QemuBackend : public VirtioBackend {
+ public:
+  QemuBackend(Testbed* tb, virt::Vm* vm, kblock::BlockDevice* lower,
+              QemuCosts costs = QemuCosts());
+
+  void Enqueue(VirtioRequest req) override;
+  void Kick() override;
+  bool polled() const override { return false; }
+  bool NeedsKick() const override { return !active_; }
+
+  u64 HostCpuNs() const { return iothread_.busy_ns(); }
+  const PageCache& cache() const { return cache_; }
+
+ private:
+  void IoThreadLoop();
+  void Serve(VirtioRequest req);
+
+  Testbed* tb_;
+  virt::Vm* vm_;
+  kblock::BlockDevice* lower_;
+  QemuCosts costs_;
+  sim::VCpu iothread_;
+  PageCache cache_;
+  std::deque<VirtioRequest> vring_;
+  bool active_ = false;
+  // Sequential-stream detector for readahead sizing.
+  u64 stream_next_ = ~0ull;
+  // In-flight demand fetches: racing readers of the same window wait on
+  // the fetch instead of re-reading the device (page-cache page locks).
+  struct InflightFetch {
+    u64 offset;
+    u64 len;
+    struct Waiter {
+      u64 offset;
+      u8* host;
+      u64 len;
+      std::function<void(Status)> complete;
+    };
+    std::vector<Waiter> waiters;
+  };
+  std::vector<std::unique_ptr<InflightFetch>> inflight_;
+};
+
+/// SPDK vhost-user backend: dedicated reactor threads busy-polling the
+/// vring and the device CQ; userspace NVMe driver with its own queue
+/// pair on the physical controller.
+class SpdkBackend : public VirtioBackend {
+ public:
+  SpdkBackend(Testbed* tb, virt::Vm* vm, SpdkCosts costs = SpdkCosts());
+
+  void Start();
+
+  void Enqueue(VirtioRequest req) override;
+  void Kick() override {}  // poller sees the ring
+  bool polled() const override { return true; }
+
+  u64 HostCpuNs() const;
+
+ private:
+  void ServeOne();
+  void OnDeviceCq();
+
+  Testbed* tb_;
+  virt::Vm* vm_;
+  SpdkCosts costs_;
+  mem::IommuSpace guest_dma_;  // guest memory + SPDK-owned list pages
+  std::vector<std::unique_ptr<sim::VCpu>> reactors_;
+  std::unique_ptr<sim::Poller> poller_;
+  u32 src_ring_ = 0, src_cq_ = 0;
+  u16 qid_ = 0;
+  u16 next_cid_ = 1;
+  std::deque<VirtioRequest> vring_;
+  struct Pending {
+    VirtioRequest req;
+    std::vector<u64> windows;
+    std::unique_ptr<std::vector<u8>> list_page;
+  };
+  std::map<u16, Pending> pending_;
+};
+
+}  // namespace nvmetro::baselines

@@ -1,0 +1,114 @@
+// Shared virtio-style guest driver used by the vhost-scsi, QEMU
+// virtio-blk and SPDK vhost-user baselines.
+//
+// The guest builds a request with guest-physical data segments and rings
+// the virtqueue doorbell. The doorbell cost depends on the backend: a
+// vm-exit for eventfd-kick backends (vhost, QEMU), a plain shared-memory
+// write when a poller watches the ring (SPDK). Completions arrive as
+// virtual interrupts with guest-side handling costs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "baselines/costs.h"
+#include "baselines/solution.h"
+#include "common/types.h"
+#include "virt/vm.h"
+
+namespace nvmetro::baselines {
+
+struct VirtioRequest {
+  StorageSolution::Op op = StorageSolution::Op::kRead;
+  u64 sector = 0;
+  u64 len = 0;
+  struct Seg {
+    u64 gpa;
+    u64 len;
+  };
+  std::vector<Seg> segments;
+  std::function<void(Status)> done;  // invoked by the backend (host side)
+};
+
+/// Backend of a virtqueue (the host side).
+class VirtioBackend {
+ public:
+  virtual ~VirtioBackend() = default;
+  virtual void Enqueue(VirtioRequest req) = 0;
+  /// Doorbell. Only meaningful for kick-based backends.
+  virtual void Kick() = 0;
+  /// True when the backend polls the ring (no exit needed on kick).
+  virtual bool polled() const = 0;
+  /// virtio EVENT_IDX notification suppression: false while the backend
+  /// is already draining the ring, so the guest skips the vm-exit.
+  virtual bool NeedsKick() const { return !polled(); }
+};
+
+/// The guest half: charges guest CPU for submission, kick and interrupt
+/// handling (with per-vCPU interrupt coalescing, as virtio/NAPI drains a
+/// batch of used descriptors per interrupt), and forwards requests to the
+/// backend.
+class VirtioGuestDriver {
+ public:
+  VirtioGuestDriver(virt::Vm* vm, VirtioBackend* backend,
+                    VirtioGuestCosts costs = VirtioGuestCosts())
+      : vm_(vm), backend_(backend), costs_(costs),
+        percpu_(vm->num_vcpus()) {}
+
+  /// Issues a request from guest job `job` (vcpu job % nvcpus).
+  void Submit(u32 job, VirtioRequest req) {
+    u32 cpu_idx = job % vm_->num_vcpus();
+    sim::VCpu* cpu = vm_->vcpu(cpu_idx);
+    // Completion lands in the per-vCPU used ring; one interrupt drains
+    // a whole batch.
+    auto done = std::move(req.done);
+    req.done = [this, cpu_idx, done = std::move(done)](Status st) {
+      PerCpu& pc = percpu_[cpu_idx];
+      pc.completed.push_back([done, st] {
+        if (done) done(st);
+      });
+      if (pc.irq_scheduled) return;
+      pc.irq_scheduled = true;
+      sim::VCpu* vcpu = vm_->vcpu(cpu_idx);
+      SimTime wake = sim::WakePenalty(*vcpu, costs_.halt_wake_warm_ns,
+                                      costs_.halt_wake_cold_ns);
+      vcpu->simulator()->ScheduleAfter(wake, [this, cpu_idx] {
+        sim::VCpu* c = vm_->vcpu(cpu_idx);
+        c->Run(costs_.irq_entry_ns, [this, cpu_idx] { Drain(cpu_idx); });
+      });
+    };
+    SimTime kick_cost = costs_.kick_polled_ns;
+    if (!backend_->polled() && backend_->NeedsKick()) {
+      kick_cost = costs_.kick_exit_ns;  // EVENT_IDX: exit only when needed
+    }
+    cpu->Run(costs_.submit_cpu_ns + kick_cost,
+             [this, req = std::move(req)]() mutable {
+               backend_->Enqueue(std::move(req));
+               backend_->Kick();
+             });
+  }
+
+  virt::Vm* vm() { return vm_; }
+
+ private:
+  struct PerCpu {
+    std::vector<std::function<void()>> completed;
+    bool irq_scheduled = false;
+  };
+
+  void Drain(u32 cpu_idx) {
+    PerCpu& pc = percpu_[cpu_idx];
+    pc.irq_scheduled = false;
+    auto batch = std::move(pc.completed);
+    pc.completed.clear();
+    vm_->vcpu(cpu_idx)->Charge(batch.size() * costs_.per_cqe_ns);
+    for (auto& fn : batch) fn();
+  }
+
+  virt::Vm* vm_;
+  VirtioBackend* backend_;
+  VirtioGuestCosts costs_;
+  std::vector<PerCpu> percpu_;
+};
+
+}  // namespace nvmetro::baselines

@@ -1,0 +1,32 @@
+#include "common/cpufeat.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace nvmetro {
+
+namespace {
+struct CpuFeatures {
+  bool aesni = false;
+  bool pclmul = false;
+  CpuFeatures() {
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+      aesni = (ecx & (1u << 25)) != 0;
+      pclmul = (ecx & (1u << 1)) != 0;
+    }
+#endif
+  }
+};
+const CpuFeatures& Features() {
+  static CpuFeatures f;
+  return f;
+}
+}  // namespace
+
+bool CpuHasAesNi() { return Features().aesni; }
+bool CpuHasPclmul() { return Features().pclmul; }
+
+}  // namespace nvmetro

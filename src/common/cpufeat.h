@@ -1,0 +1,16 @@
+// Runtime CPU feature detection for the crypto fast paths.
+#pragma once
+
+namespace nvmetro {
+
+/// True if the CPU supports the AES-NI instruction set. The XTS-AES
+/// implementation dispatches to hardware AES when available (the paper's
+/// encryptors all use AES-NI) and to the portable table-based
+/// implementation otherwise.
+bool CpuHasAesNi();
+
+/// True if the CPU supports PCLMULQDQ (unused by XTS but reported for
+/// diagnostics).
+bool CpuHasPclmul();
+
+}  // namespace nvmetro

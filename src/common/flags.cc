@@ -1,0 +1,138 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvmetro {
+
+void Flags::DefineInt(const std::string& name, i64 def,
+                      const std::string& help) {
+  Def d;
+  d.type = Type::kInt;
+  d.help = help;
+  d.i = def;
+  defs_[name] = d;
+}
+
+void Flags::DefineDouble(const std::string& name, double def,
+                         const std::string& help) {
+  Def d;
+  d.type = Type::kDouble;
+  d.help = help;
+  d.d = def;
+  defs_[name] = d;
+}
+
+void Flags::DefineBool(const std::string& name, bool def,
+                       const std::string& help) {
+  Def d;
+  d.type = Type::kBool;
+  d.help = help;
+  d.b = def;
+  defs_[name] = d;
+}
+
+void Flags::DefineString(const std::string& name, const std::string& def,
+                         const std::string& help) {
+  Def d;
+  d.type = Type::kString;
+  d.help = help;
+  d.s = def;
+  defs_[name] = d;
+}
+
+Status Flags::Set(const std::string& name, const std::string& value) {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) return InvalidArgument("unknown flag --" + name);
+  Def& d = it->second;
+  char* end = nullptr;
+  switch (d.type) {
+    case Type::kInt:
+      d.i = std::strtoll(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0')
+        return InvalidArgument("bad int for --" + name + ": " + value);
+      break;
+    case Type::kDouble:
+      d.d = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0')
+        return InvalidArgument("bad double for --" + name + ": " + value);
+      break;
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        d.b = true;
+      } else if (value == "false" || value == "0") {
+        d.b = false;
+      } else {
+        return InvalidArgument("bad bool for --" + name + ": " + value);
+      }
+      break;
+    case Type::kString:
+      d.s = value;
+      break;
+  }
+  return OkStatus();
+}
+
+Status Flags::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      NVM_RETURN_IF_ERROR(Set(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // --no-name for bools.
+    if (body.rfind("no-", 0) == 0) {
+      auto it = defs_.find(body.substr(3));
+      if (it != defs_.end() && it->second.type == Type::kBool) {
+        it->second.b = false;
+        continue;
+      }
+    }
+    auto it = defs_.find(body);
+    if (it == defs_.end()) return InvalidArgument("unknown flag --" + body);
+    if (it->second.type == Type::kBool) {
+      it->second.b = true;
+      continue;
+    }
+    if (i + 1 >= argc)
+      return InvalidArgument("missing value for --" + body);
+    NVM_RETURN_IF_ERROR(Set(body, argv[++i]));
+  }
+  return OkStatus();
+}
+
+i64 Flags::GetInt(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it != defs_.end() ? it->second.i : 0;
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it != defs_.end() ? it->second.d : 0.0;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it != defs_.end() && it->second.b;
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  static const std::string kEmpty;
+  auto it = defs_.find(name);
+  return it != defs_.end() ? it->second.s : kEmpty;
+}
+
+void Flags::PrintHelp(const char* prog) const {
+  std::printf("Usage: %s [flags]\n", prog);
+  for (const auto& [name, def] : defs_) {
+    std::printf("  --%-20s %s\n", name.c_str(), def.help.c_str());
+  }
+}
+
+}  // namespace nvmetro

@@ -1,0 +1,56 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are reported so that typos in experiment scripts fail
+// loudly instead of silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro {
+
+class Flags {
+ public:
+  /// Registers flags before parsing. `help` is shown by PrintHelp().
+  void DefineInt(const std::string& name, i64 def, const std::string& help);
+  void DefineDouble(const std::string& name, double def,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool def, const std::string& help);
+  void DefineString(const std::string& name, const std::string& def,
+                    const std::string& help);
+
+  /// Parses argv. Returns error on unknown flag or malformed value.
+  /// Positional (non-flag) arguments are collected into positional().
+  Status Parse(int argc, const char* const* argv);
+
+  i64 GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void PrintHelp(const char* prog) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Def {
+    Type type;
+    std::string help;
+    i64 i = 0;
+    double d = 0;
+    bool b = false;
+    std::string s;
+  };
+  Status Set(const std::string& name, const std::string& value);
+
+  std::map<std::string, Def> defs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nvmetro

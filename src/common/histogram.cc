@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace nvmetro {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<usize>(kGroups) * kSubBuckets, 0) {}
+
+u32 LatencyHistogram::BucketIndex(u64 value) {
+  // Group 0 is linear over [0, kSubBuckets); group g >= 1 covers values
+  // whose MSB is at bit position kSubBucketBits + g - 1, subdivided into
+  // kSubBuckets sub-buckets by the bits just below the MSB.
+  if (value < kSubBuckets) return static_cast<u32>(value);
+  int msb = 63 - std::countl_zero(value);
+  u32 group = static_cast<u32>(msb - kSubBucketBits + 1);
+  u32 sub = static_cast<u32>((value >> (msb - kSubBucketBits)) - kSubBuckets);
+  return group * static_cast<u32>(kSubBuckets) + sub;
+}
+
+u64 LatencyHistogram::BucketUpperEdge(u32 index) {
+  u32 group = index / static_cast<u32>(kSubBuckets);
+  u32 sub = index % static_cast<u32>(kSubBuckets);
+  if (group == 0) return sub;
+  // Reconstruct: value had MSB at position kSubBucketBits + group - 1, and
+  // the kSubBucketBits bits below the MSB equal to `sub`.
+  int shift = static_cast<int>(group) - 1;
+  u64 base = (kSubBuckets + sub) << shift;
+  u64 width = (1ull << shift);
+  return base + width - 1;
+}
+
+void LatencyHistogram::Record(u64 value) { RecordMany(value, 1); }
+
+void LatencyHistogram::RecordMany(u64 value, u64 count) {
+  if (count == 0) return;
+  buckets_[BucketIndex(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (usize i = 0; i < buckets_.size(); i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+u64 LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  u64 target = static_cast<u64>(q * static_cast<double>(count_ - 1)) + 1;
+  u64 seen = 0;
+  for (usize i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      u64 edge = BucketUpperEdge(static_cast<u32>(i));
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50=%.1fus p99=%.1fus max=%.1fus n=%llu",
+                static_cast<double>(Median()) / 1000.0,
+                static_cast<double>(P99()) / 1000.0,
+                static_cast<double>(max()) / 1000.0,
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace nvmetro

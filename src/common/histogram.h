@@ -1,0 +1,64 @@
+// HDR-style latency histogram.
+//
+// fio and the paper's latency evaluation (Figure 4) report median and
+// 99th-percentile latencies; this histogram records values with bounded
+// relative error using logarithmic bucket groups, like HdrHistogram and
+// fio's internal latency buckets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nvmetro {
+
+/// Records u64 samples (nanoseconds, typically) with ~0.8% relative
+/// precision. Memory is a few KB regardless of range.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Adds one sample.
+  void Record(u64 value);
+
+  /// Adds `count` samples of the same value.
+  void RecordMany(u64 value, u64 count);
+
+  /// Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+  /// Value at quantile q in [0,1]. Returns 0 if empty. The returned value
+  /// is the representative (upper edge) of the bucket containing q.
+  u64 Quantile(double q) const;
+
+  u64 Median() const { return Quantile(0.5); }
+  u64 P99() const { return Quantile(0.99); }
+
+  u64 count() const { return count_; }
+  u64 min() const { return count_ ? min_ : 0; }
+  u64 max() const { return max_; }
+  double Mean() const;
+
+  void Reset();
+
+  /// Short "p50=... p99=... max=..." summary (values in microseconds).
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets per group
+  static constexpr u64 kSubBuckets = 1ull << kSubBucketBits;
+  static constexpr int kGroups = 64 - kSubBucketBits;
+
+  static u32 BucketIndex(u64 value);
+  static u64 BucketUpperEdge(u32 index);
+
+  std::vector<u64> buckets_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~0ull;
+  u64 max_ = 0;
+};
+
+}  // namespace nvmetro

@@ -1,0 +1,107 @@
+// Deterministic random number generation and workload distributions.
+//
+// Every stochastic component of the simulation (SSD latency jitter, fio
+// offset choice, YCSB request distributions) draws from an explicitly
+// seeded generator so that experiments are reproducible bit-for-bit.
+//
+// The Zipfian/ScrambledZipfian/Latest generators follow the definitions
+// used by the YCSB benchmark suite (Cooper et al., SoCC'10), which the
+// paper uses for its database evaluations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace nvmetro {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, and
+/// deterministic across platforms — unlike std::mt19937 + distributions,
+/// whose outputs vary between standard library implementations.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  u64 Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 NextBounded(u64 bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 NextRange(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean);
+
+  /// Fills `n` bytes with random data.
+  void Fill(void* dst, usize n);
+
+ private:
+  u64 s_[4];
+};
+
+/// Zipfian-distributed integers in [0, n). Popular items are the small
+/// indices. theta defaults to the YCSB constant 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(u64 n, double theta = 0.99, u64 seed = 1);
+
+  u64 Next();
+
+  /// Grows the item space (used by YCSB insert-heavy workloads). The zeta
+  /// constant is recomputed incrementally.
+  void SetItemCount(u64 n);
+
+  u64 item_count() const { return n_; }
+
+ private:
+  double Zeta(u64 from, u64 to) const;
+
+  Rng rng_;
+  u64 n_;
+  double theta_;
+  double alpha_, zetan_, eta_, zeta2theta_;
+};
+
+/// Zipfian with the item popularity scattered across the key space via a
+/// hash, as in YCSB's ScrambledZipfianGenerator. This avoids all hot keys
+/// clustering at the start of the keyspace.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(u64 n, double theta = 0.99, u64 seed = 1);
+
+  u64 Next();
+  void SetItemCount(u64 n);
+
+ private:
+  ZipfianGenerator zipf_;
+  u64 n_;
+};
+
+/// YCSB "latest" distribution: recently inserted items are the most
+/// popular (used by workload D).
+class LatestGenerator {
+ public:
+  LatestGenerator(u64 n, u64 seed = 1);
+
+  u64 Next();
+  void SetItemCount(u64 n);
+
+ private:
+  ZipfianGenerator zipf_;
+  u64 n_;
+};
+
+/// FNV-1a 64-bit hash, used for key scrambling and bloom filters.
+u64 FnvHash64(u64 value);
+u64 FnvHash64Bytes(const void* data, usize len);
+
+}  // namespace nvmetro

@@ -1,0 +1,133 @@
+// Lightweight error handling: Status and Result<T>.
+//
+// The library avoids exceptions on hot paths (per the C++ Core Guidelines
+// advice for performance-critical boundaries); internal invariant
+// violations still use assertions/throws, but recoverable errors (bad
+// guest input, out-of-range LBAs, verifier rejections) are reported as
+// Status values that map naturally onto NVMe status codes where relevant.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nvmetro {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kPermissionDenied,
+  kDataLoss,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value with an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "Code: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status OutOfRange(std::string m) {
+  return Status(StatusCode::kOutOfRange, std::move(m));
+}
+inline Status NotFound(std::string m) {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status ResourceExhausted(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status FailedPrecondition(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status Unimplemented(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+inline Status Internal(std::string m) {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+inline Status PermissionDenied(std::string m) {
+  return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+inline Status DataLoss(std::string m) {
+  return Status(StatusCode::kDataLoss, std::move(m));
+}
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {    // NOLINT implicit
+    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define NVM_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::nvmetro::Status nvm_status_ = (expr);         \
+    if (!nvm_status_.ok()) return nvm_status_;      \
+  } while (0)
+
+}  // namespace nvmetro

@@ -1,0 +1,92 @@
+#include "common/strutil.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace nvmetro {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<usize>(n));
+    std::vsnprintf(out.data(), static_cast<usize>(n) + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string FormatBlockSize(u64 bytes) {
+  if (bytes < KiB) return StrFormat("%lluB", (unsigned long long)bytes);
+  if (bytes < MiB && bytes % KiB == 0)
+    return StrFormat("%lluK", (unsigned long long)(bytes / KiB));
+  if (bytes % MiB == 0)
+    return StrFormat("%lluM", (unsigned long long)(bytes / MiB));
+  return StrFormat("%llu", (unsigned long long)bytes);
+}
+
+u64 ParseBlockSize(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return 0;
+  u64 mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = KiB;
+    end++;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = MiB;
+    end++;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = GiB;
+    end++;
+  }
+  if (*end == 'B' || *end == 'b') end++;
+  if (*end != '\0') return 0;
+  return v * mult;
+}
+
+std::string FormatSi(double value) {
+  if (value >= 1e9) return StrFormat("%.2fG", value / 1e9);
+  if (value >= 1e6) return StrFormat("%.2fM", value / 1e6);
+  if (value >= 1e3) return StrFormat("%.1fK", value / 1e3);
+  return StrFormat("%.0f", value);
+}
+
+std::string FormatDuration(u64 ns) {
+  if (ns < 1000) return StrFormat("%llu ns", (unsigned long long)ns);
+  if (ns < 1000 * 1000)
+    return StrFormat("%.1f us", static_cast<double>(ns) / 1e3);
+  if (ns < 1000ull * 1000 * 1000)
+    return StrFormat("%.2f ms", static_cast<double>(ns) / 1e6);
+  return StrFormat("%.3f s", static_cast<double>(ns) / 1e9);
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char delim,
+                                  bool skip_empty) {
+  std::vector<std::string> out;
+  usize start = 0;
+  for (usize i = 0; i <= s.size(); i++) {
+    if (i == s.size() || s[i] == delim) {
+      std::string piece = s.substr(start, i - start);
+      if (!piece.empty() || !skip_empty) out.push_back(std::move(piece));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrTrim(const std::string& s) {
+  usize b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  return s.substr(b, e - b);
+}
+
+}  // namespace nvmetro

@@ -1,0 +1,34 @@
+// String formatting helpers shared by benches and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nvmetro {
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "512B", "16K", "128K", "4M" — fio-style block size names.
+std::string FormatBlockSize(u64 bytes);
+
+/// Parses "512", "512B", "4k", "16K", "1M" into bytes; 0 on failure.
+u64 ParseBlockSize(const std::string& s);
+
+/// "1.23M", "456.7K", "89" — SI-ish magnitude formatting.
+std::string FormatSi(double value);
+
+/// "12.3 us", "1.20 ms" for a nanosecond duration.
+std::string FormatDuration(u64 ns);
+
+/// Splits on a delimiter, skipping empty pieces when skip_empty is true.
+std::vector<std::string> StrSplit(const std::string& s, char delim,
+                                  bool skip_empty = false);
+
+/// Whitespace trim.
+std::string StrTrim(const std::string& s);
+
+}  // namespace nvmetro

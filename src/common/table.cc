@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nvmetro {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); i++) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); i++) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < headers_.size(); i++) {
+      const std::string& cell = i < row.size() ? row[i] : headers_[i];
+      line += cell;
+      line.append(widths[i] - cell.size(), ' ');
+      if (i + 1 < headers_.size()) line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t i = 0; i < widths.size(); i++) {
+    total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::RenderCsv() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i) line += ',';
+      line += row[i];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace nvmetro

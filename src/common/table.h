@@ -1,0 +1,30 @@
+// ASCII table printer used by the figure-reproduction benches to emit the
+// same rows/series the paper's plots report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvmetro {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string Render() const;
+
+  /// Renders as CSV (for downstream plotting).
+  std::string RenderCsv() const;
+
+  /// Prints Render() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nvmetro

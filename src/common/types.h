@@ -1,0 +1,38 @@
+// Common fixed-width type aliases used across the NVMetro codebase.
+//
+// These mirror the kernel-style aliases used in the paper's listings
+// (u16/u32/u64 etc.) so that code such as the UIF `work(nvme_cmd, u32 tag,
+// u16 &status)` interface reads the same as in the publication.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmetro {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Nanoseconds of simulated time. All timing in the discrete-event
+/// simulation is expressed in this unit.
+using SimTime = std::uint64_t;
+
+/// Convenience literals for simulated durations.
+constexpr SimTime kNs = 1;
+constexpr SimTime kUs = 1000 * kNs;
+constexpr SimTime kMs = 1000 * kUs;
+constexpr SimTime kSec = 1000 * kMs;
+
+/// Sizes.
+constexpr u64 KiB = 1024;
+constexpr u64 MiB = 1024 * KiB;
+constexpr u64 GiB = 1024 * MiB;
+
+}  // namespace nvmetro

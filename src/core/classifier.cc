@@ -1,0 +1,55 @@
+#include "core/classifier.h"
+
+namespace nvmetro::core {
+
+const ebpf::CtxDescriptor& NvmetroCtxDescriptor() {
+  static const ebpf::CtxDescriptor* kDesc = [] {
+    auto* d = new ebpf::CtxDescriptor();
+    d->size = sizeof(ClassifierCtx);
+    d->fields = {
+        {offsetof(ClassifierCtx, current_hook), 8, false, "current_hook"},
+        {offsetof(ClassifierCtx, opcode), 8, false, "opcode"},
+        {offsetof(ClassifierCtx, nsid), 8, false, "nsid"},
+        {offsetof(ClassifierCtx, slba), 8, true, "slba"},
+        {offsetof(ClassifierCtx, nlb), 8, true, "nlb"},
+        {offsetof(ClassifierCtx, error), 8, false, "error"},
+        {offsetof(ClassifierCtx, state), 8, true, "state"},
+        {offsetof(ClassifierCtx, vm_id), 8, false, "vm_id"},
+        {offsetof(ClassifierCtx, part_offset), 8, false, "part_offset"},
+        {offsetof(ClassifierCtx, part_limit), 8, false, "part_limit"},
+        // Narrow (4-byte) views, handy for 32-bit loads of opcode/hook.
+        {offsetof(ClassifierCtx, current_hook), 4, false, "current_hook32"},
+        {offsetof(ClassifierCtx, opcode), 4, false, "opcode32"},
+        {offsetof(ClassifierCtx, error), 4, false, "error32"},
+    };
+    return d;
+  }();
+  return *kDesc;
+}
+
+ClassifierRuntime::ClassifierRuntime(ebpf::Program prog)
+    : prog_(std::move(prog)) {}
+
+Result<std::unique_ptr<ClassifierRuntime>> ClassifierRuntime::Create(
+    ebpf::Program prog) {
+  ebpf::Verifier verifier(NvmetroCtxDescriptor(),
+                          ebpf::HelperRegistry::Default());
+  NVM_RETURN_IF_ERROR(verifier.Verify(prog));
+  return std::unique_ptr<ClassifierRuntime>(
+      new ClassifierRuntime(std::move(prog)));
+}
+
+ClassifierRuntime::RunResult ClassifierRuntime::Run(ClassifierCtx* ctx) {
+  invocations_++;
+  auto r = interp_.Run(prog_, ctx, sizeof(*ctx));
+  RunResult out;
+  out.status = r.status;
+  out.verdict = r.r0;
+  out.cpu_cost =
+      kClassifierBaseCost +
+      static_cast<SimTime>(static_cast<double>(r.insns) *
+                           kClassifierPerInsnCost);
+  return out;
+}
+
+}  // namespace nvmetro::core

@@ -1,0 +1,48 @@
+#include "core/notify.h"
+
+namespace nvmetro::core {
+
+NotifyChannel::NotifyChannel(u32 entries)
+    : entries_(entries), nsq_(entries), ncq_(entries) {}
+
+bool NotifyChannel::PushRequest(const NotifyEntry& e) {
+  u32 next = (nsq_tail_ + 1) % entries_;
+  if (next == nsq_head_) return false;
+  nsq_[nsq_tail_] = e;
+  nsq_tail_ = next;
+  if (request_notify_) request_notify_();
+  return true;
+}
+
+bool NotifyChannel::PopRequest(NotifyEntry* out) {
+  if (nsq_head_ == nsq_tail_) return false;
+  *out = nsq_[nsq_head_];
+  nsq_head_ = (nsq_head_ + 1) % entries_;
+  return true;
+}
+
+u32 NotifyChannel::PendingRequests() const {
+  return (nsq_tail_ + entries_ - nsq_head_) % entries_;
+}
+
+bool NotifyChannel::PushCompletion(const NotifyCompletion& c) {
+  u32 next = (ncq_tail_ + 1) % entries_;
+  if (next == ncq_head_) return false;
+  ncq_[ncq_tail_] = c;
+  ncq_tail_ = next;
+  if (completion_notify_) completion_notify_();
+  return true;
+}
+
+bool NotifyChannel::PopCompletion(NotifyCompletion* out) {
+  if (ncq_head_ == ncq_tail_) return false;
+  *out = ncq_[ncq_head_];
+  ncq_head_ = (ncq_head_ + 1) % entries_;
+  return true;
+}
+
+u32 NotifyChannel::PendingCompletions() const {
+  return (ncq_tail_ + entries_ - ncq_head_) % entries_;
+}
+
+}  // namespace nvmetro::core

@@ -1,0 +1,87 @@
+// Notify path queues (NSQ/NCQ).
+//
+// A UIF "opens NSQs/NCQs as file descriptors, maps them into its address
+// space using mmap() calls, and polls NSQs for requests from the I/O
+// router ... it returns a status code to the kernel via the NCQ" (paper
+// §III-D). Here the shared mapping is a pair of fixed-size SPSC rings:
+// router -> UIF carries the 64-byte command block plus a routing tag;
+// UIF -> router carries the tag and an NVMe status.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "nvme/defs.h"
+
+namespace nvmetro::core {
+
+/// NSQ entry: the command block plus correlation info. Data pages are
+/// NOT carried — the UIF reaches them through the VM's memory (§III-C).
+struct NotifyEntry {
+  nvme::Sqe sqe;
+  u32 tag = 0;
+  u32 vm_id = 0;
+};
+
+/// NCQ entry: the UIF's response for a tag.
+struct NotifyCompletion {
+  u32 tag = 0;
+  u16 status = 0;  // NvmeStatus
+  u16 rsvd = 0;
+};
+
+/// One VM<->UIF channel: an NSQ and an NCQ with edge notifications in
+/// both directions (eventfd equivalents).
+class NotifyChannel {
+ public:
+  explicit NotifyChannel(u32 entries = 1024);
+
+  // --- Router side ---------------------------------------------------------
+  bool PushRequest(const NotifyEntry& e);
+  bool PopCompletion(NotifyCompletion* out);
+  u32 PendingCompletions() const;
+  /// Called (by the router) to signal the UIF that the NSQ has entries.
+  void SetRequestNotify(std::function<void()> fn) {
+    request_notify_ = std::move(fn);
+  }
+
+  // --- UIF side ------------------------------------------------------------
+  bool PopRequest(NotifyEntry* out);
+  bool PushCompletion(const NotifyCompletion& c);
+  u32 PendingRequests() const;
+  /// Called (by the UIF) to signal the router that the NCQ has entries.
+  void SetCompletionNotify(std::function<void()> fn) {
+    completion_notify_ = std::move(fn);
+  }
+
+  u32 entries() const { return entries_; }
+
+  // --- Channel metadata (set by the router at attach time) -------------------
+
+  /// Partition geometry of the VM this channel serves: UIFs use it to map
+  /// namespace-absolute LBAs back to guest-relative sectors (crypto
+  /// tweaks) and to locate data on kernel-path devices.
+  void SetPartitionInfo(u64 part_first_lba, u64 part_nlb, u32 vm_id) {
+    part_first_lba_ = part_first_lba;
+    part_nlb_ = part_nlb;
+    vm_id_ = vm_id;
+  }
+  u64 part_first_lba() const { return part_first_lba_; }
+  u64 part_nlb() const { return part_nlb_; }
+  u32 vm_id() const { return vm_id_; }
+
+ private:
+  u64 part_first_lba_ = 0;
+  u64 part_nlb_ = 0;
+  u32 vm_id_ = 0;
+  u32 entries_;
+  std::vector<NotifyEntry> nsq_;
+  u32 nsq_head_ = 0, nsq_tail_ = 0;
+  std::vector<NotifyCompletion> ncq_;
+  u32 ncq_head_ = 0, ncq_tail_ = 0;
+  std::function<void()> request_notify_;
+  std::function<void()> completion_notify_;
+};
+
+}  // namespace nvmetro::core

@@ -1,0 +1,561 @@
+#include "core/router.h"
+
+#include <cassert>
+
+namespace nvmetro::core {
+
+using nvme::Cqe;
+using nvme::NvmeStatus;
+using nvme::Sqe;
+
+namespace {
+constexpr u32 kMaxRoutingEntries = 4096;
+constexpr u32 kLbaSize = 512;
+}  // namespace
+
+// --- VirtualController --------------------------------------------------------
+
+VirtualController::VirtualController(sim::Simulator* sim,
+                                     ssd::SimulatedController* phys,
+                                     virt::Vm* vm, Config cfg,
+                                     const RouterCosts* costs)
+    : sim_(sim), phys_(phys), vm_(vm), cfg_(cfg), costs_(costs) {
+  if (cfg_.part_nlb == 0) {
+    cfg_.part_nlb = phys_->ns_block_count(cfg_.backend_nsid);
+  }
+}
+
+VirtualController::~VirtualController() {
+  for (auto& gq : queues_) {
+    if (gq.host_qid) phys_->DeleteIoQueuePair(gq.host_qid);
+  }
+}
+
+Status VirtualController::InstallClassifier(ebpf::Program prog) {
+  auto runtime = ClassifierRuntime::Create(std::move(prog));
+  if (!runtime.ok()) return runtime.status();
+  classifier_ = std::move(*runtime);
+  classifier_->env().ktime_ns = [this] { return sim_->now(); };
+  return OkStatus();
+}
+
+void VirtualController::AttachUif(NotifyChannel* channel) {
+  uif_ = channel;
+  uif_->SetPartitionInfo(cfg_.part_first_lba, cfg_.part_nlb, cfg_.vm_id);
+  uif_->SetCompletionNotify([this] {
+    if (worker_) worker_->poller().Notify(src_ncq_);
+  });
+}
+
+void VirtualController::DetachUif() { uif_ = nullptr; }
+
+void VirtualController::AttachKernelDevice(kblock::BlockDevice* dev) {
+  kernel_dev_ = dev;
+}
+
+Status VirtualController::AttachQueuePair(u16 qid, nvme::SqRing* sq,
+                                          nvme::CqRing* cq, u64 /*sq_gpa*/,
+                                          u64 /*cq_gpa*/) {
+  if (!worker_)
+    return FailedPrecondition("controller not attached to a router worker");
+  GuestQueue gq;
+  gq.qid = qid;
+  gq.vsq = sq;
+  gq.vcq = cq;
+  auto host_q = phys_->CreateIoQueuePair(
+      sq->entries(),
+      [this] {
+        if (worker_) worker_->poller().Notify(src_hcq_);
+      },
+      &vm_->memory());
+  if (!host_q.ok()) return host_q.status();
+  gq.host_qid = *host_q;
+  queues_.push_back(std::move(gq));
+  return OkStatus();
+}
+
+bool VirtualController::parked() const {
+  return sim_->now() - last_activity_ > costs_->vm_park_timeout_ns;
+}
+
+SimTime VirtualController::SqDoorbell(u16 /*qid*/) {
+  bool trap = parked() || (worker_ && worker_->sleeping());
+  Touch();
+  if (worker_) worker_->poller().Notify(src_vsq_);
+  return trap ? costs_->guest_doorbell_trap_ns
+              : costs_->guest_doorbell_mmio_ns;
+}
+
+void VirtualController::CqDoorbell(u16 /*qid*/) {
+  // Head publication is visible through the shared VCQ ring; nothing to
+  // do host-side.
+}
+
+void VirtualController::SetIrqHandler(u16 qid, std::function<void()> handler) {
+  for (auto& gq : queues_) {
+    if (gq.qid == qid) {
+      gq.irq = std::move(handler);
+      return;
+    }
+  }
+  // Queue attached later gets its handler set then; tolerate early calls.
+}
+
+u64 VirtualController::CapacityBytes() const {
+  return cfg_.part_nlb * kLbaSize;
+}
+
+VirtualController::RequestEntry* VirtualController::AllocEntry() {
+  if (!free_slots_.empty()) {
+    u32 idx = free_slots_.back();
+    free_slots_.pop_back();
+    RequestEntry* e = &table_[idx];
+    *e = RequestEntry{};
+    e->in_use = true;
+    e->tag = idx;
+    return e;
+  }
+  if (table_.size() >= kMaxRoutingEntries) return nullptr;
+  table_.emplace_back();
+  RequestEntry* e = &table_.back();
+  e->in_use = true;
+  e->tag = static_cast<u32>(table_.size() - 1);
+  return e;
+}
+
+VirtualController::RequestEntry* VirtualController::EntryByTag(u32 tag) {
+  if (tag >= table_.size() || !table_[tag].in_use) return nullptr;
+  return &table_[tag];
+}
+
+void VirtualController::PollVsq(usize /*unused*/) {
+  Touch();
+  // Round-robin one entry from the first non-empty VSQ.
+  bool more = false;
+  for (usize i = 0; i < queues_.size(); i++) {
+    Sqe sqe;
+    if (queues_[i].vsq->Pop(&sqe)) {
+      HandleNewRequest(i, sqe);
+      // Re-arm if anything is still pending on any VSQ.
+      for (const auto& gq : queues_) {
+        if (!gq.vsq->Empty()) more = true;
+      }
+      break;
+    }
+  }
+  if (more && worker_) worker_->poller().Notify(src_vsq_);
+}
+
+void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe) {
+  worker_->cpu()->Charge(costs_->vsq_pop_ns);
+  RequestEntry* e = AllocEntry();
+  if (!e) {
+    // Routing table exhausted: fail the request (guest sees a busy-ish
+    // internal error and retries).
+    worker_->cpu()->Charge(costs_->vcq_post_ns);
+    GuestQueue& gq = queues_[gq_index];
+    Cqe cqe;
+    cqe.cid = sqe.cid;
+    cqe.sq_id = gq.qid;
+    cqe.sq_head = gq.vsq->head();
+    cqe.set_status(
+        nvme::MakeStatus(nvme::kSctGeneric, nvme::kScAbortRequested));
+    gq.vcq->Push(cqe);
+    if (gq.irq) {
+      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, gq.irq);
+    }
+    return;
+  }
+  e->sqe = sqe;
+  e->gq_index = static_cast<u16>(gq_index);
+  e->mediated_slba = sqe.slba();
+  e->mediated_nlb = sqe.block_count();
+  if (fixed_translation_) {
+    // MDev-NVMe mode: fixed translation, fast path only.
+    worker_->cpu()->Charge(costs_->mdev_handle_ns);
+    if (e->sqe.is_io_data_cmd() || e->sqe.opcode == nvme::kCmdWriteZeroes) {
+      e->mediated_slba += cfg_.part_first_lba;
+    }
+    ApplyVerdict(e, kSendHq | kWillCompleteHq);
+    return;
+  }
+  if (!classifier_) {
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScInternalError));
+    return;
+  }
+  RunClassifierAndApply(e, kHookVsq, nvme::kStatusSuccess);
+}
+
+void VirtualController::RunClassifierAndApply(RequestEntry* e, Hook hook,
+                                              NvmeStatus error) {
+  ClassifierCtx ctx;
+  ctx.current_hook = hook;
+  ctx.opcode = e->sqe.opcode;
+  ctx.nsid = e->sqe.nsid;
+  ctx.slba = e->mediated_slba;
+  ctx.nlb = e->mediated_nlb;
+  ctx.error = error;
+  ctx.state = e->state;
+  ctx.vm_id = cfg_.vm_id;
+  ctx.part_offset = cfg_.part_first_lba;
+  ctx.part_limit = cfg_.part_nlb;
+  auto result = classifier_->Run(&ctx);
+  worker_->cpu()->Charge(result.cpu_cost);
+  if (!result.status.ok()) {
+    // A verified classifier cannot fail at runtime; treat as fatal for
+    // the request.
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScInternalError));
+    return;
+  }
+  e->mediated_slba = ctx.slba;
+  e->mediated_nlb = static_cast<u32>(ctx.nlb);
+  e->state = ctx.state;
+  ApplyVerdict(e, result.verdict);
+}
+
+void VirtualController::ApplyVerdict(RequestEntry* e, u64 verdict) {
+  if (verdict & kComplete) {
+    CompleteToGuest(e, static_cast<NvmeStatus>(verdict & kStatusMask));
+    return;
+  }
+  // Record (replace) hook/completion policy.
+  e->hook_flags = 0;
+  if (verdict & kHookOnHcq) e->hook_flags |= 1u << kPathH;
+  if (verdict & kHookOnNcq) e->hook_flags |= 1u << kPathN;
+  if (verdict & kHookOnKcq) e->hook_flags |= 1u << kPathK;
+  e->will_flags = 0;
+  if (verdict & kWillCompleteHq) e->will_flags |= 1u << kPathH;
+  if (verdict & kWillCompleteNq) e->will_flags |= 1u << kPathN;
+  if (verdict & kWillCompleteKq) e->will_flags |= 1u << kPathK;
+  e->wait_for_hook = (verdict & kWaitForHook) != 0;
+
+  u32 sends = 0;
+  if (verdict & kSendHq) sends++;
+  if (verdict & kSendNq) sends++;
+  if (verdict & kSendKq) sends++;
+  if (sends == 0 && e->outstanding == 0) {
+    // Classifier produced no action: misbehaving policy.
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScInternalError));
+    return;
+  }
+  if (verdict & kSendHq) DispatchFast(e);
+  if (e->completed) return;  // dispatch may fail the request
+  if (verdict & kSendNq) DispatchNotify(e);
+  if (e->completed) return;
+  if (verdict & kSendKq) DispatchKernel(e);
+}
+
+void VirtualController::DispatchFast(RequestEntry* e) {
+  GuestQueue& gq = queues_[e->gq_index];
+  // Isolation: whatever the classifier did, the routed command must stay
+  // inside this VM's partition of the backend namespace.
+  if (e->sqe.is_io_data_cmd() || e->sqe.opcode == nvme::kCmdWriteZeroes) {
+    u64 first = cfg_.part_first_lba;
+    u64 limit = first + cfg_.part_nlb;
+    if (e->mediated_slba < first || e->mediated_slba >= limit ||
+        e->mediated_nlb > limit - e->mediated_slba) {
+      FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                      nvme::kScLbaOutOfRange));
+      return;
+    }
+  }
+  worker_->cpu()->Charge(costs_->fast_forward_ns);
+  Sqe out = e->sqe;
+  out.nsid = cfg_.backend_nsid;
+  out.set_slba(e->mediated_slba);
+  if (e->sqe.is_io_data_cmd() || e->sqe.opcode == nvme::kCmdWriteZeroes) {
+    out.set_nlb0(static_cast<u16>(e->mediated_nlb - 1));
+  }
+  // Allocate a host cid and remember the routing tag.
+  u16 cid;
+  do {
+    cid = gq.next_host_cid++;
+  } while (gq.host_cid_map.count(cid));
+  out.cid = cid;
+  gq.host_cid_map[cid] = e->tag;
+  e->outstanding++;
+  fast_sends_++;
+  if (!phys_->Submit(gq.host_qid, out)) {
+    gq.host_cid_map.erase(cid);
+    e->outstanding--;
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScAbortRequested));
+  }
+}
+
+void VirtualController::DispatchNotify(RequestEntry* e) {
+  if (!uif_) {
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScInternalError));
+    return;
+  }
+  worker_->cpu()->Charge(costs_->notify_push_ns);
+  NotifyEntry entry;
+  entry.sqe = e->sqe;
+  entry.sqe.set_slba(e->mediated_slba);
+  if (e->sqe.is_io_data_cmd()) {
+    entry.sqe.set_nlb0(static_cast<u16>(e->mediated_nlb - 1));
+  }
+  entry.tag = e->tag;
+  entry.vm_id = cfg_.vm_id;
+  e->outstanding++;
+  notify_sends_++;
+  if (!uif_->PushRequest(entry)) {
+    e->outstanding--;
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScAbortRequested));
+  }
+}
+
+void VirtualController::DispatchKernel(RequestEntry* e) {
+  if (!kernel_dev_) {
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScInternalError));
+    return;
+  }
+  // Only commands with Linux block-layer semantics can take this path
+  // (paper §III-A).
+  kblock::Bio bio;
+  switch (e->sqe.opcode) {
+    case nvme::kCmdRead:
+      bio.op = kblock::Bio::Op::kRead;
+      break;
+    case nvme::kCmdWrite:
+      bio.op = kblock::Bio::Op::kWrite;
+      break;
+    case nvme::kCmdFlush:
+      bio.op = kblock::Bio::Op::kFlush;
+      break;
+    default:
+      FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                      nvme::kScInvalidOpcode));
+      return;
+  }
+  worker_->cpu()->Charge(costs_->kernel_submit_ns);
+  if (bio.op != kblock::Bio::Op::kFlush) {
+    u64 first = cfg_.part_first_lba;
+    u64 limit = first + cfg_.part_nlb;
+    if (e->mediated_slba < first || e->mediated_slba >= limit ||
+        e->mediated_nlb > limit - e->mediated_slba) {
+      FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                      nvme::kScLbaOutOfRange));
+      return;
+    }
+    bio.sector = e->mediated_slba;  // kernel device is namespace-absolute
+    u64 len = static_cast<u64>(e->mediated_nlb) * kLbaSize;
+    std::vector<nvme::PrpSegment> segs;
+    Status st = nvme::WalkPrps(vm_->memory(), e->sqe, len, &segs);
+    if (!st.ok()) {
+      FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                      nvme::kScDataTransferError));
+      return;
+    }
+    for (const auto& s : segs) {
+      u8* p = vm_->memory().Translate(s.gpa, s.len);
+      bio.segments.push_back({p, s.len});
+    }
+  }
+  u32 tag = e->tag;
+  bio.on_complete = [this, tag](Status st) {
+    NvmeStatus ns = st.ok() ? nvme::kStatusSuccess
+                            : nvme::MakeStatus(nvme::kSctGeneric,
+                                               nvme::kScInternalError);
+    kcq_mailbox_.emplace_back(tag, ns);
+    if (worker_) worker_->poller().Notify(src_kcq_);
+  };
+  e->outstanding++;
+  kernel_sends_++;
+  kernel_dev_->Submit(std::move(bio));
+}
+
+void VirtualController::PollHcq() {
+  Touch();
+  bool more = false;
+  for (auto& gq : queues_) {
+    nvme::CqRing* cq = phys_->cq(gq.host_qid);
+    if (!cq) continue;
+    Cqe cqe;
+    if (cq->Peek(&cqe)) {
+      cq->Pop();
+      cq->PublishHead();
+      phys_->RingCqDoorbell(gq.host_qid);
+      worker_->cpu()->Charge(costs_->hcq_handle_ns);
+      auto it = gq.host_cid_map.find(cqe.cid);
+      if (it != gq.host_cid_map.end()) {
+        u32 tag = it->second;
+        gq.host_cid_map.erase(it);
+        OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
+      }
+      if (!cq->Empty()) more = true;
+      break;
+    }
+  }
+  if (!more) {
+    for (auto& gq : queues_) {
+      nvme::CqRing* cq = phys_->cq(gq.host_qid);
+      if (cq && !cq->Empty()) more = true;
+    }
+  }
+  if (more && worker_) worker_->poller().Notify(src_hcq_);
+}
+
+void VirtualController::PollNcq() {
+  Touch();
+  if (!uif_) return;
+  NotifyCompletion c;
+  if (!uif_->PopCompletion(&c)) return;
+  worker_->cpu()->Charge(costs_->ncq_handle_ns);
+  OnTargetDone(c.tag, kPathN, c.status);
+  if (uif_->PendingCompletions() > 0 && worker_) {
+    worker_->poller().Notify(src_ncq_);
+  }
+}
+
+void VirtualController::PollKcq() {
+  Touch();
+  if (kcq_mailbox_.empty()) return;
+  auto [tag, status] = kcq_mailbox_.front();
+  kcq_mailbox_.pop_front();
+  worker_->cpu()->Charge(costs_->kernel_complete_ns);
+  OnTargetDone(tag, kPathK, status);
+  if (!kcq_mailbox_.empty() && worker_) {
+    worker_->poller().Notify(src_kcq_);
+  }
+}
+
+void VirtualController::OnTargetDone(u32 tag, Path path, NvmeStatus status,
+                                     u32 result) {
+  RequestEntry* e = EntryByTag(tag);
+  if (!e) return;
+  if (path == kPathH) e->result = result;
+  e->outstanding--;
+  if (e->completed) {
+    MaybeFree(e);
+    return;
+  }
+  if (!nvme::StatusOk(status) && nvme::StatusOk(e->agg_status)) {
+    e->agg_status = status;
+  }
+  u32 bit = 1u << path;
+  if (e->hook_flags & bit) {
+    e->hook_flags &= ~bit;
+    Hook hook = path == kPathH ? kHookHcq
+                : path == kPathN ? kHookNcq
+                                 : kHookKcq;
+    RunClassifierAndApply(e, hook, status);
+    return;
+  }
+  if (e->will_flags & bit) {
+    if (e->outstanding == 0) {
+      CompleteToGuest(e, nvme::StatusOk(e->agg_status) ? status
+                                                       : e->agg_status);
+    }
+    return;
+  }
+  if (e->wait_for_hook) return;  // another path's hook will decide
+  if (e->outstanding == 0) {
+    // Default: complete with the final target's status.
+    CompleteToGuest(e, nvme::StatusOk(e->agg_status) ? status
+                                                     : e->agg_status);
+  }
+}
+
+void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
+  if (e->completed) return;
+  e->completed = true;
+  completed_++;
+  worker_->cpu()->Charge(costs_->vcq_post_ns);
+  GuestQueue& gq = queues_[e->gq_index];
+  Cqe cqe;
+  cqe.cid = e->sqe.cid;
+  cqe.sq_id = gq.qid;
+  cqe.sq_head = gq.vsq->head();
+  cqe.result = e->result;
+  cqe.set_status(status);
+  if (!gq.vcq->Push(cqe)) {
+    // VCQ full: retry until the guest frees slots.
+    e->completed = false;
+    completed_--;
+    u32 tag = e->tag;
+    sim_->ScheduleAfter(5 * kUs, [this, tag, status] {
+      RequestEntry* entry = EntryByTag(tag);
+      if (entry) CompleteToGuest(entry, status);
+    });
+    return;
+  }
+  if (gq.irq) sim_->ScheduleAfter(costs_->irq_inject_latency_ns, gq.irq);
+  MaybeFree(e);
+}
+
+void VirtualController::MaybeFree(RequestEntry* e) {
+  if (e->completed && e->outstanding == 0) {
+    e->in_use = false;
+    free_slots_.push_back(e->tag);
+  }
+}
+
+void VirtualController::FailRequest(RequestEntry* e, NvmeStatus status) {
+  failed_++;
+  CompleteToGuest(e, status);
+}
+
+// --- RouterWorker --------------------------------------------------------------
+
+RouterWorker::RouterWorker(sim::Simulator* sim, std::string name,
+                           RouterCosts costs)
+    : sim_(sim),
+      cpu_(sim, std::move(name)),
+      poller_(sim, &cpu_, [&costs] {
+        sim::Poller::Options o;
+        o.dispatch_cost = costs.dispatch_cost_ns;
+        o.adaptive = costs.adaptive_worker;
+        o.idle_timeout = costs.worker_idle_timeout_ns;
+        o.wakeup_latency = costs.worker_wakeup_latency_ns;
+        return o;
+      }()) {}
+
+void RouterWorker::Attach(VirtualController* vc) {
+  vc->worker_ = this;
+  vc->src_vsq_ = poller_.AddSource([vc] { vc->PollVsq(0); });
+  vc->src_hcq_ = poller_.AddSource([vc] { vc->PollHcq(); });
+  vc->src_ncq_ = poller_.AddSource([vc] { vc->PollNcq(); });
+  vc->src_kcq_ = poller_.AddSource([vc] { vc->PollKcq(); });
+  vcs_.push_back(vc);
+}
+
+// --- NvmetroHost -----------------------------------------------------------------
+
+NvmetroHost::NvmetroHost(sim::Simulator* sim, ssd::SimulatedController* phys,
+                         Config cfg)
+    : sim_(sim), phys_(phys), cfg_(cfg) {
+  for (u32 i = 0; i < cfg_.num_workers; i++) {
+    workers_.push_back(std::make_unique<RouterWorker>(
+        sim_, "nvmetro.router" + std::to_string(i), cfg_.costs));
+  }
+}
+
+VirtualController* NvmetroHost::CreateController(virt::Vm* vm,
+                                                 VirtualController::Config cfg) {
+  auto vc = std::make_unique<VirtualController>(sim_, phys_, vm, cfg,
+                                                &cfg_.costs);
+  VirtualController* ptr = vc.get();
+  workers_[next_worker_ % workers_.size()]->Attach(ptr);
+  next_worker_++;
+  controllers_.push_back(std::move(vc));
+  return ptr;
+}
+
+void NvmetroHost::Start() {
+  for (auto& w : workers_) w->Start();
+}
+
+u64 NvmetroHost::RouterCpuBusyNs() const {
+  u64 sum = 0;
+  for (const auto& w : workers_) sum += w->busy_ns();
+  return sum;
+}
+
+}  // namespace nvmetro::core

@@ -1,0 +1,270 @@
+// The NVMetro I/O router (paper §III-C).
+//
+// Components:
+//  - VirtualController: the per-VM virtual NVMe controller. Shadows the
+//    guest's VSQ/VCQ rings, runs the attached eBPF classifier at each
+//    hook, and routes the 64-byte command block to the fast path (host
+//    queues on the physical controller), the kernel path (host block
+//    layer), and/or the notify path (NSQ/NCQ to a UIF) — with iterative
+//    routing driven by a per-request routing-table entry.
+//  - RouterWorker: a host polling thread. Workers are shared between
+//    multiple VMs in round-robin fashion; VMs idle longer than a parking
+//    threshold stop being polled and their next doorbell pays a trap to
+//    wake the path up (§III-C).
+//  - NvmetroHost: the control interface — create virtual controllers
+//    over a namespace or partition, install/replace classifiers on the
+//    fly, attach UIF channels and kernel-path devices.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/notify.h"
+#include "kblock/bio.h"
+#include "mem/guest_memory.h"
+#include "nvme/prp.h"
+#include "sim/poller.h"
+#include "ssd/controller.h"
+#include "virt/guest_nvme.h"
+#include "virt/vm.h"
+
+namespace nvmetro::core {
+
+/// Router cost model (host-side, charged on router worker vCPUs).
+struct RouterCosts {
+  SimTime vsq_pop_ns = 230;        // shadow-queue pop + routing entry setup
+  /// MDev-NVMe comparison mode: fixed in-kernel LBA translation instead
+  /// of a classifier invocation.
+  SimTime mdev_handle_ns = 210;
+  SimTime fast_forward_ns = 160;   // HSQ push + device doorbell
+  SimTime hcq_handle_ns = 150;     // host CQE handling
+  SimTime notify_push_ns = 170;    // NSQ push + UIF notification
+  SimTime ncq_handle_ns = 150;     // NCQ completion handling
+  SimTime kernel_submit_ns = 1'900;   // NVMe->bio translation + submit
+  SimTime kernel_complete_ns = 800;   // kernel-path completion handling
+  SimTime vcq_post_ns = 240;       // VCQ write + interrupt injection
+  /// Latency from VCQ post to the guest IRQ firing (posted interrupt).
+  SimTime irq_inject_latency_ns = 800;
+  /// Guest-side doorbell costs: plain MMIO store while polled, vm-exit
+  /// when the VM is parked / the worker sleeps.
+  SimTime guest_doorbell_mmio_ns = 90;
+  SimTime guest_doorbell_trap_ns = 1'800;
+  /// A VM with no activity for this long stops being polled.
+  SimTime vm_park_timeout_ns = 200 * kUs;
+  /// Worker poller knobs.
+  SimTime dispatch_cost_ns = 110;
+  /// Router workers poll adaptively: they spin briefly after the last
+  /// event and then block until the next doorbell/completion edge. This
+  /// is what keeps NVMetro's CPU near QEMU's at low load in the paper's
+  /// Figure 11, while SPDK's always-spinning reactors top the chart.
+  bool adaptive_worker = true;
+  SimTime worker_idle_timeout_ns = 15 * kUs;
+  SimTime worker_wakeup_latency_ns = 3 * kUs;
+};
+
+class RouterWorker;
+
+/// Per-VM virtual NVMe controller + routing state.
+class VirtualController : public virt::VirtualNvmeBackend {
+ public:
+  struct Config {
+    u32 vm_id = 0;
+    u32 backend_nsid = 1;
+    /// Partition of the backend namespace this VM sees; part_nlb == 0
+    /// means the whole namespace.
+    u64 part_first_lba = 0;
+    u64 part_nlb = 0;
+  };
+
+  VirtualController(sim::Simulator* sim, ssd::SimulatedController* phys,
+                    virt::Vm* vm, Config cfg, const RouterCosts* costs);
+  ~VirtualController() override;
+
+  // --- Control interface ----------------------------------------------------
+
+  /// Verifies and installs (or hot-swaps) the I/O classifier. In-flight
+  /// requests keep their routing state; new hooks run the new program.
+  Status InstallClassifier(ebpf::Program prog);
+
+  /// Attaches the UIF notify channel (notify-path target).
+  void AttachUif(NotifyChannel* channel);
+  void DetachUif();
+
+  /// Attaches the kernel-path block device (may be a dm stack).
+  void AttachKernelDevice(kblock::BlockDevice* dev);
+
+  /// MDev-NVMe mode: bypass the classifier and perform the partition LBA
+  /// translation directly in the mediation layer, as MDev-NVMe's kernel
+  /// module does (paper SIII-C). Used by the MDev baseline.
+  void SetFixedTranslationMode(bool on) { fixed_translation_ = on; }
+
+  // --- virt::VirtualNvmeBackend ----------------------------------------------
+
+  Status AttachQueuePair(u16 qid, nvme::SqRing* sq, nvme::CqRing* cq,
+                         u64 sq_gpa, u64 cq_gpa) override;
+  SimTime SqDoorbell(u16 qid) override;
+  void CqDoorbell(u16 qid) override;
+  void SetIrqHandler(u16 qid, std::function<void()> handler) override;
+  u64 CapacityBytes() const override;
+
+  // --- Introspection ----------------------------------------------------------
+
+  u32 vm_id() const { return cfg_.vm_id; }
+  u64 requests_completed() const { return completed_; }
+  u64 requests_failed() const { return failed_; }
+  u64 fast_path_sends() const { return fast_sends_; }
+  u64 notify_path_sends() const { return notify_sends_; }
+  u64 kernel_path_sends() const { return kernel_sends_; }
+  ClassifierRuntime* classifier() { return classifier_.get(); }
+  bool parked() const;
+
+ private:
+  friend class RouterWorker;
+  friend class NvmetroHost;
+
+  enum Path : u8 { kPathH = 0, kPathN = 1, kPathK = 2 };
+
+  struct GuestQueue {
+    u16 qid = 0;
+    nvme::SqRing* vsq = nullptr;
+    nvme::CqRing* vcq = nullptr;
+    std::function<void()> irq;
+    u16 host_qid = 0;                 // 1:1 HSQ/HCQ on the physical drive
+    std::map<u16, u32> host_cid_map;  // host cid -> routing tag
+    u16 next_host_cid = 0;
+  };
+
+  struct RequestEntry {
+    bool in_use = false;
+    u32 tag = 0;
+    nvme::Sqe sqe;          // original guest command
+    u64 mediated_slba = 0;  // after classifier writes
+    u32 mediated_nlb = 0;
+    u16 gq_index = 0;       // guest queue it arrived on
+    u64 state = 0;          // classifier scratch
+    int outstanding = 0;
+    u32 hook_flags = 0;     // pending per-path hooks (bit = Path)
+    u32 will_flags = 0;     // per-path auto-complete
+    bool wait_for_hook = false;
+    bool completed = false;
+    nvme::NvmeStatus agg_status = nvme::kStatusSuccess;
+    u32 result = 0;  // CQE DW0 from the last fast-path completion
+  };
+
+  // Request processing (all on the router worker's vCPU context).
+  void PollVsq(usize gq_index);
+  void PollHcq();
+  void PollNcq();
+  void PollKcq();
+  void HandleNewRequest(usize gq_index, const nvme::Sqe& sqe);
+  void RunClassifierAndApply(RequestEntry* e, Hook hook,
+                             nvme::NvmeStatus error);
+  void ApplyVerdict(RequestEntry* e, u64 verdict);
+  void DispatchFast(RequestEntry* e);
+  void DispatchNotify(RequestEntry* e);
+  void DispatchKernel(RequestEntry* e);
+  void OnTargetDone(u32 tag, Path path, nvme::NvmeStatus status,
+                    u32 result = 0);
+  void CompleteToGuest(RequestEntry* e, nvme::NvmeStatus status);
+  void MaybeFree(RequestEntry* e);
+  void FailRequest(RequestEntry* e, nvme::NvmeStatus status);
+
+  RequestEntry* AllocEntry();
+  RequestEntry* EntryByTag(u32 tag);
+
+  void Touch() { last_activity_ = sim_->now(); }
+
+  sim::Simulator* sim_;
+  ssd::SimulatedController* phys_;
+  virt::Vm* vm_;
+  Config cfg_;
+  const RouterCosts* costs_;
+
+  std::unique_ptr<ClassifierRuntime> classifier_;
+  NotifyChannel* uif_ = nullptr;
+  kblock::BlockDevice* kernel_dev_ = nullptr;
+
+  std::vector<GuestQueue> queues_;
+  std::vector<RequestEntry> table_;  // routing table (slab)
+  std::vector<u32> free_slots_;
+
+  // Kernel-path completion mailbox, drained by the worker.
+  std::deque<std::pair<u32, nvme::NvmeStatus>> kcq_mailbox_;
+
+  bool fixed_translation_ = false;
+  RouterWorker* worker_ = nullptr;
+  u32 src_vsq_ = 0, src_hcq_ = 0, src_ncq_ = 0, src_kcq_ = 0;
+  SimTime last_activity_ = 0;
+
+  u64 completed_ = 0;
+  u64 failed_ = 0;
+  u64 fast_sends_ = 0;
+  u64 notify_sends_ = 0;
+  u64 kernel_sends_ = 0;
+};
+
+/// A router worker thread polling the queues of its assigned VMs.
+class RouterWorker {
+ public:
+  RouterWorker(sim::Simulator* sim, std::string name, RouterCosts costs);
+
+  /// Registers a controller's poll sources with this worker.
+  void Attach(VirtualController* vc);
+
+  void Start() { poller_.Start(); }
+  bool sleeping() const { return poller_.sleeping(); }
+  sim::VCpu* cpu() { return &cpu_; }
+  sim::Poller& poller() { return poller_; }
+  u64 busy_ns() const { return cpu_.busy_ns(); }
+
+ private:
+  sim::Simulator* sim_;
+  sim::VCpu cpu_;
+  sim::Poller poller_;
+  std::vector<VirtualController*> vcs_;
+};
+
+/// Top-level control interface: owns workers and virtual controllers.
+struct NvmetroHostConfig {
+  u32 num_workers = 1;
+  RouterCosts costs;
+};
+
+class NvmetroHost {
+ public:
+  using Config = NvmetroHostConfig;
+
+  NvmetroHost(sim::Simulator* sim, ssd::SimulatedController* phys,
+              Config cfg = {});
+
+  /// Creates a virtual controller for `vm` over a namespace partition and
+  /// assigns it to a worker round-robin.
+  VirtualController* CreateController(virt::Vm* vm,
+                                      VirtualController::Config cfg);
+
+  /// Starts all router workers.
+  void Start();
+
+  /// Sum of router-thread CPU (for the overhead evaluations).
+  u64 RouterCpuBusyNs() const;
+
+  RouterWorker* worker(u32 i) { return workers_[i].get(); }
+  u32 num_workers() const { return static_cast<u32>(workers_.size()); }
+  VirtualController* controller(u32 i) { return controllers_[i].get(); }
+  u32 num_controllers() const {
+    return static_cast<u32>(controllers_.size());
+  }
+  const RouterCosts& costs() const { return cfg_.costs; }
+
+ private:
+  sim::Simulator* sim_;
+  ssd::SimulatedController* phys_;
+  Config cfg_;
+  std::vector<std::unique_ptr<RouterWorker>> workers_;
+  std::vector<std::unique_ptr<VirtualController>> controllers_;
+  u32 next_worker_ = 0;
+};
+
+}  // namespace nvmetro::core

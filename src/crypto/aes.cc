@@ -1,0 +1,233 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+#include "common/cpufeat.h"
+
+namespace nvmetro::crypto {
+
+namespace {
+
+// The S-box is derived at startup from its mathematical definition
+// (multiplicative inverse in GF(2^8) followed by the affine transform)
+// instead of a transcribed table; the FIPS-197 vectors in the test suite
+// pin the result.
+struct SboxTables {
+  u8 sbox[256];
+  u8 inv_sbox[256];
+  SboxTables() {
+    auto gf_mul = [](u8 a, u8 b) {
+      u8 p = 0;
+      for (int i = 0; i < 8; i++) {
+        if (b & 1) p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi) a ^= 0x1B;
+        b >>= 1;
+      }
+      return p;
+    };
+    // Multiplicative inverses by exhaustive search (once, 64K mults).
+    u8 inv[256] = {};
+    for (int a = 1; a < 256; a++) {
+      for (int b = 1; b < 256; b++) {
+        if (gf_mul(static_cast<u8>(a), static_cast<u8>(b)) == 1) {
+          inv[a] = static_cast<u8>(b);
+          break;
+        }
+      }
+    }
+    auto rotl8 = [](u8 x, int k) {
+      return static_cast<u8>((x << k) | (x >> (8 - k)));
+    };
+    for (int x = 0; x < 256; x++) {
+      u8 b = inv[x];
+      u8 s = static_cast<u8>(b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^
+                             rotl8(b, 4) ^ 0x63);
+      sbox[x] = s;
+      inv_sbox[s] = static_cast<u8>(x);
+    }
+  }
+};
+
+const SboxTables& Tables() {
+  static const SboxTables t;
+  return t;
+}
+
+inline u8 XTime(u8 x) {
+  return static_cast<u8>((x << 1) ^ ((x >> 7) * 0x1B));
+}
+
+inline u8 GfMul(u8 a, u8 b) {
+  u8 p = 0;
+  while (b) {
+    if (b & 1) p ^= a;
+    a = XTime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+void SubBytes(u8 s[16]) {
+  for (int i = 0; i < 16; i++) s[i] = Tables().sbox[s[i]];
+}
+void InvSubBytes(u8 s[16]) {
+  for (int i = 0; i < 16; i++) s[i] = Tables().inv_sbox[s[i]];
+}
+
+// State layout: s[r + 4c] (column-major as FIPS-197).
+void ShiftRows(u8 s[16]) {
+  u8 t;
+  // row 1: shift left 1
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // row 2: shift left 2
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // row 3: shift left 3 (== right 1)
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void InvShiftRows(u8 s[16]) {
+  u8 t;
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void MixColumns(u8 s[16]) {
+  for (int c = 0; c < 4; c++) {
+    u8* col = s + 4 * c;
+    u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<u8>(XTime(a0) ^ (XTime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<u8>(a0 ^ XTime(a1) ^ (XTime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<u8>(a0 ^ a1 ^ XTime(a2) ^ (XTime(a3) ^ a3));
+    col[3] = static_cast<u8>((XTime(a0) ^ a0) ^ a1 ^ a2 ^ XTime(a3));
+  }
+}
+
+void InvMixColumns(u8 s[16]) {
+  for (int c = 0; c < 4; c++) {
+    u8* col = s + 4 * c;
+    u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
+    col[1] = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
+    col[2] = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
+    col[3] = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
+  }
+}
+
+void AddRoundKey(u8 s[16], const u8* rk) {
+  for (int i = 0; i < 16; i++) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+Result<Aes> Aes::Create(const u8* key, usize key_len) {
+  if (key_len != 16 && key_len != 32)
+    return InvalidArgument("AES key must be 16 or 32 bytes");
+  Aes aes;
+  const int nk = static_cast<int>(key_len / 4);
+  aes.rounds_ = nk + 6;  // 10 or 14
+  const int total_words = 4 * (aes.rounds_ + 1);
+
+  // Key expansion over byte-addressed words w[i] = ek_[4i..4i+4).
+  std::memcpy(aes.ek_, key, key_len);
+  u8 rcon = 1;
+  for (int i = nk; i < total_words; i++) {
+    u8 temp[4];
+    std::memcpy(temp, aes.ek_ + 4 * (i - 1), 4);
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon.
+      u8 t0 = temp[0];
+      temp[0] = static_cast<u8>(Tables().sbox[temp[1]] ^ rcon);
+      temp[1] = Tables().sbox[temp[2]];
+      temp[2] = Tables().sbox[temp[3]];
+      temp[3] = Tables().sbox[t0];
+      rcon = XTime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      for (int j = 0; j < 4; j++) temp[j] = Tables().sbox[temp[j]];
+    }
+    for (int j = 0; j < 4; j++) {
+      aes.ek_[4 * i + j] =
+          static_cast<u8>(aes.ek_[4 * (i - nk) + j] ^ temp[j]);
+    }
+  }
+
+  aes.aesni_ = internal::AesNiAvailable();
+  if (aes.aesni_) {
+    internal::AesNiMakeDecryptKeys(aes.ek_, aes.rounds_, aes.dk_);
+  }
+  return aes;
+}
+
+Aes::~Aes() {
+  // Best-effort key wipe.
+  volatile u8* p = ek_;
+  for (usize i = 0; i < sizeof(ek_); i++) p[i] = 0;
+  volatile u8* q = dk_;
+  for (usize i = 0; i < sizeof(dk_); i++) q[i] = 0;
+}
+
+void Aes::EncryptBlock(const u8 in[16], u8 out[16]) const {
+  if (aesni_) {
+    internal::AesNiEncryptBlocks(ek_, rounds_, in, out, 16);
+    return;
+  }
+  u8 s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, ek_);
+  for (int round = 1; round < rounds_; round++) {
+    SubBytes(s);
+    ShiftRows(s);
+    MixColumns(s);
+    AddRoundKey(s, ek_ + 16 * round);
+  }
+  SubBytes(s);
+  ShiftRows(s);
+  AddRoundKey(s, ek_ + 16 * rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::DecryptBlock(const u8 in[16], u8 out[16]) const {
+  if (aesni_) {
+    internal::AesNiDecryptBlocks(dk_, rounds_, in, out, 16);
+    return;
+  }
+  u8 s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, ek_ + 16 * rounds_);
+  for (int round = rounds_ - 1; round >= 1; round--) {
+    InvShiftRows(s);
+    InvSubBytes(s);
+    AddRoundKey(s, ek_ + 16 * round);
+    InvMixColumns(s);
+  }
+  InvShiftRows(s);
+  InvSubBytes(s);
+  AddRoundKey(s, ek_);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::EncryptBlocks(const u8* in, u8* out, usize len) const {
+  if (aesni_) {
+    internal::AesNiEncryptBlocks(ek_, rounds_, in, out, len);
+    return;
+  }
+  for (usize off = 0; off + 16 <= len; off += 16) {
+    EncryptBlock(in + off, out + off);
+  }
+}
+
+void Aes::DecryptBlocks(const u8* in, u8* out, usize len) const {
+  if (aesni_) {
+    internal::AesNiDecryptBlocks(dk_, rounds_, in, out, len);
+    return;
+  }
+  for (usize off = 0; off + 16 <= len; off += 16) {
+    DecryptBlock(in + off, out + off);
+  }
+}
+
+}  // namespace nvmetro::crypto

@@ -1,0 +1,67 @@
+// AES block cipher (AES-128 / AES-256).
+//
+// Two implementations, selected at runtime:
+//  - a portable table-free reference implementation (S-box + xtime), used
+//    for correctness on any host and as the cross-check oracle in tests;
+//  - an AES-NI fast path (aes_ni.cc, compiled with -maes) matching what
+//    the paper's encryptors use ("Both versions use AES-NI instructions
+//    for encryption, the same as dm-crypt, SPDK and other encryption
+//    software", §IV-A).
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::crypto {
+
+/// Expanded-key AES context. Copyable; key material is wiped on destroy.
+class Aes {
+ public:
+  static constexpr usize kBlockSize = 16;
+
+  /// key_len must be 16 (AES-128) or 32 (AES-256).
+  static Result<Aes> Create(const u8* key, usize key_len);
+
+  ~Aes();
+  Aes(const Aes&) = default;
+  Aes& operator=(const Aes&) = default;
+
+  void EncryptBlock(const u8 in[16], u8 out[16]) const;
+  void DecryptBlock(const u8 in[16], u8 out[16]) const;
+
+  /// ECB over multiple blocks (len % 16 == 0); used by XTS.
+  void EncryptBlocks(const u8* in, u8* out, usize len) const;
+  void DecryptBlocks(const u8* in, u8* out, usize len) const;
+
+  int rounds() const { return rounds_; }
+  bool using_aesni() const { return aesni_; }
+
+  /// Forces the portable path (tests compare it against AES-NI).
+  void DisableAesni() { aesni_ = false; }
+
+ private:
+  Aes() = default;
+
+  // Round keys as raw bytes, encryption order; 15 rounds covers AES-256.
+  u8 ek_[240] = {};
+  // aesimc-transformed decryption keys for the AES-NI path.
+  u8 dk_[240] = {};
+  int rounds_ = 0;
+  bool aesni_ = false;
+};
+
+namespace internal {
+/// True when the AES-NI backend is compiled in and supported by the CPU.
+bool AesNiAvailable();
+/// Builds aesimc-transformed decryption round keys from encryption keys.
+void AesNiMakeDecryptKeys(const u8* ek, int rounds, u8* dk);
+/// AES-NI bulk primitives over the raw round-key bytes.
+void AesNiEncryptBlocks(const u8* ek, int rounds, const u8* in, u8* out,
+                        usize len);
+void AesNiDecryptBlocks(const u8* dk, int rounds, const u8* in, u8* out,
+                        usize len);
+}  // namespace internal
+
+}  // namespace nvmetro::crypto

@@ -1,0 +1,121 @@
+// AES-NI backend. This translation unit is compiled with -maes (see
+// CMakeLists); callers reach it only after the runtime CPUID check.
+#include "common/cpufeat.h"
+#include "common/types.h"
+
+#if defined(__x86_64__)
+#include <wmmintrin.h>
+#define NVM_HAVE_AESNI 1
+#endif
+
+namespace nvmetro::crypto::internal {
+
+bool AesNiAvailable() {
+#ifdef NVM_HAVE_AESNI
+  return CpuHasAesNi();
+#else
+  return false;
+#endif
+}
+
+#ifdef NVM_HAVE_AESNI
+
+void AesNiMakeDecryptKeys(const u8* ek, int rounds, u8* dk) {
+  // dk[0] = ek[rounds]; dk[i] = InvMixColumns(ek[rounds-i]); dk[rounds]=ek[0]
+  const auto* ekv = reinterpret_cast<const __m128i*>(ek);
+  auto* dkv = reinterpret_cast<__m128i*>(dk);
+  _mm_storeu_si128(&dkv[0], _mm_loadu_si128(&ekv[rounds]));
+  for (int i = 1; i < rounds; i++) {
+    _mm_storeu_si128(&dkv[i],
+                     _mm_aesimc_si128(_mm_loadu_si128(&ekv[rounds - i])));
+  }
+  _mm_storeu_si128(&dkv[rounds], _mm_loadu_si128(&ekv[0]));
+}
+
+void AesNiEncryptBlocks(const u8* ek, int rounds, const u8* in, u8* out,
+                        usize len) {
+  const auto* ekv = reinterpret_cast<const __m128i*>(ek);
+  __m128i rk[15];
+  for (int i = 0; i <= rounds; i++) rk[i] = _mm_loadu_si128(&ekv[i]);
+  usize off = 0;
+  // 4-way interleaving hides the aesenc latency (ECB blocks are
+  // independent).
+  for (; off + 64 <= len; off += 64) {
+    const auto* ip = reinterpret_cast<const __m128i*>(in + off);
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(ip + 0), rk[0]);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(ip + 1), rk[0]);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(ip + 2), rk[0]);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(ip + 3), rk[0]);
+    for (int r = 1; r < rounds; r++) {
+      b0 = _mm_aesenc_si128(b0, rk[r]);
+      b1 = _mm_aesenc_si128(b1, rk[r]);
+      b2 = _mm_aesenc_si128(b2, rk[r]);
+      b3 = _mm_aesenc_si128(b3, rk[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, rk[rounds]);
+    b1 = _mm_aesenclast_si128(b1, rk[rounds]);
+    b2 = _mm_aesenclast_si128(b2, rk[rounds]);
+    b3 = _mm_aesenclast_si128(b3, rk[rounds]);
+    auto* op = reinterpret_cast<__m128i*>(out + off);
+    _mm_storeu_si128(op + 0, b0);
+    _mm_storeu_si128(op + 1, b1);
+    _mm_storeu_si128(op + 2, b2);
+    _mm_storeu_si128(op + 3, b3);
+  }
+  for (; off + 16 <= len; off += 16) {
+    __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    b = _mm_xor_si128(b, rk[0]);
+    for (int r = 1; r < rounds; r++) b = _mm_aesenc_si128(b, rk[r]);
+    b = _mm_aesenclast_si128(b, rk[rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off), b);
+  }
+}
+
+void AesNiDecryptBlocks(const u8* dk, int rounds, const u8* in, u8* out,
+                        usize len) {
+  const auto* dkv = reinterpret_cast<const __m128i*>(dk);
+  __m128i rk[15];
+  for (int i = 0; i <= rounds; i++) rk[i] = _mm_loadu_si128(&dkv[i]);
+  usize off = 0;
+  for (; off + 64 <= len; off += 64) {
+    const auto* ip = reinterpret_cast<const __m128i*>(in + off);
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(ip + 0), rk[0]);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(ip + 1), rk[0]);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(ip + 2), rk[0]);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(ip + 3), rk[0]);
+    for (int r = 1; r < rounds; r++) {
+      b0 = _mm_aesdec_si128(b0, rk[r]);
+      b1 = _mm_aesdec_si128(b1, rk[r]);
+      b2 = _mm_aesdec_si128(b2, rk[r]);
+      b3 = _mm_aesdec_si128(b3, rk[r]);
+    }
+    b0 = _mm_aesdeclast_si128(b0, rk[rounds]);
+    b1 = _mm_aesdeclast_si128(b1, rk[rounds]);
+    b2 = _mm_aesdeclast_si128(b2, rk[rounds]);
+    b3 = _mm_aesdeclast_si128(b3, rk[rounds]);
+    auto* op = reinterpret_cast<__m128i*>(out + off);
+    _mm_storeu_si128(op + 0, b0);
+    _mm_storeu_si128(op + 1, b1);
+    _mm_storeu_si128(op + 2, b2);
+    _mm_storeu_si128(op + 3, b3);
+  }
+  for (; off + 16 <= len; off += 16) {
+    __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    b = _mm_xor_si128(b, rk[0]);
+    for (int r = 1; r < rounds; r++) b = _mm_aesdec_si128(b, rk[r]);
+    b = _mm_aesdeclast_si128(b, rk[rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off), b);
+  }
+}
+
+#else  // !NVM_HAVE_AESNI
+
+void AesNiMakeDecryptKeys(const u8*, int, u8*) {}
+void AesNiEncryptBlocks(const u8*, int, const u8*, u8*, usize) {}
+void AesNiDecryptBlocks(const u8*, int, const u8*, u8*, usize) {}
+
+#endif
+
+}  // namespace nvmetro::crypto::internal

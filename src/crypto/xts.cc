@@ -1,0 +1,78 @@
+#include "crypto/xts.h"
+
+#include <cstring>
+
+namespace nvmetro::crypto {
+
+Result<XtsCipher> XtsCipher::Create(const u8* key, usize key_len) {
+  if (key_len != 32 && key_len != 64)
+    return InvalidArgument("XTS key must be 32 or 64 bytes");
+  usize half = key_len / 2;
+  auto data = Aes::Create(key, half);
+  if (!data.ok()) return data.status();
+  auto tweak = Aes::Create(key + half, half);
+  if (!tweak.ok()) return tweak.status();
+  return XtsCipher(std::move(*data), std::move(*tweak));
+}
+
+namespace {
+/// Multiply the tweak by x in GF(2^128) with the XTS polynomial (0x87).
+/// The tweak is little-endian: byte 0 holds the least significant bits.
+inline void GfMulAlpha(u8 t[16]) {
+  u64 lo, hi;
+  std::memcpy(&lo, t, 8);
+  std::memcpy(&hi, t + 8, 8);
+  u64 carry = hi >> 63;
+  hi = (hi << 1) | (lo >> 63);
+  lo = (lo << 1) ^ (carry * 0x87);
+  std::memcpy(t, &lo, 8);
+  std::memcpy(t + 8, &hi, 8);
+}
+}  // namespace
+
+void XtsCipher::Process(bool encrypt, u64 sector, const u8* in, u8* out,
+                        usize len) const {
+  // Tweak = E_k2(LE64(sector) || 0^64)  ("plain64" IV generation).
+  u8 t[16] = {};
+  std::memcpy(t, &sector, sizeof(sector));  // x86 is little-endian
+  tweak_.EncryptBlock(t, t);
+  for (usize off = 0; off + 16 <= len; off += 16) {
+    u8 buf[16];
+    for (int i = 0; i < 16; i++) buf[i] = in[off + i] ^ t[i];
+    if (encrypt) {
+      data_.EncryptBlock(buf, buf);
+    } else {
+      data_.DecryptBlock(buf, buf);
+    }
+    for (int i = 0; i < 16; i++) out[off + i] = buf[i] ^ t[i];
+    GfMulAlpha(t);
+  }
+}
+
+void XtsCipher::EncryptSector(u64 sector, const u8* in, u8* out,
+                              usize len) const {
+  Process(true, sector, in, out, len);
+}
+
+void XtsCipher::DecryptSector(u64 sector, const u8* in, u8* out,
+                              usize len) const {
+  Process(false, sector, in, out, len);
+}
+
+void XtsCipher::EncryptRange(u64 first_sector, u32 sector_size, const u8* in,
+                             u8* out, usize len) const {
+  for (usize off = 0; off < len; off += sector_size) {
+    EncryptSector(first_sector + off / sector_size, in + off, out + off,
+                  sector_size);
+  }
+}
+
+void XtsCipher::DecryptRange(u64 first_sector, u32 sector_size, const u8* in,
+                             u8* out, usize len) const {
+  for (usize off = 0; off < len; off += sector_size) {
+    DecryptSector(first_sector + off / sector_size, in + off, out + off,
+                  sector_size);
+  }
+}
+
+}  // namespace nvmetro::crypto

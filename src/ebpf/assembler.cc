@@ -1,0 +1,398 @@
+#include "ebpf/assembler.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+
+#include "common/strutil.h"
+#include "ebpf/helpers.h"
+
+namespace nvmetro::ebpf {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      toks.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char c : line) {
+    if (c == ';' || c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      flush();
+    } else if (c == '[' || c == ']') {
+      flush();
+      toks.push_back(std::string(1, c));
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return toks;
+}
+
+bool ParseReg(const std::string& t, u8* reg) {
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) return false;
+  char* end = nullptr;
+  long v = std::strtol(t.c_str() + 1, &end, 10);
+  if (*end != '\0' || v < 0 || v > 10) return false;
+  *reg = static_cast<u8>(v);
+  return true;
+}
+
+bool ParseImm(const std::string& t, i64* out) {
+  if (t.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  if (t[0] == '-') {
+    long long v = std::strtoll(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0' || errno == ERANGE) return false;
+    *out = v;
+  } else {
+    // Unsigned parse so 64-bit patterns like 0xFF00FF00FF00FF00 survive.
+    unsigned long long v = std::strtoull(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0' || errno == ERANGE) return false;
+    *out = static_cast<i64>(v);
+  }
+  return true;
+}
+
+/// Parses "rS+off", "rS-off" or "rS" (memory operand body).
+bool ParseMemOperand(const std::string& t, u8* reg, i16* off) {
+  usize i = 0;
+  while (i < t.size() && t[i] != '+' && t[i] != '-') i++;
+  if (!ParseReg(t.substr(0, i), reg)) return false;
+  if (i == t.size()) {
+    *off = 0;
+    return true;
+  }
+  i64 v;
+  if (!ParseImm(t.substr(i), &v)) return false;
+  if (v < -32768 || v > 32767) return false;
+  *off = static_cast<i16>(v);
+  return true;
+}
+
+const std::map<std::string, u8>& AluOps() {
+  static const std::map<std::string, u8> kOps = {
+      {"add", kAluAdd}, {"sub", kAluSub},   {"mul", kAluMul},
+      {"div", kAluDiv}, {"or", kAluOr},     {"and", kAluAnd},
+      {"lsh", kAluLsh}, {"rsh", kAluRsh},   {"mod", kAluMod},
+      {"xor", kAluXor}, {"mov", kAluMov},   {"arsh", kAluArsh},
+  };
+  return kOps;
+}
+
+const std::map<std::string, u8>& JmpOps() {
+  static const std::map<std::string, u8> kOps = {
+      {"jeq", kJmpJeq},   {"jne", kJmpJne},   {"jgt", kJmpJgt},
+      {"jge", kJmpJge},   {"jlt", kJmpJlt},   {"jle", kJmpJle},
+      {"jset", kJmpJset}, {"jsgt", kJmpJsgt}, {"jsge", kJmpJsge},
+      {"jslt", kJmpJslt}, {"jsle", kJmpJsle},
+  };
+  return kOps;
+}
+
+const std::map<std::string, u8>& MemSizes() {
+  static const std::map<std::string, u8> kSizes = {
+      {"b", kSizeB}, {"h", kSizeH}, {"w", kSizeW}, {"dw", kSizeDw}};
+  return kSizes;
+}
+
+}  // namespace
+
+Result<Program> Assemble(const std::string& text,
+                         std::vector<std::shared_ptr<Map>> maps) {
+  struct Pending {
+    Insn insn;
+    std::string jump_label;  // empty when resolved
+    int line;
+  };
+  std::vector<Pending> out;
+  std::map<std::string, usize> labels;
+
+  int lineno = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    lineno++;
+    auto err = [&](const std::string& m) {
+      return InvalidArgument(StrFormat("line %d: %s", lineno, m.c_str()));
+    };
+    std::string line = StrTrim(raw);
+    std::vector<std::string> t = Tokenize(line);
+    if (t.empty()) continue;
+
+    // Label?
+    if (t[0].back() == ':') {
+      std::string name = t[0].substr(0, t[0].size() - 1);
+      if (name.empty()) return err("empty label");
+      if (labels.count(name)) return err("duplicate label " + name);
+      labels[name] = out.size();
+      t.erase(t.begin());
+      if (t.empty()) continue;
+    }
+
+    std::string op = t[0];
+    for (auto& c : op) c = static_cast<char>(std::tolower(c));
+
+    auto need = [&](usize n) { return t.size() == n; };
+
+    if (op == "exit") {
+      if (!need(1)) return err("exit takes no operands");
+      out.push_back({Exit(), "", lineno});
+      continue;
+    }
+    if (op == "call") {
+      if (!need(2)) return err("call takes one operand");
+      i64 id;
+      if (!ParseImm(t[1], &id)) {
+        // Resolve helper by name against the default registry.
+        bool found = false;
+        for (u32 hid = 1; hid <= 64 && !found; hid++) {
+          const HelperSpec* s = HelperRegistry::Default().Find(hid);
+          if (s && t[1] == s->name) {
+            id = hid;
+            found = true;
+          }
+        }
+        if (!found) return err("unknown helper " + t[1]);
+      }
+      out.push_back({Call(static_cast<i32>(id)), "", lineno});
+      continue;
+    }
+    if (op == "ja") {
+      if (!need(2)) return err("ja takes a label");
+      out.push_back({Ja(0), t[1], lineno});
+      continue;
+    }
+    if (op == "lddw") {
+      if (t.size() == 4 && t[2] == "map") {
+        u8 dst;
+        i64 idx;
+        if (!ParseReg(t[1], &dst) || !ParseImm(t[3], &idx))
+          return err("lddw rD, map N");
+        if (idx < 0 || static_cast<usize>(idx) >= maps.size())
+          return err("map index out of range");
+        out.push_back({LdImm64Lo(dst, kPseudoMapIdx,
+                                 static_cast<u64>(idx)),
+                       "", lineno});
+        out.push_back({LdImm64Hi(0), "", lineno});
+        continue;
+      }
+      if (!need(3)) return err("lddw rD, imm64");
+      u8 dst;
+      i64 v;
+      if (!ParseReg(t[1], &dst)) return err("bad register");
+      if (!ParseImm(t[2], &v)) return err("bad imm64");
+      out.push_back(
+          {LdImm64Lo(dst, kPseudoNone, static_cast<u64>(v)), "", lineno});
+      out.push_back({LdImm64Hi(static_cast<u64>(v)), "", lineno});
+      continue;
+    }
+
+    // Loads: ldx<sz> rD, [rS+off]
+    if (op.rfind("ldx", 0) == 0) {
+      auto sz = MemSizes().find(op.substr(3));
+      if (sz == MemSizes().end()) return err("bad load size");
+      if (!(t.size() == 5 && t[2] == "[" && t[4] == "]"))
+        return err("ldx syntax: ldxw rD, [rS+off]");
+      u8 dst, base;
+      i16 off;
+      if (!ParseReg(t[1], &dst) || !ParseMemOperand(t[3], &base, &off))
+        return err("bad ldx operands");
+      out.push_back({Ldx(sz->second, dst, base, off), "", lineno});
+      continue;
+    }
+    // Register stores: stx<sz> [rD+off], rS
+    if (op.rfind("stx", 0) == 0) {
+      auto sz = MemSizes().find(op.substr(3));
+      if (sz == MemSizes().end()) return err("bad store size");
+      if (!(t.size() == 5 && t[1] == "[" && t[3] == "]"))
+        return err("stx syntax: stxw [rD+off], rS");
+      u8 base, src;
+      i16 off;
+      if (!ParseMemOperand(t[2], &base, &off) || !ParseReg(t[4], &src))
+        return err("bad stx operands");
+      out.push_back({Stx(sz->second, base, src, off), "", lineno});
+      continue;
+    }
+    // Immediate stores: st<sz> [rD+off], imm
+    if (op.rfind("st", 0) == 0 && MemSizes().count(op.substr(2))) {
+      u8 size = MemSizes().at(op.substr(2));
+      if (!(t.size() == 5 && t[1] == "[" && t[3] == "]"))
+        return err("st syntax: stw [rD+off], imm");
+      u8 base;
+      i16 off;
+      i64 imm;
+      if (!ParseMemOperand(t[2], &base, &off) || !ParseImm(t[4], &imm))
+        return err("bad st operands");
+      out.push_back(
+          {StImm(size, base, off, static_cast<i32>(imm)), "", lineno});
+      continue;
+    }
+
+    // neg / neg32
+    if (op == "neg" || op == "neg32") {
+      if (!need(2)) return err("neg takes one register");
+      u8 dst;
+      if (!ParseReg(t[1], &dst)) return err("bad register");
+      bool is64 = op == "neg";
+      out.push_back(
+          {Insn{static_cast<u8>(
+                    static_cast<u8>(is64 ? kClassAlu64 : kClassAlu) |
+                    static_cast<u8>(kAluNeg)),
+                Insn::PackRegs(dst, 0), 0, 0},
+           "", lineno});
+      continue;
+    }
+
+    // ALU ops (with optional 32 suffix).
+    {
+      std::string base_op = op;
+      bool is64 = true;
+      if (base_op.size() > 2 && base_op.substr(base_op.size() - 2) == "32") {
+        base_op = base_op.substr(0, base_op.size() - 2);
+        is64 = false;
+      }
+      auto it = AluOps().find(base_op);
+      if (it != AluOps().end()) {
+        if (!need(3)) return err(base_op + " takes two operands");
+        u8 dst;
+        if (!ParseReg(t[1], &dst)) return err("bad dst register");
+        u8 src;
+        i64 imm;
+        if (ParseReg(t[2], &src)) {
+          out.push_back({AluReg(it->second, dst, src, is64), "", lineno});
+        } else if (ParseImm(t[2], &imm)) {
+          out.push_back(
+              {AluImm(it->second, dst, static_cast<i32>(imm), is64), "",
+               lineno});
+        } else {
+          return err("bad src operand");
+        }
+        continue;
+      }
+    }
+
+    // Conditional jumps.
+    {
+      auto it = JmpOps().find(op);
+      if (it != JmpOps().end()) {
+        if (!need(4)) return err(op + " rD, imm|rS, label");
+        u8 dst;
+        if (!ParseReg(t[1], &dst)) return err("bad dst register");
+        u8 src;
+        i64 imm;
+        Pending p{{}, t[3], lineno};
+        if (ParseReg(t[2], &src)) {
+          p.insn = JmpReg(it->second, dst, src, 0);
+        } else if (ParseImm(t[2], &imm)) {
+          p.insn = JmpImm(it->second, dst, static_cast<i32>(imm), 0);
+        } else {
+          return err("bad comparison operand");
+        }
+        out.push_back(std::move(p));
+        continue;
+      }
+    }
+
+    return err("unknown mnemonic '" + op + "'");
+  }
+
+  // Resolve labels.
+  std::vector<Insn> insns;
+  insns.reserve(out.size());
+  for (usize i = 0; i < out.size(); i++) {
+    Insn insn = out[i].insn;
+    if (!out[i].jump_label.empty()) {
+      auto it = labels.find(out[i].jump_label);
+      if (it == labels.end())
+        return InvalidArgument(StrFormat("line %d: unknown label %s",
+                                         out[i].line,
+                                         out[i].jump_label.c_str()));
+      i64 off = static_cast<i64>(it->second) - static_cast<i64>(i) - 1;
+      if (off < -32768 || off > 32767)
+        return InvalidArgument("jump offset too large");
+      insn.off = static_cast<i16>(off);
+    }
+    insns.push_back(insn);
+  }
+  return Program(std::move(insns), std::move(maps));
+}
+
+// --- ProgramBuilder --------------------------------------------------------
+
+ProgramBuilder& ProgramBuilder::Raw(Insn insn) {
+  insns_.push_back(insn);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Label(const std::string& name) {
+  labels_.emplace_back(name, insns_.size());
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::LoadImm64(u8 dst, u64 value) {
+  insns_.push_back(LdImm64Lo(dst, kPseudoNone, value));
+  insns_.push_back(LdImm64Hi(value));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::LoadMap(u8 dst, u32 map_idx) {
+  insns_.push_back(LdImm64Lo(dst, kPseudoMapIdx, map_idx));
+  insns_.push_back(LdImm64Hi(0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Jump(const std::string& label) {
+  fixups_.push_back({insns_.size(), label});
+  insns_.push_back(Ja(0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::JumpIf(u8 op, u8 dst, i32 imm,
+                                       const std::string& label) {
+  fixups_.push_back({insns_.size(), label});
+  insns_.push_back(JmpImm(op, dst, imm, 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::JumpIfR(u8 op, u8 dst, u8 src,
+                                        const std::string& label) {
+  fixups_.push_back({insns_.size(), label});
+  insns_.push_back(JmpReg(op, dst, src, 0));
+  return *this;
+}
+
+u32 ProgramBuilder::AddMap(std::shared_ptr<Map> map) {
+  maps_.push_back(std::move(map));
+  return static_cast<u32>(maps_.size() - 1);
+}
+
+Result<Program> ProgramBuilder::Build() {
+  std::map<std::string, usize> resolved(labels_.begin(), labels_.end());
+  if (resolved.size() != labels_.size())
+    return InvalidArgument("duplicate label");
+  std::vector<Insn> insns = insns_;
+  for (const Fixup& f : fixups_) {
+    auto it = resolved.find(f.label);
+    if (it == resolved.end())
+      return InvalidArgument("unknown label " + f.label);
+    i64 off = static_cast<i64>(it->second) -
+              static_cast<i64>(f.insn_index) - 1;
+    if (off < -32768 || off > 32767)
+      return InvalidArgument("jump offset too large");
+    insns[f.insn_index].off = static_cast<i16>(off);
+  }
+  return Program(std::move(insns), maps_);
+}
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,88 @@
+// Text assembler for eBPF programs.
+//
+// The paper's classifiers (Listing 1) are C compiled to eBPF by clang.
+// Offline we ship an assembler instead: classifiers are authored in eBPF
+// assembly embedded in C++ sources, assembled at startup, then verified
+// and interpreted like any other program. A C++ ProgramBuilder is also
+// provided for programmatic construction.
+//
+// Syntax (one instruction per line, ';' or '#' comments, 'name:' labels):
+//   mov   r1, 42        mov r1, r2         mov32 r1, 7
+//   add / sub / mul / div / or / and / lsh / rsh / mod / xor / arsh
+//       (same forms; '32' suffix for 32-bit)   neg r1 / neg32 r1
+//   ldxb/ldxh/ldxw/ldxdw  rD, [rS+off]
+//   stxb/stxh/stxw/stxdw  [rD+off], rS
+//   stb/sth/stw/stdw      [rD+off], imm
+//   lddw  rD, 0x1122334455667788      lddw rD, map 0
+//   ja lbl       jeq/jne/jgt/jge/jlt/jle/jset/jsgt/jsge/jslt/jsle
+//       rD, imm|rS, lbl
+//   call 1       call map_lookup_elem
+//   exit
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ebpf/program.h"
+
+namespace nvmetro::ebpf {
+
+/// Assembles `text` into a Program referencing `maps`. Errors include the
+/// line number.
+Result<Program> Assemble(const std::string& text,
+                         std::vector<std::shared_ptr<Map>> maps = {});
+
+
+/// Programmatic construction with label-based control flow.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& Raw(Insn insn);
+  ProgramBuilder& Label(const std::string& name);
+
+  ProgramBuilder& Mov(u8 dst, i32 imm) { return Raw(MovImm(dst, imm)); }
+  ProgramBuilder& MovR(u8 dst, u8 src) { return Raw(MovReg(dst, src)); }
+  ProgramBuilder& Alu(u8 op, u8 dst, i32 imm) {
+    return Raw(AluImm(op, dst, imm));
+  }
+  ProgramBuilder& AluR(u8 op, u8 dst, u8 src) {
+    return Raw(AluReg(op, dst, src));
+  }
+  ProgramBuilder& LoadCtx(u8 size, u8 dst, i16 off) {
+    return Raw(Ldx(size, dst, kRegCtx, off));
+  }
+  ProgramBuilder& Load(u8 size, u8 dst, u8 base, i16 off) {
+    return Raw(Ldx(size, dst, base, off));
+  }
+  ProgramBuilder& Store(u8 size, u8 base, i16 off, u8 src) {
+    return Raw(Stx(size, base, src, off));
+  }
+  ProgramBuilder& StoreImm(u8 size, u8 base, i16 off, i32 imm) {
+    return Raw(StImm(size, base, off, imm));
+  }
+  ProgramBuilder& LoadImm64(u8 dst, u64 value);
+  ProgramBuilder& LoadMap(u8 dst, u32 map_idx);
+  ProgramBuilder& Jump(const std::string& label);
+  ProgramBuilder& JumpIf(u8 op, u8 dst, i32 imm, const std::string& label);
+  ProgramBuilder& JumpIfR(u8 op, u8 dst, u8 src, const std::string& label);
+  ProgramBuilder& CallHelper(u32 id) { return Raw(Call(static_cast<i32>(id))); }
+  ProgramBuilder& Ret() { return Raw(Exit()); }
+
+  u32 AddMap(std::shared_ptr<Map> map);
+
+  /// Resolves labels and returns the program; fails on unknown labels.
+  Result<Program> Build();
+
+ private:
+  struct Fixup {
+    usize insn_index;
+    std::string label;
+  };
+  std::vector<Insn> insns_;
+  std::vector<std::shared_ptr<Map>> maps_;
+  std::vector<std::pair<std::string, usize>> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,188 @@
+#include "ebpf/disasm.h"
+
+#include <map>
+#include <set>
+
+#include "common/strutil.h"
+#include "ebpf/insn.h"
+
+namespace nvmetro::ebpf {
+namespace {
+
+const char* AluName(u8 op) {
+  switch (op) {
+    case kAluAdd: return "add";
+    case kAluSub: return "sub";
+    case kAluMul: return "mul";
+    case kAluDiv: return "div";
+    case kAluOr: return "or";
+    case kAluAnd: return "and";
+    case kAluLsh: return "lsh";
+    case kAluRsh: return "rsh";
+    case kAluNeg: return "neg";
+    case kAluMod: return "mod";
+    case kAluXor: return "xor";
+    case kAluMov: return "mov";
+    case kAluArsh: return "arsh";
+    default: return nullptr;
+  }
+}
+
+const char* JmpName(u8 op) {
+  switch (op) {
+    case kJmpJeq: return "jeq";
+    case kJmpJne: return "jne";
+    case kJmpJgt: return "jgt";
+    case kJmpJge: return "jge";
+    case kJmpJlt: return "jlt";
+    case kJmpJle: return "jle";
+    case kJmpJset: return "jset";
+    case kJmpJsgt: return "jsgt";
+    case kJmpJsge: return "jsge";
+    case kJmpJslt: return "jslt";
+    case kJmpJsle: return "jsle";
+    default: return nullptr;
+  }
+}
+
+const char* SizeSuffix(u8 opcode) {
+  switch (opcode & 0x18) {
+    case kSizeW: return "w";
+    case kSizeH: return "h";
+    case kSizeB: return "b";
+    default: return "dw";
+  }
+}
+
+std::string MemOperand(u8 reg, i16 off) {
+  if (off == 0) return StrFormat("[r%u]", reg);
+  if (off > 0) return StrFormat("[r%u+%d]", reg, off);
+  return StrFormat("[r%u%d]", reg, off);
+}
+
+}  // namespace
+
+Result<std::string> Disassemble(const Program& prog,
+                                const HelperRegistry& helpers) {
+  const std::vector<Insn>& insns = prog.insns();
+
+  // Pass 1: find jump targets so they get labels.
+  std::set<usize> targets;
+  for (usize pc = 0; pc < insns.size(); pc++) {
+    const Insn& in = insns[pc];
+    u8 cls = in.opcode & 0x07;
+    if (in.opcode == kOpLdImm64) {
+      pc++;  // skip the high slot
+      continue;
+    }
+    if (cls != kClassJmp) continue;
+    if (in.opcode == kOpCall || in.opcode == kOpExit) continue;
+    i64 target = static_cast<i64>(pc) + 1 + in.off;
+    if (target < 0 || target >= static_cast<i64>(insns.size())) {
+      return InvalidArgument(
+          StrFormat("insn %zu: jump target out of range", pc));
+    }
+    targets.insert(static_cast<usize>(target));
+  }
+
+  // Pass 2: render.
+  std::string out;
+  for (usize pc = 0; pc < insns.size(); pc++) {
+    const Insn& in = insns[pc];
+    if (targets.count(pc)) out += StrFormat("L%zu:\n", pc);
+    u8 cls = in.opcode & 0x07;
+
+    if (in.opcode == kOpLdImm64) {
+      if (pc + 1 >= insns.size()) {
+        return InvalidArgument("truncated lddw pair");
+      }
+      const Insn& hi = insns[pc + 1];
+      u64 value = static_cast<u32>(in.imm) |
+                  (static_cast<u64>(static_cast<u32>(hi.imm)) << 32);
+      if (in.src() == kPseudoMapIdx) {
+        out += StrFormat("  lddw r%u, map %u\n", in.dst(),
+                         static_cast<u32>(in.imm));
+      } else {
+        out += StrFormat("  lddw r%u, 0x%llx\n", in.dst(),
+                         static_cast<unsigned long long>(value));
+      }
+      pc++;
+      continue;
+    }
+
+    switch (cls) {
+      case kClassAlu:
+      case kClassAlu64: {
+        bool is64 = cls == kClassAlu64;
+        u8 op = in.opcode & 0xF0;
+        const char* name = AluName(op);
+        if (!name) {
+          return InvalidArgument(StrFormat("insn %zu: bad ALU op", pc));
+        }
+        std::string mnemonic = std::string(name) + (is64 ? "" : "32");
+        if (op == kAluNeg) {
+          out += StrFormat("  %s r%u\n", mnemonic.c_str(), in.dst());
+        } else if (in.opcode & kSrcX) {
+          out += StrFormat("  %s r%u, r%u\n", mnemonic.c_str(), in.dst(),
+                           in.src());
+        } else {
+          out += StrFormat("  %s r%u, %d\n", mnemonic.c_str(), in.dst(),
+                           in.imm);
+        }
+        break;
+      }
+      case kClassJmp: {
+        if (in.opcode == kOpExit) {
+          out += "  exit\n";
+          break;
+        }
+        if (in.opcode == kOpCall) {
+          const HelperSpec* spec =
+              helpers.Find(static_cast<u32>(in.imm));
+          if (spec) {
+            out += StrFormat("  call %s\n", spec->name);
+          } else {
+            out += StrFormat("  call %d\n", in.imm);
+          }
+          break;
+        }
+        usize target = static_cast<usize>(pc + 1 + in.off);
+        u8 op = in.opcode & 0xF0;
+        if (op == kJmpJa) {
+          out += StrFormat("  ja L%zu\n", target);
+          break;
+        }
+        const char* name = JmpName(op);
+        if (!name) {
+          return InvalidArgument(StrFormat("insn %zu: bad jump op", pc));
+        }
+        if (in.opcode & kSrcX) {
+          out += StrFormat("  %s r%u, r%u, L%zu\n", name, in.dst(),
+                           in.src(), target);
+        } else {
+          out += StrFormat("  %s r%u, %d, L%zu\n", name, in.dst(), in.imm,
+                           target);
+        }
+        break;
+      }
+      case kClassLdx:
+        out += StrFormat("  ldx%s r%u, %s\n", SizeSuffix(in.opcode),
+                         in.dst(), MemOperand(in.src(), in.off).c_str());
+        break;
+      case kClassStx:
+        out += StrFormat("  stx%s %s, r%u\n", SizeSuffix(in.opcode),
+                         MemOperand(in.dst(), in.off).c_str(), in.src());
+        break;
+      case kClassSt:
+        out += StrFormat("  st%s %s, %d\n", SizeSuffix(in.opcode),
+                         MemOperand(in.dst(), in.off).c_str(), in.imm);
+        break;
+      default:
+        return InvalidArgument(
+            StrFormat("insn %zu: unsupported class %u", pc, cls));
+    }
+  }
+  return out;
+}
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,23 @@
+// eBPF disassembler: renders a Program back into the text form the
+// Assembler accepts (bpftool-style debugging for classifiers). The
+// output round-trips: Assemble(Disassemble(p)) yields p's exact
+// instruction bytes — tested as a property over random programs.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "ebpf/helpers.h"
+#include "ebpf/program.h"
+
+namespace nvmetro::ebpf {
+
+/// Renders `prog` as assembler-compatible text. Jump targets get
+/// synthetic labels ("L<pc>"); helper calls are resolved to names
+/// through `helpers` when possible. Fails on malformed encodings
+/// (e.g. a truncated lddw pair).
+Result<std::string> Disassemble(
+    const Program& prog,
+    const HelperRegistry& helpers = HelperRegistry::Default());
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,79 @@
+#include "ebpf/helpers.h"
+
+namespace nvmetro::ebpf {
+
+void HelperRegistry::Register(HelperSpec spec) {
+  specs_[spec.id] = std::move(spec);
+}
+
+const HelperSpec* HelperRegistry::Find(u32 id) const {
+  auto it = specs_.find(id);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+const HelperRegistry& HelperRegistry::Default() {
+  static const HelperRegistry* kRegistry = [] {
+    auto* r = new HelperRegistry();
+    r->Register(HelperSpec{
+        kHelperMapLookup,
+        "map_lookup_elem",
+        RetType::kMapValueOrNull,
+        {ArgType::kMapPtr, ArgType::kStackPtrKey},
+        [](HelperEnv&, u64 map, u64 key, u64, u64, u64) -> u64 {
+          auto* m = reinterpret_cast<Map*>(map);
+          return reinterpret_cast<u64>(
+              m->Lookup(reinterpret_cast<const void*>(key)));
+        }});
+    r->Register(HelperSpec{
+        kHelperMapUpdate,
+        "map_update_elem",
+        RetType::kInteger,
+        {ArgType::kMapPtr, ArgType::kStackPtrKey, ArgType::kStackPtrValue,
+         ArgType::kAnything},
+        [](HelperEnv&, u64 map, u64 key, u64 value, u64, u64) -> u64 {
+          auto* m = reinterpret_cast<Map*>(map);
+          Status st = m->Update(reinterpret_cast<const void*>(key),
+                                reinterpret_cast<const void*>(value));
+          return st.ok() ? 0 : static_cast<u64>(-1);
+        }});
+    r->Register(HelperSpec{
+        kHelperMapDelete,
+        "map_delete_elem",
+        RetType::kInteger,
+        {ArgType::kMapPtr, ArgType::kStackPtrKey},
+        [](HelperEnv&, u64 map, u64 key, u64, u64, u64) -> u64 {
+          auto* m = reinterpret_cast<Map*>(map);
+          Status st = m->Delete(reinterpret_cast<const void*>(key));
+          return st.ok() ? 0 : static_cast<u64>(-1);
+        }});
+    r->Register(HelperSpec{
+        kHelperKtimeGetNs,
+        "ktime_get_ns",
+        RetType::kInteger,
+        {},
+        [](HelperEnv& env, u64, u64, u64, u64, u64) -> u64 {
+          return env.ktime_ns ? env.ktime_ns() : 0;
+        }});
+    r->Register(HelperSpec{
+        kHelperTrace,
+        "trace",
+        RetType::kInteger,
+        {ArgType::kAnything},
+        [](HelperEnv& env, u64 v, u64, u64, u64, u64) -> u64 {
+          if (env.trace) env.trace->push_back(v);
+          return 0;
+        }});
+    r->Register(HelperSpec{
+        kHelperGetPrandomU32,
+        "get_prandom_u32",
+        RetType::kInteger,
+        {},
+        [](HelperEnv& env, u64, u64, u64, u64, u64) -> u64 {
+          return env.rng ? (env.rng->Next() & 0xFFFFFFFFu) : 4;
+        }});
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,71 @@
+// Helper-function registry.
+//
+// eBPF programs can call a fixed list of authorized helper functions
+// (paper §II-B). Each helper declares a typed signature that the verifier
+// checks statically (map pointers, stack pointers sized by the map's
+// key/value, arbitrary scalars) and an implementation invoked by the
+// interpreter with resolved host pointers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "ebpf/map.h"
+
+namespace nvmetro::ebpf {
+
+enum class ArgType {
+  kAnything,       // any initialized scalar
+  kMapPtr,         // register holding a map reference (LD_IMM64 map)
+  kStackPtrKey,    // stack pointer with map key_size readable bytes
+  kStackPtrValue,  // stack pointer with map value_size readable bytes
+};
+
+enum class RetType {
+  kInteger,         // scalar
+  kMapValueOrNull,  // pointer to map value, must be null-checked
+};
+
+/// Ambient services helpers may use; bound per-interpreter.
+struct HelperEnv {
+  std::function<u64()> ktime_ns;  // simulated clock
+  Rng* rng = nullptr;
+  std::vector<u64>* trace = nullptr;  // trace() destination
+};
+
+struct HelperSpec {
+  u32 id;
+  const char* name;
+  RetType ret;
+  std::vector<ArgType> args;
+  /// Arguments arrive as raw u64s; pointer args are host addresses the
+  /// interpreter has validated against the declared ArgType.
+  std::function<u64(HelperEnv&, u64, u64, u64, u64, u64)> fn;
+};
+
+/// Well-known helper ids (aligned with Linux where an equivalent exists).
+enum HelperId : u32 {
+  kHelperMapLookup = 1,
+  kHelperMapUpdate = 2,
+  kHelperMapDelete = 3,
+  kHelperKtimeGetNs = 5,
+  kHelperTrace = 6,        // custom: record a u64 for debugging/tests
+  kHelperGetPrandomU32 = 7,
+};
+
+class HelperRegistry {
+ public:
+  void Register(HelperSpec spec);
+  const HelperSpec* Find(u32 id) const;
+
+  /// Registry with the standard helpers above.
+  static const HelperRegistry& Default();
+
+ private:
+  std::map<u32, HelperSpec> specs_;
+};
+
+}  // namespace nvmetro::ebpf

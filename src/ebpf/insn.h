@@ -1,0 +1,192 @@
+// eBPF instruction set definitions.
+//
+// This is a from-scratch C++ re-hosting of the Linux eBPF ISA (the paper's
+// classifiers are eBPF programs loaded into the kernel; here they run in
+// an embeddable VM with the same instruction encoding): 8-byte
+// instructions with an opcode byte (3-bit class + source bit + 4-bit
+// operation), dst/src register nibbles, 16-bit signed jump/mem offset and
+// 32-bit immediate. LD_IMM64 occupies two instruction slots.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace nvmetro::ebpf {
+
+/// One 8-byte eBPF instruction.
+struct Insn {
+  u8 opcode = 0;
+  u8 regs = 0;  // dst in low nibble, src in high nibble
+  i16 off = 0;
+  i32 imm = 0;
+
+  u8 dst() const { return regs & 0xF; }
+  u8 src() const { return regs >> 4; }
+  static u8 PackRegs(u8 dst, u8 src) {
+    return static_cast<u8>((dst & 0xF) | (src << 4));
+  }
+};
+static_assert(sizeof(Insn) == 8);
+
+// Instruction classes (opcode bits 0-2).
+enum InsnClass : u8 {
+  kClassLd = 0x00,
+  kClassLdx = 0x01,
+  kClassSt = 0x02,
+  kClassStx = 0x03,
+  kClassAlu = 0x04,   // 32-bit ALU
+  kClassJmp = 0x05,
+  kClassJmp32 = 0x06,
+  kClassAlu64 = 0x07,
+};
+constexpr u8 InsnClassOf(u8 opcode) { return opcode & 0x07; }
+
+// Source modifier (bit 3) for ALU/JMP.
+enum SrcMod : u8 {
+  kSrcK = 0x00,  // use 32-bit immediate
+  kSrcX = 0x08,  // use source register
+};
+
+// ALU operations (bits 4-7).
+enum AluOp : u8 {
+  kAluAdd = 0x00,
+  kAluSub = 0x10,
+  kAluMul = 0x20,
+  kAluDiv = 0x30,
+  kAluOr = 0x40,
+  kAluAnd = 0x50,
+  kAluLsh = 0x60,
+  kAluRsh = 0x70,
+  kAluNeg = 0x80,
+  kAluMod = 0x90,
+  kAluXor = 0xA0,
+  kAluMov = 0xB0,
+  kAluArsh = 0xC0,
+  kAluEnd = 0xD0,  // byteswap (unsupported: verifier rejects)
+};
+
+// Jump operations (bits 4-7).
+enum JmpOp : u8 {
+  kJmpJa = 0x00,
+  kJmpJeq = 0x10,
+  kJmpJgt = 0x20,
+  kJmpJge = 0x30,
+  kJmpJset = 0x40,
+  kJmpJne = 0x50,
+  kJmpJsgt = 0x60,
+  kJmpJsge = 0x70,
+  kJmpCall = 0x80,
+  kJmpExit = 0x90,
+  kJmpJlt = 0xA0,
+  kJmpJle = 0xB0,
+  kJmpJslt = 0xC0,
+  kJmpJsle = 0xD0,
+};
+
+// Memory access size (bits 3-4 for LD/LDX/ST/STX).
+enum MemSize : u8 {
+  kSizeW = 0x00,   // 4 bytes
+  kSizeH = 0x08,   // 2 bytes
+  kSizeB = 0x10,   // 1 byte
+  kSizeDw = 0x18,  // 8 bytes
+};
+constexpr u32 MemSizeBytes(u8 opcode) {
+  switch (opcode & 0x18) {
+    case kSizeW: return 4;
+    case kSizeH: return 2;
+    case kSizeB: return 1;
+    default: return 8;
+  }
+}
+
+// Memory access mode (bits 5-7).
+enum MemMode : u8 {
+  kModeImm = 0x00,
+  kModeMem = 0x60,
+};
+
+// Full opcodes for common instructions.
+constexpr u8 kOpLdImm64 =
+    static_cast<u8>(kClassLd) | static_cast<u8>(kSizeDw) |
+    static_cast<u8>(kModeImm);  // 0x18
+constexpr u8 kOpExit =
+    static_cast<u8>(kClassJmp) | static_cast<u8>(kJmpExit);  // 0x95
+constexpr u8 kOpCall =
+    static_cast<u8>(kClassJmp) | static_cast<u8>(kJmpCall);  // 0x85
+
+/// Pseudo source-register values for LD_IMM64.
+enum LdImm64Src : u8 {
+  kPseudoNone = 0,    // plain 64-bit immediate (2nd slot holds high word)
+  kPseudoMapIdx = 1,  // imm = index into the program's map table
+};
+
+/// Registers: r0 return value / scratch, r1-r5 arguments (clobbered by
+/// helper calls), r6-r9 callee-saved, r10 read-only frame pointer.
+constexpr u8 kRegR0 = 0;
+constexpr u8 kRegCtx = 1;
+constexpr u8 kRegFp = 10;
+constexpr u32 kNumRegs = 11;
+
+/// Stack bytes available below r10.
+constexpr u32 kStackSize = 512;
+
+/// Maximum instructions per program (matches classic kernel limit).
+constexpr u32 kMaxInsns = 4096;
+
+// --- Instruction constructors ---------------------------------------------
+
+inline Insn AluReg(u8 op, u8 dst, u8 src, bool is64 = true) {
+  return Insn{static_cast<u8>(static_cast<u8>(is64 ? kClassAlu64 : kClassAlu) |
+                              static_cast<u8>(kSrcX) | op),
+              Insn::PackRegs(dst, src), 0, 0};
+}
+inline Insn AluImm(u8 op, u8 dst, i32 imm, bool is64 = true) {
+  return Insn{static_cast<u8>(static_cast<u8>(is64 ? kClassAlu64 : kClassAlu) |
+                              static_cast<u8>(kSrcK) | op),
+              Insn::PackRegs(dst, 0), 0, imm};
+}
+inline Insn MovReg(u8 dst, u8 src) { return AluReg(kAluMov, dst, src); }
+inline Insn MovImm(u8 dst, i32 imm) { return AluImm(kAluMov, dst, imm); }
+
+inline Insn JmpReg(u8 op, u8 dst, u8 src, i16 off) {
+  return Insn{static_cast<u8>(static_cast<u8>(kClassJmp) | static_cast<u8>(kSrcX) | op),
+              Insn::PackRegs(dst, src), off, 0};
+}
+inline Insn JmpImm(u8 op, u8 dst, i32 imm, i16 off) {
+  return Insn{static_cast<u8>(static_cast<u8>(kClassJmp) | static_cast<u8>(kSrcK) | op),
+              Insn::PackRegs(dst, 0), off, imm};
+}
+inline Insn Ja(i16 off) {
+  return Insn{static_cast<u8>(kClassJmp | static_cast<u8>(kJmpJa)), 0, off, 0};
+}
+inline Insn Call(i32 helper_id) {
+  return Insn{kOpCall, 0, 0, helper_id};
+}
+inline Insn Exit() { return Insn{kOpExit, 0, 0, 0}; }
+
+inline Insn Ldx(u8 size, u8 dst, u8 src, i16 off) {
+  return Insn{static_cast<u8>(static_cast<u8>(kClassLdx) | size |
+              static_cast<u8>(kModeMem)),
+              Insn::PackRegs(dst, src), off, 0};
+}
+inline Insn Stx(u8 size, u8 dst, u8 src, i16 off) {
+  return Insn{static_cast<u8>(static_cast<u8>(kClassStx) | size |
+              static_cast<u8>(kModeMem)),
+              Insn::PackRegs(dst, src), off, 0};
+}
+inline Insn StImm(u8 size, u8 dst, i16 off, i32 imm) {
+  return Insn{static_cast<u8>(static_cast<u8>(kClassSt) | size |
+              static_cast<u8>(kModeMem)),
+              Insn::PackRegs(dst, 0), off, imm};
+}
+/// First slot of a 64-bit immediate load; follow with LdImm64Hi.
+inline Insn LdImm64Lo(u8 dst, u8 pseudo_src, u64 value) {
+  return Insn{kOpLdImm64, Insn::PackRegs(dst, pseudo_src), 0,
+              static_cast<i32>(value & 0xFFFFFFFF)};
+}
+inline Insn LdImm64Hi(u64 value) {
+  return Insn{0, 0, 0, static_cast<i32>(value >> 32)};
+}
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,273 @@
+#include "ebpf/interpreter.h"
+
+#include <cstring>
+
+#include "common/strutil.h"
+
+namespace nvmetro::ebpf {
+
+Interpreter::Interpreter(const HelperRegistry& helpers, Options opts)
+    : helpers_(helpers), opts_(opts) {}
+
+namespace {
+
+struct Region {
+  u64 base;
+  u64 len;
+};
+
+bool InRegion(const Region& r, u64 addr, u64 len) {
+  return addr >= r.base && len <= r.len && addr - r.base <= r.len - len;
+}
+
+}  // namespace
+
+Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
+                                        u32 ctx_size) {
+  RunResult res;
+  const auto& insns = prog.insns();
+  if (insns.empty()) {
+    res.status = InvalidArgument("empty program");
+    return res;
+  }
+
+  alignas(8) u8 stack[kStackSize];
+  u64 regs[kNumRegs] = {};
+  regs[kRegCtx] = reinterpret_cast<u64>(ctx);
+  regs[kRegFp] = reinterpret_cast<u64>(stack) + kStackSize;
+
+  std::vector<Region> regions;
+  regions.push_back({reinterpret_cast<u64>(ctx), ctx_size});
+  regions.push_back({reinterpret_cast<u64>(stack), kStackSize});
+
+  auto access_ok = [&](u64 addr, u32 len) {
+    for (const auto& r : regions) {
+      if (InRegion(r, addr, len)) return true;
+    }
+    return false;
+  };
+
+  u32 pc = 0;
+  for (;;) {
+    if (res.insns++ >= opts_.max_insns) {
+      res.status = ResourceExhausted("instruction budget exceeded");
+      return res;
+    }
+    if (pc >= insns.size()) {
+      res.status = Internal("pc out of range");
+      return res;
+    }
+    const Insn& in = insns[pc];
+    u8 cls = InsnClassOf(in.opcode);
+    u8 dst = in.dst();
+    u8 src = in.src();
+    if (dst >= kNumRegs || src >= kNumRegs) {
+      res.status = Internal(StrFormat("insn %u: bad register", pc));
+      return res;
+    }
+
+    if (in.opcode == kOpLdImm64) {
+      if (pc + 1 >= insns.size()) {
+        res.status = Internal("truncated LD_IMM64");
+        return res;
+      }
+      if (in.src() == kPseudoMapIdx) {
+        if (static_cast<u32>(in.imm) >= prog.maps().size()) {
+          res.status = Internal("bad map index");
+          return res;
+        }
+        regs[dst] = reinterpret_cast<u64>(prog.maps()[in.imm].get());
+      } else {
+        regs[dst] =
+            (static_cast<u64>(static_cast<u32>(insns[pc + 1].imm)) << 32) |
+            static_cast<u32>(in.imm);
+      }
+      pc += 2;
+      continue;
+    }
+
+    switch (cls) {
+      case kClassAlu:
+      case kClassAlu64: {
+        bool is64 = cls == kClassAlu64;
+        u8 op = in.opcode & 0xF0;
+        u64 b = (in.opcode & 0x08)
+                    ? regs[src]
+                    : static_cast<u64>(static_cast<i64>(in.imm));
+        u64 a = regs[dst];
+        if (!is64) {
+          a &= 0xFFFFFFFF;
+          b &= 0xFFFFFFFF;
+        }
+        u64 r = a;
+        switch (op) {
+          case kAluAdd: r = a + b; break;
+          case kAluSub: r = a - b; break;
+          case kAluMul: r = a * b; break;
+          case kAluDiv: r = b ? a / b : 0; break;
+          case kAluMod: r = b ? a % b : a; break;
+          case kAluOr: r = a | b; break;
+          case kAluAnd: r = a & b; break;
+          case kAluXor: r = a ^ b; break;
+          case kAluLsh: r = a << (b & (is64 ? 63 : 31)); break;
+          case kAluRsh: r = a >> (b & (is64 ? 63 : 31)); break;
+          case kAluArsh:
+            if (is64) {
+              r = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+            } else {
+              r = static_cast<u64>(
+                  static_cast<u32>(static_cast<i32>(a) >> (b & 31)));
+            }
+            break;
+          case kAluMov: r = b; break;
+          case kAluNeg: r = ~a + 1; break;
+          default:
+            res.status = Internal(StrFormat("insn %u: bad ALU op", pc));
+            return res;
+        }
+        if (!is64) r &= 0xFFFFFFFF;
+        regs[dst] = r;
+        pc++;
+        continue;
+      }
+
+      case kClassLdx: {
+        u32 size = MemSizeBytes(in.opcode);
+        u64 addr = regs[src] + static_cast<i64>(in.off);
+        if (!access_ok(addr, size)) {
+          res.status = PermissionDenied(
+              StrFormat("insn %u: invalid load addr", pc));
+          return res;
+        }
+        u64 v = 0;
+        std::memcpy(&v, reinterpret_cast<void*>(addr), size);
+        regs[dst] = v;
+        pc++;
+        continue;
+      }
+
+      case kClassStx:
+      case kClassSt: {
+        u32 size = MemSizeBytes(in.opcode);
+        u64 addr = regs[dst] + static_cast<i64>(in.off);
+        if (!access_ok(addr, size)) {
+          res.status = PermissionDenied(
+              StrFormat("insn %u: invalid store addr", pc));
+          return res;
+        }
+        u64 v = cls == kClassStx ? regs[src]
+                                 : static_cast<u64>(static_cast<i64>(in.imm));
+        std::memcpy(reinterpret_cast<void*>(addr), &v, size);
+        pc++;
+        continue;
+      }
+
+      case kClassJmp: {
+        u8 op = in.opcode & 0xF0;
+        if (op == kJmpExit) {
+          res.r0 = regs[kRegR0];
+          res.status = OkStatus();
+          return res;
+        }
+        if (op == kJmpCall) {
+          const HelperSpec* spec = helpers_.Find(static_cast<u32>(in.imm));
+          if (!spec) {
+            res.status = Internal(StrFormat("insn %u: bad helper", pc));
+            return res;
+          }
+          // Runtime argument validation mirroring the verifier's typing.
+          const Map* call_map = nullptr;
+          for (usize a = 0; a < spec->args.size(); a++) {
+            u64 v = regs[1 + a];
+            switch (spec->args[a]) {
+              case ArgType::kAnything:
+                break;
+              case ArgType::kMapPtr: {
+                bool found = false;
+                for (const auto& m : prog.maps()) {
+                  if (reinterpret_cast<u64>(m.get()) == v) {
+                    call_map = m.get();
+                    found = true;
+                    break;
+                  }
+                }
+                if (!found) {
+                  res.status = PermissionDenied(
+                      StrFormat("insn %u: bad map argument", pc));
+                  return res;
+                }
+                break;
+              }
+              case ArgType::kStackPtrKey:
+              case ArgType::kStackPtrValue: {
+                u32 need = 0;
+                if (call_map) {
+                  need = spec->args[a] == ArgType::kStackPtrKey
+                             ? call_map->key_size()
+                             : call_map->value_size();
+                }
+                if (!call_map || !access_ok(v, need)) {
+                  res.status = PermissionDenied(
+                      StrFormat("insn %u: bad pointer argument", pc));
+                  return res;
+                }
+                break;
+              }
+            }
+          }
+          u64 r0 = spec->fn(env_, regs[1], regs[2], regs[3], regs[4],
+                            regs[5]);
+          if (spec->ret == RetType::kMapValueOrNull && r0 != 0 && call_map) {
+            regions.push_back({r0, call_map->value_size()});
+          }
+          regs[kRegR0] = r0;
+          // r1-r5 are caller-saved.
+          for (int r = 1; r <= 5; r++) regs[r] = 0;
+          pc++;
+          continue;
+        }
+        if (op == kJmpJa) {
+          pc = static_cast<u32>(pc + 1 + in.off);
+          continue;
+        }
+        u64 a = regs[dst];
+        u64 b = (in.opcode & 0x08)
+                    ? regs[src]
+                    : static_cast<u64>(static_cast<i64>(in.imm));
+        bool taken = false;
+        switch (op) {
+          case kJmpJeq: taken = a == b; break;
+          case kJmpJne: taken = a != b; break;
+          case kJmpJgt: taken = a > b; break;
+          case kJmpJge: taken = a >= b; break;
+          case kJmpJlt: taken = a < b; break;
+          case kJmpJle: taken = a <= b; break;
+          case kJmpJset: taken = (a & b) != 0; break;
+          case kJmpJsgt:
+            taken = static_cast<i64>(a) > static_cast<i64>(b);
+            break;
+          case kJmpJsge:
+            taken = static_cast<i64>(a) >= static_cast<i64>(b);
+            break;
+          case kJmpJslt:
+            taken = static_cast<i64>(a) < static_cast<i64>(b);
+            break;
+          case kJmpJsle:
+            taken = static_cast<i64>(a) <= static_cast<i64>(b);
+            break;
+          default:
+            res.status = Internal(StrFormat("insn %u: bad jump op", pc));
+            return res;
+        }
+        pc = taken ? static_cast<u32>(pc + 1 + in.off) : pc + 1;
+        continue;
+      }
+
+      default:
+        res.status = Internal(StrFormat("insn %u: bad class", pc));
+        return res;
+    }
+  }
+}
+
+}  // namespace nvmetro::ebpf

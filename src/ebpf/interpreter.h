@@ -1,0 +1,50 @@
+// eBPF bytecode interpreter.
+//
+// Executes verified programs against a context structure. As a defense in
+// depth (and to make the fuzz tests meaningful), every memory access is
+// also bounds-checked at runtime against the regions the program may
+// legitimately touch: the context, the 512-byte stack, and map values
+// returned by helpers during this run. A verified program never trips
+// these checks; an unverified one cannot corrupt the host.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "ebpf/helpers.h"
+#include "ebpf/program.h"
+
+namespace nvmetro::ebpf {
+
+class Interpreter {
+ public:
+  struct Options {
+    /// Hard budget on executed instructions (runaway guard; verified
+    /// programs are loop-free so they terminate well below this).
+    u64 max_insns = 1'000'000;
+  };
+
+  struct RunResult {
+    Status status;      // ok unless a runtime guard fired
+    u64 r0 = 0;         // program return value
+    u64 insns = 0;      // instructions executed (used for cost modeling)
+  };
+
+  explicit Interpreter(const HelperRegistry& helpers =
+                           HelperRegistry::Default())
+      : Interpreter(helpers, Options{}) {}
+  Interpreter(const HelperRegistry& helpers, Options opts);
+
+  /// Ambient services (simulated clock, RNG, trace sink) for helpers.
+  HelperEnv& env() { return env_; }
+
+  /// Runs the program with r1 = ctx. `ctx_size` bounds runtime ctx access.
+  RunResult Run(const Program& prog, void* ctx, u32 ctx_size);
+
+ private:
+  const HelperRegistry& helpers_;
+  Options opts_;
+  HelperEnv env_;
+};
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,59 @@
+#include "ebpf/map.h"
+
+namespace nvmetro::ebpf {
+
+ArrayMap::ArrayMap(u32 value_size, u32 max_entries)
+    : Map(MapType::kArray, sizeof(u32), value_size, max_entries),
+      data_(static_cast<usize>(value_size) * max_entries, 0) {}
+
+u8* ArrayMap::Lookup(const void* key) {
+  u32 idx;
+  std::memcpy(&idx, key, sizeof(idx));
+  if (idx >= max_entries()) return nullptr;
+  return data_.data() + static_cast<usize>(idx) * value_size();
+}
+
+Status ArrayMap::Update(const void* key, const void* value) {
+  u8* slot = Lookup(key);
+  if (!slot) return OutOfRange("array map index out of range");
+  std::memcpy(slot, value, value_size());
+  return OkStatus();
+}
+
+Status ArrayMap::Delete(const void* key) {
+  u8* slot = Lookup(key);
+  if (!slot) return OutOfRange("array map index out of range");
+  std::memset(slot, 0, value_size());
+  return OkStatus();
+}
+
+HashMap::HashMap(u32 key_size, u32 value_size, u32 max_entries)
+    : Map(MapType::kHash, key_size, value_size, max_entries) {}
+
+u8* HashMap::Lookup(const void* key) {
+  auto it = table_.find(KeyOf(key));
+  if (it == table_.end()) return nullptr;
+  return it->second.get();
+}
+
+Status HashMap::Update(const void* key, const void* value) {
+  std::string k = KeyOf(key);
+  auto it = table_.find(k);
+  if (it == table_.end()) {
+    if (table_.size() >= max_entries())
+      return ResourceExhausted("hash map full");
+    auto buf = std::make_unique<u8[]>(value_size());
+    std::memcpy(buf.get(), value, value_size());
+    table_.emplace(std::move(k), std::move(buf));
+    return OkStatus();
+  }
+  std::memcpy(it->second.get(), value, value_size());
+  return OkStatus();
+}
+
+Status HashMap::Delete(const void* key) {
+  if (table_.erase(KeyOf(key)) == 0) return NotFound("no such key");
+  return OkStatus();
+}
+
+}  // namespace nvmetro::ebpf

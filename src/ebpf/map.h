@@ -1,0 +1,99 @@
+// eBPF maps: array and hash, keyed/valued by raw bytes, as in the kernel.
+//
+// NVMetro uses maps for classifier state that must persist across
+// invocations (the routing policies and per-request metadata beyond what
+// the per-request context carries), and for host-to-classifier
+// configuration (e.g. the partition table for LBA translation).
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::ebpf {
+
+enum class MapType { kArray, kHash };
+
+/// Base interface shared by map kinds. Lookup returns a stable pointer to
+/// the value storage (valid until the entry is deleted / map destroyed),
+/// matching eBPF's map_lookup_elem contract.
+class Map {
+ public:
+  Map(MapType type, u32 key_size, u32 value_size, u32 max_entries)
+      : type_(type),
+        key_size_(key_size),
+        value_size_(value_size),
+        max_entries_(max_entries) {}
+  virtual ~Map() = default;
+
+  MapType type() const { return type_; }
+  u32 key_size() const { return key_size_; }
+  u32 value_size() const { return value_size_; }
+  u32 max_entries() const { return max_entries_; }
+
+  /// Returns the value for `key` or nullptr.
+  virtual u8* Lookup(const void* key) = 0;
+  /// Inserts or updates. Fails when the map is full.
+  virtual Status Update(const void* key, const void* value) = 0;
+  /// Removes an entry (array maps zero the slot instead).
+  virtual Status Delete(const void* key) = 0;
+  virtual usize entry_count() const = 0;
+
+ private:
+  MapType type_;
+  u32 key_size_;
+  u32 value_size_;
+  u32 max_entries_;
+};
+
+/// Array map: keys are u32 indices < max_entries; storage preallocated.
+class ArrayMap : public Map {
+ public:
+  ArrayMap(u32 value_size, u32 max_entries);
+
+  u8* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;
+  Status Delete(const void* key) override;
+  usize entry_count() const override { return max_entries(); }
+
+  /// Typed convenience for host-side configuration.
+  template <typename V>
+  void Set(u32 index, const V& v) {
+    static_assert(std::is_trivially_copyable_v<V>);
+    Update(&index, &v);
+  }
+  template <typename V>
+  V Get(u32 index) {
+    V v{};
+    if (u8* p = Lookup(&index)) std::memcpy(&v, p, sizeof(V));
+    return v;
+  }
+
+ private:
+  std::vector<u8> data_;
+};
+
+/// Hash map over byte-string keys.
+class HashMap : public Map {
+ public:
+  HashMap(u32 key_size, u32 value_size, u32 max_entries);
+
+  u8* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;
+  Status Delete(const void* key) override;
+  usize entry_count() const override { return table_.size(); }
+
+ private:
+  std::string KeyOf(const void* key) const {
+    return std::string(static_cast<const char*>(key), key_size());
+  }
+  // unique_ptr keeps value storage stable across rehashes.
+  std::unordered_map<std::string, std::unique_ptr<u8[]>> table_;
+};
+
+}  // namespace nvmetro::ebpf

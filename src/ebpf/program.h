@@ -1,0 +1,67 @@
+// eBPF program representation and context-access descriptors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ebpf/insn.h"
+#include "ebpf/map.h"
+
+namespace nvmetro::ebpf {
+
+/// Describes which byte ranges of the context structure a program may
+/// read or write — the equivalent of the kernel's per-program-type
+/// `is_valid_access` callback. NVMetro's classifier context allows reads
+/// of the whole structure but writes only to the mediation fields (e.g.
+/// the translated LBA), enforcing "direct mediation" boundaries at verify
+/// time.
+struct CtxField {
+  u32 offset;
+  u32 size;
+  bool writable;
+  const char* name;
+};
+
+struct CtxDescriptor {
+  u32 size = 0;
+  std::vector<CtxField> fields;
+
+  /// True when [off, off+len) is exactly one declared field (partial or
+  /// unaligned accesses are rejected, as the kernel does for most ctx
+  /// types) and, for writes, the field is writable.
+  bool CheckAccess(u32 off, u32 len, bool write) const {
+    for (const auto& f : fields) {
+      if (f.offset == off && f.size == len) return !write || f.writable;
+    }
+    return false;
+  }
+};
+
+/// A program: instructions plus the maps it references (LD_IMM64 with
+/// src=kPseudoMapIdx loads maps[imm]).
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Insn> insns, std::vector<std::shared_ptr<Map>> maps)
+      : insns_(std::move(insns)), maps_(std::move(maps)) {}
+
+  const std::vector<Insn>& insns() const { return insns_; }
+  std::vector<Insn>& mutable_insns() { return insns_; }
+
+  const std::vector<std::shared_ptr<Map>>& maps() const { return maps_; }
+  /// Adds a map; returns its index for LD_IMM64 references.
+  u32 AddMap(std::shared_ptr<Map> map) {
+    maps_.push_back(std::move(map));
+    return static_cast<u32>(maps_.size() - 1);
+  }
+
+  usize size() const { return insns_.size(); }
+
+ private:
+  std::vector<Insn> insns_;
+  std::vector<std::shared_ptr<Map>> maps_;
+};
+
+}  // namespace nvmetro::ebpf

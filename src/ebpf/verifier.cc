@@ -1,0 +1,622 @@
+#include "ebpf/verifier.h"
+
+#include <array>
+#include <deque>
+#include <map>
+
+#include "common/strutil.h"
+
+namespace nvmetro::ebpf {
+
+namespace {
+
+enum class RegType : u8 {
+  kNotInit,
+  kScalar,
+  kPtrCtx,
+  kPtrStack,       // offset relative to r10 (0 = frame top)
+  kPtrMapValue,
+  kNullOrMapValue,  // result of map_lookup before the null check
+  kMapRef,          // loaded via LD_IMM64 map pseudo
+};
+
+struct RegState {
+  RegType type = RegType::kNotInit;
+  bool known = false;  // scalar with exact value
+  u64 value = 0;
+  u64 umin = 0, umax = ~0ull;  // scalar bounds when !known
+  i64 ptr_off = 0;             // constant offset for pointers
+  const Map* map = nullptr;
+
+  static RegState Scalar() {
+    RegState r;
+    r.type = RegType::kScalar;
+    return r;
+  }
+  static RegState Const(u64 v) {
+    RegState r;
+    r.type = RegType::kScalar;
+    r.known = true;
+    r.value = v;
+    r.umin = r.umax = v;
+    return r;
+  }
+  static RegState Bounded(u64 lo, u64 hi) {
+    RegState r;
+    r.type = RegType::kScalar;
+    r.umin = lo;
+    r.umax = hi;
+    if (lo == hi) {
+      r.known = true;
+      r.value = lo;
+    }
+    return r;
+  }
+};
+
+enum StackByte : u8 { kStackUninit = 0, kStackMisc = 1, kStackSpill = 2 };
+
+struct StackState {
+  std::array<u8, kStackSize> bytes{};
+  // 8-byte-aligned spilled registers: slot index (0..63) -> state.
+  std::map<u32, RegState> spills;
+};
+
+struct VState {
+  u32 pc = 0;
+  std::array<RegState, kNumRegs> regs;
+  StackState stack;
+};
+
+struct Err {
+  Status status;
+  bool failed() const { return !status.ok(); }
+};
+
+Status At(u32 pc, const std::string& msg) {
+  return InvalidArgument(StrFormat("insn %u: %s", pc, msg.c_str()));
+}
+
+bool IsPointer(RegType t) {
+  return t == RegType::kPtrCtx || t == RegType::kPtrStack ||
+         t == RegType::kPtrMapValue || t == RegType::kNullOrMapValue ||
+         t == RegType::kMapRef;
+}
+
+}  // namespace
+
+Verifier::Verifier(const CtxDescriptor& ctx, const HelperRegistry& helpers,
+                   Options opts)
+    : ctx_(ctx), helpers_(helpers), opts_(opts) {}
+
+Status Verifier::Verify(const Program& prog) const {
+  const auto& insns = prog.insns();
+  if (insns.empty()) return InvalidArgument("empty program");
+  if (insns.size() > kMaxInsns)
+    return InvalidArgument("program exceeds instruction limit");
+
+  // Pass 1: structural checks — LD_IMM64 pairing, jump targets forward
+  // and in range, map references valid.
+  std::vector<bool> is_imm64_hi(insns.size(), false);
+  for (u32 pc = 0; pc < insns.size(); pc++) {
+    if (is_imm64_hi[pc]) continue;
+    const Insn& in = insns[pc];
+    if (in.opcode == kOpLdImm64) {
+      if (pc + 1 >= insns.size()) return At(pc, "LD_IMM64 missing 2nd slot");
+      const Insn& hi = insns[pc + 1];
+      if (hi.opcode != 0 || hi.regs != 0 || hi.off != 0)
+        return At(pc, "malformed LD_IMM64 2nd slot");
+      if (in.src() == kPseudoMapIdx &&
+          static_cast<u32>(in.imm) >= prog.maps().size())
+        return At(pc, "LD_IMM64 references unknown map");
+      if (in.src() > kPseudoMapIdx)
+        return At(pc, "unknown LD_IMM64 pseudo source");
+      is_imm64_hi[pc + 1] = true;
+      continue;
+    }
+    u8 cls = InsnClassOf(in.opcode);
+    if (cls == kClassJmp) {
+      u8 op = in.opcode & 0xF0;
+      if (op == kJmpExit || op == kJmpCall) continue;
+      i64 target = static_cast<i64>(pc) + 1 + in.off;
+      if (target <= static_cast<i64>(pc))
+        return At(pc, "backward jump (loops are not allowed)");
+      if (target >= static_cast<i64>(insns.size()))
+        return At(pc, "jump out of range");
+      if (is_imm64_hi[static_cast<u32>(target)] ||
+          (static_cast<u32>(target) > 0 &&
+           insns[static_cast<u32>(target) - 1].opcode == kOpLdImm64))
+        return At(pc, "jump into the middle of LD_IMM64");
+    }
+  }
+
+  // Pass 2: path-sensitive state exploration (DFS over the DAG).
+  VState init;
+  init.regs[kRegCtx].type = RegType::kPtrCtx;
+  init.regs[kRegCtx].ptr_off = 0;
+  init.regs[kRegFp].type = RegType::kPtrStack;
+  init.regs[kRegFp].ptr_off = 0;
+
+  std::deque<VState> work;
+  work.push_back(init);
+  u32 visited = 0;
+
+  // Helpers for memory access verification.
+  auto check_stack = [&](VState& st, i64 start, u32 size, bool write,
+                         u32 pc) -> Status {
+    i64 end = start + size;
+    if (start < -static_cast<i64>(kStackSize) || end > 0)
+      return At(pc, StrFormat("stack access [%lld,+%u) out of bounds",
+                              (long long)start, size));
+    u32 lo = static_cast<u32>(start + kStackSize);
+    if (write) {
+      // Writing over a spill slot invalidates it unless fully overwritten
+      // by another spill (handled by the caller for DW stores).
+      for (u32 i = lo; i < lo + size; i++) {
+        st.stack.bytes[i] = kStackMisc;
+      }
+      st.stack.spills.erase(lo / 8);
+      if ((lo + size - 1) / 8 != lo / 8)
+        st.stack.spills.erase((lo + size - 1) / 8);
+    } else {
+      for (u32 i = lo; i < lo + size; i++) {
+        if (st.stack.bytes[i] == kStackUninit)
+          return At(pc, "read of uninitialized stack");
+      }
+    }
+    return OkStatus();
+  };
+
+  while (!work.empty()) {
+    VState st = std::move(work.back());
+    work.pop_back();
+
+    for (;;) {
+      if (++visited > opts_.max_visited)
+        return InvalidArgument("program too complex");
+      if (st.pc >= insns.size())
+        return At(st.pc, "fell off the end of the program (missing exit)");
+      const Insn& in = insns[st.pc];
+      u8 cls = InsnClassOf(in.opcode);
+      u8 dst = in.dst();
+      u8 src = in.src();
+      if (dst >= kNumRegs || src >= kNumRegs)
+        return At(st.pc, "invalid register");
+
+      // --- LD_IMM64 ---------------------------------------------------
+      if (in.opcode == kOpLdImm64) {
+        if (dst == kRegFp) return At(st.pc, "write to frame pointer");
+        if (in.src() == kPseudoMapIdx) {
+          st.regs[dst] = RegState{};
+          st.regs[dst].type = RegType::kMapRef;
+          st.regs[dst].map = prog.maps()[in.imm].get();
+        } else {
+          u64 v = (static_cast<u64>(static_cast<u32>(insns[st.pc + 1].imm))
+                   << 32) |
+                  static_cast<u32>(in.imm);
+          st.regs[dst] = RegState::Const(v);
+        }
+        st.pc += 2;
+        continue;
+      }
+
+      switch (cls) {
+        case kClassAlu:
+        case kClassAlu64: {
+          bool is64 = cls == kClassAlu64;
+          u8 op = in.opcode & 0xF0;
+          if (op == kAluEnd) return At(st.pc, "byteswap not supported");
+          if (op > kAluEnd) return At(st.pc, "unknown ALU op");
+          if (dst == kRegFp) return At(st.pc, "write to frame pointer");
+          bool use_reg = (in.opcode & 0x08) != 0;
+          if (op == kAluNeg) {
+            if (st.regs[dst].type != RegType::kScalar)
+              return At(st.pc, "NEG on non-scalar");
+            RegState& d = st.regs[dst];
+            if (d.known) {
+              u64 v = ~d.value + 1;
+              if (!is64) v &= 0xFFFFFFFF;
+              d = RegState::Const(v);
+            } else {
+              d = RegState::Scalar();
+            }
+            st.pc++;
+            continue;
+          }
+          RegState rhs;
+          if (use_reg) {
+            rhs = st.regs[src];
+            if (rhs.type == RegType::kNotInit)
+              return At(st.pc, "read of uninitialized register");
+          } else {
+            rhs = RegState::Const(
+                static_cast<u64>(static_cast<i64>(in.imm)));
+          }
+
+          RegState& d = st.regs[dst];
+          if (op == kAluMov) {
+            if (use_reg) {
+              if (!is64 && IsPointer(rhs.type))
+                return At(st.pc, "32-bit mov of pointer");
+              d = rhs;
+              if (!is64 && d.type == RegType::kScalar) {
+                if (d.known) {
+                  d = RegState::Const(d.value & 0xFFFFFFFF);
+                } else {
+                  d = RegState::Bounded(0, 0xFFFFFFFF);
+                }
+              }
+            } else {
+              u64 v = static_cast<u64>(static_cast<i64>(in.imm));
+              if (!is64) v &= 0xFFFFFFFF;
+              d = RegState::Const(v);
+            }
+            st.pc++;
+            continue;
+          }
+
+          if (d.type == RegType::kNotInit)
+            return At(st.pc, "read of uninitialized register");
+
+          // Pointer arithmetic: 64-bit ADD/SUB of a known constant only.
+          if (IsPointer(d.type)) {
+            if (d.type == RegType::kMapRef ||
+                d.type == RegType::kNullOrMapValue)
+              return At(st.pc, "arithmetic on map reference/unchecked ptr");
+            if (!is64) return At(st.pc, "32-bit arithmetic on pointer");
+            if (op != kAluAdd && op != kAluSub)
+              return At(st.pc, "only +/- allowed on pointers");
+            if (rhs.type != RegType::kScalar || !rhs.known)
+              return At(st.pc,
+                        "pointer arithmetic requires constant offset");
+            i64 delta = static_cast<i64>(rhs.value);
+            d.ptr_off += (op == kAluAdd) ? delta : -delta;
+            st.pc++;
+            continue;
+          }
+          if (IsPointer(rhs.type))
+            return At(st.pc, "pointer as right-hand side of ALU");
+
+          // Scalar ALU.
+          if (d.known && rhs.known) {
+            u64 a = d.value, b = rhs.value, r = 0;
+            if (!is64) {
+              a &= 0xFFFFFFFF;
+              b &= 0xFFFFFFFF;
+            }
+            switch (op) {
+              case kAluAdd: r = a + b; break;
+              case kAluSub: r = a - b; break;
+              case kAluMul: r = a * b; break;
+              case kAluDiv: r = b ? a / b : 0; break;
+              case kAluMod: r = b ? a % b : a; break;
+              case kAluOr: r = a | b; break;
+              case kAluAnd: r = a & b; break;
+              case kAluXor: r = a ^ b; break;
+              case kAluLsh: r = a << (b & (is64 ? 63 : 31)); break;
+              case kAluRsh: r = a >> (b & (is64 ? 63 : 31)); break;
+              case kAluArsh:
+                if (is64) {
+                  r = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+                } else {
+                  r = static_cast<u64>(
+                      static_cast<u32>(static_cast<i32>(a) >> (b & 31)));
+                }
+                break;
+              default: return At(st.pc, "unknown ALU op");
+            }
+            if (!is64) r &= 0xFFFFFFFF;
+            d = RegState::Const(r);
+          } else {
+            // Conservative bounds for a few common patterns.
+            switch (op) {
+              case kAluAnd:
+                if (rhs.known) {
+                  d = RegState::Bounded(0, rhs.value);
+                } else {
+                  d = RegState::Scalar();
+                }
+                break;
+              case kAluRsh:
+                if (rhs.known) {
+                  u64 sh = rhs.value & (is64 ? 63 : 31);
+                  d = RegState::Bounded(0, d.umax >> sh);
+                } else {
+                  d = RegState::Scalar();
+                }
+                break;
+              case kAluMod:
+                if (rhs.known && rhs.value > 0) {
+                  d = RegState::Bounded(0, rhs.value - 1);
+                } else {
+                  d = RegState::Scalar();
+                }
+                break;
+              case kAluAdd:
+                if (rhs.known && d.umax + rhs.value >= d.umax) {
+                  d = RegState::Bounded(d.umin + rhs.value,
+                                        d.umax + rhs.value);
+                } else {
+                  d = RegState::Scalar();
+                }
+                break;
+              default:
+                d = RegState::Scalar();
+            }
+            if (!is64 && !d.known) {
+              d.umin = 0;
+              d.umax = d.umax > 0xFFFFFFFF ? 0xFFFFFFFF : d.umax;
+            }
+          }
+          st.pc++;
+          continue;
+        }
+
+        case kClassLdx: {
+          if ((in.opcode & 0xE0) != kModeMem)
+            return At(st.pc, "unsupported LDX mode");
+          if (dst == kRegFp) return At(st.pc, "write to frame pointer");
+          const RegState& base = st.regs[src];
+          u32 size = MemSizeBytes(in.opcode);
+          switch (base.type) {
+            case RegType::kPtrStack: {
+              i64 start = base.ptr_off + in.off;
+              // Full-register reload of a spilled register.
+              if (size == 8 && start >= -static_cast<i64>(kStackSize) &&
+                  start + 8 <= 0 && (start + kStackSize) % 8 == 0) {
+                u32 slot = static_cast<u32>(start + kStackSize) / 8;
+                auto it = st.stack.spills.find(slot);
+                if (it != st.stack.spills.end()) {
+                  st.regs[dst] = it->second;
+                  st.pc++;
+                  continue;
+                }
+              }
+              NVM_RETURN_IF_ERROR(
+                  check_stack(st, start, size, /*write=*/false, st.pc));
+              st.regs[dst] = RegState::Scalar();
+              break;
+            }
+            case RegType::kPtrCtx: {
+              i64 off = base.ptr_off + in.off;
+              if (off < 0 ||
+                  !ctx_.CheckAccess(static_cast<u32>(off), size, false))
+                return At(st.pc,
+                          StrFormat("invalid ctx read at offset %lld size %u",
+                                    (long long)off, size));
+              st.regs[dst] = RegState::Scalar();
+              break;
+            }
+            case RegType::kPtrMapValue: {
+              i64 off = base.ptr_off + in.off;
+              if (off < 0 || off + size > base.map->value_size())
+                return At(st.pc, "map value access out of bounds");
+              st.regs[dst] = RegState::Scalar();
+              break;
+            }
+            case RegType::kNullOrMapValue:
+              return At(st.pc, "dereference of possibly-null map value");
+            default:
+              return At(st.pc, "load from non-pointer");
+          }
+          st.pc++;
+          continue;
+        }
+
+        case kClassStx:
+        case kClassSt: {
+          if ((in.opcode & 0xE0) != kModeMem)
+            return At(st.pc, "unsupported store mode");
+          const RegState& base = st.regs[dst];
+          u32 size = MemSizeBytes(in.opcode);
+          RegState val;
+          if (cls == kClassStx) {
+            val = st.regs[src];
+            if (val.type == RegType::kNotInit)
+              return At(st.pc, "store of uninitialized register");
+          } else {
+            val = RegState::Const(static_cast<u64>(static_cast<i64>(in.imm)));
+          }
+          switch (base.type) {
+            case RegType::kPtrStack: {
+              i64 start = base.ptr_off + in.off;
+              // Pointer spill: full 8-byte aligned register store.
+              if (cls == kClassStx && size == 8 &&
+                  (start + kStackSize) % 8 == 0 &&
+                  start >= -static_cast<i64>(kStackSize) && start + 8 <= 0) {
+                u32 lo = static_cast<u32>(start + kStackSize);
+                for (u32 i = lo; i < lo + 8; i++)
+                  st.stack.bytes[i] = kStackMisc;
+                st.stack.spills[lo / 8] = val;
+                break;
+              }
+              if (IsPointer(val.type))
+                return At(st.pc, "partial/unaligned pointer spill");
+              NVM_RETURN_IF_ERROR(
+                  check_stack(st, start, size, /*write=*/true, st.pc));
+              break;
+            }
+            case RegType::kPtrCtx: {
+              if (IsPointer(val.type))
+                return At(st.pc, "pointer store into ctx");
+              i64 off = base.ptr_off + in.off;
+              if (off < 0 ||
+                  !ctx_.CheckAccess(static_cast<u32>(off), size, true))
+                return At(st.pc,
+                          StrFormat("invalid ctx write at offset %lld size %u",
+                                    (long long)off, size));
+              break;
+            }
+            case RegType::kPtrMapValue: {
+              if (IsPointer(val.type))
+                return At(st.pc, "pointer store into map value");
+              i64 off = base.ptr_off + in.off;
+              if (off < 0 || off + size > base.map->value_size())
+                return At(st.pc, "map value access out of bounds");
+              break;
+            }
+            case RegType::kNullOrMapValue:
+              return At(st.pc, "dereference of possibly-null map value");
+            default:
+              return At(st.pc, "store to non-pointer");
+          }
+          st.pc++;
+          continue;
+        }
+
+        case kClassJmp: {
+          u8 op = in.opcode & 0xF0;
+          if (op == kJmpExit) {
+            if (st.regs[kRegR0].type != RegType::kScalar)
+              return At(st.pc, "exit without scalar r0");
+            goto path_done;
+          }
+          if (op == kJmpCall) {
+            const HelperSpec* spec = helpers_.Find(static_cast<u32>(in.imm));
+            if (!spec) return At(st.pc, "unknown helper");
+            const Map* call_map = nullptr;
+            for (usize a = 0; a < spec->args.size(); a++) {
+              const RegState& arg = st.regs[1 + a];
+              switch (spec->args[a]) {
+                case ArgType::kAnything:
+                  if (arg.type == RegType::kNotInit)
+                    return At(st.pc, "uninitialized helper argument");
+                  break;
+                case ArgType::kMapPtr:
+                  if (arg.type != RegType::kMapRef)
+                    return At(st.pc, "helper expects map reference");
+                  call_map = arg.map;
+                  break;
+                case ArgType::kStackPtrKey:
+                case ArgType::kStackPtrValue: {
+                  if (arg.type != RegType::kPtrStack)
+                    return At(st.pc, "helper expects stack pointer");
+                  if (!call_map)
+                    return At(st.pc, "key/value arg without map arg");
+                  u32 need = spec->args[a] == ArgType::kStackPtrKey
+                                 ? call_map->key_size()
+                                 : call_map->value_size();
+                  NVM_RETURN_IF_ERROR(check_stack(st, arg.ptr_off, need,
+                                                  /*write=*/false, st.pc));
+                  break;
+                }
+              }
+            }
+            // Clobber caller-saved registers.
+            for (u8 r = 0; r <= 5; r++) st.regs[r] = RegState{};
+            if (spec->ret == RetType::kInteger) {
+              st.regs[kRegR0] = RegState::Scalar();
+            } else {
+              st.regs[kRegR0].type = RegType::kNullOrMapValue;
+              st.regs[kRegR0].map = call_map;
+              st.regs[kRegR0].ptr_off = 0;
+            }
+            st.pc++;
+            continue;
+          }
+          if (op == kJmpJa) {
+            st.pc = static_cast<u32>(st.pc + 1 + in.off);
+            continue;
+          }
+          // Conditional branch.
+          switch (op) {
+            case kJmpJeq: case kJmpJne: case kJmpJgt: case kJmpJge:
+            case kJmpJlt: case kJmpJle: case kJmpJset: case kJmpJsgt:
+            case kJmpJsge: case kJmpJslt: case kJmpJsle:
+              break;
+            default:
+              return At(st.pc, "unknown jump op");
+          }
+          bool use_reg = (in.opcode & 0x08) != 0;
+          const RegState& lhs = st.regs[dst];
+          if (lhs.type == RegType::kNotInit)
+            return At(st.pc, "branch on uninitialized register");
+          RegState rhs = use_reg
+                             ? st.regs[src]
+                             : RegState::Const(static_cast<u64>(
+                                   static_cast<i64>(in.imm)));
+          if (use_reg && rhs.type == RegType::kNotInit)
+            return At(st.pc, "branch on uninitialized register");
+          // Pointers may only be compared for (in)equality with 0
+          // (the null check) or with other pointers of the same type.
+          bool null_check = lhs.type == RegType::kNullOrMapValue &&
+                            !use_reg && in.imm == 0 &&
+                            (op == kJmpJeq || op == kJmpJne);
+          if (IsPointer(lhs.type) && !null_check) {
+            if (!(use_reg && rhs.type == lhs.type &&
+                  (op == kJmpJeq || op == kJmpJne)))
+              return At(st.pc, "invalid pointer comparison");
+          }
+          if (!IsPointer(lhs.type) && IsPointer(rhs.type))
+            return At(st.pc, "invalid pointer comparison");
+
+          u32 taken_pc = static_cast<u32>(st.pc + 1 + in.off);
+          VState taken = st;
+          taken.pc = taken_pc;
+          st.pc++;
+
+          if (null_check) {
+            // JEQ 0: taken => null; JNE 0: taken => non-null.
+            RegState null_reg = RegState::Const(0);
+            RegState good = lhs;
+            good.type = RegType::kPtrMapValue;
+            if (op == kJmpJeq) {
+              taken.regs[dst] = null_reg;
+              st.regs[dst] = good;
+            } else {
+              taken.regs[dst] = good;
+              st.regs[dst] = null_reg;
+            }
+          } else if (!use_reg && lhs.type == RegType::kScalar) {
+            // Refine scalar bounds on immediate comparisons.
+            u64 k = static_cast<u64>(static_cast<i64>(in.imm));
+            RegState& t = taken.regs[dst];
+            RegState& f = st.regs[dst];
+            switch (op) {
+              case kJmpJeq: t = RegState::Const(k); break;
+              case kJmpJne: f = RegState::Const(k); break;
+              case kJmpJgt:  // taken: > k ; fall: <= k
+                if (t.umin <= k && k != ~0ull) t.umin = k + 1;
+                if (f.umax > k) f.umax = k;
+                break;
+              case kJmpJge:
+                if (t.umin < k) t.umin = k;
+                if (k != 0 && f.umax >= k) f.umax = k - 1;
+                break;
+              case kJmpJlt:
+                if (k != 0 && t.umax >= k) t.umax = k - 1;
+                if (f.umin < k) f.umin = k;
+                break;
+              case kJmpJle:
+                if (t.umax > k) t.umax = k;
+                if (k != ~0ull && f.umin <= k) f.umin = k + 1;
+                break;
+              default: break;
+            }
+            auto norm = [](RegState& r) {
+              if (r.type == RegType::kScalar && !r.known &&
+                  r.umin == r.umax) {
+                r = RegState::Const(r.umin);
+              }
+            };
+            norm(t);
+            norm(f);
+          }
+          work.push_back(std::move(taken));
+          continue;
+        }
+
+        case kClassJmp32:
+          return At(st.pc, "JMP32 class not supported");
+        case kClassLd:
+          return At(st.pc, "legacy LD mode not supported");
+        default:
+          return At(st.pc, "unknown instruction class");
+      }
+    }
+  path_done:;
+  }
+  return OkStatus();
+}
+
+}  // namespace nvmetro::ebpf

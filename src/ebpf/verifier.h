@@ -1,0 +1,58 @@
+// Static verifier for eBPF programs.
+//
+// Before a classifier is attached, the host verifies it the way the Linux
+// kernel does (paper §II-B: "the Linux kernel verifies its safety through
+// a large range of properties, including constraints on memory accesses,
+// loops and program size"):
+//
+//   - every path is explored through the (acyclic) CFG; back-edges, i.e.
+//     loops, are rejected;
+//   - registers are typed (scalar / ctx pointer / stack pointer / map
+//     value / map reference); reads of uninitialized registers or stack
+//     slots are rejected;
+//   - all memory accesses are bounds-checked against their region, and
+//     context accesses must match the declared field table (writes only
+//     to mediation-writable fields);
+//   - map-value pointers returned by map_lookup_elem must be null-checked
+//     before dereference;
+//   - helper calls are checked against typed signatures;
+//   - r10 is read-only; programs must end in exit with r0 set.
+//
+// Pointer arithmetic is restricted to compile-time-constant offsets,
+// which is sufficient for classifier-style programs and keeps the
+// analysis exact (documented deviation from the kernel's range tracking).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "ebpf/helpers.h"
+#include "ebpf/program.h"
+
+namespace nvmetro::ebpf {
+
+class Verifier {
+ public:
+  struct Options {
+    /// Max (pc, state) expansions before giving up ("program too
+    /// complex", like the kernel's 1M-insn cap, scaled down).
+    u32 max_visited = 200'000;
+  };
+
+  Verifier(const CtxDescriptor& ctx, const HelperRegistry& helpers)
+      : Verifier(ctx, helpers, Options{}) {}
+  Verifier(const CtxDescriptor& ctx, const HelperRegistry& helpers,
+           Options opts);
+
+  /// Returns Ok when the program is safe to run against the declared
+  /// context; otherwise an error describing the first violation found
+  /// (message includes the instruction index).
+  Status Verify(const Program& prog) const;
+
+ private:
+  const CtxDescriptor& ctx_;
+  const HelperRegistry& helpers_;
+  Options opts_;
+};
+
+}  // namespace nvmetro::ebpf

@@ -1,0 +1,438 @@
+#include "fsx/flatfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmetro::fsx {
+
+namespace {
+
+constexpr u64 kMagic = 0x464C415446533031ull;  // "FLATFS01"
+constexpr u32 kVersion = 1;
+constexpr u64 kMinExtent = 256 * KiB;
+
+#pragma pack(push, 1)
+struct Superblock {
+  u64 magic = kMagic;
+  u32 version = kVersion;
+  u32 rsvd = 0;
+  u64 meta_offset = 0;
+  u64 meta_len = 0;
+  u64 alloc_watermark = 0;
+};
+#pragma pack(pop)
+
+/// Shared-state fan-in for N async sub-operations.
+struct FanIn {
+  int remaining;
+  Status status;
+  FlatFs::Callback done;
+  FanIn(int n, FlatFs::Callback cb)
+      : remaining(n), status(OkStatus()), done(std::move(cb)) {}
+  void Arrive(Status st) {
+    if (!st.ok() && status.ok()) status = st;
+    if (--remaining == 0) done(status);
+  }
+};
+
+void PutU64(std::vector<u8>* out, u64 v) {
+  for (int i = 0; i < 8; i++) out->push_back(static_cast<u8>(v >> (8 * i)));
+}
+void PutU32(std::vector<u8>* out, u32 v) {
+  for (int i = 0; i < 4; i++) out->push_back(static_cast<u8>(v >> (8 * i)));
+}
+bool GetU64(const std::vector<u8>& in, usize* pos, u64* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; i++) *v |= static_cast<u64>(in[(*pos)++]) << (8 * i);
+  return true;
+}
+bool GetU32(const std::vector<u8>& in, usize* pos, u32* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; i++) *v |= static_cast<u32>(in[(*pos)++]) << (8 * i);
+  return true;
+}
+
+}  // namespace
+
+void FlatFs::Format(FsBackend* backend, Callback done) {
+  FlatFs fs(backend);
+  // An empty filesystem: write its metadata then the superblock.
+  auto meta = std::make_shared<std::vector<u8>>(fs.SerializeMeta());
+  u64 meta_off = fs.alloc_watermark_;
+  u64 meta_len = meta->size();
+  auto sb = std::make_shared<Superblock>();
+  sb->meta_offset = meta_off;
+  sb->meta_len = meta_len;
+  sb->alloc_watermark =
+      meta_off + (meta_len + kBlockSize - 1) / kBlockSize * kBlockSize;
+  backend->Write(meta_off, meta->data(), meta->size(),
+                 [backend, sb, meta, done](Status st) {
+                   if (!st.ok()) {
+                     done(st);
+                     return;
+                   }
+                   backend->Write(0, sb.get(), sizeof(Superblock),
+                                  [backend, sb, done](Status st2) {
+                                    if (!st2.ok()) {
+                                      done(st2);
+                                      return;
+                                    }
+                                    backend->Flush(done);
+                                  });
+                 });
+}
+
+void FlatFs::Mount(FsBackend* backend, MountCallback done) {
+  auto sb = std::make_shared<Superblock>();
+  backend->Read(0, sb.get(), sizeof(Superblock), [backend, sb,
+                                                  done](Status st) {
+    if (!st.ok()) {
+      done(st);
+      return;
+    }
+    if (sb->magic != kMagic || sb->version != kVersion) {
+      done(DataLoss("FlatFs: bad superblock (not formatted?)"));
+      return;
+    }
+    auto blob = std::make_shared<std::vector<u8>>(sb->meta_len);
+    backend->Read(sb->meta_offset, blob->data(), blob->size(),
+                  [backend, sb, blob, done](Status st2) {
+                    if (!st2.ok()) {
+                      done(st2);
+                      return;
+                    }
+                    auto fs = std::unique_ptr<FlatFs>(new FlatFs(backend));
+                    Status ps = ParseMeta(*blob, fs.get());
+                    if (!ps.ok()) {
+                      done(ps);
+                      return;
+                    }
+                    // The on-disk watermark governs; the meta blob's own
+                    // extent is below it and simply becomes garbage until
+                    // the next Sync reclaims nothing (bump allocator).
+                    fs->alloc_watermark_ =
+                        std::max(fs->alloc_watermark_, sb->alloc_watermark);
+                    done(std::move(fs));
+                  });
+  });
+}
+
+std::vector<u8> FlatFs::SerializeMeta() const {
+  std::vector<u8> out;
+  PutU64(&out, alloc_watermark_);
+  PutU32(&out, static_cast<u32>(files_.size()));
+  for (const auto& [name, inode] : files_) {
+    PutU32(&out, static_cast<u32>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    PutU64(&out, inode.size);
+    PutU32(&out, static_cast<u32>(inode.extents.size()));
+    for (const Extent& e : inode.extents) {
+      PutU64(&out, e.offset);
+      PutU64(&out, e.len);
+    }
+  }
+  // Pending frees are part of the state being committed (their files are
+  // gone from `files_` above), so the serialized image lists them free;
+  // the in-memory allocator adopts them only after the commit point.
+  PutU32(&out, static_cast<u32>(free_list_.size() + pending_free_.size()));
+  for (const Extent& e : free_list_) {
+    PutU64(&out, e.offset);
+    PutU64(&out, e.len);
+  }
+  for (const Extent& e : pending_free_) {
+    PutU64(&out, e.offset);
+    PutU64(&out, e.len);
+  }
+  return out;
+}
+
+Status FlatFs::ParseMeta(const std::vector<u8>& blob, FlatFs* fs) {
+  usize pos = 0;
+  u64 watermark;
+  u32 nfiles;
+  if (!GetU64(blob, &pos, &watermark) || !GetU32(blob, &pos, &nfiles)) {
+    return DataLoss("FlatFs: truncated metadata");
+  }
+  fs->alloc_watermark_ = watermark;
+  for (u32 i = 0; i < nfiles; i++) {
+    u32 namelen;
+    if (!GetU32(blob, &pos, &namelen) || pos + namelen > blob.size()) {
+      return DataLoss("FlatFs: truncated file entry");
+    }
+    std::string name(blob.begin() + pos, blob.begin() + pos + namelen);
+    pos += namelen;
+    Inode inode;
+    u32 nextents;
+    if (!GetU64(blob, &pos, &inode.size) || !GetU32(blob, &pos, &nextents)) {
+      return DataLoss("FlatFs: truncated inode");
+    }
+    for (u32 e = 0; e < nextents; e++) {
+      Extent ext;
+      if (!GetU64(blob, &pos, &ext.offset) || !GetU64(blob, &pos, &ext.len)) {
+        return DataLoss("FlatFs: truncated extent");
+      }
+      inode.extents.push_back(ext);
+    }
+    fs->files_.emplace(std::move(name), std::move(inode));
+  }
+  u32 nfree;
+  if (!GetU32(blob, &pos, &nfree)) return DataLoss("FlatFs: truncated");
+  for (u32 i = 0; i < nfree; i++) {
+    Extent ext;
+    if (!GetU64(blob, &pos, &ext.offset) || !GetU64(blob, &pos, &ext.len)) {
+      return DataLoss("FlatFs: truncated free list");
+    }
+    fs->free_list_.push_back(ext);
+  }
+  return OkStatus();
+}
+
+Status FlatFs::Create(const std::string& name) {
+  if (name.empty()) return InvalidArgument("empty file name");
+  if (files_.count(name)) return AlreadyExists("file exists: " + name);
+  files_.emplace(name, Inode{});
+  return OkStatus();
+}
+
+bool FlatFs::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+Status FlatFs::Remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return NotFound("no such file: " + name);
+  // Deferred free: the extents must not be reallocated until a Sync has
+  // committed metadata without this file. Reusing them immediately would
+  // let new data overwrite blocks the *durable* metadata still maps to —
+  // a crash would then resurrect the file pointing at foreign bytes.
+  for (const Extent& e : it->second.extents) pending_free_.push_back(e);
+  files_.erase(it);
+  return OkStatus();
+}
+
+u64 FlatFs::FileSize(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.size;
+}
+
+std::vector<std::string> FlatFs::List() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : files_) out.push_back(name);
+  return out;
+}
+
+Result<Extent> FlatFs::Allocate(u64 len) {
+  len = std::max(len, kMinExtent);
+  len = (len + kBlockSize - 1) / kBlockSize * kBlockSize;
+  for (usize i = 0; i < free_list_.size(); i++) {
+    if (free_list_[i].len >= len) {
+      Extent out{free_list_[i].offset, len};
+      free_list_[i].offset += len;
+      free_list_[i].len -= len;
+      if (free_list_[i].len == 0) {
+        free_list_.erase(free_list_.begin() + i);
+      }
+      return out;
+    }
+  }
+  if (alloc_watermark_ + len > backend_->capacity()) {
+    return ResourceExhausted("FlatFs: out of space");
+  }
+  Extent out{alloc_watermark_, len};
+  alloc_watermark_ += len;
+  return out;
+}
+
+u64 FlatFs::bytes_free() const {
+  u64 free_bytes = backend_->capacity() - alloc_watermark_;
+  for (const Extent& e : free_list_) free_bytes += e.len;
+  return free_bytes;
+}
+
+Status FlatFs::MapRange(const Inode& inode, u64 off, u64 len,
+                        std::vector<Extent>* out) const {
+  u64 pos = 0;
+  for (const Extent& e : inode.extents) {
+    if (len == 0) break;
+    u64 ext_end = pos + e.len;
+    if (off < ext_end) {
+      u64 within = off - pos;
+      u64 n = std::min(len, e.len - within);
+      out->push_back({e.offset + within, n});
+      off += n;
+      len -= n;
+    }
+    pos = ext_end;
+  }
+  if (len != 0) return OutOfRange("FlatFs: range beyond file extents");
+  return OkStatus();
+}
+
+void FlatFs::Append(const std::string& name, const void* data, u64 len,
+                    Callback done) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    done(NotFound("no such file: " + name));
+    return;
+  }
+  Inode& inode = it->second;
+  // Ensure extent capacity.
+  u64 cap = 0;
+  for (const Extent& e : inode.extents) cap += e.len;
+  if (inode.size + len > cap) {
+    auto ext = Allocate(inode.size + len - cap);
+    if (!ext.ok()) {
+      done(ext.status());
+      return;
+    }
+    inode.extents.push_back(*ext);
+  }
+  std::vector<Extent> ranges;
+  Status st = MapRange(inode, inode.size, len, &ranges);
+  if (!st.ok()) {
+    done(st);
+    return;
+  }
+  inode.size += len;
+  auto fan = std::make_shared<FanIn>(static_cast<int>(ranges.size()),
+                                     std::move(done));
+  const auto* p = static_cast<const u8*>(data);
+  for (const Extent& r : ranges) {
+    backend_->Write(r.offset, p, r.len,
+                    [fan](Status s) { fan->Arrive(s); });
+    p += r.len;
+  }
+}
+
+Status FlatFs::Preallocate(const std::string& name, u64 bytes) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return NotFound("no such file: " + name);
+  Inode& inode = it->second;
+  u64 cap = 0;
+  for (const Extent& e : inode.extents) cap += e.len;
+  if (bytes > cap) {
+    auto ext = Allocate(bytes - cap);
+    if (!ext.ok()) return ext.status();
+    inode.extents.push_back(*ext);
+  }
+  inode.size = std::max(inode.size, bytes);
+  return OkStatus();
+}
+
+void FlatFs::WriteAt(const std::string& name, u64 off, const void* data,
+                     u64 len, Callback done) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    done(NotFound("no such file: " + name));
+    return;
+  }
+  const Inode& inode = it->second;
+  if (off + len > inode.size) {
+    done(OutOfRange("FlatFs: WriteAt past EOF"));
+    return;
+  }
+  std::vector<Extent> ranges;
+  Status st = MapRange(inode, off, len, &ranges);
+  if (!st.ok()) {
+    done(st);
+    return;
+  }
+  auto fan = std::make_shared<FanIn>(static_cast<int>(ranges.size()),
+                                     std::move(done));
+  const auto* p = static_cast<const u8*>(data);
+  for (const Extent& r : ranges) {
+    backend_->Write(r.offset, p, r.len,
+                    [fan](Status s) { fan->Arrive(s); });
+    p += r.len;
+  }
+}
+
+void FlatFs::ReadAt(const std::string& name, u64 off, void* buf, u64 len,
+                    Callback done) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    done(NotFound("no such file: " + name));
+    return;
+  }
+  const Inode& inode = it->second;
+  if (off + len > inode.size) {
+    done(OutOfRange("FlatFs: read past EOF"));
+    return;
+  }
+  std::vector<Extent> ranges;
+  Status st = MapRange(inode, off, len, &ranges);
+  if (!st.ok()) {
+    done(st);
+    return;
+  }
+  auto fan = std::make_shared<FanIn>(static_cast<int>(ranges.size()),
+                                     std::move(done));
+  auto* p = static_cast<u8*>(buf);
+  for (const Extent& r : ranges) {
+    backend_->Read(r.offset, p, r.len, [fan](Status s) { fan->Arrive(s); });
+    p += r.len;
+  }
+}
+
+void FlatFs::Sync(Callback done) {
+  auto meta = std::make_shared<std::vector<u8>>(SerializeMeta());
+  auto ext = Allocate(meta->size());
+  if (!ext.ok()) {
+    done(ext.status());
+    return;
+  }
+  // Re-serialize with the watermark moved by the allocation itself so the
+  // persisted watermark covers the meta extent.
+  *meta = SerializeMeta();
+  // Frees that this image commits (see Remove); adopted on commit below.
+  usize npending = pending_free_.size();
+  auto sb = std::make_shared<Superblock>();
+  sb->meta_offset = ext->offset;
+  sb->meta_len = meta->size();
+  sb->alloc_watermark = alloc_watermark_;
+  FsBackend* backend = backend_;
+  backend->Write(
+      ext->offset, meta->data(), meta->size(),
+      [this, backend, sb, meta, new_ext = *ext, npending,
+       done = std::move(done)](Status st) {
+        if (!st.ok()) {
+          done(st);
+          return;
+        }
+        backend->Flush([this, backend, sb, new_ext, npending,
+                        done](Status st2) {
+          if (!st2.ok()) {
+            done(st2);
+            return;
+          }
+          backend->Write(
+              0, sb.get(), sizeof(Superblock),
+              [this, backend, sb, new_ext, npending, done](Status st3) {
+                if (!st3.ok()) {
+                  done(st3);
+                  return;
+                }
+                // Commit point passed: the previous metadata copy and
+                // the extents of files removed before this sync can now
+                // be recycled.
+                if (prev_meta_extent_.len > 0) {
+                  free_list_.push_back(prev_meta_extent_);
+                }
+                prev_meta_extent_ = new_ext;
+                free_list_.insert(
+                    free_list_.end(), pending_free_.begin(),
+                    pending_free_.begin() +
+                        static_cast<std::ptrdiff_t>(npending));
+                pending_free_.erase(
+                    pending_free_.begin(),
+                    pending_free_.begin() +
+                        static_cast<std::ptrdiff_t>(npending));
+                backend->Flush(done);
+              });
+        });
+      });
+}
+
+}  // namespace nvmetro::fsx

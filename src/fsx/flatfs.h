@@ -1,0 +1,124 @@
+// FlatFs: a minimal extent-based filesystem.
+//
+// Stands in for the ext4 filesystem the paper runs RocksDB on (§V-A, with
+// journal/discard/atime disabled to minimize overhead — FlatFs likewise
+// journals nothing). Files are append-oriented (what an LSM store needs):
+// named files own extent lists carved from a bump allocator; metadata
+// (superblock + inode table) is persisted on Sync() with the superblock
+// written last as the commit point, so a "crash" (dropping the in-memory
+// state and re-Mounting) recovers the last synced state.
+//
+// All I/O is asynchronous over an FsBackend so the filesystem can sit on
+// any of the simulated storage stacks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::fsx {
+
+/// Byte-addressed asynchronous storage under the filesystem.
+class FsBackend {
+ public:
+  using Callback = std::function<void(Status)>;
+
+  virtual ~FsBackend() = default;
+  virtual void Read(u64 offset, void* buf, u64 len, Callback done) = 0;
+  virtual void Write(u64 offset, const void* buf, u64 len,
+                     Callback done) = 0;
+  virtual void Flush(Callback done) = 0;
+  virtual u64 capacity() const = 0;
+};
+
+struct Extent {
+  u64 offset = 0;  // bytes
+  u64 len = 0;
+};
+
+class FlatFs {
+ public:
+  using Callback = std::function<void(Status)>;
+  using MountCallback =
+      std::function<void(Result<std::unique_ptr<FlatFs>>)>;
+
+  static constexpr u64 kBlockSize = 4096;
+
+  /// Writes a fresh, empty filesystem.
+  static void Format(FsBackend* backend, Callback done);
+
+  /// Loads the filesystem from the backend (after Format or a previous
+  /// Sync).
+  static void Mount(FsBackend* backend, MountCallback done);
+
+  // --- Namespace -------------------------------------------------------------
+
+  /// Creates an empty file; fails on duplicates.
+  Status Create(const std::string& name);
+  bool Exists(const std::string& name) const;
+  Status Remove(const std::string& name);
+  u64 FileSize(const std::string& name) const;
+  std::vector<std::string> List() const;
+
+  // --- Data I/O ---------------------------------------------------------------
+
+  /// Appends `len` bytes; allocates extents as needed. The caller's
+  /// buffer must stay valid until `done`.
+  void Append(const std::string& name, const void* data, u64 len,
+              Callback done);
+
+  /// Grows a file to `bytes` (zero-filled semantics), allocating extents
+  /// now. Write-ahead logs preallocate so their data survives crashes
+  /// without a metadata sync per append; recovery then scans records
+  /// in-band (see MiniKv's WAL framing).
+  Status Preallocate(const std::string& name, u64 bytes);
+
+  /// Overwrites [off, off+len) within the current file size.
+  void WriteAt(const std::string& name, u64 off, const void* data, u64 len,
+               Callback done);
+
+  /// Reads [off, off+len) of a file.
+  void ReadAt(const std::string& name, u64 off, void* buf, u64 len,
+              Callback done);
+
+  /// Persists metadata (inode table + superblock) and flushes the device.
+  void Sync(Callback done);
+
+  u64 bytes_free() const;
+
+ private:
+  struct Inode {
+    u64 size = 0;
+    std::vector<Extent> extents;
+  };
+
+  explicit FlatFs(FsBackend* backend) : backend_(backend) {}
+
+  Result<Extent> Allocate(u64 len);
+  /// Maps [off, off+len) of a file onto device ranges.
+  Status MapRange(const Inode& inode, u64 off, u64 len,
+                  std::vector<Extent>* out) const;
+
+  std::vector<u8> SerializeMeta() const;
+  static Status ParseMeta(const std::vector<u8>& blob, FlatFs* fs);
+
+  FsBackend* backend_;
+  std::map<std::string, Inode> files_;
+  u64 alloc_watermark_ = 2 * kBlockSize;  // block 0: superblock
+  std::vector<Extent> free_list_;
+  /// Extents of removed files, reusable only after the next Sync commit
+  /// (see Remove for the crash-consistency argument).
+  std::vector<Extent> pending_free_;
+  // Previous metadata extent: freed only after the NEXT sync commits, so
+  // a crash mid-sync always leaves one intact copy.
+  Extent prev_meta_extent_{};
+
+  friend struct FlatFsTestPeer;
+};
+
+}  // namespace nvmetro::fsx

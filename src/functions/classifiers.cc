@@ -1,0 +1,297 @@
+#include "functions/classifiers.h"
+
+#include <string>
+
+#include "common/strutil.h"
+#include "core/classifier.h"
+#include "ebpf/assembler.h"
+#include "nvme/defs.h"
+
+namespace nvmetro::functions {
+
+namespace {
+
+// Verdict values baked into the assembly (kept in sync with
+// core::Verdict by the classifier unit tests).
+constexpr u64 kFast = core::kSendHq | core::kWillCompleteHq;
+constexpr u64 kToUif = core::kSendNq | core::kWillCompleteNq;
+constexpr u64 kReadViaDevice =
+    core::kSendHq | core::kHookOnHcq | core::kWaitForHook;
+constexpr u64 kMirrorWrite = core::kSendHq | core::kSendNq |
+                             core::kWillCompleteHq | core::kWillCompleteNq;
+constexpr u64 kDenied =
+    core::kComplete |
+    nvme::MakeStatus(nvme::kSctMediaError, nvme::kScAccessDenied);
+
+// ctx field offsets (see core::ClassifierCtx).
+constexpr int kOffHook = 0;
+constexpr int kOffOpcode = 8;
+constexpr int kOffSlba = 24;
+constexpr int kOffError = 40;
+constexpr int kOffPartOff = 64;
+
+/// Shared epilogue: translate guest LBA to backend-namespace LBA.
+std::string TranslateSnippet() {
+  return StrFormat(
+      "  ldxdw r4, [r1+%d]\n"
+      "  ldxdw r5, [r1+%d]\n"
+      "  add r4, r5\n"
+      "  stxdw [r1+%d], r4\n",
+      kOffSlba, kOffPartOff, kOffSlba);
+}
+
+std::string PassthroughText() {
+  return StrFormat(
+             "; NVMetro passthrough classifier: LBA translation + fast "
+             "path.\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jeq r3, %d, data\n"
+             "  jeq r3, %d, data\n"
+             "  jeq r3, %d, data\n"
+             "  jeq r3, %d, data\n"
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "data:\n",
+             kOffOpcode, nvme::kCmdRead, nvme::kCmdWrite, nvme::kCmdCompare,
+             nvme::kCmdWriteZeroes, (unsigned long long)kFast) +
+         TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n", (unsigned long long)kFast);
+}
+
+std::string EncryptorText() {
+  // Paper Listing 1, in assembly:
+  //   HOOK_VSQ:  read  -> SEND_HQ | HOOK_HCQ | WAIT_FOR_HOOK
+  //              write -> SEND_NQ | WILL_COMPLETE_NQ
+  //              other -> SEND_HQ | WILL_COMPLETE_HQ
+  //   HOOK_HCQ:  error -> error | COMPLETE
+  //              ok    -> SEND_NQ | WILL_COMPLETE_NQ
+  return StrFormat(
+             "; NVMetro encryption classifier (paper Listing 1).\n"
+             "  ldxdw r2, [r1+%d]\n"
+             "  jeq r2, %d, hook_hcq\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jeq r3, %d, vsq_read\n"
+             "  jeq r3, %d, vsq_write\n",
+             kOffHook, (int)core::kHookHcq, kOffOpcode, nvme::kCmdRead,
+             nvme::kCmdWrite) +
+         TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n", (unsigned long long)kFast) +
+         "vsq_read:\n" + TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n",
+                   (unsigned long long)kReadViaDevice) +
+         "vsq_write:\n" + TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n",
+                   (unsigned long long)kToUif) +
+         StrFormat(
+             "hook_hcq:\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jne r3, 0, fwd_err\n"
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "fwd_err:\n"
+             "  mov r0, r3\n"
+             "  or r0, %llu\n"
+             "  exit\n",
+             kOffError, (unsigned long long)kToUif,
+             (unsigned long long)core::kComplete);
+}
+
+std::string ReplicatorText() {
+  return StrFormat(
+             "; NVMetro replication classifier: reads from the local "
+             "disk,\n"
+             "; writes fanned out to disk + UIF, completing when both "
+             "finish.\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jeq r3, %d, wr\n"
+             "  jeq r3, %d, rd\n"
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "rd:\n",
+             kOffOpcode, nvme::kCmdWrite, nvme::kCmdRead,
+             (unsigned long long)kFast) +
+         TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n", (unsigned long long)kFast) +
+         "wr:\n" + TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n",
+                   (unsigned long long)kMirrorWrite);
+}
+
+std::string ReadOnlyText() {
+  return StrFormat(
+             "; Read-only enforcement: deny write-class commands.\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jeq r3, %d, deny\n"
+             "  jeq r3, %d, deny\n"
+             "  jeq r3, %d, deny\n",
+             kOffOpcode, nvme::kCmdWrite, nvme::kCmdWriteZeroes,
+             nvme::kCmdDsm) +
+         TranslateSnippet() +
+         StrFormat(
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "deny:\n"
+             "  mov r0, %llu\n"
+             "  exit\n",
+             (unsigned long long)kFast, (unsigned long long)kDenied);
+}
+
+std::string VendorPassText() {
+  return StrFormat(
+             "; Vendor-extension passthrough (compatibility, paper "
+             "SIII-B):\n"
+             "; opcodes >= 0x80 go straight to hardware, untranslated.\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jge r3, %d, vendor\n",
+             kOffOpcode, nvme::kCmdVendorStart) +
+         TranslateSnippet() +
+         StrFormat(
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "vendor:\n"
+             "  mov r0, %llu\n"
+             "  exit\n",
+             (unsigned long long)kFast, (unsigned long long)kFast);
+}
+
+std::string KvPassText() {
+  return StrFormat(
+             "; KV command set adoption: opcodes 0x90-0x93 go straight\n"
+             "; to hardware; NVM commands take the translated fast path.\n"
+             "  ldxdw r3, [r1+%d]\n"
+             "  jge r3, %d, kv_check\n"
+             "normal:\n",
+             kOffOpcode, nvme::kCmdKvStore) +
+         TranslateSnippet() +
+         StrFormat(
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "kv_check:\n"
+             "  jgt r3, %d, normal2\n"
+             "  mov r0, %llu\n"
+             "  exit\n"
+             "normal2:\n",
+             (unsigned long long)kFast, nvme::kCmdKvExist,
+             (unsigned long long)kFast) +
+         TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n", (unsigned long long)kFast);
+}
+
+std::string RateLimitText() {
+  // Bucket math in scaled units: tokens_scaled += delta_ns * rate / 1000
+  // (1 request = 1'000'000 scaled tokens); clamp to burst; spend one
+  // token per admitted request. Denied requests complete with
+  // AbortRequested so the guest retries.
+  constexpr u64 kDeny =
+      core::kComplete |
+      nvme::MakeStatus(nvme::kSctGeneric, nvme::kScAbortRequested);
+  return StrFormat(
+             "; Token-bucket QoS classifier: state + config in map 0.\n"
+             "  stxdw [r10-16], r1\n"      // spill ctx (helpers clobber r1)
+             "  lddw r1, map 0\n"
+             "  mov r2, r10\n"
+             "  add r2, -4\n"
+             "  stw [r10-4], 0\n"
+             "  call map_lookup_elem\n"
+             "  jne r0, 0, have_cfg\n"
+             "; no config installed: admit everything\n"
+             "  ja admit_noctx\n"
+             "have_cfg:\n"
+             "  mov r6, r0\n"
+             "  ldxdw r7, [r6+0]\n"        // tokens_scaled
+             "  ldxdw r8, [r6+8]\n"        // last_ns
+             "  call ktime_get_ns\n"
+             "  mov r9, r0\n"              // now
+             "  sub r0, r8\n"              // delta (last <= now)
+             "  ldxdw r3, [r6+16]\n"       // rate/s
+             "  mul r0, r3\n"
+             "  div r0, 1000\n"            // scaled refill
+             "  add r7, r0\n"
+             "  ldxdw r4, [r6+24]\n"       // burst (requests)
+             "  mov r5, 1000000\n"
+             "  mul r4, r5\n"              // burst scaled
+             "  jle r7, r4, no_clamp\n"
+             "  mov r7, r4\n"
+             "no_clamp:\n"
+             "  stxdw [r6+8], r9\n"        // last = now
+             "  jge r7, 1000000, admit\n"
+             "  stxdw [r6+0], r7\n"        // save partial refill
+             "  lddw r0, %llu\n"
+             "  exit\n"
+             "admit:\n"
+             "  sub r7, 1000000\n"         // spend one token
+             "  stxdw [r6+0], r7\n"
+             "admit_noctx:\n"
+             "  ldxdw r1, [r10-16]\n",     // reload ctx
+             (unsigned long long)kDeny) +
+         TranslateSnippet() +
+         StrFormat("  mov r0, %llu\n  exit\n", (unsigned long long)kFast);
+}
+
+}  // namespace
+
+const char* RateLimitClassifierAsm() {
+  static const std::string* kText = new std::string(RateLimitText());
+  return kText->c_str();
+}
+
+std::shared_ptr<ebpf::ArrayMap> MakeQosMap(u64 rate_per_sec, u64 burst) {
+  auto map = std::make_shared<ebpf::ArrayMap>(32, 1);
+  u64 value[4] = {burst * 1'000'000, 0, rate_per_sec, burst};
+  u32 key = 0;
+  (void)map->Update(&key, value);
+  return map;
+}
+
+Result<ebpf::Program> RateLimitClassifier(
+    std::shared_ptr<ebpf::ArrayMap> qos_map) {
+  return ebpf::Assemble(RateLimitClassifierAsm(), {std::move(qos_map)});
+}
+
+const char* KvPassClassifierAsm() {
+  static const std::string* kText = new std::string(KvPassText());
+  return kText->c_str();
+}
+
+Result<ebpf::Program> KvPassClassifier() {
+  return ebpf::Assemble(KvPassClassifierAsm());
+}
+
+const char* PassthroughClassifierAsm() {
+  static const std::string* kText = new std::string(PassthroughText());
+  return kText->c_str();
+}
+const char* EncryptorClassifierAsm() {
+  static const std::string* kText = new std::string(EncryptorText());
+  return kText->c_str();
+}
+const char* ReplicatorClassifierAsm() {
+  static const std::string* kText = new std::string(ReplicatorText());
+  return kText->c_str();
+}
+const char* ReadOnlyClassifierAsm() {
+  static const std::string* kText = new std::string(ReadOnlyText());
+  return kText->c_str();
+}
+const char* VendorPassClassifierAsm() {
+  static const std::string* kText = new std::string(VendorPassText());
+  return kText->c_str();
+}
+
+Result<ebpf::Program> PassthroughClassifier() {
+  return ebpf::Assemble(PassthroughClassifierAsm());
+}
+Result<ebpf::Program> EncryptorClassifier() {
+  return ebpf::Assemble(EncryptorClassifierAsm());
+}
+Result<ebpf::Program> ReplicatorClassifier() {
+  return ebpf::Assemble(ReplicatorClassifierAsm());
+}
+Result<ebpf::Program> ReadOnlyClassifier() {
+  return ebpf::Assemble(ReadOnlyClassifierAsm());
+}
+Result<ebpf::Program> VendorPassClassifier() {
+  return ebpf::Assemble(VendorPassClassifierAsm());
+}
+
+}  // namespace nvmetro::functions

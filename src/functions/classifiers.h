@@ -1,0 +1,65 @@
+// The eBPF I/O classifiers for the NVMetro storage functions.
+//
+// The paper writes classifiers in C compiled to eBPF (Listing 1); here
+// they are authored in eBPF assembly and built with ebpf::Assemble. All
+// classifiers perform LBA translation (guest LBA -> backend-namespace
+// LBA via ctx->part_offset) as their direct-mediation step, then route:
+//
+//  - Passthrough: everything to the fast path (the "dummy eBPF classifier
+//    without UIF" used in the basic evaluations, §V-B).
+//  - Encryptor (Listing 1): reads go to the device then to the UIF for
+//    decryption (HOOK_HCQ); writes go to the UIF for encryption, which
+//    writes ciphertext itself; device errors short-circuit to the VM.
+//  - Replicator: reads served by the primary disk directly; writes are
+//    fanned out to the disk AND the UIF simultaneously and complete only
+//    when both finish (§IV-B).
+//  - ReadOnly: write-class commands are rejected with Access Denied —
+//    a three-line policy demonstrating classifier-level mediation.
+//  - VendorPass: passes vendor-specific opcodes straight to hardware
+//    (compatibility criterion, §III-B) and normal I/O via the fast path.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "ebpf/map.h"
+#include "ebpf/program.h"
+
+namespace nvmetro::functions {
+
+Result<ebpf::Program> PassthroughClassifier();
+Result<ebpf::Program> EncryptorClassifier();
+Result<ebpf::Program> ReplicatorClassifier();
+Result<ebpf::Program> ReadOnlyClassifier();
+Result<ebpf::Program> VendorPassClassifier();
+/// Routes the KV command set straight to hardware and regular NVM
+/// commands through the translated fast path — adopting a new command
+/// set without touching the router (paper §III-B).
+Result<ebpf::Program> KvPassClassifier();
+
+/// Assembly text of each classifier (for Table I line counting and the
+/// custom-classifier example).
+const char* PassthroughClassifierAsm();
+const char* EncryptorClassifierAsm();
+const char* ReplicatorClassifierAsm();
+const char* ReadOnlyClassifierAsm();
+const char* VendorPassClassifierAsm();
+const char* KvPassClassifierAsm();
+const char* RateLimitClassifierAsm();
+
+/// Token-bucket rate limiting, entirely inside the classifier: bucket
+/// state and configuration live in an eBPF array map; refill uses the
+/// ktime helper. Demonstrates stateful policies without router changes.
+///
+/// The map must be an ArrayMap(value_size=32, max_entries>=1); slot 0 is
+/// laid out as four u64s:
+///   [0] tokens (scaled by 1e6)   [1] last refill timestamp (ns)
+///   [2] rate (requests/second)   [3] burst (requests)
+/// Use MakeQosMap() to build and configure one.
+Result<ebpf::Program> RateLimitClassifier(
+    std::shared_ptr<ebpf::ArrayMap> qos_map);
+
+/// Builds the QoS map for RateLimitClassifier.
+std::shared_ptr<ebpf::ArrayMap> MakeQosMap(u64 rate_per_sec, u64 burst);
+
+}  // namespace nvmetro::functions

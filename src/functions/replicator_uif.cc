@@ -1,0 +1,69 @@
+#include "functions/replicator_uif.h"
+
+namespace nvmetro::functions {
+
+ReplicatorUif::ReplicatorUif(sim::Simulator* sim,
+                             kblock::BlockDevice* secondary,
+                             ReplicatorParams params)
+    : sim_(sim), secondary_(secondary), params_(params) {}
+
+uif::Uring* ReplicatorUif::EnsureUring() {
+  if (!uring_) {
+    uring_ = std::make_unique<uif::Uring>(sim_, secondary_,
+                                          function()->host()->poll_cpu());
+  }
+  return uring_.get();
+}
+
+bool ReplicatorUif::work(const nvme::Sqe& cmd, u32 tag, u16& status) {
+  switch (cmd.opcode) {
+    case nvme::kCmdWrite: {
+      uif::GuestData data = function()->Parse(cmd);
+      if (!data.ok()) {
+        status = nvme::MakeStatus(nvme::kSctGeneric,
+                                  nvme::kScDataTransferError);
+        return false;
+      }
+      // Zero-copy: forward the guest's own pages to the secondary.
+      auto ticket = std::make_unique<uif::IovecTicket>();
+      ticket->tag = tag;
+      mem::GuestMemory* gm = data.guest_memory();
+      for (const auto& seg : data.segments()) {
+        u8* p = gm->Translate(seg.gpa, seg.len);
+        if (!p) {
+          status = nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScDataTransferError);
+          return false;
+        }
+        ticket->iovecs.push_back({p, seg.len});
+      }
+      ticket->done = [fn = function(), tag](Status st) {
+        fn->Respond(tag, st.ok()
+                             ? nvme::kStatusSuccess
+                             : nvme::MakeStatus(nvme::kSctMediaError,
+                                                nvme::kScWriteFault));
+      };
+      writes_++;
+      function()->host()->poll_cpu()->Charge(params_.per_req_ns);
+      // Secondary mirrors the guest's view: guest-relative sectors.
+      u64 sector = data.disk_addr() - function()->part_first_lba();
+      EnsureUring()->QueueWritev(std::move(ticket), sector);
+      return true;
+    }
+    case nvme::kCmdFlush:
+      // Propagate flushes to the secondary for durability parity.
+      EnsureUring()->QueueFsync([fn = function(), tag](Status st) {
+        fn->Respond(tag, st.ok() ? nvme::kStatusSuccess
+                                 : nvme::MakeStatus(nvme::kSctMediaError,
+                                                    nvme::kScWriteFault));
+      });
+      return true;
+    default:
+      // The classifier filters reads out ("the UIF only needed to
+      // consider writes", paper §V-F); anything else is a policy error.
+      status = nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInvalidOpcode);
+      return false;
+  }
+}
+
+}  // namespace nvmetro::functions

@@ -1,0 +1,46 @@
+// Live disk replication UIF (paper §IV-B).
+//
+// The classifier passes reads straight to the primary disk and fans
+// writes out to both the primary disk (fast path) and this UIF (notify
+// path). The UIF forwards each write to the secondary drive — attached to
+// a remote host over NVMe-oF — using io_uring, zero-copy from the VM's
+// buffers (the mirroring is synchronous, so the guest buffers stay valid
+// until both legs finish).
+#pragma once
+
+#include <memory>
+
+#include "kblock/bio.h"
+#include "uif/framework.h"
+#include "uif/uring.h"
+
+namespace nvmetro::functions {
+
+struct ReplicatorParams {
+  /// Per-request bookkeeping cost on the UIF thread.
+  SimTime per_req_ns = 400;
+};
+
+class ReplicatorUif : public uif::UifBase {
+ public:
+  /// `secondary` is the remote mirror leg (typically a
+  /// kblock::RemoteBlockDevice). Sectors on the secondary are
+  /// guest-relative (the mirror is an image of the VM's disk).
+  ReplicatorUif(sim::Simulator* sim, kblock::BlockDevice* secondary,
+                ReplicatorParams params = ReplicatorParams());
+
+  bool work(const nvme::Sqe& cmd, u32 tag, u16& status) override;
+
+  u64 writes_replicated() const { return writes_; }
+
+ private:
+  uif::Uring* EnsureUring();
+
+  sim::Simulator* sim_;
+  kblock::BlockDevice* secondary_;
+  ReplicatorParams params_;
+  std::unique_ptr<uif::Uring> uring_;
+  u64 writes_ = 0;
+};
+
+}  // namespace nvmetro::functions

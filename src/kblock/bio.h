@@ -1,0 +1,91 @@
+// Block-layer I/O descriptor (the "bio") and the block device interface.
+//
+// NVMetro's kernel path "translates requests and sends them through the
+// host kernel's block device architecture" (paper §III-A); dm-crypt,
+// dm-mirror and vhost-scsi all live on this layer. A Bio carries host
+// memory segments (for guest data these are guest pages translated to
+// host pointers, so no copies happen) and a completion callback.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::kblock {
+
+/// 512-byte logical sectors throughout the block layer.
+constexpr u32 kSectorSize = 512;
+
+struct BioSegment {
+  u8* data = nullptr;
+  u64 len = 0;
+};
+
+struct Bio {
+  enum class Op { kRead, kWrite, kFlush, kDiscard };
+
+  Op op = Op::kRead;
+  u64 sector = 0;  // first sector
+  std::vector<BioSegment> segments;
+  std::function<void(Status)> on_complete;
+
+  u64 length() const {
+    u64 n = 0;
+    for (const auto& s : segments) n += s.len;
+    return n;
+  }
+
+  static Bio Read(u64 sector, u8* data, u64 len,
+                  std::function<void(Status)> done) {
+    Bio b;
+    b.op = Op::kRead;
+    b.sector = sector;
+    b.segments = {{data, len}};
+    b.on_complete = std::move(done);
+    return b;
+  }
+  static Bio Write(u64 sector, const u8* data, u64 len,
+                   std::function<void(Status)> done) {
+    Bio b;
+    b.op = Op::kWrite;
+    b.sector = sector;
+    b.segments = {{const_cast<u8*>(data), len}};
+    b.on_complete = std::move(done);
+    return b;
+  }
+  static Bio Flush(std::function<void(Status)> done) {
+    Bio b;
+    b.op = Op::kFlush;
+    b.on_complete = std::move(done);
+    return b;
+  }
+  static Bio Discard(u64 sector, u64 len,
+                     std::function<void(Status)> done) {
+    Bio b;
+    b.op = Op::kDiscard;
+    b.sector = sector;
+    b.segments = {{nullptr, len}};
+    b.on_complete = std::move(done);
+    return b;
+  }
+};
+
+/// Abstract block device: drives, dm targets and remote transports all
+/// implement this, so targets stack arbitrarily (as in Linux's DM).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Asynchronous submit; on_complete fires when the I/O finishes (in
+  /// simulated time). Implementations must not call on_complete inline
+  /// before returning.
+  virtual void Submit(Bio bio) = 0;
+
+  virtual u64 capacity_sectors() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace nvmetro::kblock

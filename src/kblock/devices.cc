@@ -1,0 +1,285 @@
+#include "kblock/devices.h"
+
+#include <cstring>
+
+#include "nvme/defs.h"
+#include "nvme/queue.h"
+
+namespace nvmetro::kblock {
+
+using nvme::Cqe;
+using nvme::Sqe;
+
+NvmeBlockDevice::NvmeBlockDevice(sim::Simulator* sim,
+                                 ssd::SimulatedController* ctrl,
+                                 mem::IommuSpace* iommu, u32 nsid)
+    : sim_(sim), ctrl_(ctrl), iommu_(iommu), nsid_(nsid) {
+  auto q = ctrl_->CreateIoQueuePair(256, [this] { OnCqNotify(); });
+  qid_ = q.ok() ? *q : 0;
+}
+
+u64 NvmeBlockDevice::capacity_sectors() const {
+  return ctrl_->ns_block_count(nsid_) * ctrl_->lba_size() / kSectorSize;
+}
+
+std::string NvmeBlockDevice::name() const {
+  return "nvme-ns" + std::to_string(nsid_);
+}
+
+namespace {
+constexpr u64 kPage = mem::kPageSize;
+}  // namespace
+
+void NvmeBlockDevice::Submit(Bio bio) {
+  u64 len = bio.length();
+  // The block layer splits bios larger than the device's max transfer
+  // size (max_hw_sectors) into chained requests.
+  u64 max = ctrl_->config().max_transfer;
+  if ((bio.op == Bio::Op::kRead || bio.op == Bio::Op::kWrite) && len > max) {
+    struct SplitState {
+      int remaining;
+      Status status = OkStatus();
+      std::function<void(Status)> done;
+    };
+    auto state = std::make_shared<SplitState>();
+    state->done = std::move(bio.on_complete);
+    // Build sub-bios by walking the segment list in max-sized pieces.
+    std::vector<Bio> subs;
+    u64 sector = bio.sector;
+    usize seg_idx = 0;
+    u64 seg_off = 0;
+    u64 left = len;
+    while (left > 0) {
+      Bio sub;
+      sub.op = bio.op;
+      sub.sector = sector;
+      u64 take = std::min(left, max);
+      u64 need = take;
+      while (need > 0) {
+        const BioSegment& seg = bio.segments[seg_idx];
+        u64 n = std::min(need, seg.len - seg_off);
+        sub.segments.push_back({seg.data + seg_off, n});
+        seg_off += n;
+        need -= n;
+        if (seg_off == seg.len) {
+          seg_idx++;
+          seg_off = 0;
+        }
+      }
+      sector += take / kSectorSize;
+      left -= take;
+      subs.push_back(std::move(sub));
+    }
+    state->remaining = static_cast<int>(subs.size());
+    for (auto& sub : subs) {
+      sub.on_complete = [state](Status st) {
+        if (!st.ok() && state->status.ok()) state->status = st;
+        if (--state->remaining == 0 && state->done) {
+          state->done(state->status);
+        }
+      };
+      Submit(std::move(sub));
+    }
+    return;
+  }
+  Pending p;
+
+  Sqe sqe;
+  sqe.nsid = nsid_;
+  sqe.cid = next_cid_++;
+  if (next_cid_ == 0) next_cid_ = 1;
+
+  switch (bio.op) {
+    case Bio::Op::kFlush:
+      sqe.opcode = nvme::kCmdFlush;
+      break;
+    case Bio::Op::kDiscard: {
+      sqe.opcode = nvme::kCmdDsm;
+      sqe.cdw10 = 0;   // one range
+      sqe.cdw11 = 0x4; // deallocate
+      struct DsmRange {
+        u32 cattr, nlb;
+        u64 slba;
+      };
+      p.dsm_range = std::make_unique<std::vector<u8>>(sizeof(DsmRange));
+      auto* r = reinterpret_cast<DsmRange*>(p.dsm_range->data());
+      r->cattr = 0;
+      r->nlb = static_cast<u32>(len / kSectorSize);
+      r->slba = bio.sector;
+      u64 win = iommu_->MapHostBuffer(p.dsm_range->data(), sizeof(DsmRange));
+      p.windows.push_back(win);
+      sqe.prp1 = win;
+      break;
+    }
+    case Bio::Op::kRead:
+    case Bio::Op::kWrite: {
+      sqe.opcode = bio.op == Bio::Op::kRead ? nvme::kCmdRead : nvme::kCmdWrite;
+      sqe.set_slba(bio.sector);
+      sqe.set_nlb0(static_cast<u16>(len / kSectorSize - 1));
+
+      // Build PRP entries from the segment list. Windows are page-aligned,
+      // so a segment contributes entries at window, window+4K, ... A
+      // trailing partial page is only PRP-expressible on the final
+      // segment; otherwise bounce through a contiguous buffer.
+      bool friendly = true;
+      for (usize i = 0; i + 1 < bio.segments.size(); i++) {
+        if (bio.segments[i].len % kPage != 0) friendly = false;
+      }
+      std::vector<u64> entries;
+      if (friendly) {
+        for (const auto& seg : bio.segments) {
+          u64 win = iommu_->MapHostBuffer(seg.data, seg.len);
+          p.windows.push_back(win);
+          for (u64 off = 0; off < seg.len; off += kPage) {
+            entries.push_back(win + off);
+          }
+        }
+      } else {
+        bounced_++;
+        p.bounce = std::make_unique<std::vector<u8>>(len);
+        if (bio.op == Bio::Op::kWrite) {
+          u64 off = 0;
+          for (const auto& seg : bio.segments) {
+            std::memcpy(p.bounce->data() + off, seg.data, seg.len);
+            off += seg.len;
+          }
+        }
+        u64 win = iommu_->MapHostBuffer(p.bounce->data(), len);
+        p.windows.push_back(win);
+        for (u64 off = 0; off < len; off += kPage) {
+          entries.push_back(win + off);
+        }
+      }
+      sqe.prp1 = entries[0];
+      if (entries.size() == 2) {
+        sqe.prp2 = entries[1];
+      } else if (entries.size() > 2) {
+        // One list page suffices up to 512 entries (2 MiB transfers).
+        p.list_page = std::make_unique<std::vector<u8>>(kPage, 0);
+        std::memcpy(p.list_page->data(), entries.data() + 1,
+                    (entries.size() - 1) * sizeof(u64));
+        u64 win = iommu_->MapHostBuffer(p.list_page->data(), kPage);
+        p.windows.push_back(win);
+        sqe.prp2 = win;
+      }
+      break;
+    }
+  }
+
+  p.bio = std::move(bio);
+  u16 cid = sqe.cid;
+  if (!ctrl_->Submit(qid_, sqe)) {
+    // Queue full: retry shortly (the block layer would plug/requeue).
+    Pending* stored = &pending_.emplace(cid, std::move(p)).first->second;
+    (void)stored;
+    sim_->ScheduleAfter(20 * kUs, [this, cid, sqe]() mutable {
+      auto it = pending_.find(cid);
+      if (it == pending_.end()) return;
+      if (!ctrl_->Submit(qid_, sqe)) {
+        Pending p2 = std::move(it->second);
+        pending_.erase(it);
+        Finish(std::move(p2), ResourceExhausted("nvme queue full"));
+      }
+    });
+    return;
+  }
+  pending_.emplace(cid, std::move(p));
+}
+
+void NvmeBlockDevice::OnCqNotify() {
+  auto* cq = ctrl_->cq(qid_);
+  if (!cq) return;
+  Cqe cqe;
+  while (cq->Peek(&cqe)) {
+    cq->Pop();
+    auto it = pending_.find(cqe.cid);
+    if (it != pending_.end()) {
+      Pending p = std::move(it->second);
+      pending_.erase(it);
+      Status st = nvme::StatusOk(cqe.status())
+                      ? OkStatus()
+                      : Internal(nvme::StatusName(cqe.status()));
+      Finish(std::move(p), st);
+    }
+  }
+  cq->PublishHead();
+  ctrl_->RingCqDoorbell(qid_);
+}
+
+void NvmeBlockDevice::Finish(Pending p, Status st) {
+  if (p.bounce && p.bio.op == Bio::Op::kRead && st.ok()) {
+    u64 off = 0;
+    for (const auto& seg : p.bio.segments) {
+      std::memcpy(seg.data, p.bounce->data() + off, seg.len);
+      off += seg.len;
+    }
+  }
+  for (u64 w : p.windows) iommu_->Unmap(w);
+  if (p.bio.on_complete) p.bio.on_complete(st);
+}
+
+RamBlockDevice::RamBlockDevice(sim::Simulator* sim, u64 capacity_bytes,
+                               SimTime latency)
+    : sim_(sim),
+      capacity_(capacity_bytes),
+      latency_(latency),
+      store_(capacity_bytes) {}
+
+void RamBlockDevice::Submit(Bio bio) {
+  sim_->ScheduleAfter(latency_, [this, bio = std::move(bio)]() mutable {
+    Status st;
+    u64 off = bio.sector * kSectorSize;
+    switch (bio.op) {
+      case Bio::Op::kRead:
+        for (const auto& seg : bio.segments) {
+          st = store_.Read(off, seg.data, seg.len);
+          if (!st.ok()) break;
+          off += seg.len;
+        }
+        break;
+      case Bio::Op::kWrite:
+        for (const auto& seg : bio.segments) {
+          st = store_.Write(off, seg.data, seg.len);
+          if (!st.ok()) break;
+          off += seg.len;
+        }
+        break;
+      case Bio::Op::kDiscard:
+        st = store_.Trim(off, bio.length());
+        break;
+      case Bio::Op::kFlush:
+        break;
+    }
+    if (bio.on_complete) bio.on_complete(st);
+  });
+}
+
+RemoteBlockDevice::RemoteBlockDevice(sim::Simulator* sim, BlockDevice* remote,
+                                     LinkParams link)
+    : sim_(sim), remote_(remote), link_(link) {}
+
+void RemoteBlockDevice::Submit(Bio bio) {
+  // Serialize payload onto the link (writes carry data out; reads carry
+  // data back — we charge the transfer once, on the heavier direction).
+  u64 payload = bio.length();
+  auto tx_time =
+      link_.per_op_target_ns +
+      static_cast<SimTime>(static_cast<double>(payload) / link_.bytes_per_ns);
+  SimTime start = std::max(sim_->now(), tx_free_);
+  tx_free_ = start + tx_time;
+  SimTime arrive = tx_free_ + link_.one_way_ns;
+
+  auto done = std::move(bio.on_complete);
+  bio.on_complete = [this, done = std::move(done)](Status st) {
+    // Response flies back after one-way latency.
+    sim_->ScheduleAfter(link_.one_way_ns, [done, st] {
+      if (done) done(st);
+    });
+  };
+  sim_->ScheduleAfter(arrive - sim_->now(),
+                      [this, bio = std::move(bio)]() mutable {
+                        remote_->Submit(std::move(bio));
+                      });
+}
+
+}  // namespace nvmetro::kblock

@@ -1,0 +1,244 @@
+#include "kblock/dm.h"
+
+#include <cstring>
+
+namespace nvmetro::kblock {
+
+// --- DmLinear ----------------------------------------------------------------
+
+DmLinear::DmLinear(BlockDevice* lower, u64 offset_sectors, u64 len_sectors)
+    : lower_(lower), offset_(offset_sectors), len_(len_sectors) {}
+
+void DmLinear::Submit(Bio bio) {
+  if (bio.op != Bio::Op::kFlush) {
+    u64 sectors = bio.length() / kSectorSize;
+    if (bio.sector + sectors > len_) {
+      auto done = std::move(bio.on_complete);
+      if (done) done(OutOfRange("dm-linear: out of range"));
+      return;
+    }
+    bio.sector += offset_;
+  }
+  lower_->Submit(std::move(bio));
+}
+
+// --- DmCrypt -----------------------------------------------------------------
+
+Result<std::unique_ptr<DmCrypt>> DmCrypt::Create(
+    sim::Simulator* sim, BlockDevice* lower, const u8* xts_key,
+    usize key_len, std::vector<sim::VCpu*> workers, Params params) {
+  if (workers.empty()) return InvalidArgument("dm-crypt needs >=1 worker");
+  auto cipher = crypto::XtsCipher::Create(xts_key, key_len);
+  if (!cipher.ok()) return cipher.status();
+  return std::unique_ptr<DmCrypt>(new DmCrypt(
+      sim, lower, std::move(*cipher), std::move(workers), params));
+}
+
+sim::VCpu* DmCrypt::PickWorker() {
+  sim::VCpu* best = workers_[0];
+  for (sim::VCpu* w : workers_) {
+    if (w->free_at() < best->free_at()) best = w;
+  }
+  return best;
+}
+
+void DmCrypt::DecryptSegments(const Bio& bio) {
+  u64 sector = bio.sector;
+  usize seg_idx = 0;
+  u64 seg_off = 0;
+  u8 tmp[kSectorSize];
+  u64 remaining = bio.length();
+  while (remaining >= kSectorSize) {
+    const BioSegment& seg = bio.segments[seg_idx];
+    if (seg.len - seg_off >= kSectorSize) {
+      cipher_.DecryptSector(sector, seg.data + seg_off, seg.data + seg_off,
+                            kSectorSize);
+      seg_off += kSectorSize;
+    } else {
+      // Sector straddles a segment boundary: gather, decrypt, scatter.
+      u64 got = 0;
+      usize i = seg_idx;
+      u64 o = seg_off;
+      while (got < kSectorSize) {
+        u64 n = std::min<u64>(kSectorSize - got, bio.segments[i].len - o);
+        std::memcpy(tmp + got, bio.segments[i].data + o, n);
+        got += n;
+        o += n;
+        if (o == bio.segments[i].len) {
+          i++;
+          o = 0;
+        }
+      }
+      cipher_.DecryptSector(sector, tmp, tmp, kSectorSize);
+      got = 0;
+      while (got < kSectorSize) {
+        u64 n = std::min<u64>(kSectorSize - got,
+                              bio.segments[seg_idx].len - seg_off);
+        std::memcpy(bio.segments[seg_idx].data + seg_off, tmp + got, n);
+        got += n;
+        seg_off += n;
+        if (seg_off == bio.segments[seg_idx].len) {
+          seg_idx++;
+          seg_off = 0;
+        }
+      }
+      sector++;
+      remaining -= kSectorSize;
+      continue;
+    }
+    if (seg_off == seg.len) {
+      seg_idx++;
+      seg_off = 0;
+    }
+    sector++;
+    remaining -= kSectorSize;
+  }
+}
+
+void DmCrypt::Submit(Bio bio) {
+  switch (bio.op) {
+    case Bio::Op::kFlush:
+    case Bio::Op::kDiscard:
+      lower_->Submit(std::move(bio));
+      return;
+    case Bio::Op::kWrite: {
+      u64 len = bio.length();
+      if (len % kSectorSize != 0) {
+        if (bio.on_complete)
+          bio.on_complete(InvalidArgument("dm-crypt: unaligned write"));
+        return;
+      }
+      // kcryptd: encrypt into a bounce buffer, then write below.
+      auto cipher_buf = std::make_shared<std::vector<u8>>(len);
+      sim::VCpu* worker = PickWorker();
+      auto self = this;
+      worker->Run(CryptoCost(len), [self, bio = std::move(bio),
+                                    cipher_buf]() mutable {
+        u64 off = 0;
+        u64 sector = bio.sector;
+        // Gather plaintext and encrypt sector by sector.
+        std::vector<u8> plain(cipher_buf->size());
+        for (const auto& seg : bio.segments) {
+          std::memcpy(plain.data() + off, seg.data, seg.len);
+          off += seg.len;
+        }
+        self->cipher_.EncryptRange(sector, kSectorSize, plain.data(),
+                                   cipher_buf->data(), plain.size());
+        Bio lower_bio;
+        lower_bio.op = Bio::Op::kWrite;
+        lower_bio.sector = bio.sector;
+        lower_bio.segments = {{cipher_buf->data(), cipher_buf->size()}};
+        auto done = std::move(bio.on_complete);
+        lower_bio.on_complete = [done = std::move(done),
+                                 cipher_buf](Status st) {
+          if (done) done(st);
+        };
+        self->lower_->Submit(std::move(lower_bio));
+      });
+      return;
+    }
+    case Bio::Op::kRead: {
+      u64 len = bio.length();
+      if (len % kSectorSize != 0) {
+        if (bio.on_complete)
+          bio.on_complete(InvalidArgument("dm-crypt: unaligned read"));
+        return;
+      }
+      // Read ciphertext into the caller's buffers, then decrypt in place
+      // on a kcryptd worker.
+      auto shared_bio = std::make_shared<Bio>(std::move(bio));
+      Bio lower_bio;
+      lower_bio.op = Bio::Op::kRead;
+      lower_bio.sector = shared_bio->sector;
+      lower_bio.segments = shared_bio->segments;
+      auto self = this;
+      lower_bio.on_complete = [self, shared_bio, len](Status st) {
+        if (!st.ok()) {
+          if (shared_bio->on_complete) shared_bio->on_complete(st);
+          return;
+        }
+        sim::VCpu* worker = self->PickWorker();
+        worker->Run(self->CryptoCost(len), [self, shared_bio] {
+          self->DecryptSegments(*shared_bio);
+          if (shared_bio->on_complete) shared_bio->on_complete(OkStatus());
+        });
+      };
+      lower_->Submit(std::move(lower_bio));
+      return;
+    }
+  }
+}
+
+// --- DmMirror ----------------------------------------------------------------
+
+DmMirror::DmMirror(BlockDevice* primary, BlockDevice* secondary,
+                   bool read_balance, sim::VCpu* cpu, SimTime per_op_ns)
+    : primary_(primary),
+      secondary_(secondary),
+      read_balance_(read_balance),
+      cpu_(cpu),
+      per_op_ns_(per_op_ns) {}
+
+u64 DmMirror::capacity_sectors() const {
+  return std::min(primary_->capacity_sectors(),
+                  secondary_->capacity_sectors());
+}
+
+void DmMirror::Submit(Bio bio) {
+  if (cpu_) cpu_->Charge(per_op_ns_);
+  switch (bio.op) {
+    case Bio::Op::kRead: {
+      // Round-robin the legs (RAID1-style read balancing); fall back to
+      // the other leg on error.
+      BlockDevice* first = primary_;
+      BlockDevice* other = secondary_;
+      if (read_balance_ && (read_rr_++ % 2 == 1)) {
+        std::swap(first, other);
+      }
+      auto shared_bio = std::make_shared<Bio>(std::move(bio));
+      Bio rd;
+      rd.op = Bio::Op::kRead;
+      rd.sector = shared_bio->sector;
+      rd.segments = shared_bio->segments;
+      rd.on_complete = [this, shared_bio, other](Status st) {
+        if (st.ok()) {
+          if (shared_bio->on_complete) shared_bio->on_complete(st);
+          return;
+        }
+        degraded_reads_++;
+        Bio retry;
+        retry.op = Bio::Op::kRead;
+        retry.sector = shared_bio->sector;
+        retry.segments = shared_bio->segments;
+        retry.on_complete = [shared_bio](Status st2) {
+          if (shared_bio->on_complete) shared_bio->on_complete(st2);
+        };
+        other->Submit(std::move(retry));
+      };
+      first->Submit(std::move(rd));
+      return;
+    }
+    case Bio::Op::kWrite:
+    case Bio::Op::kFlush:
+    case Bio::Op::kDiscard: {
+      // Mirror to both legs; complete when both do (synchronous
+      // replication: "writes are not completed until both the local and
+      // remote disks finish", paper §IV-B).
+      auto state = std::make_shared<std::pair<int, Status>>(2, OkStatus());
+      auto done = std::move(bio.on_complete);
+      auto fan_in = [state, done](Status st) {
+        if (!st.ok()) state->second = st;
+        if (--state->first == 0 && done) done(state->second);
+      };
+      Bio b1 = bio;
+      b1.on_complete = fan_in;
+      Bio b2 = std::move(bio);
+      b2.on_complete = fan_in;
+      primary_->Submit(std::move(b1));
+      secondary_->Submit(std::move(b2));
+      return;
+    }
+  }
+}
+
+}  // namespace nvmetro::kblock

@@ -1,0 +1,68 @@
+#include "kblock/scsi.h"
+
+namespace nvmetro::kblock::scsi {
+
+Cdb BuildRead16(u64 lba, u32 nblocks) {
+  Cdb cdb;
+  cdb.bytes[0] = kRead16;
+  PutBe64(&cdb.bytes[2], lba);
+  PutBe32(&cdb.bytes[10], nblocks);
+  return cdb;
+}
+
+Cdb BuildWrite16(u64 lba, u32 nblocks) {
+  Cdb cdb;
+  cdb.bytes[0] = kWrite16;
+  PutBe64(&cdb.bytes[2], lba);
+  PutBe32(&cdb.bytes[10], nblocks);
+  return cdb;
+}
+
+Cdb BuildSynchronizeCache16() {
+  Cdb cdb;
+  cdb.bytes[0] = kSynchronizeCache16;
+  return cdb;
+}
+
+Cdb BuildReadCapacity16() {
+  Cdb cdb;
+  cdb.bytes[0] = kServiceActionIn16;
+  cdb.bytes[1] = 0x10;  // READ CAPACITY (16)
+  cdb.bytes[13] = 32;   // allocation length
+  return cdb;
+}
+
+Cdb BuildTestUnitReady() { return Cdb{}; }
+
+ParsedCdb ParseCdb(const Cdb& cdb) {
+  ParsedCdb out;
+  out.opcode = cdb.bytes[0];
+  switch (cdb.bytes[0]) {
+    case kRead16:
+      out.type = ParsedCdb::Type::kRead;
+      out.lba = GetBe64(&cdb.bytes[2]);
+      out.nblocks = GetBe32(&cdb.bytes[10]);
+      break;
+    case kWrite16:
+      out.type = ParsedCdb::Type::kWrite;
+      out.lba = GetBe64(&cdb.bytes[2]);
+      out.nblocks = GetBe32(&cdb.bytes[10]);
+      break;
+    case kSynchronizeCache16:
+      out.type = ParsedCdb::Type::kSyncCache;
+      break;
+    case kServiceActionIn16:
+      if ((cdb.bytes[1] & 0x1F) == 0x10) {
+        out.type = ParsedCdb::Type::kReadCapacity;
+      }
+      break;
+    case kTestUnitReady:
+      out.type = ParsedCdb::Type::kTestUnitReady;
+      break;
+    default:
+      out.type = ParsedCdb::Type::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace nvmetro::kblock::scsi

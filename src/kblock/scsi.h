@@ -1,0 +1,96 @@
+// Minimal SCSI command set: CDB construction and parsing for the
+// vhost-scsi baseline, which carries guest block I/O as SCSI commands
+// (virtio-scsi) and translates them onto the host block layer.
+#pragma once
+
+#include <cstring>
+
+#include "common/types.h"
+
+namespace nvmetro::kblock::scsi {
+
+/// SCSI operation codes used by the virtual SCSI path.
+enum Opcode : u8 {
+  kTestUnitReady = 0x00,
+  kInquiry = 0x12,
+  kUnmap = 0x42,
+  kRead16 = 0x88,
+  kWrite16 = 0x8A,
+  kSynchronizeCache16 = 0x91,
+  kServiceActionIn16 = 0x9E,  // READ CAPACITY (16) via service action 0x10
+};
+
+/// SCSI status byte values.
+enum StatusByte : u8 {
+  kGood = 0x00,
+  kCheckCondition = 0x02,
+};
+
+/// Sense keys reported with CHECK CONDITION.
+enum SenseKey : u8 {
+  kNoSense = 0x0,
+  kMediumError = 0x3,
+  kIllegalRequest = 0x5,
+};
+
+/// 16-byte command descriptor block.
+struct Cdb {
+  u8 bytes[16] = {};
+};
+
+Cdb BuildRead16(u64 lba, u32 nblocks);
+Cdb BuildWrite16(u64 lba, u32 nblocks);
+Cdb BuildSynchronizeCache16();
+Cdb BuildReadCapacity16();
+Cdb BuildTestUnitReady();
+
+struct ParsedCdb {
+  enum class Type {
+    kRead,
+    kWrite,
+    kSyncCache,
+    kReadCapacity,
+    kTestUnitReady,
+    kUnknown,
+  };
+  Type type = Type::kUnknown;
+  u64 lba = 0;
+  u32 nblocks = 0;
+  u8 opcode = 0;
+};
+
+ParsedCdb ParseCdb(const Cdb& cdb);
+
+/// READ CAPACITY (16) response payload (first 12 of 32 bytes meaningful).
+struct ReadCapacity16Data {
+  u64 max_lba_be;       // big-endian last LBA
+  u32 block_size_be;    // big-endian block length
+  u8 rest[20] = {};
+};
+static_assert(sizeof(ReadCapacity16Data) == 32);
+
+/// Big-endian helpers (SCSI is big-endian on the wire).
+inline void PutBe64(u8* p, u64 v) {
+  for (int i = 7; i >= 0; i--) {
+    p[i] = static_cast<u8>(v);
+    v >>= 8;
+  }
+}
+inline void PutBe32(u8* p, u32 v) {
+  for (int i = 3; i >= 0; i--) {
+    p[i] = static_cast<u8>(v);
+    v >>= 8;
+  }
+}
+inline u64 GetBe64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; i++) v = (v << 8) | p[i];
+  return v;
+}
+inline u32 GetBe32(const u8* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; i++) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace nvmetro::kblock::scsi

@@ -1,0 +1,110 @@
+#include "kblock/vhost_scsi.h"
+
+#include <cstring>
+
+namespace nvmetro::kblock {
+
+VhostScsiBackend::VhostScsiBackend(sim::Simulator* sim, sim::VCpu* worker,
+                                   BlockDevice* dev, Params params)
+    : sim_(sim), worker_(worker), dev_(dev), params_(params) {}
+
+void VhostScsiBackend::Enqueue(Request req) {
+  vring_.push_back(std::move(req));
+}
+
+void VhostScsiBackend::Kick() {
+  if (worker_active_) return;  // worker already running; it will see it
+  worker_active_ = true;
+  SimTime wake = sim::WakePenalty(*worker_, params_.kick_wakeup_warm_ns,
+                                  params_.kick_wakeup_cold_ns);
+  worker_->Charge(wake / 4);  // scheduler/wake path CPU
+  sim_->ScheduleAfter(wake, [this] { WorkerLoop(); });
+}
+
+void VhostScsiBackend::WorkerLoop() {
+  if (vring_.empty()) {
+    worker_active_ = false;
+    return;
+  }
+  Request req = std::move(vring_.front());
+  vring_.pop_front();
+  worker_->Run(params_.per_req_cpu_ns, [this, req = std::move(req)]() mutable {
+    Serve(std::move(req));
+    WorkerLoop();
+  });
+}
+
+void VhostScsiBackend::Serve(Request req) {
+  served_++;
+  scsi::ParsedCdb cdb = scsi::ParseCdb(req.cdb);
+  auto complete = [this, done = std::move(req.done)](u8 status, u8 sense) {
+    SimTime wake = sim::WakePenalty(*worker_, params_.cpl_wake_warm_ns,
+                                    params_.cpl_wake_cold_ns);
+    sim_->ScheduleAfter(wake, [this, done, status, sense] {
+      worker_->Run(params_.per_cpl_cpu_ns, [this, done, status, sense] {
+        sim_->ScheduleAfter(params_.irq_latency_ns, [done, status, sense] {
+          if (done) done(status, sense);
+        });
+      });
+    });
+  };
+
+  switch (cdb.type) {
+    case scsi::ParsedCdb::Type::kRead:
+    case scsi::ParsedCdb::Type::kWrite: {
+      Bio bio;
+      bio.op = cdb.type == scsi::ParsedCdb::Type::kRead ? Bio::Op::kRead
+                                                        : Bio::Op::kWrite;
+      bio.sector = cdb.lba;
+      bio.segments = std::move(req.segments);
+      if (bio.length() != static_cast<u64>(cdb.nblocks) * kSectorSize ||
+          cdb.nblocks == 0) {
+        complete(scsi::kCheckCondition, scsi::kIllegalRequest);
+        return;
+      }
+      if (cdb.lba + cdb.nblocks > dev_->capacity_sectors()) {
+        complete(scsi::kCheckCondition, scsi::kIllegalRequest);
+        return;
+      }
+      bio.on_complete = [complete](Status st) {
+        if (st.ok()) {
+          complete(scsi::kGood, scsi::kNoSense);
+        } else {
+          complete(scsi::kCheckCondition, scsi::kMediumError);
+        }
+      };
+      dev_->Submit(std::move(bio));
+      return;
+    }
+    case scsi::ParsedCdb::Type::kSyncCache: {
+      Bio bio = Bio::Flush([complete](Status st) {
+        complete(st.ok() ? scsi::kGood : scsi::kCheckCondition,
+                 st.ok() ? scsi::kNoSense : scsi::kMediumError);
+      });
+      dev_->Submit(std::move(bio));
+      return;
+    }
+    case scsi::ParsedCdb::Type::kReadCapacity: {
+      if (req.segments.empty() ||
+          req.segments[0].len < sizeof(scsi::ReadCapacity16Data)) {
+        complete(scsi::kCheckCondition, scsi::kIllegalRequest);
+        return;
+      }
+      scsi::ReadCapacity16Data data{};
+      scsi::PutBe64(reinterpret_cast<u8*>(&data.max_lba_be),
+                    dev_->capacity_sectors() - 1);
+      scsi::PutBe32(reinterpret_cast<u8*>(&data.block_size_be), kSectorSize);
+      std::memcpy(req.segments[0].data, &data, sizeof(data));
+      complete(scsi::kGood, scsi::kNoSense);
+      return;
+    }
+    case scsi::ParsedCdb::Type::kTestUnitReady:
+      complete(scsi::kGood, scsi::kNoSense);
+      return;
+    case scsi::ParsedCdb::Type::kUnknown:
+      complete(scsi::kCheckCondition, scsi::kIllegalRequest);
+      return;
+  }
+}
+
+}  // namespace nvmetro::kblock

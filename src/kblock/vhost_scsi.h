@@ -1,0 +1,79 @@
+// vhost-scsi backend: the in-kernel SCSI target serving a guest's
+// virtio-scsi queue (the paper's main in-kernel baseline).
+//
+// Cost structure modeled (each a real phenomenon of the Linux vhost
+// path): the guest's virtqueue kick is an eventfd that wakes the vhost
+// kernel worker thread (wakeup latency + context switch); the worker
+// parses the SCSI CDB, translates it to a bio and pushes it through the
+// host block layer (per-request CPU); completion raises a virtual
+// interrupt back into the guest (irqfd). The data path is real: guest
+// pages are carried as bio segments through to the device.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "kblock/bio.h"
+#include "kblock/scsi.h"
+#include "sim/simulator.h"
+#include "sim/vcpu.h"
+
+namespace nvmetro::kblock {
+
+struct VhostScsiParams {
+  /// Kick (eventfd) to worker-running latency: cold when the vhost
+  /// kthread has slept a while (scheduler + C-state), warm otherwise.
+  SimTime kick_wakeup_cold_ns = 36'000;
+  SimTime kick_wakeup_warm_ns = 3'000;
+  /// Worker CPU per request: virtio descriptor walk + CDB parse +
+  /// SCSI->bio translation + block-layer submit.
+  SimTime per_req_cpu_ns = 4'500;
+  /// Worker CPU per completion: response write + irqfd signal.
+  SimTime per_cpl_cpu_ns = 2'500;
+  /// Completion-side worker wake (cold after long device latency).
+  SimTime cpl_wake_cold_ns = 28'000;
+  SimTime cpl_wake_warm_ns = 1'000;
+  /// Latency from completion to the guest seeing the virtual IRQ.
+  SimTime irq_latency_ns = 14'000;
+};
+
+class VhostScsiBackend {
+ public:
+  using Params = VhostScsiParams;
+
+  struct Request {
+    scsi::Cdb cdb;
+    std::vector<BioSegment> segments;  // guest pages (host-translated)
+    /// Completion: SCSI status byte + sense key.
+    std::function<void(u8 status, u8 sense)> done;
+  };
+
+  VhostScsiBackend(sim::Simulator* sim, sim::VCpu* worker, BlockDevice* dev,
+                   Params params = {});
+
+  /// Places a request on the virtqueue (no cost — the guest built the
+  /// descriptors) .
+  void Enqueue(Request req);
+
+  /// Guest doorbell: wakes the vhost worker if it is idle.
+  void Kick();
+
+  u64 requests_served() const { return served_; }
+  /// True while the worker is draining the ring (for EVENT_IDX-style
+  /// notification suppression by the guest).
+  bool worker_active() const { return worker_active_; }
+
+ private:
+  void WorkerLoop();
+  void Serve(Request req);
+
+  sim::Simulator* sim_;
+  sim::VCpu* worker_;
+  BlockDevice* dev_;
+  Params params_;
+  std::deque<Request> vring_;
+  bool worker_active_ = false;
+  u64 served_ = 0;
+};
+
+}  // namespace nvmetro::kblock

@@ -1,0 +1,60 @@
+// Bloom filter for SSTable key membership (as RocksDB attaches per-table
+// filters), with serialization for the table footer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nvmetro::kv {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sizes the filter for `expected_keys` at `bits_per_key`.
+  BloomFilter(u64 expected_keys, u32 bits_per_key) {
+    u64 nbits = std::max<u64>(64, expected_keys * bits_per_key);
+    bits_.assign((nbits + 7) / 8, 0);
+    // k = bits_per_key * ln2, clamped.
+    hashes_ = std::max<u32>(1, std::min<u32>(12,
+        static_cast<u32>(static_cast<double>(bits_per_key) * 0.69)));
+  }
+
+  void Add(const std::string& key) {
+    u64 h1 = FnvHash64Bytes(key.data(), key.size());
+    u64 h2 = FnvHash64(h1);
+    for (u32 i = 0; i < hashes_; i++) {
+      u64 bit = (h1 + i * h2) % (bits_.size() * 8);
+      bits_[bit / 8] |= static_cast<u8>(1u << (bit % 8));
+    }
+  }
+
+  /// False when the key is definitely absent.
+  bool MayContain(const std::string& key) const {
+    if (bits_.empty()) return true;
+    u64 h1 = FnvHash64Bytes(key.data(), key.size());
+    u64 h2 = FnvHash64(h1);
+    for (u32 i = 0; i < hashes_; i++) {
+      u64 bit = (h1 + i * h2) % (bits_.size() * 8);
+      if (!(bits_[bit / 8] & (1u << (bit % 8)))) return false;
+    }
+    return true;
+  }
+
+  const std::vector<u8>& bits() const { return bits_; }
+  u32 hashes() const { return hashes_; }
+
+  void Restore(std::vector<u8> bits, u32 hashes) {
+    bits_ = std::move(bits);
+    hashes_ = hashes;
+  }
+
+ private:
+  std::vector<u8> bits_;
+  u32 hashes_ = 1;
+};
+
+}  // namespace nvmetro::kv

@@ -1,0 +1,738 @@
+#include "kv/minikv.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmetro::kv {
+
+namespace {
+constexpr u64 kIoChunk = 256 * KiB;  // sequential I/O unit for flush/compact
+
+// --- WAL record framing ------------------------------------------------------
+// magic | klen u16 | tomb u8 | vlen u32 | crc u32 | key | value
+// The crc (truncated FNV of key+value) plus the magic byte let recovery
+// scan a preallocated (zero-filled) log and stop at the first torn or
+// unwritten record.
+constexpr u8 kWalMagic = 0xA7;
+
+u32 WalCrc(const std::string& key, const std::string& value) {
+  u64 h = FnvHash64Bytes(key.data(), key.size()) ^
+          FnvHash64Bytes(value.data(), value.size());
+  return static_cast<u32>(h ^ (h >> 32));
+}
+
+void AppendWalRecord(std::vector<u8>* buf, const Record& rec) {
+  buf->push_back(kWalMagic);
+  u16 klen = static_cast<u16>(rec.key.size());
+  buf->push_back(static_cast<u8>(klen));
+  buf->push_back(static_cast<u8>(klen >> 8));
+  buf->push_back(rec.tombstone ? 1 : 0);
+  u32 vlen = static_cast<u32>(rec.value.size());
+  for (int i = 0; i < 4; i++) buf->push_back(static_cast<u8>(vlen >> (8 * i)));
+  u32 crc = WalCrc(rec.key, rec.value);
+  for (int i = 0; i < 4; i++) buf->push_back(static_cast<u8>(crc >> (8 * i)));
+  buf->insert(buf->end(), rec.key.begin(), rec.key.end());
+  buf->insert(buf->end(), rec.value.begin(), rec.value.end());
+}
+
+/// Scans WAL records until the first invalid one (torn tail / unwritten
+/// zeros).
+void ParseWalRecords(const u8* p, u64 len, std::vector<Record>* out) {
+  u64 pos = 0;
+  while (pos + 12 <= len) {
+    if (p[pos] != kWalMagic) return;
+    u16 klen = static_cast<u16>(p[pos + 1] | (p[pos + 2] << 8));
+    u8 tomb = p[pos + 3];
+    u32 vlen = 0;
+    for (int i = 0; i < 4; i++) {
+      vlen |= static_cast<u32>(p[pos + 4 + i]) << (8 * i);
+    }
+    u32 crc = 0;
+    for (int i = 0; i < 4; i++) {
+      crc |= static_cast<u32>(p[pos + 8 + i]) << (8 * i);
+    }
+    pos += 12;
+    if (klen == 0 || pos + klen + vlen > len) return;
+    Record r;
+    r.key.assign(reinterpret_cast<const char*>(p + pos), klen);
+    pos += klen;
+    r.value.assign(reinterpret_cast<const char*>(p + pos), vlen);
+    pos += vlen;
+    r.tombstone = tomb != 0;
+    if (WalCrc(r.key, r.value) != crc) return;
+    out->push_back(std::move(r));
+  }
+}
+
+u64 RecordBytes(const Record& r) {
+  return 7 + r.key.size() + r.value.size();
+}
+
+std::string SstName(u64 id) { return "sst-" + std::to_string(id); }
+std::string WalName(u64 id) { return "wal-" + std::to_string(id); }
+
+/// Sequentially appends `data` to `file` in kIoChunk pieces.
+void AppendChunked(fsx::FlatFs* fs, const std::string& file,
+                   std::shared_ptr<std::vector<u8>> data, u64 pos,
+                   fsx::FlatFs::Callback done) {
+  if (pos >= data->size()) {
+    done(OkStatus());
+    return;
+  }
+  u64 n = std::min<u64>(kIoChunk, data->size() - pos);
+  fs->Append(file, data->data() + pos, n,
+             [fs, file, data, pos, n, done = std::move(done)](Status st) {
+               if (!st.ok()) {
+                 done(st);
+                 return;
+               }
+               AppendChunked(fs, file, data, pos + n, done);
+             });
+}
+
+/// Sequentially reads a whole file in kIoChunk pieces.
+void ReadWhole(fsx::FlatFs* fs, const std::string& file,
+               std::shared_ptr<std::vector<u8>> out, u64 pos,
+               fsx::FlatFs::Callback done) {
+  if (pos >= out->size()) {
+    done(OkStatus());
+    return;
+  }
+  u64 n = std::min<u64>(kIoChunk, out->size() - pos);
+  fs->ReadAt(file, pos, out->data() + pos, n,
+             [fs, file, out, pos, n, done = std::move(done)](Status st) {
+               if (!st.ok()) {
+                 done(st);
+                 return;
+               }
+               ReadWhole(fs, file, out, pos + n, done);
+             });
+}
+
+}  // namespace
+
+// --- Open / recovery -------------------------------------------------------------
+
+struct OpenCtx {
+  std::unique_ptr<MiniKv> db;
+  std::vector<u64> sst_ids;
+  usize next = 0;
+  u64 wal_id = 0;
+  bool has_wal = false;
+  MiniKv::OpenCb done;
+};
+
+void MiniKv::Open(sim::Simulator* sim, fsx::FlatFs* fs,
+                  MiniKvOptions options, OpenCb done) {
+  auto db = std::unique_ptr<MiniKv>(new MiniKv(sim, fs, options));
+  MiniKv* kv = db.get();
+
+  // Discover SSTables and the WAL.
+  std::vector<u64> sst_ids;
+  u64 wal_id = 0;
+  bool has_wal = false;
+  for (const std::string& name : fs->List()) {
+    if (name.rfind("sst-", 0) == 0) {
+      sst_ids.push_back(std::stoull(name.substr(4)));
+    } else if (name.rfind("wal-", 0) == 0) {
+      u64 id = std::stoull(name.substr(4));
+      wal_id = std::max(wal_id, id);
+      has_wal = true;
+    }
+  }
+  std::sort(sst_ids.begin(), sst_ids.end(), std::greater<u64>());
+  for (u64 id : sst_ids) kv->next_file_id_ = std::max(kv->next_file_id_, id + 1);
+  if (has_wal) kv->next_file_id_ = std::max(kv->next_file_id_, wal_id + 1);
+
+  auto ctx = std::make_shared<OpenCtx>();
+  ctx->db = std::move(db);
+  ctx->sst_ids = std::move(sst_ids);
+  ctx->wal_id = wal_id;
+  ctx->has_wal = has_wal;
+  ctx->done = std::move(done);
+  OpenStep(std::move(ctx));
+}
+
+void MiniKv::OpenStep(std::shared_ptr<OpenCtx> ctx) {
+  MiniKv* kv2 = ctx->db.get();
+  if (ctx->next < ctx->sst_ids.size()) {
+    u64 id = ctx->sst_ids[ctx->next++];
+    std::string name = SstName(id);
+    u64 len = kv2->fs_->FileSize(name);
+    // Read a generous tail (index + footer); the index of our table
+    // sizes is well under 1 MiB.
+    u64 tail_len = std::min<u64>(len, 1 * MiB);
+    auto tail = std::make_shared<std::vector<u8>>(tail_len);
+    kv2->fs_->ReadAt(name, len - tail_len, tail->data(), tail_len,
+                     [ctx, id, name, len, tail](Status st) mutable {
+                       if (!st.ok()) {
+                         ctx->done(st);
+                         return;
+                       }
+                       auto sst = std::make_shared<Sst>();
+                       sst->meta.id = id;
+                       sst->meta.fname = name;
+                       Status ps = ParseSsTableTail(*tail, len, &sst->meta);
+                       if (!ps.ok()) {
+                         ctx->done(ps);
+                         return;
+                       }
+                       ctx->db->ssts_.push_back(std::move(sst));
+                       OpenStep(std::move(ctx));
+                     });
+    return;
+  }
+  // Replay WAL (scan the preallocated log until the first invalid
+  // record).
+  MiniKv* kv3 = ctx->db.get();
+  if (ctx->has_wal) {
+    kv3->wal_name_ = WalName(ctx->wal_id);
+    u64 len = kv3->fs_->FileSize(kv3->wal_name_);
+    auto blob = std::make_shared<std::vector<u8>>(len);
+    auto finish = [ctx, blob]() {
+      MiniKv* kv4 = ctx->db.get();
+      std::vector<Record> recs;
+      ParseWalRecords(blob->data(), blob->size(), &recs);
+      for (auto& r : recs) {
+        kv4->mem_bytes_ += RecordBytes(r);
+        // Recovered records land past whatever is already replayed.
+        std::vector<u8> reenc;
+        AppendWalRecord(&reenc, r);
+        kv4->wal_pos_ += reenc.size();
+        kv4->memtable_[r.key] = std::move(r);
+      }
+      ctx->done(std::move(ctx->db));
+    };
+    if (len == 0) {
+      finish();
+    } else {
+      ReadWhole(kv3->fs_, kv3->wal_name_, blob, 0,
+                [ctx, finish](Status st) {
+                  if (!st.ok()) {
+                    ctx->done(st);
+                    return;
+                  }
+                  finish();
+                });
+    }
+    return;
+  }
+  // Fresh store: create + preallocate the first WAL and persist the
+  // filesystem metadata once, so the log file itself survives crashes.
+  kv3->wal_name_ = WalName(kv3->next_file_id_++);
+  Status cs = kv3->fs_->Create(kv3->wal_name_);
+  if (cs.ok()) cs = kv3->fs_->Preallocate(kv3->wal_name_,
+                                          kv3->opt_.wal_capacity_bytes);
+  if (!cs.ok()) {
+    ctx->done(cs);
+    return;
+  }
+  kv3->fs_->Sync([ctx](Status st) {
+    if (!st.ok()) {
+      ctx->done(st);
+      return;
+    }
+    ctx->done(std::move(ctx->db));
+  });
+}
+
+// --- Write path ------------------------------------------------------------------
+
+void MiniKv::Put(const std::string& key, const std::string& value,
+                 StatusCb done) {
+  stats_.puts++;
+  Write(key, value, false, std::move(done));
+}
+
+void MiniKv::Delete(const std::string& key, StatusCb done) {
+  stats_.deletes++;
+  Write(key, "", true, std::move(done));
+}
+
+void MiniKv::Write(const std::string& key, const std::string& value,
+                   bool tombstone, StatusCb done) {
+  if (key.empty()) {
+    RunOnCpu(0, [done = std::move(done)] {
+      done(InvalidArgument("empty keys are not supported"));
+    });
+    return;
+  }
+  // Backpressure: both memtables full -> stall until the flush finishes
+  // (RocksDB write stall).
+  if (imm_memtable_ && mem_bytes_ >= opt_.memtable_bytes) {
+    stats_.write_stalls++;
+    stall_waiters_.push_back([this, key, value, tombstone,
+                              done = std::move(done)](Status st) {
+      if (!st.ok()) {
+        done(st);
+        return;
+      }
+      Write(key, value, tombstone, done);
+    });
+    return;
+  }
+  RunOnCpu(opt_.cpu_per_op_ns, [this, key, value, tombstone,
+                                done = std::move(done)] {
+    Record rec{key, value, tombstone};
+    AppendWal(rec);
+    mem_bytes_ += RecordBytes(rec);
+    memtable_[key] = std::move(rec);
+    MaybeScheduleFlush();
+    done(OkStatus());
+  });
+}
+
+void MiniKv::AppendWal(const Record& rec) {
+  u64 before = wal_buffer_.size();
+  AppendWalRecord(&wal_buffer_, rec);
+  stats_.wal_bytes += wal_buffer_.size() - before;
+  if (wal_buffer_.size() >= opt_.wal_buffer_bytes) FlushWalBuffer();
+  // A nearly-full log forces an early memtable flush (log rotation).
+  if (wal_pos_ + wal_buffer_.size() + 64 * KiB > opt_.wal_capacity_bytes &&
+      !flushing_) {
+    StartFlush();
+  }
+}
+
+void MiniKv::FlushWalBuffer() {
+  if (wal_buffer_.empty()) return;
+  if (wal_pos_ + wal_buffer_.size() > opt_.wal_capacity_bytes) {
+    // Should not happen (rotation kicks in earlier); drop durability of
+    // the overflow rather than corrupting the log.
+    wal_buffer_.clear();
+    return;
+  }
+  auto blob = std::make_shared<std::vector<u8>>(std::move(wal_buffer_));
+  wal_buffer_.clear();
+  u64 at = wal_pos_;
+  wal_pos_ += blob->size();
+  // Buffered (no-sync) WAL, as RocksDB defaults: the write is issued,
+  // the writer does not wait for it.
+  fs_->WriteAt(wal_name_, at, blob->data(), blob->size(),
+               [blob](Status) { /* fire and forget */ });
+}
+
+void MiniKv::MaybeScheduleFlush() {
+  if (mem_bytes_ < opt_.memtable_bytes || imm_memtable_) return;
+  StartFlush();
+}
+
+void MiniKv::StartFlush() {
+  if (flushing_ || memtable_.empty()) return;
+  flushing_ = true;
+  stats_.flushes++;
+  imm_memtable_ =
+      std::make_shared<std::map<std::string, Record>>(std::move(memtable_));
+  memtable_.clear();
+  mem_bytes_ = 0;
+  FlushWalBuffer();
+  // The WAL for the flushed memtable is obsolete once the SST lands;
+  // start a fresh WAL for the new memtable immediately.
+  std::string old_wal = wal_name_;
+  wal_name_ = WalName(next_file_id_++);
+  (void)fs_->Create(wal_name_);
+  (void)fs_->Preallocate(wal_name_, opt_.wal_capacity_bytes);
+  wal_pos_ = 0;
+
+  u64 sst_id = next_file_id_++;
+  auto sst = std::make_shared<Sst>();
+  sst->meta.id = sst_id;
+  sst->meta.fname = SstName(sst_id);
+  auto image = std::make_shared<std::vector<u8>>(
+      BuildSsTable(*imm_memtable_, opt_.block_bytes, opt_.bloom_bits_per_key,
+                   &sst->meta));
+  Status cs = fs_->Create(sst->meta.fname);
+  if (!cs.ok()) {
+    FinishFlush(cs);
+    return;
+  }
+  AppendChunked(fs_, sst->meta.fname, image, 0,
+                [this, sst, old_wal](Status st) {
+                  if (!st.ok()) {
+                    FinishFlush(st);
+                    return;
+                  }
+                  fs_->Sync([this, sst, old_wal](Status st2) {
+                    if (st2.ok()) {
+                      ssts_.insert(ssts_.begin(), sst);
+                      fs_->Remove(old_wal);
+                      imm_memtable_.reset();
+                    }
+                    FinishFlush(st2);
+                  });
+                });
+}
+
+void MiniKv::FinishFlush(Status st) {
+  flushing_ = false;
+  imm_memtable_.reset();
+  auto stalled = std::move(stall_waiters_);
+  stall_waiters_.clear();
+  for (auto& cb : stalled) cb(st);
+  auto waiters = std::move(flush_waiters_);
+  flush_waiters_.clear();
+  for (auto& cb : waiters) cb(st);
+  MaybeStartCompaction();
+}
+
+void MiniKv::FlushMemtable(StatusCb done) {
+  if (memtable_.empty() && !flushing_) {
+    RunOnCpu(0, [done = std::move(done)] { done(OkStatus()); });
+    return;
+  }
+  flush_waiters_.push_back(std::move(done));
+  if (!flushing_) StartFlush();
+}
+
+// --- Compaction ------------------------------------------------------------------
+
+struct CompactCtx {
+  std::vector<MiniKv::SstPtr> inputs;
+  std::map<std::string, Record> merged;
+  usize idx = 0;
+};
+
+void MiniKv::MaybeStartCompaction() {
+  if (compacting_ || ssts_.size() < opt_.compact_threshold) return;
+  compacting_ = true;
+  stats_.compactions++;
+
+  // Merge ALL current runs (size-tiered full merge), newest-first
+  // precedence; tombstones drop out of the merged bottom run.
+  auto ctx = std::make_shared<CompactCtx>();
+  ctx->inputs = ssts_;
+  CompactReadStep(std::move(ctx));
+}
+
+void MiniKv::CompactReadStep(std::shared_ptr<CompactCtx> ctx) {
+  if (ctx->idx >= ctx->inputs.size()) {
+    CompactFinish(std::move(ctx));
+    return;
+  }
+  const SstPtr& sst = ctx->inputs[ctx->idx++];
+  auto blob = std::make_shared<std::vector<u8>>(sst->meta.data_len);
+  ReadWhole(fs_, sst->meta.fname, blob, 0,
+            [this, ctx, blob](Status st) mutable {
+              if (!st.ok()) {
+                compacting_ = false;
+                return;
+              }
+              std::vector<Record> recs;
+              if (ParseBlock(blob->data(), blob->size(), &recs).ok()) {
+                // Inputs are visited newest-first; keep the first copy.
+                for (auto& r : recs) {
+                  ctx->merged.emplace(r.key, std::move(r));
+                }
+              }
+              CompactReadStep(std::move(ctx));
+            });
+}
+
+void MiniKv::CompactFinish(std::shared_ptr<CompactCtx> ctx) {
+  // Drop tombstones (full merge covers the whole keyspace).
+  for (auto it = ctx->merged.begin(); it != ctx->merged.end();) {
+    if (it->second.tombstone) {
+      it = ctx->merged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  u64 sst_id = next_file_id_++;
+  auto out = std::make_shared<Sst>();
+  out->meta.id = sst_id;
+  out->meta.fname = SstName(sst_id);
+  auto image = std::make_shared<std::vector<u8>>(
+      BuildSsTable(ctx->merged, opt_.block_bytes, opt_.bloom_bits_per_key,
+                   &out->meta));
+  if (!fs_->Create(out->meta.fname).ok()) {
+    compacting_ = false;
+    return;
+  }
+  AppendChunked(
+      fs_, out->meta.fname, image, 0, [this, out, ctx](Status st) {
+        if (!st.ok()) {
+          compacting_ = false;
+          return;
+        }
+        fs_->Sync([this, out, ctx](Status st2) {
+          if (st2.ok()) {
+            // Swap: drop exactly the merged inputs, keep newer runs.
+            std::vector<SstPtr> kept;
+            for (const SstPtr& s : ssts_) {
+              bool is_input = false;
+              for (const SstPtr& in : ctx->inputs) {
+                if (in == s) is_input = true;
+              }
+              if (!is_input) kept.push_back(s);
+            }
+            kept.push_back(out);
+            ssts_ = std::move(kept);
+            for (const SstPtr& in : ctx->inputs) {
+              fs_->Remove(in->meta.fname);
+            }
+            fs_->Sync([](Status) {});
+          }
+          compacting_ = false;
+          MaybeStartCompaction();
+        });
+      });
+}
+
+// --- Read path -------------------------------------------------------------------
+
+struct GetCtx {
+  MiniKv* kv;
+  std::string key;
+  usize sst_idx = 0;
+  std::vector<MiniKv::SstPtr> ssts;  // snapshot
+  MiniKv::GetCb done;
+};
+
+void MiniKv::Get(const std::string& key, GetCb done) {
+  stats_.gets++;
+  RunOnCpu(opt_.cpu_per_op_ns, [this, key, done = std::move(done)] {
+    // Memtables first.
+    auto check_mem = [&](const std::map<std::string, Record>& table,
+                         Result<std::string>* out) {
+      auto it = table.find(key);
+      if (it == table.end()) return false;
+      if (it->second.tombstone) {
+        *out = NotFound("deleted");
+      } else {
+        *out = it->second.value;
+      }
+      return true;
+    };
+    Result<std::string> hit = NotFound("");
+    if (check_mem(memtable_, &hit) ||
+        (imm_memtable_ && check_mem(*imm_memtable_, &hit))) {
+      stats_.memtable_hits++;
+      done(std::move(hit));
+      return;
+    }
+    auto ctx = std::make_shared<GetCtx>();
+    ctx->kv = this;
+    ctx->key = key;
+    ctx->ssts = ssts_;
+    ctx->done = std::move(done);
+    GetFromSsts(ctx);
+  });
+}
+
+void MiniKv::GetFromSsts(std::shared_ptr<GetCtx> ctx) {
+  while (ctx->sst_idx < ctx->ssts.size()) {
+    const SstPtr& sst = ctx->ssts[ctx->sst_idx];
+    if (!sst->meta.bloom.MayContain(ctx->key)) {
+      stats_.bloom_skips++;
+      ctx->sst_idx++;
+      continue;
+    }
+    i64 block = sst->meta.FindBlock(ctx->key);
+    if (block < 0) {
+      ctx->sst_idx++;
+      continue;
+    }
+    ReadBlock(sst, static_cast<u32>(block),
+              [this, ctx](Result<std::shared_ptr<std::vector<u8>>> blk) {
+                if (!blk.ok()) {
+                  ctx->done(blk.status());
+                  return;
+                }
+                std::string value;
+                switch (FindInBlock((*blk)->data(), (*blk)->size(),
+                                    ctx->key, &value)) {
+                  case BlockFind::kFound:
+                    ctx->done(std::move(value));
+                    return;
+                  case BlockFind::kTombstone:
+                    ctx->done(NotFound("deleted"));
+                    return;
+                  case BlockFind::kCorrupt:
+                    ctx->done(DataLoss("corrupt sstable block"));
+                    return;
+                  case BlockFind::kAbsent:
+                    ctx->sst_idx++;
+                    GetFromSsts(ctx);
+                    return;
+                }
+              });
+    return;  // async continuation takes over
+  }
+  ctx->done(NotFound("no such key"));
+}
+
+void MiniKv::ReadBlock(
+    const SstPtr& sst, u32 block_idx,
+    std::function<void(Result<std::shared_ptr<std::vector<u8>>>)> done) {
+  u64 cache_key = sst->meta.id * 1'000'003 + block_idx;
+  if (auto hit = CacheLookup(cache_key, 0)) {
+    stats_.block_cache_hits++;
+    done(std::move(hit));
+    return;
+  }
+  stats_.block_reads++;
+  u64 off = sst->meta.block_offsets[block_idx];
+  u64 len = sst->meta.BlockLen(block_idx);
+  auto buf = std::make_shared<std::vector<u8>>(len);
+  fs_->ReadAt(sst->meta.fname, off, buf->data(), len,
+              [this, cache_key, buf, done = std::move(done)](Status st) {
+                if (!st.ok()) {
+                  done(st);
+                  return;
+                }
+                CacheInsert(cache_key, 0, buf);
+                done(buf);
+              });
+}
+
+std::shared_ptr<std::vector<u8>> MiniKv::CacheLookup(u64 sst_id,
+                                                     u32 /*block*/) {
+  auto it = cache_.find(sst_id);
+  if (it == cache_.end()) return nullptr;
+  cache_lru_.erase(it->second.lru_it);
+  cache_lru_.push_front(sst_id);
+  it->second.lru_it = cache_lru_.begin();
+  return it->second.data;
+}
+
+void MiniKv::CacheInsert(u64 key, u32 /*block*/,
+                         std::shared_ptr<std::vector<u8>> data) {
+  if (cache_.count(key)) return;
+  cache_bytes_ += data->size();
+  while (cache_bytes_ > opt_.block_cache_bytes && !cache_lru_.empty()) {
+    u64 victim = cache_lru_.back();
+    cache_lru_.pop_back();
+    auto vit = cache_.find(victim);
+    if (vit != cache_.end()) {
+      cache_bytes_ -= vit->second.data->size();
+      cache_.erase(vit);
+    }
+  }
+  cache_lru_.push_front(key);
+  cache_[key] = CacheEntry{std::move(data), cache_lru_.begin()};
+}
+
+// --- Scan ------------------------------------------------------------------------
+
+struct ScanCtx {
+  std::string start;
+  u32 count = 0;
+  /// Per-source gather window, in entries. Starts at `count` and grows
+  /// geometrically when a pass under-produces (e.g. a tombstone-heavy
+  /// range where most gathered candidates cancel out).
+  u32 budget = 0;
+  /// Set when any source had more data beyond its window — i.e. an
+  /// under-full result might be fixable by a wider pass.
+  bool truncated = false;
+  std::map<std::string, Record> acc;
+  std::vector<MiniKv::SstPtr> ssts;
+  usize idx = 0;
+  u32 blocks_left = 0;
+  u32 block = 0;
+  MiniKv::ScanCb done;
+};
+
+void MiniKv::GatherScanMemtables(const std::shared_ptr<ScanCtx>& ctx) {
+  // Newest copies win the emplace; entries are added memtable -> newer
+  // SSTs -> older SSTs (ssts_ is kept newest-first).
+  auto add = [&ctx](const Record& r) { ctx->acc.emplace(r.key, r); };
+  u32 cap = ctx->budget * 2;
+  auto it = memtable_.lower_bound(ctx->start);
+  u32 n = 0;
+  for (; it != memtable_.end() && n < cap; ++it, ++n) {
+    add(it->second);
+  }
+  if (it != memtable_.end()) ctx->truncated = true;
+  if (imm_memtable_) {
+    auto it2 = imm_memtable_->lower_bound(ctx->start);
+    u32 n2 = 0;
+    for (; it2 != imm_memtable_->end() && n2 < cap; ++it2, ++n2) {
+      add(it2->second);
+    }
+    if (it2 != imm_memtable_->end()) ctx->truncated = true;
+  }
+}
+
+void MiniKv::Scan(const std::string& start, u32 count, ScanCb done) {
+  stats_.scans++;
+  RunOnCpu(opt_.cpu_per_op_ns * 2, [this, start, count,
+                                    done = std::move(done)]() mutable {
+    auto ctx = std::make_shared<ScanCtx>();
+    ctx->start = start;
+    ctx->count = count;
+    ctx->budget = std::max<u32>(count, 1);
+    ctx->ssts = ssts_;
+    ctx->done = std::move(done);
+    GatherScanMemtables(ctx);
+    ScanStep(std::move(ctx));
+  });
+}
+
+void MiniKv::ScanStep(std::shared_ptr<ScanCtx> ctx) {
+  // Pick the next run and the consecutive blocks covering `count` keys.
+  while (ctx->idx < ctx->ssts.size() && ctx->blocks_left == 0) {
+    const SstPtr& sst = ctx->ssts[ctx->idx];
+    if (sst->meta.num_blocks() == 0) {
+      ctx->idx++;
+      continue;
+    }
+    i64 blk = sst->meta.FindBlock(ctx->start);
+    if (blk < 0) blk = 0;
+    ctx->block = static_cast<u32>(blk);
+    // Estimate blocks needed from the average record size.
+    u64 avg = sst->meta.num_keys
+                  ? std::max<u64>(1, sst->meta.data_len / sst->meta.num_keys)
+                  : 64;
+    u64 need_bytes = static_cast<u64>(ctx->budget) * avg * 2;
+    ctx->blocks_left = static_cast<u32>(
+        std::min<u64>(sst->meta.num_blocks() - ctx->block,
+                      need_bytes / opt_.block_bytes + 1));
+    if (ctx->block + ctx->blocks_left < sst->meta.num_blocks()) {
+      ctx->truncated = true;
+    }
+  }
+  if (ctx->idx >= ctx->ssts.size()) {
+    ScanResult out;
+    auto it = ctx->acc.lower_bound(ctx->start);
+    for (; it != ctx->acc.end() && out.size() < ctx->count; ++it) {
+      if (it->second.tombstone) continue;
+      out.emplace_back(it->first, it->second.value);
+    }
+    if (out.size() < ctx->count && ctx->truncated) {
+      // Under-produced with sources left unread beyond their windows —
+      // e.g. the window filled with tombstones or shadowed duplicates.
+      // Retry the whole gather with a wider budget (geometric, so total
+      // work stays O(final window); the block cache absorbs re-reads).
+      ctx->budget *= 4;
+      ctx->truncated = false;
+      ctx->acc.clear();
+      ctx->idx = 0;
+      ctx->block = 0;
+      ctx->blocks_left = 0;
+      GatherScanMemtables(ctx);
+      ScanStep(std::move(ctx));
+      return;
+    }
+    ctx->done(std::move(out));
+    return;
+  }
+  const SstPtr& sst = ctx->ssts[ctx->idx];
+  u32 blk = ctx->block;
+  ReadBlock(sst, blk,
+            [this, ctx](Result<std::shared_ptr<std::vector<u8>>> data) {
+              if (data.ok()) {
+                std::vector<Record> recs;
+                if (ParseBlock((*data)->data(), (*data)->size(), &recs)
+                        .ok()) {
+                  for (auto& r : recs) {
+                    ctx->acc.emplace(r.key, std::move(r));
+                  }
+                }
+              }
+              ctx->block++;
+              if (--ctx->blocks_left == 0) ctx->idx++;
+              ScanStep(ctx);
+            });
+}
+
+}  // namespace nvmetro::kv

@@ -1,0 +1,177 @@
+// MiniKv: an LSM-tree key-value store over FlatFs.
+//
+// Substitution for the paper's RocksDB (§V-A): a write-ahead log feeding
+// an in-memory memtable, flushed to sorted SSTable files with bloom
+// filters and block indexes, background size-tiered compaction, an LRU
+// block cache, point gets and ordered scans. The I/O stream it produces —
+// buffered WAL appends, large sequential flush/compaction writes, random
+// block reads — is the same kind of mixed load YCSB-on-RocksDB generates
+// through the storage stacks under test.
+//
+// The API is asynchronous (callback-based) because the store runs inside
+// the discrete-event simulation; per-operation CPU is charged to the
+// configured guest vCPU.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "fsx/flatfs.h"
+#include "kv/sstable.h"
+#include "sim/simulator.h"
+#include "sim/vcpu.h"
+
+namespace nvmetro::kv {
+
+struct MiniKvOptions {
+  u64 memtable_bytes = 4 * MiB;
+  u32 block_bytes = 4096;
+  u64 block_cache_bytes = 64 * MiB;
+  /// Number of sorted runs that triggers a full-merge compaction.
+  u32 compact_threshold = 6;
+  u32 bloom_bits_per_key = 10;
+  u64 wal_buffer_bytes = 32 * KiB;
+  /// WAL files are preallocated at this size so appended records survive
+  /// a crash without per-append filesystem metadata syncs.
+  u64 wal_capacity_bytes = 16 * MiB;
+  /// Guest CPU the DB engine runs on (charged per op); may be null in
+  /// pure-logic tests.
+  sim::VCpu* cpu = nullptr;
+  SimTime cpu_per_op_ns = 1'200;
+};
+
+class MiniKv {
+ public:
+  using StatusCb = std::function<void(Status)>;
+  using GetCb = std::function<void(Result<std::string>)>;
+  using ScanResult = std::vector<std::pair<std::string, std::string>>;
+  using ScanCb = std::function<void(Result<ScanResult>)>;
+  using OpenCb = std::function<void(Result<std::unique_ptr<MiniKv>>)>;
+
+  /// Opens (and recovers) a store on a mounted FlatFs: loads SSTable
+  /// metadata from disk and replays the WAL into the memtable.
+  static void Open(sim::Simulator* sim, fsx::FlatFs* fs,
+                   MiniKvOptions options, OpenCb done);
+
+  ~MiniKv() = default;
+
+  void Put(const std::string& key, const std::string& value, StatusCb done);
+  void Delete(const std::string& key, StatusCb done);
+  void Get(const std::string& key, GetCb done);
+  /// Returns up to `count` key/value pairs with key >= start, in order.
+  void Scan(const std::string& start, u32 count, ScanCb done);
+
+  /// Forces the current memtable to disk (waits for any ongoing flush).
+  void FlushMemtable(StatusCb done);
+
+  struct Stats {
+    u64 puts = 0;
+    u64 gets = 0;
+    u64 deletes = 0;
+    u64 scans = 0;
+    u64 memtable_hits = 0;
+    u64 bloom_skips = 0;
+    u64 block_reads = 0;       // data blocks fetched from storage
+    u64 block_cache_hits = 0;
+    u64 flushes = 0;
+    u64 compactions = 0;
+    u64 wal_bytes = 0;
+    u64 write_stalls = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  usize sstable_count() const { return ssts_.size(); }
+  u64 memtable_bytes() const { return mem_bytes_; }
+
+ private:
+  MiniKv(sim::Simulator* sim, fsx::FlatFs* fs, MiniKvOptions options)
+      : sim_(sim), fs_(fs), opt_(options) {}
+
+  struct Sst {
+    SsTableMeta meta;
+  };
+  using SstPtr = std::shared_ptr<Sst>;
+
+  // --- write path ---
+  void Write(const std::string& key, const std::string& value,
+             bool tombstone, StatusCb done);
+  void AppendWal(const Record& rec);
+  void FlushWalBuffer();
+  void MaybeScheduleFlush();
+  void StartFlush();
+  void FinishFlush(Status st);
+  void MaybeStartCompaction();
+
+  // --- async-loop steps (free of self-referential closures) ---
+  static void OpenStep(std::shared_ptr<struct OpenCtx> ctx);
+  void CompactReadStep(std::shared_ptr<struct CompactCtx> ctx);
+  void CompactFinish(std::shared_ptr<struct CompactCtx> ctx);
+  void ScanStep(std::shared_ptr<struct ScanCtx> ctx);
+  void GatherScanMemtables(const std::shared_ptr<struct ScanCtx>& ctx);
+
+  // --- read path ---
+  void GetFromSsts(std::shared_ptr<struct GetCtx> ctx);
+  void ReadBlock(const SstPtr& sst, u32 block_idx,
+                 std::function<void(Result<std::shared_ptr<std::vector<u8>>>)>
+                     done);
+
+  // --- block cache ---
+  std::shared_ptr<std::vector<u8>> CacheLookup(u64 sst_id, u32 block);
+  void CacheInsert(u64 sst_id, u32 block,
+                   std::shared_ptr<std::vector<u8>> data);
+
+  void RunOnCpu(SimTime cost, std::function<void()> fn) {
+    if (opt_.cpu) {
+      opt_.cpu->Run(cost, std::move(fn));
+    } else {
+      sim_->ScheduleAfter(cost, std::move(fn));
+    }
+  }
+
+  sim::Simulator* sim_;
+  fsx::FlatFs* fs_;
+  MiniKvOptions opt_;
+  Stats stats_;
+
+  // Active memtable + the immutable one being flushed.
+  std::map<std::string, Record> memtable_;
+  u64 mem_bytes_ = 0;
+  std::shared_ptr<std::map<std::string, Record>> imm_memtable_;
+  bool flushing_ = false;
+  bool compacting_ = false;
+  std::vector<StatusCb> stall_waiters_;
+  std::vector<StatusCb> flush_waiters_;
+
+  // Sorted runs, newest first.
+  std::vector<SstPtr> ssts_;
+  u64 next_file_id_ = 1;
+
+  // WAL.
+  std::string wal_name_;
+  std::vector<u8> wal_buffer_;
+  u64 wal_pos_ = 0;  // next write offset within the preallocated file
+
+  // Block cache (LRU).
+  struct CacheEntry {
+    std::shared_ptr<std::vector<u8>> data;
+    std::list<u64>::iterator lru_it;
+  };
+  std::unordered_map<u64, CacheEntry> cache_;
+  std::list<u64> cache_lru_;
+  u64 cache_bytes_ = 0;
+
+  friend struct GetCtx;
+  friend struct OpenCtx;
+  friend struct CompactCtx;
+  friend struct ScanCtx;
+  friend struct MiniKvTestPeer;
+};
+
+}  // namespace nvmetro::kv

@@ -1,0 +1,190 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmetro::kv {
+
+namespace {
+void PutU16(std::vector<u8>* out, u16 v) {
+  out->push_back(static_cast<u8>(v));
+  out->push_back(static_cast<u8>(v >> 8));
+}
+void PutU32(std::vector<u8>* out, u32 v) {
+  for (int i = 0; i < 4; i++) out->push_back(static_cast<u8>(v >> (8 * i)));
+}
+void PutU64(std::vector<u8>* out, u64 v) {
+  for (int i = 0; i < 8; i++) out->push_back(static_cast<u8>(v >> (8 * i)));
+}
+u16 GetU16(const u8* p) { return static_cast<u16>(p[0] | (p[1] << 8)); }
+u32 GetU32(const u8* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; i++) v |= static_cast<u32>(p[i]) << (8 * i);
+  return v;
+}
+u64 GetU64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; i++) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+void AppendRecord(std::vector<u8>* out, const Record& r) {
+  PutU16(out, static_cast<u16>(r.key.size()));
+  out->push_back(r.tombstone ? 1 : 0);
+  PutU32(out, static_cast<u32>(r.value.size()));
+  out->insert(out->end(), r.key.begin(), r.key.end());
+  out->insert(out->end(), r.value.begin(), r.value.end());
+}
+
+}  // namespace
+
+i64 SsTableMeta::FindBlock(const std::string& key) const {
+  if (first_keys.empty()) return -1;
+  // Last block whose first key <= key.
+  auto it = std::upper_bound(first_keys.begin(), first_keys.end(), key);
+  if (it == first_keys.begin()) return -1;
+  return static_cast<i64>(it - first_keys.begin()) - 1;
+}
+
+std::vector<u8> BuildSsTable(const std::map<std::string, Record>& records,
+                             u32 block_bytes, u32 bloom_bits_per_key,
+                             SsTableMeta* meta) {
+  std::vector<u8> file;
+  meta->first_keys.clear();
+  meta->block_offsets.clear();
+  meta->num_keys = records.size();
+  meta->bloom = BloomFilter(records.size(), bloom_bits_per_key);
+
+  u64 block_start = 0;
+  bool block_open = false;
+  for (const auto& [key, rec] : records) {
+    meta->bloom.Add(key);
+    if (!block_open) {
+      block_start = file.size();
+      meta->block_offsets.push_back(block_start);
+      meta->first_keys.push_back(key);
+      block_open = true;
+    }
+    AppendRecord(&file, rec);
+    if (file.size() - block_start >= block_bytes) block_open = false;
+  }
+  meta->block_offsets.push_back(file.size());
+  meta->data_len = file.size();
+
+  // Index blob.
+  u64 index_off = file.size();
+  PutU32(&file, static_cast<u32>(meta->first_keys.size()));
+  for (usize i = 0; i < meta->first_keys.size(); i++) {
+    PutU32(&file, static_cast<u32>(meta->first_keys[i].size()));
+    file.insert(file.end(), meta->first_keys[i].begin(),
+                meta->first_keys[i].end());
+    PutU64(&file, meta->block_offsets[i]);
+  }
+  PutU64(&file, meta->data_len);
+  PutU64(&file, meta->num_keys);
+  PutU32(&file, meta->bloom.hashes());
+  PutU32(&file, static_cast<u32>(meta->bloom.bits().size()));
+  file.insert(file.end(), meta->bloom.bits().begin(),
+              meta->bloom.bits().end());
+
+  // Footer.
+  u64 index_end = file.size();
+  PutU64(&file, index_off);
+  PutU64(&file, index_end - index_off);
+  PutU64(&file, kSsTableMagic);
+  return file;
+}
+
+Status ParseSsTableTail(const std::vector<u8>& tail, u64 file_len,
+                        SsTableMeta* meta) {
+  if (tail.size() < kSsTableFooterLen)
+    return DataLoss("sstable: tail too short");
+  const u8* foot = tail.data() + tail.size() - kSsTableFooterLen;
+  u64 index_off = GetU64(foot);
+  u64 index_len = GetU64(foot + 8);
+  u64 magic = GetU64(foot + 16);
+  if (magic != kSsTableMagic) return DataLoss("sstable: bad magic");
+  if (index_off + index_len + kSsTableFooterLen != file_len)
+    return DataLoss("sstable: inconsistent footer");
+  // The tail buffer holds the file's last tail.size() bytes.
+  u64 tail_start = file_len - tail.size();
+  if (index_off < tail_start)
+    return DataLoss("sstable: tail does not include index");
+  const u8* p = tail.data() + (index_off - tail_start);
+  const u8* end = foot;
+
+  auto need = [&](u64 n) { return static_cast<u64>(end - p) >= n; };
+  if (!need(4)) return DataLoss("sstable: truncated index");
+  u32 nblocks = GetU32(p);
+  p += 4;
+  meta->first_keys.clear();
+  meta->block_offsets.clear();
+  for (u32 i = 0; i < nblocks; i++) {
+    if (!need(4)) return DataLoss("sstable: truncated index key");
+    u32 klen = GetU32(p);
+    p += 4;
+    if (!need(klen + 8)) return DataLoss("sstable: truncated index entry");
+    meta->first_keys.emplace_back(reinterpret_cast<const char*>(p), klen);
+    p += klen;
+    meta->block_offsets.push_back(GetU64(p));
+    p += 8;
+  }
+  if (!need(8 + 8 + 4 + 4)) return DataLoss("sstable: truncated index tail");
+  meta->data_len = GetU64(p);
+  p += 8;
+  meta->num_keys = GetU64(p);
+  p += 8;
+  u32 hashes = GetU32(p);
+  p += 4;
+  u32 bloom_len = GetU32(p);
+  p += 4;
+  if (!need(bloom_len)) return DataLoss("sstable: truncated bloom");
+  std::vector<u8> bits(p, p + bloom_len);
+  meta->bloom.Restore(std::move(bits), hashes);
+  meta->block_offsets.push_back(meta->data_len);
+  return OkStatus();
+}
+
+Status ParseBlock(const u8* data, u64 len, std::vector<Record>* out) {
+  u64 pos = 0;
+  while (pos < len) {
+    if (pos + 7 > len) return DataLoss("sstable: truncated record header");
+    u16 klen = GetU16(data + pos);
+    u8 tomb = data[pos + 2];
+    u32 vlen = GetU32(data + pos + 3);
+    pos += 7;
+    if (pos + klen + vlen > len)
+      return DataLoss("sstable: truncated record body");
+    Record r;
+    r.key.assign(reinterpret_cast<const char*>(data + pos), klen);
+    pos += klen;
+    r.value.assign(reinterpret_cast<const char*>(data + pos), vlen);
+    pos += vlen;
+    r.tombstone = tomb != 0;
+    out->push_back(std::move(r));
+  }
+  return OkStatus();
+}
+
+BlockFind FindInBlock(const u8* data, u64 len, const std::string& key,
+                      std::string* value) {
+  u64 pos = 0;
+  while (pos < len) {
+    if (pos + 7 > len) return BlockFind::kCorrupt;
+    u16 klen = GetU16(data + pos);
+    u8 tomb = data[pos + 2];
+    u32 vlen = GetU32(data + pos + 3);
+    pos += 7;
+    if (pos + klen + vlen > len) return BlockFind::kCorrupt;
+    if (klen == key.size() &&
+        std::memcmp(data + pos, key.data(), klen) == 0) {
+      if (tomb) return BlockFind::kTombstone;
+      value->assign(reinterpret_cast<const char*>(data + pos + klen), vlen);
+      return BlockFind::kFound;
+    }
+    pos += klen + vlen;
+  }
+  return BlockFind::kAbsent;
+}
+
+}  // namespace nvmetro::kv

@@ -1,0 +1,73 @@
+// SSTable format: the on-disk sorted-run files of MiniKv.
+//
+// Layout: [data block]* [index blob] [footer]. Data blocks hold sorted
+// records; the index blob carries the first key + offset of every block,
+// the key count and the serialized bloom filter; the 24-byte footer
+// locates the index. Records: u16 klen | u8 tombstone | u32 vlen | key |
+// value.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kv/bloom.h"
+
+namespace nvmetro::kv {
+
+struct Record {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+/// In-memory metadata of one SSTable (the file's data blocks stay on
+/// disk; this is what the table cache would pin).
+struct SsTableMeta {
+  u64 id = 0;
+  std::string fname;
+  u64 data_len = 0;   // bytes of data-block area
+  u64 num_keys = 0;
+  std::vector<std::string> first_keys;  // per block
+  std::vector<u64> block_offsets;       // per block, plus end sentinel
+  BloomFilter bloom;
+
+  /// Index of the block that may contain `key`, or -1.
+  i64 FindBlock(const std::string& key) const;
+  u32 num_blocks() const {
+    return block_offsets.empty()
+               ? 0
+               : static_cast<u32>(block_offsets.size() - 1);
+  }
+  u64 BlockLen(u32 idx) const {
+    return block_offsets[idx + 1] - block_offsets[idx];
+  }
+};
+
+/// Serializes sorted records into a complete SSTable file image and the
+/// corresponding metadata. `block_bytes` bounds data-block payload.
+std::vector<u8> BuildSsTable(const std::map<std::string, Record>& records,
+                             u32 block_bytes, u32 bloom_bits_per_key,
+                             SsTableMeta* meta);
+
+/// Parses the index+footer region of a file image (tail bytes) back into
+/// metadata. `file_len` is the total file size; `tail` must hold at least
+/// the last `tail.size()` bytes of the file and include the whole index.
+Status ParseSsTableTail(const std::vector<u8>& tail, u64 file_len,
+                        SsTableMeta* meta);
+
+/// Size of the footer (for reading the tail).
+constexpr u64 kSsTableFooterLen = 24;
+constexpr u64 kSsTableMagic = 0x4D494E494B563031ull;  // "MINIKV01"
+
+/// Parses all records of one data block.
+Status ParseBlock(const u8* data, u64 len, std::vector<Record>* out);
+
+/// Searches one data block for a key.
+enum class BlockFind { kFound, kTombstone, kAbsent, kCorrupt };
+BlockFind FindInBlock(const u8* data, u64 len, const std::string& key,
+                      std::string* value);
+
+}  // namespace nvmetro::kv

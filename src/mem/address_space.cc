@@ -1,0 +1,63 @@
+#include "mem/address_space.h"
+
+#include <cstring>
+
+#include "common/strutil.h"
+
+namespace nvmetro::mem {
+
+Status AddressSpace::Read(u64 addr, void* dst, u64 len) {
+  u8* p = Translate(addr, len);
+  if (!p)
+    return OutOfRange(StrFormat("DMA read [%#llx,+%llu) unmapped",
+                                (unsigned long long)addr,
+                                (unsigned long long)len));
+  std::memcpy(dst, p, len);
+  return OkStatus();
+}
+
+Status AddressSpace::Write(u64 addr, const void* src, u64 len) {
+  u8* p = Translate(addr, len);
+  if (!p)
+    return OutOfRange(StrFormat("DMA write [%#llx,+%llu) unmapped",
+                                (unsigned long long)addr,
+                                (unsigned long long)len));
+  std::memcpy(p, src, len);
+  return OkStatus();
+}
+
+Status AddressSpace::Fill(u64 addr, u8 byte, u64 len) {
+  u8* p = Translate(addr, len);
+  if (!p) return OutOfRange("DMA fill unmapped");
+  std::memset(p, byte, len);
+  return OkStatus();
+}
+
+IommuSpace::IommuSpace(AddressSpace* base, u64 window_base)
+    : base_(base), window_base_(window_base), next_iova_(window_base) {}
+
+u8* IommuSpace::Translate(u64 addr, u64 len) {
+  if (addr < window_base_) {
+    return base_ ? base_->Translate(addr, len) : nullptr;
+  }
+  auto it = windows_.upper_bound(addr);
+  if (it == windows_.begin()) return nullptr;
+  --it;
+  u64 start = it->first;
+  const Window& w = it->second;
+  if (addr < start || len > w.len || addr - start > w.len - len)
+    return nullptr;
+  return w.host + (addr - start);
+}
+
+u64 IommuSpace::MapHostBuffer(void* host, u64 len) {
+  u64 iova = next_iova_;
+  // Advance by len rounded to 4 KiB so windows never collide.
+  next_iova_ += (len + 4095) / 4096 * 4096 + 4096;
+  windows_[iova] = Window{static_cast<u8*>(host), len};
+  return iova;
+}
+
+void IommuSpace::Unmap(u64 iova) { windows_.erase(iova); }
+
+}  // namespace nvmetro::mem

@@ -1,0 +1,63 @@
+// DMA address spaces.
+//
+// The simulated NVMe controller DMAs data to/from an AddressSpace. For a
+// VM using the fast path this is the guest's physical memory; for host
+// kernel-path I/O (UIF io_uring writes, dm targets) host buffers are
+// mapped into an IOMMU-style window so the same PRP machinery addresses
+// both — mirroring how a real device sees IOVAs programmed by the host.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::mem {
+
+class AddressSpace {
+ public:
+  virtual ~AddressSpace() = default;
+
+  /// Host pointer for [addr, addr+len), or nullptr when unmapped/OOB.
+  virtual u8* Translate(u64 addr, u64 len) = 0;
+
+  /// Bounds-checked copy out of the space.
+  Status Read(u64 addr, void* dst, u64 len);
+  /// Bounds-checked copy into the space.
+  Status Write(u64 addr, const void* src, u64 len);
+  /// Bounds-checked fill.
+  Status Fill(u64 addr, u8 byte, u64 len);
+};
+
+/// An IOMMU-style space layering dynamically mapped host-buffer windows on
+/// top of a base space (typically guest memory mapped at identity).
+/// Window addresses are allocated above `window_base`, which must be >=
+/// the base space size.
+class IommuSpace : public AddressSpace {
+ public:
+  IommuSpace(AddressSpace* base, u64 window_base);
+
+  u8* Translate(u64 addr, u64 len) override;
+
+  /// Maps `len` bytes at `host` into the space; returns the IOVA.
+  /// The mapping is page-granular in address assignment but byte-exact.
+  u64 MapHostBuffer(void* host, u64 len);
+
+  /// Removes a mapping created by MapHostBuffer.
+  void Unmap(u64 iova);
+
+  usize mapped_windows() const { return windows_.size(); }
+
+ private:
+  struct Window {
+    u8* host;
+    u64 len;
+  };
+  AddressSpace* base_;
+  u64 window_base_;
+  u64 next_iova_;
+  std::map<u64, Window> windows_;  // iova -> window
+};
+
+}  // namespace nvmetro::mem

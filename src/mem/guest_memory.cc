@@ -1,0 +1,66 @@
+#include "mem/guest_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strutil.h"
+
+namespace nvmetro::mem {
+
+GuestMemory::GuestMemory(u64 size) {
+  size_ = (size + kPageSize - 1) / kPageSize * kPageSize;
+  backing_.resize(size_, 0);
+  free_runs_.emplace_back(0, size_ / kPageSize);
+}
+
+u8* GuestMemory::Translate(u64 gpa, u64 len) {
+  if (len > size_ || gpa > size_ - len) return nullptr;
+  return backing_.data() + gpa;
+}
+
+const u8* GuestMemory::TranslateConst(u64 gpa, u64 len) const {
+  if (len > size_ || gpa > size_ - len) return nullptr;
+  return backing_.data() + gpa;
+}
+
+Result<u64> GuestMemory::AllocPages(u64 npages) {
+  if (npages == 0) return InvalidArgument("AllocPages(0)");
+  for (usize i = 0; i < free_runs_.size(); i++) {
+    auto& [start, count] = free_runs_[i];
+    if (count >= npages) {
+      u64 gpa = start * kPageSize;
+      start += npages;
+      count -= npages;
+      if (count == 0) free_runs_.erase(free_runs_.begin() + i);
+      allocated_pages_ += npages;
+      return gpa;
+    }
+  }
+  return ResourceExhausted("guest memory allocator exhausted");
+}
+
+void GuestMemory::FreePages(u64 gpa, u64 npages) {
+  if (npages == 0) return;
+  u64 page = gpa / kPageSize;
+  allocated_pages_ -= std::min(allocated_pages_, npages);
+  // Insert sorted and coalesce with neighbours.
+  auto it = std::lower_bound(
+      free_runs_.begin(), free_runs_.end(), page,
+      [](const auto& run, u64 p) { return run.first < p; });
+  it = free_runs_.insert(it, {page, npages});
+  // Coalesce with next.
+  if (it + 1 != free_runs_.end() && it->first + it->second == (it + 1)->first) {
+    it->second += (it + 1)->second;
+    free_runs_.erase(it + 1);
+  }
+  // Coalesce with previous.
+  if (it != free_runs_.begin()) {
+    auto prev = it - 1;
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_runs_.erase(it);
+    }
+  }
+}
+
+}  // namespace nvmetro::mem

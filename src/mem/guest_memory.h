@@ -1,0 +1,56 @@
+// Guest physical memory.
+//
+// A VM's RAM is modeled as one flat, contiguous guest-physical address
+// space backed by host memory (like a single KVM memslot). NVMe queues,
+// PRP lists and data buffers built by the guest driver live here; the host
+// components (router, UIFs, simulated device DMA) translate guest-physical
+// addresses to host pointers through this class — mirroring how NVMetro's
+// UIFs "have access to the VM's memory to read and write request data"
+// (paper §III-D) while data pages never get copied out of guest memory
+// (§III-C).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/address_space.h"
+
+namespace nvmetro::mem {
+
+/// Guest page size; NVMe memory page size (CC.MPS) is configured to match.
+constexpr u64 kPageSize = 4096;
+
+class GuestMemory : public AddressSpace {
+ public:
+  /// Creates a guest address space of `size` bytes (rounded up to a page).
+  explicit GuestMemory(u64 size);
+
+  u64 size() const { return size_; }
+
+  /// Host pointer for [gpa, gpa+len). Returns nullptr when the range is
+  /// out of bounds — callers must treat that as a guest-driven DMA error,
+  /// not a host crash.
+  u8* Translate(u64 gpa, u64 len) override;
+  const u8* TranslateConst(u64 gpa, u64 len) const;
+
+  /// Allocates `npages` contiguous guest pages; returns the gpa.
+  /// Used by the simulated guest driver for queues/PRP lists/buffers.
+  Result<u64> AllocPages(u64 npages);
+
+  /// Returns pages to the allocator. gpa must come from AllocPages.
+  void FreePages(u64 gpa, u64 npages);
+
+  /// Bytes currently handed out by the allocator.
+  u64 allocated_bytes() const { return allocated_pages_ * kPageSize; }
+
+ private:
+  u64 size_;
+  std::vector<u8> backing_;
+  // First-fit free list of page runs (gpa page index -> run length).
+  std::vector<std::pair<u64, u64>> free_runs_;
+  u64 allocated_pages_ = 0;
+};
+
+}  // namespace nvmetro::mem

@@ -1,0 +1,118 @@
+#include "nvme/defs.h"
+
+namespace nvmetro::nvme {
+
+const char* StatusName(NvmeStatus status) {
+  switch (StatusSct(status)) {
+    case kSctGeneric:
+      switch (StatusSc(status)) {
+        case kScSuccess: return "Success";
+        case kScInvalidOpcode: return "InvalidOpcode";
+        case kScInvalidField: return "InvalidField";
+        case kScCidConflict: return "CidConflict";
+        case kScDataTransferError: return "DataTransferError";
+        case kScInternalError: return "InternalError";
+        case kScAbortRequested: return "AbortRequested";
+        case kScInvalidNamespace: return "InvalidNamespace";
+        case kScLbaOutOfRange: return "LbaOutOfRange";
+        case kScCapacityExceeded: return "CapacityExceeded";
+        case kScNamespaceNotReady: return "NamespaceNotReady";
+        default: return "Generic/Unknown";
+      }
+    case kSctCommandSpecific:
+      switch (StatusSc(status)) {
+        case kScInvalidQueueId: return "InvalidQueueId";
+        case kScInvalidQueueSize: return "InvalidQueueSize";
+        default: return "CommandSpecific/Unknown";
+      }
+    case kSctMediaError:
+      switch (StatusSc(status)) {
+        case kScWriteFault: return "WriteFault";
+        case kScUnrecoveredRead: return "UnrecoveredRead";
+        case kScCompareFailure: return "CompareFailure";
+        case kScAccessDenied: return "AccessDenied";
+        default: return "Media/Unknown";
+      }
+    default:
+      return "Unknown";
+  }
+}
+
+namespace {
+Sqe MakeRw(u8 opcode, u32 nsid, u64 slba, u32 nblocks, u64 prp1, u64 prp2) {
+  Sqe sqe;
+  sqe.opcode = opcode;
+  sqe.nsid = nsid;
+  sqe.set_slba(slba);
+  sqe.set_nlb0(static_cast<u16>(nblocks - 1));
+  sqe.prp1 = prp1;
+  sqe.prp2 = prp2;
+  return sqe;
+}
+}  // namespace
+
+Sqe MakeRead(u32 nsid, u64 slba, u32 nblocks, u64 prp1, u64 prp2) {
+  return MakeRw(kCmdRead, nsid, slba, nblocks, prp1, prp2);
+}
+
+Sqe MakeWrite(u32 nsid, u64 slba, u32 nblocks, u64 prp1, u64 prp2) {
+  return MakeRw(kCmdWrite, nsid, slba, nblocks, prp1, prp2);
+}
+
+Sqe MakeFlush(u32 nsid) {
+  Sqe sqe;
+  sqe.opcode = kCmdFlush;
+  sqe.nsid = nsid;
+  return sqe;
+}
+
+Sqe MakeKvStore(u32 nsid, const KvKey& key, u32 value_len, u64 prp1,
+                u64 prp2) {
+  Sqe sqe;
+  sqe.opcode = kCmdKvStore;
+  sqe.nsid = nsid;
+  SetKvKey(&sqe, key);
+  sqe.cdw10 = value_len;
+  sqe.prp1 = prp1;
+  sqe.prp2 = prp2;
+  return sqe;
+}
+
+Sqe MakeKvRetrieve(u32 nsid, const KvKey& key, u32 buffer_len, u64 prp1,
+                   u64 prp2) {
+  Sqe sqe;
+  sqe.opcode = kCmdKvRetrieve;
+  sqe.nsid = nsid;
+  SetKvKey(&sqe, key);
+  sqe.cdw11 = buffer_len;
+  sqe.prp1 = prp1;
+  sqe.prp2 = prp2;
+  return sqe;
+}
+
+Sqe MakeKvDelete(u32 nsid, const KvKey& key) {
+  Sqe sqe;
+  sqe.opcode = kCmdKvDelete;
+  sqe.nsid = nsid;
+  SetKvKey(&sqe, key);
+  return sqe;
+}
+
+Sqe MakeKvExist(u32 nsid, const KvKey& key) {
+  Sqe sqe;
+  sqe.opcode = kCmdKvExist;
+  sqe.nsid = nsid;
+  SetKvKey(&sqe, key);
+  return sqe;
+}
+
+Sqe MakeWriteZeroes(u32 nsid, u64 slba, u32 nblocks) {
+  Sqe sqe;
+  sqe.opcode = kCmdWriteZeroes;
+  sqe.nsid = nsid;
+  sqe.set_slba(slba);
+  sqe.set_nlb0(static_cast<u16>(nblocks - 1));
+  return sqe;
+}
+
+}  // namespace nvmetro::nvme

@@ -1,0 +1,248 @@
+// NVM Express protocol definitions: command formats, opcodes and status
+// codes, following the NVMe 1.4/2.0 base specification layouts.
+//
+// The 64-byte submission queue entry (Sqe) is the unit NVMetro routes:
+// "it only passes around each request's 64-byte command block, while the
+// scatter-gather lists and data pages stay inside the VM's memory"
+// (paper §III-C).
+#pragma once
+
+#include <cstring>
+
+#include "common/types.h"
+
+namespace nvmetro::nvme {
+
+// ---------------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------------
+
+/// NVM command set opcodes (I/O queues).
+enum NvmOpcode : u8 {
+  kCmdFlush = 0x00,
+  kCmdWrite = 0x01,
+  kCmdRead = 0x02,
+  kCmdWriteUncorrectable = 0x04,
+  kCmdCompare = 0x05,
+  kCmdWriteZeroes = 0x08,
+  kCmdDsm = 0x09,  // Dataset Management (deallocate/TRIM)
+  kCmdVerify = 0x0C,
+  // Vendor-specific range (used to demonstrate NVMetro's pass-through of
+  // vendor extensions, paper §III-B "Compatibility").
+  kCmdVendorStart = 0x80,
+};
+
+/// Key-Value command set (paper §III-B: "NVMetro also easily adapts to
+/// new NVMe features (e.g. the KV command set) by changing the classifier
+/// without affecting the host kernel"). Simplified from TP-4076: opcodes
+/// are placed in the extended range so they coexist with the NVM command
+/// set on one controller; the 16-byte key travels in CDW2-3 + CDW14-15.
+enum KvOpcode : u8 {
+  kCmdKvStore = 0x90,
+  kCmdKvRetrieve = 0x91,
+  kCmdKvDelete = 0x92,
+  kCmdKvExist = 0x93,
+};
+
+/// KV command accessors (key = 16 bytes; value length in CDW10; host
+/// buffer length for retrieve in CDW11).
+struct KvKey {
+  u8 bytes[16];
+};
+inline KvKey KvKeyOf(const struct Sqe& sqe);
+inline void SetKvKey(struct Sqe* sqe, const KvKey& key);
+
+/// Admin command set opcodes.
+enum AdminOpcode : u8 {
+  kAdminDeleteIoSq = 0x00,
+  kAdminCreateIoSq = 0x01,
+  kAdminGetLogPage = 0x02,
+  kAdminDeleteIoCq = 0x04,
+  kAdminCreateIoCq = 0x05,
+  kAdminIdentify = 0x06,
+  kAdminSetFeatures = 0x09,
+  kAdminGetFeatures = 0x0A,
+};
+
+/// Identify CNS values.
+enum IdentifyCns : u8 {
+  kCnsNamespace = 0x00,
+  kCnsController = 0x01,
+  kCnsActiveNsList = 0x02,
+};
+
+/// Feature identifiers for Get/Set Features.
+enum FeatureId : u8 {
+  kFeatNumQueues = 0x07,
+};
+
+// ---------------------------------------------------------------------------
+// Status codes
+// ---------------------------------------------------------------------------
+
+/// Status Code Type (SCT) values.
+enum StatusCodeType : u8 {
+  kSctGeneric = 0x0,
+  kSctCommandSpecific = 0x1,
+  kSctMediaError = 0x2,
+  kSctPathRelated = 0x3,
+};
+
+/// Generic command status (SCT 0).
+enum GenericStatus : u8 {
+  kScSuccess = 0x00,
+  kScInvalidOpcode = 0x01,
+  kScInvalidField = 0x02,
+  kScCidConflict = 0x03,
+  kScDataTransferError = 0x04,
+  kScAbortedPowerLoss = 0x05,
+  kScInternalError = 0x06,
+  kScAbortRequested = 0x07,
+  kScInvalidNamespace = 0x0B,
+  kScLbaOutOfRange = 0x80,
+  kScCapacityExceeded = 0x81,
+  kScNamespaceNotReady = 0x82,
+};
+
+/// Command-specific status (SCT 1).
+enum CommandSpecificStatus : u8 {
+  kScInvalidQueueId = 0x01,
+  kScInvalidQueueSize = 0x02,
+  // KV command set.
+  kScKvKeyNotFound = 0x20,
+  kScKvValueTooLarge = 0x21,
+};
+
+/// Media error status (SCT 2).
+enum MediaStatus : u8 {
+  kScWriteFault = 0x80,
+  kScUnrecoveredRead = 0x81,
+  kScCompareFailure = 0x85,
+  kScAccessDenied = 0x86,
+};
+
+/// A 15-bit NVMe status value as stored in CQE DW3 bits [15:1]
+/// (phase excluded): SC in bits [7:0], SCT in bits [10:8].
+using NvmeStatus = u16;
+
+constexpr NvmeStatus MakeStatus(u8 sct, u8 sc) {
+  return static_cast<NvmeStatus>((static_cast<u16>(sct & 0x7) << 8) |
+                                 static_cast<u16>(sc));
+}
+constexpr NvmeStatus kStatusSuccess = MakeStatus(kSctGeneric, kScSuccess);
+constexpr u8 StatusSct(NvmeStatus s) { return (s >> 8) & 0x7; }
+constexpr u8 StatusSc(NvmeStatus s) { return s & 0xFF; }
+constexpr bool StatusOk(NvmeStatus s) { return s == kStatusSuccess; }
+
+/// Human-readable status string ("Generic/LbaOutOfRange" style).
+const char* StatusName(NvmeStatus status);
+
+// ---------------------------------------------------------------------------
+// Submission / completion queue entries
+// ---------------------------------------------------------------------------
+
+/// 64-byte submission queue entry (command). Field names follow the spec's
+/// common command format; cdw10..15 are command-specific.
+struct Sqe {
+  u8 opcode = 0;   // CDW0[7:0]
+  u8 flags = 0;    // CDW0[14:8] FUSE/PSDT
+  u16 cid = 0;     // CDW0[31:16] command identifier
+  u32 nsid = 0;    // CDW1 namespace id
+  u32 cdw2 = 0;
+  u32 cdw3 = 0;
+  u64 mptr = 0;    // metadata pointer
+  u64 prp1 = 0;    // DPTR: PRP entry 1
+  u64 prp2 = 0;    // DPTR: PRP entry 2 / PRP list pointer
+  u32 cdw10 = 0;
+  u32 cdw11 = 0;
+  u32 cdw12 = 0;
+  u32 cdw13 = 0;
+  u32 cdw14 = 0;
+  u32 cdw15 = 0;
+
+  // --- NVM read/write accessors -------------------------------------------
+  u64 slba() const { return (static_cast<u64>(cdw11) << 32) | cdw10; }
+  void set_slba(u64 lba) {
+    cdw10 = static_cast<u32>(lba);
+    cdw11 = static_cast<u32>(lba >> 32);
+  }
+  /// Number of logical blocks, 0-based field => actual count = nlb0()+1.
+  u16 nlb0() const { return static_cast<u16>(cdw12 & 0xFFFF); }
+  void set_nlb0(u16 nlb0) { cdw12 = (cdw12 & 0xFFFF0000u) | nlb0; }
+  u32 block_count() const { return static_cast<u32>(nlb0()) + 1; }
+
+  bool is_read() const { return opcode == kCmdRead; }
+  bool is_write() const { return opcode == kCmdWrite; }
+  bool is_io_data_cmd() const {
+    return opcode == kCmdRead || opcode == kCmdWrite ||
+           opcode == kCmdCompare;
+  }
+};
+static_assert(sizeof(Sqe) == 64, "SQE must be exactly 64 bytes");
+
+/// 16-byte completion queue entry. The `status_phase` field packs the
+/// phase tag in bit 0 and the 15-bit status in bits [15:1], as DW3[31:16]
+/// of the spec.
+struct Cqe {
+  u32 result = 0;    // DW0 command-specific result
+  u32 rsvd = 0;      // DW1
+  u16 sq_head = 0;   // DW2[15:0] current SQ head pointer
+  u16 sq_id = 0;     // DW2[31:16]
+  u16 cid = 0;       // DW3[15:0]
+  u16 status_phase = 0;  // DW3[31:16]
+
+  bool phase() const { return status_phase & 1; }
+  void set_phase(bool p) {
+    status_phase = static_cast<u16>((status_phase & ~1u) | (p ? 1 : 0));
+  }
+  NvmeStatus status() const { return status_phase >> 1; }
+  void set_status(NvmeStatus s) {
+    status_phase =
+        static_cast<u16>((s << 1) | (status_phase & 1));
+  }
+};
+static_assert(sizeof(Cqe) == 16, "CQE must be exactly 16 bytes");
+
+// ---------------------------------------------------------------------------
+// Command builders
+// ---------------------------------------------------------------------------
+
+/// Builds an NVM read command.
+Sqe MakeRead(u32 nsid, u64 slba, u32 nblocks, u64 prp1, u64 prp2);
+/// Builds an NVM write command.
+Sqe MakeWrite(u32 nsid, u64 slba, u32 nblocks, u64 prp1, u64 prp2);
+/// Builds a flush command.
+Sqe MakeFlush(u32 nsid);
+/// Builds a Write Zeroes command over [slba, slba+nblocks).
+Sqe MakeWriteZeroes(u32 nsid, u64 slba, u32 nblocks);
+
+inline KvKey KvKeyOf(const Sqe& sqe) {
+  KvKey key;
+  std::memcpy(key.bytes + 0, &sqe.cdw2, 4);
+  std::memcpy(key.bytes + 4, &sqe.cdw3, 4);
+  std::memcpy(key.bytes + 8, &sqe.cdw14, 4);
+  std::memcpy(key.bytes + 12, &sqe.cdw15, 4);
+  return key;
+}
+inline void SetKvKey(Sqe* sqe, const KvKey& key) {
+  std::memcpy(&sqe->cdw2, key.bytes + 0, 4);
+  std::memcpy(&sqe->cdw3, key.bytes + 4, 4);
+  std::memcpy(&sqe->cdw14, key.bytes + 8, 4);
+  std::memcpy(&sqe->cdw15, key.bytes + 12, 4);
+}
+
+/// Builds a KV Store of `value_len` bytes (PRP-described) under `key`.
+Sqe MakeKvStore(u32 nsid, const KvKey& key, u32 value_len, u64 prp1,
+                u64 prp2);
+/// Builds a KV Retrieve into a `buffer_len`-byte PRP buffer.
+Sqe MakeKvRetrieve(u32 nsid, const KvKey& key, u32 buffer_len, u64 prp1,
+                   u64 prp2);
+Sqe MakeKvDelete(u32 nsid, const KvKey& key);
+Sqe MakeKvExist(u32 nsid, const KvKey& key);
+
+/// Queue size limits from the spec: queues hold up to 64K entries.
+constexpr u32 kMaxQueueEntries = 65536;
+/// Max number of I/O queue pairs a controller may expose (64K - admin).
+constexpr u32 kMaxIoQueues = 65535;
+
+}  // namespace nvmetro::nvme

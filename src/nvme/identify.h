@@ -1,0 +1,88 @@
+// Identify data structures (4 KiB payloads of the Identify admin command).
+//
+// Only the fields the stack consumes are named; reserved regions are kept
+// as padding so the structures have spec-correct size and field offsets
+// (verified by static_asserts and unit tests).
+#pragma once
+
+#include <cstring>
+
+#include "common/types.h"
+
+namespace nvmetro::nvme {
+
+#pragma pack(push, 1)
+
+/// Identify Controller data structure (CNS 01h).
+struct IdentifyController {
+  u16 vid = 0;        // PCI vendor
+  u16 ssvid = 0;      // subsystem vendor
+  char sn[20] = {};   // serial number (ASCII)
+  char mn[40] = {};   // model number (ASCII)
+  char fr[8] = {};    // firmware revision
+  u8 rab = 0;         // recommended arbitration burst
+  u8 ieee[3] = {};
+  u8 cmic = 0;
+  u8 mdts = 0;        // max data transfer size: 2^mdts * CAP.MPSMIN pages
+  u16 cntlid = 0;
+  u32 ver = 0;
+  u8 rsvd84[428] = {};
+  // Byte 512 onwards: queue entry sizes and namespace count.
+  u8 sqes = 0x66;     // required/max SQE size: 2^6 = 64
+  u8 cqes = 0x44;     // required/max CQE size: 2^4 = 16
+  u16 maxcmd = 0;
+  u32 nn = 0;         // number of namespaces
+  u8 rsvd520[3576] = {};
+
+  void SetStrings(const char* serial, const char* model, const char* fw);
+};
+static_assert(sizeof(IdentifyController) == 4096);
+static_assert(offsetof(IdentifyController, mdts) == 77);
+static_assert(offsetof(IdentifyController, sqes) == 512);
+static_assert(offsetof(IdentifyController, nn) == 516);
+
+/// One LBA format descriptor.
+struct LbaFormat {
+  u16 ms = 0;     // metadata size
+  u8 lbads = 9;   // LBA data size: 2^lbads bytes
+  u8 rp = 0;      // relative performance
+};
+static_assert(sizeof(LbaFormat) == 4);
+
+/// Identify Namespace data structure (CNS 00h).
+struct IdentifyNamespace {
+  u64 nsze = 0;    // namespace size (logical blocks)
+  u64 ncap = 0;    // capacity
+  u64 nuse = 0;    // utilization
+  u8 nsfeat = 0;
+  u8 nlbaf = 0;    // number of LBA formats (0-based)
+  u8 flbas = 0;    // formatted LBA size index
+  u8 mc = 0;
+  u8 dpc = 0;
+  u8 dps = 0;
+  u8 rsvd30[98] = {};
+  LbaFormat lbaf[16] = {};
+  u8 rsvd192[3904] = {};
+
+  u32 lba_size() const { return 1u << lbaf[flbas & 0xF].lbads; }
+};
+static_assert(sizeof(IdentifyNamespace) == 4096);
+static_assert(offsetof(IdentifyNamespace, nlbaf) == 25);
+static_assert(offsetof(IdentifyNamespace, lbaf) == 128);
+
+#pragma pack(pop)
+
+inline void IdentifyController::SetStrings(const char* serial,
+                                           const char* model,
+                                           const char* fw) {
+  auto pad_copy = [](char* dst, usize n, const char* src) {
+    std::memset(dst, ' ', n);
+    usize len = std::strlen(src);
+    std::memcpy(dst, src, len < n ? len : n);
+  };
+  pad_copy(sn, sizeof(sn), serial);
+  pad_copy(mn, sizeof(mn), model);
+  pad_copy(fr, sizeof(fr), fw);
+}
+
+}  // namespace nvmetro::nvme

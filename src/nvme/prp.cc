@@ -1,0 +1,159 @@
+#include "nvme/prp.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmetro::nvme {
+
+using mem::kPageSize;
+
+namespace {
+constexpr u64 kEntriesPerListPage = kPageSize / sizeof(u64);
+}
+
+Result<PrpChain> BuildPrps(mem::GuestMemory& gm, u64 buf_gpa, u64 len) {
+  if (len == 0) return InvalidArgument("BuildPrps: empty transfer");
+  PrpChain chain;
+  chain.prp1 = buf_gpa;
+  u64 first_len = std::min<u64>(len, kPageSize - buf_gpa % kPageSize);
+  u64 remaining = len - first_len;
+  if (remaining == 0) {
+    chain.prp2 = 0;
+    return chain;
+  }
+  u64 next_page = buf_gpa - buf_gpa % kPageSize + kPageSize;
+  u64 pages_needed = (remaining + kPageSize - 1) / kPageSize;
+  if (pages_needed == 1) {
+    chain.prp2 = next_page;
+    return chain;
+  }
+  // Need a PRP list. Entries are page addresses of the 2nd..Nth pages.
+  std::vector<u64> entries;
+  entries.reserve(pages_needed);
+  for (u64 i = 0; i < pages_needed; i++) {
+    entries.push_back(next_page + i * kPageSize);
+  }
+  // Lay entries out into list pages: a full list page whose entries do not
+  // finish the transfer uses its last slot as a chain pointer.
+  u64 cursor = 0;
+  u64 prev_chain_slot_gpa = 0;
+  bool first_list_page = true;
+  while (cursor < entries.size()) {
+    auto page = gm.AllocPages(1);
+    if (!page.ok()) return page.status();
+    u64 list_gpa = *page;
+    chain.list_pages.push_back(list_gpa);
+    if (first_list_page) {
+      chain.prp2 = list_gpa;
+      first_list_page = false;
+    } else {
+      // Patch the previous page's chain slot.
+      gm.Write(prev_chain_slot_gpa, &list_gpa, sizeof(u64));
+    }
+    u64 slots = kEntriesPerListPage;
+    u64 left = entries.size() - cursor;
+    u64 fill;
+    if (left > slots) {
+      fill = slots - 1;  // reserve last slot for chain pointer
+      prev_chain_slot_gpa = list_gpa + (slots - 1) * sizeof(u64);
+    } else {
+      fill = left;
+    }
+    Status st =
+        gm.Write(list_gpa, entries.data() + cursor, fill * sizeof(u64));
+    if (!st.ok()) return st;
+    cursor += fill;
+  }
+  return chain;
+}
+
+void FreePrpChain(mem::GuestMemory& gm, const PrpChain& chain) {
+  for (u64 gpa : chain.list_pages) gm.FreePages(gpa, 1);
+}
+
+Status WalkPrps(mem::AddressSpace& gm, u64 prp1, u64 prp2, u64 len,
+                std::vector<PrpSegment>* out) {
+  if (len == 0) return InvalidArgument("WalkPrps: empty transfer");
+  u64 first_len = std::min<u64>(len, kPageSize - prp1 % kPageSize);
+  if (!gm.Translate(prp1, first_len))
+    return OutOfRange("PRP1 out of guest memory");
+  out->push_back({prp1, static_cast<u32>(first_len)});
+  u64 remaining = len - first_len;
+  if (remaining == 0) return OkStatus();
+
+  u64 pages_needed = (remaining + kPageSize - 1) / kPageSize;
+  if (pages_needed == 1) {
+    if (prp2 % kPageSize != 0)
+      return InvalidArgument("PRP2 data pointer not page-aligned");
+    if (!gm.Translate(prp2, remaining))
+      return OutOfRange("PRP2 out of guest memory");
+    out->push_back({prp2, static_cast<u32>(remaining)});
+    return OkStatus();
+  }
+
+  // PRP list traversal.
+  if (prp2 % sizeof(u64) != 0)
+    return InvalidArgument("PRP list pointer not qword-aligned");
+  u64 list_gpa = prp2;
+  u64 slot = (prp2 % kPageSize) / sizeof(u64);  // spec allows offset start
+  list_gpa -= slot * sizeof(u64);
+  // Guard against malicious/looping chains: a transfer of `len` bytes can
+  // reference at most len/kPageSize + 2 list pages.
+  u64 max_list_pages = pages_needed / (kEntriesPerListPage - 1) + 2;
+  u64 visited_pages = 0;
+  while (remaining > 0) {
+    if (slot == kEntriesPerListPage) {
+      return Internal("PRP walk slot overflow");
+    }
+    u64 entry = 0;
+    NVM_RETURN_IF_ERROR(
+        gm.Read(list_gpa + slot * sizeof(u64), &entry, sizeof(u64)));
+    // A full list page with more data pending ends with a chain pointer.
+    bool is_last_slot = (slot == kEntriesPerListPage - 1);
+    u64 segs_after_this_slot = (remaining + kPageSize - 1) / kPageSize;
+    if (is_last_slot && segs_after_this_slot > 1) {
+      if (entry % kPageSize != 0)
+        return InvalidArgument("PRP chain pointer not page-aligned");
+      if (++visited_pages > max_list_pages)
+        return InvalidArgument("PRP chain too long");
+      list_gpa = entry;
+      slot = 0;
+      continue;
+    }
+    if (entry % kPageSize != 0)
+      return InvalidArgument("PRP list entry not page-aligned");
+    u64 seg = std::min<u64>(remaining, kPageSize);
+    if (!gm.Translate(entry, seg))
+      return OutOfRange("PRP list entry out of guest memory");
+    out->push_back({entry, static_cast<u32>(seg)});
+    remaining -= seg;
+    slot++;
+  }
+  return OkStatus();
+}
+
+Status PrpRead(mem::AddressSpace& gm, u64 prp1, u64 prp2, u64 len,
+               void* dst) {
+  std::vector<PrpSegment> segs;
+  NVM_RETURN_IF_ERROR(WalkPrps(gm, prp1, prp2, len, &segs));
+  auto* p = static_cast<u8*>(dst);
+  for (const auto& s : segs) {
+    NVM_RETURN_IF_ERROR(gm.Read(s.gpa, p, s.len));
+    p += s.len;
+  }
+  return OkStatus();
+}
+
+Status PrpWrite(mem::AddressSpace& gm, u64 prp1, u64 prp2, u64 len,
+                const void* src) {
+  std::vector<PrpSegment> segs;
+  NVM_RETURN_IF_ERROR(WalkPrps(gm, prp1, prp2, len, &segs));
+  const auto* p = static_cast<const u8*>(src);
+  for (const auto& s : segs) {
+    NVM_RETURN_IF_ERROR(gm.Write(s.gpa, p, s.len));
+    p += s.len;
+  }
+  return OkStatus();
+}
+
+}  // namespace nvmetro::nvme

@@ -1,0 +1,70 @@
+// Physical Region Page (PRP) construction and traversal.
+//
+// NVMe data buffers are described by PRP entries: PRP1 points at the first
+// (possibly offset) page; PRP2 is either the second page (when the
+// transfer spans at most two pages) or a pointer to a PRP list page of
+// page-aligned entries, with the last entry of a full list page chaining
+// to the next list page.
+//
+// The guest driver builds PRPs into guest memory; the simulated device,
+// the kernel path and UIFs all walk them to reach the data — data pages
+// themselves are never copied between components (paper §III-C).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/address_space.h"
+#include "mem/guest_memory.h"
+#include "nvme/defs.h"
+
+namespace nvmetro::nvme {
+
+/// One physically contiguous piece of a transfer.
+struct PrpSegment {
+  u64 gpa = 0;
+  u32 len = 0;
+  bool operator==(const PrpSegment&) const = default;
+};
+
+/// Result of building PRPs for a buffer.
+struct PrpChain {
+  u64 prp1 = 0;
+  u64 prp2 = 0;
+  /// PRP list pages allocated from guest memory (caller frees them after
+  /// command completion).
+  std::vector<u64> list_pages;
+};
+
+/// Builds PRP entries describing [buf_gpa, buf_gpa+len). Allocates PRP
+/// list pages from `gm` when the transfer spans more than two pages.
+/// Requires len > 0. Page offsets are allowed only on the first page, as
+/// per spec; buf_gpa may be arbitrary.
+Result<PrpChain> BuildPrps(mem::GuestMemory& gm, u64 buf_gpa, u64 len);
+
+/// Releases the list pages of a chain back to guest memory.
+void FreePrpChain(mem::GuestMemory& gm, const PrpChain& chain);
+
+/// Walks the PRP entries of `sqe` for a transfer of `len` bytes, appending
+/// the physically contiguous segments to `out`. Validates alignment rules
+/// (PRP2/list entries must be page-aligned) and guest-memory bounds;
+/// returns an error Status on malformed chains, which callers map to an
+/// NVMe Data Transfer Error.
+Status WalkPrps(mem::AddressSpace& gm, u64 prp1, u64 prp2, u64 len,
+                std::vector<PrpSegment>* out);
+
+inline Status WalkPrps(mem::AddressSpace& gm, const Sqe& sqe, u64 len,
+                       std::vector<PrpSegment>* out) {
+  return WalkPrps(gm, sqe.prp1, sqe.prp2, len, out);
+}
+
+/// Copies `len` bytes from the PRP-described guest buffer into `dst`.
+Status PrpRead(mem::AddressSpace& gm, u64 prp1, u64 prp2, u64 len,
+               void* dst);
+
+/// Copies `len` bytes from `src` into the PRP-described guest buffer.
+Status PrpWrite(mem::AddressSpace& gm, u64 prp1, u64 prp2, u64 len,
+                const void* src);
+
+}  // namespace nvmetro::nvme

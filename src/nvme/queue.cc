@@ -1,0 +1,103 @@
+#include "nvme/queue.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nvmetro::nvme {
+
+SqRing::SqRing(u8* base, u32 entries) : base_(base), entries_(entries) {
+  assert(base != nullptr);
+  assert(entries >= 2 && entries <= kMaxQueueEntries);
+}
+
+bool SqRing::Push(const Sqe& sqe) {
+  u32 next = (tail_ + 1) % entries_;
+  if (next == head_) return false;  // full
+  std::memcpy(base_ + static_cast<usize>(tail_) * sizeof(Sqe), &sqe,
+              sizeof(Sqe));
+  tail_ = next;
+  return true;
+}
+
+u32 SqRing::PublishTail() {
+  tail_doorbell_ = tail_;
+  return tail_doorbell_;
+}
+
+bool SqRing::Pop(Sqe* out) {
+  if (head_ == tail_doorbell_) return false;
+  std::memcpy(out, base_ + static_cast<usize>(head_) * sizeof(Sqe),
+              sizeof(Sqe));
+  head_ = (head_ + 1) % entries_;
+  return true;
+}
+
+bool SqRing::Peek(Sqe* out) const {
+  if (head_ == tail_doorbell_) return false;
+  std::memcpy(out, base_ + static_cast<usize>(head_) * sizeof(Sqe),
+              sizeof(Sqe));
+  return true;
+}
+
+u32 SqRing::Pending() const {
+  return (tail_doorbell_ + entries_ - head_) % entries_;
+}
+
+u32 SqRing::SpaceLeft() const {
+  // One slot is reserved to distinguish full from empty.
+  return entries_ - 1 - (tail_ + entries_ - head_) % entries_;
+}
+
+CqRing::CqRing(u8* base, u32 entries) : base_(base), entries_(entries) {
+  assert(base != nullptr);
+  assert(entries >= 2 && entries <= kMaxQueueEntries);
+}
+
+bool CqRing::Push(Cqe cqe) {
+  u32 next = (tail_ + 1) % entries_;
+  if (next == head_doorbell_) return false;  // full
+  cqe.set_phase(producer_phase_);
+  std::memcpy(base_ + static_cast<usize>(tail_) * sizeof(Cqe), &cqe,
+              sizeof(Cqe));
+  tail_ = next;
+  if (tail_ == 0) producer_phase_ = !producer_phase_;
+  return true;
+}
+
+bool CqRing::Peek(Cqe* out) const {
+  Cqe entry;
+  std::memcpy(&entry, base_ + static_cast<usize>(head_) * sizeof(Cqe),
+              sizeof(Cqe));
+  if (entry.phase() != consumer_phase_) return false;
+  *out = entry;
+  return true;
+}
+
+void CqRing::Pop() {
+  head_ = (head_ + 1) % entries_;
+  if (head_ == 0) consumer_phase_ = !consumer_phase_;
+}
+
+u32 CqRing::PublishHead() {
+  head_doorbell_ = head_;
+  return head_doorbell_;
+}
+
+u32 CqRing::Pending() const {
+  u32 n = 0;
+  u32 h = head_;
+  bool phase = consumer_phase_;
+  // Count consecutive entries whose phase matches (bounded by ring size).
+  for (u32 i = 0; i < entries_; i++) {
+    Cqe entry;
+    std::memcpy(&entry, base_ + static_cast<usize>(h) * sizeof(Cqe),
+                sizeof(Cqe));
+    if (entry.phase() != phase) break;
+    n++;
+    h = (h + 1) % entries_;
+    if (h == 0) phase = !phase;
+  }
+  return n;
+}
+
+}  // namespace nvmetro::nvme

@@ -1,0 +1,104 @@
+// NVMe submission/completion queue rings.
+//
+// Each ring is a lockless producer-consumer circular buffer over a raw
+// memory region (guest memory for VSQ/VCQ and NSQ/NCQ, host memory for the
+// device's HSQ/HCQ), exactly as in the NVMe specification: the submission
+// side advances a tail doorbell, the completion side toggles a phase tag
+// each pass so consumers can detect new entries without a head/tail
+// exchange.
+//
+// In this single-process simulation both endpoints share the ring object,
+// so the "doorbell registers" are methods; the produced/consumed indices
+// and the phase-tag protocol are still exercised for real (and tested),
+// including wrap-around and full/empty conditions.
+#pragma once
+
+#include "common/types.h"
+#include "nvme/defs.h"
+
+namespace nvmetro::nvme {
+
+/// Submission queue ring: producer pushes 64-byte Sqes and publishes a
+/// tail doorbell; consumer pops entries up to the published tail.
+class SqRing {
+ public:
+  /// `base` must point to entries*64 bytes of zeroed memory that outlives
+  /// the ring. entries must be in [2, kMaxQueueEntries].
+  SqRing(u8* base, u32 entries);
+
+  u32 entries() const { return entries_; }
+
+  /// Producer: writes the entry at the tail. Returns false when full
+  /// (one slot is intentionally left unused, per ring convention).
+  bool Push(const Sqe& sqe);
+
+  /// Producer: publishes the tail doorbell; returns the doorbell value.
+  /// Separated from Push so callers can batch submissions before ringing.
+  u32 PublishTail();
+
+  /// Consumer: pops the entry at the head if one is published.
+  bool Pop(Sqe* out);
+
+  /// Consumer: copies the entry at the head without consuming it.
+  bool Peek(Sqe* out) const;
+
+  /// Entries published but not yet consumed.
+  u32 Pending() const;
+
+  /// Free slots from the producer's perspective (before publishing).
+  u32 SpaceLeft() const;
+
+  /// Current consumer head index (reported in CQE sq_head).
+  u16 head() const { return static_cast<u16>(head_); }
+
+  bool Empty() const { return Pending() == 0; }
+
+ private:
+  u8* base_;
+  u32 entries_;
+  u32 tail_ = 0;           // producer-local tail
+  u32 tail_doorbell_ = 0;  // published to consumer
+  u32 head_ = 0;           // consumer head
+};
+
+/// Completion queue ring with phase-tag protocol.
+class CqRing {
+ public:
+  /// `base` must point to entries*16 bytes of zeroed memory (phase bit 0)
+  /// that outlives the ring.
+  CqRing(u8* base, u32 entries);
+
+  u32 entries() const { return entries_; }
+
+  /// Producer (controller/router): posts a completion. The phase bit of
+  /// `cqe` is overwritten with the ring's current producer phase. Returns
+  /// false when the ring is full (consumer has not freed slots).
+  bool Push(Cqe cqe);
+
+  /// Consumer: returns the entry at the head if its phase matches the
+  /// consumer's expected phase (i.e. it is new).
+  bool Peek(Cqe* out) const;
+
+  /// Consumer: advances the head past a peeked entry.
+  void Pop();
+
+  /// Consumer: publishes the head doorbell, releasing consumed slots to
+  /// the producer. Returns the doorbell value.
+  u32 PublishHead();
+
+  /// Entries visible to the consumer right now.
+  u32 Pending() const;
+
+  bool Empty() const { return Pending() == 0; }
+
+ private:
+  u8* base_;
+  u32 entries_;
+  u32 tail_ = 0;            // producer tail
+  bool producer_phase_ = true;
+  u32 head_ = 0;            // consumer head
+  bool consumer_phase_ = true;
+  u32 head_doorbell_ = 0;   // published to producer
+};
+
+}  // namespace nvmetro::nvme

@@ -1,0 +1,77 @@
+#include "sgx/enclave.h"
+
+namespace nvmetro::sgx {
+
+Result<std::unique_ptr<Enclave>> Enclave::Create(const u8* xts_key,
+                                                 usize key_len,
+                                                 EnclaveParams params) {
+  auto cipher = crypto::XtsCipher::Create(xts_key, key_len);
+  if (!cipher.ok()) return cipher.status();
+  return std::unique_ptr<Enclave>(
+      new Enclave(std::move(*cipher), params));
+}
+
+EcallCost Enclave::Work(bool encrypt, bool switchless, u64 first_sector,
+                        const u8* in, u8* out, usize len) {
+  if (encrypt) {
+    cipher_.EncryptRange(first_sector, crypto::kXtsSectorSize, in, out, len);
+  } else {
+    cipher_.DecryptRange(first_sector, crypto::kXtsSectorSize, in, out, len);
+  }
+  EcallCost cost;
+  cost.enclave_ns = static_cast<SimTime>(static_cast<double>(len) *
+                                         params_.aes_ns_per_byte) +
+                    params_.call_overhead_ns;
+  if (len > params_.epc_working_set) {
+    cost.enclave_ns += static_cast<SimTime>(
+        static_cast<double>(len - params_.epc_working_set) *
+        params_.epc_penalty_ns_per_byte);
+  }
+  if (switchless) {
+    switchless_++;
+    cost.caller_ns = params_.switchless_overhead_ns;
+  } else {
+    ecalls_++;
+    // EENTER + EEXIT; crypto runs on the caller's thread inside the
+    // enclave, so the caller also pays enclave_ns (callers add both).
+    cost.caller_ns = 2 * params_.transition_ns;
+  }
+  return cost;
+}
+
+EcallCost Enclave::CallCost(bool switchless, u64 len) const {
+  EcallCost cost;
+  cost.enclave_ns = static_cast<SimTime>(static_cast<double>(len) *
+                                         params_.aes_ns_per_byte) +
+                    params_.call_overhead_ns;
+  if (len > params_.epc_working_set) {
+    cost.enclave_ns += static_cast<SimTime>(
+        static_cast<double>(len - params_.epc_working_set) *
+        params_.epc_penalty_ns_per_byte);
+  }
+  cost.caller_ns = switchless ? params_.switchless_overhead_ns
+                              : 2 * params_.transition_ns;
+  return cost;
+}
+
+EcallCost Enclave::EcallEncrypt(u64 first_sector, const u8* in, u8* out,
+                                usize len) {
+  return Work(true, false, first_sector, in, out, len);
+}
+
+EcallCost Enclave::EcallDecrypt(u64 first_sector, const u8* in, u8* out,
+                                usize len) {
+  return Work(false, false, first_sector, in, out, len);
+}
+
+EcallCost Enclave::SwitchlessEncrypt(u64 first_sector, const u8* in, u8* out,
+                                     usize len) {
+  return Work(true, true, first_sector, in, out, len);
+}
+
+EcallCost Enclave::SwitchlessDecrypt(u64 first_sector, const u8* in, u8* out,
+                                     usize len) {
+  return Work(false, true, first_sector, in, out, len);
+}
+
+}  // namespace nvmetro::sgx

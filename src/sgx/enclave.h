@@ -1,0 +1,101 @@
+// Simulated Intel SGX enclave for the SGX encryption UIF.
+//
+// Substitution (see DESIGN.md): real SGX hardware is unavailable in this
+// environment, so the enclave is modeled as an isolated key holder with
+// the cost structure that drives the paper's SGX results:
+//
+//  - the XTS key is sealed inside the enclave at creation and is not
+//    readable through any API (key isolation, the function's purpose);
+//  - crypto is performed "inside" the enclave via ECALLs; each regular
+//    ECALL pays an enclave-transition cost (EENTER/EEXIT, TLB flushes);
+//  - a *switchless* call path posts requests to a queue served by a
+//    dedicated worker thread inside the enclave, avoiding transitions at
+//    the price of a burned CPU — the paper's SGX UIF "uses 1 worker + 1
+//    SGX switchless thread" (§V-C), which is why it loses throughput at
+//    high parallelism (one fewer encryption thread).
+//
+// Costs are charged by the caller on its simulated vCPU using the values
+// returned from each call; data transformation happens for real.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "crypto/xts.h"
+
+namespace nvmetro::sgx {
+
+struct EnclaveParams {
+  /// One-way enclave transition (EENTER or EEXIT).
+  SimTime transition_ns = 3'800;
+  /// Per-call overhead inside the enclave (marshalling).
+  SimTime call_overhead_ns = 400;
+  /// Switchless request post + pickup overhead (no transition).
+  SimTime switchless_overhead_ns = 700;
+  /// Crypto throughput inside the enclave, ns per byte (AES-NI).
+  double aes_ns_per_byte = 0.70;
+  /// EPC working-set effects: bytes beyond this per call pay extra
+  /// (enclave page cache pressure on large buffers).
+  u64 epc_working_set = 64 * KiB;
+  double epc_penalty_ns_per_byte = 0.55;
+};
+
+/// Work accounting for one enclave call: who pays what.
+struct EcallCost {
+  /// CPU the *caller* burns (transitions for regular ECALLs, post/wait
+  /// overhead for switchless).
+  SimTime caller_ns = 0;
+  /// CPU the enclave-side execution burns (crypto work; on a regular
+  /// ECALL this is also the caller's thread, on a switchless call it is
+  /// the dedicated worker's).
+  SimTime enclave_ns = 0;
+};
+
+class Enclave {
+ public:
+  /// Seals an XTS key (32 or 64 bytes) into a new enclave.
+  static Result<std::unique_ptr<Enclave>> Create(const u8* xts_key,
+                                                 usize key_len,
+                                                 EnclaveParams params = {});
+
+  // --- ECALL interface (regular, transition-paying) -------------------------
+
+  /// Encrypts `len` bytes (`len` multiple of 512) of consecutive sectors.
+  EcallCost EcallEncrypt(u64 first_sector, const u8* in, u8* out, usize len);
+  /// Decrypts in the same format.
+  EcallCost EcallDecrypt(u64 first_sector, const u8* in, u8* out, usize len);
+
+  // --- Switchless interface --------------------------------------------------
+
+  /// Same operations with switchless-call costing (requires the caller to
+  /// run a dedicated worker thread; see SgxEncryptorUif).
+  EcallCost SwitchlessEncrypt(u64 first_sector, const u8* in, u8* out,
+                              usize len);
+  EcallCost SwitchlessDecrypt(u64 first_sector, const u8* in, u8* out,
+                              usize len);
+
+  /// Cost of ONE enclave call transforming `len` bytes (the UIFs batch
+  /// a whole command into a single call).
+  EcallCost CallCost(bool switchless, u64 len) const;
+
+  const EnclaveParams& params() const { return params_; }
+  u64 ecall_count() const { return ecalls_; }
+  u64 switchless_count() const { return switchless_; }
+
+  /// There is deliberately no accessor for the sealed key.
+
+ private:
+  Enclave(crypto::XtsCipher cipher, EnclaveParams params)
+      : cipher_(std::move(cipher)), params_(params) {}
+
+  EcallCost Work(bool encrypt, bool switchless, u64 first_sector,
+                 const u8* in, u8* out, usize len);
+
+  crypto::XtsCipher cipher_;
+  EnclaveParams params_;
+  u64 ecalls_ = 0;
+  u64 switchless_ = 0;
+};
+
+}  // namespace nvmetro::sgx

@@ -1,0 +1,97 @@
+#include "sim/poller.h"
+
+#include <cassert>
+
+namespace nvmetro::sim {
+
+Poller::Poller(Simulator* sim, VCpu* cpu, Options opts)
+    : sim_(sim), cpu_(cpu), opts_(opts) {}
+
+Poller::~Poller() {
+  if (state_ == State::kPolling) cpu_->SetPolling(false);
+}
+
+u32 Poller::AddSource(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<u32>(handlers_.size() - 1);
+}
+
+void Poller::Start() {
+  if (state_ != State::kStopped) return;
+  state_ = State::kPolling;
+  cpu_->SetPolling(true);
+  if (!pending_.empty()) {
+    DispatchNext();
+  } else {
+    ArmIdleTimer();
+  }
+}
+
+void Poller::Stop() {
+  if (state_ == State::kPolling) cpu_->SetPolling(false);
+  state_ = State::kStopped;
+  sim_->Cancel(idle_timer_);
+  idle_timer_ = EventId{};
+}
+
+void Poller::Notify(u32 source) {
+  assert(source < handlers_.size());
+  pending_.push_back(source);
+  activity_stamp_++;
+  switch (state_) {
+    case State::kStopped:
+      return;  // queued until Start()
+    case State::kSleeping:
+      Wake();
+      return;
+    case State::kPolling:
+      if (!draining_) DispatchNext();
+      return;
+  }
+}
+
+void Poller::Wake() {
+  if (waking_) return;
+  waking_ = true;
+  sim_->ScheduleAfter(opts_.wakeup_latency, [this] {
+    waking_ = false;
+    if (state_ != State::kSleeping) return;
+    state_ = State::kPolling;
+    cpu_->SetPolling(true);
+    cpu_->Run(opts_.wakeup_cpu_cost, [this] {
+      if (!draining_) DispatchNext();
+    });
+  });
+}
+
+void Poller::DispatchNext() {
+  if (state_ != State::kPolling) return;
+  if (pending_.empty()) {
+    draining_ = false;
+    ArmIdleTimer();
+    return;
+  }
+  draining_ = true;
+  u32 src = pending_.front();
+  pending_.pop_front();
+  cpu_->Run(opts_.dispatch_cost, [this, src] {
+    dispatched_++;
+    handlers_[src]();
+    DispatchNext();
+  });
+}
+
+void Poller::ArmIdleTimer() {
+  if (!opts_.adaptive || state_ != State::kPolling) return;
+  sim_->Cancel(idle_timer_);
+  u64 stamp = activity_stamp_;
+  idle_timer_ = sim_->ScheduleAfter(opts_.idle_timeout, [this, stamp] {
+    idle_timer_ = EventId{};
+    if (state_ != State::kPolling) return;
+    if (activity_stamp_ != stamp || !pending_.empty()) return;
+    state_ = State::kSleeping;
+    cpu_->SetPolling(false);
+  });
+}
+
+}  // namespace nvmetro::sim

@@ -1,0 +1,39 @@
+#include "sim/vcpu.h"
+
+#include <algorithm>
+
+namespace nvmetro::sim {
+
+VCpu::VCpu(Simulator* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  sim_->RegisterCpu(this);
+}
+
+void VCpu::Run(SimTime cost, Callback fn) {
+  SimTime start = std::max(sim_->now(), free_at_);
+  free_at_ = start + cost;
+  if (!polling_) {
+    work_ns_ += cost;
+  }
+  // If the work starts inside a polling window its cost is already covered
+  // by the window's wall time; if the window closes before the work runs
+  // the small overlap is accepted (polling windows close only when idle).
+  sim_->ScheduleAt(free_at_, std::move(fn));
+}
+
+void VCpu::SetPolling(bool on) {
+  if (on == polling_) return;
+  if (on) {
+    poll_started_ = sim_->now();
+  } else {
+    poll_accum_ns_ += sim_->now() - poll_started_;
+  }
+  polling_ = on;
+}
+
+u64 VCpu::busy_ns() const {
+  u64 open = polling_ ? (sim_->now() - poll_started_) : 0;
+  return work_ns_ + poll_accum_ns_ + open;
+}
+
+}  // namespace nvmetro::sim

@@ -1,0 +1,80 @@
+#include "ssd/backing_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmetro::ssd {
+
+BackingStore::BackingStore(u64 capacity) : capacity_(capacity) {}
+
+Status BackingStore::Read(u64 off, void* dst, u64 len) const {
+  if (len > capacity_ || off > capacity_ - len)
+    return OutOfRange("backing store read out of range");
+  auto* out = static_cast<u8*>(dst);
+  while (len > 0) {
+    u64 chunk = off / kChunkSize;
+    u64 in_chunk = off % kChunkSize;
+    u64 n = std::min(len, kChunkSize - in_chunk);
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end()) {
+      std::memset(out, 0, n);
+    } else {
+      std::memcpy(out, it->second.get() + in_chunk, n);
+    }
+    out += n;
+    off += n;
+    len -= n;
+  }
+  return OkStatus();
+}
+
+Status BackingStore::Write(u64 off, const void* src, u64 len) {
+  if (len > capacity_ || off > capacity_ - len)
+    return OutOfRange("backing store write out of range");
+  const auto* in = static_cast<const u8*>(src);
+  while (len > 0) {
+    u64 chunk = off / kChunkSize;
+    u64 in_chunk = off % kChunkSize;
+    u64 n = std::min(len, kChunkSize - in_chunk);
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end()) {
+      auto buf = std::make_unique<u8[]>(kChunkSize);
+      std::memset(buf.get(), 0, kChunkSize);
+      it = chunks_.emplace(chunk, std::move(buf)).first;
+    }
+    std::memcpy(it->second.get() + in_chunk, in, n);
+    in += n;
+    off += n;
+    len -= n;
+  }
+  return OkStatus();
+}
+
+Status BackingStore::Trim(u64 off, u64 len) {
+  if (len > capacity_ || off > capacity_ - len)
+    return OutOfRange("backing store trim out of range");
+  while (len > 0) {
+    u64 chunk = off / kChunkSize;
+    u64 in_chunk = off % kChunkSize;
+    u64 n = std::min(len, kChunkSize - in_chunk);
+    auto it = chunks_.find(chunk);
+    if (it != chunks_.end()) {
+      if (n == kChunkSize) {
+        chunks_.erase(it);
+      } else {
+        std::memset(it->second.get() + in_chunk, 0, n);
+      }
+    }
+    off += n;
+    len -= n;
+  }
+  return OkStatus();
+}
+
+bool BackingStore::Matches(u64 off, const void* expected, u64 len) const {
+  std::unique_ptr<u8[]> buf(new u8[len]);
+  if (!Read(off, buf.get(), len).ok()) return false;
+  return std::memcmp(buf.get(), expected, len) == 0;
+}
+
+}  // namespace nvmetro::ssd

@@ -1,0 +1,47 @@
+// Sparse in-memory backing store for simulated drives.
+//
+// Data written through the NVMe stack is physically stored here, so
+// end-to-end properties (encryption format compatibility, mirror
+// consistency, filesystem recovery) are verifiable by reading the media
+// back. Storage is chunked and allocated lazily; unwritten regions read
+// as zeros, matching a freshly-deallocated SSD.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::ssd {
+
+class BackingStore {
+ public:
+  /// Creates a store of `capacity` bytes.
+  explicit BackingStore(u64 capacity);
+
+  u64 capacity() const { return capacity_; }
+
+  /// Copies [off, off+len) into dst. Out-of-range access is an error.
+  Status Read(u64 off, void* dst, u64 len) const;
+
+  /// Writes [off, off+len) from src.
+  Status Write(u64 off, const void* src, u64 len);
+
+  /// Deallocates a range (reads return zeros afterwards). Byte-exact.
+  Status Trim(u64 off, u64 len);
+
+  /// Compares [off, off+len) with the expected bytes; true when equal.
+  bool Matches(u64 off, const void* expected, u64 len) const;
+
+  /// Number of chunks currently materialized (for tests / memory checks).
+  usize chunk_count() const { return chunks_.size(); }
+
+ private:
+  static constexpr u64 kChunkSize = 4 * KiB;
+
+  u64 capacity_;
+  std::unordered_map<u64, std::unique_ptr<u8[]>> chunks_;
+};
+
+}  // namespace nvmetro::ssd

@@ -1,0 +1,211 @@
+// Simulated NVMe controller ("the physical drive").
+//
+// Implements the NVMe protocol over simulated time: SQEs are fetched from
+// submission rings after a doorbell write, executed against a sparse
+// BackingStore with timing from LatencyModel, and completed by posting
+// CQEs with phase tags plus an optional per-CQ notification callback
+// (modeling MSI-X interrupts or giving pollers an edge to observe).
+//
+// Both driver styles are supported:
+//  - the admin queue path: IDENTIFY, CREATE/DELETE IO SQ/CQ, GET/SET
+//    FEATURES are parsed from real admin SQEs (used by the passthrough
+//    guest driver and protocol tests);
+//  - a host-driver convenience API that creates queue pairs directly
+//    (what a booted kernel driver state amounts to), used by the NVMetro
+//    router for its HSQ/HCQ pairs (paper §III-C).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/address_space.h"
+#include "nvme/defs.h"
+#include "nvme/identify.h"
+#include "nvme/queue.h"
+#include "sim/simulator.h"
+#include "ssd/backing_store.h"
+#include "ssd/latency_model.h"
+
+namespace nvmetro::ssd {
+
+struct ControllerConfig {
+  u64 capacity = 4 * GiB;
+  u32 lba_size = 512;
+  u32 num_namespaces = 1;
+  /// Namespace that speaks the KV command set (0 = none). KV commands on
+  /// other namespaces fail with InvalidOpcode.
+  u32 kv_nsid = 0;
+  /// Largest value a KV Store may carry.
+  u32 kv_max_value = 1 * MiB;
+  u32 max_io_queues = 64;
+  /// Max data transfer size in bytes (IDENTIFY.MDTS).
+  u64 max_transfer = 512 * KiB;
+  /// PCIe doorbell-write to command-fetch delay.
+  SimTime doorbell_delay = 500 * kNs;
+  LatencyParams latency{};
+  u64 seed = 42;
+  const char* serial = "NVMETRO-SIM-0001";
+  const char* model = "NVMetro Simulated 970EVOPlus";
+};
+
+class SimulatedController {
+ public:
+  /// `dma` is the address space the controller DMAs through (guest memory
+  /// for passthrough, an IommuSpace when host buffers are involved).
+  SimulatedController(sim::Simulator* sim, mem::AddressSpace* dma,
+                      ControllerConfig cfg);
+
+  // --- Queue management (host-driver API) ---------------------------------
+
+  /// Called whenever a CQE is posted to the queue's CQ.
+  using CqNotify = std::function<void()>;
+
+  /// Creates an I/O queue pair with controller-owned ring memory.
+  /// Returns the queue id (>= 1; 0 is the admin queue).
+  ///
+  /// `dma` optionally overrides the DMA address space used to resolve
+  /// PRPs of commands submitted on this queue — the vIOMMU view of a
+  /// mediated queue pair: when the NVMetro router (or a passthrough
+  /// mapping) gives a VM its own queues, the PRPs they carry are
+  /// guest-physical addresses resolved against that VM's memory, exactly
+  /// as an IOMMU domain (or MDev's PRP shadow translation) would.
+  Result<u16> CreateIoQueuePair(u32 entries, CqNotify notify,
+                                mem::AddressSpace* dma = nullptr);
+
+  /// Creates an I/O queue pair whose rings live in caller-provided memory
+  /// (e.g. guest pages for device passthrough). The memory must be zeroed
+  /// and outlive the queue.
+  Result<u16> CreateIoQueuePairAt(u8* sq_base, u8* cq_base, u32 entries,
+                                  CqNotify notify,
+                                  mem::AddressSpace* dma = nullptr);
+
+  /// Registers a queue pair over ring objects owned by the caller (device
+  /// passthrough: the guest driver's rings ARE the device rings). The
+  /// rings must outlive the queue.
+  Result<u16> AttachSharedQueuePair(nvme::SqRing* sq, nvme::CqRing* cq,
+                                    CqNotify notify,
+                                    mem::AddressSpace* dma = nullptr);
+
+  Status DeleteIoQueuePair(u16 qid);
+
+  /// Ring accessors; nullptr when the qid is not active.
+  nvme::SqRing* sq(u16 qid);
+  nvme::CqRing* cq(u16 qid);
+
+  /// Tail doorbell: publishes the SQ tail and starts fetching. This is
+  /// the MMIO write a driver performs after Push()ing entries.
+  void RingSqDoorbell(u16 qid);
+
+  /// Head doorbell: publishes the CQ head, releasing completion slots.
+  void RingCqDoorbell(u16 qid);
+
+  /// Convenience: Push + RingSqDoorbell. Returns false when the SQ is
+  /// full.
+  bool Submit(u16 qid, const nvme::Sqe& sqe);
+
+  // --- Admin queue ---------------------------------------------------------
+
+  nvme::SqRing* admin_sq() { return queues_[0]->sq; }
+  nvme::CqRing* admin_cq() { return queues_[0]->cq; }
+  void RingAdminSqDoorbell() { RingSqDoorbell(0); }
+  void SetAdminCqNotify(CqNotify notify);
+
+  // --- Introspection -------------------------------------------------------
+
+  const ControllerConfig& config() const { return cfg_; }
+  u32 lba_size() const { return cfg_.lba_size; }
+  u32 num_namespaces() const { return cfg_.num_namespaces; }
+  /// Logical blocks in one namespace.
+  u64 ns_block_count(u32 nsid) const;
+  /// Populated identify structures (also served via the admin queue).
+  nvme::IdentifyController IdentifyCtrl() const;
+  nvme::IdentifyNamespace IdentifyNs(u32 nsid) const;
+
+  BackingStore& store() { return store_; }
+  const BackingStore& store() const { return store_; }
+
+  u64 commands_completed() const { return commands_completed_; }
+  /// Keys currently stored in the KV namespace.
+  usize kv_entry_count() const { return kv_store_.size(); }
+  u64 data_bytes_read() const { return bytes_read_; }
+  u64 data_bytes_written() const { return bytes_written_; }
+
+  // --- Failure injection ----------------------------------------------------
+
+  /// The next `count` data commands on `nsid` complete with `status`
+  /// (media untouched). Used to exercise the classifier error path
+  /// (paper Listing 1, line 8).
+  void InjectError(u32 nsid, nvme::NvmeStatus status, u32 count);
+
+ private:
+  struct QueuePair {
+    u16 qid;
+    std::vector<u8> sq_mem, cq_mem;  // empty when externally backed
+    std::unique_ptr<nvme::SqRing> owned_sq;
+    std::unique_ptr<nvme::CqRing> owned_cq;
+    nvme::SqRing* sq = nullptr;
+    nvme::CqRing* cq = nullptr;
+    CqNotify notify;
+    mem::AddressSpace* dma = nullptr;  // per-queue DMA view (vIOMMU)
+    bool active = true;
+    /// Controller-owned ring memory.
+    QueuePair(u16 id, u32 entries)
+        : qid(id),
+          sq_mem(static_cast<usize>(entries) * sizeof(nvme::Sqe), 0),
+          cq_mem(static_cast<usize>(entries) * sizeof(nvme::Cqe), 0),
+          owned_sq(new nvme::SqRing(sq_mem.data(), entries)),
+          owned_cq(new nvme::CqRing(cq_mem.data(), entries)),
+          sq(owned_sq.get()),
+          cq(owned_cq.get()) {}
+    /// Externally backed ring memory (guest pages).
+    QueuePair(u16 id, u8* sqb, u8* cqb, u32 entries)
+        : qid(id),
+          owned_sq(new nvme::SqRing(sqb, entries)),
+          owned_cq(new nvme::CqRing(cqb, entries)),
+          sq(owned_sq.get()),
+          cq(owned_cq.get()) {}
+    /// Shared ring objects (passthrough).
+    QueuePair(u16 id, nvme::SqRing* sqr, nvme::CqRing* cqr)
+        : qid(id), sq(sqr), cq(cqr) {}
+  };
+
+  void ProcessSq(u16 qid);
+  void ExecuteIo(QueuePair& qp, const nvme::Sqe& sqe);
+  void ExecuteKv(QueuePair& qp, const nvme::Sqe& sqe);
+  void ExecuteAdmin(QueuePair& qp, const nvme::Sqe& sqe);
+  void CompleteAt(SimTime when, u16 qid, const nvme::Sqe& sqe,
+                  nvme::NvmeStatus status, u32 result = 0);
+  void PostCqe(u16 qid, const nvme::Sqe& sqe, nvme::NvmeStatus status,
+               u32 result);
+  /// Offset of a namespace's LBA 0 in the backing store.
+  u64 NsBase(u32 nsid) const;
+  /// Validates nsid + LBA range; returns the store byte offset.
+  Result<u64> CheckRange(u32 nsid, u64 slba, u32 nblocks) const;
+
+  sim::Simulator* sim_;
+  mem::AddressSpace* dma_;
+  ControllerConfig cfg_;
+  BackingStore store_;
+  LatencyModel latency_;
+  std::vector<std::unique_ptr<QueuePair>> queues_;  // index == qid
+  u64 commands_completed_ = 0;
+  u64 bytes_read_ = 0;
+  u64 bytes_written_ = 0;
+  struct Injection {
+    u32 nsid;
+    nvme::NvmeStatus status;
+    u32 remaining;
+  };
+  std::vector<Injection> injections_;
+  // KV command set storage (key bytes -> value).
+  std::map<std::string, std::vector<u8>> kv_store_;
+  // Admin-created CQs awaiting their SQ: qid -> (cq base addr, entries).
+  std::map<u16, std::pair<u64, u32>> pending_cq_;
+};
+
+}  // namespace nvmetro::ssd

@@ -1,0 +1,85 @@
+// SSD timing model, calibrated against the Samsung 970 EVO Plus 1TB used
+// in the paper's testbed.
+//
+// Structure (all parameters in one place so EXPERIMENTS.md can reference
+// them):
+//   - a single firmware pipeline: every command pays `cmd_overhead_ns`
+//     serially, capping small-block IOPS (~450K for the 970 EVO Plus
+//     class);
+//   - `media_units` parallel NAND planes: a read occupies one unit for
+//     `read_media_ns`, a write for `write_media_ns` (SLC-cache absorbed);
+//   - a shared data bus modeling the ~3.5/3.3 GB/s sequential read/write
+//     bandwidth;
+//   - occasional slow ops (read retries / GC pauses) produce a realistic
+//     p99 tail (paper Figure 4 whiskers).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nvmetro::ssd {
+
+struct LatencyParams {
+  /// Per-command firmware/fetch cost (serial pipeline).
+  SimTime cmd_overhead_ns = 3'300;
+  /// NAND plane-level parallelism available to the controller.
+  u32 media_units = 48;
+  /// Media occupancy of a read (sense + on-chip transfer), <= 16 KiB.
+  SimTime read_media_ns = 68'000;
+  /// Media occupancy of a write into the SLC cache.
+  SimTime write_media_ns = 18'000;
+  /// Additional media occupancy per extra 16 KiB page of a large op.
+  SimTime media_per_page_ns = 4'000;
+  /// Shared bus bandwidth: ns per byte. 3.5 GB/s -> 0.2857 ns/B.
+  double read_bus_ns_per_byte = 1e9 / 3.5e9;
+  double write_bus_ns_per_byte = 1e9 / 3.3e9;
+  /// Per-command bus/transfer setup occupancy: small requests reach a
+  /// lower fraction of the sequential bandwidth than large ones (real
+  /// drives behave the same; this is why 1 MiB readahead reads beat
+  /// direct 16K reads on the QEMU path).
+  SimTime bus_setup_ns = 1'200;
+  /// Flush cost (SLC cache commit).
+  SimTime flush_ns = 60'000;
+  /// Tail behaviour: fraction of ops hitting a slow path and its factor.
+  double slow_op_rate = 0.015;
+  double slow_op_factor = 2.6;
+  /// Uniform jitter applied to media time: +/- this fraction.
+  double jitter = 0.08;
+};
+
+/// Tracks the occupancy of the firmware pipeline, media units and bus, and
+/// computes per-command completion times. Deterministic given the seed.
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyParams params, u64 seed = 42);
+
+  /// Returns the absolute completion time for a command arriving at
+  /// `now` with the given direction and transfer length. Advances the
+  /// internal resource clocks (so order of calls matters, as in a real
+  /// device).
+  SimTime Complete(SimTime now, bool is_write, u64 bytes);
+
+  /// Flush: serializes on the firmware pipeline.
+  SimTime CompleteFlush(SimTime now);
+
+  /// Zero-transfer admin-ish cost (DSM, write-zeroes bookkeeping).
+  SimTime CompleteNoData(SimTime now);
+
+  const LatencyParams& params() const { return params_; }
+
+ private:
+  SimTime MediaTime(bool is_write, u64 bytes);
+
+  LatencyParams params_;
+  Rng rng_;
+  SimTime fw_free_ = 0;
+  std::vector<SimTime> unit_free_;
+  SimTime bus_free_ = 0;
+};
+
+/// Default parameter set (Samsung 970 EVO Plus class).
+LatencyParams Samsung970EvoPlusParams();
+
+}  // namespace nvmetro::ssd

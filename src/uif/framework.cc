@@ -1,0 +1,71 @@
+#include "uif/framework.h"
+
+namespace nvmetro::uif {
+
+void UifFunction::Respond(u32 tag, u16 status) {
+  responses_++;
+  core::NotifyCompletion c;
+  c.tag = tag;
+  c.status = status;
+  channel_->PushCompletion(c);
+}
+
+UifHost::UifHost(sim::Simulator* sim, std::string name, UifHostParams params)
+    : sim_(sim), name_(std::move(name)), params_(params) {
+  for (u32 i = 0; i < std::max<u32>(1, params_.threads); i++) {
+    cpus_.push_back(std::make_unique<sim::VCpu>(
+        sim_, name_ + ".uif" + std::to_string(i)));
+  }
+  sim::Poller::Options opts;
+  opts.dispatch_cost = params_.dispatch_cost_ns;
+  opts.adaptive = params_.adaptive;
+  opts.idle_timeout = params_.idle_timeout_ns;
+  opts.wakeup_latency = params_.wakeup_latency_ns;
+  poller_ = std::make_unique<sim::Poller>(sim_, cpus_[0].get(), opts);
+}
+
+UifFunction* UifHost::AddFunction(core::NotifyChannel* channel, virt::Vm* vm,
+                                  UifBase* impl) {
+  auto fn = std::make_unique<UifFunction>();
+  fn->channel_ = channel;
+  fn->impl_ = impl;
+  fn->vm_ = vm;
+  fn->host_ = this;
+  impl->function_ = fn.get();
+  usize index = functions_.size();
+  u32 src = poller_->AddSource([this, index] { PollChannel(index); });
+  sources_.push_back(src);
+  channel->SetRequestNotify([this, src] { poller_->Notify(src); });
+  functions_.push_back(std::move(fn));
+  return functions_.back().get();
+}
+
+sim::VCpu* UifHost::PickWorker() {
+  sim::VCpu* best = cpus_[0].get();
+  for (auto& c : cpus_) {
+    if (c->free_at() < best->free_at()) best = c.get();
+  }
+  return best;
+}
+
+u64 UifHost::TotalCpuBusyNs() const {
+  u64 sum = 0;
+  for (const auto& c : cpus_) sum += c->busy_ns();
+  return sum;
+}
+
+void UifHost::PollChannel(usize index) {
+  UifFunction& fn = *functions_[index];
+  core::NotifyEntry entry;
+  if (!fn.channel_->PopRequest(&entry)) return;
+  fn.requests_++;
+  poll_cpu()->Charge(params_.per_req_parse_ns);
+  u16 status = nvme::kStatusSuccess;
+  bool async = fn.impl_->work(entry.sqe, entry.tag, status);
+  if (!async) fn.Respond(entry.tag, status);
+  if (fn.channel_->PendingRequests() > 0) {
+    poller_->Notify(sources_[index]);
+  }
+}
+
+}  // namespace nvmetro::uif

@@ -1,0 +1,137 @@
+// The UIF framework (paper §III-D).
+//
+// "To ease the creation of UIFs, we created an UIF framework that
+// provides the following services: 1) setting up notify queues and
+// io_uring mappings ... 2) configuring polling threads for I/O queues;
+// 3) parsing of incoming NVMe commands, as well as reading and writing of
+// data pages from the VM; 4) exposure of requests from the VMs as UIF
+// events."
+//
+// A UifHost is one userspace process: it owns the polling thread(s),
+// adaptively switching between busy-polling and epoll-assisted waiting,
+// and can serve several VMs by hosting multiple UifFunctions (channel +
+// implementation pairs) on the same threads — lowering the CPU cost of
+// busy polling (§III-D).
+//
+// A storage function implements UifBase::work(), matching Listing 2:
+//
+//   bool work(nvme_cmd cmd, u32 tag, u16& status);
+//     -> false: the framework responds with `status` immediately;
+//     -> true: the implementation responds later via Respond(tag, ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/notify.h"
+#include "sim/poller.h"
+#include "sim/simulator.h"
+#include "sim/vcpu.h"
+#include "uif/guest_data.h"
+#include "virt/vm.h"
+
+namespace nvmetro::uif {
+
+class UifFunction;
+
+/// Base class for userspace I/O functions.
+class UifBase {
+ public:
+  virtual ~UifBase() = default;
+
+  /// Handles one command. See file comment for the return contract.
+  virtual bool work(const nvme::Sqe& cmd, u32 tag, u16& status) = 0;
+
+  /// The binding this UIF serves (set by the framework before any work()).
+  UifFunction* function() const { return function_; }
+
+ private:
+  friend class UifHost;
+  UifFunction* function_ = nullptr;
+};
+
+struct UifHostParams {
+  /// Worker threads in this UIF process (paper: non-SGX encryptor uses 2).
+  u32 threads = 2;
+  /// Framework CPU per request (NSQ pop + command parse + dispatch).
+  SimTime per_req_parse_ns = 350;
+  /// Adaptive polling knobs (§III-D).
+  bool adaptive = true;
+  SimTime idle_timeout_ns = 40 * kUs;
+  SimTime wakeup_latency_ns = 4 * kUs;
+  SimTime dispatch_cost_ns = 130;
+};
+
+/// One VM <-> UIF binding inside a UifHost.
+class UifFunction {
+ public:
+  /// Sends the NCQ response for a tag.
+  void Respond(u32 tag, u16 status);
+
+  /// Parses a command's guest data pages.
+  GuestData Parse(const nvme::Sqe& cmd) {
+    return GuestData(&vm_->memory(), cmd);
+  }
+
+  virt::Vm* vm() const { return vm_; }
+  core::NotifyChannel* channel() const { return channel_; }
+  /// Partition info from the router (namespace-absolute -> guest LBAs).
+  u64 part_first_lba() const { return channel_->part_first_lba(); }
+
+  u64 requests() const { return requests_; }
+  u64 responses() const { return responses_; }
+
+  /// The hosting process (for Async offload / uring thread selection).
+  class UifHost* host() const { return host_; }
+
+ private:
+  friend class UifHost;
+  core::NotifyChannel* channel_ = nullptr;
+  UifBase* impl_ = nullptr;
+  virt::Vm* vm_ = nullptr;
+  class UifHost* host_ = nullptr;
+  u64 requests_ = 0;
+  u64 responses_ = 0;
+};
+
+/// A UIF process: polling threads + one or more functions.
+class UifHost {
+ public:
+  UifHost(sim::Simulator* sim, std::string name,
+          UifHostParams params = UifHostParams());
+
+  /// Binds a notify channel (from NvmetroHost::AttachUif side) to an
+  /// implementation; `vm` provides guest-memory access for data pages.
+  UifFunction* AddFunction(core::NotifyChannel* channel, virt::Vm* vm,
+                           UifBase* impl);
+
+  void Start() { poller_->Start(); }
+
+  /// Thread 0 (the polling thread).
+  sim::VCpu* poll_cpu() { return cpus_[0].get(); }
+  /// Least-loaded worker thread, for offloading bulk work (crypto).
+  sim::VCpu* PickWorker();
+  /// Runs `fn` after `cost` ns of work on the least-loaded thread.
+  void Async(SimTime cost, std::function<void()> fn) {
+    PickWorker()->Run(cost, std::move(fn));
+  }
+
+  sim::Simulator* simulator() { return sim_; }
+  u64 TotalCpuBusyNs() const;
+  bool sleeping() const { return poller_->sleeping(); }
+  const UifHostParams& params() const { return params_; }
+
+ private:
+  void PollChannel(usize index);
+
+  sim::Simulator* sim_;
+  std::string name_;
+  UifHostParams params_;
+  std::vector<std::unique_ptr<sim::VCpu>> cpus_;
+  std::unique_ptr<sim::Poller> poller_;
+  std::vector<std::unique_ptr<UifFunction>> functions_;
+  std::vector<u32> sources_;
+};
+
+}  // namespace nvmetro::uif

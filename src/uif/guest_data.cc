@@ -1,0 +1,48 @@
+#include "uif/guest_data.h"
+
+#include <cstring>
+
+namespace nvmetro::uif {
+
+GuestData::GuestData(mem::GuestMemory* gm, const nvme::Sqe& cmd,
+                     u32 lba_size)
+    : gm_(gm), lba_size_(lba_size) {
+  slba_ = cmd.slba();
+  nblocks_ = cmd.block_count();
+  u64 len = static_cast<u64>(nblocks_) * lba_size_;
+  status_ = nvme::WalkPrps(*gm_, cmd, len, &segs_);
+  if (!status_.ok()) nblocks_ = 0;
+}
+
+u8* GuestData::operator*() const {
+  u64 want = block_offset();
+  for (const auto& s : segs_) {
+    if (want < s.len) {
+      // A block never straddles segments for block-aligned transfers.
+      if (want + lba_size_ > s.len) return nullptr;
+      return gm_->Translate(s.gpa + want, lba_size_);
+    }
+    want -= s.len;
+  }
+  return nullptr;
+}
+
+Status GuestData::CopyOut(void* dst) const {
+  auto* p = static_cast<u8*>(dst);
+  for (const auto& s : segs_) {
+    NVM_RETURN_IF_ERROR(gm_->Read(s.gpa, p, s.len));
+    p += s.len;
+  }
+  return OkStatus();
+}
+
+Status GuestData::CopyIn(const void* src) const {
+  const auto* p = static_cast<const u8*>(src);
+  for (const auto& s : segs_) {
+    NVM_RETURN_IF_ERROR(gm_->Write(s.gpa, p, s.len));
+    p += s.len;
+  }
+  return OkStatus();
+}
+
+}  // namespace nvmetro::uif

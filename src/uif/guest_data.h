@@ -1,0 +1,69 @@
+// Guest data accessor for UIFs: iterates the data blocks of an NVMe
+// command directly in the VM's memory (no copies), the way the paper's
+// UIF framework exposes them to `work()` implementations:
+//
+//   for (auto data = parse(cmd); !data.at_end(); data++)
+//     decrypt(*data, data.lba());
+//
+// Each step yields one logical block (512 B by default); since PRP
+// segments are page-multiples past the first, a block never straddles a
+// segment boundary when the transfer is block-aligned.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/guest_memory.h"
+#include "nvme/defs.h"
+#include "nvme/prp.h"
+
+namespace nvmetro::uif {
+
+class GuestData {
+ public:
+  /// Walks the command's PRPs in `gm`. Check ok() before iterating.
+  GuestData(mem::GuestMemory* gm, const nvme::Sqe& cmd,
+            u32 lba_size = 512);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  bool at_end() const { return block_ >= nblocks_; }
+  void operator++(int) { block_++; }
+
+  /// Host pointer to the current block's bytes in guest memory.
+  u8* operator*() const;
+
+  /// LBA of the current block (command slba + index).
+  u64 lba() const { return slba_ + block_; }
+
+  /// Byte offset of the current block within the transfer.
+  u64 block_offset() const { return static_cast<u64>(block_) * lba_size_; }
+
+  u32 lba_size() const { return lba_size_; }
+  u64 nbytes() const { return static_cast<u64>(nblocks_) * lba_size_; }
+  u32 nblocks() const { return nblocks_; }
+
+  /// Starting LBA of the whole command (its on-disk address).
+  u64 disk_addr() const { return slba_; }
+
+  /// Copies the whole transfer out of / into guest memory.
+  Status CopyOut(void* dst) const;
+  Status CopyIn(const void* src) const;
+
+  /// The raw (gpa, len) segments, for zero-copy forwarding.
+  const std::vector<nvme::PrpSegment>& segments() const { return segs_; }
+  mem::GuestMemory* guest_memory() const { return gm_; }
+
+ private:
+  mem::GuestMemory* gm_;
+  u32 lba_size_;
+  u64 slba_ = 0;
+  u32 nblocks_ = 0;
+  u32 block_ = 0;
+  std::vector<nvme::PrpSegment> segs_;
+  Status status_;
+};
+
+}  // namespace nvmetro::uif

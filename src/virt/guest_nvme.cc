@@ -1,0 +1,107 @@
+#include "virt/guest_nvme.h"
+
+#include <cassert>
+
+namespace nvmetro::virt {
+
+GuestNvmeDriver::GuestNvmeDriver(Vm* vm, VirtualNvmeBackend* backend,
+                                 GuestNvmeParams params)
+    : vm_(vm), backend_(backend), params_(params) {}
+
+Status GuestNvmeDriver::Init(u32 nqueues) {
+  if (nqueues == 0) return InvalidArgument("need at least one queue");
+  mem::GuestMemory& gm = vm_->memory();
+  for (u32 i = 0; i < nqueues; i++) {
+    auto q = std::make_unique<Queue>();
+    q->qid = static_cast<u16>(i + 1);
+    u64 sq_bytes = static_cast<u64>(params_.queue_entries) * sizeof(nvme::Sqe);
+    u64 cq_bytes = static_cast<u64>(params_.queue_entries) * sizeof(nvme::Cqe);
+    auto sq_gpa = gm.AllocPages((sq_bytes + mem::kPageSize - 1) /
+                                mem::kPageSize);
+    auto cq_gpa = gm.AllocPages((cq_bytes + mem::kPageSize - 1) /
+                                mem::kPageSize);
+    if (!sq_gpa.ok()) return sq_gpa.status();
+    if (!cq_gpa.ok()) return cq_gpa.status();
+    q->sq_gpa = *sq_gpa;
+    q->cq_gpa = *cq_gpa;
+    q->sq = std::make_unique<nvme::SqRing>(gm.Translate(q->sq_gpa, sq_bytes),
+                                           params_.queue_entries);
+    q->cq = std::make_unique<nvme::CqRing>(gm.Translate(q->cq_gpa, cq_bytes),
+                                           params_.queue_entries);
+    q->cpu = vm_->vcpu(i % vm_->num_vcpus());
+    NVM_RETURN_IF_ERROR(backend_->AttachQueuePair(
+        q->qid, q->sq.get(), q->cq.get(), q->sq_gpa, q->cq_gpa));
+    u32 idx = i;
+    backend_->SetIrqHandler(q->qid, [this, idx] {
+      // Interrupt delivery: coalesce while one is being serviced; waking
+      // a halted vCPU costs extra.
+      Queue& queue = *queues_[idx];
+      if (queue.irq_scheduled) return;
+      queue.irq_scheduled = true;
+      SimTime wake = sim::WakePenalty(*queue.cpu, params_.halt_wake_warm_ns,
+                                      params_.halt_wake_cold_ns);
+      vm_->simulator()->ScheduleAfter(wake, [this, idx] {
+        queues_[idx]->cpu->Run(params_.irq_entry_ns,
+                               [this, idx] { HandleIrq(idx); });
+      });
+    });
+    queues_.push_back(std::move(q));
+  }
+  return OkStatus();
+}
+
+u32 GuestNvmeDriver::Inflight(u32 queue_idx) const {
+  return static_cast<u32>(queues_[queue_idx]->pending.size());
+}
+
+void GuestNvmeDriver::Submit(u32 queue_idx, nvme::Sqe sqe, IoDone done) {
+  assert(queue_idx < queues_.size());
+  Queue& q = *queues_[queue_idx];
+  q.cpu->Run(params_.submit_cpu_ns,
+             [this, &q, sqe, done = std::move(done)]() mutable {
+               u16 cid;
+               do {
+                 cid = q.next_cid++;
+               } while (q.pending.count(cid));
+               sqe.cid = cid;
+               if (!q.sq->Push(sqe)) {
+                 // Queue full: the guest driver would requeue; report as
+                 // a busy error so workloads can throttle.
+                 done(nvme::MakeStatus(nvme::kSctGeneric,
+                                       nvme::kScAbortRequested),
+                      0);
+                 return;
+               }
+               q.pending.emplace(cid, std::move(done));
+               q.sq->PublishTail();
+               SimTime extra = backend_->SqDoorbell(q.qid);
+               q.cpu->Charge(params_.doorbell_cpu_ns + extra);
+             });
+}
+
+void GuestNvmeDriver::HandleIrq(u32 queue_idx) {
+  Queue& q = *queues_[queue_idx];
+  q.irq_scheduled = false;
+  nvme::Cqe cqe;
+  u32 handled = 0;
+  std::vector<std::pair<IoDone, nvme::Cqe>> callbacks;
+  while (q.cq->Peek(&cqe)) {
+    q.cq->Pop();
+    handled++;
+    auto it = q.pending.find(cqe.cid);
+    if (it != q.pending.end()) {
+      callbacks.emplace_back(std::move(it->second), cqe);
+      q.pending.erase(it);
+    }
+  }
+  q.cq->PublishHead();
+  backend_->CqDoorbell(q.qid);
+  if (handled > 0) {
+    q.cpu->Charge(handled * params_.per_cqe_cpu_ns);
+  }
+  for (auto& [cb, entry] : callbacks) {
+    cb(entry.status(), entry.result);
+  }
+}
+
+}  // namespace nvmetro::virt

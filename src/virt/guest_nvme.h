@@ -1,0 +1,110 @@
+// Guest-side NVMe driver and the virtual-controller backend interface.
+//
+// Any component that exposes a virtual NVMe controller to a VM — the
+// NVMetro router (queue shadowing), a passthrough mapping of a physical
+// controller, MDev-NVMe — implements VirtualNvmeBackend. The guest
+// driver allocates its submission/completion rings in guest memory,
+// registers them, submits commands with realistic guest-side CPU costs,
+// and handles completion interrupts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nvme/defs.h"
+#include "nvme/queue.h"
+#include "sim/simulator.h"
+#include "virt/vm.h"
+
+namespace nvmetro::virt {
+
+/// Host-side of a virtual NVMe controller, as seen by the guest driver.
+class VirtualNvmeBackend {
+ public:
+  virtual ~VirtualNvmeBackend() = default;
+
+  /// Guest registers an I/O queue pair whose rings live in guest memory
+  /// (the ring objects are owned by the driver and shared with the
+  /// backend, standing in for the shared ring pages).
+  virtual Status AttachQueuePair(u16 qid, nvme::SqRing* sq, nvme::CqRing* cq,
+                                 u64 sq_gpa, u64 cq_gpa) = 0;
+
+  /// Guest SQ tail doorbell write. Returns the guest-side cost of the
+  /// write: a plain MMIO store when the host is actively polling, a
+  /// vm-exit when the write must trap (e.g. to wake a parked router or
+  /// kick an interrupt-driven backend).
+  virtual SimTime SqDoorbell(u16 qid) = 0;
+
+  /// Guest CQ head doorbell write (after consuming completions).
+  virtual void CqDoorbell(u16 qid) = 0;
+
+  /// Registers the guest's interrupt callback for a queue's CQ.
+  virtual void SetIrqHandler(u16 qid, std::function<void()> handler) = 0;
+
+  /// Namespace capacity in bytes as seen by this VM.
+  virtual u64 CapacityBytes() const = 0;
+};
+
+struct GuestNvmeParams {
+  u32 queue_entries = 256;
+  /// Guest CPU per submission (blk-mq + nvme driver prep).
+  SimTime submit_cpu_ns = 700;
+  /// Guest CPU for the doorbell MMIO write itself.
+  SimTime doorbell_cpu_ns = 100;
+  /// Guest CPU for interrupt entry/exit per delivered interrupt.
+  SimTime irq_entry_ns = 1'600;
+  /// Latency to wake a halted guest vCPU (IPI + VM entry); warm vCPUs
+  /// take interrupts almost immediately.
+  SimTime halt_wake_cold_ns = 6'000;
+  SimTime halt_wake_warm_ns = 500;
+  /// Guest CPU per completion processed.
+  SimTime per_cqe_cpu_ns = 450;
+};
+
+class GuestNvmeDriver {
+ public:
+  using IoDone = std::function<void(nvme::NvmeStatus, u32 result)>;
+
+  GuestNvmeDriver(Vm* vm, VirtualNvmeBackend* backend,
+                  GuestNvmeParams params = GuestNvmeParams());
+
+  /// Allocates ring memory and attaches `nqueues` I/O queue pairs
+  /// (queue i is serviced by vcpu i % num_vcpus).
+  Status Init(u32 nqueues);
+
+  /// Submits a command on queue `queue_idx` from that queue's vCPU.
+  /// The cid field is assigned by the driver. PRPs must already point
+  /// into guest memory. `done` fires on the guest vCPU when the
+  /// completion interrupt is processed.
+  void Submit(u32 queue_idx, nvme::Sqe sqe, IoDone done);
+
+  u32 num_queues() const { return static_cast<u32>(queues_.size()); }
+  u64 capacity_bytes() const { return backend_->CapacityBytes(); }
+  Vm* vm() { return vm_; }
+
+  /// In-flight commands on a queue (for backpressure-aware callers).
+  u32 Inflight(u32 queue_idx) const;
+
+ private:
+  struct Queue {
+    u16 qid;
+    u64 sq_gpa, cq_gpa;
+    std::unique_ptr<nvme::SqRing> sq;
+    std::unique_ptr<nvme::CqRing> cq;
+    sim::VCpu* cpu;
+    u16 next_cid = 0;
+    std::map<u16, IoDone> pending;
+    bool irq_scheduled = false;
+  };
+
+  void HandleIrq(u32 queue_idx);
+
+  Vm* vm_;
+  VirtualNvmeBackend* backend_;
+  GuestNvmeParams params_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+};
+
+}  // namespace nvmetro::virt

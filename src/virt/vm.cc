@@ -1,0 +1,19 @@
+#include "virt/vm.h"
+
+namespace nvmetro::virt {
+
+Vm::Vm(sim::Simulator* sim, VmConfig cfg) : sim_(sim), cfg_(cfg) {
+  memory_ = std::make_unique<mem::GuestMemory>(cfg_.memory_bytes);
+  for (u32 i = 0; i < cfg_.vcpus; i++) {
+    vcpus_.push_back(std::make_unique<sim::VCpu>(
+        sim, cfg_.name + ".vcpu" + std::to_string(i)));
+  }
+}
+
+u64 Vm::TotalCpuBusyNs() const {
+  u64 sum = 0;
+  for (const auto& c : vcpus_) sum += c->busy_ns();
+  return sum;
+}
+
+}  // namespace nvmetro::virt

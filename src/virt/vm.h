@@ -1,0 +1,49 @@
+// Virtual machine model: guest RAM plus guest vCPUs.
+//
+// The guest OS is not simulated in full; what matters to the storage
+// stack is (a) guest-physical memory where queues/PRPs/data live, (b)
+// guest vCPUs that pay the driver/block-layer/interrupt costs, and (c)
+// the NVMe (or virtio) driver behaviour, modeled in GuestNvmeDriver and
+// the per-baseline guest drivers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/guest_memory.h"
+#include "sim/simulator.h"
+#include "sim/vcpu.h"
+
+namespace nvmetro::virt {
+
+struct VmConfig {
+  std::string name = "vm0";
+  /// Guest RAM. The paper's VMs have 6 GB; the workloads here address
+  /// only queue/PRP/buffer pages, so a smaller default keeps host memory
+  /// reasonable when simulating many VMs.
+  u64 memory_bytes = 64 * MiB;
+  u32 vcpus = 4;
+};
+
+class Vm {
+ public:
+  Vm(sim::Simulator* sim, VmConfig cfg);
+
+  const std::string& name() const { return cfg_.name; }
+  mem::GuestMemory& memory() { return *memory_; }
+  u32 num_vcpus() const { return cfg_.vcpus; }
+  sim::VCpu* vcpu(u32 i) { return vcpus_[i].get(); }
+  sim::Simulator* simulator() const { return sim_; }
+
+  /// Total guest CPU time burned (all vCPUs).
+  u64 TotalCpuBusyNs() const;
+
+ private:
+  sim::Simulator* sim_;
+  VmConfig cfg_;
+  std::unique_ptr<mem::GuestMemory> memory_;
+  std::vector<std::unique_ptr<sim::VCpu>> vcpus_;
+};
+
+}  // namespace nvmetro::virt

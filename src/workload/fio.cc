@@ -1,0 +1,214 @@
+#include "workload/fio.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace nvmetro::workload {
+
+using baselines::StorageSolution;
+
+const char* FioModeName(FioMode mode) {
+  switch (mode) {
+    case FioMode::kRandRead: return "RR";
+    case FioMode::kRandWrite: return "RW";
+    case FioMode::kRandRW: return "RRW";
+    case FioMode::kSeqRead: return "SR";
+    case FioMode::kSeqWrite: return "SW";
+    case FioMode::kSeqRW: return "SRW";
+  }
+  return "?";
+}
+
+bool FioModeIsRandom(FioMode mode) {
+  return mode == FioMode::kRandRead || mode == FioMode::kRandWrite ||
+         mode == FioMode::kRandRW;
+}
+
+namespace {
+
+struct JobState {
+  StorageSolution* sol = nullptr;
+  u32 job_idx = 0;
+  Rng rng{1};
+  u64 region_off = 0;
+  u64 region_len = 0;
+  u64 seq_pos = 0;
+  u32 inflight = 0;
+  bool stopped = false;
+  FioResult* result = nullptr;
+  const FioConfig* cfg = nullptr;
+  sim::Simulator* sim = nullptr;
+  SimTime window_start = 0, window_end = 0;
+  u64 ops_in_window = 0;
+};
+
+void IssueOne(std::shared_ptr<JobState> js);
+
+void OnComplete(std::shared_ptr<JobState> js, SimTime issued_at, bool is_read,
+                Status st) {
+  js->inflight--;
+  SimTime now = js->sim->now();
+  if (now >= js->window_start && now < js->window_end) {
+    if (!st.ok()) {
+      js->result->errors++;
+    } else {
+      js->ops_in_window++;
+      u64 latency = now - issued_at;
+      js->result->lat.Record(latency);
+      if (is_read) {
+        js->result->read_lat.Record(latency);
+      } else {
+        js->result->write_lat.Record(latency);
+      }
+    }
+  }
+  // Closed loop: replace the completed request (rate mode issues from its
+  // own timer instead).
+  if (!js->stopped && js->cfg->rate_iops == 0) IssueOne(js);
+}
+
+void IssueOne(std::shared_ptr<JobState> js) {
+  if (js->stopped) return;
+  const FioConfig& cfg = *js->cfg;
+  bool is_read;
+  switch (cfg.mode) {
+    case FioMode::kRandRead:
+    case FioMode::kSeqRead:
+      is_read = true;
+      break;
+    case FioMode::kRandWrite:
+    case FioMode::kSeqWrite:
+      is_read = false;
+      break;
+    default:
+      is_read = js->rng.NextBool(cfg.read_fraction);
+  }
+  u64 blocks_in_region = js->region_len / cfg.block_size;
+  u64 offset;
+  if (FioModeIsRandom(cfg.mode)) {
+    offset = js->region_off +
+             js->rng.NextBounded(blocks_in_region) * cfg.block_size;
+  } else {
+    offset = js->region_off + js->seq_pos;
+    js->seq_pos += cfg.block_size;
+    if (js->seq_pos + cfg.block_size > js->region_len) js->seq_pos = 0;
+  }
+  js->inflight++;
+  SimTime issued_at = js->sim->now();
+  js->sol->Submit(js->job_idx,
+                  is_read ? StorageSolution::Op::kRead
+                          : StorageSolution::Op::kWrite,
+                  offset, cfg.block_size, nullptr,
+                  [js, issued_at, is_read](Status st) {
+                    OnComplete(js, issued_at, is_read, st);
+                  });
+}
+
+void ArmRateTimer(std::shared_ptr<JobState> js, SimTime interval) {
+  if (js->stopped) return;
+  js->sim->ScheduleAfter(interval, [js, interval] {
+    if (js->stopped) return;
+    // fio rate mode: issue on schedule; bounded outstanding.
+    if (js->inflight < js->cfg->queue_depth * 4) IssueOne(js);
+    ArmRateTimer(js, interval);
+  });
+}
+
+}  // namespace
+
+std::vector<FioResult> Fio::RunMulti(
+    sim::Simulator* sim,
+    const std::vector<baselines::StorageSolution*>& solutions,
+    const FioConfig& cfg) {
+  std::vector<FioResult> results(solutions.size());
+  std::vector<std::shared_ptr<JobState>> jobs;
+
+  SimTime t0 = sim->now();
+  SimTime window_start = t0 + cfg.warmup;
+  SimTime window_end = window_start + cfg.duration;
+
+  std::vector<u64> guest_cpu0(solutions.size()), host_cpu0(solutions.size());
+
+  for (usize s = 0; s < solutions.size(); s++) {
+    StorageSolution* sol = solutions[s];
+    results[s].solution = sol->name();
+    u64 cap = sol->capacity_bytes();
+    for (u32 j = 0; j < cfg.num_jobs; j++) {
+      auto js = std::make_shared<JobState>();
+      js->sol = sol;
+      js->job_idx = j;
+      js->rng = Rng(cfg.seed * 1000003 + s * 1009 + j);
+      js->cfg = &cfg;
+      js->sim = sim;
+      js->result = &results[s];
+      js->window_start = window_start;
+      js->window_end = window_end;
+      if (FioModeIsRandom(cfg.mode)) {
+        js->region_off = 0;
+        js->region_len = std::min(cfg.random_region, cap);
+      } else {
+        u64 region = std::min(cfg.seq_region_per_job,
+                              cap / std::max<u32>(1, cfg.num_jobs));
+        js->region_off = j * region;
+        js->region_len = region;
+      }
+      // Offset sequential streams so jobs do not start in lockstep.
+      js->seq_pos = 0;
+      jobs.push_back(js);
+    }
+  }
+
+  // CPU snapshots at window start.
+  sim->ScheduleAt(window_start, [&, solutions] {
+    for (usize s = 0; s < solutions.size(); s++) {
+      guest_cpu0[s] = solutions[s]->vm()->TotalCpuBusyNs();
+      host_cpu0[s] = solutions[s]->HostAgentCpuNs();
+    }
+  });
+
+  // Kick off.
+  if (cfg.rate_iops > 0) {
+    double per_job = cfg.rate_iops /
+                     static_cast<double>(jobs.size());
+    auto interval = static_cast<SimTime>(1e9 / per_job);
+    for (usize i = 0; i < jobs.size(); i++) {
+      // Stagger start phases deterministically.
+      SimTime phase = interval * i / jobs.size();
+      sim->ScheduleAfter(phase, [js = jobs[i], interval] {
+        IssueOne(js);
+        ArmRateTimer(js, interval);
+      });
+    }
+  } else {
+    for (auto& js : jobs) {
+      for (u32 q = 0; q < cfg.queue_depth; q++) IssueOne(js);
+    }
+  }
+
+  sim->RunUntil(window_end);
+  for (auto& js : jobs) js->stopped = true;
+
+  // CPU deltas and rates.
+  double secs = static_cast<double>(cfg.duration) / 1e9;
+  for (usize s = 0; s < solutions.size(); s++) {
+    u64 ops = 0;
+    for (auto& js : jobs) {
+      if (js->sol == solutions[s]) ops += js->ops_in_window;
+    }
+    results[s].ops = ops;
+    results[s].iops = static_cast<double>(ops) / secs;
+    results[s].mbps = results[s].iops *
+                      static_cast<double>(cfg.block_size) / 1e6;
+    u64 guest = solutions[s]->vm()->TotalCpuBusyNs() - guest_cpu0[s];
+    u64 host = solutions[s]->HostAgentCpuNs() - host_cpu0[s];
+    results[s].guest_cpu_pct =
+        static_cast<double>(guest) / static_cast<double>(cfg.duration) * 100;
+    results[s].host_cpu_pct =
+        static_cast<double>(host) / static_cast<double>(cfg.duration) * 100;
+  }
+  // Let stragglers drain so a subsequent run starts clean.
+  sim->RunFor(20 * kMs);
+  return results;
+}
+
+}  // namespace nvmetro::workload

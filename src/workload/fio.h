@@ -1,0 +1,87 @@
+// fio-style benchmark harness (paper §V-A, Table II).
+//
+// Reproduces fio's closed-loop queue-depth model: each job keeps
+// `queue_depth` requests in flight against a StorageSolution, choosing
+// offsets randomly or sequentially over its region, optionally rate
+// limited (the fixed-10K-IOPS latency experiments of Figure 4). Results
+// report IOPS, bandwidth, latency percentiles and CPU over an explicit
+// measurement window after warmup.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/solution.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace nvmetro::workload {
+
+enum class FioMode {
+  kRandRead,
+  kRandWrite,
+  kRandRW,
+  kSeqRead,
+  kSeqWrite,
+  kSeqRW,
+};
+
+/// fio-style short names: RR, RW, RRW, SR, SW, SRW.
+const char* FioModeName(FioMode mode);
+bool FioModeIsRandom(FioMode mode);
+
+struct FioConfig {
+  u64 block_size = 4096;
+  u32 queue_depth = 1;
+  u32 num_jobs = 1;
+  FioMode mode = FioMode::kRandRead;
+  /// Read share for the mixed modes (fio randrw default 50/50).
+  double read_fraction = 0.5;
+  /// Fixed total request rate (0 = unbounded closed loop).
+  double rate_iops = 0;
+  /// Random jobs address this many bytes (from the device start).
+  u64 random_region = 1 * GiB;
+  /// Sequential jobs loop over a private region of this size each.
+  /// Larger than the QEMU host page cache, as the paper's fio files
+  /// exceed host RAM: buffered reads win through bigger device commands
+  /// (readahead), not through cache residency.
+  u64 seq_region_per_job = 768 * MiB;
+  SimTime warmup = 60 * kMs;
+  SimTime duration = 240 * kMs;
+  u64 seed = 99;
+};
+
+struct FioResult {
+  std::string solution;
+  double iops = 0;
+  double mbps = 0;
+  u64 ops = 0;
+  u64 errors = 0;
+  LatencyHistogram lat;        // all ops
+  LatencyHistogram read_lat;
+  LatencyHistogram write_lat;
+  /// CPU percent of one core over the measurement window.
+  double guest_cpu_pct = 0;
+  double host_cpu_pct = 0;
+  double total_cpu_pct() const { return guest_cpu_pct + host_cpu_pct; }
+};
+
+class Fio {
+ public:
+  /// Runs the workload on all solutions concurrently (same simulator!)
+  /// and returns per-solution results. Used directly for the multi-VM
+  /// scalability experiment; Run() wraps the single-solution case.
+  static std::vector<FioResult> RunMulti(
+      sim::Simulator* sim,
+      const std::vector<baselines::StorageSolution*>& solutions,
+      const FioConfig& cfg);
+
+  static FioResult Run(sim::Simulator* sim,
+                       baselines::StorageSolution* solution,
+                       const FioConfig& cfg) {
+    return RunMulti(sim, {solution}, cfg)[0];
+  }
+};
+
+}  // namespace nvmetro::workload

@@ -1,0 +1,103 @@
+#include "workload/solution_fs.h"
+
+#include <cstring>
+#include <memory>
+
+namespace nvmetro::workload {
+
+using baselines::StorageSolution;
+
+SolutionFsBackend::SolutionFsBackend(StorageSolution* sol, u32 job,
+                                     u64 base_offset, u64 size)
+    : sol_(sol), job_(job), base_(base_offset), size_(size) {}
+
+void SolutionFsBackend::Read(u64 offset, void* buf, u64 len, Callback done) {
+  if (offset + len > size_) {
+    done(OutOfRange("fs backend read out of range"));
+    return;
+  }
+  u64 first = offset / kSector * kSector;
+  u64 last = (offset + len + kSector - 1) / kSector * kSector;
+  if (first == offset && last == offset + len) {
+    sol_->Submit(job_, StorageSolution::Op::kRead, base_ + offset, len, buf,
+                 std::move(done));
+    return;
+  }
+  // Unaligned: read the covering sectors and copy the middle out.
+  auto bounce = std::make_shared<std::vector<u8>>(last - first);
+  u64 head = offset - first;
+  sol_->Submit(job_, StorageSolution::Op::kRead, base_ + first,
+               bounce->size(), bounce->data(),
+               [bounce, buf, head, len, done = std::move(done)](Status st) {
+                 if (st.ok()) {
+                   std::memcpy(buf, bounce->data() + head, len);
+                 }
+                 done(st);
+               });
+}
+
+void SolutionFsBackend::Write(u64 offset, const void* buf, u64 len,
+                              Callback done) {
+  if (offset + len > size_) {
+    done(OutOfRange("fs backend write out of range"));
+    return;
+  }
+  EnqueueWrite(offset, buf, len, std::move(done));
+}
+
+void SolutionFsBackend::EnqueueWrite(u64 offset, const void* buf, u64 len,
+                                     Callback done) {
+  // Writes are serialized: unaligned writes need read-modify-write, and
+  // overlapping RMWs of the same sectors would corrupt data (a page
+  // cache serializes per-page in the same way).
+  write_queue_.push_back({offset, buf, len, std::move(done)});
+  PumpWrites();
+}
+
+void SolutionFsBackend::PumpWrites() {
+  if (write_active_ || write_queue_.empty()) return;
+  write_active_ = true;
+  PendingWrite w = std::move(write_queue_.front());
+  write_queue_.pop_front();
+  DoWrite(w.offset, w.buf, w.len,
+          [this, done = std::move(w.done)](Status st) {
+            done(st);
+            write_active_ = false;
+            PumpWrites();
+          });
+}
+
+void SolutionFsBackend::DoWrite(u64 offset, const void* buf, u64 len,
+                                Callback done) {
+  u64 first = offset / kSector * kSector;
+  u64 last = (offset + len + kSector - 1) / kSector * kSector;
+  if (first == offset && last == offset + len) {
+    sol_->Submit(job_, StorageSolution::Op::kWrite, base_ + offset, len,
+                 const_cast<void*>(buf), std::move(done));
+    return;
+  }
+  rmw_writes_++;
+  auto bounce = std::make_shared<std::vector<u8>>(last - first);
+  u64 head = offset - first;
+  sol_->Submit(
+      job_, StorageSolution::Op::kRead, base_ + first, bounce->size(),
+      bounce->data(),
+      [this, bounce, buf, head, len, first,
+       done = std::move(done)](Status st) {
+        if (!st.ok()) {
+          done(st);
+          return;
+        }
+        std::memcpy(bounce->data() + head, buf, len);
+        sol_->Submit(job_, StorageSolution::Op::kWrite, base_ + first,
+                     bounce->size(), bounce->data(),
+                     [bounce, done](Status st2) { done(st2); });
+      });
+}
+
+void SolutionFsBackend::Flush(Callback done) {
+  sol_->Submit(job_, StorageSolution::Op::kFlush, 0, 0, nullptr,
+               std::move(done));
+}
+
+}  // namespace nvmetro::workload

@@ -1,0 +1,55 @@
+// FsBackend adapter: runs a FlatFs (and MiniKv above it) on top of any
+// StorageSolution — the "guest filesystem on the virtual disk" piece of
+// the YCSB evaluations.
+//
+// The block device is sector-addressed; unaligned filesystem writes go
+// through a serialized read-modify-write path (what the guest page cache
+// would absorb). Each backend instance carves a byte range of the device,
+// so parallel YCSB jobs can run isolated DB instances on one disk.
+#pragma once
+
+#include <deque>
+
+#include "baselines/solution.h"
+#include "fsx/flatfs.h"
+
+namespace nvmetro::workload {
+
+class SolutionFsBackend : public fsx::FsBackend {
+ public:
+  /// Operates on [base_offset, base_offset+size) of the solution's disk,
+  /// issuing I/O as guest job `job`.
+  SolutionFsBackend(baselines::StorageSolution* sol, u32 job,
+                    u64 base_offset, u64 size);
+
+  void Read(u64 offset, void* buf, u64 len, Callback done) override;
+  void Write(u64 offset, const void* buf, u64 len, Callback done) override;
+  void Flush(Callback done) override;
+  u64 capacity() const override { return size_; }
+
+  u64 rmw_writes() const { return rmw_writes_; }
+
+ private:
+  static constexpr u64 kSector = 512;
+
+  void EnqueueWrite(u64 offset, const void* buf, u64 len, Callback done);
+  void PumpWrites();
+  void DoWrite(u64 offset, const void* buf, u64 len, Callback done);
+
+  baselines::StorageSolution* sol_;
+  u32 job_;
+  u64 base_;
+  u64 size_;
+  u64 rmw_writes_ = 0;
+
+  struct PendingWrite {
+    u64 offset;
+    const void* buf;
+    u64 len;
+    Callback done;
+  };
+  std::deque<PendingWrite> write_queue_;
+  bool write_active_ = false;
+};
+
+}  // namespace nvmetro::workload

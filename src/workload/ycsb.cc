@@ -1,0 +1,224 @@
+#include "workload/ycsb.h"
+
+#include <memory>
+
+namespace nvmetro::workload {
+
+std::string Ycsb::KeyFor(u64 keynum) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu", (unsigned long long)keynum);
+  return buf;
+}
+
+std::string Ycsb::ValueFor(u64 keynum, u32 value_bytes) {
+  std::string v(value_bytes, 0);
+  Rng rng(keynum * 2654435761ull + 17);
+  rng.Fill(v.data(), v.size());
+  // Keep it printable-ish to catch truncation bugs in parsing.
+  for (auto& c : v) c = static_cast<char>('a' + (static_cast<u8>(c) % 26));
+  return v;
+}
+
+namespace {
+struct LoadCtx {
+  kv::MiniKv* db;
+  YcsbConfig cfg;
+  u64 next = 0;
+  std::function<void(Status)> done;
+};
+
+void LoadStep(std::shared_ptr<LoadCtx> ctx) {
+  if (ctx->next >= ctx->cfg.record_count) {
+    ctx->done(OkStatus());
+    return;
+  }
+  u64 n = ctx->next++;
+  ctx->db->Put(Ycsb::KeyFor(n),
+               Ycsb::ValueFor(n, ctx->cfg.value_bytes),
+               [ctx](Status st) {
+                 if (!st.ok()) {
+                   ctx->done(st);
+                   return;
+                 }
+                 LoadStep(ctx);
+               });
+}
+}  // namespace
+
+void Ycsb::Load(kv::MiniKv* db, const YcsbConfig& cfg,
+                std::function<void(Status)> done) {
+  auto ctx = std::make_shared<LoadCtx>();
+  ctx->db = db;
+  ctx->cfg = cfg;
+  ctx->done = std::move(done);
+  LoadStep(std::move(ctx));
+}
+
+namespace {
+
+struct RunCtx {
+  sim::Simulator* sim;
+  kv::MiniKv* db;
+  sim::VCpu* cpu;
+  YcsbConfig cfg;
+  std::function<void(YcsbResult)> done;
+
+  Rng rng{1};
+  std::unique_ptr<ScrambledZipfianGenerator> zipf;
+  std::unique_ptr<LatestGenerator> latest;
+  u64 record_count = 0;
+  u64 ops_done = 0;
+  SimTime started = 0;
+  YcsbResult result;
+
+  u64 NextKeynum() {
+    if (cfg.workload == 'd') {
+      return latest->Next();
+    }
+    return zipf->Next();
+  }
+};
+
+void NextOp(std::shared_ptr<RunCtx> ctx);
+
+void OpDone(std::shared_ptr<RunCtx> ctx, SimTime issued, bool ok) {
+  ctx->result.lat.Record(ctx->sim->now() - issued);
+  if (!ok) ctx->result.failures++;
+  ctx->ops_done++;
+  if (ctx->ops_done >= ctx->cfg.op_count) {
+    ctx->result.ops = ctx->ops_done;
+    ctx->result.elapsed = ctx->sim->now() - ctx->started;
+    ctx->result.ops_per_sec =
+        static_cast<double>(ctx->ops_done) /
+        (static_cast<double>(ctx->result.elapsed) / 1e9);
+    ctx->done(std::move(ctx->result));
+    return;
+  }
+  NextOp(ctx);
+}
+
+void DoInsert(std::shared_ptr<RunCtx> ctx, SimTime issued) {
+  u64 n = ctx->record_count++;
+  if (ctx->cfg.workload == 'd') {
+    ctx->latest->SetItemCount(ctx->record_count);
+  } else {
+    ctx->zipf->SetItemCount(ctx->record_count);
+  }
+  ctx->db->Put(Ycsb::KeyFor(n), Ycsb::ValueFor(n, ctx->cfg.value_bytes),
+               [ctx, issued](Status st) { OpDone(ctx, issued, st.ok()); });
+}
+
+void NextOp(std::shared_ptr<RunCtx> ctx) {
+  ctx->cpu->Run(ctx->cfg.client_cpu_ns, [ctx] {
+    SimTime issued = ctx->sim->now();
+    double p = ctx->rng.NextDouble();
+    switch (ctx->cfg.workload) {
+      case 'a': {
+        if (p < 0.5) {
+          ctx->db->Get(Ycsb::KeyFor(ctx->NextKeynum()),
+                       [ctx, issued](Result<std::string> r) {
+                         OpDone(ctx, issued, r.ok());
+                       });
+        } else {
+          u64 k = ctx->NextKeynum();
+          ctx->db->Put(Ycsb::KeyFor(k),
+                       Ycsb::ValueFor(k + 7, ctx->cfg.value_bytes),
+                       [ctx, issued](Status st) {
+                         OpDone(ctx, issued, st.ok());
+                       });
+        }
+        return;
+      }
+      case 'b':
+      case 'c': {
+        double read_share = ctx->cfg.workload == 'b' ? 0.95 : 1.0;
+        if (p < read_share) {
+          ctx->db->Get(Ycsb::KeyFor(ctx->NextKeynum()),
+                       [ctx, issued](Result<std::string> r) {
+                         OpDone(ctx, issued, r.ok());
+                       });
+        } else {
+          u64 k = ctx->NextKeynum();
+          ctx->db->Put(Ycsb::KeyFor(k),
+                       Ycsb::ValueFor(k + 7, ctx->cfg.value_bytes),
+                       [ctx, issued](Status st) {
+                         OpDone(ctx, issued, st.ok());
+                       });
+        }
+        return;
+      }
+      case 'd': {
+        if (p < 0.95) {
+          ctx->db->Get(Ycsb::KeyFor(ctx->NextKeynum()),
+                       [ctx, issued](Result<std::string> r) {
+                         OpDone(ctx, issued, r.ok());
+                       });
+        } else {
+          DoInsert(ctx, issued);
+        }
+        return;
+      }
+      case 'e': {
+        if (p < 0.95) {
+          u64 start = ctx->NextKeynum();
+          u32 len = 1 + static_cast<u32>(
+                            ctx->rng.NextBounded(ctx->cfg.scan_max_len));
+          ctx->db->Scan(Ycsb::KeyFor(start), len,
+                        [ctx, issued](Result<kv::MiniKv::ScanResult> r) {
+                          OpDone(ctx, issued, r.ok());
+                        });
+        } else {
+          DoInsert(ctx, issued);
+        }
+        return;
+      }
+      case 'f':
+      default: {
+        if (p < 0.5) {
+          ctx->db->Get(Ycsb::KeyFor(ctx->NextKeynum()),
+                       [ctx, issued](Result<std::string> r) {
+                         OpDone(ctx, issued, r.ok());
+                       });
+        } else {
+          // Read-modify-write.
+          u64 k = ctx->NextKeynum();
+          ctx->db->Get(
+              Ycsb::KeyFor(k), [ctx, issued, k](Result<std::string> r) {
+                std::string v = r.ok() ? *r : std::string();
+                if (!v.empty()) v[0] = static_cast<char>(v[0] ^ 1);
+                ctx->db->Put(Ycsb::KeyFor(k),
+                             v.empty() ? Ycsb::ValueFor(
+                                             k, ctx->cfg.value_bytes)
+                                       : v,
+                             [ctx, issued](Status st) {
+                               OpDone(ctx, issued, st.ok());
+                             });
+              });
+        }
+        return;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void Ycsb::Run(sim::Simulator* sim, kv::MiniKv* db, sim::VCpu* client_cpu,
+               const YcsbConfig& cfg, std::function<void(YcsbResult)> done) {
+  auto ctx = std::make_shared<RunCtx>();
+  ctx->sim = sim;
+  ctx->db = db;
+  ctx->cpu = client_cpu;
+  ctx->cfg = cfg;
+  ctx->done = std::move(done);
+  ctx->rng = Rng(cfg.seed * 77 + 5);
+  ctx->record_count = cfg.record_count;
+  ctx->zipf = std::make_unique<ScrambledZipfianGenerator>(
+      cfg.record_count, 0.99, cfg.seed + 3);
+  ctx->latest =
+      std::make_unique<LatestGenerator>(cfg.record_count, cfg.seed + 4);
+  ctx->started = sim->now();
+  NextOp(ctx);
+}
+
+}  // namespace nvmetro::workload

@@ -1,0 +1,64 @@
+// YCSB core workloads A-F (Cooper et al., SoCC'10), as used in the
+// paper's database evaluations (§V-A: RocksDB over ext4, 6 built-in
+// workloads, 1M ops on 3M records — scaled by record/op counts here).
+//
+//   A: 50% read / 50% update, zipfian
+//   B: 95% read /  5% update, zipfian
+//   C: 100% read, zipfian
+//   D: 95% read (latest) / 5% insert
+//   E: 95% scan (zipfian start, uniform length) / 5% insert
+//   F: 50% read / 50% read-modify-write, zipfian
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "kv/minikv.h"
+#include "sim/simulator.h"
+#include "sim/vcpu.h"
+
+namespace nvmetro::workload {
+
+struct YcsbConfig {
+  char workload = 'a';  // 'a'..'f'
+  u64 record_count = 30'000;
+  u64 op_count = 10'000;
+  /// YCSB default record: 10 fields x 100 bytes.
+  u32 value_bytes = 1'000;
+  u32 scan_max_len = 100;
+  /// Client-side CPU per operation (YCSB core + DB API glue).
+  SimTime client_cpu_ns = 2'500;
+  u64 seed = 1;
+};
+
+struct YcsbResult {
+  double ops_per_sec = 0;
+  u64 ops = 0;
+  u64 failures = 0;
+  LatencyHistogram lat;
+  SimTime elapsed = 0;
+};
+
+class Ycsb {
+ public:
+  /// Loads `record_count` records (sequential inserts), completing via
+  /// `done`. Keys are "user<n>"; values are deterministic pseudo-random
+  /// bytes so read-back correctness is checkable.
+  static void Load(kv::MiniKv* db, const YcsbConfig& cfg,
+                   std::function<void(Status)> done);
+
+  /// Runs the op mix on an opened+loaded store; one closed-loop client
+  /// on `client_cpu`. Asynchronous; result delivered via `done`.
+  static void Run(sim::Simulator* sim, kv::MiniKv* db,
+                  sim::VCpu* client_cpu, const YcsbConfig& cfg,
+                  std::function<void(YcsbResult)> done);
+
+  /// Deterministic value for a key (load-time contents).
+  static std::string ValueFor(u64 keynum, u32 value_bytes);
+  static std::string KeyFor(u64 keynum);
+};
+
+}  // namespace nvmetro::workload

@@ -1,0 +1,394 @@
+// Tests for common utilities: Status/Result, RNG and distributions,
+// latency histogram, flags, string helpers, table printer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strutil.h"
+#include "common/table.h"
+
+namespace nvmetro {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); c++) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; i++) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; i++) {
+    u64 v = rng.NextRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    hit_lo |= v == 5;
+    hit_hi |= v == 8;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) sum += rng.NextExponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.5);
+}
+
+TEST(RngTest, FillWritesAllBytes) {
+  Rng rng(17);
+  std::vector<u8> buf(37, 0);
+  rng.Fill(buf.data(), buf.size());
+  // Expect at least half the bytes nonzero (p(fail) astronomically small).
+  int nonzero = static_cast<int>(
+      std::count_if(buf.begin(), buf.end(), [](u8 b) { return b != 0; }));
+  EXPECT_GT(nonzero, 18);
+}
+
+// --- Zipfian ------------------------------------------------------------------
+
+class ZipfianParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianParamTest, StaysInRangeAndIsSkewed) {
+  const double theta = GetParam();
+  const u64 n = 1000;
+  ZipfianGenerator gen(n, theta, 5);
+  std::vector<u64> counts(n, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; i++) {
+    u64 v = gen.Next();
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  // Item 0 must be the most popular, and the top-10 items must hold a
+  // disproportionate share for high theta.
+  u64 max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(max_count, counts[0]);
+  u64 top10 = 0;
+  for (int i = 0; i < 10; i++) top10 += counts[i];
+  // Uniform share of top-10 would be 1%. Zipf(0.99) gives ~40%+.
+  EXPECT_GT(static_cast<double>(top10) / draws, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianParamTest,
+                         ::testing::Values(0.8, 0.9, 0.99));
+
+TEST(ZipfianTest, ItemCountGrowthKeepsRange) {
+  ZipfianGenerator gen(100, 0.99, 3);
+  gen.SetItemCount(200);
+  for (int i = 0; i < 5000; i++) ASSERT_LT(gen.Next(), 200u);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotItems) {
+  const u64 n = 1000;
+  ScrambledZipfianGenerator gen(n, 0.99, 7);
+  std::vector<u64> counts(n, 0);
+  for (int i = 0; i < 100000; i++) {
+    u64 v = gen.Next();
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  // The most popular item should NOT be item 0 with high probability —
+  // scrambling moves it somewhere pseudo-random.
+  u64 argmax =
+      std::max_element(counts.begin(), counts.end()) - counts.begin();
+  // Hot items exist (zipf preserved)...
+  EXPECT_GT(counts[argmax], 100000u / n * 10);
+}
+
+TEST(LatestTest, FavorsNewestItems) {
+  const u64 n = 1000;
+  LatestGenerator gen(n, 21);
+  u64 high_half = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; i++) {
+    u64 v = gen.Next();
+    ASSERT_LT(v, n);
+    if (v >= n / 2) high_half++;
+  }
+  EXPECT_GT(static_cast<double>(high_half) / draws, 0.8);
+}
+
+TEST(FnvHashTest, KnownValueAndSpread) {
+  EXPECT_NE(FnvHash64(0), FnvHash64(1));
+  EXPECT_EQ(FnvHash64(42), FnvHash64(42));
+  const char* s = "hello";
+  EXPECT_EQ(FnvHash64Bytes(s, 5), FnvHash64Bytes("hello", 5));
+  EXPECT_NE(FnvHash64Bytes(s, 5), FnvHash64Bytes("hellp", 5));
+}
+
+// --- LatencyHistogram ---------------------------------------------------------
+
+TEST(HistogramTest, EmptyQuantilesZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Relative error bounded by bucket width (~0.8%).
+  EXPECT_NEAR(static_cast<double>(h.Median()), 1000.0, 10.0);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (u64 v = 0; v < 128; v++) h.Record(v);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 127u);
+  EXPECT_EQ(h.Median(), 63u);
+}
+
+class HistogramQuantileTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramQuantileTest, MatchesSortedReferenceWithin1Percent) {
+  const double q = GetParam();
+  Rng rng(31);
+  LatencyHistogram h;
+  std::vector<u64> vals;
+  for (int i = 0; i < 20000; i++) {
+    u64 v = 100 + static_cast<u64>(rng.NextExponential(50000.0));
+    vals.push_back(v);
+    h.Record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  u64 ref = vals[static_cast<usize>(q * (vals.size() - 1))];
+  u64 got = h.Quantile(q);
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(ref),
+              static_cast<double>(ref) * 0.02 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramQuantileTest,
+                         ::testing::Values(0.1, 0.5, 0.9, 0.99, 0.999));
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(37);
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 5000; i++) {
+    u64 v = rng.NextBounded(1000000);
+    if (i % 2) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.Median(), all.Median());
+  EXPECT_EQ(a.P99(), all.P99());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(12345);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, HandlesHugeValues) {
+  LatencyHistogram h;
+  h.Record(~0ull - 5);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull - 5);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.01));
+}
+
+// --- Flags --------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesAllTypes) {
+  Flags f;
+  f.DefineInt("count", 5, "");
+  f.DefineDouble("rate", 1.5, "");
+  f.DefineBool("verbose", false, "");
+  f.DefineString("name", "x", "");
+  const char* argv[] = {"prog",        "--count=7", "--rate", "2.5",
+                        "--verbose",   "--name=hi", "pos1"};
+  ASSERT_TRUE(f.Parse(7, argv).ok());
+  EXPECT_EQ(f.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate"), 2.5);
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_EQ(f.GetString("name"), "hi");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+}
+
+TEST(FlagsTest, DefaultsSurviveNoArgs) {
+  Flags f;
+  f.DefineInt("n", 9, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.Parse(1, argv).ok());
+  EXPECT_EQ(f.GetInt("n"), 9);
+}
+
+TEST(FlagsTest, NoPrefixDisablesBool) {
+  Flags f;
+  f.DefineBool("poll", true, "");
+  const char* argv[] = {"prog", "--no-poll"};
+  ASSERT_TRUE(f.Parse(2, argv).ok());
+  EXPECT_FALSE(f.GetBool("poll"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Flags f;
+  const char* argv[] = {"prog", "--wat=1"};
+  EXPECT_FALSE(f.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, MalformedIntFails) {
+  Flags f;
+  f.DefineInt("n", 0, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(f.Parse(2, argv).ok());
+}
+
+// --- strutil ------------------------------------------------------------------
+
+TEST(StrUtilTest, FormatBlockSize) {
+  EXPECT_EQ(FormatBlockSize(512), "512B");
+  EXPECT_EQ(FormatBlockSize(16 * KiB), "16K");
+  EXPECT_EQ(FormatBlockSize(128 * KiB), "128K");
+  EXPECT_EQ(FormatBlockSize(2 * MiB), "2M");
+}
+
+TEST(StrUtilTest, ParseBlockSizeRoundTrips) {
+  for (u64 v : {u64{512}, u64{4096}, 16 * KiB, 128 * KiB, 1 * MiB}) {
+    EXPECT_EQ(ParseBlockSize(FormatBlockSize(v)), v);
+  }
+  EXPECT_EQ(ParseBlockSize("4k"), 4 * KiB);
+  EXPECT_EQ(ParseBlockSize("bogus"), 0u);
+  EXPECT_EQ(ParseBlockSize(""), 0u);
+}
+
+TEST(StrUtilTest, SplitAndTrim) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  auto ne = StrSplit("a,b,,c", ',', /*skip_empty=*/true);
+  ASSERT_EQ(ne.size(), 3u);
+  EXPECT_EQ(StrTrim("  x y\t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StrUtilTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+  EXPECT_EQ(FormatDuration(12'300), "12.3 us");
+  EXPECT_EQ(FormatDuration(1'200'000), "1.20 ms");
+}
+
+// --- TablePrinter --------------------------------------------------------------
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.RenderCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace nvmetro

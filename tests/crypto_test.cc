@@ -1,0 +1,252 @@
+// Tests for AES and XTS-AES: FIPS-197 / IEEE 1619 vectors, AES-NI vs
+// portable equivalence, and round-trip properties.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cpufeat.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/xts.h"
+
+namespace nvmetro::crypto {
+namespace {
+
+std::vector<u8> FromHex(const std::string& hex) {
+  std::vector<u8> out;
+  for (usize i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(
+        static_cast<u8>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string ToHex(const u8* p, usize n) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (usize i = 0; i < n; i++) {
+    s += kDigits[p[i] >> 4];
+    s += kDigits[p[i] & 0xF];
+  }
+  return s;
+}
+
+// --- AES (FIPS-197 Appendix C) --------------------------------------------------
+
+TEST(AesTest, Fips197Aes128Vector) {
+  auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  auto pt = FromHex("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key.data(), key.size());
+  ASSERT_TRUE(aes.ok());
+  u8 ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  u8 back[16];
+  aes->DecryptBlock(ct, back);
+  EXPECT_EQ(0, std::memcmp(back, pt.data(), 16));
+}
+
+TEST(AesTest, Fips197Aes256Vector) {
+  auto key =
+      FromHex("000102030405060708090a0b0c0d0e0f"
+              "101112131415161718191a1b1c1d1e1f");
+  auto pt = FromHex("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key.data(), key.size());
+  ASSERT_TRUE(aes.ok());
+  u8 ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "8ea2b7ca516745bfeafc49904b496089");
+  u8 back[16];
+  aes->DecryptBlock(ct, back);
+  EXPECT_EQ(0, std::memcmp(back, pt.data(), 16));
+}
+
+TEST(AesTest, PortableMatchesFips128) {
+  auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  auto pt = FromHex("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key.data(), key.size());
+  ASSERT_TRUE(aes.ok());
+  aes->DisableAesni();
+  u8 ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, InvalidKeyLengthRejected) {
+  u8 key[24] = {};
+  EXPECT_FALSE(Aes::Create(key, 24).ok());  // AES-192 unsupported
+  EXPECT_FALSE(Aes::Create(key, 0).ok());
+}
+
+class AesEquivalenceTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(AesEquivalenceTest, AesNiMatchesPortable) {
+  if (!CpuHasAesNi()) GTEST_SKIP() << "no AES-NI on this host";
+  const usize key_len = GetParam();
+  Rng rng(99 + key_len);
+  for (int iter = 0; iter < 50; iter++) {
+    std::vector<u8> key(key_len);
+    rng.Fill(key.data(), key.size());
+    auto fast = Aes::Create(key.data(), key.size());
+    auto slow = Aes::Create(key.data(), key.size());
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    ASSERT_TRUE(fast->using_aesni());
+    slow->DisableAesni();
+    u8 pt[16], a[16], b[16];
+    rng.Fill(pt, 16);
+    fast->EncryptBlock(pt, a);
+    slow->EncryptBlock(pt, b);
+    ASSERT_EQ(0, std::memcmp(a, b, 16)) << "encrypt divergence";
+    fast->DecryptBlock(a, a);
+    slow->DecryptBlock(b, b);
+    ASSERT_EQ(0, std::memcmp(a, pt, 16));
+    ASSERT_EQ(0, std::memcmp(b, pt, 16));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, AesEquivalenceTest,
+                         ::testing::Values(16, 32));
+
+TEST(AesTest, MultiBlockEcbMatchesSingle) {
+  Rng rng(7);
+  std::vector<u8> key(16);
+  rng.Fill(key.data(), 16);
+  auto aes = Aes::Create(key.data(), 16);
+  ASSERT_TRUE(aes.ok());
+  std::vector<u8> pt(256), bulk(256), single(256);
+  rng.Fill(pt.data(), pt.size());
+  aes->EncryptBlocks(pt.data(), bulk.data(), pt.size());
+  for (usize off = 0; off < pt.size(); off += 16) {
+    aes->EncryptBlock(pt.data() + off, single.data() + off);
+  }
+  EXPECT_EQ(bulk, single);
+}
+
+// --- XTS (IEEE 1619-2007 vectors) ------------------------------------------------
+
+TEST(XtsTest, Ieee1619Vector1) {
+  // Key1 = Key2 = 0, sector 0, 32 zero bytes.
+  std::vector<u8> key(32, 0);
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  std::vector<u8> pt(32, 0), ct(32);
+  xts->EncryptSector(0, pt.data(), ct.data(), pt.size());
+  EXPECT_EQ(ToHex(ct.data(), 32),
+            "917cf69ebd68b2ec9b9fe9a3eadda692"
+            "cd43d2f59598ed858c02c2652fbf922e");
+}
+
+TEST(XtsTest, Ieee1619Vector2) {
+  auto key = FromHex(
+      "1111111111111111111111111111111122222222222222222222222222222222");
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  std::vector<u8> pt(32, 0x44), ct(32);
+  xts->EncryptSector(0x3333333333ull, pt.data(), ct.data(), pt.size());
+  EXPECT_EQ(ToHex(ct.data(), 32),
+            "c454185e6a16936e39334038acef838b"
+            "fb186fff7480adc4289382ecd6d394f0");
+}
+
+TEST(XtsTest, Ieee1619Vector3) {
+  auto key = FromHex(
+      "fffefdfcfbfaf9f8f7f6f5f4f3f2f1f022222222222222222222222222222222");
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  std::vector<u8> pt(32, 0x44), ct(32);
+  xts->EncryptSector(0x3333333333ull, pt.data(), ct.data(), pt.size());
+  EXPECT_EQ(ToHex(ct.data(), 32),
+            "af85336b597afc1a900b2eb21ec949d2"
+            "92df4c047e0b21532186a5971a227a89");
+}
+
+TEST(XtsTest, RoundTripProperty) {
+  Rng rng(11);
+  std::vector<u8> key(64);
+  rng.Fill(key.data(), key.size());
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  for (int iter = 0; iter < 30; iter++) {
+    u64 sector = rng.Next();
+    std::vector<u8> pt(512), ct(512), back(512);
+    rng.Fill(pt.data(), pt.size());
+    xts->EncryptSector(sector, pt.data(), ct.data(), pt.size());
+    EXPECT_NE(pt, ct);
+    xts->DecryptSector(sector, ct.data(), back.data(), ct.size());
+    ASSERT_EQ(pt, back);
+  }
+}
+
+TEST(XtsTest, DifferentSectorsGiveDifferentCiphertext) {
+  std::vector<u8> key(32, 0xAB);
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  std::vector<u8> pt(512, 0x5A), c0(512), c1(512);
+  xts->EncryptSector(0, pt.data(), c0.data(), 512);
+  xts->EncryptSector(1, pt.data(), c1.data(), 512);
+  EXPECT_NE(c0, c1);
+}
+
+TEST(XtsTest, RangeMatchesPerSector) {
+  Rng rng(13);
+  std::vector<u8> key(32);
+  rng.Fill(key.data(), key.size());
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  const u64 first = 77;
+  std::vector<u8> pt(4 * 512), a(4 * 512), b(4 * 512);
+  rng.Fill(pt.data(), pt.size());
+  xts->EncryptRange(first, 512, pt.data(), a.data(), pt.size());
+  for (int i = 0; i < 4; i++) {
+    xts->EncryptSector(first + i, pt.data() + i * 512, b.data() + i * 512,
+                       512);
+  }
+  EXPECT_EQ(a, b);
+  std::vector<u8> back(pt.size());
+  xts->DecryptRange(first, 512, a.data(), back.data(), a.size());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(XtsTest, InPlaceOperation) {
+  Rng rng(17);
+  std::vector<u8> key(32);
+  rng.Fill(key.data(), key.size());
+  auto xts = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  std::vector<u8> buf(1024), orig;
+  rng.Fill(buf.data(), buf.size());
+  orig = buf;
+  xts->EncryptRange(5, 512, buf.data(), buf.data(), buf.size());
+  EXPECT_NE(buf, orig);
+  xts->DecryptRange(5, 512, buf.data(), buf.data(), buf.size());
+  EXPECT_EQ(buf, orig);
+}
+
+TEST(XtsTest, PortableMatchesAesni) {
+  if (!CpuHasAesNi()) GTEST_SKIP();
+  Rng rng(19);
+  std::vector<u8> key(32);
+  rng.Fill(key.data(), key.size());
+  auto fast = XtsCipher::Create(key.data(), key.size());
+  auto slow = XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  slow->DisableAesni();
+  std::vector<u8> pt(2048), a(2048), b(2048);
+  rng.Fill(pt.data(), pt.size());
+  fast->EncryptRange(123, 512, pt.data(), a.data(), pt.size());
+  slow->EncryptRange(123, 512, pt.data(), b.data(), pt.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(XtsTest, InvalidKeyLengthRejected) {
+  u8 key[48] = {};
+  EXPECT_FALSE(XtsCipher::Create(key, 48).ok());
+  EXPECT_FALSE(XtsCipher::Create(key, 16).ok());
+}
+
+}  // namespace
+}  // namespace nvmetro::crypto

@@ -1,0 +1,239 @@
+// Unit tests for the storage-function classifiers: each shipped eBPF
+// program is verified against the NVMetro context and its verdicts are
+// checked hook by hook — plus end-to-end tests of the map-based QoS
+// (token bucket) classifier through the router.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/router.h"
+#include "functions/classifiers.h"
+#include "mem/address_space.h"
+#include "ssd/controller.h"
+#include "virt/guest_nvme.h"
+#include "virt/vm.h"
+
+namespace nvmetro::functions {
+namespace {
+
+using core::ClassifierCtx;
+using core::ClassifierRuntime;
+
+std::unique_ptr<ClassifierRuntime> Load(Result<ebpf::Program> prog) {
+  if (!prog.ok()) {
+    ADD_FAILURE() << prog.status().ToString();
+    return nullptr;
+  }
+  auto rt = ClassifierRuntime::Create(std::move(*prog));
+  if (!rt.ok()) {
+    ADD_FAILURE() << rt.status().ToString();
+    return nullptr;
+  }
+  return std::move(*rt);
+}
+
+u64 RunVerdict(ClassifierRuntime* rt, ClassifierCtx* ctx) {
+  auto r = rt->Run(ctx);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  return r.verdict;
+}
+
+TEST(ClassifierUnitTest, AllShippedClassifiersVerify) {
+  EXPECT_TRUE(ClassifierRuntime::Create(*PassthroughClassifier()).ok());
+  EXPECT_TRUE(ClassifierRuntime::Create(*EncryptorClassifier()).ok());
+  EXPECT_TRUE(ClassifierRuntime::Create(*ReplicatorClassifier()).ok());
+  EXPECT_TRUE(ClassifierRuntime::Create(*ReadOnlyClassifier()).ok());
+  EXPECT_TRUE(ClassifierRuntime::Create(*VendorPassClassifier()).ok());
+  EXPECT_TRUE(ClassifierRuntime::Create(*KvPassClassifier()).ok());
+  EXPECT_TRUE(
+      ClassifierRuntime::Create(*RateLimitClassifier(MakeQosMap(100, 10)))
+          .ok());
+}
+
+TEST(ClassifierUnitTest, PassthroughTranslatesAndRoutesFast) {
+  auto rt = Load(PassthroughClassifier());
+  ClassifierCtx ctx;
+  ctx.opcode = nvme::kCmdRead;
+  ctx.slba = 100;
+  ctx.part_offset = 5000;
+  u64 v = RunVerdict(rt.get(), &ctx);
+  EXPECT_EQ(v, core::kSendHq | core::kWillCompleteHq);
+  EXPECT_EQ(ctx.slba, 5100u);  // direct mediation: LBA translated
+}
+
+TEST(ClassifierUnitTest, PassthroughSkipsTranslationForFlush) {
+  auto rt = Load(PassthroughClassifier());
+  ClassifierCtx ctx;
+  ctx.opcode = nvme::kCmdFlush;
+  ctx.slba = 0;
+  ctx.part_offset = 5000;
+  u64 v = RunVerdict(rt.get(), &ctx);
+  EXPECT_EQ(v, core::kSendHq | core::kWillCompleteHq);
+  EXPECT_EQ(ctx.slba, 0u);  // not a data command: no translation
+}
+
+TEST(ClassifierUnitTest, EncryptorListingOneSemantics) {
+  auto rt = Load(EncryptorClassifier());
+  // New read (HOOK_VSQ): device first, hook on completion, wait.
+  ClassifierCtx rd;
+  rd.current_hook = core::kHookVsq;
+  rd.opcode = nvme::kCmdRead;
+  rd.part_offset = 64;
+  rd.slba = 2;
+  EXPECT_EQ(RunVerdict(rt.get(), &rd),
+            core::kSendHq | core::kHookOnHcq | core::kWaitForHook);
+  EXPECT_EQ(rd.slba, 66u);
+  // New write: straight to the UIF.
+  ClassifierCtx wr;
+  wr.current_hook = core::kHookVsq;
+  wr.opcode = nvme::kCmdWrite;
+  EXPECT_EQ(RunVerdict(rt.get(), &wr),
+            core::kSendNq | core::kWillCompleteNq);
+  // Device read completed OK: continue in the UIF.
+  ClassifierCtx hcq_ok;
+  hcq_ok.current_hook = core::kHookHcq;
+  hcq_ok.error = 0;
+  EXPECT_EQ(RunVerdict(rt.get(), &hcq_ok),
+            core::kSendNq | core::kWillCompleteNq);
+  // Device read failed: forward error | COMPLETE (Listing 1 line 8).
+  ClassifierCtx hcq_err;
+  hcq_err.current_hook = core::kHookHcq;
+  hcq_err.error =
+      nvme::MakeStatus(nvme::kSctMediaError, nvme::kScUnrecoveredRead);
+  u64 v = RunVerdict(rt.get(), &hcq_err);
+  EXPECT_EQ(v & core::kComplete, core::kComplete);
+  EXPECT_EQ(v & core::kStatusMask, hcq_err.error);
+}
+
+TEST(ClassifierUnitTest, ReplicatorFansOutWritesOnly) {
+  auto rt = Load(ReplicatorClassifier());
+  ClassifierCtx wr;
+  wr.opcode = nvme::kCmdWrite;
+  EXPECT_EQ(RunVerdict(rt.get(), &wr),
+            core::kSendHq | core::kSendNq | core::kWillCompleteHq |
+                core::kWillCompleteNq);
+  ClassifierCtx rd;
+  rd.opcode = nvme::kCmdRead;
+  EXPECT_EQ(RunVerdict(rt.get(), &rd),
+            core::kSendHq | core::kWillCompleteHq);
+}
+
+TEST(ClassifierUnitTest, ReadOnlyDeniesWriteClass) {
+  auto rt = Load(ReadOnlyClassifier());
+  for (u8 opcode :
+       {nvme::kCmdWrite, nvme::kCmdWriteZeroes, nvme::kCmdDsm}) {
+    ClassifierCtx ctx;
+    ctx.opcode = opcode;
+    u64 v = RunVerdict(rt.get(), &ctx);
+    EXPECT_EQ(v & core::kComplete, core::kComplete) << int(opcode);
+    EXPECT_EQ(v & core::kStatusMask,
+              nvme::MakeStatus(nvme::kSctMediaError, nvme::kScAccessDenied));
+  }
+  ClassifierCtx rd;
+  rd.opcode = nvme::kCmdRead;
+  EXPECT_EQ(RunVerdict(rt.get(), &rd),
+            core::kSendHq | core::kWillCompleteHq);
+}
+
+TEST(ClassifierUnitTest, KvPassRoutesKvUntranslated) {
+  auto rt = Load(KvPassClassifier());
+  ClassifierCtx kv;
+  kv.opcode = nvme::kCmdKvRetrieve;
+  kv.slba = 1234;  // KV commands carry no LBA; must stay untouched
+  kv.part_offset = 999;
+  EXPECT_EQ(RunVerdict(rt.get(), &kv),
+            core::kSendHq | core::kWillCompleteHq);
+  EXPECT_EQ(kv.slba, 1234u);
+  ClassifierCtx rd;
+  rd.opcode = nvme::kCmdRead;
+  rd.slba = 10;
+  rd.part_offset = 999;
+  RunVerdict(rt.get(), &rd);
+  EXPECT_EQ(rd.slba, 1009u);  // NVM commands are still translated
+}
+
+// --- RateLimitClassifier ------------------------------------------------------
+
+TEST(RateLimitTest, BurstThenThrottleThenRefill) {
+  auto map = MakeQosMap(/*rate=*/1'000, /*burst=*/5);
+  auto rt = Load(RateLimitClassifier(map));
+  ASSERT_NE(rt, nullptr);
+  u64 now = 1'000'000;  // ns
+  rt->env().ktime_ns = [&now] { return now; };
+
+  auto verdict = [&]() {
+    ClassifierCtx ctx;
+    ctx.opcode = nvme::kCmdRead;
+    return RunVerdict(rt.get(), &ctx);
+  };
+  const u64 kAdmit = core::kSendHq | core::kWillCompleteHq;
+
+  // Burst of 5 admitted, 6th throttled.
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(verdict(), kAdmit) << i;
+  }
+  u64 denied = verdict();
+  EXPECT_EQ(denied & core::kComplete, core::kComplete);
+  EXPECT_EQ(denied & core::kStatusMask,
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScAbortRequested));
+
+  // 1000 req/s = 1 token per ms: refill and try again.
+  now += 1 * kMs;
+  EXPECT_EQ(verdict(), kAdmit);
+  EXPECT_EQ(verdict() & core::kComplete, core::kComplete);
+
+  // A long gap refills only up to the burst.
+  now += 60ull * kSec;
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(verdict(), kAdmit) << "post-refill " << i;
+  }
+  EXPECT_EQ(verdict() & core::kComplete, core::kComplete);
+}
+
+TEST(RateLimitTest, EndToEndThroughRouter) {
+  sim::Simulator sim;
+  mem::IommuSpace dma(nullptr, 1ull << 40);
+  ssd::ControllerConfig cfg;
+  cfg.capacity = 64 * MiB;
+  ssd::SimulatedController phys(&sim, &dma, cfg);
+  virt::Vm vm(&sim, {.name = "vm", .memory_bytes = 16 * MiB, .vcpus = 1});
+  core::NvmetroHost host(&sim, &phys);
+  auto* vc = host.CreateController(&vm, {.vm_id = 1});
+  auto map = MakeQosMap(/*rate=*/1'000, /*burst=*/3);
+  ASSERT_TRUE(vc->InstallClassifier(*RateLimitClassifier(map)).ok());
+  host.Start();
+  virt::GuestNvmeDriver driver(&vm, vc);
+  ASSERT_TRUE(driver.Init(1).ok());
+
+  mem::GuestMemory& gm = vm.memory();
+  u64 buf = *gm.AllocPages(1);
+  int admitted = 0, throttled = 0;
+  // Fire 10 instantly: 3 burst tokens -> ~3 admitted.
+  for (int i = 0; i < 10; i++) {
+    driver.Submit(0, nvme::MakeRead(1, i, 1, buf, 0),
+                  [&](nvme::NvmeStatus st, u32) {
+                    if (nvme::StatusOk(st)) {
+                      admitted++;
+                    } else {
+                      throttled++;
+                    }
+                  });
+  }
+  sim.Run();
+  EXPECT_EQ(admitted + throttled, 10);
+  EXPECT_GE(admitted, 3);
+  EXPECT_GE(throttled, 5);
+
+  // After simulated time passes, tokens return.
+  sim.RunFor(10 * kMs);
+  nvme::NvmeStatus st = 0xFFF;
+  driver.Submit(0, nvme::MakeRead(1, 0, 1, buf, 0),
+                [&](nvme::NvmeStatus s, u32) { st = s; });
+  sim.Run();
+  EXPECT_EQ(st, nvme::kStatusSuccess);
+}
+
+}  // namespace
+}  // namespace nvmetro::functions

@@ -1,0 +1,468 @@
+// Tests for the host block layer: NVMe-backed device (PRP building,
+// bounce path), RAM device, NVMe-oF remote wrapper, device-mapper targets
+// (linear/crypt/mirror) and the vhost-scsi backend with SCSI translation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/xts.h"
+#include "kblock/devices.h"
+#include "kblock/dm.h"
+#include "kblock/scsi.h"
+#include "kblock/vhost_scsi.h"
+#include "mem/address_space.h"
+#include "sim/simulator.h"
+#include "sim/vcpu.h"
+#include "ssd/controller.h"
+
+namespace nvmetro::kblock {
+namespace {
+
+struct KblockFixture : ::testing::Test {
+  sim::Simulator sim;
+  mem::IommuSpace iommu{nullptr, 1 * GiB};
+  std::unique_ptr<ssd::SimulatedController> ctrl;
+  std::unique_ptr<NvmeBlockDevice> dev;
+
+  void SetUp() override {
+    ssd::ControllerConfig cfg;
+    cfg.capacity = 64 * MiB;
+    ctrl = std::make_unique<ssd::SimulatedController>(&sim, &iommu, cfg);
+    dev = std::make_unique<NvmeBlockDevice>(&sim, ctrl.get(), &iommu, 1);
+  }
+
+  /// Runs a bio synchronously (in sim time), returning its status.
+  Status RunBio(BlockDevice* d, Bio bio) {
+    Status result = Internal("never completed");
+    bool done = false;
+    bio.on_complete = [&](Status st) {
+      result = st;
+      done = true;
+    };
+    d->Submit(std::move(bio));
+    sim.Run();
+    EXPECT_TRUE(done);
+    return result;
+  }
+
+  Status WriteSync(BlockDevice* d, u64 sector, const std::vector<u8>& data) {
+    return RunBio(d, Bio::Write(sector, data.data(), data.size(), nullptr));
+  }
+  Status ReadSync(BlockDevice* d, u64 sector, std::vector<u8>* out) {
+    return RunBio(d,
+                  Bio::Read(sector, out->data(), out->size(), nullptr));
+  }
+};
+
+TEST_F(KblockFixture, NvmeDeviceRoundTrip) {
+  Rng rng(1);
+  std::vector<u8> in(8192), out(8192);
+  rng.Fill(in.data(), in.size());
+  ASSERT_TRUE(WriteSync(dev.get(), 100, in).ok());
+  ASSERT_TRUE(ReadSync(dev.get(), 100, &out).ok());
+  EXPECT_EQ(in, out);
+  // Data physically on the simulated media.
+  EXPECT_TRUE(ctrl->store().Matches(100 * 512, in.data(), in.size()));
+}
+
+TEST_F(KblockFixture, CapacityMatchesNamespace) {
+  EXPECT_EQ(dev->capacity_sectors(), 64 * MiB / 512);
+}
+
+TEST_F(KblockFixture, LargeTransferUsesPrpList) {
+  Rng rng(2);
+  std::vector<u8> in(256 * KiB), out(256 * KiB);
+  rng.Fill(in.data(), in.size());
+  ASSERT_TRUE(WriteSync(dev.get(), 0, in).ok());
+  ASSERT_TRUE(ReadSync(dev.get(), 0, &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(KblockFixture, MultiSegmentPageAlignedAvoidsBounce) {
+  Rng rng(3);
+  std::vector<u8> a(4096), b(4096), out(8192);
+  rng.Fill(a.data(), a.size());
+  rng.Fill(b.data(), b.size());
+  Bio bio;
+  bio.op = Bio::Op::kWrite;
+  bio.sector = 8;
+  bio.segments = {{a.data(), a.size()}, {b.data(), b.size()}};
+  ASSERT_TRUE(RunBio(dev.get(), std::move(bio)).ok());
+  EXPECT_EQ(dev->bounced_bios(), 0u);
+  ASSERT_TRUE(ReadSync(dev.get(), 8, &out).ok());
+  EXPECT_EQ(0, memcmp(out.data(), a.data(), 4096));
+  EXPECT_EQ(0, memcmp(out.data() + 4096, b.data(), 4096));
+}
+
+TEST_F(KblockFixture, UnalignedMiddleSegmentBounces) {
+  Rng rng(4);
+  std::vector<u8> a(512), b(1024), out(1536);
+  rng.Fill(a.data(), a.size());
+  rng.Fill(b.data(), b.size());
+  Bio bio;
+  bio.op = Bio::Op::kWrite;
+  bio.sector = 0;
+  bio.segments = {{a.data(), a.size()}, {b.data(), b.size()}};
+  ASSERT_TRUE(RunBio(dev.get(), std::move(bio)).ok());
+  EXPECT_EQ(dev->bounced_bios(), 1u);
+  ASSERT_TRUE(ReadSync(dev.get(), 0, &out).ok());
+  EXPECT_EQ(0, memcmp(out.data(), a.data(), 512));
+  EXPECT_EQ(0, memcmp(out.data() + 512, b.data(), 1024));
+}
+
+TEST_F(KblockFixture, BouncedReadScattersBack) {
+  Rng rng(5);
+  std::vector<u8> in(1536);
+  rng.Fill(in.data(), in.size());
+  ASSERT_TRUE(WriteSync(dev.get(), 0, in).ok());
+  std::vector<u8> a(512, 0), b(1024, 0);
+  Bio bio;
+  bio.op = Bio::Op::kRead;
+  bio.sector = 0;
+  bio.segments = {{a.data(), a.size()}, {b.data(), b.size()}};
+  ASSERT_TRUE(RunBio(dev.get(), std::move(bio)).ok());
+  EXPECT_EQ(0, memcmp(a.data(), in.data(), 512));
+  EXPECT_EQ(0, memcmp(b.data(), in.data() + 512, 1024));
+}
+
+TEST_F(KblockFixture, FlushAndDiscard) {
+  std::vector<u8> in(4096, 0xDD);
+  ASSERT_TRUE(WriteSync(dev.get(), 0, in).ok());
+  ASSERT_TRUE(RunBio(dev.get(), Bio::Flush(nullptr)).ok());
+  ASSERT_TRUE(RunBio(dev.get(), Bio::Discard(0, 4096, nullptr)).ok());
+  std::vector<u8> out(4096, 0xFF);
+  ASSERT_TRUE(ReadSync(dev.get(), 0, &out).ok());
+  for (u8 b : out) ASSERT_EQ(b, 0);
+}
+
+TEST_F(KblockFixture, OutOfRangeIoFails) {
+  std::vector<u8> in(512, 1);
+  EXPECT_FALSE(WriteSync(dev.get(), dev->capacity_sectors(), in).ok());
+}
+
+// --- RamBlockDevice --------------------------------------------------------------
+
+TEST_F(KblockFixture, RamDeviceBasics) {
+  RamBlockDevice ram(&sim, 1 * MiB, 2 * kUs);
+  std::vector<u8> in(2048, 0x77), out(2048);
+  ASSERT_TRUE(WriteSync(&ram, 4, in).ok());
+  ASSERT_TRUE(ReadSync(&ram, 4, &out).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(ram.capacity_sectors(), 1 * MiB / 512);
+}
+
+// --- RemoteBlockDevice -----------------------------------------------------------
+
+TEST_F(KblockFixture, RemoteAddsLinkLatency) {
+  RamBlockDevice ram(&sim, 1 * MiB, 1 * kUs);
+  NvmeOfLinkParams link;
+  link.one_way_ns = 50 * kUs;
+  RemoteBlockDevice remote(&sim, &ram, link);
+  std::vector<u8> in(512, 1);
+  SimTime start = sim.now();
+  ASSERT_TRUE(WriteSync(&remote, 0, in).ok());
+  SimTime elapsed = sim.now() - start;
+  EXPECT_GE(elapsed, 2 * link.one_way_ns + 1 * kUs);
+  // Data is on the remote media.
+  EXPECT_TRUE(ram.store().Matches(0, in.data(), in.size()));
+}
+
+TEST_F(KblockFixture, RemoteBandwidthSerializes) {
+  RamBlockDevice ram(&sim, 16 * MiB, 0);
+  NvmeOfLinkParams link;
+  link.one_way_ns = 1 * kUs;
+  link.bytes_per_ns = 1.0;  // 1 GB/s for a visible effect
+  RemoteBlockDevice remote(&sim, &ram, link);
+  // Two 1 MiB writes back to back: the second waits for link capacity.
+  std::vector<u8> buf(1 * MiB, 7);
+  int done = 0;
+  SimTime t_last = 0;
+  for (int i = 0; i < 2; i++) {
+    remote.Submit(Bio::Write(i * 2048, buf.data(), buf.size(),
+                             [&](Status st) {
+                               ASSERT_TRUE(st.ok());
+                               done++;
+                               t_last = sim.now();
+                             }));
+  }
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  // 2 MiB over 1 B/ns ~= 2.1 ms minimum.
+  EXPECT_GE(t_last, static_cast<SimTime>(2.0 * MiB / 1.0));
+}
+
+// --- DmLinear ---------------------------------------------------------------------
+
+TEST_F(KblockFixture, DmLinearRemaps) {
+  RamBlockDevice ram(&sim, 1 * MiB, 0);
+  DmLinear lin(&ram, /*offset=*/100, /*len=*/500);
+  std::vector<u8> in(512, 0x42);
+  ASSERT_TRUE(WriteSync(&lin, 7, in).ok());
+  EXPECT_TRUE(ram.store().Matches((100 + 7) * 512, in.data(), in.size()));
+  EXPECT_EQ(lin.capacity_sectors(), 500u);
+}
+
+TEST_F(KblockFixture, DmLinearEnforcesBounds) {
+  RamBlockDevice ram(&sim, 1 * MiB, 0);
+  DmLinear lin(&ram, 0, 10);
+  std::vector<u8> in(512, 1);
+  EXPECT_FALSE(WriteSync(&lin, 10, in).ok());
+  EXPECT_TRUE(WriteSync(&lin, 9, in).ok());
+}
+
+// --- DmCrypt ----------------------------------------------------------------------
+
+struct DmCryptFixture : KblockFixture {
+  std::unique_ptr<sim::VCpu> w1, w2;
+  std::unique_ptr<RamBlockDevice> lower;
+  std::unique_ptr<DmCrypt> crypt;
+  std::vector<u8> key = std::vector<u8>(64, 0);
+
+  void SetUp() override {
+    KblockFixture::SetUp();
+    Rng rng(77);
+    rng.Fill(key.data(), key.size());
+    w1 = std::make_unique<sim::VCpu>(&sim, "kcryptd0");
+    w2 = std::make_unique<sim::VCpu>(&sim, "kcryptd1");
+    lower = std::make_unique<RamBlockDevice>(&sim, 8 * MiB, 1 * kUs);
+    auto c = DmCrypt::Create(&sim, lower.get(), key.data(), key.size(),
+                             {w1.get(), w2.get()});
+    ASSERT_TRUE(c.ok());
+    crypt = std::move(*c);
+  }
+};
+
+TEST_F(DmCryptFixture, RoundTrip) {
+  Rng rng(5);
+  std::vector<u8> in(4096), out(4096);
+  rng.Fill(in.data(), in.size());
+  ASSERT_TRUE(WriteSync(crypt.get(), 16, in).ok());
+  ASSERT_TRUE(ReadSync(crypt.get(), 16, &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(DmCryptFixture, MediaHoldsXtsCiphertext) {
+  Rng rng(6);
+  std::vector<u8> in(1024);
+  rng.Fill(in.data(), in.size());
+  ASSERT_TRUE(WriteSync(crypt.get(), 3, in).ok());
+  // Media must NOT hold plaintext...
+  EXPECT_FALSE(lower->store().Matches(3 * 512, in.data(), in.size()));
+  // ...and must hold exactly aes-xts-plain64 ciphertext.
+  auto xts = crypto::XtsCipher::Create(key.data(), key.size());
+  ASSERT_TRUE(xts.ok());
+  std::vector<u8> expect(in.size());
+  xts->EncryptRange(3, 512, in.data(), expect.data(), in.size());
+  EXPECT_TRUE(lower->store().Matches(3 * 512, expect.data(), expect.size()));
+}
+
+TEST_F(DmCryptFixture, ReadDecryptsAcrossSegmentStraddle) {
+  Rng rng(7);
+  std::vector<u8> in(2048);
+  rng.Fill(in.data(), in.size());
+  ASSERT_TRUE(WriteSync(crypt.get(), 0, in).ok());
+  // Read into segments that split mid-sector (256B + 1792B).
+  std::vector<u8> a(256), b(1792);
+  Bio bio;
+  bio.op = Bio::Op::kRead;
+  bio.sector = 0;
+  bio.segments = {{a.data(), a.size()}, {b.data(), b.size()}};
+  ASSERT_TRUE(RunBio(crypt.get(), std::move(bio)).ok());
+  EXPECT_EQ(0, memcmp(a.data(), in.data(), 256));
+  EXPECT_EQ(0, memcmp(b.data(), in.data() + 256, 1792));
+}
+
+TEST_F(DmCryptFixture, CryptoCostChargedToWorkers) {
+  std::vector<u8> in(128 * KiB, 0x3C);
+  ASSERT_TRUE(WriteSync(crypt.get(), 0, in).ok());
+  EXPECT_GT(w1->busy_ns() + w2->busy_ns(), 30'000u);
+}
+
+TEST_F(DmCryptFixture, UnalignedLengthRejected) {
+  std::vector<u8> in(100, 1);
+  EXPECT_FALSE(WriteSync(crypt.get(), 0, in).ok());
+}
+
+// --- DmMirror ---------------------------------------------------------------------
+
+TEST_F(KblockFixture, MirrorKeepsLegsIdentical) {
+  RamBlockDevice p(&sim, 4 * MiB, 1 * kUs), s(&sim, 4 * MiB, 3 * kUs);
+  DmMirror mirror(&p, &s);
+  Rng rng(8);
+  for (int i = 0; i < 20; i++) {
+    std::vector<u8> data(512 * (1 + rng.NextBounded(8)));
+    rng.Fill(data.data(), data.size());
+    u64 sector = rng.NextBounded(1000);
+    ASSERT_TRUE(WriteSync(&mirror, sector, data).ok());
+    EXPECT_TRUE(p.store().Matches(sector * 512, data.data(), data.size()));
+    EXPECT_TRUE(s.store().Matches(sector * 512, data.data(), data.size()));
+  }
+}
+
+TEST_F(KblockFixture, MirrorWriteWaitsForSlowerLeg) {
+  RamBlockDevice p(&sim, 1 * MiB, 1 * kUs), s(&sim, 1 * MiB, 500 * kUs);
+  DmMirror mirror(&p, &s);
+  std::vector<u8> in(512, 1);
+  SimTime start = sim.now();
+  ASSERT_TRUE(WriteSync(&mirror, 0, in).ok());
+  EXPECT_GE(sim.now() - start, 500 * kUs);
+}
+
+TEST_F(KblockFixture, MirrorBalancesReadsRoundRobin) {
+  RamBlockDevice p(&sim, 1 * MiB, 1 * kUs), s(&sim, 1 * MiB, 500 * kUs);
+  DmMirror mirror(&p, &s);
+  std::vector<u8> in(512, 9), out(512);
+  ASSERT_TRUE(WriteSync(&mirror, 0, in).ok());
+  // Read twice: one fast (local leg), one slow (remote leg).
+  SimTime start = sim.now();
+  ASSERT_TRUE(ReadSync(&mirror, 0, &out).ok());
+  SimTime first = sim.now() - start;
+  EXPECT_EQ(out, in);
+  start = sim.now();
+  ASSERT_TRUE(ReadSync(&mirror, 0, &out).ok());
+  SimTime second = sim.now() - start;
+  EXPECT_EQ(out, in);
+  // One of the two must have hit the 500us leg.
+  EXPECT_GT(std::max(first, second), 400 * kUs);
+  EXPECT_LT(std::min(first, second), 100 * kUs);
+}
+
+TEST_F(KblockFixture, MirrorWithoutBalancingPrefersPrimary) {
+  RamBlockDevice p(&sim, 1 * MiB, 1 * kUs), s(&sim, 1 * MiB, 500 * kUs);
+  DmMirror mirror(&p, &s, /*read_balance=*/false);
+  std::vector<u8> in(512, 9), out(512);
+  ASSERT_TRUE(WriteSync(&mirror, 0, in).ok());
+  SimTime start = sim.now();
+  ASSERT_TRUE(ReadSync(&mirror, 0, &out).ok());
+  EXPECT_LT(sim.now() - start, 100 * kUs);  // did not touch the slow leg
+  EXPECT_EQ(out, in);
+}
+
+TEST_F(KblockFixture, MirrorDegradedReadFallsBack) {
+  // Primary with a tiny capacity forces read errors beyond its range;
+  // use an NVMe-backed primary with injected errors instead.
+  RamBlockDevice s(&sim, 64 * MiB, 1 * kUs);
+  DmMirror mirror(dev.get(), &s);
+  std::vector<u8> in(512, 0x66), out(512, 0);
+  ASSERT_TRUE(WriteSync(&mirror, 5, in).ok());
+  ctrl->InjectError(
+      1, nvme::MakeStatus(nvme::kSctMediaError, nvme::kScUnrecoveredRead),
+      1);
+  ASSERT_TRUE(ReadSync(&mirror, 5, &out).ok());
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(mirror.degraded_reads(), 1u);
+}
+
+// --- SCSI translation ----------------------------------------------------------------
+
+TEST(ScsiTest, CdbRoundTrips) {
+  scsi::Cdb cdb = scsi::BuildRead16(0x123456789ALL, 77);
+  scsi::ParsedCdb p = scsi::ParseCdb(cdb);
+  EXPECT_EQ(p.type, scsi::ParsedCdb::Type::kRead);
+  EXPECT_EQ(p.lba, 0x123456789Aull);
+  EXPECT_EQ(p.nblocks, 77u);
+
+  cdb = scsi::BuildWrite16(42, 8);
+  p = scsi::ParseCdb(cdb);
+  EXPECT_EQ(p.type, scsi::ParsedCdb::Type::kWrite);
+  EXPECT_EQ(p.lba, 42u);
+  EXPECT_EQ(p.nblocks, 8u);
+
+  EXPECT_EQ(scsi::ParseCdb(scsi::BuildSynchronizeCache16()).type,
+            scsi::ParsedCdb::Type::kSyncCache);
+  EXPECT_EQ(scsi::ParseCdb(scsi::BuildReadCapacity16()).type,
+            scsi::ParsedCdb::Type::kReadCapacity);
+  EXPECT_EQ(scsi::ParseCdb(scsi::BuildTestUnitReady()).type,
+            scsi::ParsedCdb::Type::kTestUnitReady);
+}
+
+TEST(ScsiTest, BigEndianHelpers) {
+  u8 buf[8];
+  scsi::PutBe64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[7], 8);
+  EXPECT_EQ(scsi::GetBe64(buf), 0x0102030405060708ull);
+  scsi::PutBe32(buf, 0xAABBCCDD);
+  EXPECT_EQ(scsi::GetBe32(buf), 0xAABBCCDDu);
+}
+
+TEST(ScsiTest, UnknownOpcode) {
+  scsi::Cdb cdb;
+  cdb.bytes[0] = 0x5E;
+  EXPECT_EQ(scsi::ParseCdb(cdb).type, scsi::ParsedCdb::Type::kUnknown);
+}
+
+// --- VhostScsiBackend -------------------------------------------------------------------
+
+struct VhostFixture : ::testing::Test {
+  sim::Simulator sim;
+  sim::VCpu worker{&sim, "vhost-worker"};
+  RamBlockDevice disk{&sim, 4 * MiB, 5 * kUs};
+  VhostScsiBackend backend{&sim, &worker, &disk, VhostScsiParams{}};
+
+  u8 RunRequest(scsi::Cdb cdb, std::vector<BioSegment> segs) {
+    u8 result = 0xFF;
+    VhostScsiBackend::Request req;
+    req.cdb = cdb;
+    req.segments = std::move(segs);
+    req.done = [&](u8 status, u8 /*sense*/) { result = status; };
+    backend.Enqueue(std::move(req));
+    backend.Kick();
+    sim.Run();
+    return result;
+  }
+};
+
+TEST_F(VhostFixture, WriteThenReadThroughScsi) {
+  Rng rng(21);
+  std::vector<u8> in(2048), out(2048, 0);
+  rng.Fill(in.data(), in.size());
+  EXPECT_EQ(RunRequest(scsi::BuildWrite16(10, 4), {{in.data(), in.size()}}),
+            scsi::kGood);
+  EXPECT_EQ(RunRequest(scsi::BuildRead16(10, 4), {{out.data(), out.size()}}),
+            scsi::kGood);
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(VhostFixture, ReadCapacityReportsGeometry) {
+  std::vector<u8> buf(32, 0);
+  EXPECT_EQ(RunRequest(scsi::BuildReadCapacity16(),
+                       {{buf.data(), buf.size()}}),
+            scsi::kGood);
+  EXPECT_EQ(scsi::GetBe64(buf.data()), disk.capacity_sectors() - 1);
+  EXPECT_EQ(scsi::GetBe32(buf.data() + 8), 512u);
+}
+
+TEST_F(VhostFixture, LengthMismatchIsIllegalRequest) {
+  std::vector<u8> buf(512, 0);
+  EXPECT_EQ(RunRequest(scsi::BuildWrite16(0, 4), {{buf.data(), buf.size()}}),
+            scsi::kCheckCondition);
+}
+
+TEST_F(VhostFixture, OutOfRangeIsIllegalRequest) {
+  std::vector<u8> buf(512, 0);
+  EXPECT_EQ(RunRequest(scsi::BuildWrite16(disk.capacity_sectors(), 1),
+                       {{buf.data(), buf.size()}}),
+            scsi::kCheckCondition);
+}
+
+TEST_F(VhostFixture, WorkerPaysPerRequestCpu) {
+  std::vector<u8> buf(512, 0);
+  RunRequest(scsi::BuildWrite16(0, 1), {{buf.data(), buf.size()}});
+  VhostScsiParams p;
+  EXPECT_GE(worker.busy_ns(), p.per_req_cpu_ns + p.per_cpl_cpu_ns);
+}
+
+TEST_F(VhostFixture, KickLatencyDelaysService) {
+  std::vector<u8> buf(512, 0);
+  SimTime start = sim.now();
+  RunRequest(scsi::BuildTestUnitReady(), {});
+  (void)buf;
+  VhostScsiParams p;
+  EXPECT_GE(sim.now() - start, p.kick_wakeup_warm_ns);
+}
+
+}  // namespace
+}  // namespace nvmetro::kblock

