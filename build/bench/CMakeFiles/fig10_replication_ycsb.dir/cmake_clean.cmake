@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_replication_ycsb.dir/fig10_replication_ycsb.cc.o"
+  "CMakeFiles/fig10_replication_ycsb.dir/fig10_replication_ycsb.cc.o.d"
+  "fig10_replication_ycsb"
+  "fig10_replication_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_replication_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu_basic.dir/fig11_cpu_basic.cc.o"
+  "CMakeFiles/fig11_cpu_basic.dir/fig11_cpu_basic.cc.o.d"
+  "fig11_cpu_basic"
+  "fig11_cpu_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

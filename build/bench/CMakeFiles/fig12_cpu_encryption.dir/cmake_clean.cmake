@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpu_encryption.dir/fig12_cpu_encryption.cc.o"
+  "CMakeFiles/fig12_cpu_encryption.dir/fig12_cpu_encryption.cc.o.d"
+  "fig12_cpu_encryption"
+  "fig12_cpu_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpu_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

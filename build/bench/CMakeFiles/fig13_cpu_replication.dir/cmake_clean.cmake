@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cpu_replication.dir/fig13_cpu_replication.cc.o"
+  "CMakeFiles/fig13_cpu_replication.dir/fig13_cpu_replication.cc.o.d"
+  "fig13_cpu_replication"
+  "fig13_cpu_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cpu_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_fio_basic.cc" "bench/CMakeFiles/fig3_fio_basic.dir/fig3_fio_basic.cc.o" "gcc" "bench/CMakeFiles/fig3_fio_basic.dir/fig3_fio_basic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nvm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nvm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/nvm_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsx/CMakeFiles/nvm_fsx.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nvm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/functions/CMakeFiles/nvm_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/uif/CMakeFiles/nvm_uif.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kblock/CMakeFiles/nvm_kblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/nvm_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/nvm_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/nvm_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/nvm_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/nvm_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

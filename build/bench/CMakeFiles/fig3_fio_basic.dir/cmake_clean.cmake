@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fio_basic.dir/fig3_fio_basic.cc.o"
+  "CMakeFiles/fig3_fio_basic.dir/fig3_fio_basic.cc.o.d"
+  "fig3_fio_basic"
+  "fig3_fio_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fio_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

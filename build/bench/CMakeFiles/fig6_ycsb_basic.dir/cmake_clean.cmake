@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ycsb_basic.dir/fig6_ycsb_basic.cc.o"
+  "CMakeFiles/fig6_ycsb_basic.dir/fig6_ycsb_basic.cc.o.d"
+  "fig6_ycsb_basic"
+  "fig6_ycsb_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ycsb_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

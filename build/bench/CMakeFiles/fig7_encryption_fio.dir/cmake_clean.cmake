@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_encryption_fio.dir/fig7_encryption_fio.cc.o"
+  "CMakeFiles/fig7_encryption_fio.dir/fig7_encryption_fio.cc.o.d"
+  "fig7_encryption_fio"
+  "fig7_encryption_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_encryption_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

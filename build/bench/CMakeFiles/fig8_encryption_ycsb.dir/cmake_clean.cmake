@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_encryption_ycsb.dir/fig8_encryption_ycsb.cc.o"
+  "CMakeFiles/fig8_encryption_ycsb.dir/fig8_encryption_ycsb.cc.o.d"
+  "fig8_encryption_ycsb"
+  "fig8_encryption_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_encryption_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_replication_fio.dir/fig9_replication_fio.cc.o"
+  "CMakeFiles/fig9_replication_fio.dir/fig9_replication_fio.cc.o.d"
+  "fig9_replication_fio"
+  "fig9_replication_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_replication_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/nvm_bench_common.dir/bench_common.cc.o.d"
+  "libnvm_bench_common.a"
+  "libnvm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

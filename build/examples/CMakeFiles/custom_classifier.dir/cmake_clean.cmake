@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_classifier.dir/custom_classifier.cpp.o"
+  "CMakeFiles/custom_classifier.dir/custom_classifier.cpp.o.d"
+  "custom_classifier"
+  "custom_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

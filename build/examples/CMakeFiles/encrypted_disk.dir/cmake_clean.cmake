@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_disk.dir/encrypted_disk.cpp.o"
+  "CMakeFiles/encrypted_disk.dir/encrypted_disk.cpp.o.d"
+  "encrypted_disk"
+  "encrypted_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_rate_limit.dir/qos_rate_limit.cpp.o"
+  "CMakeFiles/qos_rate_limit.dir/qos_rate_limit.cpp.o.d"
+  "qos_rate_limit"
+  "qos_rate_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_rate_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_disk.dir/replicated_disk.cpp.o"
+  "CMakeFiles/replicated_disk.dir/replicated_disk.cpp.o.d"
+  "replicated_disk"
+  "replicated_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("nvme")
+subdirs("ssd")
+subdirs("ebpf")
+subdirs("crypto")
+subdirs("sgx")
+subdirs("kblock")
+subdirs("virt")
+subdirs("core")
+subdirs("uif")
+subdirs("functions")
+subdirs("baselines")
+subdirs("fsx")
+subdirs("kv")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_baselines.dir/factory.cc.o"
+  "CMakeFiles/nvm_baselines.dir/factory.cc.o.d"
+  "CMakeFiles/nvm_baselines.dir/solutions.cc.o"
+  "CMakeFiles/nvm_baselines.dir/solutions.cc.o.d"
+  "libnvm_baselines.a"
+  "libnvm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

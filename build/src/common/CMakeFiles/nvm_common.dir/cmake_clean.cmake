@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_common.dir/cpufeat.cc.o"
+  "CMakeFiles/nvm_common.dir/cpufeat.cc.o.d"
+  "CMakeFiles/nvm_common.dir/flags.cc.o"
+  "CMakeFiles/nvm_common.dir/flags.cc.o.d"
+  "CMakeFiles/nvm_common.dir/histogram.cc.o"
+  "CMakeFiles/nvm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/nvm_common.dir/rng.cc.o"
+  "CMakeFiles/nvm_common.dir/rng.cc.o.d"
+  "CMakeFiles/nvm_common.dir/status.cc.o"
+  "CMakeFiles/nvm_common.dir/status.cc.o.d"
+  "CMakeFiles/nvm_common.dir/strutil.cc.o"
+  "CMakeFiles/nvm_common.dir/strutil.cc.o.d"
+  "CMakeFiles/nvm_common.dir/table.cc.o"
+  "CMakeFiles/nvm_common.dir/table.cc.o.d"
+  "libnvm_common.a"
+  "libnvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,4 @@
+src/common/CMakeFiles/nvm_common.dir/cpufeat.cc.o: \
+ /root/repo/src/common/cpufeat.cc /usr/include/stdc-predef.h \
+ /root/repo/src/common/cpufeat.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cpuid.h

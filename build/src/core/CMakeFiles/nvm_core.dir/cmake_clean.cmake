@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_core.dir/classifier.cc.o"
+  "CMakeFiles/nvm_core.dir/classifier.cc.o.d"
+  "CMakeFiles/nvm_core.dir/notify.cc.o"
+  "CMakeFiles/nvm_core.dir/notify.cc.o.d"
+  "CMakeFiles/nvm_core.dir/router.cc.o"
+  "CMakeFiles/nvm_core.dir/router.cc.o.d"
+  "libnvm_core.a"
+  "libnvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_crypto.dir/aes.cc.o"
+  "CMakeFiles/nvm_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/nvm_crypto.dir/aes_ni.cc.o"
+  "CMakeFiles/nvm_crypto.dir/aes_ni.cc.o.d"
+  "CMakeFiles/nvm_crypto.dir/xts.cc.o"
+  "CMakeFiles/nvm_crypto.dir/xts.cc.o.d"
+  "libnvm_crypto.a"
+  "libnvm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

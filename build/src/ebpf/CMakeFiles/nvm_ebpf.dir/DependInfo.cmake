@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/assembler.cc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/assembler.cc.o" "gcc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/assembler.cc.o.d"
+  "/root/repo/src/ebpf/disasm.cc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/disasm.cc.o" "gcc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/disasm.cc.o.d"
+  "/root/repo/src/ebpf/helpers.cc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/helpers.cc.o" "gcc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/helpers.cc.o.d"
+  "/root/repo/src/ebpf/interpreter.cc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/interpreter.cc.o" "gcc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/interpreter.cc.o.d"
+  "/root/repo/src/ebpf/map.cc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/map.cc.o" "gcc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/map.cc.o.d"
+  "/root/repo/src/ebpf/verifier.cc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/verifier.cc.o" "gcc" "src/ebpf/CMakeFiles/nvm_ebpf.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_ebpf.dir/assembler.cc.o"
+  "CMakeFiles/nvm_ebpf.dir/assembler.cc.o.d"
+  "CMakeFiles/nvm_ebpf.dir/disasm.cc.o"
+  "CMakeFiles/nvm_ebpf.dir/disasm.cc.o.d"
+  "CMakeFiles/nvm_ebpf.dir/helpers.cc.o"
+  "CMakeFiles/nvm_ebpf.dir/helpers.cc.o.d"
+  "CMakeFiles/nvm_ebpf.dir/interpreter.cc.o"
+  "CMakeFiles/nvm_ebpf.dir/interpreter.cc.o.d"
+  "CMakeFiles/nvm_ebpf.dir/map.cc.o"
+  "CMakeFiles/nvm_ebpf.dir/map.cc.o.d"
+  "CMakeFiles/nvm_ebpf.dir/verifier.cc.o"
+  "CMakeFiles/nvm_ebpf.dir/verifier.cc.o.d"
+  "libnvm_ebpf.a"
+  "libnvm_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

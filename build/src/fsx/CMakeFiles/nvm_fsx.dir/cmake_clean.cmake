@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_fsx.dir/flatfs.cc.o"
+  "CMakeFiles/nvm_fsx.dir/flatfs.cc.o.d"
+  "libnvm_fsx.a"
+  "libnvm_fsx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_fsx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_functions.dir/classifiers.cc.o"
+  "CMakeFiles/nvm_functions.dir/classifiers.cc.o.d"
+  "CMakeFiles/nvm_functions.dir/encryptor_uif.cc.o"
+  "CMakeFiles/nvm_functions.dir/encryptor_uif.cc.o.d"
+  "CMakeFiles/nvm_functions.dir/replicator_uif.cc.o"
+  "CMakeFiles/nvm_functions.dir/replicator_uif.cc.o.d"
+  "libnvm_functions.a"
+  "libnvm_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kblock/devices.cc" "src/kblock/CMakeFiles/nvm_kblock.dir/devices.cc.o" "gcc" "src/kblock/CMakeFiles/nvm_kblock.dir/devices.cc.o.d"
+  "/root/repo/src/kblock/dm.cc" "src/kblock/CMakeFiles/nvm_kblock.dir/dm.cc.o" "gcc" "src/kblock/CMakeFiles/nvm_kblock.dir/dm.cc.o.d"
+  "/root/repo/src/kblock/scsi.cc" "src/kblock/CMakeFiles/nvm_kblock.dir/scsi.cc.o" "gcc" "src/kblock/CMakeFiles/nvm_kblock.dir/scsi.cc.o.d"
+  "/root/repo/src/kblock/vhost_scsi.cc" "src/kblock/CMakeFiles/nvm_kblock.dir/vhost_scsi.cc.o" "gcc" "src/kblock/CMakeFiles/nvm_kblock.dir/vhost_scsi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/nvm_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/nvm_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nvm_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_kblock.dir/devices.cc.o"
+  "CMakeFiles/nvm_kblock.dir/devices.cc.o.d"
+  "CMakeFiles/nvm_kblock.dir/dm.cc.o"
+  "CMakeFiles/nvm_kblock.dir/dm.cc.o.d"
+  "CMakeFiles/nvm_kblock.dir/scsi.cc.o"
+  "CMakeFiles/nvm_kblock.dir/scsi.cc.o.d"
+  "CMakeFiles/nvm_kblock.dir/vhost_scsi.cc.o"
+  "CMakeFiles/nvm_kblock.dir/vhost_scsi.cc.o.d"
+  "libnvm_kblock.a"
+  "libnvm_kblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_kblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/minikv.cc" "src/kv/CMakeFiles/nvm_kv.dir/minikv.cc.o" "gcc" "src/kv/CMakeFiles/nvm_kv.dir/minikv.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/kv/CMakeFiles/nvm_kv.dir/sstable.cc.o" "gcc" "src/kv/CMakeFiles/nvm_kv.dir/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsx/CMakeFiles/nvm_fsx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

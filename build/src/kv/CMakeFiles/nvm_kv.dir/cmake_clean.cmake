@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_kv.dir/minikv.cc.o"
+  "CMakeFiles/nvm_kv.dir/minikv.cc.o.d"
+  "CMakeFiles/nvm_kv.dir/sstable.cc.o"
+  "CMakeFiles/nvm_kv.dir/sstable.cc.o.d"
+  "libnvm_kv.a"
+  "libnvm_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_mem.dir/address_space.cc.o"
+  "CMakeFiles/nvm_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/nvm_mem.dir/guest_memory.cc.o"
+  "CMakeFiles/nvm_mem.dir/guest_memory.cc.o.d"
+  "libnvm_mem.a"
+  "libnvm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/defs.cc" "src/nvme/CMakeFiles/nvm_nvme.dir/defs.cc.o" "gcc" "src/nvme/CMakeFiles/nvm_nvme.dir/defs.cc.o.d"
+  "/root/repo/src/nvme/prp.cc" "src/nvme/CMakeFiles/nvm_nvme.dir/prp.cc.o" "gcc" "src/nvme/CMakeFiles/nvm_nvme.dir/prp.cc.o.d"
+  "/root/repo/src/nvme/queue.cc" "src/nvme/CMakeFiles/nvm_nvme.dir/queue.cc.o" "gcc" "src/nvme/CMakeFiles/nvm_nvme.dir/queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_nvme.dir/defs.cc.o"
+  "CMakeFiles/nvm_nvme.dir/defs.cc.o.d"
+  "CMakeFiles/nvm_nvme.dir/prp.cc.o"
+  "CMakeFiles/nvm_nvme.dir/prp.cc.o.d"
+  "CMakeFiles/nvm_nvme.dir/queue.cc.o"
+  "CMakeFiles/nvm_nvme.dir/queue.cc.o.d"
+  "libnvm_nvme.a"
+  "libnvm_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

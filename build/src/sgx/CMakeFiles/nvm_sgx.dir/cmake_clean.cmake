@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_sgx.dir/enclave.cc.o"
+  "CMakeFiles/nvm_sgx.dir/enclave.cc.o.d"
+  "libnvm_sgx.a"
+  "libnvm_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_sim.dir/poller.cc.o"
+  "CMakeFiles/nvm_sim.dir/poller.cc.o.d"
+  "CMakeFiles/nvm_sim.dir/simulator.cc.o"
+  "CMakeFiles/nvm_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/nvm_sim.dir/vcpu.cc.o"
+  "CMakeFiles/nvm_sim.dir/vcpu.cc.o.d"
+  "libnvm_sim.a"
+  "libnvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/backing_store.cc" "src/ssd/CMakeFiles/nvm_ssd.dir/backing_store.cc.o" "gcc" "src/ssd/CMakeFiles/nvm_ssd.dir/backing_store.cc.o.d"
+  "/root/repo/src/ssd/controller.cc" "src/ssd/CMakeFiles/nvm_ssd.dir/controller.cc.o" "gcc" "src/ssd/CMakeFiles/nvm_ssd.dir/controller.cc.o.d"
+  "/root/repo/src/ssd/latency_model.cc" "src/ssd/CMakeFiles/nvm_ssd.dir/latency_model.cc.o" "gcc" "src/ssd/CMakeFiles/nvm_ssd.dir/latency_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/nvm_nvme.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_ssd.dir/backing_store.cc.o"
+  "CMakeFiles/nvm_ssd.dir/backing_store.cc.o.d"
+  "CMakeFiles/nvm_ssd.dir/controller.cc.o"
+  "CMakeFiles/nvm_ssd.dir/controller.cc.o.d"
+  "CMakeFiles/nvm_ssd.dir/latency_model.cc.o"
+  "CMakeFiles/nvm_ssd.dir/latency_model.cc.o.d"
+  "libnvm_ssd.a"
+  "libnvm_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

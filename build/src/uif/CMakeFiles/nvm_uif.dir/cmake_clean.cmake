@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_uif.dir/framework.cc.o"
+  "CMakeFiles/nvm_uif.dir/framework.cc.o.d"
+  "CMakeFiles/nvm_uif.dir/guest_data.cc.o"
+  "CMakeFiles/nvm_uif.dir/guest_data.cc.o.d"
+  "CMakeFiles/nvm_uif.dir/uring.cc.o"
+  "CMakeFiles/nvm_uif.dir/uring.cc.o.d"
+  "libnvm_uif.a"
+  "libnvm_uif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_uif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_virt.dir/guest_nvme.cc.o"
+  "CMakeFiles/nvm_virt.dir/guest_nvme.cc.o.d"
+  "CMakeFiles/nvm_virt.dir/vm.cc.o"
+  "CMakeFiles/nvm_virt.dir/vm.cc.o.d"
+  "libnvm_virt.a"
+  "libnvm_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

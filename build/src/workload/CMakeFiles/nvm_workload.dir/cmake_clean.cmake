@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_workload.dir/fio.cc.o"
+  "CMakeFiles/nvm_workload.dir/fio.cc.o.d"
+  "CMakeFiles/nvm_workload.dir/solution_fs.cc.o"
+  "CMakeFiles/nvm_workload.dir/solution_fs.cc.o.d"
+  "CMakeFiles/nvm_workload.dir/ycsb.cc.o"
+  "CMakeFiles/nvm_workload.dir/ycsb.cc.o.d"
+  "libnvm_workload.a"
+  "libnvm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsx_test.dir/fsx_test.cc.o"
+  "CMakeFiles/fsx_test.dir/fsx_test.cc.o.d"
+  "fsx_test"
+  "fsx_test.pdb"
+  "fsx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

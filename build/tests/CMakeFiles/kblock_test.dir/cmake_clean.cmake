@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kblock_test.dir/kblock_test.cc.o"
+  "CMakeFiles/kblock_test.dir/kblock_test.cc.o.d"
+  "kblock_test"
+  "kblock_test.pdb"
+  "kblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_stress_test.dir/router_stress_test.cc.o"
+  "CMakeFiles/router_stress_test.dir/router_stress_test.cc.o.d"
+  "router_stress_test"
+  "router_stress_test.pdb"
+  "router_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uif_test.dir/uif_test.cc.o"
+  "CMakeFiles/uif_test.dir/uif_test.cc.o.d"
+  "uif_test"
+  "uif_test.pdb"
+  "uif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
