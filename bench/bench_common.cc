@@ -12,6 +12,12 @@ void DefineBenchFlags(Flags* flags) {
   flags->DefineString("solutions", "",
                       "comma-separated solution filter (default: all)");
   flags->DefineBool("csv", false, "emit CSV instead of aligned tables");
+  flags->DefineBool("metrics", false,
+                    "dump the per-path metrics registry after each cell");
+  flags->DefineBool("metrics-json", false,
+                    "dump the metrics registry as one-line JSON");
+  flags->DefineInt("trace", 0,
+                   "dump the trace spans of the last N requests per cell");
 }
 
 BenchOptions OptionsFromFlags(const Flags& flags) {
@@ -23,15 +29,53 @@ BenchOptions OptionsFromFlags(const Flags& flags) {
     opts.duration = 60 * kMs;
     opts.warmup = 20 * kMs;
   }
+  opts.metrics = flags.GetBool("metrics");
+  opts.metrics_json = flags.GetBool("metrics-json");
+  opts.trace_requests = static_cast<u32>(flags.GetInt("trace"));
   return opts;
+}
+
+bool WantObservability(const BenchOptions& opts) {
+  return opts.metrics || opts.metrics_json || opts.trace_requests > 0;
+}
+
+void DumpObservability(const obs::Observability& obs,
+                       const BenchOptions& opts) {
+  if (opts.metrics) {
+    std::printf("--- metrics ---\n%s", obs.metrics().ToText().c_str());
+  }
+  if (opts.metrics_json) {
+    std::printf("%s\n", obs.metrics().ToJson().c_str());
+  }
+  if (opts.trace_requests > 0) {
+    const obs::TraceRecorder& tr = obs.trace();
+    u64 last = tr.requests_opened();
+    u64 first = last > opts.trace_requests ? last - opts.trace_requests + 1
+                                           : u64{1};
+    std::printf("--- traces (requests %llu..%llu) ---\n",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(last));
+    for (u64 id = first; id <= last; id++) {
+      std::printf("req %llu: %s\n%s",
+                  static_cast<unsigned long long>(id),
+                  tr.PathString(id).c_str(), tr.DumpRequest(id).c_str());
+    }
+  }
 }
 
 FioResult RunCell(SolutionKind kind, const CellSpec& cell,
                   const BenchOptions& opts) {
-  Testbed tb;
+  // Declared before the testbed/bundle: components cache pointers into
+  // the registry, so the sink must outlive them.
+  obs::Observability obs;
+  const bool want_obs = WantObservability(opts);
+  ssd::ControllerConfig drive_cfg = Testbed::DefaultDrive();
+  if (want_obs) drive_cfg.obs = &obs;
+  Testbed tb(drive_cfg);
   SolutionParams params;
   params.seed = opts.seed;
   params.num_vms = opts.num_vms;
+  if (want_obs) params.obs = &obs;
   auto bundle = SolutionBundle::Create(&tb, kind, params);
   if (!bundle) {
     FioResult r;
@@ -51,7 +95,9 @@ FioResult RunCell(SolutionKind kind, const CellSpec& cell,
   cfg.seed = opts.seed;
 
   if (opts.num_vms == 1) {
-    return Fio::Run(&tb.sim, bundle->vm_solution(0), cfg);
+    FioResult r = Fio::Run(&tb.sim, bundle->vm_solution(0), cfg);
+    if (want_obs) DumpObservability(obs, opts);
+    return r;
   }
   // Multi-VM: aggregate.
   std::vector<baselines::StorageSolution*> sols;
@@ -72,6 +118,7 @@ FioResult RunCell(SolutionKind kind, const CellSpec& cell,
     agg.guest_cpu_pct += r.guest_cpu_pct;
   }
   agg.host_cpu_pct = results[0].host_cpu_pct;  // host agents are shared
+  if (want_obs) DumpObservability(obs, opts);
   return agg;
 }
 
@@ -195,6 +242,9 @@ YcsbBenchOptions YcsbOptionsFromFlags(const Flags& flags) {
   opts.ops = static_cast<u64>(flags.GetInt("ops"));
   opts.value_bytes = static_cast<u32>(flags.GetInt("value-bytes"));
   opts.seed = static_cast<u64>(flags.GetInt("seed"));
+  opts.metrics = flags.GetBool("metrics");
+  opts.metrics_json = flags.GetBool("metrics-json");
+  opts.trace_requests = static_cast<u32>(flags.GetInt("trace"));
   if (flags.GetBool("quick")) {
     opts.records = 5'000;
     opts.ops = 2'000;
@@ -205,9 +255,18 @@ YcsbBenchOptions YcsbOptionsFromFlags(const Flags& flags) {
 YcsbCellResult RunYcsbCell(SolutionKind kind, char workload, u32 jobs,
                            const YcsbBenchOptions& opts) {
   YcsbCellResult out;
-  Testbed tb;
+  BenchOptions dump_opts;
+  dump_opts.metrics = opts.metrics;
+  dump_opts.metrics_json = opts.metrics_json;
+  dump_opts.trace_requests = opts.trace_requests;
+  const bool want_obs = WantObservability(dump_opts);
+  obs::Observability obs;
+  ssd::ControllerConfig drive_cfg = Testbed::DefaultDrive();
+  if (want_obs) drive_cfg.obs = &obs;
+  Testbed tb(drive_cfg);
   SolutionParams params;
   params.seed = opts.seed;
+  if (want_obs) params.obs = &obs;
   auto bundle = SolutionBundle::Create(&tb, kind, params);
   if (!bundle) return out;
   baselines::StorageSolution* sol = bundle->vm_solution(0);
@@ -296,6 +355,7 @@ YcsbCellResult RunYcsbCell(SolutionKind kind, char workload, u32 jobs,
     out.total_ops_per_sec += inst->result.ops_per_sec;
     out.failures += inst->result.failures;
   }
+  if (want_obs) DumpObservability(obs, dump_opts);
   return out;
 }
 

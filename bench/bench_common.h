@@ -11,6 +11,7 @@
 #include "common/flags.h"
 #include "common/strutil.h"
 #include "common/table.h"
+#include "obs/obs.h"
 #include "workload/fio.h"
 
 namespace nvmetro::bench {
@@ -40,7 +41,23 @@ struct BenchOptions {
   double rate_iops = 0;
   u64 seed = 7;
   u32 num_vms = 1;
+  /// Observability (--metrics/--metrics-json/--trace): when any is set,
+  /// the cell runs with an obs::Observability threaded through the stack
+  /// and dumps it after the run. All off by default — and because
+  /// recording never charges simulated time, enabling them does not
+  /// change any reported figure.
+  bool metrics = false;
+  bool metrics_json = false;
+  u32 trace_requests = 0;  // dump the last N request traces
 };
+
+/// True when any observability output was requested.
+bool WantObservability(const BenchOptions& opts);
+
+/// Prints the metrics registry (text and/or JSON) and the last
+/// `trace_requests` request traces, per the options.
+void DumpObservability(const obs::Observability& obs,
+                       const BenchOptions& opts);
 
 /// Registers the standard bench flags (--quick, --duration-ms, --seed...).
 void DefineBenchFlags(Flags* flags);
@@ -84,6 +101,10 @@ struct YcsbBenchOptions {
   u64 ops = 15'000;
   u32 value_bytes = 1'000;
   u64 seed = 7;
+  /// Observability dump controls (mirrors BenchOptions).
+  bool metrics = false;
+  bool metrics_json = false;
+  u32 trace_requests = 0;
 };
 
 struct YcsbCellResult {

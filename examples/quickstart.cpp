@@ -9,6 +9,7 @@
 #include "functions/classifiers.h"
 #include "mem/address_space.h"
 #include "nvme/prp.h"
+#include "obs/obs.h"
 #include "ssd/controller.h"
 #include "virt/guest_nvme.h"
 #include "virt/vm.h"
@@ -16,6 +17,11 @@
 using namespace nvmetro;
 
 int main() {
+  // 0. Observability (optional): a metrics registry + trace recorder that
+  //    components publish into. Recording charges no simulated time, so
+  //    the run is identical with or without it.
+  obs::Observability obs;
+
   // 1. The host machine: a simulated clock and a physical NVMe drive.
   //    All timing below is simulated; all data and protocol state is
   //    real.
@@ -23,6 +29,7 @@ int main() {
   mem::IommuSpace dma(nullptr, 1ull << 40);
   ssd::ControllerConfig drive_cfg;
   drive_cfg.capacity = 1 * GiB;
+  drive_cfg.obs = &obs;
   ssd::SimulatedController drive(&sim, &dma, drive_cfg);
 
   // 2. A guest VM: guest-physical memory + vCPUs.
@@ -33,7 +40,9 @@ int main() {
 
   // 3. NVMetro: the router host, and a virtual controller giving this VM
   //    a 256 MiB partition of namespace 1.
-  core::NvmetroHost nvmetro(&sim, &drive);
+  core::NvmetroHost::Config host_cfg;
+  host_cfg.obs = &obs;
+  core::NvmetroHost nvmetro(&sim, &drive, host_cfg);
   core::VirtualController::Config vc_cfg;
   vc_cfg.vm_id = 1;
   vc_cfg.part_first_lba = 4096;        // partition starts at LBA 4096
@@ -106,6 +115,14 @@ int main() {
   std::printf("router CPU: %.1f us, guest CPU: %.1f us (simulated)\n",
               static_cast<double>(nvmetro.RouterCpuBusyNs()) / 1000.0,
               static_cast<double>(vm.TotalCpuBusyNs()) / 1000.0);
+
+  // 10. Observability: the write's full lifecycle, span by span, and the
+  //     registry's per-path counters (taxonomy in DESIGN.md §8). Request
+  //     ids are monotonic from 1, so the write above is request 1.
+  std::printf("\nwrite request trace: %s\n",
+              obs.trace().PathString(1).c_str());
+  std::printf("%s", obs.trace().DumpRequest(1).c_str());
+  std::printf("\nmetrics:\n%s", obs.metrics().ToText().c_str());
   (void)done;
   return 0;
 }

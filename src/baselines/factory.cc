@@ -66,6 +66,7 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
     core::NvmetroHost::Config host_cfg;
     host_cfg.num_workers = params.router_workers;
     host_cfg.costs = params.router_costs;
+    host_cfg.obs = params.obs;
     b.nvmetro_host_ =
         std::make_unique<core::NvmetroHost>(&tb->sim, tb->phys.get(),
                                             host_cfg);
@@ -79,6 +80,7 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
     if (encryption || replication) {
       uif::UifHostParams uif_params;
       uif_params.threads = kind == SolutionKind::kNvmetroSgx ? 1 : 2;
+      uif_params.obs = params.obs;
       b.uif_host_ = std::make_unique<uif::UifHost>(&tb->sim, "uif",
                                                    uif_params);
       auto* uh = b.uif_host_.get();
@@ -141,6 +143,7 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
         ssd::ControllerConfig scfg;
         scfg.capacity = part_lbas * 512;
         scfg.seed = params.seed + 100 + i;
+        scfg.obs = params.obs;
         auto sctrl = std::make_unique<ssd::SimulatedController>(
             &tb->sim, sdma.get(), scfg);
         auto sdev = std::make_unique<kblock::NvmeBlockDevice>(
@@ -223,6 +226,7 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
                 &tb->sim, dev, b.xts_key_.data(), b.xts_key_.size(),
                 workers);
             if (!crypt.ok()) return nullptr;
+            (*crypt)->SetObservability(params.obs);
             b.dm_devs_.push_back(std::move(*crypt));
             dev = b.dm_devs_.back().get();
           } else if (kind == SolutionKind::kDmMirror) {
@@ -231,6 +235,7 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
             ssd::ControllerConfig scfg;
             scfg.capacity = tb->phys->config().capacity;
             scfg.seed = params.seed + 200 + i;
+            scfg.obs = params.obs;
             auto sctrl = std::make_unique<ssd::SimulatedController>(
                 &tb->sim, sdma.get(), scfg);
             auto sdev = std::make_unique<kblock::NvmeBlockDevice>(
@@ -239,8 +244,10 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
                 &tb->sim, sdev.get());
             // The mirror layer's work runs in the submitting (vhost)
             // context; the worker is created below and patched in.
-            b.dm_devs_.push_back(std::make_unique<kblock::DmMirror>(
-                dev, remote.get(), /*read_balance=*/true, vhost_worker));
+            auto mirror = std::make_unique<kblock::DmMirror>(
+                dev, remote.get(), /*read_balance=*/true, vhost_worker);
+            mirror->SetObservability(params.obs);
+            b.dm_devs_.push_back(std::move(mirror));
             b.secondary_dmas_.push_back(std::move(sdma));
             b.secondary_ctrls_.push_back(std::move(sctrl));
             b.secondary_devs_.push_back(std::move(sdev));

@@ -45,6 +45,11 @@ struct SolutionParams {
   /// empty).
   std::vector<u8> xts_key;
   u64 seed = 7;
+  /// Optional metrics + trace sink, threaded into the router workers, UIF
+  /// host, dm targets and replication/mirror secondary drives. (The
+  /// primary drive belongs to the Testbed — set ControllerConfig::obs
+  /// there to cover it.)
+  obs::Observability* obs = nullptr;
 };
 
 /// Owns every object of one solution's stack (per testbed).

@@ -22,6 +22,9 @@ struct NotifyEntry {
   nvme::Sqe sqe;
   u32 tag = 0;
   u32 vm_id = 0;
+  /// Trace-span id of the routed request (0 when tracing is off); lets
+  /// the UIF stamp kUifWork/kUifRespond spans on the same request.
+  u64 req_id = 0;
 };
 
 /// NCQ entry: the UIF's response for a tag.

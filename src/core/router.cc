@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace nvmetro::core {
 
 using nvme::Cqe;
@@ -18,11 +20,49 @@ constexpr u32 kLbaSize = 512;
 VirtualController::VirtualController(sim::Simulator* sim,
                                      ssd::SimulatedController* phys,
                                      virt::Vm* vm, Config cfg,
-                                     const RouterCosts* costs)
-    : sim_(sim), phys_(phys), vm_(vm), cfg_(cfg), costs_(costs) {
+                                     const RouterCosts* costs,
+                                     obs::Observability* obs)
+    : sim_(sim), phys_(phys), vm_(vm), cfg_(cfg), costs_(costs), obs_(obs) {
   if (cfg_.part_nlb == 0) {
     cfg_.part_nlb = phys_->ns_block_count(cfg_.backend_nsid);
   }
+  InitMetrics();
+}
+
+void VirtualController::InitMetrics() {
+  if (!obs_) return;
+  obs::MetricsRegistry& m = obs_->metrics();
+  m_started_ = m.GetCounter("router.requests");
+  m_completed_ = m.GetCounter("router.completed");
+  m_failed_ = m.GetCounter("router.failed");
+  m_table_full_ = m.GetCounter("router.table_full");
+  m_vcq_retries_ = m.GetCounter("router.vcq.retries");
+  m_irq_injects_ = m.GetCounter("router.irq.injects");
+  m_classifier_runs_ = m.GetCounter("router.classifier.runs");
+  static constexpr const char* kPathName[3] = {"fast", "notify", "kernel"};
+  for (int p = 0; p < 3; p++) {
+    std::string base = std::string("router.") + kPathName[p];
+    m_sends_[p] = m.GetCounter(base + ".sends");
+    m_completions_[p] = m.GetCounter(base + ".completions");
+    m_aborts_[p] = m.GetCounter(base + ".aborts");
+    m_errors_[p] = m.GetCounter(base + ".errors");
+    m_path_latency_[p] = m.GetHistogram(base + ".latency_ns");
+  }
+  m_latency_ = m.GetHistogram("router.latency_ns");
+}
+
+void VirtualController::Stamp(const RequestEntry* e, obs::SpanKind kind,
+                              u16 status, u64 aux, u8 hook) {
+  if (!obs_ || !e->req_id) return;
+  obs::TraceEvent ev;
+  ev.req_id = e->req_id;
+  ev.t = sim_->now();
+  ev.aux = aux;
+  ev.vm_id = cfg_.vm_id;
+  ev.status = status;
+  ev.kind = kind;
+  ev.hook = hook;
+  obs_->trace().Record(ev);
 }
 
 VirtualController::~VirtualController() {
@@ -152,6 +192,7 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe) {
   if (!e) {
     // Routing table exhausted: fail the request (guest sees a busy-ish
     // internal error and retries).
+    if (m_table_full_) m_table_full_->Inc();
     worker_->cpu()->Charge(costs_->vcq_post_ns);
     GuestQueue& gq = queues_[gq_index];
     Cqe cqe;
@@ -170,6 +211,12 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe) {
   e->gq_index = static_cast<u16>(gq_index);
   e->mediated_slba = sqe.slba();
   e->mediated_nlb = sqe.block_count();
+  if (obs_) {
+    e->req_id = obs_->trace().BeginRequest();
+    e->start_ns = sim_->now();
+    if (m_started_) m_started_->Inc();
+    Stamp(e, obs::SpanKind::kVsqPop, 0, sqe.opcode);
+  }
   if (fixed_translation_) {
     // MDev-NVMe mode: fixed translation, fast path only.
     worker_->cpu()->Charge(costs_->mdev_handle_ns);
@@ -202,6 +249,9 @@ void VirtualController::RunClassifierAndApply(RequestEntry* e, Hook hook,
   ctx.part_limit = cfg_.part_nlb;
   auto result = classifier_->Run(&ctx);
   worker_->cpu()->Charge(result.cpu_cost);
+  if (m_classifier_runs_) m_classifier_runs_->Inc();
+  Stamp(e, obs::SpanKind::kClassifier, error, result.verdict,
+        static_cast<u8>(hook));
   if (!result.status.ok()) {
     // A verified classifier cannot fail at runtime; treat as fatal for
     // the request.
@@ -278,9 +328,13 @@ void VirtualController::DispatchFast(RequestEntry* e) {
   gq.host_cid_map[cid] = e->tag;
   e->outstanding++;
   fast_sends_++;
+  e->paths_used |= 1u << kPathH;
+  if (m_sends_[kPathH]) m_sends_[kPathH]->Inc();
+  Stamp(e, obs::SpanKind::kDispatchFast, 0, e->mediated_slba);
   if (!phys_->Submit(gq.host_qid, out)) {
     gq.host_cid_map.erase(cid);
     e->outstanding--;
+    if (m_aborts_[kPathH]) m_aborts_[kPathH]->Inc();
     FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                     nvme::kScAbortRequested));
   }
@@ -301,10 +355,15 @@ void VirtualController::DispatchNotify(RequestEntry* e) {
   }
   entry.tag = e->tag;
   entry.vm_id = cfg_.vm_id;
+  entry.req_id = e->req_id;
   e->outstanding++;
   notify_sends_++;
+  e->paths_used |= 1u << kPathN;
+  if (m_sends_[kPathN]) m_sends_[kPathN]->Inc();
+  Stamp(e, obs::SpanKind::kDispatchNotify, 0, e->mediated_slba);
   if (!uif_->PushRequest(entry)) {
     e->outstanding--;
+    if (m_aborts_[kPathN]) m_aborts_[kPathN]->Inc();
     FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                     nvme::kScAbortRequested));
   }
@@ -368,6 +427,9 @@ void VirtualController::DispatchKernel(RequestEntry* e) {
   };
   e->outstanding++;
   kernel_sends_++;
+  e->paths_used |= 1u << kPathK;
+  if (m_sends_[kPathK]) m_sends_[kPathK]->Inc();
+  Stamp(e, obs::SpanKind::kDispatchKernel, 0, e->mediated_slba);
   kernel_dev_->Submit(std::move(bio));
 }
 
@@ -430,6 +492,13 @@ void VirtualController::OnTargetDone(u32 tag, Path path, NvmeStatus status,
                                      u32 result) {
   RequestEntry* e = EntryByTag(tag);
   if (!e) return;
+  if (m_completions_[path]) m_completions_[path]->Inc();
+  if (!nvme::StatusOk(status) && m_errors_[path]) m_errors_[path]->Inc();
+  Stamp(e,
+        path == kPathH   ? obs::SpanKind::kHcqComplete
+        : path == kPathN ? obs::SpanKind::kNcqComplete
+                         : obs::SpanKind::kKcqComplete,
+        status, result);
   if (path == kPathH) e->result = result;
   e->outstanding--;
   if (e->completed) {
@@ -479,6 +548,7 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
     // VCQ full: retry until the guest frees slots.
     e->completed = false;
     completed_--;
+    if (m_vcq_retries_) m_vcq_retries_->Inc();
     u32 tag = e->tag;
     sim_->ScheduleAfter(5 * kUs, [this, tag, status] {
       RequestEntry* entry = EntryByTag(tag);
@@ -486,7 +556,39 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
     });
     return;
   }
-  if (gq.irq) sim_->ScheduleAfter(costs_->irq_inject_latency_ns, gq.irq);
+  if (obs_ && e->req_id) {
+    Stamp(e, obs::SpanKind::kVcqPost, status);
+    obs_->trace().EndRequest();
+    SimTime lat = sim_->now() - e->start_ns;
+    m_latency_->Record(lat);
+    // Per-path latency only when the request took exactly one path.
+    for (int p = 0; p < 3; p++) {
+      if (e->paths_used == (1u << p)) m_path_latency_[p]->Record(lat);
+    }
+    if (m_completed_ && !e->failed_marked) m_completed_->Inc();
+  }
+  if (gq.irq) {
+    if (obs_ && e->req_id) {
+      // The entry may be freed before the posted interrupt fires; capture
+      // what the stamp needs by value.
+      u64 rid = e->req_id;
+      u32 vmid = cfg_.vm_id;
+      auto irq = gq.irq;
+      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, [this, rid, vmid,
+                                                          irq] {
+        obs::TraceEvent ev;
+        ev.req_id = rid;
+        ev.t = sim_->now();
+        ev.vm_id = vmid;
+        ev.kind = obs::SpanKind::kIrqInject;
+        obs_->trace().Record(ev);
+        if (m_irq_injects_) m_irq_injects_->Inc();
+        irq();
+      });
+    } else {
+      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, gq.irq);
+    }
+  }
   MaybeFree(e);
 }
 
@@ -499,21 +601,27 @@ void VirtualController::MaybeFree(RequestEntry* e) {
 
 void VirtualController::FailRequest(RequestEntry* e, NvmeStatus status) {
   failed_++;
+  if (!e->failed_marked) {
+    e->failed_marked = true;
+    if (m_failed_) m_failed_->Inc();
+  }
   CompleteToGuest(e, status);
 }
 
 // --- RouterWorker --------------------------------------------------------------
 
 RouterWorker::RouterWorker(sim::Simulator* sim, std::string name,
-                           RouterCosts costs)
+                           RouterCosts costs, obs::Observability* obs)
     : sim_(sim),
-      cpu_(sim, std::move(name)),
-      poller_(sim, &cpu_, [&costs] {
+      cpu_(sim, name),
+      poller_(sim, &cpu_, [&costs, &name, obs] {
         sim::Poller::Options o;
         o.dispatch_cost = costs.dispatch_cost_ns;
         o.adaptive = costs.adaptive_worker;
         o.idle_timeout = costs.worker_idle_timeout_ns;
         o.wakeup_latency = costs.worker_wakeup_latency_ns;
+        o.obs = obs;
+        o.metrics_name = name;
         return o;
       }()) {}
 
@@ -533,14 +641,14 @@ NvmetroHost::NvmetroHost(sim::Simulator* sim, ssd::SimulatedController* phys,
     : sim_(sim), phys_(phys), cfg_(cfg) {
   for (u32 i = 0; i < cfg_.num_workers; i++) {
     workers_.push_back(std::make_unique<RouterWorker>(
-        sim_, "nvmetro.router" + std::to_string(i), cfg_.costs));
+        sim_, "nvmetro.router" + std::to_string(i), cfg_.costs, cfg_.obs));
   }
 }
 
 VirtualController* NvmetroHost::CreateController(virt::Vm* vm,
                                                  VirtualController::Config cfg) {
   auto vc = std::make_unique<VirtualController>(sim_, phys_, vm, cfg,
-                                                &cfg_.costs);
+                                                &cfg_.costs, cfg_.obs);
   VirtualController* ptr = vc.get();
   workers_[next_worker_ % workers_.size()]->Attach(ptr);
   next_worker_++;

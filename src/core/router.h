@@ -30,6 +30,15 @@
 #include "virt/guest_nvme.h"
 #include "virt/vm.h"
 
+namespace nvmetro {
+class LatencyHistogram;
+namespace obs {
+class Counter;
+class Observability;
+enum class SpanKind : u8;
+}  // namespace obs
+}  // namespace nvmetro
+
 namespace nvmetro::core {
 
 /// Router cost model (host-side, charged on router worker vCPUs).
@@ -79,7 +88,8 @@ class VirtualController : public virt::VirtualNvmeBackend {
   };
 
   VirtualController(sim::Simulator* sim, ssd::SimulatedController* phys,
-                    virt::Vm* vm, Config cfg, const RouterCosts* costs);
+                    virt::Vm* vm, Config cfg, const RouterCosts* costs,
+                    obs::Observability* obs = nullptr);
   ~VirtualController() override;
 
   // --- Control interface ----------------------------------------------------
@@ -151,6 +161,13 @@ class VirtualController : public virt::VirtualNvmeBackend {
     bool completed = false;
     nvme::NvmeStatus agg_status = nvme::kStatusSuccess;
     u32 result = 0;  // CQE DW0 from the last fast-path completion
+    // Observability: trace-span id, arrival time, Path bits dispatched.
+    // failed_marked keeps "router.failed" and "router.completed" disjoint
+    // (FailRequest delivers its outcome through CompleteToGuest).
+    u64 req_id = 0;
+    SimTime start_ns = 0;
+    u8 paths_used = 0;
+    bool failed_marked = false;
   };
 
   // Request processing (all on the router worker's vCPU context).
@@ -173,6 +190,13 @@ class VirtualController : public virt::VirtualNvmeBackend {
 
   RequestEntry* AllocEntry();
   RequestEntry* EntryByTag(u32 tag);
+
+  /// Registers the router's cached metric pointers (no-op when obs_ is
+  /// null; every hot-path hook is then one null-check branch).
+  void InitMetrics();
+  /// Stamps a trace span for `e` (no-op without obs_ / req_id).
+  void Stamp(const RequestEntry* e, obs::SpanKind kind, u16 status = 0,
+             u64 aux = 0, u8 hook = 0);
 
   void Touch() { last_activity_ = sim_->now(); }
 
@@ -203,12 +227,29 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u64 fast_sends_ = 0;
   u64 notify_sends_ = 0;
   u64 kernel_sends_ = 0;
+
+  // Observability (all pointers null when obs_ is null).
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* m_started_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_table_full_ = nullptr;
+  obs::Counter* m_vcq_retries_ = nullptr;
+  obs::Counter* m_irq_injects_ = nullptr;
+  obs::Counter* m_classifier_runs_ = nullptr;
+  obs::Counter* m_sends_[3] = {};        // indexed by Path
+  obs::Counter* m_completions_[3] = {};  // per-path target completions
+  obs::Counter* m_aborts_[3] = {};       // dispatched but push/submit failed
+  obs::Counter* m_errors_[3] = {};       // target completed with error status
+  LatencyHistogram* m_latency_ = nullptr;       // all guest completions
+  LatencyHistogram* m_path_latency_[3] = {};    // single-path requests only
 };
 
 /// A router worker thread polling the queues of its assigned VMs.
 class RouterWorker {
  public:
-  RouterWorker(sim::Simulator* sim, std::string name, RouterCosts costs);
+  RouterWorker(sim::Simulator* sim, std::string name, RouterCosts costs,
+               obs::Observability* obs = nullptr);
 
   /// Registers a controller's poll sources with this worker.
   void Attach(VirtualController* vc);
@@ -230,6 +271,8 @@ class RouterWorker {
 struct NvmetroHostConfig {
   u32 num_workers = 1;
   RouterCosts costs;
+  /// Optional metrics + trace sink, shared by all workers/controllers.
+  obs::Observability* obs = nullptr;
 };
 
 class NvmetroHost {

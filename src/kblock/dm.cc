@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace nvmetro::kblock {
 
 // --- DmLinear ----------------------------------------------------------------
@@ -95,7 +97,15 @@ void DmCrypt::DecryptSegments(const Bio& bio) {
   }
 }
 
+void DmCrypt::SetObservability(obs::Observability* obs) {
+  if (!obs) return;
+  m_bios_ = obs->metrics().GetCounter("dm.crypt.bios");
+  m_bytes_ = obs->metrics().GetCounter("dm.crypt.bytes");
+}
+
 void DmCrypt::Submit(Bio bio) {
+  if (m_bios_) m_bios_->Inc();
+  if (m_bytes_) m_bytes_->Inc(bio.length());
   switch (bio.op) {
     case Bio::Op::kFlush:
     case Bio::Op::kDiscard:
@@ -184,7 +194,14 @@ u64 DmMirror::capacity_sectors() const {
                   secondary_->capacity_sectors());
 }
 
+void DmMirror::SetObservability(obs::Observability* obs) {
+  if (!obs) return;
+  m_bios_ = obs->metrics().GetCounter("dm.mirror.bios");
+  m_degraded_ = obs->metrics().GetCounter("dm.mirror.degraded_reads");
+}
+
 void DmMirror::Submit(Bio bio) {
+  if (m_bios_) m_bios_->Inc();
   if (cpu_) cpu_->Charge(per_op_ns_);
   switch (bio.op) {
     case Bio::Op::kRead: {
@@ -206,6 +223,7 @@ void DmMirror::Submit(Bio bio) {
           return;
         }
         degraded_reads_++;
+        if (m_degraded_) m_degraded_->Inc();
         Bio retry;
         retry.op = Bio::Op::kRead;
         retry.sector = shared_bio->sector;

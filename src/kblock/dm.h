@@ -16,6 +16,11 @@
 #include "sim/simulator.h"
 #include "sim/vcpu.h"
 
+namespace nvmetro::obs {
+class Counter;
+class Observability;
+}  // namespace nvmetro::obs
+
 namespace nvmetro::kblock {
 
 /// dm-linear: remaps a contiguous range of an underlying device.
@@ -59,6 +64,9 @@ class DmCrypt : public BlockDevice {
   u64 capacity_sectors() const override { return lower_->capacity_sectors(); }
   std::string name() const override { return "dm-crypt(" + lower_->name() + ")"; }
 
+  /// Publishes "dm.crypt.bios" / "dm.crypt.bytes" counters.
+  void SetObservability(obs::Observability* obs);
+
  private:
   DmCrypt(sim::Simulator* sim, BlockDevice* lower, crypto::XtsCipher cipher,
           std::vector<sim::VCpu*> workers, Params params)
@@ -83,6 +91,8 @@ class DmCrypt : public BlockDevice {
   crypto::XtsCipher cipher_;
   std::vector<sim::VCpu*> workers_;
   Params params_;
+  obs::Counter* m_bios_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
 };
 
 /// dm-mirror (RAID1): synchronous writes to both legs; reads are
@@ -105,6 +115,9 @@ class DmMirror : public BlockDevice {
 
   u64 degraded_reads() const { return degraded_reads_; }
 
+  /// Publishes "dm.mirror.bios" / "dm.mirror.degraded_reads" counters.
+  void SetObservability(obs::Observability* obs);
+
  private:
   BlockDevice* primary_;
   BlockDevice* secondary_;
@@ -113,6 +126,8 @@ class DmMirror : public BlockDevice {
   SimTime per_op_ns_;
   u64 read_rr_ = 0;
   u64 degraded_reads_ = 0;
+  obs::Counter* m_bios_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
 };
 
 }  // namespace nvmetro::kblock

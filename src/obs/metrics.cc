@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace nvmetro::obs {
+
+namespace {
+template <typename Map, typename T = typename Map::mapped_type::element_type>
+T* FindOrCreate(Map& map, const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+template <typename Map>
+const typename Map::mapped_type::element_type* FindOnly(
+    const Map& map, const std::string& name) {
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+void AppendJsonKey(std::string* out, const std::string& name, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  *out += name;  // metric names are dotted identifiers, no escaping needed
+  *out += "\":";
+}
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return FindOrCreate(counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return FindOrCreate(gauges_, name);
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return FindOrCreate(histograms_, name);
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  return FindOnly(counters_, name);
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  return FindOnly(gauges_, name);
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  return FindOnly(histograms_, name);
+}
+
+u64 MetricsRegistry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c ? c->value() : 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramStat s;
+    s.name = name;
+    s.count = h->count();
+    s.p50 = h->Median();
+    s.p99 = h->P99();
+    s.max = h->max();
+    s.mean = h->Mean();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToText() const {
+  Snapshot snap = TakeSnapshot();
+  usize width = 0;
+  for (const auto& [name, v] : snap.counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.gauges) width = std::max(width, name.size());
+  for (const auto& h : snap.histograms) width = std::max(width, h.name.size());
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : snap.counters) {
+    std::snprintf(buf, sizeof(buf), "%-*s %llu\n", static_cast<int>(width),
+                  name.c_str(), static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::snprintf(buf, sizeof(buf), "%-*s %lld\n", static_cast<int>(width),
+                  name.c_str(), static_cast<long long>(v));
+    out += buf;
+  }
+  for (const auto& h : snap.histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-*s count=%llu p50=%lluns p99=%lluns max=%lluns "
+                  "mean=%.0fns\n",
+                  static_cast<int>(width), h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p99),
+                  static_cast<unsigned long long>(h.max), h.mean);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  Snapshot snap = TakeSnapshot();
+  std::string out = "{\"counters\":{";
+  char buf[192];
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    AppendJsonKey(&out, name, &first);
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    AppendJsonKey(&out, name, &first);
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    AppendJsonKey(&out, h.name, &first);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu,"
+                  "\"max_ns\":%llu,\"mean_ns\":%.1f}",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p99),
+                  static_cast<unsigned long long>(h.max), h.mean);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) *c = Counter{};
+  for (auto& [name, g] : gauges_) *g = Gauge{};
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace nvmetro::obs

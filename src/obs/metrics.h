@@ -1,0 +1,114 @@
+// Metrics registry: named counters, gauges and sim-time histograms.
+//
+// The paper's evaluation is built on per-path accounting — polling-thread
+// CPU, fast/kernel/notify splits, tail latency (§III-C, Figs. 3-5,
+// 11-13). The registry gives every data-path component a place to publish
+// those numbers without ad-hoc tally members:
+//
+//  - Registration (`GetCounter` etc.) happens once, at attach/setup time,
+//    and returns a pointer that stays valid for the registry's lifetime.
+//  - The hot path is a plain `counter->Inc()` / `hist->Record(ns)` on the
+//    cached pointer: no lookup, no allocation, no locking (the simulation
+//    is single-threaded).
+//  - Snapshots copy values out, so exporting or asserting on a snapshot
+//    is isolated from concurrent-in-sim-time mutation.
+//  - Export to aligned text (human) and JSON (tooling/figures).
+//
+// Components take an optional `obs::Observability*` and cache null metric
+// pointers when it is absent, so a disabled registry costs one branch and
+// zero simulated time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace nvmetro::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(u64 n = 1) { value_ += n; }
+  u64 value() const { return value_; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Instantaneous level (queue depth, open spans...). May go negative
+/// transiently while legs of a fan-out settle.
+class Gauge {
+ public:
+  void Set(i64 v) { value_ = v; }
+  void Add(i64 d) { value_ += d; }
+  i64 value() const { return value_; }
+
+ private:
+  i64 value_ = 0;
+};
+
+/// Named metrics, find-or-create. Names are dotted paths by convention:
+/// "<component>.<path>.<what>", e.g. "router.fast.sends" (see DESIGN.md
+/// "Observability" for the taxonomy).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned pointer is stable until the registry is
+  /// destroyed — cache it and increment without further lookups.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Find-only (nullptr when the metric was never registered). For tests
+  /// and exporters that must not create metrics as a side effect.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  /// Convenience for assertions: value of a counter, 0 when absent.
+  u64 CounterValue(const std::string& name) const;
+
+  /// Point-in-time copy of every metric value. Mutations after the
+  /// snapshot do not affect it.
+  struct HistogramStat {
+    std::string name;
+    u64 count = 0;
+    u64 p50 = 0;
+    u64 p99 = 0;
+    u64 max = 0;
+    double mean = 0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, u64>> counters;
+    std::vector<std::pair<std::string, i64>> gauges;
+    std::vector<HistogramStat> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Aligned "name value" text block, histograms as p50/p99/max/mean.
+  std::string ToText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} on one line.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (pointers stay valid).
+  void Reset();
+
+  usize size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // std::map: ordered export, stable node addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace nvmetro::obs

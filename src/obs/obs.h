@@ -1,0 +1,35 @@
+// Observability context: one MetricsRegistry + one TraceRecorder per
+// experiment/testbed, handed to every data-path component as an optional
+// pointer. A null Observability disables everything at one branch per
+// hook and — because recording never charges simulated CPU — enabling it
+// does not change any simulated timing or CPU figure.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nvmetro::obs {
+
+struct ObservabilityConfig {
+  /// TraceRecorder ring capacity, in events.
+  usize trace_capacity = 1 << 16;
+};
+
+class Observability {
+ public:
+  explicit Observability(ObservabilityConfig cfg = {})
+      : trace_(cfg.trace_capacity) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+}  // namespace nvmetro::obs

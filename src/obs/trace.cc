@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace nvmetro::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kVsqPop: return "VSQ_POP";
+    case SpanKind::kClassifier: return "CLASSIFIER";
+    case SpanKind::kDispatchFast: return "DISPATCH_FAST";
+    case SpanKind::kDispatchNotify: return "DISPATCH_NOTIFY";
+    case SpanKind::kDispatchKernel: return "DISPATCH_KERNEL";
+    case SpanKind::kHcqComplete: return "HCQ_COMPLETE";
+    case SpanKind::kNcqComplete: return "NCQ_COMPLETE";
+    case SpanKind::kKcqComplete: return "KCQ_COMPLETE";
+    case SpanKind::kUifWork: return "UIF_WORK";
+    case SpanKind::kUifRespond: return "UIF_RESPOND";
+    case SpanKind::kVcqPost: return "VCQ_POST";
+    case SpanKind::kIrqInject: return "IRQ_INJECT";
+  }
+  return "?";
+}
+
+const char* TraceHookName(u64 hook) {
+  switch (hook) {
+    case 0: return "VSQ";
+    case 1: return "HCQ";
+    case 2: return "NCQ";
+    case 3: return "KCQ";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(usize capacity)
+    : ring_(capacity ? capacity : 1) {}
+
+void TraceRecorder::Record(const TraceEvent& ev) {
+  ring_[total_ % ring_.size()] = ev;
+  total_++;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  usize n = size();
+  out.reserve(n);
+  u64 start = total_ - n;
+  for (u64 i = 0; i < n; i++) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::EventsFor(u64 req_id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : Events()) {
+    if (ev.req_id == req_id) out.push_back(ev);
+  }
+  return out;
+}
+
+std::string TraceRecorder::PathString(u64 req_id) const {
+  std::string out;
+  for (const TraceEvent& ev : EventsFor(req_id)) {
+    if (!out.empty()) out += " > ";
+    out += SpanKindName(ev.kind);
+    if (ev.kind == SpanKind::kClassifier) {
+      out += "(";
+      out += TraceHookName(ev.hook);
+      out += ")";
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::FormatEvent(const TraceEvent& ev) {
+  char buf[160];
+  if (ev.kind == SpanKind::kClassifier) {
+    std::snprintf(buf, sizeof(buf),
+                  "t=%llu req=%llu vm=%u %s(%s) verdict=0x%llx",
+                  static_cast<unsigned long long>(ev.t),
+                  static_cast<unsigned long long>(ev.req_id), ev.vm_id,
+                  SpanKindName(ev.kind), TraceHookName(ev.hook),
+                  static_cast<unsigned long long>(ev.aux));
+  } else {
+    std::snprintf(buf, sizeof(buf), "t=%llu req=%llu vm=%u %s status=0x%x",
+                  static_cast<unsigned long long>(ev.t),
+                  static_cast<unsigned long long>(ev.req_id), ev.vm_id,
+                  SpanKindName(ev.kind), ev.status);
+  }
+  return buf;
+}
+
+std::string TraceRecorder::DumpRequest(u64 req_id) const {
+  std::string out;
+  for (const TraceEvent& ev : EventsFor(req_id)) {
+    out += FormatEvent(ev);
+    out += "\n";
+  }
+  return out;
+}
+
+void TraceRecorder::Reset() {
+  total_ = 0;
+  next_req_id_ = 1;
+  opened_ = 0;
+  closed_ = 0;
+}
+
+}  // namespace nvmetro::obs

@@ -1,0 +1,116 @@
+// Per-request trace spans: the routing state machine, observable.
+//
+// Every request that enters the I/O router gets a process-wide id, and
+// each lifecycle hook — VSQ pop, classifier verdict, fast/kernel/notify
+// dispatch, HCQ/NCQ/KCQ completion, UIF work/response, VCQ post, IRQ
+// inject — stamps a TraceEvent into a fixed-size ring buffer with the
+// simulated timestamp and the hook's payload (classifier verdict, NVMe
+// status). Because the simulator is deterministic, the event sequence of
+// a request is bit-stable across runs: the golden-trace tests in
+// tests/obs_test.cc pin the exact hook sequence per routing path and fail
+// on any silent routing regression.
+//
+// Recording is allocation-free: the ring is sized up front and old events
+// are overwritten on wraparound. Open/closed request accounting doubles
+// as a leak detector for stuck requests (open_requests() != 0 after a
+// drained run means a span never completed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nvmetro::obs {
+
+/// One stamp per lifecycle hook. Values are ABI-stable within a build
+/// only; golden traces assert on the names from SpanKindName().
+enum class SpanKind : u8 {
+  kVsqPop = 0,         // request popped from a guest VSQ
+  kClassifier,         // eBPF classifier ran (hook + verdict recorded)
+  kDispatchFast,       // HSQ push to the physical controller
+  kDispatchNotify,     // NSQ push to the UIF
+  kDispatchKernel,     // NVMe->bio translation + host block submit
+  kHcqComplete,        // fast-path completion observed on the HCQ
+  kNcqComplete,        // notify-path completion observed on the NCQ
+  kKcqComplete,        // kernel-path completion drained from the mailbox
+  kUifWork,            // UIF framework dispatched the command to work()
+  kUifRespond,         // UIF pushed its NCQ response
+  kVcqPost,            // CQE written to the guest VCQ
+  kIrqInject,          // guest interrupt fired (posted-interrupt latency)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/// Classifier hook names for FormatEvent ("VSQ", "HCQ", "NCQ", "KCQ").
+const char* TraceHookName(u64 hook);
+
+struct TraceEvent {
+  u64 req_id = 0;    // process-wide request id (Observability::BeginRequest)
+  SimTime t = 0;     // simulated timestamp
+  u64 aux = 0;       // classifier verdict for kClassifier, else 0
+  u32 vm_id = 0;
+  u16 status = 0;    // NVMe status where the hook carries one
+  SpanKind kind = SpanKind::kVsqPop;
+  u8 hook = 0;       // core::Hook for kClassifier
+};
+
+/// Fixed-capacity ring of TraceEvents plus request open/close accounting.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(usize capacity = 1 << 16);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Stamps one event. O(1), no allocation; overwrites the oldest event
+  /// once the ring is full.
+  void Record(const TraceEvent& ev);
+
+  /// Opens a request span and returns its id (monotonic from 1).
+  u64 BeginRequest() {
+    opened_++;
+    return next_req_id_++;
+  }
+  /// Closes a request span (the guest saw its completion).
+  void EndRequest() { closed_++; }
+
+  u64 requests_opened() const { return opened_; }
+  u64 requests_closed() const { return closed_; }
+  /// Leak detector: non-zero after a drained run means stuck requests.
+  u64 open_requests() const { return opened_ - closed_; }
+
+  usize capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  usize size() const { return total_ < ring_.size() ? total_ : ring_.size(); }
+  /// Events ever recorded, including overwritten ones.
+  u64 total_recorded() const { return total_; }
+
+  /// Chronological copy (oldest retained event first).
+  std::vector<TraceEvent> Events() const;
+
+  /// All retained events of one request, in order.
+  std::vector<TraceEvent> EventsFor(u64 req_id) const;
+
+  /// The golden-trace form: retained hooks of `req_id` joined with " > ",
+  /// e.g. "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_FAST > HCQ_COMPLETE >
+  /// VCQ_POST > IRQ_INJECT".
+  std::string PathString(u64 req_id) const;
+
+  /// "t=12345 req=7 vm=1 CLASSIFIER(VSQ) verdict=0x20011 status=0x0".
+  static std::string FormatEvent(const TraceEvent& ev);
+
+  /// Multi-line dump of one request's retained events.
+  std::string DumpRequest(u64 req_id) const;
+
+  /// Drops events and resets counters (capacity is kept).
+  void Reset();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  u64 total_ = 0;  // next write position is total_ % capacity
+  u64 next_req_id_ = 1;
+  u64 opened_ = 0;
+  u64 closed_ = 0;
+};
+
+}  // namespace nvmetro::obs

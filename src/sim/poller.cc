@@ -2,10 +2,19 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace nvmetro::sim {
 
 Poller::Poller(Simulator* sim, VCpu* cpu, Options opts)
-    : sim_(sim), cpu_(cpu), opts_(opts) {}
+    : sim_(sim), cpu_(cpu), opts_(opts) {
+  if (opts_.obs) {
+    obs::MetricsRegistry& m = opts_.obs->metrics();
+    m_dispatches_ = m.GetCounter(opts_.metrics_name + ".dispatches");
+    m_sleeps_ = m.GetCounter(opts_.metrics_name + ".sleeps");
+    m_wakeups_ = m.GetCounter(opts_.metrics_name + ".wakeups");
+  }
+}
 
 Poller::~Poller() {
   if (state_ == State::kPolling) cpu_->SetPolling(false);
@@ -53,6 +62,7 @@ void Poller::Notify(u32 source) {
 void Poller::Wake() {
   if (waking_) return;
   waking_ = true;
+  if (m_wakeups_) m_wakeups_->Inc();
   sim_->ScheduleAfter(opts_.wakeup_latency, [this] {
     waking_ = false;
     if (state_ != State::kSleeping) return;
@@ -76,6 +86,7 @@ void Poller::DispatchNext() {
   pending_.pop_front();
   cpu_->Run(opts_.dispatch_cost, [this, src] {
     dispatched_++;
+    if (m_dispatches_) m_dispatches_->Inc();
     handlers_[src]();
     DispatchNext();
   });
@@ -90,6 +101,7 @@ void Poller::ArmIdleTimer() {
     if (state_ != State::kPolling) return;
     if (activity_stamp_ != stamp || !pending_.empty()) return;
     state_ = State::kSleeping;
+    if (m_sleeps_) m_sleeps_->Inc();
     cpu_->SetPolling(false);
   });
 }

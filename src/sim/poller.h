@@ -20,11 +20,17 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "sim/simulator.h"
 #include "sim/vcpu.h"
+
+namespace nvmetro::obs {
+class Counter;
+class Observability;
+}  // namespace nvmetro::obs
 
 namespace nvmetro::sim {
 
@@ -41,6 +47,10 @@ class Poller {
     SimTime wakeup_latency = 4 * kUs;
     /// CPU burned by the wakeup path itself.
     SimTime wakeup_cpu_cost = 500 * kNs;
+    /// Optional metrics sink: publishes "<name>.dispatches", ".sleeps"
+    /// and ".wakeups" counters. Never charges simulated time.
+    obs::Observability* obs = nullptr;
+    std::string metrics_name = "poller";
   };
 
   using Handler = std::function<void()>;
@@ -89,6 +99,9 @@ class Poller {
   bool waking_ = false;
   std::vector<Handler> handlers_;
   std::deque<u32> pending_;
+  obs::Counter* m_dispatches_ = nullptr;
+  obs::Counter* m_sleeps_ = nullptr;
+  obs::Counter* m_wakeups_ = nullptr;
   u64 dispatched_ = 0;
   u64 activity_stamp_ = 0;  // bumped on every Notify
   EventId idle_timer_{};

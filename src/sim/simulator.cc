@@ -11,11 +11,14 @@ EventId Simulator::ScheduleAt(SimTime at, Callback cb) {
   if (at < now_) at = now_;
   u64 seq = next_seq_++;
   queue_.push(Event{at, seq, std::move(cb)});
+  live_.insert(seq);
   return EventId{seq};
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.seq);
+  // Only a live (scheduled, not yet fired, not yet cancelled) event can be
+  // cancelled; anything else is a stale id and must not touch cancelled_.
+  if (id.valid() && live_.erase(id.seq)) cancelled_.insert(id.seq);
 }
 
 bool Simulator::Step() {
@@ -27,6 +30,7 @@ bool Simulator::Step() {
       cancelled_.erase(it);
       continue;
     }
+    live_.erase(ev.seq);
     now_ = ev.time;
     executed_++;
     ev.cb();
@@ -52,6 +56,7 @@ void Simulator::RunUntil(SimTime t) {
     if (top.time > t) break;
     Event ev = queue_.top();
     queue_.pop();
+    live_.erase(ev.seq);
     now_ = ev.time;
     executed_++;
     ev.cb();

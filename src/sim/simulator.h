@@ -50,8 +50,8 @@ class Simulator {
     return ScheduleAt(now_ + delay, std::move(cb));
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or invalid event
-  /// is a no-op.
+  /// Cancels a pending event. Cancelling an already-fired, already-
+  /// cancelled or invalid event is a no-op (stale EventIds are safe).
   void Cancel(EventId id);
 
   /// Runs events until the queue is empty. Returns the final time.
@@ -67,7 +67,7 @@ class Simulator {
   bool Step();
 
   /// Number of pending (non-cancelled) events.
-  usize pending() const { return queue_.size() - cancelled_.size(); }
+  usize pending() const { return live_.size(); }
 
   /// Total events executed since construction.
   u64 events_executed() const { return executed_; }
@@ -98,6 +98,11 @@ class Simulator {
   u64 next_seq_ = 1;
   u64 executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Seqs scheduled but neither executed nor cancelled. Keeping this set
+  // (rather than computing queue_.size() - cancelled_.size()) makes
+  // Cancel() of a stale EventId a true no-op: the old subtraction
+  // underflowed usize when a seq that already fired was "cancelled".
+  std::unordered_set<u64> live_;
   std::unordered_set<u64> cancelled_;
   std::vector<VCpu*> cpus_;
 };

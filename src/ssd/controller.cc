@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "nvme/prp.h"
+#include "obs/obs.h"
 
 namespace nvmetro::ssd {
 
@@ -25,6 +26,14 @@ SimulatedController::SimulatedController(sim::Simulator* sim,
       latency_(cfg.latency, cfg.seed) {
   // Admin queue pair (qid 0) with controller-owned memory.
   queues_.push_back(std::make_unique<QueuePair>(0, kAdminQueueEntries));
+  if (cfg_.obs) {
+    obs::MetricsRegistry& m = cfg_.obs->metrics();
+    m_commands_ = m.GetCounter("ssd.commands");
+    m_errors_ = m.GetCounter("ssd.errors");
+    m_injected_ = m.GetCounter("ssd.injected");
+    m_bytes_read_ = m.GetCounter("ssd.bytes_read");
+    m_bytes_written_ = m.GetCounter("ssd.bytes_written");
+  }
 }
 
 Result<u16> SimulatedController::CreateIoQueuePair(u32 entries,
@@ -177,6 +186,8 @@ void SimulatedController::PostCqe(u16 qid, const Sqe& sqe, NvmeStatus status,
     return;
   }
   commands_completed_++;
+  if (m_commands_) m_commands_->Inc();
+  if (!nvme::StatusOk(status) && m_errors_) m_errors_->Inc();
   if (qp.notify) qp.notify();
 }
 
@@ -185,6 +196,7 @@ void SimulatedController::ExecuteIo(QueuePair& qp, const Sqe& sqe) {
   for (auto& inj : injections_) {
     if (inj.remaining > 0 && inj.nsid == sqe.nsid && sqe.is_io_data_cmd()) {
       inj.remaining--;
+      if (m_injected_) m_injected_->Inc();
       CompleteAt(latency_.CompleteNoData(sim_->now()), qp.qid, sqe,
                  inj.status);
       return;
@@ -237,7 +249,10 @@ void SimulatedController::ExecuteIo(QueuePair& qp, const Sqe& sqe) {
             }
             off2 += s.len;
           }
-          if (nvme::StatusOk(status)) bytes_written_ += bytes;
+          if (nvme::StatusOk(status)) {
+            bytes_written_ += bytes;
+            if (m_bytes_written_) m_bytes_written_->Inc(bytes);
+          }
         } else if (cmd.opcode == nvme::kCmdRead) {
           u64 off2 = store_off;
           std::vector<u8> tmp;
@@ -252,7 +267,10 @@ void SimulatedController::ExecuteIo(QueuePair& qp, const Sqe& sqe) {
             std::memcpy(p, tmp.data(), s.len);
             off2 += s.len;
           }
-          if (nvme::StatusOk(status)) bytes_read_ += bytes;
+          if (nvme::StatusOk(status)) {
+            bytes_read_ += bytes;
+            if (m_bytes_read_) m_bytes_read_->Inc(bytes);
+          }
         } else {  // Compare
           u64 off2 = store_off;
           std::vector<u8> media, host;
@@ -379,6 +397,7 @@ void SimulatedController::ExecuteKv(QueuePair& qp, const nvme::Sqe& sqe) {
       SimTime done = latency_.Complete(sim_->now(), /*write=*/true, len);
       kv_store_[key] = std::move(value);
       bytes_written_ += len;
+      if (m_bytes_written_) m_bytes_written_->Inc(len);
       CompleteAt(done, qp.qid, sqe, nvme::kStatusSuccess);
       return;
     }
@@ -410,6 +429,7 @@ void SimulatedController::ExecuteKv(QueuePair& qp, const nvme::Sqe& sqe) {
       SimTime done = latency_.Complete(sim_->now(), /*write=*/false,
                                        it->second.size());
       bytes_read_ += it->second.size();
+      if (m_bytes_read_) m_bytes_read_->Inc(it->second.size());
       CompleteAt(done, qp.qid, sqe, nvme::kStatusSuccess,
                  static_cast<u32>(it->second.size()));
       return;

@@ -31,6 +31,11 @@
 #include "ssd/backing_store.h"
 #include "ssd/latency_model.h"
 
+namespace nvmetro::obs {
+class Counter;
+class Observability;
+}  // namespace nvmetro::obs
+
 namespace nvmetro::ssd {
 
 struct ControllerConfig {
@@ -51,6 +56,9 @@ struct ControllerConfig {
   u64 seed = 42;
   const char* serial = "NVMETRO-SIM-0001";
   const char* model = "NVMetro Simulated 970EVOPlus";
+  /// Optional metrics sink: "ssd.commands", "ssd.errors", "ssd.injected",
+  /// "ssd.bytes_read", "ssd.bytes_written".
+  obs::Observability* obs = nullptr;
 };
 
 class SimulatedController {
@@ -196,6 +204,12 @@ class SimulatedController {
   u64 commands_completed_ = 0;
   u64 bytes_read_ = 0;
   u64 bytes_written_ = 0;
+  // Observability (null when cfg_.obs is null).
+  obs::Counter* m_commands_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
+  obs::Counter* m_injected_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
   struct Injection {
     u32 nsid;
     nvme::NvmeStatus status;

@@ -1,9 +1,25 @@
 #include "uif/framework.h"
 
+#include "obs/obs.h"
+
 namespace nvmetro::uif {
 
 void UifFunction::Respond(u32 tag, u16 status) {
   responses_++;
+  if (m_responses_) m_responses_->Inc();
+  if (obs_) {
+    auto it = inflight_.find(tag);
+    if (it != inflight_.end()) {
+      obs::TraceEvent ev;
+      ev.req_id = it->second;
+      ev.t = host_->simulator()->now();
+      ev.vm_id = channel_->vm_id();
+      ev.status = status;
+      ev.kind = obs::SpanKind::kUifRespond;
+      obs_->trace().Record(ev);
+      inflight_.erase(it);
+    }
+  }
   core::NotifyCompletion c;
   c.tag = tag;
   c.status = status;
@@ -21,6 +37,8 @@ UifHost::UifHost(sim::Simulator* sim, std::string name, UifHostParams params)
   opts.adaptive = params_.adaptive;
   opts.idle_timeout = params_.idle_timeout_ns;
   opts.wakeup_latency = params_.wakeup_latency_ns;
+  opts.obs = params_.obs;
+  opts.metrics_name = name_ + ".poller";
   poller_ = std::make_unique<sim::Poller>(sim_, cpus_[0].get(), opts);
 }
 
@@ -31,6 +49,11 @@ UifFunction* UifHost::AddFunction(core::NotifyChannel* channel, virt::Vm* vm,
   fn->impl_ = impl;
   fn->vm_ = vm;
   fn->host_ = this;
+  if (params_.obs) {
+    fn->obs_ = params_.obs;
+    fn->m_requests_ = params_.obs->metrics().GetCounter("uif.requests");
+    fn->m_responses_ = params_.obs->metrics().GetCounter("uif.responses");
+  }
   impl->function_ = fn.get();
   usize index = functions_.size();
   u32 src = poller_->AddSource([this, index] { PollChannel(index); });
@@ -59,7 +82,18 @@ void UifHost::PollChannel(usize index) {
   core::NotifyEntry entry;
   if (!fn.channel_->PopRequest(&entry)) return;
   fn.requests_++;
+  if (fn.m_requests_) fn.m_requests_->Inc();
   poll_cpu()->Charge(params_.per_req_parse_ns);
+  if (fn.obs_ && entry.req_id) {
+    fn.inflight_[entry.tag] = entry.req_id;
+    obs::TraceEvent ev;
+    ev.req_id = entry.req_id;
+    ev.t = sim_->now();
+    ev.aux = entry.sqe.opcode;
+    ev.vm_id = entry.vm_id;
+    ev.kind = obs::SpanKind::kUifWork;
+    fn.obs_->trace().Record(ev);
+  }
   u16 status = nvme::kStatusSuccess;
   bool async = fn.impl_->work(entry.sqe, entry.tag, status);
   if (!async) fn.Respond(entry.tag, status);

@@ -20,6 +20,7 @@
 //     -> true: the implementation responds later via Respond(tag, ...).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,11 @@
 #include "sim/vcpu.h"
 #include "uif/guest_data.h"
 #include "virt/vm.h"
+
+namespace nvmetro::obs {
+class Counter;
+class Observability;
+}  // namespace nvmetro::obs
 
 namespace nvmetro::uif {
 
@@ -61,6 +67,9 @@ struct UifHostParams {
   SimTime idle_timeout_ns = 40 * kUs;
   SimTime wakeup_latency_ns = 4 * kUs;
   SimTime dispatch_cost_ns = 130;
+  /// Optional metrics + trace sink ("uif.requests"/"uif.responses"
+  /// counters, kUifWork/kUifRespond spans, "<name>.poller.*" counters).
+  obs::Observability* obs = nullptr;
 };
 
 /// One VM <-> UIF binding inside a UifHost.
@@ -93,6 +102,12 @@ class UifFunction {
   class UifHost* host_ = nullptr;
   u64 requests_ = 0;
   u64 responses_ = 0;
+  // Observability: tag -> trace-span id of requests work()'d but not yet
+  // responded, so async Respond() can stamp the right span.
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_responses_ = nullptr;
+  std::map<u32, u64> inflight_;
 };
 
 /// A UIF process: polling threads + one or more functions.

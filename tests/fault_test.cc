@@ -9,16 +9,23 @@
 
 #include "baselines/factory.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace nvmetro::baselines {
 namespace {
 
 struct SolutionFaultTest : ::testing::TestWithParam<SolutionKind> {
-  std::unique_ptr<Testbed> tb = std::make_unique<Testbed>();
+  obs::Observability obs;  // declared first: outlives drive + bundle
+  std::unique_ptr<Testbed> tb;
   std::unique_ptr<SolutionBundle> bundle;
 
   void Build() {
-    bundle = SolutionBundle::Create(tb.get(), GetParam(), {});
+    ssd::ControllerConfig drive = Testbed::DefaultDrive();
+    drive.obs = &obs;
+    tb = std::make_unique<Testbed>(drive);
+    SolutionParams params;
+    params.obs = &obs;
+    bundle = SolutionBundle::Create(tb.get(), GetParam(), params);
     ASSERT_NE(bundle, nullptr);
   }
 
@@ -28,6 +35,50 @@ struct SolutionFaultTest : ::testing::TestWithParam<SolutionKind> {
     sol->Submit(0, op, off, len, data, [&](Status st) { result = st; });
     tb->sim.Run();
     return result;
+  }
+
+  /// The NVMetro family routes guest I/O through the VirtualController;
+  /// the other stacks never touch router metrics.
+  bool UsesRouter() const {
+    switch (GetParam()) {
+      case SolutionKind::kNvmetro:
+      case SolutionKind::kMdev:
+      case SolutionKind::kNvmetroEncryption:
+      case SolutionKind::kNvmetroSgx:
+      case SolutionKind::kNvmetroReplication:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// After a drained run with injected device errors: the faults must be
+  /// visible in the drive counters for every stack, and for router-based
+  /// stacks also as per-path error counts — with every request's trace
+  /// still ending in a guest-visible completion (VCQ post + IRQ).
+  void CheckObsAfterErrors() {
+    const obs::MetricsRegistry& m = obs.metrics();
+    EXPECT_GE(m.CounterValue("ssd.injected"), 1u);
+    EXPECT_GE(m.CounterValue("ssd.errors"), 1u);
+    if (!UsesRouter()) {
+      EXPECT_EQ(obs.trace().requests_opened(), 0u);
+      return;
+    }
+    u64 path_errors = m.CounterValue("router.fast.errors") +
+                      m.CounterValue("router.notify.errors") +
+                      m.CounterValue("router.kernel.errors");
+    EXPECT_GE(path_errors, 1u) << "device faults invisible in path counters";
+    EXPECT_EQ(m.CounterValue("router.requests"),
+              m.CounterValue("router.completed") +
+                  m.CounterValue("router.failed"));
+    EXPECT_EQ(obs.trace().open_requests(), 0u);
+    const obs::TraceRecorder& tr = obs.trace();
+    for (u64 id = 1; id <= tr.requests_opened(); id++) {
+      auto evs = tr.EventsFor(id);
+      ASSERT_FALSE(evs.empty()) << "req " << id << " left no trace";
+      EXPECT_EQ(evs.back().kind, obs::SpanKind::kIrqInject)
+          << "req " << id << " did not end in a completion span";
+    }
   }
 };
 
@@ -79,6 +130,7 @@ TEST_P(SolutionFaultTest, InjectedErrorsPropagateThenRecover) {
     EXPECT_GE(failed, 1) << sol->name() << ": device errors were swallowed";
   }
   EXPECT_GE(ok, 1) << sol->name() << ": errors poisoned unrelated I/O";
+  CheckObsAfterErrors();
 
   // With the injections consumed, a fresh region must round-trip clean
   // data — no stale error state, no cache poisoned by the failures.
@@ -110,6 +162,7 @@ TEST_P(SolutionFaultTest, WriteErrorsAlsoPropagate) {
   tb->sim.Run();
   EXPECT_EQ(done, 24) << sol->name();
   EXPECT_GE(failed, 1) << sol->name();
+  CheckObsAfterErrors();
 }
 
 TEST_P(SolutionFaultTest, LastBlockRoundTrips) {

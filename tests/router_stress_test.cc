@@ -18,6 +18,7 @@
 #include "mem/address_space.h"
 #include "kblock/devices.h"
 #include "nvme/prp.h"
+#include "obs/obs.h"
 #include "ssd/controller.h"
 #include "uif/framework.h"
 #include "virt/guest_nvme.h"
@@ -29,6 +30,7 @@ namespace {
 using nvme::NvmeStatus;
 
 struct StressFixture : ::testing::Test {
+  obs::Observability obs;  // outlives every pointer-caching component
   sim::Simulator sim;
   mem::IommuSpace dma{nullptr, 1ull << 40};
   std::unique_ptr<ssd::SimulatedController> phys;
@@ -40,11 +42,14 @@ struct StressFixture : ::testing::Test {
   void Build(const char* classifier_asm = nullptr, u32 queues = 2) {
     ssd::ControllerConfig cfg;
     cfg.capacity = 256 * MiB;
+    cfg.obs = &obs;
     phys = std::make_unique<ssd::SimulatedController>(&sim, &dma, cfg);
     virt::VmConfig vm_cfg;
     vm_cfg.memory_bytes = 64 * MiB;
     vm = std::make_unique<virt::Vm>(&sim, vm_cfg);
-    host = std::make_unique<NvmetroHost>(&sim, phys.get());
+    NvmetroHost::Config hcfg;
+    hcfg.obs = &obs;
+    host = std::make_unique<NvmetroHost>(&sim, phys.get(), hcfg);
     vc = host->CreateController(vm.get(), {.vm_id = 1});
     auto prog = classifier_asm ? ebpf::Assemble(classifier_asm)
                                : functions::PassthroughClassifier();
@@ -53,6 +58,32 @@ struct StressFixture : ::testing::Test {
     host->Start();
     driver = std::make_unique<virt::GuestNvmeDriver>(vm.get(), vc);
     ASSERT_TRUE(driver->Init(queues).ok());
+  }
+
+  /// Tests that deliberately strand requests (undrained notify channel)
+  /// opt out and assert the exact leak count themselves.
+  bool expect_drained = true;
+
+  /// Post-run bookkeeping invariants that must hold after ANY drained
+  /// stress run, however hostile: every started request reached exactly
+  /// one guest-visible outcome, every per-path send was matched by a
+  /// completion or an abort, and no trace span was left open.
+  void TearDown() override {
+    if (!host || !expect_drained) return;
+    const obs::MetricsRegistry& m = obs.metrics();
+    EXPECT_EQ(m.CounterValue("router.requests"),
+              m.CounterValue("router.completed") +
+                  m.CounterValue("router.failed"))
+        << "a request vanished without completing or failing";
+    for (const char* path : {"fast", "notify", "kernel"}) {
+      std::string base = std::string("router.") + path;
+      EXPECT_EQ(m.CounterValue(base + ".sends"),
+                m.CounterValue(base + ".completions") +
+                    m.CounterValue(base + ".aborts"))
+          << base << " send/completion imbalance";
+    }
+    EXPECT_EQ(obs.trace().open_requests(), 0u)
+        << "trace spans leaked: a request never reached its VCQ";
   }
 };
 
@@ -163,6 +194,12 @@ TEST_F(StressFixture, NotifyChannelOverflowFailsRequestsGracefully) {
   // 3 entries fit (ring keeps one slot free); the rest fail fast.
   EXPECT_EQ(failed, 13);
   EXPECT_EQ(vc->requests_failed(), 13u);
+  // Nobody drains the tiny channel, so the 3 accepted requests are stuck
+  // — exactly what the open-span leak detector exists to expose.
+  expect_drained = false;
+  EXPECT_EQ(obs.trace().open_requests(), 3u);
+  EXPECT_EQ(obs.metrics().CounterValue("router.notify.sends"), 16u);
+  EXPECT_EQ(obs.metrics().CounterValue("router.notify.aborts"), 13u);
 }
 
 TEST_F(StressFixture, MissingUifFailsNotifyRequests) {
@@ -344,12 +381,16 @@ TEST(HeterogeneousFunctions, ThreeVmsThreeFunctionsOneRouterOneUifProcess) {
   // one router worker, and the two UIF-backed functions share one UIF
   // process (§III-D multi-VM hosting). Each function's semantics must
   // hold with all three running concurrently.
+  obs::Observability obs;
   sim::Simulator sim;
   mem::IommuSpace dma{nullptr, 1ull << 40};
   ssd::ControllerConfig cfg;
   cfg.capacity = 192 * MiB;
+  cfg.obs = &obs;
   ssd::SimulatedController phys(&sim, &dma, cfg);
-  NvmetroHost host(&sim, &phys);  // one shared router worker
+  NvmetroHost::Config hcfg;
+  hcfg.obs = &obs;
+  NvmetroHost host(&sim, &phys, hcfg);  // one shared router worker
 
   const u64 kPartNlb = 64 * 1024;  // 32 MiB per VM at 512B LBAs
   auto make_vm = [&](const char* name) {
@@ -378,7 +419,9 @@ TEST(HeterogeneousFunctions, ThreeVmsThreeFunctionsOneRouterOneUifProcess) {
           .ok());
 
   // One UIF process hosts both the encryptor and the replicator.
-  uif::UifHost uif_host(&sim, "multi-fn");
+  uif::UifHostParams uif_params;
+  uif_params.obs = &obs;
+  uif::UifHost uif_host(&sim, "multi-fn", uif_params);
   NotifyChannel ch_enc, ch_rep;
   vc_enc->AttachUif(&ch_enc);
   vc_rep->AttachUif(&ch_rep);
@@ -475,6 +518,16 @@ TEST(HeterogeneousFunctions, ThreeVmsThreeFunctionsOneRouterOneUifProcess) {
   ASSERT_EQ(st, nvme::kStatusSuccess);
   ASSERT_TRUE(gm_enc.Read(out_enc, back.data(), back.size()).ok());
   EXPECT_EQ(back, enc_data);  // decrypted back to plaintext
+
+  // Observability invariants across the three concurrent stacks: every
+  // request (including the throttled ones) reached one outcome, and no
+  // trace span was left open anywhere.
+  const obs::MetricsRegistry& m = obs.metrics();
+  EXPECT_EQ(m.CounterValue("router.requests"),
+            m.CounterValue("router.completed") +
+                m.CounterValue("router.failed"));
+  EXPECT_EQ(m.CounterValue("uif.requests"), m.CounterValue("uif.responses"));
+  EXPECT_EQ(obs.trace().open_requests(), 0u);
 }
 
 }  // namespace

@@ -59,6 +59,57 @@ TEST(SimulatorTest, CancelInvalidIsNoop) {
   EXPECT_FALSE(sim.Step());
 }
 
+TEST(SimulatorTest, StaleCancelDoesNotUnderflowPending) {
+  // Regression: cancelling an EventId whose event already fired used to
+  // land the seq in cancelled_ while queue_ no longer held it, so
+  // pending() == queue_.size() - cancelled_.size() wrapped to ~0.
+  Simulator sim;
+  EventId id = sim.ScheduleAt(10, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();  // the event fires; `id` is now stale
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.Cancel(id);  // and again, for good measure
+  EXPECT_EQ(sim.pending(), 0u);
+  // The simulator still schedules and runs normally afterwards.
+  bool ran = false;
+  sim.ScheduleAt(20, [&] { ran = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, DoubleCancelCountsOnce) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Cancel(a);  // second cancel of the same live-then-cancelled event
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, PendingExcludesCancelledUntilDrained) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; i++) {
+    ids.push_back(sim.ScheduleAt(10 * (i + 1), [] {}));
+  }
+  for (int i = 0; i < 8; i += 2) sim.Cancel(ids[i]);
+  EXPECT_EQ(sim.pending(), 4u);
+  sim.RunUntil(45);  // fires events at 20 and 40
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 4u);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator sim;
   std::vector<SimTime> fired;
