@@ -1,0 +1,284 @@
+// Availability under injected failures.
+//
+// Default (timeline) mode: NVMetro replication under a steady 4K write
+// load while the NVMe-oF link to the secondary drops and heals. Reports
+// a per-millisecond timeline — completions, mean latency, degraded
+// writes, the dirty-region backlog and resync progress — showing the
+// guest's view of a replica outage: no stall, a degraded window, then a
+// background resync back to a clean mirror.
+//
+// --sweep mode (CI fault-matrix): runs a seeded random FaultPlan against
+// every solution stack and checks the recovery invariants the test suite
+// pins — every request reaches a guest-visible outcome, the router's
+// per-path books balance (sends == completions + aborts + timeouts) and
+// no trace span stays open. Exits non-zero on any violation.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fault/fault.h"
+
+namespace nvmetro::bench {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using functions::ReplicatorUif;
+
+BenchOptions DumpOptionsFromFlags(const Flags& flags) {
+  BenchOptions opts;
+  opts.metrics = flags.GetBool("metrics");
+  opts.metrics_json = flags.GetBool("metrics-json");
+  opts.trace_requests = static_cast<u32>(flags.GetInt("trace"));
+  return opts;
+}
+
+int RunTimeline(const Flags& flags) {
+  const SimTime duration = flags.GetInt("duration-ms") * kMs;
+  const SimTime interval = flags.GetInt("interval-us") * kUs;
+  const SimTime down_at = flags.GetInt("down-at-ms") * kMs;
+  const SimTime down_for = flags.GetInt("down-ms") * kMs;
+  const u64 bucket = 1 * kMs;
+  const u64 buckets = duration / bucket;
+  const u64 bs = 4096;
+
+  obs::Observability obs;
+  ssd::ControllerConfig drive = Testbed::DefaultDrive();
+  drive.obs = &obs;
+  Testbed tb(drive);
+  FaultInjector injector(&tb.sim, &obs);
+  SolutionParams params;
+  params.obs = &obs;
+  params.fault = &injector;
+  auto bundle = SolutionBundle::Create(
+      &tb, SolutionKind::kNvmetroReplication, params);
+  if (!bundle) {
+    std::fprintf(stderr, "failed to build replication stack\n");
+    return 1;
+  }
+  FaultPlan plan;
+  plan.faults.push_back({.kind = FaultKind::kLinkDown,
+                         .at_ns = down_at,
+                         .duration_ns = down_for});
+  injector.Arm(plan);
+
+  baselines::StorageSolution* sol = bundle->vm_solution(0);
+  ReplicatorUif* repl = bundle->replicator(0);
+
+  struct Bucket {
+    u64 completions = 0;
+    u64 lat_sum = 0;
+    u64 degraded_writes = 0;  // snapshot at bucket end (cumulative)
+    u64 dirty_sectors = 0;    // snapshot at bucket end
+    u64 resynced = 0;         // snapshot at bucket end (cumulative)
+  };
+  std::vector<Bucket> timeline(buckets);
+
+  u64 submitted = 0, completed = 0, errors = 0;
+  for (SimTime t = 0; t < duration; t += interval) {
+    tb.sim.ScheduleAfter(t, [&, t] {
+      u64 off = (submitted * bs) % (8 * MiB);
+      submitted++;
+      sol->Submit(submitted % 4, baselines::StorageSolution::Op::kWrite,
+                  off, bs, nullptr, [&, t](Status st) {
+                    completed++;
+                    if (!st.ok()) errors++;
+                    u64 b = tb.sim.now() / bucket;
+                    if (b < buckets) {
+                      timeline[b].completions++;
+                      timeline[b].lat_sum += tb.sim.now() - t;
+                    }
+                  });
+    });
+  }
+  for (u64 b = 0; b < buckets; b++) {
+    tb.sim.ScheduleAfter((b + 1) * bucket - 1, [&, b] {
+      timeline[b].degraded_writes = repl->degraded_writes();
+      timeline[b].dirty_sectors = repl->dirty_sectors();
+      timeline[b].resynced = repl->resynced_sectors();
+    });
+  }
+  tb.sim.Run();
+
+  PrintHeader("Fault availability",
+              StrFormat("replica outage at %llums for %llums, 4K writes "
+                        "every %lluus",
+                        (unsigned long long)(down_at / kMs),
+                        (unsigned long long)(down_for / kMs),
+                        (unsigned long long)(interval / kUs)));
+  TablePrinter table({"t_ms", "kIOPS", "lat_us", "degraded_writes",
+                      "dirty_sectors", "resynced_lbas"});
+  for (u64 b = 0; b < buckets; b++) {
+    const Bucket& bk = timeline[b];
+    double kiops = bk.completions / (bucket / 1e9) / 1000.0;
+    double lat_us =
+        bk.completions ? bk.lat_sum / 1000.0 / bk.completions : 0.0;
+    table.AddRow({StrFormat("%llu", (unsigned long long)b),
+                  StrFormat("%.1f", kiops), StrFormat("%.1f", lat_us),
+                  StrFormat("%llu", (unsigned long long)bk.degraded_writes),
+                  StrFormat("%llu", (unsigned long long)bk.dirty_sectors),
+                  StrFormat("%llu", (unsigned long long)bk.resynced)});
+  }
+  if (flags.GetBool("csv")) {
+    std::fputs(table.RenderCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  std::printf(
+      "writes: %llu submitted, %llu completed, %llu errors; "
+      "replicated=%llu failed=%llu degraded=%llu resynced_sectors=%llu "
+      "end_state=%s\n",
+      (unsigned long long)submitted, (unsigned long long)completed,
+      (unsigned long long)errors,
+      (unsigned long long)repl->writes_replicated(),
+      (unsigned long long)repl->writes_failed(),
+      (unsigned long long)repl->degraded_writes(),
+      (unsigned long long)repl->resynced_sectors(),
+      repl->degraded() ? "DEGRADED" : "clean");
+
+  BenchOptions dump = DumpOptionsFromFlags(flags);
+  if (WantObservability(dump)) DumpObservability(obs, dump);
+
+  // The run itself is an availability check: every write must complete
+  // and the mirror must be clean again by the end.
+  if (completed != submitted || errors || repl->degraded() ||
+      repl->dirty_sectors() != 0) {
+    std::fprintf(stderr, "FAIL: outage was guest-visible or unresolved\n");
+    return 1;
+  }
+  return 0;
+}
+
+bool RouterKind(SolutionKind kind) {
+  switch (kind) {
+    case SolutionKind::kNvmetro:
+    case SolutionKind::kMdev:
+    case SolutionKind::kNvmetroEncryption:
+    case SolutionKind::kNvmetroSgx:
+    case SolutionKind::kNvmetroReplication:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One random-plan run against one stack; returns true when every
+/// recovery invariant held.
+bool SweepOne(SolutionKind kind, u64 seed, const BenchOptions& dump) {
+  obs::Observability obs;
+  ssd::ControllerConfig drive = Testbed::DefaultDrive();
+  drive.obs = &obs;
+  Testbed tb(drive);
+  FaultInjector injector(&tb.sim, &obs);
+  SolutionParams params;
+  params.obs = &obs;
+  params.fault = &injector;
+  fault::FaultCaps caps;
+  if (RouterKind(kind)) {
+    params.router_costs.request_timeout_ns = 5 * kMs;
+    params.router_costs.max_retries = 3;
+    params.router_costs.uif_liveness_timeout_ns = 300 * kUs;
+    params.router_costs.uif_failover_to_kernel =
+        kind == SolutionKind::kNvmetroReplication;
+  } else {
+    caps.stalls = false;  // no host timeout machinery: a stall hangs
+    caps.wedge = false;   // no UIF process to wedge
+  }
+  auto bundle = SolutionBundle::Create(&tb, kind, params);
+  if (!bundle) {
+    std::fprintf(stderr, "%s: failed to build\n", SolutionKindName(kind));
+    return false;
+  }
+  FaultPlan plan = FaultPlan::Random(seed, caps);
+  injector.Arm(plan);
+
+  baselines::StorageSolution* sol = bundle->vm_solution(0);
+  const u64 ops = 64;
+  u64 done = 0, failed = 0;
+  for (u64 i = 0; i < ops; i++) {
+    tb.sim.ScheduleAfter(i * 150 * kUs, [&, i] {
+      using Op = baselines::StorageSolution::Op;
+      Op op = (i % 7 == 6) ? Op::kFlush : (i % 2) ? Op::kRead : Op::kWrite;
+      u64 len = (op == Op::kFlush) ? 0 : 4096;
+      sol->Submit(i % 4, op, (i % 32) * 4096, len, nullptr, [&](Status st) {
+        done++;
+        if (!st.ok()) failed++;
+      });
+    });
+  }
+  tb.sim.Run();
+
+  bool ok = done == ops;
+  const obs::MetricsRegistry& m = obs.metrics();
+  if (RouterKind(kind)) {
+    ok = ok && m.CounterValue("router.requests") ==
+                   m.CounterValue("router.completed") +
+                       m.CounterValue("router.failed");
+    for (const char* path : {"fast", "notify", "kernel"}) {
+      std::string base = std::string("router.") + path;
+      ok = ok && m.CounterValue(base + ".sends") ==
+                     m.CounterValue(base + ".completions") +
+                         m.CounterValue(base + ".aborts") +
+                         m.CounterValue(base + ".timeouts");
+    }
+  }
+  ok = ok && obs.trace().open_requests() == 0;
+  std::printf("%-20s seed=%-3llu %-4s done=%llu/%llu failed=%llu  %s\n",
+              SolutionKindName(kind), (unsigned long long)seed,
+              ok ? "ok" : "FAIL", (unsigned long long)done,
+              (unsigned long long)ops, (unsigned long long)failed,
+              plan.ToString().c_str());
+  if (WantObservability(dump)) DumpObservability(obs, dump);
+  return ok;
+}
+
+int RunSweep(const Flags& flags) {
+  const SolutionKind kKinds[] = {
+      SolutionKind::kNvmetro,       SolutionKind::kMdev,
+      SolutionKind::kPassthrough,   SolutionKind::kVhostScsi,
+      SolutionKind::kQemu,          SolutionKind::kSpdk,
+      SolutionKind::kNvmetroEncryption, SolutionKind::kNvmetroSgx,
+      SolutionKind::kDmCrypt,       SolutionKind::kNvmetroReplication,
+      SolutionKind::kDmMirror};
+  const u64 seed = static_cast<u64>(flags.GetInt("seed"));
+  BenchOptions dump = DumpOptionsFromFlags(flags);
+  int failures = 0;
+  for (SolutionKind kind : kKinds) {
+    if (!SweepOne(kind, seed, dump)) failures++;
+  }
+  if (failures) {
+    std::fprintf(stderr, "fault sweep: %d stack(s) violated invariants\n",
+                 failures);
+    return 1;
+  }
+  std::printf("fault sweep: all stacks clean (seed=%llu)\n",
+              (unsigned long long)seed);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  flags.DefineBool("sweep", false,
+                   "run a random fault plan against every stack and check "
+                   "recovery invariants (CI fault-matrix mode)");
+  flags.DefineInt("seed", 1, "fault plan seed (--sweep)");
+  flags.DefineInt("duration-ms", 12, "timeline length");
+  flags.DefineInt("interval-us", 20, "one 4K write per interval");
+  flags.DefineInt("down-at-ms", 3, "link outage start");
+  flags.DefineInt("down-ms", 3, "link outage duration");
+  flags.DefineBool("csv", false, "CSV output");
+  flags.DefineBool("metrics", false, "dump the metrics registry");
+  flags.DefineBool("metrics-json", false, "dump metrics as JSON");
+  flags.DefineInt("trace", 0, "dump the last N request traces");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return flags.GetBool("sweep") ? RunSweep(flags) : RunTimeline(flags);
+}
+
+}  // namespace
+}  // namespace nvmetro::bench
+
+int main(int argc, char** argv) { return nvmetro::bench::Main(argc, argv); }

@@ -1,6 +1,7 @@
 #include "baselines/factory.h"
 
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "functions/classifiers.h"
 
 namespace nvmetro::baselines {
@@ -62,6 +63,8 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
   const u64 ns_lbas = tb->phys->ns_block_count(1);
   const u64 part_lbas = ns_lbas / std::max<u32>(1, params.num_vms);
 
+  if (params.fault) tb->phys->SetFaultInjector(params.fault);
+
   if (IsNvmetroFamily(kind)) {
     core::NvmetroHost::Config host_cfg;
     host_cfg.num_workers = params.router_workers;
@@ -86,7 +89,10 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
       auto* uh = b.uif_host_.get();
       b.host_cpu_fns_.push_back([uh] { return uh->TotalCpuBusyNs(); });
     }
-    if (encryption) {
+    if (encryption || replication) {
+      // Encryption UIFs submit ciphertext here; replication stacks use it
+      // as the router's kernel path (UIF failover) and as the resync
+      // source for degraded replicas.
       b.kernel_dev_ = std::make_unique<kblock::NvmeBlockDevice>(
           &tb->sim, tb->phys.get(), &tb->dma, 1);
     }
@@ -111,6 +117,8 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
         if (!prog.ok()) return nullptr;
         if (!vc->InstallClassifier(std::move(*prog)).ok()) return nullptr;
       }
+
+      if (b.kernel_dev_) vc->AttachKernelDevice(b.kernel_dev_.get());
 
       if (encryption) {
         auto channel = std::make_unique<core::NotifyChannel>();
@@ -154,7 +162,18 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
         vc->AttachUif(channel.get());
         auto repl = std::make_unique<functions::ReplicatorUif>(
             &tb->sim, remote.get());
+        repl->AttachPrimary(b.kernel_dev_.get());
         b.uif_host_->AddFunction(channel.get(), vm_ptr, repl.get());
+        if (params.fault) {
+          // Order matters: the transport must flip before the replicator
+          // hears about a heal, so resync submissions find the link up.
+          params.fault->OnLinkChange([r = remote.get()](bool down) {
+            r->SetLinkDown(down);
+          });
+          params.fault->OnLinkChange([u = repl.get()](bool down) {
+            u->OnLinkChange(down);
+          });
+        }
         b.secondary_dmas_.push_back(std::move(sdma));
         b.secondary_ctrls_.push_back(std::move(sctrl));
         b.secondary_devs_.push_back(std::move(sdev));
@@ -168,6 +187,12 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
           params.guest_queues);
       if (!sol->Init().ok()) return nullptr;
       b.owned_solutions_.push_back(std::move(sol));
+    }
+    if (params.fault) {
+      for (auto& ch : b.channels_) {
+        params.fault->OnUifWedgeChange(
+            [c = ch.get()](bool wedged) { c->SetWedged(wedged); });
+      }
     }
     host->Start();
     if (b.uif_host_) b.uif_host_->Start();

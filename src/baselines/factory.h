@@ -15,6 +15,10 @@
 #include "kblock/dm.h"
 #include "uif/framework.h"
 
+namespace nvmetro::fault {
+class FaultInjector;
+}  // namespace nvmetro::fault
+
 namespace nvmetro::baselines {
 
 enum class SolutionKind {
@@ -50,6 +54,11 @@ struct SolutionParams {
   /// primary drive belongs to the Testbed — set ControllerConfig::obs
   /// there to cover it.)
   obs::Observability* obs = nullptr;
+  /// Optional fault injector. The factory wires it into the testbed's
+  /// physical drive (stalls, delayed errors, SQ bursts), the bundle's
+  /// notify channels (UIF wedge) and the replication secondaries' NVMe-oF
+  /// links + replicator UIFs (outage and heal-triggered resync).
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Owns every object of one solution's stack (per testbed).
@@ -75,6 +84,19 @@ class SolutionBundle {
   ssd::SimulatedController* secondary_drive(u32 i) {
     return i < secondary_ctrls_.size() ? secondary_ctrls_[i].get() : nullptr;
   }
+  core::NotifyChannel* notify_channel(u32 i) {
+    return i < channels_.size() ? channels_[i].get() : nullptr;
+  }
+  kblock::RemoteBlockDevice* remote_device(u32 i) {
+    return i < remote_devs_.size() ? remote_devs_[i].get() : nullptr;
+  }
+  functions::ReplicatorUif* replicator(u32 i) {
+    if (kind_ != SolutionKind::kNvmetroReplication || i >= uifs_.size()) {
+      return nullptr;
+    }
+    return static_cast<functions::ReplicatorUif*>(uifs_[i].get());
+  }
+  kblock::NvmeBlockDevice* kernel_device() { return kernel_dev_.get(); }
   const QemuBackend* qemu_backend() const {
     return qemu_.empty() ? nullptr : qemu_[0].get();
   }

@@ -14,7 +14,16 @@ bool NotifyChannel::PushRequest(const NotifyEntry& e) {
   return true;
 }
 
+void NotifyChannel::SetWedged(bool wedged) {
+  if (wedged_ == wedged) return;
+  wedged_ = wedged;
+  if (!wedged_ && nsq_head_ != nsq_tail_ && request_notify_) {
+    request_notify_();
+  }
+}
+
 bool NotifyChannel::PopRequest(NotifyEntry* out) {
+  if (wedged_) return false;
   if (nsq_head_ == nsq_tail_) return false;
   *out = nsq_[nsq_head_];
   nsq_head_ = (nsq_head_ + 1) % entries_;
@@ -26,6 +35,11 @@ u32 NotifyChannel::PendingRequests() const {
 }
 
 bool NotifyChannel::PushCompletion(const NotifyCompletion& c) {
+  if (wedged_) {
+    // The UIF process is gone: its response never reaches the ring.
+    completions_dropped_++;
+    return true;
+  }
   u32 next = (ncq_tail_ + 1) % entries_;
   if (next == ncq_head_) return false;
   ncq_[ncq_tail_] = c;

@@ -60,6 +60,16 @@ class NotifyChannel {
 
   u32 entries() const { return entries_; }
 
+  // --- Fault hooks -----------------------------------------------------------
+
+  /// Models a crashed/frozen UIF process (SIGSTOP / SIGKILL): while
+  /// wedged the UIF side pops no NSQ entries and any NCQ completion it
+  /// pushes is lost (the process died with responses unsent). Unwedging
+  /// re-fires the request notification if entries queued up meanwhile.
+  void SetWedged(bool wedged);
+  bool wedged() const { return wedged_; }
+  u64 completions_dropped() const { return completions_dropped_; }
+
   // --- Channel metadata (set by the router at attach time) -------------------
 
   /// Partition geometry of the VM this channel serves: UIFs use it to map
@@ -85,6 +95,8 @@ class NotifyChannel {
   u32 ncq_head_ = 0, ncq_tail_ = 0;
   std::function<void()> request_notify_;
   std::function<void()> completion_notify_;
+  bool wedged_ = false;
+  u64 completions_dropped_ = 0;
 };
 
 }  // namespace nvmetro::core

@@ -13,6 +13,16 @@ using nvme::Sqe;
 namespace {
 constexpr u32 kMaxRoutingEntries = 4096;
 constexpr u32 kLbaSize = 512;
+constexpr u32 kTagSlotMask = 0xFFFF;
+
+/// Leg failures worth a backoff retry: path errors (NVMe-oF style
+/// transport hiccups) and "namespace not ready" (which the kernel path
+/// also synthesizes for ResourceExhausted bios — SQ-full, link-down).
+bool IsTransientStatus(NvmeStatus s) {
+  if (nvme::StatusSct(s) == nvme::kSctPathRelated) return true;
+  return nvme::StatusSct(s) == nvme::kSctGeneric &&
+         nvme::StatusSc(s) == nvme::kScNamespaceNotReady;
+}
 }  // namespace
 
 // --- VirtualController --------------------------------------------------------
@@ -39,6 +49,9 @@ void VirtualController::InitMetrics() {
   m_vcq_retries_ = m.GetCounter("router.vcq.retries");
   m_irq_injects_ = m.GetCounter("router.irq.injects");
   m_classifier_runs_ = m.GetCounter("router.classifier.runs");
+  m_timeouts_ = m.GetCounter("router.timeouts");
+  m_retries_ = m.GetCounter("router.retries");
+  m_uif_failovers_ = m.GetCounter("uif.failovers");
   static constexpr const char* kPathName[3] = {"fast", "notify", "kernel"};
   for (int p = 0; p < 3; p++) {
     std::string base = std::string("router.") + kPathName[p];
@@ -46,6 +59,7 @@ void VirtualController::InitMetrics() {
     m_completions_[p] = m.GetCounter(base + ".completions");
     m_aborts_[p] = m.GetCounter(base + ".aborts");
     m_errors_[p] = m.GetCounter(base + ".errors");
+    m_path_timeouts_[p] = m.GetCounter(base + ".timeouts");
     m_path_latency_[p] = m.GetHistogram(base + ".latency_ns");
   }
   m_latency_ = m.GetHistogram("router.latency_ns");
@@ -81,13 +95,29 @@ Status VirtualController::InstallClassifier(ebpf::Program prog) {
 
 void VirtualController::AttachUif(NotifyChannel* channel) {
   uif_ = channel;
+  uif_dead_ = false;
   uif_->SetPartitionInfo(cfg_.part_first_lba, cfg_.part_nlb, cfg_.vm_id);
   uif_->SetCompletionNotify([this] {
     if (worker_) worker_->poller().Notify(src_ncq_);
   });
 }
 
-void VirtualController::DetachUif() { uif_ = nullptr; }
+void VirtualController::DetachUif() {
+  if (uif_) {
+    // Administrative detach: fail in-flight notify legs now — leaving
+    // them stranded would leak the routing slot and the guest would
+    // never see a CQE.
+    HandleUifDead(/*dead=*/false, nvme::MakeStatus(nvme::kSctGeneric,
+                                                   nvme::kScAbortRequested));
+  }
+  uif_ = nullptr;
+  uif_dead_ = false;
+  notify_inflight_ = 0;
+  if (liveness_ev_.valid()) {
+    sim_->Cancel(liveness_ev_);
+    liveness_ev_ = {};
+  }
+}
 
 void VirtualController::AttachKernelDevice(kblock::BlockDevice* dev) {
   kernel_dev_ = dev;
@@ -150,9 +180,11 @@ VirtualController::RequestEntry* VirtualController::AllocEntry() {
     u32 idx = free_slots_.back();
     free_slots_.pop_back();
     RequestEntry* e = &table_[idx];
+    u16 gen = static_cast<u16>(e->gen + 1);  // recycle: bump generation
     *e = RequestEntry{};
     e->in_use = true;
-    e->tag = idx;
+    e->gen = gen;
+    e->tag = (static_cast<u32>(gen) << 16) | idx;
     return e;
   }
   if (table_.size() >= kMaxRoutingEntries) return nullptr;
@@ -164,8 +196,11 @@ VirtualController::RequestEntry* VirtualController::AllocEntry() {
 }
 
 VirtualController::RequestEntry* VirtualController::EntryByTag(u32 tag) {
-  if (tag >= table_.size() || !table_[tag].in_use) return nullptr;
-  return &table_[tag];
+  u32 slot = tag & kTagSlotMask;
+  if (slot >= table_.size()) return nullptr;
+  RequestEntry* e = &table_[slot];
+  if (!e->in_use || e->tag != tag) return nullptr;  // freed or recycled
+  return e;
 }
 
 void VirtualController::PollVsq(usize /*unused*/) {
@@ -216,6 +251,11 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe) {
     e->start_ns = sim_->now();
     if (m_started_) m_started_->Inc();
     Stamp(e, obs::SpanKind::kVsqPop, 0, sqe.opcode);
+  }
+  if (costs_->request_timeout_ns) {
+    u32 tag = e->tag;
+    e->deadline_ev = sim_->ScheduleAfter(costs_->request_timeout_ns,
+                                         [this, tag] { OnDeadline(tag); });
   }
   if (fixed_translation_) {
     // MDev-NVMe mode: fixed translation, fast path only.
@@ -327,6 +367,7 @@ void VirtualController::DispatchFast(RequestEntry* e) {
   out.cid = cid;
   gq.host_cid_map[cid] = e->tag;
   e->outstanding++;
+  e->pending[kPathH]++;
   fast_sends_++;
   e->paths_used |= 1u << kPathH;
   if (m_sends_[kPathH]) m_sends_[kPathH]->Inc();
@@ -334,14 +375,26 @@ void VirtualController::DispatchFast(RequestEntry* e) {
   if (!phys_->Submit(gq.host_qid, out)) {
     gq.host_cid_map.erase(cid);
     e->outstanding--;
+    e->pending[kPathH]--;
     if (m_aborts_[kPathH]) m_aborts_[kPathH]->Inc();
+    // A full host SQ is transient backpressure: back off and retry when
+    // a budget is configured; otherwise the push failure aborts the
+    // request as before.
+    if (ScheduleRetryLeg(e, kPathH)) return;
     FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                     nvme::kScAbortRequested));
   }
 }
 
 void VirtualController::DispatchNotify(RequestEntry* e) {
-  if (!uif_) {
+  if (!uif_ || uif_dead_) {
+    // Dead or missing UIF: the failover policy may re-route notify
+    // verdicts to the kernel path; otherwise the request fails.
+    if (uif_dead_ && costs_->uif_failover_to_kernel && kernel_dev_ &&
+        KernelEligible(*e)) {
+      DispatchKernel(e);
+      return;
+    }
     FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                     nvme::kScInternalError));
     return;
@@ -357,15 +410,22 @@ void VirtualController::DispatchNotify(RequestEntry* e) {
   entry.vm_id = cfg_.vm_id;
   entry.req_id = e->req_id;
   e->outstanding++;
+  e->pending[kPathN]++;
   notify_sends_++;
   e->paths_used |= 1u << kPathN;
   if (m_sends_[kPathN]) m_sends_[kPathN]->Inc();
   Stamp(e, obs::SpanKind::kDispatchNotify, 0, e->mediated_slba);
   if (!uif_->PushRequest(entry)) {
     e->outstanding--;
+    e->pending[kPathN]--;
     if (m_aborts_[kPathN]) m_aborts_[kPathN]->Inc();
     FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                     nvme::kScAbortRequested));
+    return;
+  }
+  if (notify_inflight_++ == 0) last_ncq_progress_ = sim_->now();
+  if (costs_->uif_liveness_timeout_ns && !liveness_ev_.valid()) {
+    ArmUifLiveness();
   }
 }
 
@@ -419,13 +479,19 @@ void VirtualController::DispatchKernel(RequestEntry* e) {
   }
   u32 tag = e->tag;
   bio.on_complete = [this, tag](Status st) {
-    NvmeStatus ns = st.ok() ? nvme::kStatusSuccess
-                            : nvme::MakeStatus(nvme::kSctGeneric,
-                                               nvme::kScInternalError);
+    // ResourceExhausted is what the link/backpressure layer reports for
+    // recoverable conditions — surface it as "namespace not ready" so the
+    // retry policy can tell it apart from hard media errors.
+    NvmeStatus ns =
+        st.ok() ? nvme::kStatusSuccess
+        : st.code() == StatusCode::kResourceExhausted
+            ? nvme::MakeStatus(nvme::kSctGeneric, nvme::kScNamespaceNotReady)
+            : nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInternalError);
     kcq_mailbox_.emplace_back(tag, ns);
     if (worker_) worker_->poller().Notify(src_kcq_);
   };
   e->outstanding++;
+  e->pending[kPathK]++;
   kernel_sends_++;
   e->paths_used |= 1u << kPathK;
   if (m_sends_[kPathK]) m_sends_[kPathK]->Inc();
@@ -469,6 +535,7 @@ void VirtualController::PollNcq() {
   if (!uif_) return;
   NotifyCompletion c;
   if (!uif_->PopCompletion(&c)) return;
+  last_ncq_progress_ = sim_->now();
   worker_->cpu()->Charge(costs_->ncq_handle_ns);
   OnTargetDone(c.tag, kPathN, c.status);
   if (uif_->PendingCompletions() > 0 && worker_) {
@@ -492,6 +559,12 @@ void VirtualController::OnTargetDone(u32 tag, Path path, NvmeStatus status,
                                      u32 result) {
   RequestEntry* e = EntryByTag(tag);
   if (!e) return;
+  // Stale-leg guard: the leg was already settled by a timeout or UIF
+  // failover — its send was accounted there, so drop the late completion
+  // without touching any counter.
+  if (e->pending[path] == 0) return;
+  e->pending[path]--;
+  if (path == kPathN && notify_inflight_ > 0) notify_inflight_--;
   if (m_completions_[path]) m_completions_[path]->Inc();
   if (!nvme::StatusOk(status) && m_errors_[path]) m_errors_[path]->Inc();
   Stamp(e,
@@ -503,6 +576,13 @@ void VirtualController::OnTargetDone(u32 tag, Path path, NvmeStatus status,
   e->outstanding--;
   if (e->completed) {
     MaybeFree(e);
+    return;
+  }
+  // Transient leg errors get a backoff retry (new send) instead of
+  // propagating to the guest — unless the classifier hooked this path
+  // and gets to decide itself.
+  if (!nvme::StatusOk(status) && IsTransientStatus(status) &&
+      !(e->hook_flags & (1u << path)) && ScheduleRetryLeg(e, path)) {
     return;
   }
   if (!nvme::StatusOk(status) && nvme::StatusOk(e->agg_status)) {
@@ -533,6 +613,10 @@ void VirtualController::OnTargetDone(u32 tag, Path path, NvmeStatus status,
 }
 
 void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
+  if (e->deadline_ev.valid()) {
+    sim_->Cancel(e->deadline_ev);
+    e->deadline_ev = {};
+  }
   if (e->completed) return;
   e->completed = true;
   completed_++;
@@ -595,7 +679,7 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
 void VirtualController::MaybeFree(RequestEntry* e) {
   if (e->completed && e->outstanding == 0) {
     e->in_use = false;
-    free_slots_.push_back(e->tag);
+    free_slots_.push_back(e->tag & kTagSlotMask);
   }
 }
 
@@ -606,6 +690,157 @@ void VirtualController::FailRequest(RequestEntry* e, NvmeStatus status) {
     if (m_failed_) m_failed_->Inc();
   }
   CompleteToGuest(e, status);
+}
+
+void VirtualController::OnDeadline(u32 tag) {
+  RequestEntry* e = EntryByTag(tag);
+  if (!e) return;
+  e->deadline_ev = {};
+  if (e->completed) return;  // completion raced the deadline event
+  worker_->cpu()->Charge(costs_->timeout_abort_ns);
+  timeouts_++;
+  if (m_timeouts_) m_timeouts_->Inc();
+  Stamp(e, obs::SpanKind::kTimeout, 0, e->outstanding);
+  for (int p = 0; p < 3; p++) {
+    if (e->pending[p] && m_path_timeouts_[p]) {
+      m_path_timeouts_[p]->Inc(e->pending[p]);
+    }
+  }
+  if (notify_inflight_ >= e->pending[kPathN]) {
+    notify_inflight_ -= e->pending[kPathN];
+  } else {
+    notify_inflight_ = 0;
+  }
+  // Orphan the host cids still mapped to this request so a late HCQ
+  // completion cannot resolve to a recycled slot.
+  GuestQueue& gq = queues_[e->gq_index];
+  for (auto it = gq.host_cid_map.begin(); it != gq.host_cid_map.end();) {
+    if (it->second == tag) {
+      it = gq.host_cid_map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  e->pending[0] = e->pending[1] = e->pending[2] = 0;
+  e->outstanding = 0;
+  e->retry_pending = 0;
+  e->hook_flags = 0;
+  e->will_flags = 0;
+  e->wait_for_hook = false;
+  FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                  nvme::kScAbortRequested));
+}
+
+bool VirtualController::ScheduleRetryLeg(RequestEntry* e, Path path) {
+  if (path == kPathN) return false;  // notify legs fail over, never retry
+  if (!costs_->max_retries || e->retries >= costs_->max_retries) return false;
+  SimTime backoff = costs_->retry_backoff_ns << e->retries;
+  e->retries++;
+  e->retry_pending++;
+  e->outstanding++;
+  retries_++;
+  if (m_retries_) m_retries_->Inc();
+  Stamp(e, obs::SpanKind::kRetry, 0, static_cast<u64>(path));
+  u32 tag = e->tag;
+  sim_->ScheduleAfter(backoff, [this, tag, path] {
+    RequestEntry* entry = EntryByTag(tag);
+    if (!entry) return;
+    if (entry->retry_pending == 0) return;  // timed out during backoff
+    entry->retry_pending--;
+    entry->outstanding--;
+    if (entry->completed) {
+      MaybeFree(entry);
+      return;
+    }
+    if (path == kPathH) {
+      DispatchFast(entry);
+    } else {
+      DispatchKernel(entry);
+    }
+  });
+  return true;
+}
+
+void VirtualController::ArmUifLiveness() {
+  if (!costs_->uif_liveness_timeout_ns || uif_dead_ || liveness_ev_.valid()) {
+    return;
+  }
+  liveness_ev_ = sim_->ScheduleAfter(costs_->uif_liveness_timeout_ns,
+                                     [this] { CheckUifLiveness(); });
+}
+
+void VirtualController::CheckUifLiveness() {
+  liveness_ev_ = {};
+  if (!uif_ || uif_dead_ || !costs_->uif_liveness_timeout_ns) return;
+  // Disarm while idle; the next notify dispatch re-arms the watchdog.
+  // (Self-rescheduling with no in-flight work would keep Run() alive
+  // forever.)
+  if (notify_inflight_ == 0) return;
+  SimTime idle = sim_->now() - last_ncq_progress_;
+  if (idle >= costs_->uif_liveness_timeout_ns) {
+    DeclareUifDead();
+    return;
+  }
+  liveness_ev_ = sim_->ScheduleAfter(costs_->uif_liveness_timeout_ns - idle,
+                                     [this] { CheckUifLiveness(); });
+}
+
+void VirtualController::DeclareUifDead() {
+  uif_dead_ = true;
+  uif_failovers_++;
+  if (m_uif_failovers_) m_uif_failovers_->Inc();
+  HandleUifDead(/*dead=*/true, nvme::MakeStatus(nvme::kSctGeneric,
+                                                nvme::kScInternalError));
+}
+
+void VirtualController::HandleUifDead(bool dead, NvmeStatus fail_status) {
+  for (auto& slot : table_) {
+    RequestEntry* e = &slot;
+    if (!e->in_use || e->pending[kPathN] == 0) continue;
+    u8 n = e->pending[kPathN];
+    e->pending[kPathN] = 0;
+    e->outstanding -= n;
+    if (notify_inflight_ >= n) {
+      notify_inflight_ -= n;
+    } else {
+      notify_inflight_ = 0;
+    }
+    // Each abandoned leg settles its send: timed out for a dead UIF,
+    // administratively aborted for a detach.
+    obs::Counter* settle = dead ? m_path_timeouts_[kPathN] : m_aborts_[kPathN];
+    if (settle) settle->Inc(n);
+    u32 bit = 1u << kPathN;
+    e->hook_flags &= ~bit;
+    e->will_flags &= ~bit;
+    if (e->completed) {
+      MaybeFree(e);
+      continue;
+    }
+    Stamp(e, obs::SpanKind::kUifFailover, 0, n);
+    if (dead && costs_->uif_failover_to_kernel && kernel_dev_ &&
+        KernelEligible(*e)) {
+      DispatchKernel(e);
+      continue;
+    }
+    if (e->outstanding > 0) {
+      // Other legs will finish the request; just make sure it no longer
+      // waits for a hook that can never fire.
+      if (e->wait_for_hook && e->hook_flags == 0) e->wait_for_hook = false;
+      continue;
+    }
+    FailRequest(e, fail_status);
+  }
+}
+
+bool VirtualController::KernelEligible(const RequestEntry& e) {
+  switch (e.sqe.opcode) {
+    case nvme::kCmdRead:
+    case nvme::kCmdWrite:
+    case nvme::kCmdFlush:
+      return true;
+    default:
+      return false;
+  }
 }
 
 // --- RouterWorker --------------------------------------------------------------

@@ -71,6 +71,26 @@ struct RouterCosts {
   bool adaptive_worker = true;
   SimTime worker_idle_timeout_ns = 15 * kUs;
   SimTime worker_wakeup_latency_ns = 3 * kUs;
+  /// --- Failure recovery (all off by default; DESIGN.md §9) -------------
+  /// Per-request deadline after which outstanding legs are aborted and
+  /// the guest sees Abort Requested (NVMe command timeout). 0 disables.
+  SimTime request_timeout_ns = 0;
+  /// CPU charged per timed-out request (abort bookkeeping).
+  SimTime timeout_abort_ns = 500;
+  /// Retries per request for transient leg failures (fast/kernel paths:
+  /// path-related errors, Namespace Not Ready, SQ-full pushes). 0
+  /// disables.
+  u32 max_retries = 0;
+  /// First retry backoff; doubles with each consumed retry.
+  SimTime retry_backoff_ns = 10 * kUs;
+  /// Declare the UIF dead when notify legs are in flight and the NCQ
+  /// makes no progress for this long. 0 disables liveness tracking.
+  SimTime uif_liveness_timeout_ns = 0;
+  /// On UIF death, re-issue lost notify legs (and route future notify
+  /// verdicts) on the kernel path when a device is attached; otherwise
+  /// they fail. Off by default: for transforming UIFs (encryption) the
+  /// kernel path would bypass the transformation.
+  bool uif_failover_to_kernel = false;
 };
 
 class RouterWorker;
@@ -127,6 +147,10 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u64 fast_path_sends() const { return fast_sends_; }
   u64 notify_path_sends() const { return notify_sends_; }
   u64 kernel_path_sends() const { return kernel_sends_; }
+  u64 requests_timed_out() const { return timeouts_; }
+  u64 leg_retries() const { return retries_; }
+  u64 uif_failovers() const { return uif_failovers_; }
+  bool uif_dead() const { return uif_dead_; }
   ClassifierRuntime* classifier() { return classifier_.get(); }
   bool parked() const;
 
@@ -148,19 +172,31 @@ class VirtualController : public virt::VirtualNvmeBackend {
 
   struct RequestEntry {
     bool in_use = false;
+    /// Routing tag: (generation << 16) | slot. The generation guards
+    /// against stale completions (a timed-out leg finishing after its
+    /// slot was recycled must not touch the new occupant).
     u32 tag = 0;
+    u16 gen = 0;
     nvme::Sqe sqe;          // original guest command
     u64 mediated_slba = 0;  // after classifier writes
     u32 mediated_nlb = 0;
     u16 gq_index = 0;       // guest queue it arrived on
     u64 state = 0;          // classifier scratch
     int outstanding = 0;
+    u8 pending[3] = {};     // in-flight legs per Path (stale-leg guard)
     u32 hook_flags = 0;     // pending per-path hooks (bit = Path)
     u32 will_flags = 0;     // per-path auto-complete
     bool wait_for_hook = false;
     bool completed = false;
     nvme::NvmeStatus agg_status = nvme::kStatusSuccess;
     u32 result = 0;  // CQE DW0 from the last fast-path completion
+    // Failure recovery: deadline timer + transient-retry budget.
+    // retry_pending counts legs sitting in retry backoff — they hold an
+    // `outstanding` reference but no per-path send, so timeout accounting
+    // must not double-count them.
+    sim::EventId deadline_ev;
+    u8 retries = 0;
+    u8 retry_pending = 0;
     // Observability: trace-span id, arrival time, Path bits dispatched.
     // failed_marked keeps "router.failed" and "router.completed" disjoint
     // (FailRequest delivers its outcome through CompleteToGuest).
@@ -187,6 +223,23 @@ class VirtualController : public virt::VirtualNvmeBackend {
   void CompleteToGuest(RequestEntry* e, nvme::NvmeStatus status);
   void MaybeFree(RequestEntry* e);
   void FailRequest(RequestEntry* e, nvme::NvmeStatus status);
+
+  // Failure recovery (DESIGN.md §9).
+  /// Request deadline fired: abort outstanding legs, fail to the guest.
+  void OnDeadline(u32 tag);
+  /// Schedules a backoff re-dispatch of a failed fast/kernel leg.
+  /// Returns false when the retry budget is spent or retries are off.
+  bool ScheduleRetryLeg(RequestEntry* e, Path path);
+  /// Liveness watchdog: no NCQ progress with notify legs in flight.
+  void ArmUifLiveness();
+  void CheckUifLiveness();
+  void DeclareUifDead();
+  /// Drops every in-flight notify leg (UIF death or detach): counts the
+  /// legs as timeouts (`dead=true`) or aborts (detach), then re-issues
+  /// them on the kernel path or fails the requests.
+  void HandleUifDead(bool dead, nvme::NvmeStatus fail_status);
+  /// True when the entry's opcode has kernel-path (bio) semantics.
+  static bool KernelEligible(const RequestEntry& e);
 
   RequestEntry* AllocEntry();
   RequestEntry* EntryByTag(u32 tag);
@@ -227,6 +280,15 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u64 fast_sends_ = 0;
   u64 notify_sends_ = 0;
   u64 kernel_sends_ = 0;
+  u64 timeouts_ = 0;
+  u64 retries_ = 0;
+  u64 uif_failovers_ = 0;
+
+  // UIF liveness tracking (active when uif_liveness_timeout_ns > 0).
+  bool uif_dead_ = false;
+  u32 notify_inflight_ = 0;
+  SimTime last_ncq_progress_ = 0;
+  sim::EventId liveness_ev_;
 
   // Observability (all pointers null when obs_ is null).
   obs::Observability* obs_ = nullptr;
@@ -237,10 +299,14 @@ class VirtualController : public virt::VirtualNvmeBackend {
   obs::Counter* m_vcq_retries_ = nullptr;
   obs::Counter* m_irq_injects_ = nullptr;
   obs::Counter* m_classifier_runs_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;      // "router.timeouts" (requests)
+  obs::Counter* m_retries_ = nullptr;       // "router.retries" (legs)
+  obs::Counter* m_uif_failovers_ = nullptr; // "uif.failovers" (death events)
   obs::Counter* m_sends_[3] = {};        // indexed by Path
   obs::Counter* m_completions_[3] = {};  // per-path target completions
   obs::Counter* m_aborts_[3] = {};       // dispatched but push/submit failed
   obs::Counter* m_errors_[3] = {};       // target completed with error status
+  obs::Counter* m_path_timeouts_[3] = {};  // legs abandoned by deadline/death
   LatencyHistogram* m_latency_ = nullptr;       // all guest completions
   LatencyHistogram* m_path_latency_[3] = {};    // single-path requests only
 };

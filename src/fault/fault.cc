@@ -1,0 +1,195 @@
+#include "fault/fault.h"
+
+#include "common/strutil.h"
+#include "obs/obs.h"
+
+namespace nvmetro::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCommandStall: return "command-stall";
+    case FaultKind::kDelayedError: return "delayed-error";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kUifWedge: return "uif-wedge";
+    case FaultKind::kSqFullBurst: return "sq-full-burst";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Random(u64 seed, const FaultCaps& caps) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+
+  std::vector<FaultKind> kinds;
+  if (caps.delayed_errors) kinds.push_back(FaultKind::kDelayedError);
+  if (caps.stalls) kinds.push_back(FaultKind::kCommandStall);
+  if (caps.link) kinds.push_back(FaultKind::kLinkDown);
+  if (caps.wedge) kinds.push_back(FaultKind::kUifWedge);
+  if (caps.sq_bursts) kinds.push_back(FaultKind::kSqFullBurst);
+  if (kinds.empty()) return plan;
+
+  u64 n = rng.NextRange(2, 6);
+  for (u64 i = 0; i < n; i++) {
+    FaultSpec spec;
+    spec.kind = kinds[rng.NextBounded(kinds.size())];
+    switch (spec.kind) {
+      case FaultKind::kDelayedError:
+        spec.count = static_cast<u32>(rng.NextRange(1, 8));
+        spec.probability = 0.25 + rng.NextDouble() * 0.75;
+        spec.delay_ns = rng.NextRange(10, 200) * kUs;
+        // Alternate transient and hard statuses so both the retry and
+        // the propagate paths get exercised.
+        spec.status = rng.NextBool(0.5)
+                          ? nvme::MakeStatus(nvme::kSctGeneric,
+                                             nvme::kScNamespaceNotReady)
+                          : nvme::MakeStatus(nvme::kSctMediaError,
+                                             nvme::kScUnrecoveredRead);
+        break;
+      case FaultKind::kCommandStall:
+        spec.count = static_cast<u32>(rng.NextRange(1, 4));
+        spec.probability = 0.25 + rng.NextDouble() * 0.5;
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kUifWedge:
+      case FaultKind::kSqFullBurst:
+        spec.at_ns = rng.NextRange(50, 4'000) * kUs;
+        spec.duration_ns = rng.NextRange(100, 4'000) * kUs;
+        break;
+    }
+    plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = StrFormat("plan(seed=%llu):", (unsigned long long)seed);
+  for (const FaultSpec& f : faults) {
+    switch (f.kind) {
+      case FaultKind::kCommandStall:
+      case FaultKind::kDelayedError:
+        out += StrFormat(" %s{n=%u,p=%.2f}", FaultKindName(f.kind), f.count,
+                         f.probability);
+        break;
+      default:
+        out += StrFormat(" %s{at=%lluus,dur=%lluus}", FaultKindName(f.kind),
+                         (unsigned long long)(f.at_ns / kUs),
+                         (unsigned long long)(f.duration_ns / kUs));
+        break;
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(sim::Simulator* sim, obs::Observability* obs)
+    : sim_(sim), obs_(obs), rng_(0x5DEECE66Dull) {
+  if (obs_) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m_stalls_ = m.GetCounter("fault.stalls");
+    m_errors_ = m.GetCounter("fault.errors");
+    m_sq_rejects_ = m.GetCounter("fault.sq_rejects");
+    m_link_transitions_ = m.GetCounter("fault.link_transitions");
+    m_wedge_transitions_ = m.GetCounter("fault.wedge_transitions");
+  }
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  rng_ = Rng(plan.seed * 0xBF58476D1CE4E5B9ull + 1);
+  for (const FaultSpec& spec : plan.faults) {
+    switch (spec.kind) {
+      case FaultKind::kCommandStall:
+      case FaultKind::kDelayedError:
+        command_faults_.push_back({spec, spec.count});
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kUifWedge:
+      case FaultKind::kSqFullBurst: {
+        FaultKind kind = spec.kind;
+        SimTime start =
+            spec.at_ns > sim_->now() ? spec.at_ns - sim_->now() : 0;
+        sim_->ScheduleAfter(start, [this, kind] { OpenWindow(kind); });
+        sim_->ScheduleAfter(start + spec.duration_ns,
+                            [this, kind] { CloseWindow(kind); });
+        break;
+      }
+    }
+  }
+}
+
+void FaultInjector::OpenWindow(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      if (link_depth_++ == 0) {
+        if (m_link_transitions_) m_link_transitions_->Inc();
+        for (auto& fn : link_subs_) fn(true);
+      }
+      break;
+    case FaultKind::kUifWedge:
+      if (wedge_depth_++ == 0) {
+        if (m_wedge_transitions_) m_wedge_transitions_->Inc();
+        for (auto& fn : wedge_subs_) fn(true);
+      }
+      break;
+    case FaultKind::kSqFullBurst:
+      sq_full_depth_++;
+      break;
+    default:
+      break;
+  }
+}
+
+void FaultInjector::CloseWindow(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      if (--link_depth_ == 0) {
+        if (m_link_transitions_) m_link_transitions_->Inc();
+        for (auto& fn : link_subs_) fn(false);
+      }
+      break;
+    case FaultKind::kUifWedge:
+      if (--wedge_depth_ == 0) {
+        if (m_wedge_transitions_) m_wedge_transitions_->Inc();
+        for (auto& fn : wedge_subs_) fn(false);
+      }
+      break;
+    case FaultKind::kSqFullBurst:
+      sq_full_depth_--;
+      break;
+    default:
+      break;
+  }
+}
+
+FaultInjector::CommandAction FaultInjector::OnSsdCommand(
+    u32 nsid, nvme::NvmeStatus* status, SimTime* extra_delay) {
+  for (ArmedCommandFault& f : command_faults_) {
+    if (f.remaining == 0) continue;
+    if (f.spec.nsid != 0 && f.spec.nsid != nsid) continue;
+    if (f.spec.probability < 1.0 && !rng_.NextBool(f.spec.probability)) {
+      continue;
+    }
+    f.remaining--;
+    if (f.spec.kind == FaultKind::kCommandStall) {
+      stalls_++;
+      if (m_stalls_) m_stalls_->Inc();
+      return CommandAction::kStall;
+    }
+    errors_++;
+    if (m_errors_) m_errors_->Inc();
+    *status = f.spec.status;
+    *extra_delay = f.spec.delay_ns;
+    return CommandAction::kError;
+  }
+  return CommandAction::kNone;
+}
+
+bool FaultInjector::OnSsdSubmit() {
+  if (sq_full_depth_ > 0) {
+    sq_rejects_++;
+    if (m_sq_rejects_) m_sq_rejects_->Inc();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nvmetro::fault

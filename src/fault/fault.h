@@ -1,0 +1,165 @@
+// Deterministic fault injection (the robustness counterpart of obs/).
+//
+// A FaultPlan is a seedable list of scoped faults; a FaultInjector arms
+// the plan on the simulated clock and exposes the resulting fault state
+// to the components that honor it:
+//  - command-scoped faults (stall, delayed error) are queried per I/O
+//    command by ssd::SimulatedController::ExecuteIo;
+//  - SQ-full bursts gate ssd::SimulatedController::Submit;
+//  - link-down windows toggle kblock::RemoteBlockDevice via the
+//    OnLinkChange callbacks (wired by the solution factory);
+//  - UIF wedge windows toggle core::NotifyChannel::SetWedged the same
+//    way (a wedged channel models a crashed/frozen UIF process).
+//
+// Everything is deterministic: the same plan + seed yields the same fault
+// sequence on every run, so recovery behavior can be pinned by golden
+// traces and exact counters (tests/fault_test.cc).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "nvme/defs.h"
+#include "sim/simulator.h"
+
+namespace nvmetro::obs {
+class Counter;
+class Observability;
+}  // namespace nvmetro::obs
+
+namespace nvmetro::fault {
+
+enum class FaultKind : u8 {
+  /// The device swallows a command: no CQE is ever posted. Requires the
+  /// host to run request timeouts or the request hangs by design.
+  kCommandStall,
+  /// The device completes a command with `status` after `delay_ns`.
+  kDelayedError,
+  /// The NVMe-oF link to the remote secondary drops for the window
+  /// [at_ns, at_ns + duration_ns); submissions error out after one
+  /// propagation delay (the transport notices the dead peer).
+  kLinkDown,
+  /// The UIF process freezes (crash/SIGSTOP) for the window: it pops no
+  /// NSQ entries and its NCQ responses are lost.
+  kUifWedge,
+  /// The physical controller rejects SQ pushes for the window (deep
+  /// device backpressure).
+  kSqFullBurst,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDelayedError;
+  /// Command-scoped faults: namespace filter (0 = any) and budget.
+  u32 nsid = 0;
+  u32 count = 1;
+  /// Per-command trigger probability (command-scoped faults).
+  double probability = 1.0;
+  /// kDelayedError: completion status + added latency.
+  nvme::NvmeStatus status =
+      nvme::MakeStatus(nvme::kSctGeneric, nvme::kScNamespaceNotReady);
+  SimTime delay_ns = 50 * kUs;
+  /// Windowed faults (kLinkDown/kUifWedge/kSqFullBurst).
+  SimTime at_ns = 0;
+  SimTime duration_ns = 1 * kMs;
+};
+
+/// What a random plan may contain. Kinds a stack cannot survive are
+/// capped off (e.g. stalls need host-side timeouts).
+struct FaultCaps {
+  bool stalls = true;
+  bool delayed_errors = true;
+  bool link = true;
+  bool wedge = true;
+  bool sq_bursts = true;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  u64 seed = 1;
+
+  /// Deterministic random plan: 2-6 faults drawn from the capped kinds,
+  /// windows inside the first ~8 ms of the run. Same seed, same plan.
+  static FaultPlan Random(u64 seed, const FaultCaps& caps = {});
+
+  std::string ToString() const;
+};
+
+/// Arms a FaultPlan on the simulated clock and answers fault queries.
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Simulator* sim,
+                         obs::Observability* obs = nullptr);
+
+  /// Installs `plan`: schedules window edges, arms command budgets.
+  /// May be called more than once; plans accumulate.
+  void Arm(const FaultPlan& plan);
+
+  // --- Command-scoped queries (ssd::SimulatedController) -------------------
+
+  enum class CommandAction : u8 { kNone, kStall, kError };
+
+  /// Per-I/O-command check. On kError fills *status and *extra_delay.
+  CommandAction OnSsdCommand(u32 nsid, nvme::NvmeStatus* status,
+                             SimTime* extra_delay);
+
+  /// SQ push gate: false while an SQ-full burst window is open.
+  bool OnSsdSubmit();
+
+  // --- Window state --------------------------------------------------------
+
+  bool link_down() const { return link_depth_ > 0; }
+  bool uif_wedged() const { return wedge_depth_ > 0; }
+  bool sq_full() const { return sq_full_depth_ > 0; }
+
+  /// Edge-change subscriptions (fired on 0<->1 depth transitions, in
+  /// registration order). The factory wires these to the remote devices,
+  /// notify channels and replicator UIFs of a bundle.
+  void OnLinkChange(std::function<void(bool down)> fn) {
+    link_subs_.push_back(std::move(fn));
+  }
+  void OnUifWedgeChange(std::function<void(bool wedged)> fn) {
+    wedge_subs_.push_back(std::move(fn));
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  u64 stalls_injected() const { return stalls_; }
+  u64 errors_injected() const { return errors_; }
+  u64 sq_rejects() const { return sq_rejects_; }
+
+ private:
+  struct ArmedCommandFault {
+    FaultSpec spec;
+    u32 remaining;
+  };
+
+  void OpenWindow(FaultKind kind);
+  void CloseWindow(FaultKind kind);
+
+  sim::Simulator* sim_;
+  obs::Observability* obs_;
+  Rng rng_;
+  std::vector<ArmedCommandFault> command_faults_;
+  int link_depth_ = 0;
+  int wedge_depth_ = 0;
+  int sq_full_depth_ = 0;
+  std::vector<std::function<void(bool)>> link_subs_;
+  std::vector<std::function<void(bool)>> wedge_subs_;
+  u64 stalls_ = 0;
+  u64 errors_ = 0;
+  u64 sq_rejects_ = 0;
+  // Observability (null without obs_): "fault.stalls", "fault.errors",
+  // "fault.sq_rejects", "fault.link_transitions", "fault.wedge_transitions".
+  obs::Counter* m_stalls_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
+  obs::Counter* m_sq_rejects_ = nullptr;
+  obs::Counter* m_link_transitions_ = nullptr;
+  obs::Counter* m_wedge_transitions_ = nullptr;
+};
+
+}  // namespace nvmetro::fault

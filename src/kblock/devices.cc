@@ -259,6 +259,16 @@ RemoteBlockDevice::RemoteBlockDevice(sim::Simulator* sim, BlockDevice* remote,
     : sim_(sim), remote_(remote), link_(link) {}
 
 void RemoteBlockDevice::Submit(Bio bio) {
+  if (link_down_) {
+    // Dead peer: the command is never transmitted; the initiator's
+    // keep-alive surfaces the failure after one propagation delay.
+    link_drops_++;
+    auto done = std::move(bio.on_complete);
+    sim_->ScheduleAfter(link_.one_way_ns, [done = std::move(done)] {
+      if (done) done(ResourceExhausted("nvmeof link down"));
+    });
+    return;
+  }
   // Serialize payload onto the link (writes carry data out; reads carry
   // data back — we charge the transfer once, on the heavier direction).
   u64 payload = bio.length();

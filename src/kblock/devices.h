@@ -100,11 +100,20 @@ class RemoteBlockDevice : public BlockDevice {
   u64 capacity_sectors() const override { return remote_->capacity_sectors(); }
   std::string name() const override { return "nvmeof:" + remote_->name(); }
 
+  /// Fault hook: while the link is down, submissions never reach the
+  /// remote target — they error out after one propagation delay (the
+  /// initiator notices the dead peer), so nothing blackholes.
+  void SetLinkDown(bool down) { link_down_ = down; }
+  bool link_down() const { return link_down_; }
+  u64 link_drops() const { return link_drops_; }
+
  private:
   sim::Simulator* sim_;
   BlockDevice* remote_;
   LinkParams link_;
   SimTime tx_free_ = 0;  // link serialization
+  bool link_down_ = false;
+  u64 link_drops_ = 0;
 };
 
 }  // namespace nvmetro::kblock

@@ -18,6 +18,9 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kUifRespond: return "UIF_RESPOND";
     case SpanKind::kVcqPost: return "VCQ_POST";
     case SpanKind::kIrqInject: return "IRQ_INJECT";
+    case SpanKind::kTimeout: return "TIMEOUT";
+    case SpanKind::kRetry: return "RETRY";
+    case SpanKind::kUifFailover: return "UIF_FAILOVER";
   }
   return "?";
 }

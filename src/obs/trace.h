@@ -38,6 +38,9 @@ enum class SpanKind : u8 {
   kUifRespond,         // UIF pushed its NCQ response
   kVcqPost,            // CQE written to the guest VCQ
   kIrqInject,          // guest interrupt fired (posted-interrupt latency)
+  kTimeout,            // request deadline fired; outstanding legs aborted
+  kRetry,              // a transient leg failure was re-dispatched
+  kUifFailover,        // notify leg abandoned (UIF dead / detached)
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/fault.h"
 #include "nvme/prp.h"
 #include "obs/obs.h"
 
@@ -118,6 +119,7 @@ void SimulatedController::RingCqDoorbell(u16 qid) {
 }
 
 bool SimulatedController::Submit(u16 qid, const Sqe& sqe) {
+  if (fault_ && !fault_->OnSsdSubmit()) return false;
   nvme::SqRing* ring = sq(qid);
   if (!ring || !ring->Push(sqe)) return false;
   RingSqDoorbell(qid);
@@ -192,6 +194,22 @@ void SimulatedController::PostCqe(u16 qid, const Sqe& sqe, NvmeStatus status,
 }
 
 void SimulatedController::ExecuteIo(QueuePair& qp, const Sqe& sqe) {
+  // Fault-injector check: a stalled command is swallowed (no CQE until
+  // the host times it out); a delayed error completes late with the
+  // planned status.
+  if (fault_ && sqe.is_io_data_cmd()) {
+    nvme::NvmeStatus fstatus = nvme::kStatusSuccess;
+    SimTime fdelay = 0;
+    switch (fault_->OnSsdCommand(sqe.nsid, &fstatus, &fdelay)) {
+      case fault::FaultInjector::CommandAction::kStall:
+        return;
+      case fault::FaultInjector::CommandAction::kError:
+        CompleteAt(sim_->now() + fdelay, qp.qid, sqe, fstatus);
+        return;
+      case fault::FaultInjector::CommandAction::kNone:
+        break;
+    }
+  }
   // Failure injection check.
   for (auto& inj : injections_) {
     if (inj.remaining > 0 && inj.nsid == sqe.nsid && sqe.is_io_data_cmd()) {

@@ -36,6 +36,10 @@ class Counter;
 class Observability;
 }  // namespace nvmetro::obs
 
+namespace nvmetro::fault {
+class FaultInjector;
+}  // namespace nvmetro::fault
+
 namespace nvmetro::ssd {
 
 struct ControllerConfig {
@@ -150,6 +154,13 @@ class SimulatedController {
   /// (paper Listing 1, line 8).
   void InjectError(u32 nsid, nvme::NvmeStatus status, u32 count);
 
+  /// Attaches a fault switchboard: per-command stall/delayed-error
+  /// queries in ExecuteIo plus the SQ-full gate in Submit. Pass nullptr
+  /// to detach. The injector must outlive the controller.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   struct QueuePair {
     u16 qid;
@@ -216,6 +227,7 @@ class SimulatedController {
     u32 remaining;
   };
   std::vector<Injection> injections_;
+  fault::FaultInjector* fault_ = nullptr;
   // KV command set storage (key bytes -> value).
   std::map<std::string, std::vector<u8>> kv_store_;
   // Admin-created CQs awaiting their SQ: qid -> (cq base addr, entries).

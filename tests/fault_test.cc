@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/factory.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace nvmetro::baselines {
@@ -221,6 +223,311 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// --- Injected-fault recovery scenarios ---------------------------------------------
+//
+// Deterministic FaultPlans against full solution stacks: every scenario
+// must satisfy the bookkeeping invariants of the recovery machinery —
+// per path, sends == completions + aborts + timeouts; every request
+// reaches a guest-visible outcome; no trace span stays open; the
+// replicator's dirty-region log is empty once resync finishes.
+
+struct FaultScenarioTest : ::testing::Test {
+  obs::Observability obs;  // declared first: outlives drive + bundle
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<SolutionBundle> bundle;
+
+  void Build(SolutionKind kind, SolutionParams params = {}) {
+    ssd::ControllerConfig drive = Testbed::DefaultDrive();
+    drive.obs = &obs;
+    tb = std::make_unique<Testbed>(drive);
+    injector = std::make_unique<fault::FaultInjector>(&tb->sim, &obs);
+    params.obs = &obs;
+    params.fault = injector.get();
+    bundle = SolutionBundle::Create(tb.get(), kind, params);
+    ASSERT_NE(bundle, nullptr);
+  }
+
+  void CheckRouterInvariants() {
+    const obs::MetricsRegistry& m = obs.metrics();
+    EXPECT_EQ(m.CounterValue("router.requests"),
+              m.CounterValue("router.completed") +
+                  m.CounterValue("router.failed"))
+        << "a request vanished without completing or failing";
+    for (const char* path : {"fast", "notify", "kernel"}) {
+      std::string base = std::string("router.") + path;
+      EXPECT_EQ(m.CounterValue(base + ".sends"),
+                m.CounterValue(base + ".completions") +
+                    m.CounterValue(base + ".aborts") +
+                    m.CounterValue(base + ".timeouts"))
+          << base << " send/completion imbalance";
+    }
+    EXPECT_EQ(obs.trace().open_requests(), 0u)
+        << "trace spans leaked: a request never reached its VCQ";
+  }
+};
+
+TEST_F(FaultScenarioTest, StalledCommandsTimeOutInsteadOfHanging) {
+  SolutionParams params;
+  params.router_costs.request_timeout_ns = 2 * kMs;
+  Build(SolutionKind::kNvmetro, params);
+  fault::FaultPlan plan;
+  plan.faults.push_back({.kind = fault::FaultKind::kCommandStall,
+                         .count = 4});
+  injector->Arm(plan);
+
+  StorageSolution* sol = bundle->vm_solution(0);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 16; i++) {
+    sol->Submit(i % 4, StorageSolution::Op::kRead,
+                static_cast<u64>(i) * 4096, 4096, nullptr, [&](Status st) {
+                  if (st.ok()) {
+                    ok++;
+                  } else {
+                    failed++;
+                  }
+                });
+  }
+  tb->sim.Run();
+  // The four swallowed commands surface as guest-visible timeouts; the
+  // rest are untouched.
+  EXPECT_EQ(injector->stalls_injected(), 4u);
+  EXPECT_EQ(ok, 12);
+  EXPECT_EQ(failed, 4);
+  EXPECT_EQ(bundle->controller(0)->requests_timed_out(), 4u);
+  const obs::MetricsRegistry& m = obs.metrics();
+  EXPECT_EQ(m.CounterValue("router.timeouts"), 4u);
+  EXPECT_EQ(m.CounterValue("router.fast.timeouts"), 4u);
+  CheckRouterInvariants();
+}
+
+TEST_F(FaultScenarioTest, TransientErrorsAreRetriedToSuccess) {
+  SolutionParams params;
+  params.router_costs.max_retries = 8;
+  Build(SolutionKind::kNvmetro, params);
+  fault::FaultPlan plan;
+  plan.faults.push_back({.kind = fault::FaultKind::kDelayedError,
+                         .count = 6,
+                         .status = nvme::MakeStatus(
+                             nvme::kSctGeneric, nvme::kScNamespaceNotReady),
+                         .delay_ns = 20 * kUs});
+  injector->Arm(plan);
+
+  StorageSolution* sol = bundle->vm_solution(0);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 16; i++) {
+    sol->Submit(i % 4, StorageSolution::Op::kRead,
+                static_cast<u64>(i) * 4096, 4096, nullptr, [&](Status st) {
+                  if (st.ok()) {
+                    ok++;
+                  } else {
+                    failed++;
+                  }
+                });
+  }
+  tb->sim.Run();
+  // Every transient error was absorbed by a backoff retry: the guest saw
+  // sixteen clean completions.
+  EXPECT_EQ(injector->errors_injected(), 6u);
+  EXPECT_EQ(ok, 16);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(bundle->controller(0)->leg_retries(), 6u);
+  EXPECT_EQ(obs.metrics().CounterValue("router.retries"), 6u);
+  EXPECT_EQ(obs.metrics().CounterValue("router.timeouts"), 0u);
+  CheckRouterInvariants();
+}
+
+TEST_F(FaultScenarioTest, WedgedUifFailsOverToKernelPath) {
+  SolutionParams params;
+  params.router_costs.uif_liveness_timeout_ns = 200 * kUs;
+  params.router_costs.uif_failover_to_kernel = true;
+  Build(SolutionKind::kNvmetroReplication, params);
+  fault::FaultPlan plan;
+  plan.faults.push_back({.kind = fault::FaultKind::kUifWedge,
+                         .at_ns = 0,
+                         .duration_ns = 10 * kMs});
+  injector->Arm(plan);
+
+  StorageSolution* sol = bundle->vm_solution(0);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 8; i++) {
+    sol->Submit(i % 4, StorageSolution::Op::kWrite,
+                static_cast<u64>(i) * 4096, 4096, nullptr, [&](Status st) {
+                  if (st.ok()) {
+                    ok++;
+                  } else {
+                    failed++;
+                  }
+                });
+  }
+  tb->sim.Run();
+  // The wedged UIF never answered; the liveness watchdog declared it
+  // dead, dropped the stuck notify legs and re-routed them to the kernel
+  // path — the guest never noticed.
+  EXPECT_EQ(ok, 8);
+  EXPECT_EQ(failed, 0);
+  EXPECT_TRUE(bundle->controller(0)->uif_dead());
+  EXPECT_EQ(bundle->controller(0)->uif_failovers(), 1u);
+  const obs::MetricsRegistry& m = obs.metrics();
+  EXPECT_EQ(m.CounterValue("uif.failovers"), 1u);
+  EXPECT_EQ(m.CounterValue("router.notify.timeouts"), 8u);
+
+  // With the UIF marked dead, later writes skip the notify path entirely
+  // and go straight to the kernel device.
+  u64 kernel_before = m.CounterValue("router.kernel.sends");
+  for (int i = 0; i < 4; i++) {
+    sol->Submit(0, StorageSolution::Op::kWrite,
+                static_cast<u64>(32 + i) * 4096, 4096, nullptr,
+                [&](Status st) {
+                  EXPECT_TRUE(st.ok());
+                  ok++;
+                });
+  }
+  tb->sim.Run();
+  EXPECT_EQ(ok, 12);
+  EXPECT_EQ(m.CounterValue("router.kernel.sends"), kernel_before + 4);
+  EXPECT_EQ(m.CounterValue("router.notify.sends"), 8u)
+      << "a dead UIF still received requests";
+  CheckRouterInvariants();
+}
+
+TEST_F(FaultScenarioTest, ReplicaOutageDegradesThenResyncs) {
+  Build(SolutionKind::kNvmetroReplication);
+  fault::FaultPlan plan;
+  plan.faults.push_back({.kind = fault::FaultKind::kLinkDown,
+                         .at_ns = 200 * kUs,
+                         .duration_ns = 2 * kMs});
+  injector->Arm(plan);
+
+  StorageSolution* sol = bundle->vm_solution(0);
+  functions::ReplicatorUif* repl = bundle->replicator(0);
+  ASSERT_NE(repl, nullptr);
+
+  // One distinct-pattern write every 100 us: before, during and after
+  // the outage window.
+  const int kWrites = 24;
+  const u64 bs = 4096;
+  std::vector<std::vector<u8>> pats(kWrites);
+  Rng rng(55);
+  int ok = 0;
+  for (int i = 0; i < kWrites; i++) {
+    pats[i].resize(bs);
+    rng.Fill(pats[i].data(), bs);
+    tb->sim.ScheduleAfter(static_cast<SimTime>(i) * 100 * kUs, [&, i] {
+      sol->Submit(i % 4, StorageSolution::Op::kWrite, i * bs, bs,
+                  pats[i].data(), [&](Status st) {
+                    EXPECT_TRUE(st.ok()) << "write " << i;
+                    ok++;
+                  });
+    });
+  }
+  tb->sim.Run();
+  // Every write was acked despite the dead replica...
+  EXPECT_EQ(ok, kWrites);
+  EXPECT_GE(repl->writes_failed(), 1u);
+  EXPECT_GE(repl->degraded_writes(), 1u);
+  // ...and after the link healed, resync drained the dirty-region log
+  // and left the mirror clean.
+  EXPECT_FALSE(repl->degraded());
+  EXPECT_FALSE(repl->resyncing());
+  EXPECT_EQ(repl->dirty_regions(), 0u);
+  EXPECT_EQ(repl->dirty_sectors(), 0u);
+  EXPECT_GE(repl->resynced_sectors(), 8u);
+  const obs::MetricsRegistry& m = obs.metrics();
+  EXPECT_GE(m.CounterValue("repl.degraded_writes"), 1u);
+  EXPECT_GE(m.CounterValue("repl.resynced_lbas"), 8u);
+  EXPECT_GE(m.CounterValue("repl.writes_failed"), 1u);
+  // The secondary holds every pattern — including those written while it
+  // was unreachable.
+  for (int i = 0; i < kWrites; i++) {
+    EXPECT_TRUE(bundle->secondary_drive(0)->store().Matches(
+        i * bs, pats[i].data(), bs))
+        << "secondary lost write " << i;
+  }
+  CheckRouterInvariants();
+}
+
+TEST(FaultSweep, RandomPlansNeverHangAnyStack) {
+  const SolutionKind kKinds[] = {
+      SolutionKind::kNvmetro,       SolutionKind::kMdev,
+      SolutionKind::kPassthrough,   SolutionKind::kVhostScsi,
+      SolutionKind::kQemu,          SolutionKind::kSpdk,
+      SolutionKind::kNvmetroEncryption, SolutionKind::kNvmetroSgx,
+      SolutionKind::kDmCrypt,       SolutionKind::kNvmetroReplication,
+      SolutionKind::kDmMirror};
+  for (SolutionKind kind : kKinds) {
+    bool router = kind == SolutionKind::kNvmetro ||
+                  kind == SolutionKind::kMdev ||
+                  kind == SolutionKind::kNvmetroEncryption ||
+                  kind == SolutionKind::kNvmetroSgx ||
+                  kind == SolutionKind::kNvmetroReplication;
+    for (u64 seed : {11ull, 22ull, 33ull}) {
+      obs::Observability obs;
+      ssd::ControllerConfig drive = Testbed::DefaultDrive();
+      drive.obs = &obs;
+      Testbed tb(drive);
+      fault::FaultInjector injector(&tb.sim, &obs);
+      SolutionParams params;
+      params.obs = &obs;
+      params.fault = &injector;
+      fault::FaultCaps caps;
+      if (router) {
+        params.router_costs.request_timeout_ns = 5 * kMs;
+        params.router_costs.max_retries = 3;
+        params.router_costs.uif_liveness_timeout_ns = 300 * kUs;
+        // Re-routing around a dead UIF is only sound when the function is
+        // not a data transformation (encryption would be bypassed).
+        params.router_costs.uif_failover_to_kernel =
+            kind == SolutionKind::kNvmetroReplication;
+      } else {
+        caps.stalls = false;  // no host timeout machinery: a stall hangs
+        caps.wedge = false;   // no UIF process to wedge
+      }
+      auto bundle = SolutionBundle::Create(&tb, kind, params);
+      ASSERT_NE(bundle, nullptr);
+      fault::FaultPlan plan = fault::FaultPlan::Random(seed, caps);
+      injector.Arm(plan);
+      SCOPED_TRACE(std::string(SolutionKindName(kind)) + " " +
+                   plan.ToString());
+
+      StorageSolution* sol = bundle->vm_solution(0);
+      const int kOps = 64;
+      int done = 0;
+      // Pace the ops so the load overlaps the plan's fault windows
+      // (which land inside the first ~8 ms).
+      for (int i = 0; i < kOps; i++) {
+        tb.sim.ScheduleAfter(static_cast<SimTime>(i) * 150 * kUs, [&, i] {
+          StorageSolution::Op op = (i % 7 == 6) ? StorageSolution::Op::kFlush
+                                   : (i % 2)   ? StorageSolution::Op::kRead
+                                               : StorageSolution::Op::kWrite;
+          u64 len = (op == StorageSolution::Op::kFlush) ? 0 : 4096;
+          sol->Submit(i % 4, op, static_cast<u64>(i % 32) * 4096, len,
+                      nullptr, [&](Status) { done++; });
+        });
+      }
+      tb.sim.Run();
+      // Faults may fail individual ops, but every op must reach a
+      // guest-visible outcome and the books must balance.
+      EXPECT_EQ(done, kOps) << "a request hung under " << plan.ToString();
+      const obs::MetricsRegistry& m = obs.metrics();
+      if (router) {
+        EXPECT_EQ(m.CounterValue("router.requests"),
+                  m.CounterValue("router.completed") +
+                      m.CounterValue("router.failed"));
+        for (const char* path : {"fast", "notify", "kernel"}) {
+          std::string base = std::string("router.") + path;
+          EXPECT_EQ(m.CounterValue(base + ".sends"),
+                    m.CounterValue(base + ".completions") +
+                        m.CounterValue(base + ".aborts") +
+                        m.CounterValue(base + ".timeouts"))
+              << base << " imbalance";
+        }
+      }
+      EXPECT_EQ(obs.trace().open_requests(), 0u);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace nvmetro::baselines

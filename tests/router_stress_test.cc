@@ -67,7 +67,7 @@ struct StressFixture : ::testing::Test {
   /// Post-run bookkeeping invariants that must hold after ANY drained
   /// stress run, however hostile: every started request reached exactly
   /// one guest-visible outcome, every per-path send was matched by a
-  /// completion or an abort, and no trace span was left open.
+  /// completion, an abort or a timeout, and no trace span was left open.
   void TearDown() override {
     if (!host || !expect_drained) return;
     const obs::MetricsRegistry& m = obs.metrics();
@@ -79,7 +79,8 @@ struct StressFixture : ::testing::Test {
       std::string base = std::string("router.") + path;
       EXPECT_EQ(m.CounterValue(base + ".sends"),
                 m.CounterValue(base + ".completions") +
-                    m.CounterValue(base + ".aborts"))
+                    m.CounterValue(base + ".aborts") +
+                    m.CounterValue(base + ".timeouts"))
           << base << " send/completion imbalance";
     }
     EXPECT_EQ(obs.trace().open_requests(), 0u)
@@ -247,6 +248,228 @@ TEST_F(StressFixture, UifDetachFailsSubsequentRequests) {
   sim.Run();
   EXPECT_EQ(status,
             nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInternalError));
+}
+
+TEST_F(StressFixture, UifDetachMidFlightFailsInflightRequests) {
+  // Regression: detaching the UIF while notify-path requests are in
+  // flight used to strand them — the routing slot leaked and the guest
+  // never saw a CQE. A detach must now drain every in-flight notify leg
+  // with Abort Requested.
+  const char* kAllToUif =
+      "  mov r0, 0x240000\n"  // SEND_NQ | WILL_COMPLETE_NQ
+      "  exit\n";
+  Build(kAllToUif);
+  core::NotifyChannel channel;
+  uif::UifHost uif_host(&sim, "slow");
+  struct SlowUif : uif::UifBase {
+    bool work(const nvme::Sqe&, u32 tag, u16& status) override {
+      function()->host()->Async(200 * kUs, [fn = function(), tag] {
+        fn->Respond(tag, nvme::kStatusSuccess);
+      });
+      (void)status;
+      return true;
+    }
+  } slow;
+  vc->AttachUif(&channel);
+  uif_host.AddFunction(&channel, vm.get(), &slow);
+  uif_host.Start();
+
+  mem::GuestMemory& gm = vm->memory();
+  u64 buf = *gm.AllocPages(1);
+  int done = 0, aborted = 0;
+  for (int i = 0; i < 8; i++) {
+    driver->Submit(0, nvme::MakeWrite(1, i, 1, buf, 0),
+                   [&](NvmeStatus st, u32) {
+                     done++;
+                     if (st == nvme::MakeStatus(nvme::kSctGeneric,
+                                                nvme::kScAbortRequested)) {
+                       aborted++;
+                     }
+                   });
+  }
+  // Detach while every request sits between NSQ push and the (slow) UIF
+  // response.
+  sim.ScheduleAfter(50 * kUs, [&] {
+    EXPECT_EQ(obs.trace().open_requests(), 8u) << "test raced its setup";
+    vc->DetachUif();
+  });
+  sim.Run();
+  EXPECT_EQ(done, 8) << "a detached notify request hung";
+  EXPECT_EQ(aborted, 8);
+  EXPECT_EQ(vc->requests_failed(), 8u);
+  // Every leg was settled as an administrative abort, and the late UIF
+  // responses (the Async timers still fire) fell on the stale-tag guard.
+  EXPECT_EQ(obs.metrics().CounterValue("router.notify.sends"), 8u);
+  EXPECT_EQ(obs.metrics().CounterValue("router.notify.aborts"), 8u);
+  EXPECT_EQ(obs.metrics().CounterValue("router.notify.completions"), 0u);
+  EXPECT_EQ(obs.trace().open_requests(), 0u);
+}
+
+// --- Classifier hot-swap under load ------------------------------------------------
+//
+// InstallClassifier mid-flight (paper §III-B live function replacement):
+// requests already dispatched keep their recorded routing state and
+// complete through their old paths; requests arriving after the swap run
+// only the new program. Pinned by golden traces on all three paths.
+
+/// New program after each swap: complete everything inline with success.
+constexpr const char* kInlineComplete =
+    "  mov r0, 0x10000\n"  // COMPLETE | status 0
+    "  exit\n";
+constexpr const char* kNewGolden =
+    "VSQ_POP > CLASSIFIER(VSQ) > VCQ_POST > IRQ_INJECT";
+
+TEST_F(StressFixture, HotSwapPreservesFastPathInflight) {
+  Build();  // passthrough: SEND_HQ | WILL_COMPLETE_HQ
+  mem::GuestMemory& gm = vm->memory();
+  u64 buf = *gm.AllocPages(1);
+  int done = 0;
+  for (int i = 0; i < 4; i++) {
+    driver->Submit(0, nvme::MakeRead(1, i * 8, 8, buf, 0),
+                   [&](NvmeStatus st, u32) {
+                     EXPECT_EQ(st, nvme::kStatusSuccess);
+                     done++;
+                   });
+  }
+  sim.ScheduleAfter(20 * kUs, [&] {
+    EXPECT_EQ(obs.trace().open_requests(), 4u) << "test raced its setup";
+    ASSERT_TRUE(
+        vc->InstallClassifier(*ebpf::Assemble(kInlineComplete)).ok());
+    for (int i = 0; i < 2; i++) {
+      driver->Submit(0, nvme::MakeRead(1, i * 8, 8, buf, 0),
+                     [&](NvmeStatus st, u32) {
+                       EXPECT_EQ(st, nvme::kStatusSuccess);
+                       done++;
+                     });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(done, 6);
+  const obs::TraceRecorder& tr = obs.trace();
+  for (u64 id = 1; id <= 4; id++) {
+    EXPECT_EQ(tr.PathString(id),
+              "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_FAST > HCQ_COMPLETE > "
+              "VCQ_POST > IRQ_INJECT")
+        << "pre-swap req " << id << " lost its routing state";
+  }
+  for (u64 id = 5; id <= 6; id++) {
+    EXPECT_EQ(tr.PathString(id), kNewGolden)
+        << "post-swap req " << id << " did not run the new program";
+  }
+  EXPECT_EQ(obs.metrics().CounterValue("router.fast.sends"), 4u);
+}
+
+TEST_F(StressFixture, HotSwapPreservesNotifyPathInflight) {
+  const char* kAllToUif =
+      "  mov r0, 0x240000\n"
+      "  exit\n";
+  Build(kAllToUif);
+  core::NotifyChannel channel;
+  uif::UifHostParams uif_params;
+  uif_params.obs = &obs;  // UIF_WORK / UIF_RESPOND spans in the golden
+  uif::UifHost uif_host(&sim, "slow", uif_params);
+  struct SlowUif : uif::UifBase {
+    bool work(const nvme::Sqe&, u32 tag, u16& status) override {
+      calls++;
+      function()->host()->Async(200 * kUs, [fn = function(), tag] {
+        fn->Respond(tag, nvme::kStatusSuccess);
+      });
+      (void)status;
+      return true;
+    }
+    int calls = 0;
+  } slow;
+  vc->AttachUif(&channel);
+  uif_host.AddFunction(&channel, vm.get(), &slow);
+  uif_host.Start();
+
+  mem::GuestMemory& gm = vm->memory();
+  u64 buf = *gm.AllocPages(1);
+  SimTime old_done = 0, new_done = 0;
+  int done = 0;
+  for (int i = 0; i < 4; i++) {
+    driver->Submit(0, nvme::MakeWrite(1, i, 1, buf, 0),
+                   [&](NvmeStatus st, u32) {
+                     EXPECT_EQ(st, nvme::kStatusSuccess);
+                     done++;
+                     old_done = sim.now();
+                   });
+  }
+  sim.ScheduleAfter(50 * kUs, [&] {
+    EXPECT_EQ(obs.trace().open_requests(), 4u) << "test raced its setup";
+    ASSERT_TRUE(
+        vc->InstallClassifier(*ebpf::Assemble(kInlineComplete)).ok());
+    for (int i = 0; i < 2; i++) {
+      driver->Submit(0, nvme::MakeWrite(1, 8 + i, 1, buf, 0),
+                     [&](NvmeStatus st, u32) {
+                       EXPECT_EQ(st, nvme::kStatusSuccess);
+                       done++;
+                       new_done = sim.now();
+                     });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(done, 6);
+  // New requests never reached the UIF and finished before the slow old
+  // legs — the new program took effect immediately.
+  EXPECT_EQ(slow.calls, 4);
+  EXPECT_LT(new_done, old_done);
+  const obs::TraceRecorder& tr = obs.trace();
+  for (u64 id = 1; id <= 4; id++) {
+    EXPECT_EQ(tr.PathString(id),
+              "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_NOTIFY > UIF_WORK > "
+              "UIF_RESPOND > NCQ_COMPLETE > VCQ_POST > IRQ_INJECT")
+        << "pre-swap req " << id << " lost its notify routing state";
+  }
+  for (u64 id = 5; id <= 6; id++) {
+    EXPECT_EQ(tr.PathString(id), kNewGolden) << "post-swap req " << id;
+  }
+}
+
+TEST_F(StressFixture, HotSwapPreservesKernelPathInflight) {
+  const char* kAllToKernel =
+      "  mov r0, 0x480000\n"  // SEND_KQ | WILL_COMPLETE_KQ
+      "  exit\n";
+  Build(kAllToKernel);
+  auto kdev = std::make_unique<kblock::NvmeBlockDevice>(&sim, phys.get(),
+                                                        &dma, 1);
+  vc->AttachKernelDevice(kdev.get());
+
+  mem::GuestMemory& gm = vm->memory();
+  u64 buf = *gm.AllocPages(1);
+  int done = 0;
+  for (int i = 0; i < 4; i++) {
+    driver->Submit(0, nvme::MakeRead(1, i * 8, 8, buf, 0),
+                   [&](NvmeStatus st, u32) {
+                     EXPECT_EQ(st, nvme::kStatusSuccess);
+                     done++;
+                   });
+  }
+  sim.ScheduleAfter(10 * kUs, [&] {
+    EXPECT_EQ(obs.trace().open_requests(), 4u) << "test raced its setup";
+    ASSERT_TRUE(
+        vc->InstallClassifier(*ebpf::Assemble(kInlineComplete)).ok());
+    for (int i = 0; i < 2; i++) {
+      driver->Submit(0, nvme::MakeRead(1, i * 8, 8, buf, 0),
+                     [&](NvmeStatus st, u32) {
+                       EXPECT_EQ(st, nvme::kStatusSuccess);
+                       done++;
+                     });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(done, 6);
+  const obs::TraceRecorder& tr = obs.trace();
+  for (u64 id = 1; id <= 4; id++) {
+    EXPECT_EQ(tr.PathString(id),
+              "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_KERNEL > KCQ_COMPLETE > "
+              "VCQ_POST > IRQ_INJECT")
+        << "pre-swap req " << id << " lost its kernel routing state";
+  }
+  for (u64 id = 5; id <= 6; id++) {
+    EXPECT_EQ(tr.PathString(id), kNewGolden) << "post-swap req " << id;
+  }
+  EXPECT_EQ(obs.metrics().CounterValue("router.kernel.sends"), 4u);
 }
 
 TEST_F(StressFixture, RoutingTableExhaustionRecovers) {
