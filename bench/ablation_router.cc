@@ -47,15 +47,125 @@ FioResult RunWith(core::RouterCosts costs, u32 num_vms, u32 workers,
   return agg;
 }
 
+// A drive fast enough that the shared router worker, not the SSD, is
+// the bottleneck: both serial drive stages (firmware pipeline and
+// per-command bus setup) are dropped well below the router's
+// per-request cost, and jitter/slow-ops are disabled so the sweep is
+// a clean A/B on the batching knob alone.
+ssd::ControllerConfig RouterBoundDrive() {
+  ssd::ControllerConfig cfg = Testbed::DefaultDrive();
+  cfg.latency.cmd_overhead_ns = 200;
+  cfg.latency.bus_setup_ns = 100;
+  cfg.latency.read_media_ns = 4000;
+  cfg.latency.write_media_ns = 3000;
+  cfg.latency.slow_op_rate = 0;
+  cfg.latency.jitter = 0;
+  return cfg;
+}
+
+FioResult RunBatchCell(u32 max_batch, const CellSpec& cell,
+                       const BenchOptions& opts) {
+  Testbed tb(RouterBoundDrive());
+  SolutionParams params;
+  params.seed = opts.seed;
+  params.num_vms = 4;
+  params.router_workers = 1;  // shared worker: the contended resource
+  params.router_costs.max_batch = max_batch;
+  params.uif_max_batch = max_batch;
+  auto bundle = SolutionBundle::Create(&tb, SolutionKind::kNvmetro, params);
+  if (!bundle) return FioResult{};
+  FioConfig cfg;
+  cfg.block_size = cell.bs;
+  cfg.queue_depth = cell.qd;
+  cfg.num_jobs = cell.jobs;
+  cfg.mode = cell.mode;
+  cfg.warmup = opts.warmup;
+  cfg.duration = opts.duration;
+  cfg.seed = opts.seed;
+  std::vector<baselines::StorageSolution*> sols;
+  for (u32 i = 0; i < bundle->num_vms(); i++) {
+    sols.push_back(bundle->vm_solution(i));
+  }
+  auto results = workload::Fio::RunMulti(&tb.sim, sols, cfg);
+  FioResult agg = results[0];
+  for (usize i = 1; i < results.size(); i++) {
+    agg.iops += results[i].iops;
+    agg.guest_cpu_pct += results[i].guest_cpu_pct;
+  }
+  return agg;
+}
+
+/// `--batch-sweep`: batching ablation (DESIGN.md §10). 512B random
+/// read, 4 VMs sharing one router worker on a router-bound drive;
+/// sweeps max_batch x queue depth and writes machine-readable JSON
+/// (default BENCH_batching.json) for the CI bench-smoke job.
+int RunBatchSweep(const BenchOptions& opts, const std::string& json_path) {
+  PrintHeader("Ablation: batched submission/completion pipeline",
+              "512B random read, 4 VMs, 1 shared router worker, "
+              "router-bound drive");
+  const u32 kBatches[] = {1, 4, 16, 32};
+  const u32 kDepths[] = {1, 32};
+  TablePrinter t({"qd", "max_batch", "KIOPS", "vs batch=1"});
+  std::string json = "{\"bench\":\"batch_sweep\",\"bs\":512,"
+                     "\"mode\":\"randread\",\"num_vms\":4,"
+                     "\"router_workers\":1,\"cells\":[";
+  bool first = true;
+  bool qd32_ok = true;
+  for (u32 qd : kDepths) {
+    CellSpec cell{512, qd, 1, FioMode::kRandRead};
+    double base_iops = 0;
+    for (u32 mb : kBatches) {
+      FioResult r = RunBatchCell(mb, cell, opts);
+      if (mb == 1) base_iops = r.iops;
+      double gain = base_iops > 0 ? (r.iops / base_iops - 1.0) * 100.0 : 0;
+      t.AddRow({StrFormat("%u", qd), StrFormat("%u", mb),
+                StrFormat("%.1f", r.iops / 1000.0),
+                mb == 1 ? std::string("-") : StrFormat("%+.1f%%", gain)});
+      if (!first) json += ",";
+      first = false;
+      json += StrFormat(
+          "{\"qd\":%u,\"max_batch\":%u,\"iops\":%.1f,"
+          "\"gain_vs_unbatched_pct\":%.2f}",
+          qd, mb, r.iops, gain);
+      if (qd == 32 && mb == 32 && gain < 15.0) qd32_ok = false;
+    }
+  }
+  json += StrFormat("],\"qd32_gain_ge_15pct\":%s}",
+                    qd32_ok ? "true" : "false");
+  t.Print();
+  std::printf("qd32 max_batch=32 gain >= 15%%: %s\n",
+              qd32_ok ? "yes" : "NO");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return qd32_ok ? 0 : 2;
+}
+
 int Main(int argc, const char* const* argv) {
   Flags flags;
   DefineBenchFlags(&flags);
+  flags.DefineBool("batch-sweep", false,
+                   "run the batching ablation sweep instead of the "
+                   "standard ablation table");
+  flags.DefineString("batch-json", "BENCH_batching.json",
+                     "output path for the batch-sweep JSON (empty: none)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   BenchOptions opts = OptionsFromFlags(flags);
+
+  if (flags.GetBool("batch-sweep")) {
+    return RunBatchSweep(opts, flags.GetString("batch-json"));
+  }
 
   PrintHeader("Ablation: router design choices",
               "512B random read; IOPS and host CPU%% per variant");

@@ -83,6 +83,7 @@ std::unique_ptr<SolutionBundle> SolutionBundle::Create(Testbed* tb,
     if (encryption || replication) {
       uif::UifHostParams uif_params;
       uif_params.threads = kind == SolutionKind::kNvmetroSgx ? 1 : 2;
+      uif_params.max_batch = params.uif_max_batch;
       uif_params.obs = params.obs;
       b.uif_host_ = std::make_unique<uif::UifHost>(&tb->sim, "uif",
                                                    uif_params);

@@ -41,8 +41,13 @@ const char* SolutionKindName(SolutionKind kind);
 struct SolutionParams {
   u32 num_vms = 1;
   u32 guest_queues = 4;
-  /// Router cost model override (NVMetro family; ablations).
+  /// Router cost model override (NVMetro family; ablations). Batching is
+  /// part of this: router_costs.max_batch > 1 turns on the batched
+  /// submission/completion pipeline (DESIGN.md §10).
   core::RouterCosts router_costs{};
+  /// NSQ entries the UIF framework harvests per poll dispatch
+  /// (UifHostParams::max_batch); 1 = classic per-command dispatch.
+  u32 uif_max_batch = 1;
   virt::VmConfig vm_cfg{.name = "vm", .memory_bytes = 96 * MiB, .vcpus = 4};
   u32 router_workers = 1;
   /// XTS key for the encryption variants (generated from `seed` when

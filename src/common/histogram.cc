@@ -54,13 +54,18 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 u64 LatencyHistogram::Quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;   // smallest sample, not its bucket's edge
+  if (q >= 1.0) return max_;   // largest sample exactly
   u64 target = static_cast<u64>(q * static_cast<double>(count_ - 1)) + 1;
+  if (target > count_) target = count_;  // single-sample / rounding guard
   u64 seen = 0;
   for (usize i = 0; i < buckets_.size(); i++) {
     seen += buckets_[i];
     if (seen >= target) {
       u64 edge = BucketUpperEdge(static_cast<u32>(i));
-      return std::min(edge, max_);
+      // A bucket's upper edge can over- or under-shoot the recorded
+      // extremes; clamp so quantiles never step outside [min, max].
+      return std::clamp(edge, min_, max_);
     }
   }
   return max_;

@@ -29,8 +29,11 @@ class LatencyHistogram {
   /// Merges another histogram into this one.
   void Merge(const LatencyHistogram& other);
 
-  /// Value at quantile q in [0,1]. Returns 0 if empty. The returned value
-  /// is the representative (upper edge) of the bucket containing q.
+  /// Value at quantile q in [0,1] (values outside are clamped). Returns 0
+  /// if empty. The returned value is the representative (upper edge) of
+  /// the bucket containing q, clamped into [min(), max()] so q=0.0 yields
+  /// the smallest sample and q=1.0 yields the largest — never a bucket
+  /// edge beyond any recorded value.
   u64 Quantile(double q) const;
 
   u64 Median() const { return Quantile(0.5); }
@@ -49,7 +52,12 @@ class LatencyHistogram {
  private:
   static constexpr int kSubBucketBits = 7;  // 128 sub-buckets per group
   static constexpr u64 kSubBuckets = 1ull << kSubBucketBits;
-  static constexpr int kGroups = 64 - kSubBucketBits;
+  // Group 0 covers [0, kSubBuckets); group g >= 1 covers values whose MSB
+  // sits at bit kSubBucketBits + g - 1. The largest MSB position is 63,
+  // so g runs up to 63 - kSubBucketBits + 1 inclusive — kGroups must be
+  // one more than that or BucketIndex overruns the array for values at
+  // and above 2^63.
+  static constexpr int kGroups = 64 - kSubBucketBits + 1;
 
   static u32 BucketIndex(u64 value);
   static u64 BucketUpperEdge(u32 index);

@@ -10,6 +10,18 @@ bool NotifyChannel::PushRequest(const NotifyEntry& e) {
   if (next == nsq_head_) return false;
   nsq_[nsq_tail_] = e;
   nsq_tail_ = next;
+  if (batching_) {
+    kick_pending_ = true;
+  } else if (request_notify_) {
+    request_notify_();
+  }
+  return true;
+}
+
+bool NotifyChannel::EndBatch() {
+  batching_ = false;
+  if (!kick_pending_) return false;
+  kick_pending_ = false;
   if (request_notify_) request_notify_();
   return true;
 }

@@ -48,6 +48,12 @@ class NotifyChannel {
   void SetRequestNotify(std::function<void()> fn) {
     request_notify_ = std::move(fn);
   }
+  /// Router-side batching (DESIGN.md §10): while a batch is open,
+  /// PushRequest defers the request notification; EndBatch fires it once
+  /// if anything was pushed — one kick per batch instead of per entry.
+  void BeginBatch() { batching_ = true; }
+  /// Closes the batch. Returns true when the deferred kick fired.
+  bool EndBatch();
 
   // --- UIF side ------------------------------------------------------------
   bool PopRequest(NotifyEntry* out);
@@ -95,6 +101,8 @@ class NotifyChannel {
   u32 ncq_head_ = 0, ncq_tail_ = 0;
   std::function<void()> request_notify_;
   std::function<void()> completion_notify_;
+  bool batching_ = false;      // a router batch is open
+  bool kick_pending_ = false;  // a push happened inside the open batch
   bool wedged_ = false;
   u64 completions_dropped_ = 0;
 };

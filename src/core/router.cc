@@ -23,6 +23,12 @@ bool IsTransientStatus(NvmeStatus s) {
   return nvme::StatusSct(s) == nvme::kSctGeneric &&
          nvme::StatusSc(s) == nvme::kScNamespaceNotReady;
 }
+
+/// The per-command remainder of a cost whose `part` is charged once per
+/// batch. Guards against a part configured larger than its parent.
+SimTime PerCmdCost(SimTime total, SimTime part) {
+  return total > part ? total - part : 0;
+}
 }  // namespace
 
 // --- VirtualController --------------------------------------------------------
@@ -63,6 +69,9 @@ void VirtualController::InitMetrics() {
     m_path_latency_[p] = m.GetHistogram(base + ".latency_ns");
   }
   m_latency_ = m.GetHistogram("router.latency_ns");
+  if (costs_->max_batch > 1) {
+    m_batch_size_ = m.GetHistogram("router.batch_size");
+  }
 }
 
 void VirtualController::Stamp(const RequestEntry* e, obs::SpanKind kind,
@@ -205,24 +214,56 @@ VirtualController::RequestEntry* VirtualController::EntryByTag(u32 tag) {
 
 void VirtualController::PollVsq(usize /*unused*/) {
   Touch();
-  // Round-robin one entry from the first non-empty VSQ.
-  bool more = false;
-  for (usize i = 0; i < queues_.size(); i++) {
-    Sqe sqe;
-    if (queues_[i].vsq->Pop(&sqe)) {
-      HandleNewRequest(i, sqe);
-      // Re-arm if anything is still pending on any VSQ.
-      for (const auto& gq : queues_) {
-        if (!gq.vsq->Empty()) more = true;
+  if (costs_->max_batch <= 1) {
+    // Unbatched pipeline: round-robin one entry from the first non-empty
+    // VSQ per dispatch.
+    bool more = false;
+    for (usize i = 0; i < queues_.size(); i++) {
+      Sqe sqe;
+      if (queues_[i].vsq->Pop(&sqe)) {
+        HandleNewRequest(i, sqe);
+        // Re-arm if anything is still pending on any VSQ.
+        for (const auto& gq : queues_) {
+          if (!gq.vsq->Empty()) more = true;
+        }
+        break;
       }
+    }
+    if (more && worker_) worker_->poller().Notify(src_vsq_);
+    return;
+  }
+  // Batched drain (DESIGN.md §10): take every published entry — up to
+  // max_batch — in one dispatch. The classifier context marshal is paid
+  // once per batch; each downstream queue gets one doorbell at flush.
+  u32 avail = 0;
+  for (const auto& gq : queues_) avail += gq.vsq->Pending();
+  if (avail == 0) return;  // a prior drain already consumed this edge
+  u32 n = std::min(avail, costs_->max_batch);
+  if (m_batch_size_) m_batch_size_->Record(n);
+  BeginBatch();
+  worker_->cpu()->Charge(costs_->vsq_batch_setup_ns);
+  u32 left = n;
+  for (usize i = 0; i < queues_.size() && left; i++) {
+    Sqe sqe;
+    while (left && queues_[i].vsq->Pop(&sqe)) {
+      HandleNewRequest(i, sqe, n);
+      left--;
+    }
+  }
+  FlushBatch();
+  for (const auto& gq : queues_) {
+    if (!gq.vsq->Empty() && worker_) {
+      worker_->poller().Notify(src_vsq_);
       break;
     }
   }
-  if (more && worker_) worker_->poller().Notify(src_vsq_);
 }
 
-void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe) {
-  worker_->cpu()->Charge(costs_->vsq_pop_ns);
+void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
+                                         u32 batch_n) {
+  worker_->cpu()->Charge(batch_n ? PerCmdCost(costs_->vsq_pop_ns,
+                                              costs_->vsq_batch_setup_ns)
+                                 : costs_->vsq_pop_ns);
   RequestEntry* e = AllocEntry();
   if (!e) {
     // Routing table exhausted: fail the request (guest sees a busy-ish
@@ -251,6 +292,9 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe) {
     e->start_ns = sim_->now();
     if (m_started_) m_started_->Inc();
     Stamp(e, obs::SpanKind::kVsqPop, 0, sqe.opcode);
+    // Size-1 batches stay unstamped so every existing golden trace is
+    // preserved; aux carries the batch size.
+    if (batch_n > 1) Stamp(e, obs::SpanKind::kBatch, 0, batch_n);
   }
   if (costs_->request_timeout_ns) {
     u32 tag = e->tag;
@@ -352,7 +396,10 @@ void VirtualController::DispatchFast(RequestEntry* e) {
       return;
     }
   }
-  worker_->cpu()->Charge(costs_->fast_forward_ns);
+  worker_->cpu()->Charge(batch_active_
+                             ? PerCmdCost(costs_->fast_forward_ns,
+                                          costs_->sq_doorbell_ns)
+                             : costs_->fast_forward_ns);
   Sqe out = e->sqe;
   out.nsid = cfg_.backend_nsid;
   out.set_slba(e->mediated_slba);
@@ -372,7 +419,12 @@ void VirtualController::DispatchFast(RequestEntry* e) {
   e->paths_used |= 1u << kPathH;
   if (m_sends_[kPathH]) m_sends_[kPathH]->Inc();
   Stamp(e, obs::SpanKind::kDispatchFast, 0, e->mediated_slba);
-  if (!phys_->Submit(gq.host_qid, out)) {
+  // In a batch the command is pushed without ringing; FlushBatch rings
+  // each dirty HSQ tail doorbell once for the whole batch.
+  bool pushed = batch_active_ ? phys_->Push(gq.host_qid, out)
+                              : phys_->Submit(gq.host_qid, out);
+  if (pushed && batch_active_) gq.batch_ring = true;
+  if (!pushed) {
     gq.host_cid_map.erase(cid);
     e->outstanding--;
     e->pending[kPathH]--;
@@ -399,7 +451,10 @@ void VirtualController::DispatchNotify(RequestEntry* e) {
                                     nvme::kScInternalError));
     return;
   }
-  worker_->cpu()->Charge(costs_->notify_push_ns);
+  worker_->cpu()->Charge(batch_active_
+                             ? PerCmdCost(costs_->notify_push_ns,
+                                          costs_->notify_kick_ns)
+                             : costs_->notify_push_ns);
   NotifyEntry entry;
   entry.sqe = e->sqe;
   entry.sqe.set_slba(e->mediated_slba);
@@ -501,58 +556,217 @@ void VirtualController::DispatchKernel(RequestEntry* e) {
 
 void VirtualController::PollHcq() {
   Touch();
-  bool more = false;
+  if (costs_->max_batch <= 1) {
+    bool more = false;
+    for (auto& gq : queues_) {
+      nvme::CqRing* cq = phys_->cq(gq.host_qid);
+      if (!cq) continue;
+      Cqe cqe;
+      if (cq->Peek(&cqe)) {
+        cq->Pop();
+        cq->PublishHead();
+        phys_->RingCqDoorbell(gq.host_qid);
+        worker_->cpu()->Charge(costs_->hcq_handle_ns);
+        auto it = gq.host_cid_map.find(cqe.cid);
+        if (it != gq.host_cid_map.end()) {
+          u32 tag = it->second;
+          gq.host_cid_map.erase(it);
+          OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
+        }
+        if (!cq->Empty()) more = true;
+        break;
+      }
+    }
+    if (!more) {
+      for (auto& gq : queues_) {
+        nvme::CqRing* cq = phys_->cq(gq.host_qid);
+        if (cq && !cq->Empty()) more = true;
+      }
+    }
+    if (more && worker_) worker_->poller().Notify(src_hcq_);
+    return;
+  }
+  // Batched harvest: drain up to max_batch CQEs across the host CQs,
+  // publishing each queue's head doorbell once, then flush the resulting
+  // VCQ posts with one guest interrupt per queue.
+  BeginBatch();
+  u32 left = costs_->max_batch;
+  u32 n = 0;
   for (auto& gq : queues_) {
     nvme::CqRing* cq = phys_->cq(gq.host_qid);
     if (!cq) continue;
     Cqe cqe;
-    if (cq->Peek(&cqe)) {
+    bool popped_any = false;
+    while (left && cq->Peek(&cqe)) {
       cq->Pop();
-      cq->PublishHead();
-      phys_->RingCqDoorbell(gq.host_qid);
-      worker_->cpu()->Charge(costs_->hcq_handle_ns);
+      popped_any = true;
+      left--;
+      n++;
+      worker_->cpu()->Charge(
+          PerCmdCost(costs_->hcq_handle_ns, costs_->cq_doorbell_ns));
       auto it = gq.host_cid_map.find(cqe.cid);
       if (it != gq.host_cid_map.end()) {
         u32 tag = it->second;
         gq.host_cid_map.erase(it);
         OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
       }
-      if (!cq->Empty()) more = true;
+    }
+    if (popped_any) {
+      worker_->cpu()->Charge(costs_->cq_doorbell_ns);
+      cq->PublishHead();
+      phys_->RingCqDoorbell(gq.host_qid);
+    }
+    if (!left) break;
+  }
+  if (n && m_batch_size_) m_batch_size_->Record(n);
+  FlushBatch();
+  for (auto& gq : queues_) {
+    nvme::CqRing* cq = phys_->cq(gq.host_qid);
+    if (cq && !cq->Empty() && worker_) {
+      worker_->poller().Notify(src_hcq_);
       break;
     }
   }
-  if (!more) {
-    for (auto& gq : queues_) {
-      nvme::CqRing* cq = phys_->cq(gq.host_qid);
-      if (cq && !cq->Empty()) more = true;
-    }
-  }
-  if (more && worker_) worker_->poller().Notify(src_hcq_);
 }
 
 void VirtualController::PollNcq() {
   Touch();
   if (!uif_) return;
+  if (costs_->max_batch <= 1) {
+    NotifyCompletion c;
+    if (!uif_->PopCompletion(&c)) return;
+    last_ncq_progress_ = sim_->now();
+    worker_->cpu()->Charge(costs_->ncq_handle_ns);
+    OnTargetDone(c.tag, kPathN, c.status);
+    if (uif_->PendingCompletions() > 0 && worker_) {
+      worker_->poller().Notify(src_ncq_);
+    }
+    return;
+  }
+  BeginBatch();
+  u32 left = costs_->max_batch;
+  u32 n = 0;
   NotifyCompletion c;
-  if (!uif_->PopCompletion(&c)) return;
-  last_ncq_progress_ = sim_->now();
-  worker_->cpu()->Charge(costs_->ncq_handle_ns);
-  OnTargetDone(c.tag, kPathN, c.status);
-  if (uif_->PendingCompletions() > 0 && worker_) {
+  while (left && uif_->PopCompletion(&c)) {
+    last_ncq_progress_ = sim_->now();
+    worker_->cpu()->Charge(costs_->ncq_handle_ns);
+    OnTargetDone(c.tag, kPathN, c.status);
+    left--;
+    n++;
+  }
+  if (n && m_batch_size_) m_batch_size_->Record(n);
+  FlushBatch();
+  if (uif_ && uif_->PendingCompletions() > 0 && worker_) {
     worker_->poller().Notify(src_ncq_);
   }
 }
 
 void VirtualController::PollKcq() {
   Touch();
+  if (costs_->max_batch <= 1) {
+    if (kcq_mailbox_.empty()) return;
+    auto [tag, status] = kcq_mailbox_.front();
+    kcq_mailbox_.pop_front();
+    worker_->cpu()->Charge(costs_->kernel_complete_ns);
+    OnTargetDone(tag, kPathK, status);
+    if (!kcq_mailbox_.empty() && worker_) {
+      worker_->poller().Notify(src_kcq_);
+    }
+    return;
+  }
   if (kcq_mailbox_.empty()) return;
-  auto [tag, status] = kcq_mailbox_.front();
-  kcq_mailbox_.pop_front();
-  worker_->cpu()->Charge(costs_->kernel_complete_ns);
-  OnTargetDone(tag, kPathK, status);
+  BeginBatch();
+  u32 left = costs_->max_batch;
+  u32 n = 0;
+  while (left && !kcq_mailbox_.empty()) {
+    auto [tag, status] = kcq_mailbox_.front();
+    kcq_mailbox_.pop_front();
+    worker_->cpu()->Charge(costs_->kernel_complete_ns);
+    OnTargetDone(tag, kPathK, status);
+    left--;
+    n++;
+  }
+  if (n && m_batch_size_) m_batch_size_->Record(n);
+  FlushBatch();
   if (!kcq_mailbox_.empty() && worker_) {
     worker_->poller().Notify(src_kcq_);
   }
+}
+
+void VirtualController::BeginBatch() {
+  batch_active_ = true;
+  if (uif_) uif_->BeginBatch();
+}
+
+void VirtualController::FlushBatch() {
+  batch_active_ = false;
+  // One tail doorbell per host SQ the batch pushed into. Ordered before
+  // the NSQ kick and the guest interrupts, matching the per-command
+  // pipeline's fast-then-notify-then-complete sequence.
+  for (auto& gq : queues_) {
+    if (!gq.batch_ring) continue;
+    gq.batch_ring = false;
+    worker_->cpu()->Charge(costs_->sq_doorbell_ns);
+    phys_->RingSqDoorbell(gq.host_qid);
+  }
+  // One NSQ kick for every notify-path push of the batch.
+  if (uif_ && uif_->EndBatch()) {
+    worker_->cpu()->Charge(costs_->notify_kick_ns);
+  }
+  // One guest interrupt per guest queue with freshly posted CQEs —
+  // either now or merged further by the coalescing timer.
+  for (usize i = 0; i < queues_.size(); i++) {
+    GuestQueue& gq = queues_[i];
+    if (!gq.batch_irq) continue;
+    gq.batch_irq = false;
+    if (costs_->completion_coalesce_ns == 0) {
+      InjectGuestIrq(gq, std::move(gq.batch_irq_reqs));
+      gq.batch_irq_reqs.clear();
+      continue;
+    }
+    gq.coalesce_reqs.insert(gq.coalesce_reqs.end(),
+                            gq.batch_irq_reqs.begin(),
+                            gq.batch_irq_reqs.end());
+    gq.batch_irq_reqs.clear();
+    if (!gq.coalesce_armed) {
+      // The delay is anchored at the first uncovered completion, so the
+      // added latency is bounded by completion_coalesce_ns regardless of
+      // how many later batches pile on.
+      gq.coalesce_armed = true;
+      sim_->ScheduleAfter(costs_->completion_coalesce_ns, [this, i] {
+        GuestQueue& q = queues_[i];
+        q.coalesce_armed = false;
+        InjectGuestIrq(q, std::move(q.coalesce_reqs));
+        q.coalesce_reqs.clear();
+      });
+    }
+  }
+}
+
+void VirtualController::InjectGuestIrq(GuestQueue& gq,
+                                       std::vector<u64> reqs) {
+  if (!gq.irq) return;
+  worker_->cpu()->Charge(costs_->vcq_irq_ns);
+  auto irq = gq.irq;
+  u32 vmid = cfg_.vm_id;
+  sim_->ScheduleAfter(
+      costs_->irq_inject_latency_ns,
+      [this, irq, vmid, reqs = std::move(reqs)] {
+        if (obs_) {
+          for (u64 rid : reqs) {
+            obs::TraceEvent ev;
+            ev.req_id = rid;
+            ev.t = sim_->now();
+            ev.vm_id = vmid;
+            ev.kind = obs::SpanKind::kIrqInject;
+            obs_->trace().Record(ev);
+          }
+        }
+        // Counts injected interrupts: one per batch here, one per request
+        // in the unbatched pipeline (where batch == request).
+        if (m_irq_injects_) m_irq_injects_->Inc();
+        irq();
+      });
 }
 
 void VirtualController::OnTargetDone(u32 tag, Path path, NvmeStatus status,
@@ -620,8 +834,13 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
   if (e->completed) return;
   e->completed = true;
   completed_++;
-  worker_->cpu()->Charge(costs_->vcq_post_ns);
   GuestQueue& gq = queues_[e->gq_index];
+  // In a batch the interrupt-injection part of the post cost is deferred
+  // to FlushBatch, charged once per guest queue per batch.
+  bool defer_irq = batch_active_ && gq.irq != nullptr;
+  worker_->cpu()->Charge(defer_irq ? PerCmdCost(costs_->vcq_post_ns,
+                                                costs_->vcq_irq_ns)
+                                   : costs_->vcq_post_ns);
   Cqe cqe;
   cqe.cid = e->sqe.cid;
   cqe.sq_id = gq.qid;
@@ -651,7 +870,11 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
     }
     if (m_completed_ && !e->failed_marked) m_completed_->Inc();
   }
-  if (gq.irq) {
+  if (defer_irq) {
+    // FlushBatch signals the whole batch with one interrupt.
+    gq.batch_irq = true;
+    if (obs_ && e->req_id) gq.batch_irq_reqs.push_back(e->req_id);
+  } else if (gq.irq) {
     if (obs_ && e->req_id) {
       // The entry may be freed before the posted interrupt fires; capture
       // what the stamp needs by value.

@@ -91,6 +91,27 @@ struct RouterCosts {
   /// they fail. Off by default: for transforming UIFs (encryption) the
   /// kernel path would bypass the transformation.
   bool uif_failover_to_kernel = false;
+  /// --- Batched pipeline (DESIGN.md §10) --------------------------------
+  /// Commands drained per poller dispatch on each edge (VSQ submissions
+  /// and HCQ/NCQ/KCQ completions). 1 = the classic one-command-per-
+  /// dispatch pipeline; raising it amortizes the per-batch costs below
+  /// over every command that shares a doorbell edge.
+  u32 max_batch = 1;
+  /// Per-batch splits of the per-command costs above. Each knob names
+  /// the portion of its parent cost that is really a per-batch expense
+  /// (classifier context marshal, doorbell MMIO, interrupt injection);
+  /// the remainder stays per command, so a batch of one command charges
+  /// exactly the unbatched figure.
+  SimTime vsq_batch_setup_ns = 80;  // of vsq_pop_ns: classifier ctx setup
+  SimTime sq_doorbell_ns = 60;      // of fast_forward_ns: HSQ tail MMIO
+  SimTime cq_doorbell_ns = 50;      // of hcq_handle_ns: HCQ head MMIO
+  SimTime notify_kick_ns = 60;      // of notify_push_ns: NSQ event kick
+  SimTime vcq_irq_ns = 90;          // of vcq_post_ns: guest IRQ injection
+  /// Completion coalescing: after a harvest batch posts its VCQ entries,
+  /// hold the guest interrupt up to this long so later completions can
+  /// share it. 0 = inject at the end of every batch, which leaves QD1
+  /// latency untouched.
+  SimTime completion_coalesce_ns = 0;
 };
 
 class RouterWorker;
@@ -168,6 +189,15 @@ class VirtualController : public virt::VirtualNvmeBackend {
     u16 host_qid = 0;                 // 1:1 HSQ/HCQ on the physical drive
     std::map<u16, u32> host_cid_map;  // host cid -> routing tag
     u16 next_host_cid = 0;
+    // Batched-pipeline flush state (DESIGN.md §10): only touched while a
+    // batch is open, i.e. when RouterCosts::max_batch > 1.
+    bool batch_ring = false;          // HSQ pushes awaiting one doorbell
+    bool batch_irq = false;           // VCQ posts awaiting one interrupt
+    std::vector<u64> batch_irq_reqs;  // req_ids the pending IRQ covers
+    // Completion coalescing (completion_coalesce_ns > 0): interrupts
+    // deferred past the batch edge, merged until the delay timer fires.
+    bool coalesce_armed = false;
+    std::vector<u64> coalesce_reqs;
   };
 
   struct RequestEntry {
@@ -211,7 +241,20 @@ class VirtualController : public virt::VirtualNvmeBackend {
   void PollHcq();
   void PollNcq();
   void PollKcq();
-  void HandleNewRequest(usize gq_index, const nvme::Sqe& sqe);
+  /// `batch_n` is the size of the drain batch this command arrived in
+  /// (0 = unbatched pipeline): it selects the per-command cost remainder
+  /// and stamps the BATCH span when the batch holds more than one.
+  void HandleNewRequest(usize gq_index, const nvme::Sqe& sqe,
+                        u32 batch_n = 0);
+  // Batched pipeline (DESIGN.md §10). While a batch is open, dispatches
+  // push without ringing and completions defer their guest interrupt;
+  // FlushBatch rings each dirty HSQ doorbell once, kicks the NSQ once
+  // and injects (or coalesces) one interrupt per guest queue.
+  void BeginBatch();
+  void FlushBatch();
+  /// Schedules one guest interrupt for `gq`, stamping kIrqInject for
+  /// every covered request when tracing is on.
+  void InjectGuestIrq(GuestQueue& gq, std::vector<u64> reqs);
   void RunClassifierAndApply(RequestEntry* e, Hook hook,
                              nvme::NvmeStatus error);
   void ApplyVerdict(RequestEntry* e, u64 verdict);
@@ -271,6 +314,9 @@ class VirtualController : public virt::VirtualNvmeBackend {
   std::deque<std::pair<u32, nvme::NvmeStatus>> kcq_mailbox_;
 
   bool fixed_translation_ = false;
+  /// True between BeginBatch and FlushBatch; routes dispatch/completion
+  /// doorbell work through the per-batch flush instead of per command.
+  bool batch_active_ = false;
   RouterWorker* worker_ = nullptr;
   u32 src_vsq_ = 0, src_hcq_ = 0, src_ncq_ = 0, src_kcq_ = 0;
   SimTime last_activity_ = 0;
@@ -309,6 +355,10 @@ class VirtualController : public virt::VirtualNvmeBackend {
   obs::Counter* m_path_timeouts_[3] = {};  // legs abandoned by deadline/death
   LatencyHistogram* m_latency_ = nullptr;       // all guest completions
   LatencyHistogram* m_path_latency_[3] = {};    // single-path requests only
+  // "router.batch_size": drain sizes per dispatch. Registered only when
+  // max_batch > 1 so an unbatched run's metric export stays bit-identical
+  // to the pre-batch pipeline.
+  LatencyHistogram* m_batch_size_ = nullptr;
 };
 
 /// A router worker thread polling the queues of its assigned VMs.

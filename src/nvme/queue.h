@@ -48,8 +48,14 @@ class SqRing {
   /// Free slots from the producer's perspective (before publishing).
   u32 SpaceLeft() const;
 
-  /// Current consumer head index (reported in CQE sq_head).
-  u16 head() const { return static_cast<u16>(head_); }
+  /// Current consumer head index (reported in CQE sq_head). The u16
+  /// narrowing is exact: head_ < entries_ <= kMaxQueueEntries = 64K, so
+  /// the largest representable index is 65535.
+  u16 head() const {
+    static_assert(kMaxQueueEntries <= 65536,
+                  "sq_head is a 16-bit field; indices must fit");
+    return static_cast<u16>(head_);
+  }
 
   bool Empty() const { return Pending() == 0; }
 
@@ -94,6 +100,11 @@ class CqRing {
  private:
   u8* base_;
   u32 entries_;
+  // The phase tags flip when tail_/head_ wrap to slot 0 — NOT when the
+  // head doorbell wraps. head_doorbell_ only gates the full check in
+  // Push(); it may lag head_ by up to entries_-1 slots without affecting
+  // phase bookkeeping (ring-wrap tests pin this at non-power-of-two
+  // sizes).
   u32 tail_ = 0;            // producer tail
   bool producer_phase_ = true;
   u32 head_ = 0;            // consumer head

@@ -21,11 +21,36 @@ const typename Map::mapped_type::element_type* FindOnly(
   return it == map.end() ? nullptr : it->second.get();
 }
 
+/// Escapes a metric name for use inside a JSON string literal. Names are
+/// dotted identifiers by convention, but the export must stay valid JSON
+/// for any registered name (quotes, backslashes, control characters).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
 void AppendJsonKey(std::string* out, const std::string& name, bool* first) {
   if (!*first) out->push_back(',');
   *first = false;
   out->push_back('"');
-  *out += name;  // metric names are dotted identifiers, no escaping needed
+  AppendJsonEscaped(out, name);
   *out += "\":";
 }
 }  // namespace

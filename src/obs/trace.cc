@@ -21,6 +21,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kTimeout: return "TIMEOUT";
     case SpanKind::kRetry: return "RETRY";
     case SpanKind::kUifFailover: return "UIF_FAILOVER";
+    case SpanKind::kBatch: return "BATCH";
   }
   return "?";
 }

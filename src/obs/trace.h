@@ -41,6 +41,8 @@ enum class SpanKind : u8 {
   kTimeout,            // request deadline fired; outstanding legs aborted
   kRetry,              // a transient leg failure was re-dispatched
   kUifFailover,        // notify leg abandoned (UIF dead / detached)
+  kBatch,              // request drained in a multi-command batch
+                       // (aux = batch size; only stamped for size > 1)
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -119,11 +119,15 @@ void SimulatedController::RingCqDoorbell(u16 qid) {
 }
 
 bool SimulatedController::Submit(u16 qid, const Sqe& sqe) {
-  if (fault_ && !fault_->OnSsdSubmit()) return false;
-  nvme::SqRing* ring = sq(qid);
-  if (!ring || !ring->Push(sqe)) return false;
+  if (!Push(qid, sqe)) return false;
   RingSqDoorbell(qid);
   return true;
+}
+
+bool SimulatedController::Push(u16 qid, const Sqe& sqe) {
+  if (fault_ && !fault_->OnSsdSubmit()) return false;
+  nvme::SqRing* ring = sq(qid);
+  return ring && ring->Push(sqe);
 }
 
 void SimulatedController::ProcessSq(u16 qid) {

@@ -120,6 +120,11 @@ class SimulatedController {
   /// full.
   bool Submit(u16 qid, const nvme::Sqe& sqe);
 
+  /// Push without ringing: lets a driver batch several commands into the
+  /// SQ and publish the tail doorbell once (RingSqDoorbell). The fault
+  /// injector's submit gate applies exactly as in Submit().
+  bool Push(u16 qid, const nvme::Sqe& sqe);
+
   // --- Admin queue ---------------------------------------------------------
 
   nvme::SqRing* admin_sq() { return queues_[0]->sq; }

@@ -79,25 +79,32 @@ u64 UifHost::TotalCpuBusyNs() const {
 
 void UifHost::PollChannel(usize index) {
   UifFunction& fn = *functions_[index];
+  // Batched harvest (DESIGN.md §10): drain up to max_batch NSQ entries
+  // per dispatch. With max_batch == 1 this is exactly the classic
+  // one-command-per-dispatch loop.
+  u32 budget = std::max<u32>(1, params_.max_batch);
   core::NotifyEntry entry;
-  if (!fn.channel_->PopRequest(&entry)) return;
-  fn.requests_++;
-  if (fn.m_requests_) fn.m_requests_->Inc();
-  poll_cpu()->Charge(params_.per_req_parse_ns);
-  if (fn.obs_ && entry.req_id) {
-    fn.inflight_[entry.tag] = entry.req_id;
-    obs::TraceEvent ev;
-    ev.req_id = entry.req_id;
-    ev.t = sim_->now();
-    ev.aux = entry.sqe.opcode;
-    ev.vm_id = entry.vm_id;
-    ev.kind = obs::SpanKind::kUifWork;
-    fn.obs_->trace().Record(ev);
+  u32 handled = 0;
+  while (handled < budget && fn.channel_->PopRequest(&entry)) {
+    handled++;
+    fn.requests_++;
+    if (fn.m_requests_) fn.m_requests_->Inc();
+    poll_cpu()->Charge(params_.per_req_parse_ns);
+    if (fn.obs_ && entry.req_id) {
+      fn.inflight_[entry.tag] = entry.req_id;
+      obs::TraceEvent ev;
+      ev.req_id = entry.req_id;
+      ev.t = sim_->now();
+      ev.aux = entry.sqe.opcode;
+      ev.vm_id = entry.vm_id;
+      ev.kind = obs::SpanKind::kUifWork;
+      fn.obs_->trace().Record(ev);
+    }
+    u16 status = nvme::kStatusSuccess;
+    bool async = fn.impl_->work(entry.sqe, entry.tag, status);
+    if (!async) fn.Respond(entry.tag, status);
   }
-  u16 status = nvme::kStatusSuccess;
-  bool async = fn.impl_->work(entry.sqe, entry.tag, status);
-  if (!async) fn.Respond(entry.tag, status);
-  if (fn.channel_->PendingRequests() > 0) {
+  if (handled && fn.channel_->PendingRequests() > 0) {
     poller_->Notify(sources_[index]);
   }
 }

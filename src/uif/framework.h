@@ -67,6 +67,10 @@ struct UifHostParams {
   SimTime idle_timeout_ns = 40 * kUs;
   SimTime wakeup_latency_ns = 4 * kUs;
   SimTime dispatch_cost_ns = 130;
+  /// NSQ entries harvested per poll dispatch (DESIGN.md §10). 1 = one
+  /// command per dispatch; raising it amortizes the dispatch cost over a
+  /// burst of router pushes. Per-command parse cost is unchanged.
+  u32 max_batch = 1;
   /// Optional metrics + trace sink ("uif.requests"/"uif.responses"
   /// counters, kUifWork/kUifRespond spans, "<name>.poller.*" counters).
   obs::Observability* obs = nullptr;

@@ -289,6 +289,62 @@ TEST(HistogramTest, HandlesHugeValues) {
   EXPECT_GE(h.Quantile(0.99), h.Quantile(0.01));
 }
 
+// Quantile edge cases: q=0.0 must report the smallest sample and q=1.0 the
+// largest — never a bucket edge beyond any recorded value — and the
+// extremes must hold for empty, single-sample and huge-value histograms.
+
+TEST(HistogramTest, QuantileExtremesAreMinAndMax) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(5000);
+  h.Record(9000);
+  EXPECT_EQ(h.Quantile(0.0), h.min());
+  EXPECT_EQ(h.Quantile(1.0), h.max());
+  // Out-of-range q clamps, never over-runs a bucket.
+  EXPECT_EQ(h.Quantile(-0.5), h.min());
+  EXPECT_EQ(h.Quantile(2.0), h.max());
+}
+
+TEST(HistogramTest, QuantileEmptyIsZeroForAllQ) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+  EXPECT_EQ(h.Quantile(0.999), 0u);
+}
+
+TEST(HistogramTest, QuantileSingleSampleIsThatSampleForAllQ) {
+  LatencyHistogram h;
+  h.Record(123456789);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 123456789u) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileNeverExceedsMaxUnderBucketRounding) {
+  // 10001 falls mid-bucket at this magnitude: the bucket's upper edge is
+  // above the sample, so an unclamped q=1.0 would over-report.
+  LatencyHistogram h;
+  h.RecordMany(10001, 1000);
+  EXPECT_EQ(h.Quantile(1.0), 10001u);
+  EXPECT_EQ(h.Quantile(0.0), 10001u);
+  EXPECT_LE(h.Quantile(0.5), h.max());
+}
+
+TEST(HistogramTest, QuantileHugeValuesStayInBounds) {
+  // Values at and above 2^63 land in the last bucket group; quantiles must
+  // stay within [min, max] with no bucket-array over-run (ASan-checked).
+  LatencyHistogram h;
+  h.Record(1ull << 63);
+  h.Record(~0ull);
+  h.Record((1ull << 63) + (1ull << 62));
+  EXPECT_EQ(h.Quantile(0.0), h.min());
+  EXPECT_EQ(h.Quantile(1.0), ~0ull);
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_GE(h.Quantile(q), h.min()) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), h.max()) << "q=" << q;
+  }
+}
+
 // --- Flags --------------------------------------------------------------------
 
 TEST(FlagsTest, ParsesAllTypes) {

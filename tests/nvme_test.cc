@@ -232,6 +232,154 @@ TEST_F(CqRingFixture, PendingCountsVisibleEntries) {
   EXPECT_EQ(ring.Pending(), 1u);
 }
 
+// --- Ring wrap-around audit ---------------------------------------------------
+//
+// Pushes/pops through several full wraps at non-power-of-two sizes (where
+// `% entries` and the phase flips land mid-lap relative to any power-of-two
+// assumption), including the full-ring one-slot-free boundary, and checks
+// the consumer head the ring would report in CQE sq_head at every step.
+
+class SqRingWrapTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SqRingWrapTest, ThreeWrapsWithFullBoundary) {
+  const u32 entries = GetParam();
+  std::vector<u8> mem(static_cast<usize>(entries) * sizeof(Sqe), 0);
+  SqRing ring(mem.data(), entries);
+
+  // Each round fills the ring completely (entries - 1 slots), verifies the
+  // full condition, then drains it — so every round is one full wrap plus
+  // the boundary checks.
+  u16 push_cid = 0, pop_cid = 0;
+  u32 expected_head = 0;
+  for (int round = 0; round < 4; round++) {
+    for (u32 i = 0; i < entries - 1; i++) {
+      Sqe s;
+      s.cid = push_cid++;
+      ASSERT_TRUE(ring.Push(s)) << "round " << round << " i " << i;
+    }
+    EXPECT_FALSE(ring.Push(Sqe{})) << "round " << round;  // one slot free
+    EXPECT_EQ(ring.SpaceLeft(), 0u);
+    ring.PublishTail();
+    EXPECT_EQ(ring.Pending(), entries - 1);
+    Sqe out;
+    for (u32 i = 0; i < entries - 1; i++) {
+      EXPECT_EQ(ring.head(), expected_head);
+      ASSERT_TRUE(ring.Pop(&out));
+      EXPECT_EQ(out.cid, pop_cid++);
+      expected_head = (expected_head + 1) % entries;
+    }
+    EXPECT_FALSE(ring.Pop(&out));
+    EXPECT_TRUE(ring.Empty());
+    EXPECT_EQ(ring.head(), expected_head);
+  }
+}
+
+TEST_P(SqRingWrapTest, UnevenCadenceDriftsAcrossWraps) {
+  const u32 entries = GetParam();
+  std::vector<u8> mem(static_cast<usize>(entries) * sizeof(Sqe), 0);
+  SqRing ring(mem.data(), entries);
+
+  // Push 2 / pop 1 until full, then pop the backlog: the wrap point lands
+  // at a different slot every lap.
+  u16 push_cid = 0, pop_cid = 0;
+  u32 outstanding = 0;
+  for (int step = 0; step < 4 * static_cast<int>(entries); step++) {
+    for (int k = 0; k < 2 && outstanding < entries - 1; k++) {
+      Sqe s;
+      s.cid = push_cid++;
+      ASSERT_TRUE(ring.Push(s));
+      outstanding++;
+    }
+    ring.PublishTail();
+    ASSERT_EQ(ring.Pending(), outstanding);
+    Sqe out;
+    ASSERT_TRUE(ring.Pop(&out));
+    EXPECT_EQ(out.cid, pop_cid++);
+    outstanding--;
+    EXPECT_EQ(ring.SpaceLeft(), entries - 1 - outstanding);
+  }
+  Sqe out;
+  while (outstanding > 0) {
+    ASSERT_TRUE(ring.Pop(&out));
+    EXPECT_EQ(out.cid, pop_cid++);
+    outstanding--;
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(NonPowerOfTwo, SqRingWrapTest,
+                         ::testing::Values(3u, 65u));
+
+class CqRingWrapTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CqRingWrapTest, ThreeWrapsWithFullBoundaryAndLateDoorbell) {
+  const u32 entries = GetParam();
+  std::vector<u8> mem(static_cast<usize>(entries) * sizeof(Cqe), 0);
+  CqRing ring(mem.data(), entries);
+
+  u16 push_cid = 0, pop_cid = 0;
+  for (int round = 0; round < 4; round++) {
+    // Fill to the one-slot-free boundary.
+    for (u32 i = 0; i < entries - 1; i++) {
+      Cqe in;
+      in.cid = push_cid++;
+      ASSERT_TRUE(ring.Push(in)) << "round " << round << " i " << i;
+    }
+    EXPECT_FALSE(ring.Push(Cqe{})) << "round " << round;
+    EXPECT_EQ(ring.Pending(), entries - 1);
+    // Drain with the head doorbell published only at the end — the phase
+    // protocol must stay consistent even though the producer still sees
+    // the ring full.
+    Cqe out;
+    for (u32 i = 0; i < entries - 1; i++) {
+      ASSERT_TRUE(ring.Peek(&out));
+      EXPECT_EQ(out.cid, pop_cid++);
+      ring.Pop();
+    }
+    EXPECT_FALSE(ring.Peek(&out));
+    EXPECT_EQ(ring.Pending(), 0u);
+    EXPECT_FALSE(ring.Push(Cqe{}));  // doorbell not yet published
+    ring.PublishHead();
+  }
+}
+
+TEST_P(CqRingWrapTest, UnevenCadencePhaseStaysConsistent) {
+  const u32 entries = GetParam();
+  std::vector<u8> mem(static_cast<usize>(entries) * sizeof(Cqe), 0);
+  CqRing ring(mem.data(), entries);
+
+  u16 push_cid = 0, pop_cid = 0;
+  u32 outstanding = 0;
+  for (int step = 0; step < 4 * static_cast<int>(entries); step++) {
+    for (int k = 0; k < 2 && outstanding < entries - 1; k++) {
+      Cqe in;
+      in.cid = push_cid++;
+      ASSERT_TRUE(ring.Push(in));
+      outstanding++;
+    }
+    ASSERT_EQ(ring.Pending(), outstanding);
+    Cqe out;
+    ASSERT_TRUE(ring.Peek(&out));
+    EXPECT_EQ(out.cid, pop_cid++);
+    ring.Pop();
+    ring.PublishHead();
+    outstanding--;
+  }
+  Cqe out;
+  while (outstanding > 0) {
+    ASSERT_TRUE(ring.Peek(&out));
+    EXPECT_EQ(out.cid, pop_cid++);
+    ring.Pop();
+    ring.PublishHead();
+    outstanding--;
+  }
+  EXPECT_FALSE(ring.Peek(&out));
+  EXPECT_EQ(ring.Pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NonPowerOfTwo, CqRingWrapTest,
+                         ::testing::Values(3u, 65u));
+
 // --- PRP ----------------------------------------------------------------------
 
 class PrpRoundTripTest

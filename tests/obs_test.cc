@@ -5,6 +5,7 @@
 // order shows up here as a diff, not as a silent regression.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -122,6 +123,214 @@ TEST(MetricsRegistryTest, ExportsTextAndJson) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"b.count\":7"), std::string::npos);
   EXPECT_EQ(json.find('\n'), std::string::npos);  // one line for tooling
+}
+
+// --- JSON validity ------------------------------------------------------------
+//
+// A minimal strict JSON parser (objects, strings with escapes, numbers):
+// enough to round-trip MetricsRegistry::ToJson and reject anything a real
+// tool would reject — trailing commas, unescaped control characters, bare
+// NaN. Returns the parsed value so tests can assert on content, not just
+// shape.
+
+struct JsonValue {
+  enum class Kind { kObject, kNumber, kString } kind = Kind::kNumber;
+  double num = 0;
+  std::string str;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    pos_++;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      pos_++;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        pos_++;
+        continue;  // strict: the next token must be a key, not '}'
+      }
+      if (s_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    pos_++;
+    out->clear();
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        pos_++;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            unsigned int cp = 0;
+            for (int i = 1; i <= 4; i++) {
+              char h = s_[pos_ + i];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            if (cp > 0xff) return false;  // names here are byte strings
+            out->push_back(static_cast<char>(cp));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        pos_++;
+        continue;
+      }
+      out->push_back(static_cast<char>(c));
+      pos_++;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    usize start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') pos_++;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return false;  // also rejects NaN / inf / true
+    out->kind = JsonValue::Kind::kNumber;
+    try {
+      out->num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  usize pos_ = 0;
+};
+
+TEST(MetricsRegistryTest, JsonExportRoundTripsThroughStrictParser) {
+  MetricsRegistry m;
+  m.GetCounter("router.requests")->Inc(12345);
+  m.GetGauge("router.inflight")->Set(-3);
+  m.GetHistogram("router.lat")->Record(777);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(m.ToJson()).Parse(&root)) << m.ToJson();
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(root.object.count("counters"), 1u);
+  ASSERT_EQ(root.object.count("gauges"), 1u);
+  ASSERT_EQ(root.object.count("histograms"), 1u);
+  EXPECT_EQ(root.object["counters"].object["router.requests"].num, 12345.0);
+  EXPECT_EQ(root.object["gauges"].object["router.inflight"].num, -3.0);
+  JsonValue& h = root.object["histograms"].object["router.lat"];
+  ASSERT_EQ(h.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(h.object["count"].num, 1.0);
+  EXPECT_EQ(h.object["p50_ns"].num, 777.0);
+}
+
+TEST(MetricsRegistryTest, JsonExportEscapesHostileNames) {
+  MetricsRegistry m;
+  const std::string hostile = "evil\"name\\with\nnewline\tand\x01ctrl";
+  m.GetCounter(hostile)->Inc(1);
+  m.GetCounter("plain.name")->Inc(2);
+  std::string json = m.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // still one line
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  // The escaped name decodes back to the original bytes.
+  ASSERT_EQ(root.object["counters"].object.count(hostile), 1u) << json;
+  EXPECT_EQ(root.object["counters"].object[hostile].num, 1.0);
+  EXPECT_EQ(root.object["counters"].object["plain.name"].num, 2.0);
+}
+
+TEST(MetricsRegistryTest, JsonExportEmptyAndEmptyNameAreValid) {
+  MetricsRegistry empty;
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(empty.ToJson()).Parse(&root));
+  EXPECT_TRUE(root.object["counters"].object.empty());
+
+  MetricsRegistry m;
+  m.GetCounter("")->Inc(9);  // degenerate but must not corrupt the export
+  m.GetHistogram("h");       // empty histogram: mean must print as 0.0
+  JsonValue root2;
+  ASSERT_TRUE(JsonParser(m.ToJson()).Parse(&root2)) << m.ToJson();
+  EXPECT_EQ(root2.object["counters"].object[""].num, 9.0);
+  EXPECT_EQ(root2.object["histograms"].object["h"].object["mean_ns"].num,
+            0.0);
 }
 
 TEST(MetricsRegistryTest, ResetZeroesButKeepsPointers) {
