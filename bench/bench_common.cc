@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
+
 namespace nvmetro::bench {
 
 void DefineBenchFlags(Flags* flags) {
@@ -18,6 +20,14 @@ void DefineBenchFlags(Flags* flags) {
                     "dump the metrics registry as one-line JSON");
   flags->DefineInt("trace", 0,
                    "dump the trace spans of the last N requests per cell");
+  flags->DefineString("perfetto", "",
+                      "write a Chrome/Perfetto trace-event JSON file");
+  flags->DefineString("prom", "",
+                      "write a Prometheus text-format metrics file");
+  flags->DefineString("timeseries", "",
+                      "write a telemetry time-series CSV file");
+  flags->DefineInt("timeseries-interval-us", 1000,
+                   "time-series sampling window (microseconds)");
 }
 
 BenchOptions OptionsFromFlags(const Flags& flags) {
@@ -32,11 +42,83 @@ BenchOptions OptionsFromFlags(const Flags& flags) {
   opts.metrics = flags.GetBool("metrics");
   opts.metrics_json = flags.GetBool("metrics-json");
   opts.trace_requests = static_cast<u32>(flags.GetInt("trace"));
+  opts.perfetto_path = flags.GetString("perfetto");
+  opts.prom_path = flags.GetString("prom");
+  opts.timeseries_path = flags.GetString("timeseries");
+  opts.timeseries_interval =
+      static_cast<SimTime>(flags.GetInt("timeseries-interval-us")) * kUs;
   return opts;
 }
 
 bool WantObservability(const BenchOptions& opts) {
-  return opts.metrics || opts.metrics_json || opts.trace_requests > 0;
+  return opts.metrics || opts.metrics_json || opts.trace_requests > 0 ||
+         !opts.perfetto_path.empty() || !opts.prom_path.empty() ||
+         !opts.timeseries_path.empty();
+}
+
+bool WriteTelemetryFile(const std::string& path, const std::string& data,
+                        const char* what) {
+  if (path == "-") {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s to '%s'\n", what, path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+TelemetrySession::TelemetrySession(sim::Simulator* sim,
+                                   obs::Observability* obs,
+                                   const BenchOptions& opts)
+    : sim_(sim), obs_(obs), opts_(opts) {
+  if (opts_.timeseries_path.empty()) return;
+  obs::TimeSeries::Config cfg;
+  cfg.interval_ns = opts_.timeseries_interval;
+  timeseries_ = std::make_unique<obs::TimeSeries>(&obs_->metrics(), cfg);
+  // The standard probe set: throughput, windowed tail latency, queue
+  // depths, batching and fault state.
+  timeseries_->AddCounterProbe("iops", "router.completed");
+  timeseries_->AddCounterProbe("errors", "router.failed");
+  timeseries_->AddHistogramProbe("lat", "router.latency_ns");
+  timeseries_->AddHistogramProbe("batch", "router.batch_size");
+  timeseries_->AddGaugeProbe("inflight", "router.inflight");
+  timeseries_->AddGaugeProbe("ssd_inflight", "ssd.inflight");
+  timeseries_->AddGaugeProbe("nsq_backlog", "uif.nsq.backlog");
+  timeseries_->AddGaugeProbe("link_down", "fault.link_down");
+  timeseries_->AddGaugeProbe("uif_wedged", "fault.uif_wedged");
+  timeseries_->AddGaugeProbe("sq_full", "fault.sq_full");
+}
+
+TelemetrySession::~TelemetrySession() = default;
+
+void TelemetrySession::Start(SimTime horizon) {
+  if (!timeseries_) return;
+  timeseries_->Start(sim_->now(), sim_->now() + horizon,
+                     [this](SimTime at, std::function<void()> fn) {
+                       sim_->ScheduleAt(at, std::move(fn));
+                     });
+}
+
+void TelemetrySession::Finish() {
+  if (!opts_.perfetto_path.empty()) {
+    WriteTelemetryFile(opts_.perfetto_path,
+                       obs::ExportPerfettoJson(obs_->trace()),
+                       "Perfetto trace");
+  }
+  if (!opts_.prom_path.empty()) {
+    WriteTelemetryFile(opts_.prom_path,
+                       obs::ExportPrometheusText(obs_->metrics()),
+                       "Prometheus metrics");
+  }
+  if (timeseries_ && !opts_.timeseries_path.empty()) {
+    WriteTelemetryFile(opts_.timeseries_path, timeseries_->ToCsv(),
+                       "time-series CSV");
+  }
 }
 
 void DumpObservability(const obs::Observability& obs,
@@ -94,9 +176,18 @@ FioResult RunCell(SolutionKind kind, const CellSpec& cell,
   cfg.duration = opts.duration;
   cfg.seed = opts.seed;
 
+  TelemetrySession telemetry(&tb.sim, &obs, opts);
+  if (want_obs) {
+    // Horizon with drain slack so the tail windows are still sampled.
+    telemetry.Start(opts.warmup + opts.duration + 40 * kMs);
+  }
+
   if (opts.num_vms == 1) {
     FioResult r = Fio::Run(&tb.sim, bundle->vm_solution(0), cfg);
-    if (want_obs) DumpObservability(obs, opts);
+    if (want_obs) {
+      telemetry.Finish();
+      DumpObservability(obs, opts);
+    }
     return r;
   }
   // Multi-VM: aggregate.
@@ -118,7 +209,10 @@ FioResult RunCell(SolutionKind kind, const CellSpec& cell,
     agg.guest_cpu_pct += r.guest_cpu_pct;
   }
   agg.host_cpu_pct = results[0].host_cpu_pct;  // host agents are shared
-  if (want_obs) DumpObservability(obs, opts);
+  if (want_obs) {
+    telemetry.Finish();
+    DumpObservability(obs, opts);
+  }
   return agg;
 }
 

@@ -12,6 +12,7 @@
 #include "common/strutil.h"
 #include "common/table.h"
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 #include "workload/fio.h"
 
 namespace nvmetro::bench {
@@ -49,6 +50,12 @@ struct BenchOptions {
   bool metrics = false;
   bool metrics_json = false;
   u32 trace_requests = 0;  // dump the last N request traces
+  /// Telemetry exports (--perfetto/--prom/--timeseries): file paths,
+  /// empty = off. Any of them implies observability, like the dump flags.
+  std::string perfetto_path;
+  std::string prom_path;
+  std::string timeseries_path;
+  SimTime timeseries_interval = 1 * kMs;
 };
 
 /// True when any observability output was requested.
@@ -68,6 +75,32 @@ BenchOptions OptionsFromFlags(const Flags& flags);
 /// reports bundle-level host CPU through the FioResult cpu fields.
 FioResult RunCell(SolutionKind kind, const CellSpec& cell,
                   const BenchOptions& opts);
+
+/// One cell's telemetry exports: a windowed TimeSeries sampler over the
+/// standard probes (IOPS, windowed p50/p99, queue depths, batch size,
+/// fault state) plus the Perfetto/Prometheus file writers. Construct
+/// before the run, Start() with the run's sim-time horizon (pre-schedules
+/// the sampling ticks), Finish() after the run to write the files.
+/// Inert when none of the telemetry paths are set.
+class TelemetrySession {
+ public:
+  TelemetrySession(sim::Simulator* sim, obs::Observability* obs,
+                   const BenchOptions& opts);
+  ~TelemetrySession();
+
+  void Start(SimTime horizon);
+  void Finish();
+
+ private:
+  sim::Simulator* sim_;
+  obs::Observability* obs_;
+  BenchOptions opts_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+};
+
+/// Writes `data` to `path` ("-" = stdout); warns on failure.
+bool WriteTelemetryFile(const std::string& path, const std::string& data,
+                        const char* what);
 
 /// The six basic solutions of §V-B, in the paper's legend order.
 const std::vector<SolutionKind>& BasicSolutions();

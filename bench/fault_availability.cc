@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "fault/fault.h"
+#include "obs/slo.h"
 
 namespace nvmetro::bench {
 namespace {
@@ -30,7 +31,20 @@ BenchOptions DumpOptionsFromFlags(const Flags& flags) {
   opts.metrics = flags.GetBool("metrics");
   opts.metrics_json = flags.GetBool("metrics-json");
   opts.trace_requests = static_cast<u32>(flags.GetInt("trace"));
+  opts.perfetto_path = flags.GetString("perfetto");
+  opts.prom_path = flags.GetString("prom");
+  opts.timeseries_path = flags.GetString("timeseries");
+  opts.timeseries_interval =
+      static_cast<SimTime>(flags.GetInt("timeseries-interval-us")) * kUs;
   return opts;
+}
+
+/// Wraps Simulator::ScheduleAt for the obs-side samplers (the obs
+/// library is a leaf and cannot link the simulator itself).
+obs::TelemetryScheduler SimScheduler(sim::Simulator* sim) {
+  return [sim](SimTime at, std::function<void()> fn) {
+    sim->ScheduleAt(at, std::move(fn));
+  };
 }
 
 int RunTimeline(const Flags& flags) {
@@ -61,6 +75,19 @@ int RunTimeline(const Flags& flags) {
                          .at_ns = down_at,
                          .duration_ns = down_for});
   injector.Arm(plan);
+
+  // SLO watchdog: guest-visible write failures breach immediately; the
+  // breach timeline must agree with the availability check below (a
+  // replica outage handled by degraded mode is NOT an outage).
+  obs::SloWatchdog slo(&obs.metrics(), &obs.trace(), {.interval_ns = 1 * kMs});
+  slo.AddErrorRateTarget("write_errors", "router.failed", "router.requests",
+                         0.0);
+  const SimTime horizon = duration + 40 * kMs;  // drain slack
+  slo.Start(0, horizon, SimScheduler(&tb.sim));
+
+  BenchOptions dump = DumpOptionsFromFlags(flags);
+  TelemetrySession telemetry(&tb.sim, &obs, dump);
+  telemetry.Start(horizon);
 
   baselines::StorageSolution* sol = bundle->vm_solution(0);
   ReplicatorUif* repl = bundle->replicator(0);
@@ -135,8 +162,11 @@ int RunTimeline(const Flags& flags) {
       (unsigned long long)repl->degraded_writes(),
       (unsigned long long)repl->resynced_sectors(),
       repl->degraded() ? "DEGRADED" : "clean");
+  std::printf("slo: %llu windows, %llu breached\n",
+              (unsigned long long)slo.windows_evaluated(),
+              (unsigned long long)slo.breach_windows("write_errors"));
 
-  BenchOptions dump = DumpOptionsFromFlags(flags);
+  telemetry.Finish();
   if (WantObservability(dump)) DumpObservability(obs, dump);
 
   // The run itself is an availability check: every write must complete
@@ -144,6 +174,15 @@ int RunTimeline(const Flags& flags) {
   if (completed != submitted || errors || repl->degraded() ||
       repl->dirty_sectors() != 0) {
     std::fprintf(stderr, "FAIL: outage was guest-visible or unresolved\n");
+    return 1;
+  }
+  // The watchdog's view must match: guest-visible errors iff breaches.
+  if ((slo.breach_windows("write_errors") > 0) != (errors > 0)) {
+    std::fprintf(stderr,
+                 "FAIL: SLO breach timeline disagrees with the outage "
+                 "check (%llu breach windows, %llu errors)\n",
+                 (unsigned long long)slo.breach_windows("write_errors"),
+                 (unsigned long long)errors);
     return 1;
   }
   return 0;
@@ -192,6 +231,15 @@ bool SweepOne(SolutionKind kind, u64 seed, const BenchOptions& dump) {
   FaultPlan plan = FaultPlan::Random(seed, caps);
   injector.Arm(plan);
 
+  // SLO watchdog armed alongside the invariant checker: with a zero
+  // error-rate budget and windows telescoping over the whole run, it
+  // must breach iff any request reached the guest with an error.
+  obs::SloWatchdog slo(&obs.metrics(), &obs.trace(), {.interval_ns = 1 * kMs});
+  if (RouterKind(kind)) {
+    slo.AddErrorRateTarget("errors", "router.failed", "router.requests", 0.0);
+    slo.Start(0, 40 * kMs, SimScheduler(&tb.sim));
+  }
+
   baselines::StorageSolution* sol = bundle->vm_solution(0);
   const u64 ops = 64;
   u64 done = 0, failed = 0;
@@ -223,11 +271,20 @@ bool SweepOne(SolutionKind kind, u64 seed, const BenchOptions& dump) {
     }
   }
   ok = ok && obs.trace().open_requests() == 0;
-  std::printf("%-20s seed=%-3llu %-4s done=%llu/%llu failed=%llu  %s\n",
-              SolutionKindName(kind), (unsigned long long)seed,
-              ok ? "ok" : "FAIL", (unsigned long long)done,
-              (unsigned long long)ops, (unsigned long long)failed,
-              plan.ToString().c_str());
+  u64 breach_windows = 0;
+  if (RouterKind(kind)) {
+    // Breach-timeline agreement: no new false positives or negatives
+    // relative to the router's own failure accounting.
+    breach_windows = slo.breach_windows("errors");
+    ok = ok && (breach_windows > 0) == (m.CounterValue("router.failed") > 0);
+  }
+  std::printf(
+      "%-20s seed=%-3llu %-4s done=%llu/%llu failed=%llu slo_breaches=%llu"
+      "  %s\n",
+      SolutionKindName(kind), (unsigned long long)seed, ok ? "ok" : "FAIL",
+      (unsigned long long)done, (unsigned long long)ops,
+      (unsigned long long)failed, (unsigned long long)breach_windows,
+      plan.ToString().c_str());
   if (WantObservability(dump)) DumpObservability(obs, dump);
   return ok;
 }
@@ -270,6 +327,14 @@ int Main(int argc, const char* const* argv) {
   flags.DefineBool("metrics", false, "dump the metrics registry");
   flags.DefineBool("metrics-json", false, "dump metrics as JSON");
   flags.DefineInt("trace", 0, "dump the last N request traces");
+  flags.DefineString("perfetto", "",
+                     "write a Chrome/Perfetto trace-event JSON file");
+  flags.DefineString("prom", "",
+                     "write a Prometheus text-format metrics file");
+  flags.DefineString("timeseries", "",
+                     "write a telemetry time-series CSV file");
+  flags.DefineInt("timeseries-interval-us", 1000,
+                  "time-series sampling window (microseconds)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

@@ -71,6 +71,26 @@ u64 LatencyHistogram::Quantile(double q) const {
   return max_;
 }
 
+u64 LatencyHistogram::DeltaQuantile(const LatencyHistogram& prev,
+                                    double q) const {
+  u64 n = count_ - prev.count_;
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  u64 target = static_cast<u64>(q * static_cast<double>(n - 1)) + 1;
+  if (target > n) target = n;
+  u64 seen = 0;
+  for (usize i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i] - prev.buckets_[i];
+    if (seen >= target) {
+      u64 edge = BucketUpperEdge(static_cast<u32>(i));
+      // Per-window min/max aren't tracked; clamp against the lifetime max
+      // so the edge never exceeds any recorded value.
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
 double LatencyHistogram::Mean() const {
   if (count_ == 0) return 0.0;
   return static_cast<double>(sum_) / static_cast<double>(count_);

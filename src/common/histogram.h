@@ -38,11 +38,32 @@ class LatencyHistogram {
 
   u64 Median() const { return Quantile(0.5); }
   u64 P99() const { return Quantile(0.99); }
+  u64 P999() const { return Quantile(0.999); }
 
   u64 count() const { return count_; }
   u64 min() const { return count_ ? min_ : 0; }
   u64 max() const { return max_; }
+  /// Sum of all recorded samples (CPU-accounting figures can be rebuilt
+  /// from a snapshot: sum / count == mean, sums add across histograms).
+  u64 sum() const { return sum_; }
   double Mean() const;
+
+  // --- Windowed (delta) statistics ------------------------------------------
+  //
+  // `prev` must be an earlier copy of *this* histogram (same metric,
+  // strictly fewer-or-equal samples): the delta is the set of samples
+  // recorded since the copy was taken. This is how the time-series
+  // sampler computes per-window percentiles without per-window
+  // histograms on the hot path.
+
+  u64 DeltaCount(const LatencyHistogram& prev) const {
+    return count_ - prev.count_;
+  }
+  u64 DeltaSum(const LatencyHistogram& prev) const { return sum_ - prev.sum_; }
+  /// Quantile over the window's samples only. Bucket-resolution like
+  /// Quantile(); the result is clamped to [0, max()] (per-window extremes
+  /// are not tracked). Returns 0 for an empty window.
+  u64 DeltaQuantile(const LatencyHistogram& prev, double q) const;
 
   void Reset();
 

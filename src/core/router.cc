@@ -69,6 +69,7 @@ void VirtualController::InitMetrics() {
     m_path_latency_[p] = m.GetHistogram(base + ".latency_ns");
   }
   m_latency_ = m.GetHistogram("router.latency_ns");
+  m_inflight_ = m.GetGauge("router.inflight");
   if (costs_->max_batch > 1) {
     m_batch_size_ = m.GetHistogram("router.batch_size");
   }
@@ -291,6 +292,7 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
     e->req_id = obs_->trace().BeginRequest();
     e->start_ns = sim_->now();
     if (m_started_) m_started_->Inc();
+    if (m_inflight_) m_inflight_->Add(1);
     Stamp(e, obs::SpanKind::kVsqPop, 0, sqe.opcode);
     // Size-1 batches stay unstamped so every existing golden trace is
     // preserved; aux carries the batch size.
@@ -542,6 +544,14 @@ void VirtualController::DispatchKernel(RequestEntry* e) {
         : st.code() == StatusCode::kResourceExhausted
             ? nvme::MakeStatus(nvme::kSctGeneric, nvme::kScNamespaceNotReady)
             : nvme::MakeStatus(nvme::kSctGeneric, nvme::kScInternalError);
+    if (obs_) {
+      // The device-side edge of the kernel path: without it, span
+      // analytics cannot split device service from mailbox residency.
+      RequestEntry* entry = EntryByTag(tag);
+      if (entry && entry->req_id && entry->pending[kPathK]) {
+        Stamp(entry, obs::SpanKind::kKernelDone, ns);
+      }
+    }
     kcq_mailbox_.emplace_back(tag, ns);
     if (worker_) worker_->poller().Notify(src_kcq_);
   };
@@ -862,6 +872,7 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
   if (obs_ && e->req_id) {
     Stamp(e, obs::SpanKind::kVcqPost, status);
     obs_->trace().EndRequest();
+    if (m_inflight_) m_inflight_->Add(-1);
     SimTime lat = sim_->now() - e->start_ns;
     m_latency_->Record(lat);
     // Per-path latency only when the request took exactly one path.

@@ -34,6 +34,7 @@ namespace nvmetro {
 class LatencyHistogram;
 namespace obs {
 class Counter;
+class Gauge;
 class Observability;
 enum class SpanKind : u8;
 }  // namespace obs
@@ -359,6 +360,8 @@ class VirtualController : public virt::VirtualNvmeBackend {
   // max_batch > 1 so an unbatched run's metric export stays bit-identical
   // to the pre-batch pipeline.
   LatencyHistogram* m_batch_size_ = nullptr;
+  // "router.inflight": open guest requests (gauge watermark = peak depth).
+  obs::Gauge* m_inflight_ = nullptr;
 };
 
 /// A router worker thread polling the queues of its assigned VMs.

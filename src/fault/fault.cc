@@ -90,6 +90,9 @@ FaultInjector::FaultInjector(sim::Simulator* sim, obs::Observability* obs)
     m_sq_rejects_ = m.GetCounter("fault.sq_rejects");
     m_link_transitions_ = m.GetCounter("fault.link_transitions");
     m_wedge_transitions_ = m.GetCounter("fault.wedge_transitions");
+    m_link_down_ = m.GetGauge("fault.link_down");
+    m_uif_wedged_ = m.GetGauge("fault.uif_wedged");
+    m_sq_full_ = m.GetGauge("fault.sq_full");
   }
 }
 
@@ -123,15 +126,18 @@ void FaultInjector::OpenWindow(FaultKind kind) {
         if (m_link_transitions_) m_link_transitions_->Inc();
         for (auto& fn : link_subs_) fn(true);
       }
+      if (m_link_down_) m_link_down_->Set(link_depth_);
       break;
     case FaultKind::kUifWedge:
       if (wedge_depth_++ == 0) {
         if (m_wedge_transitions_) m_wedge_transitions_->Inc();
         for (auto& fn : wedge_subs_) fn(true);
       }
+      if (m_uif_wedged_) m_uif_wedged_->Set(wedge_depth_);
       break;
     case FaultKind::kSqFullBurst:
       sq_full_depth_++;
+      if (m_sq_full_) m_sq_full_->Set(sq_full_depth_);
       break;
     default:
       break;
@@ -145,15 +151,18 @@ void FaultInjector::CloseWindow(FaultKind kind) {
         if (m_link_transitions_) m_link_transitions_->Inc();
         for (auto& fn : link_subs_) fn(false);
       }
+      if (m_link_down_) m_link_down_->Set(link_depth_);
       break;
     case FaultKind::kUifWedge:
       if (--wedge_depth_ == 0) {
         if (m_wedge_transitions_) m_wedge_transitions_->Inc();
         for (auto& fn : wedge_subs_) fn(false);
       }
+      if (m_uif_wedged_) m_uif_wedged_->Set(wedge_depth_);
       break;
     case FaultKind::kSqFullBurst:
       sq_full_depth_--;
+      if (m_sq_full_) m_sq_full_->Set(sq_full_depth_);
       break;
     default:
       break;

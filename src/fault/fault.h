@@ -27,6 +27,7 @@
 
 namespace nvmetro::obs {
 class Counter;
+class Gauge;
 class Observability;
 }  // namespace nvmetro::obs
 
@@ -160,6 +161,12 @@ class FaultInjector {
   obs::Counter* m_sq_rejects_ = nullptr;
   obs::Counter* m_link_transitions_ = nullptr;
   obs::Counter* m_wedge_transitions_ = nullptr;
+  // Window-state gauges so a time-series sampler can overlay fault state
+  // on latency/IOPS series: "fault.link_down", "fault.uif_wedged",
+  // "fault.sq_full" (value = open-window nesting depth).
+  obs::Gauge* m_link_down_ = nullptr;
+  obs::Gauge* m_uif_wedged_ = nullptr;
+  obs::Gauge* m_sq_full_ = nullptr;
 };
 
 }  // namespace nvmetro::fault

@@ -1,0 +1,598 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace nvmetro::obs {
+
+namespace {
+
+/// Trace-format "tid" for a routing-path class (0 is the telemetry track).
+int PathTid(PathClass pc) { return static_cast<int>(pc) + 1; }
+
+}  // namespace
+
+std::string ExportPerfettoJson(const TraceRecorder& tr) {
+  std::vector<TraceEvent> events = tr.Events();
+
+  // Group per request, preserving chronological order within each.
+  std::map<u64, std::vector<TraceEvent>> by_req;
+  std::vector<TraceEvent> marks;  // req_id == 0 (SLO breaches etc.)
+  for (const TraceEvent& ev : events) {
+    if (ev.req_id == 0) {
+      marks.push_back(ev);
+    } else {
+      by_req[ev.req_id].push_back(ev);
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  char buf[320];
+  std::set<u32> pids;
+  std::set<std::pair<u32, int>> tracks;
+
+  for (const auto& [req_id, evs] : by_req) {
+    PathClass pc = ClassifyPath(evs);
+    int tid = PathTid(pc);
+    u32 pid = evs.front().vm_id;
+    pids.insert(pid);
+    tracks.insert({pid, tid});
+    for (usize i = 1; i < evs.size(); i++) {
+      const TraceEvent& a = evs[i - 1];
+      const TraceEvent& b = evs[i];
+      comma();
+      // ts/dur are microseconds in the trace-event format; %.3f keeps
+      // the nanosecond fraction exactly.
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":%u,\"tid\":%d,\"args\":{\"req\":%llu,"
+          "\"status\":\"0x%x\",\"aux\":%llu}}",
+          SpanKindName(b.kind), StageName(StageForKind(b.kind)),
+          static_cast<double>(a.t) / 1000.0,
+          static_cast<double>(b.t - a.t) / 1000.0, pid, tid,
+          static_cast<unsigned long long>(req_id), b.status,
+          static_cast<unsigned long long>(b.aux));
+      out += buf;
+      // Fault-handling hooks double as instants so they stay visible at
+      // any zoom level.
+      if (b.kind == SpanKind::kTimeout || b.kind == SpanKind::kRetry ||
+          b.kind == SpanKind::kUifFailover) {
+        comma();
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%u,"
+                      "\"tid\":%d,\"s\":\"t\",\"args\":{\"req\":%llu}}",
+                      SpanKindName(b.kind),
+                      static_cast<double>(b.t) / 1000.0, pid, tid,
+                      static_cast<unsigned long long>(req_id));
+        out += buf;
+      }
+    }
+  }
+
+  for (const TraceEvent& ev : marks) {
+    pids.insert(ev.vm_id);
+    tracks.insert({ev.vm_id, 0});
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%u,"
+                  "\"tid\":0,\"s\":\"g\",\"args\":{\"target\":%u}}",
+                  SpanKindName(ev.kind), static_cast<double>(ev.t) / 1000.0,
+                  ev.vm_id, ev.status);
+    out += buf;
+  }
+
+  for (u32 pid : pids) {
+    comma();
+    if (pid == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                    "\"args\":{\"name\":\"telemetry\"}}");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"args\":{\"name\":\"VM %u\"}}",
+                    pid, pid);
+    }
+    out += buf;
+  }
+  for (const auto& [pid, tid] : tracks) {
+    comma();
+    const char* name =
+        tid == 0 ? "marks"
+                 : PathClassName(static_cast<PathClass>(tid - 1));
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s path\"}}",
+                  pid, tid, name);
+    out += buf;
+  }
+
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (usize i = 0; i < name.size(); i++) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const MetricsRegistry& reg) {
+  MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : snap.counters) {
+    std::string n = SanitizeMetricName(name) + "_total";
+    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n", n.c_str(),
+                  n.c_str(), static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& g : snap.gauges) {
+    std::string n = SanitizeMetricName(g.name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %lld\n", n.c_str(),
+                  n.c_str(), static_cast<long long>(g.value));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "# TYPE %s_max gauge\n%s_max %lld\n",
+                  n.c_str(), n.c_str(), static_cast<long long>(g.max));
+    out += buf;
+  }
+  for (const auto& h : snap.histograms) {
+    std::string n = SanitizeMetricName(h.name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s summary\n", n.c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.5\"} %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.p50));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.99\"} %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.p99));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.999\"} %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.p999));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %llu\n%s_count %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.sum), n.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Strict validators
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal but complete JSON value model + recursive-descent parser.
+/// Unlike the metrics-export round-trip parser in tests (objects and
+/// scalars only), this handles the full grammar — the trace-event format
+/// needs arrays, booleans and floating-point timestamps.
+struct JValue {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : p_(s.data()), end_(p_ + s.size()) {}
+
+  bool Parse(JValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      if (error) *error = err_.empty() ? "parse error" : err_;
+      return false;
+    }
+    SkipWs();
+    if (p_ != end_) {
+      if (error) *error = "trailing data after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      p_++;
+    }
+  }
+
+  bool Fail(const char* msg) {
+    if (err_.empty()) err_ = msg;
+    return false;
+  }
+
+  bool Literal(const char* lit) {
+    const char* q = p_;
+    while (*lit) {
+      if (q == end_ || *q != *lit) return false;
+      q++;
+      lit++;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool ParseValue(JValue* out) {
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->kind = JValue::kStr;
+        return ParseString(&out->str);
+      case 't':
+        if (!Literal("true")) return Fail("bad literal");
+        out->kind = JValue::kBool;
+        out->b = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("bad literal");
+        out->kind = JValue::kBool;
+        out->b = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) return Fail("bad literal");
+        out->kind = JValue::kNull;
+        return true;
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JValue* out) {
+    out->kind = JValue::kObj;
+    p_++;  // '{'
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      p_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':'");
+      p_++;
+      SkipWs();
+      JValue v;
+      if (!ParseValue(&v)) return false;
+      out->obj[key] = std::move(v);
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == '}') {
+        p_++;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JValue* out) {
+    out->kind = JValue::kArr;
+    p_++;  // '['
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      p_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JValue v;
+      if (!ParseValue(&v)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == ']') {
+        p_++;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    p_++;  // '"'
+    while (p_ != end_) {
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        p_++;
+        return true;
+      }
+      if (c == '\\') {
+        p_++;
+        if (p_ == end_) return Fail("bad escape");
+        char e = *p_++;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            unsigned v = 0;
+            for (int i = 0; i < 4; i++) {
+              if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+                return Fail("bad \\u escape");
+              char h = *p_++;
+              v = v * 16 + static_cast<unsigned>(
+                               h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            // Validation only: stash the code point as '?' placeholders.
+            out->push_back('?');
+            (void)v;
+            break;
+          }
+          default: return Fail("bad escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      out->push_back(static_cast<char>(c));
+      p_++;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JValue* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') p_++;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return Fail("bad number");
+    if (*p_ == '0') {
+      p_++;
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) p_++;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      p_++;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return Fail("bad number fraction");
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) p_++;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      p_++;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) p_++;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return Fail("bad number exponent");
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) p_++;
+    }
+    out->kind = JValue::kNum;
+    out->num = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string err_;
+};
+
+bool EventFail(std::string* error, usize index, const char* msg) {
+  if (error) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "traceEvents[%zu]: %s", index, msg);
+    *error = buf;
+  }
+  return false;
+}
+
+bool HasNum(const JValue& ev, const char* key) {
+  auto it = ev.obj.find(key);
+  return it != ev.obj.end() && it->second.kind == JValue::kNum;
+}
+
+bool HasStr(const JValue& ev, const char* key) {
+  auto it = ev.obj.find(key);
+  return it != ev.obj.end() && it->second.kind == JValue::kStr;
+}
+
+}  // namespace
+
+bool ValidateTraceEventJson(const std::string& json, std::string* error) {
+  JValue root;
+  if (!JsonParser(json).Parse(&root, error)) return false;
+  if (root.kind != JValue::kObj) {
+    if (error) *error = "root is not an object";
+    return false;
+  }
+  auto it = root.obj.find("traceEvents");
+  if (it == root.obj.end() || it->second.kind != JValue::kArr) {
+    if (error) *error = "missing traceEvents array";
+    return false;
+  }
+  const std::vector<JValue>& evs = it->second.arr;
+  for (usize i = 0; i < evs.size(); i++) {
+    const JValue& ev = evs[i];
+    if (ev.kind != JValue::kObj) return EventFail(error, i, "not an object");
+    if (!HasStr(ev, "ph")) return EventFail(error, i, "missing ph");
+    const std::string& ph = ev.obj.at("ph").str;
+    if (!HasStr(ev, "name")) return EventFail(error, i, "missing name");
+    if (ph == "M") {
+      auto ait = ev.obj.find("args");
+      if (ait == ev.obj.end() || ait->second.kind != JValue::kObj)
+        return EventFail(error, i, "metadata without args object");
+      continue;
+    }
+    if (ph != "X" && ph != "i" && ph != "B" && ph != "E" && ph != "C")
+      return EventFail(error, i, "unknown ph");
+    if (!HasNum(ev, "ts")) return EventFail(error, i, "missing numeric ts");
+    if (!HasNum(ev, "pid")) return EventFail(error, i, "missing numeric pid");
+    if (!HasNum(ev, "tid")) return EventFail(error, i, "missing numeric tid");
+    if (ph == "X") {
+      if (!HasNum(ev, "dur")) return EventFail(error, i, "X without dur");
+      if (ev.obj.at("dur").num < 0) return EventFail(error, i, "negative dur");
+    }
+  }
+  return true;
+}
+
+namespace {
+
+bool IsMetricNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || (c >= '0' && c <= '9');
+}
+
+bool LineFail(std::string* error, usize lineno, const char* msg) {
+  if (error) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "line %zu: %s", lineno, msg);
+    *error = buf;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  std::set<std::string> typed;
+  std::string current_family;
+  std::string current_type;
+  usize lineno = 0;
+  usize pos = 0;
+  while (pos < text.size()) {
+    usize nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      return LineFail(error, lineno + 1, "last line not newline-terminated");
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    lineno++;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>" / "# HELP <name> <text>" / free comment.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        usize sp = line.find(' ', 7);
+        if (sp == std::string::npos)
+          return LineFail(error, lineno, "malformed TYPE line");
+        std::string name = line.substr(7, sp - 7);
+        std::string type = line.substr(sp + 1);
+        if (name.empty() || !IsMetricNameStart(name[0]))
+          return LineFail(error, lineno, "bad metric name in TYPE");
+        for (char c : name) {
+          if (!IsMetricNameChar(c))
+            return LineFail(error, lineno, "bad metric name in TYPE");
+        }
+        if (type != "counter" && type != "gauge" && type != "summary" &&
+            type != "histogram" && type != "untyped")
+          return LineFail(error, lineno, "unknown metric type");
+        if (!typed.insert(name).second)
+          return LineFail(error, lineno, "duplicate TYPE declaration");
+        current_family = name;
+        current_type = type;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    usize i = 0;
+    if (!IsMetricNameStart(line[0]))
+      return LineFail(error, lineno, "bad metric name");
+    while (i < line.size() && IsMetricNameChar(line[i])) i++;
+    std::string name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      i++;
+      while (true) {
+        if (i >= line.size()) return LineFail(error, lineno, "unclosed labels");
+        if (line[i] == '}') {
+          i++;
+          break;
+        }
+        usize lstart = i;
+        if (!((line[i] >= 'a' && line[i] <= 'z') ||
+              (line[i] >= 'A' && line[i] <= 'Z') || line[i] == '_'))
+          return LineFail(error, lineno, "bad label name");
+        while (i < line.size() &&
+               (IsMetricNameChar(line[i]) && line[i] != ':')) {
+          i++;
+        }
+        if (i == lstart || i >= line.size() || line[i] != '=')
+          return LineFail(error, lineno, "bad label");
+        i++;
+        if (i >= line.size() || line[i] != '"')
+          return LineFail(error, lineno, "label value not quoted");
+        i++;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') i++;  // escaped char
+          i++;
+        }
+        if (i >= line.size())
+          return LineFail(error, lineno, "unterminated label value");
+        i++;  // closing quote
+        if (i < line.size() && line[i] == ',') i++;
+      }
+    }
+    if (i >= line.size() || line[i] != ' ')
+      return LineFail(error, lineno, "missing value separator");
+    i++;
+    const char* vstart = line.c_str() + i;
+    char* vend = nullptr;
+    std::strtod(vstart, &vend);
+    if (vend == vstart) return LineFail(error, lineno, "unparsable value");
+    usize rest = i + static_cast<usize>(vend - vstart);
+    if (rest != line.size()) {
+      // Optional timestamp: a single integer after one space.
+      if (line[rest] != ' ')
+        return LineFail(error, lineno, "trailing garbage after value");
+      for (usize k = rest + 1; k < line.size(); k++) {
+        if (!std::isdigit(static_cast<unsigned char>(line[k])) &&
+            !(k == rest + 1 && line[k] == '-'))
+          return LineFail(error, lineno, "bad timestamp");
+      }
+    }
+    // Every sample must belong to the most recent TYPE declaration.
+    bool matches = name == current_family;
+    if (!matches && (current_type == "summary" || current_type == "histogram")) {
+      matches = name == current_family + "_sum" ||
+                name == current_family + "_count";
+    }
+    if (!matches)
+      return LineFail(error, lineno, "sample without preceding TYPE");
+  }
+  return true;
+}
+
+}  // namespace nvmetro::obs

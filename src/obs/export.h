@@ -1,0 +1,49 @@
+// Telemetry exporters + the strict validators that gate them.
+//
+// Two industry formats so runs can be inspected with standard tooling:
+//
+//  - Chrome/Perfetto trace-event JSON from the TraceRecorder: one
+//    process ("pid") per VM, one track ("tid") per routing-path class,
+//    a complete-slice ("ph":"X") per attribution stage with the
+//    classifier verdict / NVMe status in args, and instant events for
+//    timeouts, retries, failovers and SLO breaches. Load with
+//    ui.perfetto.dev or chrome://tracing.
+//
+//  - Prometheus text exposition from the MetricsRegistry: counters as
+//    <name>_total, gauges (plus a <name>_max watermark gauge), and
+//    histograms as summaries with p50/p99/p999 quantile labels + _sum
+//    and _count series.
+//
+// The validators are deliberately strict (full JSON grammar, line-level
+// Prometheus grammar) and are shared verbatim by tests/telemetry_test.cc
+// and tools/check_telemetry, so CI rejects an export regression the same
+// way the unit tests do.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nvmetro::obs {
+
+/// Chrome trace-event JSON ({"displayTimeUnit":"ns","traceEvents":[...]})
+/// of every retained span in `tr`. Timestamps are microseconds (trace
+/// format requirement) with nanosecond fraction preserved.
+std::string ExportPerfettoJson(const TraceRecorder& tr);
+
+/// Prometheus text exposition format (version 0.0.4) of every metric.
+/// Dotted metric names are sanitized ('.' -> '_').
+std::string ExportPrometheusText(const MetricsRegistry& reg);
+
+/// Strict trace-event JSON check: full JSON parse + structural rules
+/// (root object, "traceEvents" array, per-event ph/name/ts/pid/tid
+/// typing, "X" slices need a numeric dur). On failure, fills `error`.
+bool ValidateTraceEventJson(const std::string& json, std::string* error);
+
+/// Strict Prometheus text check: every line is a comment/HELP/TYPE or a
+/// sample with a legal metric name, legal label syntax and a numeric
+/// value; TYPE declarations precede their samples and are not repeated.
+bool ValidatePrometheusText(const std::string& text, std::string* error);
+
+}  // namespace nvmetro::obs

@@ -91,7 +91,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
     snap.counters.emplace_back(name, c->value());
   }
   for (const auto& [name, g] : gauges_) {
-    snap.gauges.emplace_back(name, g->value());
+    snap.gauges.push_back(GaugeStat{name, g->value(), g->max()});
   }
   for (const auto& [name, h] : histograms_) {
     HistogramStat s;
@@ -99,7 +99,9 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
     s.count = h->count();
     s.p50 = h->Median();
     s.p99 = h->P99();
+    s.p999 = h->P999();
     s.max = h->max();
+    s.sum = h->sum();
     s.mean = h->Mean();
     snap.histograms.push_back(std::move(s));
   }
@@ -110,7 +112,7 @@ std::string MetricsRegistry::ToText() const {
   Snapshot snap = TakeSnapshot();
   usize width = 0;
   for (const auto& [name, v] : snap.counters) width = std::max(width, name.size());
-  for (const auto& [name, v] : snap.gauges) width = std::max(width, name.size());
+  for (const auto& g : snap.gauges) width = std::max(width, g.name.size());
   for (const auto& h : snap.histograms) width = std::max(width, h.name.size());
   std::string out;
   char buf[256];
@@ -119,20 +121,24 @@ std::string MetricsRegistry::ToText() const {
                   name.c_str(), static_cast<unsigned long long>(v));
     out += buf;
   }
-  for (const auto& [name, v] : snap.gauges) {
-    std::snprintf(buf, sizeof(buf), "%-*s %lld\n", static_cast<int>(width),
-                  name.c_str(), static_cast<long long>(v));
+  for (const auto& g : snap.gauges) {
+    std::snprintf(buf, sizeof(buf), "%-*s %lld (max %lld)\n",
+                  static_cast<int>(width), g.name.c_str(),
+                  static_cast<long long>(g.value),
+                  static_cast<long long>(g.max));
     out += buf;
   }
   for (const auto& h : snap.histograms) {
     std::snprintf(buf, sizeof(buf),
-                  "%-*s count=%llu p50=%lluns p99=%lluns max=%lluns "
-                  "mean=%.0fns\n",
+                  "%-*s count=%llu p50=%lluns p99=%lluns p999=%lluns "
+                  "max=%lluns mean=%.0fns sum=%lluns\n",
                   static_cast<int>(width), h.name.c_str(),
                   static_cast<unsigned long long>(h.count),
                   static_cast<unsigned long long>(h.p50),
                   static_cast<unsigned long long>(h.p99),
-                  static_cast<unsigned long long>(h.max), h.mean);
+                  static_cast<unsigned long long>(h.p999),
+                  static_cast<unsigned long long>(h.max), h.mean,
+                  static_cast<unsigned long long>(h.sum));
     out += buf;
   }
   return out;
@@ -151,9 +157,11 @@ std::string MetricsRegistry::ToJson() const {
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, v] : snap.gauges) {
-    AppendJsonKey(&out, name, &first);
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  for (const auto& g : snap.gauges) {
+    AppendJsonKey(&out, g.name, &first);
+    std::snprintf(buf, sizeof(buf), "{\"value\":%lld,\"max\":%lld}",
+                  static_cast<long long>(g.value),
+                  static_cast<long long>(g.max));
     out += buf;
   }
   out += "},\"histograms\":{";
@@ -162,11 +170,14 @@ std::string MetricsRegistry::ToJson() const {
     AppendJsonKey(&out, h.name, &first);
     std::snprintf(buf, sizeof(buf),
                   "{\"count\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu,"
-                  "\"max_ns\":%llu,\"mean_ns\":%.1f}",
+                  "\"p999_ns\":%llu,\"max_ns\":%llu,\"mean_ns\":%.1f,"
+                  "\"sum_ns\":%llu}",
                   static_cast<unsigned long long>(h.count),
                   static_cast<unsigned long long>(h.p50),
                   static_cast<unsigned long long>(h.p99),
-                  static_cast<unsigned long long>(h.max), h.mean);
+                  static_cast<unsigned long long>(h.p999),
+                  static_cast<unsigned long long>(h.max), h.mean,
+                  static_cast<unsigned long long>(h.sum));
     out += buf;
   }
   out += "}}";

@@ -40,15 +40,24 @@ class Counter {
 };
 
 /// Instantaneous level (queue depth, open spans...). May go negative
-/// transiently while legs of a fan-out settle.
+/// transiently while legs of a fan-out settle. Tracks its high watermark
+/// since reset, so peak queue depth survives a snapshot instead of being
+/// lost between samples.
 class Gauge {
  public:
-  void Set(i64 v) { value_ = v; }
-  void Add(i64 d) { value_ += d; }
+  void Set(i64 v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void Add(i64 d) { Set(value_ + d); }
   i64 value() const { return value_; }
+  /// Highest value ever Set/Add-ed since construction or reset (0 if the
+  /// gauge never went positive).
+  i64 max() const { return max_; }
 
  private:
   i64 value_ = 0;
+  i64 max_ = 0;
 };
 
 /// Named metrics, find-or-create. Names are dotted paths by convention:
@@ -77,17 +86,24 @@ class MetricsRegistry {
 
   /// Point-in-time copy of every metric value. Mutations after the
   /// snapshot do not affect it.
+  struct GaugeStat {
+    std::string name;
+    i64 value = 0;
+    i64 max = 0;  // high watermark since reset
+  };
   struct HistogramStat {
     std::string name;
     u64 count = 0;
     u64 p50 = 0;
     u64 p99 = 0;
+    u64 p999 = 0;
     u64 max = 0;
+    u64 sum = 0;  // CPU-accounting figures need totals, not just quantiles
     double mean = 0;
   };
   struct Snapshot {
     std::vector<std::pair<std::string, u64>> counters;
-    std::vector<std::pair<std::string, i64>> gauges;
+    std::vector<GaugeStat> gauges;
     std::vector<HistogramStat> histograms;
   };
   Snapshot TakeSnapshot() const;

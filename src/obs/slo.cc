@@ -1,0 +1,112 @@
+#include "obs/slo.h"
+
+namespace nvmetro::obs {
+
+SloWatchdog::SloWatchdog(MetricsRegistry* registry, TraceRecorder* trace,
+                         Config cfg)
+    : registry_(registry), trace_(trace), cfg_(cfg) {
+  if (cfg_.interval_ns == 0) cfg_.interval_ns = 1;
+}
+
+void SloWatchdog::AddLatencyTarget(const std::string& name,
+                                   const std::string& hist_metric, double q,
+                                   u64 max_ns) {
+  Target t;
+  t.name = name;
+  t.latency = true;
+  t.hist_metric = hist_metric;
+  t.q = q;
+  t.max_ns = max_ns;
+  t.breaches_ctr = registry_->GetCounter("slo." + name + ".breaches");
+  t.breached_gauge = registry_->GetGauge("slo." + name + ".breached");
+  targets_.push_back(std::move(t));
+}
+
+void SloWatchdog::AddErrorRateTarget(const std::string& name,
+                                     const std::string& err_metric,
+                                     const std::string& total_metric,
+                                     double max_rate) {
+  Target t;
+  t.name = name;
+  t.latency = false;
+  t.err_metric = err_metric;
+  t.total_metric = total_metric;
+  t.max_rate = max_rate;
+  t.breaches_ctr = registry_->GetCounter("slo." + name + ".breaches");
+  t.breached_gauge = registry_->GetGauge("slo." + name + ".breached");
+  targets_.push_back(std::move(t));
+}
+
+void SloWatchdog::Start(SimTime start, SimTime horizon,
+                        const TelemetryScheduler& sched) {
+  for (SimTime t = start + cfg_.interval_ns; t <= horizon;
+       t += cfg_.interval_ns) {
+    sched(t, [this, t] { EvaluateWindow(t); });
+  }
+}
+
+void SloWatchdog::EvaluateWindow(SimTime now) {
+  windows_++;
+  for (usize i = 0; i < targets_.size(); i++) {
+    Target& t = targets_[i];
+    bool breached = false;
+    double observed = 0, limit = 0;
+    if (t.latency) {
+      limit = static_cast<double>(t.max_ns);
+      const LatencyHistogram* h = registry_->FindHistogram(t.hist_metric);
+      if (h) {
+        if (!t.primed) {
+          t.prev.Reset();  // first window covers everything so far
+          t.primed = true;
+        }
+        if (h->DeltaCount(t.prev) > 0) {
+          observed = static_cast<double>(h->DeltaQuantile(t.prev, t.q));
+          breached = observed > limit;
+        }
+        t.prev = *h;
+      }
+    } else {
+      limit = t.max_rate;
+      const Counter* err = registry_->FindCounter(t.err_metric);
+      const Counter* total = registry_->FindCounter(t.total_metric);
+      u64 ev = err ? err->value() : 0;
+      u64 tv = total ? total->value() : 0;
+      u64 d_err = ev - t.last_err;
+      u64 d_total = tv - t.last_total;
+      t.last_err = ev;
+      t.last_total = tv;
+      if (d_total > 0) {
+        observed = static_cast<double>(d_err) / static_cast<double>(d_total);
+        breached = observed > limit;
+      }
+    }
+    Publish(&t, i, now, observed, limit, breached);
+  }
+}
+
+void SloWatchdog::Publish(Target* t, usize index, SimTime now, double observed,
+                          double limit, bool breached) {
+  t->breached_gauge->Set(breached ? 1 : 0);
+  if (!breached) return;
+  t->breach_windows++;
+  t->breaches_ctr->Inc();
+  breaches_.push_back(Breach{now, t->name, observed, limit});
+  if (trace_) {
+    TraceEvent ev;
+    ev.req_id = 0;  // mark, not a request span
+    ev.t = now;
+    ev.aux = now;
+    ev.status = static_cast<u16>(index);
+    ev.kind = SpanKind::kSloBreach;
+    trace_->Record(ev);
+  }
+}
+
+u64 SloWatchdog::breach_windows(const std::string& target) const {
+  for (const Target& t : targets_) {
+    if (t.name == target) return t.breach_windows;
+  }
+  return 0;
+}
+
+}  // namespace nvmetro::obs

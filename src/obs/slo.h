@@ -1,0 +1,101 @@
+// SLO watchdog: windowed latency / error-rate targets over the metrics
+// stream, ReFlex-style (per-tenant tail-latency SLOs as a first-class
+// control input).
+//
+// Opt-in: nothing is evaluated unless targets are added and Start() (or
+// EvaluateWindow()) is called. Each evaluation window computes windowed
+// statistics via LatencyHistogram/Counter deltas — a breach in window N
+// does not contaminate window N+1. Breaches are published three ways so
+// every consumer sees the same timeline:
+//   - counter  slo.<target>.breaches   (cumulative breach windows)
+//   - gauge    slo.<target>.breached   (1 while the last window breached)
+//   - trace    SLO_BREACH mark (req_id 0, aux = window end time,
+//              status = target index) for the Perfetto export
+//
+// Like TimeSeries, scheduling is horizon-based via a caller-supplied
+// scheduler callback (the obs library cannot link the simulator).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace nvmetro::obs {
+
+class SloWatchdog {
+ public:
+  struct Config {
+    SimTime interval_ns = 1'000'000;  // 1 ms evaluation windows
+  };
+
+  /// `trace` may be null (no trace marks, metrics only).
+  SloWatchdog(MetricsRegistry* registry, TraceRecorder* trace, Config cfg);
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  /// Breach when quantile `q` of `hist_metric`'s *window* samples exceeds
+  /// `max_ns`. Windows with no samples never breach.
+  void AddLatencyTarget(const std::string& name, const std::string& hist_metric,
+                        double q, u64 max_ns);
+
+  /// Breach when (window errors / window total) exceeds `max_rate`.
+  /// Windows where the total did not move never breach.
+  void AddErrorRateTarget(const std::string& name,
+                          const std::string& err_metric,
+                          const std::string& total_metric, double max_rate);
+
+  /// Pre-schedules one evaluation per interval over (start, horizon].
+  void Start(SimTime start, SimTime horizon, const TelemetryScheduler& sched);
+
+  /// Evaluates every target over the window since the previous call.
+  void EvaluateWindow(SimTime now);
+
+  struct Breach {
+    SimTime t = 0;  // window end
+    std::string target;
+    double observed = 0;
+    double limit = 0;
+  };
+  const std::vector<Breach>& breaches() const { return breaches_; }
+  u64 breach_windows(const std::string& target) const;
+  u64 windows_evaluated() const { return windows_; }
+
+ private:
+  struct Target {
+    std::string name;
+    bool latency = false;
+    // latency target
+    std::string hist_metric;
+    double q = 0.99;
+    u64 max_ns = 0;
+    LatencyHistogram prev;
+    bool primed = false;
+    // error-rate target
+    std::string err_metric;
+    std::string total_metric;
+    double max_rate = 0;
+    u64 last_err = 0;
+    u64 last_total = 0;
+    // published metrics
+    Counter* breaches_ctr = nullptr;
+    Gauge* breached_gauge = nullptr;
+    u64 breach_windows = 0;
+  };
+
+  void Publish(Target* t, usize index, SimTime now, double observed,
+               double limit, bool breached);
+
+  MetricsRegistry* registry_;
+  TraceRecorder* trace_;
+  Config cfg_;
+  std::vector<Target> targets_;
+  std::vector<Breach> breaches_;
+  u64 windows_ = 0;
+};
+
+}  // namespace nvmetro::obs

@@ -1,0 +1,242 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nvmetro::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClassify: return "classify";
+    case Stage::kDispatch: return "dispatch";
+    case Stage::kUifQueue: return "uif_queue";
+    case Stage::kUifService: return "uif_service";
+    case Stage::kDevice: return "device";
+    case Stage::kHarvest: return "harvest";
+    case Stage::kRetryWait: return "retry_wait";
+    case Stage::kFailover: return "failover";
+    case Stage::kPost: return "post";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+Stage StageForKind(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kVsqPop:  // always a span's first event; delta is 0
+    case SpanKind::kClassifier:
+    case SpanKind::kBatch:
+      return Stage::kClassify;
+    case SpanKind::kDispatchFast:
+    case SpanKind::kDispatchNotify:
+    case SpanKind::kDispatchKernel:
+      return Stage::kDispatch;
+    case SpanKind::kUifWork: return Stage::kUifQueue;
+    case SpanKind::kUifRespond: return Stage::kUifService;
+    case SpanKind::kHcqComplete:
+    case SpanKind::kKernelDone:
+      return Stage::kDevice;
+    case SpanKind::kNcqComplete:
+    case SpanKind::kKcqComplete:
+      return Stage::kHarvest;
+    case SpanKind::kRetry: return Stage::kRetryWait;
+    case SpanKind::kTimeout:
+    case SpanKind::kUifFailover:
+      return Stage::kFailover;
+    case SpanKind::kVcqPost: return Stage::kPost;
+    case SpanKind::kIrqInject:  // handled out-of-band (post-e2e)
+    case SpanKind::kSloBreach:  // req_id == 0, never folded
+      return Stage::kPost;
+  }
+  return Stage::kPost;
+}
+
+const char* PathClassName(PathClass pc) {
+  switch (pc) {
+    case PathClass::kDirect: return "direct";
+    case PathClass::kFast: return "fast";
+    case PathClass::kKernel: return "kernel";
+    case PathClass::kNotify: return "notify";
+    case PathClass::kFanout: return "fanout";
+    case PathClass::kCount: break;
+  }
+  return "?";
+}
+
+PathClass ClassifyPath(const std::vector<TraceEvent>& events) {
+  bool fast = false, kernel = false, notify = false;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == SpanKind::kDispatchFast) fast = true;
+    if (ev.kind == SpanKind::kDispatchKernel) kernel = true;
+    if (ev.kind == SpanKind::kDispatchNotify) notify = true;
+  }
+  int n = (fast ? 1 : 0) + (kernel ? 1 : 0) + (notify ? 1 : 0);
+  if (n == 0) return PathClass::kDirect;
+  if (n > 1) return PathClass::kFanout;
+  if (fast) return PathClass::kFast;
+  if (kernel) return PathClass::kKernel;
+  return PathClass::kNotify;
+}
+
+namespace {
+// Per-request folding state while walking the event stream.
+struct Working {
+  RequestBreakdown bd;
+  SimTime start_t = 0;
+  SimTime prev_t = 0;
+  SpanKind prev_kind = SpanKind::kVsqPop;
+  bool started = false;
+  bool posted = false;
+  bool fast = false, kernel = false, notify = false;
+};
+}  // namespace
+
+void SpanAnalyzer::Analyze(const TraceRecorder& tr) {
+  std::map<u64, Working> live;
+  for (const TraceEvent& ev : tr.Events()) {
+    if (ev.req_id == 0) continue;  // marks (SLO breach), not request spans
+    if (tr.truncated(ev.req_id)) continue;  // counted below
+    Working& w = live[ev.req_id];
+    if (!w.started) {
+      w.started = true;
+      w.bd.req_id = ev.req_id;
+      w.bd.vm_id = ev.vm_id;
+      w.start_t = ev.t;
+      w.prev_t = ev.t;
+    } else {
+      u64 delta = ev.t - w.prev_t;
+      w.prev_t = ev.t;
+      if (!w.posted) {
+        // Stage named by the later event — except after a RETRY stamp,
+        // where the delta IS the backoff wait (the re-dispatch event
+        // that ends it would misfile it under dispatch).
+        Stage stage = w.prev_kind == SpanKind::kRetry
+                          ? Stage::kRetryWait
+                          : StageForKind(ev.kind);
+        w.bd.stage_ns[static_cast<usize>(stage)] += delta;
+      } else if (ev.kind == SpanKind::kIrqInject) {
+        w.bd.irq_ns += delta;
+      }
+      // Anything else after VCQ_POST (late fan-out leg events) is outside
+      // the guest-visible request and deliberately unattributed.
+    }
+    w.prev_kind = ev.kind;
+    switch (ev.kind) {
+      case SpanKind::kDispatchFast: w.fast = true; break;
+      case SpanKind::kDispatchKernel: w.kernel = true; break;
+      case SpanKind::kDispatchNotify: w.notify = true; break;
+      case SpanKind::kVcqPost:
+        if (!w.posted) {
+          w.posted = true;
+          // Measured independently of the stage deltas — the exact-sum
+          // invariant (CheckExactAttribution) compares the two.
+          w.bd.e2e_ns = ev.t - w.start_t;
+        }
+        break;
+      default: break;
+    }
+  }
+
+  u64 horizon = tr.eviction_horizon();
+  if (horizon > 0) {
+    // Every id in [1, horizon] lost at least part of its span; the ones we
+    // skipped above are a subset (only ids with retained events), so count
+    // from the horizon, not from what happens to still be in the ring.
+    truncated_spans_ += horizon;
+  }
+  for (auto& [id, w] : live) {
+    if (!w.posted) {
+      open_spans_++;
+      continue;
+    }
+    int n = (w.fast ? 1 : 0) + (w.kernel ? 1 : 0) + (w.notify ? 1 : 0);
+    if (n == 0) w.bd.path = PathClass::kDirect;
+    else if (n > 1) w.bd.path = PathClass::kFanout;
+    else if (w.fast) w.bd.path = PathClass::kFast;
+    else if (w.kernel) w.bd.path = PathClass::kKernel;
+    else w.bd.path = PathClass::kNotify;
+    requests_.push_back(w.bd);
+    Fold(w.bd);
+  }
+}
+
+void SpanAnalyzer::Fold(const RequestBreakdown& bd) {
+  Aggregate* aggs[2] = {&by_path_[static_cast<usize>(bd.path)],
+                        &by_vm_[bd.vm_id]};
+  for (Aggregate* a : aggs) {
+    a->requests++;
+    a->e2e.Record(bd.e2e_ns);
+    a->irq.Record(bd.irq_ns);
+    for (usize s = 0; s < kStageCount; s++) {
+      a->stages[s].Record(bd.stage_ns[s]);
+      a->stage_sum_ns[s] += bd.stage_ns[s];
+    }
+  }
+}
+
+bool SpanAnalyzer::CheckExactAttribution(std::string* error) const {
+  for (const RequestBreakdown& bd : requests_) {
+    if (bd.StageSum() != bd.e2e_ns) {
+      if (error) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "req %llu (%s): stage sum %llu ns != e2e %llu ns",
+                      static_cast<unsigned long long>(bd.req_id),
+                      PathClassName(bd.path),
+                      static_cast<unsigned long long>(bd.StageSum()),
+                      static_cast<unsigned long long>(bd.e2e_ns));
+        *error = buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SpanAnalyzer::StageSignature(PathClass pc) const {
+  const Aggregate& a = by_path_[static_cast<usize>(pc)];
+  std::string out;
+  for (usize s = 0; s < kStageCount; s++) {
+    if (a.stage_sum_ns[s] == 0) continue;
+    if (!out.empty()) out += "+";
+    out += StageName(static_cast<Stage>(s));
+  }
+  return out;
+}
+
+std::string SpanAnalyzer::RenderTable() const {
+  std::string out;
+  char buf[192];
+  for (usize p = 0; p < kPathClassCount; p++) {
+    const Aggregate& a = by_path_[p];
+    if (a.requests == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "path=%-6s n=%llu e2e p50=%lluns p99=%lluns irq p50=%lluns\n",
+                  PathClassName(static_cast<PathClass>(p)),
+                  static_cast<unsigned long long>(a.requests),
+                  static_cast<unsigned long long>(a.e2e.Median()),
+                  static_cast<unsigned long long>(a.e2e.P99()),
+                  static_cast<unsigned long long>(a.irq.Median()));
+    out += buf;
+    for (usize s = 0; s < kStageCount; s++) {
+      if (a.stage_sum_ns[s] == 0) continue;
+      double mean =
+          static_cast<double>(a.stage_sum_ns[s]) / static_cast<double>(a.requests);
+      std::snprintf(buf, sizeof(buf), "  %-11s mean=%.0fns total=%lluns\n",
+                    StageName(static_cast<Stage>(s)), mean,
+                    static_cast<unsigned long long>(a.stage_sum_ns[s]));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void SpanAnalyzer::Reset() {
+  requests_.clear();
+  by_path_ = {};
+  by_vm_.clear();
+  truncated_spans_ = 0;
+  open_spans_ = 0;
+}
+
+}  // namespace nvmetro::obs

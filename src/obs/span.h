@@ -1,0 +1,141 @@
+// Span analytics: where did the nanoseconds go?
+//
+// TraceRecorder answers *what happened* to a request (the hook sequence);
+// this module answers *where the time went*. SpanAnalyzer folds the
+// recorded TraceEvent stream into per-request stage breakdowns — VSQ pop
+// → classify → dispatch → device/UIF service → completion harvest → VCQ
+// post (→ IRQ delivery) — and aggregates them per routing path and per
+// VM into stage histograms.
+//
+// The attribution is exact, not approximate: each delta between two
+// consecutive events of a request is assigned to exactly one stage (the
+// stage is named by the *later* event), so the per-request stage sums
+// telescope to end-to-end latency to the nanosecond. The simulator is
+// deterministic, so tests assert this as an equality across every
+// routing path, batch size and fault schedule.
+//
+// Requests whose early events were evicted by ring wraparound
+// (TraceRecorder::truncated) and requests that never reached VCQ_POST
+// are excluded from the aggregates and counted separately — a truncated
+// span would attribute a plausible-but-wrong partial sum.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace nvmetro::obs {
+
+/// Latency attribution stages. Every SpanKind maps to exactly one stage
+/// (StageForKind); IRQ delivery is tracked separately because it lands
+/// after the guest-visible completion and is not part of e2e latency.
+enum class Stage : u8 {
+  kClassify = 0,  // VSQ queueing + classifier run (incl. batch drain)
+  kDispatch,      // verdict applied: HSQ/NSQ push or bio translation
+  kUifQueue,      // NSQ residency until the UIF poller picked it up
+  kUifService,    // UIF work() until its NCQ response
+  kDevice,        // device service (HCQ observe / host bio complete)
+  kHarvest,       // completion residency until the router drained it
+  kRetryWait,     // backoff before a transient leg re-dispatch
+  kFailover,      // deadline abort / UIF failover handling
+  kPost,          // completion merge + CQE write to the guest VCQ
+  kCount,
+};
+constexpr usize kStageCount = static_cast<usize>(Stage::kCount);
+
+const char* StageName(Stage stage);
+
+/// Which stage a delta *ending* at an event of this kind belongs to.
+Stage StageForKind(SpanKind kind);
+
+/// Routing-path classification of one request's event sequence, from the
+/// dispatch kinds it contains: none -> direct-complete, one -> that
+/// path, several distinct -> fan-out.
+enum class PathClass : u8 {
+  kDirect = 0,  // classifier completed inline (no dispatch)
+  kFast,
+  kKernel,
+  kNotify,
+  kFanout,
+  kCount,
+};
+constexpr usize kPathClassCount = static_cast<usize>(PathClass::kCount);
+
+const char* PathClassName(PathClass pc);
+
+PathClass ClassifyPath(const std::vector<TraceEvent>& events);
+
+/// One request's attribution: per-stage nanoseconds summing exactly to
+/// e2e (VSQ pop -> VCQ post), plus the post-completion IRQ delay.
+struct RequestBreakdown {
+  u64 req_id = 0;
+  u32 vm_id = 0;
+  PathClass path = PathClass::kDirect;
+  u64 e2e_ns = 0;
+  u64 irq_ns = 0;  // VCQ post -> IRQ inject (outside e2e)
+  std::array<u64, kStageCount> stage_ns{};
+
+  u64 StageSum() const {
+    u64 s = 0;
+    for (u64 v : stage_ns) s += v;
+    return s;
+  }
+};
+
+class SpanAnalyzer {
+ public:
+  /// Stage histograms over a set of requests (one routing path or VM).
+  struct Aggregate {
+    u64 requests = 0;
+    LatencyHistogram e2e;
+    LatencyHistogram irq;
+    std::array<LatencyHistogram, kStageCount> stages;
+    std::array<u64, kStageCount> stage_sum_ns{};  // totals for tables
+  };
+
+  /// Folds every retained, complete, non-truncated span in `tr` into
+  /// breakdowns and aggregates. May be called repeatedly (accumulates);
+  /// call Reset() between independent runs.
+  void Analyze(const TraceRecorder& tr);
+
+  const std::vector<RequestBreakdown>& requests() const { return requests_; }
+  const std::array<Aggregate, kPathClassCount>& by_path() const {
+    return by_path_;
+  }
+  const std::map<u32, Aggregate>& by_vm() const { return by_vm_; }
+
+  /// Spans skipped because ring wraparound evicted part of them.
+  u64 truncated_spans() const { return truncated_spans_; }
+  /// Spans skipped because they never reached VCQ_POST (stuck/aborted).
+  u64 open_spans() const { return open_spans_; }
+
+  /// Verifies sum(stage_ns) == e2e_ns for every analyzed request.
+  /// Returns false and describes the first violator in `error`.
+  bool CheckExactAttribution(std::string* error) const;
+
+  /// Stage signature of one path: names of the stages that received any
+  /// time, joined with "+", e.g. "classify+dispatch+device+post".
+  /// Golden-table tests pin this per routing path.
+  std::string StageSignature(PathClass pc) const;
+
+  /// Human-readable per-path stage table (mean ns per stage, e2e p50/p99).
+  std::string RenderTable() const;
+
+  void Reset();
+
+ private:
+  void Fold(const RequestBreakdown& bd);
+
+  std::vector<RequestBreakdown> requests_;
+  std::array<Aggregate, kPathClassCount> by_path_{};
+  std::map<u32, Aggregate> by_vm_;
+  u64 truncated_spans_ = 0;
+  u64 open_spans_ = 0;
+};
+
+}  // namespace nvmetro::obs

@@ -1,0 +1,139 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+namespace nvmetro::obs {
+
+TimeSeries::TimeSeries(const MetricsRegistry* registry, Config cfg)
+    : registry_(registry), cfg_(cfg) {
+  if (cfg_.interval_ns == 0) cfg_.interval_ns = 1;
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  ring_.resize(cfg_.capacity);
+  columns_.push_back("t_ns");
+}
+
+void TimeSeries::AddCounterProbe(const std::string& column,
+                                 const std::string& metric) {
+  Probe p;
+  p.kind = ProbeKind::kCounter;
+  p.metric = metric;
+  probes_.push_back(std::move(p));
+  columns_.push_back(column + "_delta");
+  columns_.push_back(column + "_rate");
+}
+
+void TimeSeries::AddGaugeProbe(const std::string& column,
+                               const std::string& metric) {
+  Probe p;
+  p.kind = ProbeKind::kGauge;
+  p.metric = metric;
+  probes_.push_back(std::move(p));
+  columns_.push_back(column);
+  columns_.push_back(column + "_max");
+}
+
+void TimeSeries::AddHistogramProbe(const std::string& column,
+                                   const std::string& metric) {
+  Probe p;
+  p.kind = ProbeKind::kHistogram;
+  p.metric = metric;
+  probes_.push_back(std::move(p));
+  columns_.push_back(column + "_count");
+  columns_.push_back(column + "_p50_ns");
+  columns_.push_back(column + "_p99_ns");
+}
+
+void TimeSeries::Start(SimTime start, SimTime horizon,
+                       const TelemetryScheduler& sched) {
+  for (SimTime t = start + cfg_.interval_ns; t <= horizon;
+       t += cfg_.interval_ns) {
+    sched(t, [this, t] { SampleNow(t); });
+  }
+}
+
+void TimeSeries::SampleNow(SimTime now) {
+  Sample s;
+  s.t = now;
+  s.values.reserve(columns_.size());
+  s.values.push_back(static_cast<double>(now));
+  double window_s =
+      static_cast<double>(now - last_t_) / 1e9;  // 0 on the first sample
+  for (Probe& p : probes_) {
+    switch (p.kind) {
+      case ProbeKind::kCounter: {
+        const Counter* c = registry_->FindCounter(p.metric);
+        u64 v = c ? c->value() : 0;
+        u64 delta = p.primed ? v - p.last_count : v;
+        p.last_count = v;
+        p.primed = true;
+        s.values.push_back(static_cast<double>(delta));
+        s.values.push_back(window_s > 0 ? static_cast<double>(delta) / window_s
+                                        : 0.0);
+        break;
+      }
+      case ProbeKind::kGauge: {
+        const Gauge* g = registry_->FindGauge(p.metric);
+        s.values.push_back(g ? static_cast<double>(g->value()) : 0.0);
+        s.values.push_back(g ? static_cast<double>(g->max()) : 0.0);
+        break;
+      }
+      case ProbeKind::kHistogram: {
+        const LatencyHistogram* h = registry_->FindHistogram(p.metric);
+        if (!h) {
+          s.values.push_back(0.0);
+          s.values.push_back(0.0);
+          s.values.push_back(0.0);
+          break;
+        }
+        if (!p.primed) {
+          p.prev.Reset();  // window = everything so far on the first sample
+          p.primed = true;
+        }
+        u64 n = h->DeltaCount(p.prev);
+        s.values.push_back(static_cast<double>(n));
+        s.values.push_back(static_cast<double>(h->DeltaQuantile(p.prev, 0.5)));
+        s.values.push_back(static_cast<double>(h->DeltaQuantile(p.prev, 0.99)));
+        p.prev = *h;
+        break;
+      }
+    }
+  }
+  last_t_ = now;
+  ring_[total_ % ring_.size()] = std::move(s);
+  total_++;
+}
+
+std::vector<TimeSeries::Sample> TimeSeries::samples() const {
+  std::vector<Sample> out;
+  usize n = total_ < ring_.size() ? static_cast<usize>(total_) : ring_.size();
+  out.reserve(n);
+  u64 start = total_ - n;
+  for (u64 i = 0; i < n; i++) out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::string out;
+  for (usize i = 0; i < columns_.size(); i++) {
+    if (i) out += ",";
+    out += columns_[i];
+  }
+  out += "\n";
+  char buf[48];
+  for (const Sample& s : samples()) {
+    for (usize i = 0; i < s.values.size(); i++) {
+      if (i) out += ",";
+      double v = s.values[i];
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nvmetro::obs

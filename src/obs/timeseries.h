@@ -1,0 +1,92 @@
+// Time-series telemetry: how did the system behave *over time*?
+//
+// MetricsRegistry values are cumulative — one number for the whole run.
+// TimeSeries snapshots a configured set of probes on a fixed sim-time
+// cadence into a fixed-capacity ring, turning cumulative counters into
+// per-window deltas/rates (IOPS), gauges into instantaneous levels +
+// watermarks (queue depth), and histograms into *windowed* percentiles
+// (p50/p99 of just that window's samples, via LatencyHistogram delta
+// statistics against a retained copy).
+//
+// Scheduling: the obs library is a leaf (nvm_sim links nvm_obs), so the
+// sampler cannot talk to the Simulator directly. Start() takes a
+// scheduler callback and PRE-schedules every tick up to a horizon —
+// Simulator::Run() drains the event queue, so a self-rescheduling
+// sampler would never let Run() return.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace nvmetro::obs {
+
+/// Schedules `fn` to run at absolute sim time `at`. Callers wrap
+/// Simulator::ScheduleAt; tests can call the tick lambda directly.
+using TelemetryScheduler =
+    std::function<void(SimTime at, std::function<void()> fn)>;
+
+class TimeSeries {
+ public:
+  struct Config {
+    SimTime interval_ns = 1'000'000;  // 1 ms windows
+    usize capacity = 4096;            // samples retained (ring)
+  };
+
+  TimeSeries(const MetricsRegistry* registry, Config cfg);
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  // Probes resolve their metric by name at sample time (a metric
+  // registered after the probe still gets picked up; an absent metric
+  // samples as 0). Each probe contributes columns named from `column`:
+  //   counter:   <column>_delta (per window), <column>_rate (per second)
+  //   gauge:     <column> (level), <column>_max (watermark since reset)
+  //   histogram: <column>_count (window), <column>_p50_ns, <column>_p99_ns
+  void AddCounterProbe(const std::string& column, const std::string& metric);
+  void AddGaugeProbe(const std::string& column, const std::string& metric);
+  void AddHistogramProbe(const std::string& column, const std::string& metric);
+
+  /// Pre-schedules one sample per interval over (start, horizon].
+  void Start(SimTime start, SimTime horizon, const TelemetryScheduler& sched);
+
+  /// Stamps one sample at `now` (what the scheduled ticks call).
+  void SampleNow(SimTime now);
+
+  struct Sample {
+    SimTime t = 0;
+    std::vector<double> values;  // parallel to columns()
+  };
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// Retained samples, oldest first (at most Config::capacity).
+  std::vector<Sample> samples() const;
+  u64 total_sampled() const { return total_; }
+
+  /// "t_ns,<col>,...\n" header + one row per retained sample.
+  std::string ToCsv() const;
+
+ private:
+  enum class ProbeKind : u8 { kCounter, kGauge, kHistogram };
+  struct Probe {
+    ProbeKind kind;
+    std::string metric;
+    u64 last_count = 0;            // counter: previous cumulative value
+    LatencyHistogram prev;         // histogram: copy at last sample
+    bool primed = false;
+  };
+
+  const MetricsRegistry* registry_;
+  Config cfg_;
+  std::vector<Probe> probes_;
+  std::vector<std::string> columns_;
+  std::vector<Sample> ring_;
+  u64 total_ = 0;  // next write position is total_ % capacity
+  SimTime last_t_ = 0;
+};
+
+}  // namespace nvmetro::obs

@@ -22,6 +22,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kRetry: return "RETRY";
     case SpanKind::kUifFailover: return "UIF_FAILOVER";
     case SpanKind::kBatch: return "BATCH";
+    case SpanKind::kKernelDone: return "KBIO_DONE";
+    case SpanKind::kSloBreach: return "SLO_BREACH";
   }
   return "?";
 }
@@ -40,7 +42,13 @@ TraceRecorder::TraceRecorder(usize capacity)
     : ring_(capacity ? capacity : 1) {}
 
 void TraceRecorder::Record(const TraceEvent& ev) {
-  ring_[total_ % ring_.size()] = ev;
+  TraceEvent& slot = ring_[total_ % ring_.size()];
+  if (total_ >= ring_.size() && slot.req_id > eviction_horizon_) {
+    // Overwriting an event of request `slot.req_id`: every request up to
+    // that id may now have a hole in its retained span.
+    eviction_horizon_ = slot.req_id;
+  }
+  slot = ev;
   total_++;
 }
 
@@ -65,6 +73,7 @@ std::vector<TraceEvent> TraceRecorder::EventsFor(u64 req_id) const {
 
 std::string TraceRecorder::PathString(u64 req_id) const {
   std::string out;
+  if (truncated(req_id)) out = "...";
   for (const TraceEvent& ev : EventsFor(req_id)) {
     if (!out.empty()) out += " > ";
     out += SpanKindName(ev.kind);
@@ -106,6 +115,7 @@ std::string TraceRecorder::DumpRequest(u64 req_id) const {
 
 void TraceRecorder::Reset() {
   total_ = 0;
+  eviction_horizon_ = 0;
   next_req_id_ = 1;
   opened_ = 0;
   closed_ = 0;

@@ -43,6 +43,9 @@ enum class SpanKind : u8 {
   kUifFailover,        // notify leg abandoned (UIF dead / detached)
   kBatch,              // request drained in a multi-command batch
                        // (aux = batch size; only stamped for size > 1)
+  kKernelDone,         // kernel-path host bio completed (pre-mailbox)
+  kSloBreach,          // SLO watchdog breach mark (req_id = 0;
+                       // aux = window end, status = target index)
 };
 
 const char* SpanKindName(SpanKind kind);
@@ -98,8 +101,20 @@ class TraceRecorder {
 
   /// The golden-trace form: retained hooks of `req_id` joined with " > ",
   /// e.g. "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_FAST > HCQ_COMPLETE >
-  /// VCQ_POST > IRQ_INJECT".
+  /// VCQ_POST > IRQ_INJECT". A span whose early events were evicted by
+  /// ring wraparound is prefixed with "... > " so a partial path can
+  /// never be mistaken for a complete one.
   std::string PathString(u64 req_id) const;
+
+  /// True if any event of `req_id` may have been evicted by wraparound:
+  /// the ring has overwritten events of a request with an id >= req_id.
+  /// Conservative (a wrapped ring may still retain every event of a
+  /// *later* request in full, which is exactly what this distinguishes).
+  bool truncated(u64 req_id) const {
+    return req_id != 0 && req_id <= eviction_horizon_;
+  }
+  /// Highest request id that lost at least one event to eviction.
+  u64 eviction_horizon() const { return eviction_horizon_; }
 
   /// "t=12345 req=7 vm=1 CLASSIFIER(VSQ) verdict=0x20011 status=0x0".
   static std::string FormatEvent(const TraceEvent& ev);
@@ -113,6 +128,7 @@ class TraceRecorder {
  private:
   std::vector<TraceEvent> ring_;
   u64 total_ = 0;  // next write position is total_ % capacity
+  u64 eviction_horizon_ = 0;  // max req_id that lost an event to wraparound
   u64 next_req_id_ = 1;
   u64 opened_ = 0;
   u64 closed_ = 0;

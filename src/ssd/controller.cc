@@ -34,6 +34,7 @@ SimulatedController::SimulatedController(sim::Simulator* sim,
     m_injected_ = m.GetCounter("ssd.injected");
     m_bytes_read_ = m.GetCounter("ssd.bytes_read");
     m_bytes_written_ = m.GetCounter("ssd.bytes_written");
+    m_inflight_ = m.GetGauge("ssd.inflight");
   }
 }
 
@@ -194,10 +195,13 @@ void SimulatedController::PostCqe(u16 qid, const Sqe& sqe, NvmeStatus status,
   commands_completed_++;
   if (m_commands_) m_commands_->Inc();
   if (!nvme::StatusOk(status) && m_errors_) m_errors_->Inc();
+  // Admin completions (qid 0) have no matching ExecuteIo increment.
+  if (m_inflight_ && qid != 0) m_inflight_->Add(-1);
   if (qp.notify) qp.notify();
 }
 
 void SimulatedController::ExecuteIo(QueuePair& qp, const Sqe& sqe) {
+  if (m_inflight_) m_inflight_->Add(1);
   // Fault-injector check: a stalled command is swallowed (no CQE until
   // the host times it out); a delayed error completes late with the
   // planned status.
@@ -206,6 +210,8 @@ void SimulatedController::ExecuteIo(QueuePair& qp, const Sqe& sqe) {
     SimTime fdelay = 0;
     switch (fault_->OnSsdCommand(sqe.nsid, &fstatus, &fdelay)) {
       case fault::FaultInjector::CommandAction::kStall:
+        // Swallowed: no CQE will ever decrement it.
+        if (m_inflight_) m_inflight_->Add(-1);
         return;
       case fault::FaultInjector::CommandAction::kError:
         CompleteAt(sim_->now() + fdelay, qp.qid, sqe, fstatus);

@@ -33,6 +33,7 @@
 
 namespace nvmetro::obs {
 class Counter;
+class Gauge;
 class Observability;
 }  // namespace nvmetro::obs
 
@@ -226,6 +227,9 @@ class SimulatedController {
   obs::Counter* m_injected_ = nullptr;
   obs::Counter* m_bytes_read_ = nullptr;
   obs::Counter* m_bytes_written_ = nullptr;
+  // "ssd.inflight": I/O commands accepted but not yet completed
+  // (watermark = peak device queue depth).
+  obs::Gauge* m_inflight_ = nullptr;
   struct Injection {
     u32 nsid;
     nvme::NvmeStatus status;

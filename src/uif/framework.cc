@@ -53,6 +53,7 @@ UifFunction* UifHost::AddFunction(core::NotifyChannel* channel, virt::Vm* vm,
     fn->obs_ = params_.obs;
     fn->m_requests_ = params_.obs->metrics().GetCounter("uif.requests");
     fn->m_responses_ = params_.obs->metrics().GetCounter("uif.responses");
+    fn->m_backlog_ = params_.obs->metrics().GetGauge("uif.nsq.backlog");
   }
   impl->function_ = fn.get();
   usize index = functions_.size();
@@ -83,6 +84,9 @@ void UifHost::PollChannel(usize index) {
   // per dispatch. With max_batch == 1 this is exactly the classic
   // one-command-per-dispatch loop.
   u32 budget = std::max<u32>(1, params_.max_batch);
+  if (fn.m_backlog_) {
+    fn.m_backlog_->Set(static_cast<i64>(fn.channel_->PendingRequests()));
+  }
   core::NotifyEntry entry;
   u32 handled = 0;
   while (handled < budget && fn.channel_->PopRequest(&entry)) {
@@ -103,6 +107,9 @@ void UifHost::PollChannel(usize index) {
     u16 status = nvme::kStatusSuccess;
     bool async = fn.impl_->work(entry.sqe, entry.tag, status);
     if (!async) fn.Respond(entry.tag, status);
+  }
+  if (fn.m_backlog_) {
+    fn.m_backlog_->Set(static_cast<i64>(fn.channel_->PendingRequests()));
   }
   if (handled && fn.channel_->PendingRequests() > 0) {
     poller_->Notify(sources_[index]);

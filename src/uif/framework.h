@@ -34,6 +34,7 @@
 
 namespace nvmetro::obs {
 class Counter;
+class Gauge;
 class Observability;
 }  // namespace nvmetro::obs
 
@@ -111,6 +112,9 @@ class UifFunction {
   obs::Observability* obs_ = nullptr;
   obs::Counter* m_requests_ = nullptr;
   obs::Counter* m_responses_ = nullptr;
+  // "uif.nsq.backlog": NSQ residency seen by the poller (watermark =
+  // deepest backlog a dispatch ever found).
+  obs::Gauge* m_backlog_ = nullptr;
   std::map<u32, u64> inflight_;
 };
 

@@ -68,6 +68,22 @@ TEST(MetricsRegistryTest, GaugeSetAndAdd) {
   g->Add(-7);
   EXPECT_EQ(g->value(), -2);  // may dip negative transiently
   EXPECT_EQ(m.FindGauge("queue.depth")->value(), -2);
+  EXPECT_EQ(g->max(), 5);  // the watermark survives the dip
+  g->Add(9);
+  EXPECT_EQ(g->value(), 7);
+  EXPECT_EQ(g->max(), 7);  // Add() moves the watermark too
+}
+
+TEST(MetricsRegistryTest, GaugeWatermarkNeverNegative) {
+  MetricsRegistry m;
+  Gauge* g = m.GetGauge("depth");
+  g->Set(-4);
+  EXPECT_EQ(g->value(), -4);
+  EXPECT_EQ(g->max(), 0);  // never went above its implicit start of 0
+  m.Reset();
+  g->Set(3);
+  g->Set(1);
+  EXPECT_EQ(g->max(), 3);  // reset cleared the old watermark
 }
 
 TEST(MetricsRegistryTest, HistogramMatchesCommonHistogram) {
@@ -103,7 +119,9 @@ TEST(MetricsRegistryTest, SnapshotIsIsolatedFromLaterMutation) {
   EXPECT_EQ(snap.counters[0].first, "a.count");
   EXPECT_EQ(snap.counters[0].second, 3u);
   ASSERT_EQ(snap.gauges.size(), 1u);
-  EXPECT_EQ(snap.gauges[0].second, 9);
+  EXPECT_EQ(snap.gauges[0].name, "a.level");
+  EXPECT_EQ(snap.gauges[0].value, 9);
+  EXPECT_EQ(snap.gauges[0].max, 9);
   ASSERT_EQ(snap.histograms.size(), 1u);
   EXPECT_EQ(snap.histograms[0].count, 1u);
   EXPECT_LT(snap.histograms[0].max, 5'000'000u);
@@ -295,11 +313,16 @@ TEST(MetricsRegistryTest, JsonExportRoundTripsThroughStrictParser) {
   ASSERT_EQ(root.object.count("gauges"), 1u);
   ASSERT_EQ(root.object.count("histograms"), 1u);
   EXPECT_EQ(root.object["counters"].object["router.requests"].num, 12345.0);
-  EXPECT_EQ(root.object["gauges"].object["router.inflight"].num, -3.0);
+  JsonValue& g = root.object["gauges"].object["router.inflight"];
+  ASSERT_EQ(g.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(g.object["value"].num, -3.0);
+  EXPECT_EQ(g.object["max"].num, 0.0);  // never went positive
   JsonValue& h = root.object["histograms"].object["router.lat"];
   ASSERT_EQ(h.kind, JsonValue::Kind::kObject);
   EXPECT_EQ(h.object["count"].num, 1.0);
   EXPECT_EQ(h.object["p50_ns"].num, 777.0);
+  EXPECT_EQ(h.object["p999_ns"].num, 777.0);
+  EXPECT_EQ(h.object["sum_ns"].num, 777.0);
 }
 
 TEST(MetricsRegistryTest, JsonExportEscapesHostileNames) {
@@ -526,8 +549,8 @@ TEST_F(ObsRouterFixture, KernelPathGoldenTrace) {
   EXPECT_EQ(st, nvme::kStatusSuccess);
   ASSERT_EQ(id, 1u);
   EXPECT_EQ(obs.trace().PathString(id),
-            "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_KERNEL > KCQ_COMPLETE > "
-            "VCQ_POST > IRQ_INJECT");
+            "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_KERNEL > KBIO_DONE > "
+            "KCQ_COMPLETE > VCQ_POST > IRQ_INJECT");
   const obs::MetricsRegistry& m = obs.metrics();
   EXPECT_EQ(m.CounterValue("router.kernel.sends"), 1u);
   EXPECT_EQ(m.CounterValue("router.kernel.completions"), 1u);

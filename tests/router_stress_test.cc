@@ -462,8 +462,8 @@ TEST_F(StressFixture, HotSwapPreservesKernelPathInflight) {
   const obs::TraceRecorder& tr = obs.trace();
   for (u64 id = 1; id <= 4; id++) {
     EXPECT_EQ(tr.PathString(id),
-              "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_KERNEL > KCQ_COMPLETE > "
-              "VCQ_POST > IRQ_INJECT")
+              "VSQ_POP > CLASSIFIER(VSQ) > DISPATCH_KERNEL > KBIO_DONE > "
+              "KCQ_COMPLETE > VCQ_POST > IRQ_INJECT")
         << "pre-swap req " << id << " lost its kernel routing state";
   }
   for (u64 id = 5; id <= 6; id++) {

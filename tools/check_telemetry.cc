@@ -1,0 +1,139 @@
+// Telemetry artifact checker for CI.
+//
+// Runs the same strict validators the unit tests use against exported
+// telemetry files:
+//
+//   check_telemetry --perfetto=trace.json --prom=metrics.prom
+//                   [--timeseries=series.csv]
+//
+// Exits non-zero (with a diagnostic) when any given file fails its
+// format check, so the bench-smoke job rejects an export regression
+// before the artifact is uploaded.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+#include "obs/export.h"
+
+namespace nvmetro {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  usize n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+/// Structural CSV check: a non-empty header, every row with the same
+/// column count, every non-header field numeric.
+bool ValidateTimeSeriesCsv(const std::string& text, std::string* error) {
+  usize pos = 0, lineno = 0, columns = 0;
+  while (pos < text.size()) {
+    usize nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      *error = "last line not newline-terminated";
+      return false;
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    lineno++;
+    usize fields = 1;
+    usize start = 0;
+    for (usize i = 0; i <= line.size(); i++) {
+      if (i == line.size() || line[i] == ',') {
+        std::string field = line.substr(start, i - start);
+        if (field.empty()) {
+          *error = "line " + std::to_string(lineno) + ": empty field";
+          return false;
+        }
+        if (lineno > 1) {
+          char* end = nullptr;
+          std::strtod(field.c_str(), &end);
+          if (end != field.c_str() + field.size()) {
+            *error = "line " + std::to_string(lineno) +
+                     ": non-numeric field '" + field + "'";
+            return false;
+          }
+        }
+        start = i + 1;
+        if (i < line.size()) fields++;
+      }
+    }
+    if (lineno == 1) {
+      columns = fields;
+    } else if (fields != columns) {
+      *error = "line " + std::to_string(lineno) + ": column count mismatch";
+      return false;
+    }
+  }
+  if (lineno == 0) {
+    *error = "empty file";
+    return false;
+  }
+  return true;
+}
+
+int Check(const std::string& path, const char* what,
+          bool (*validate)(const std::string&, std::string*)) {
+  std::string data;
+  if (!ReadFile(path, &data)) {
+    std::fprintf(stderr, "check_telemetry: cannot read %s '%s'\n", what,
+                 path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!validate(data, &error)) {
+    std::fprintf(stderr, "check_telemetry: %s '%s' INVALID: %s\n", what,
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("check_telemetry: %s '%s' ok (%zu bytes)\n", what, path.c_str(),
+              data.size());
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  flags.DefineString("perfetto", "", "trace-event JSON file to validate");
+  flags.DefineString("prom", "", "Prometheus text file to validate");
+  flags.DefineString("timeseries", "", "time-series CSV file to validate");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  int rc = 0;
+  bool any = false;
+  if (!flags.GetString("perfetto").empty()) {
+    any = true;
+    rc |= Check(flags.GetString("perfetto"), "Perfetto trace",
+                &obs::ValidateTraceEventJson);
+  }
+  if (!flags.GetString("prom").empty()) {
+    any = true;
+    rc |= Check(flags.GetString("prom"), "Prometheus metrics",
+                &obs::ValidatePrometheusText);
+  }
+  if (!flags.GetString("timeseries").empty()) {
+    any = true;
+    rc |= Check(flags.GetString("timeseries"), "time-series CSV",
+                &ValidateTimeSeriesCsv);
+  }
+  if (!any) {
+    std::fprintf(stderr,
+                 "check_telemetry: nothing to check (pass --perfetto/--prom/"
+                 "--timeseries)\n");
+    return 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace nvmetro
+
+int main(int argc, char** argv) { return nvmetro::Main(argc, argv); }
