@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/obs.h"
+#include "qos/qos.h"
 
 namespace nvmetro::core {
 
@@ -303,6 +304,27 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
     e->deadline_ev = sim_->ScheduleAfter(costs_->request_timeout_ns,
                                          [this, tag] { OnDeadline(tag); });
   }
+  if (qos_) {
+    // Admission ahead of classification (DESIGN.md §12). Arrivals behind
+    // parked commands park too (FIFO — tokens go to the oldest waiter
+    // first); beyond the deferral bound they are shed.
+    worker_->cpu()->Charge(costs_->qos_admit_ns);
+    u32 cost = QosTokenCost(*e);
+    if (qos_count_ > 0) {
+      QosParkOrShed(e, cost);
+      return;
+    }
+    qos::AdmitResult r = qos_->Admit(qos_tenant_, cost, sim_->now());
+    if (r.action == qos::AdmitResult::Action::kDefer) {
+      QosParkOrShed(e, cost);
+      if (qos_count_ > 0) ArmQosResume(r.retry_at);
+      return;
+    }
+  }
+  StartRequest(e);
+}
+
+void VirtualController::StartRequest(RequestEntry* e) {
   if (fixed_translation_) {
     // MDev-NVMe mode: fixed translation, fast path only.
     worker_->cpu()->Charge(costs_->mdev_handle_ns);
@@ -875,6 +897,9 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
     if (m_inflight_) m_inflight_->Add(-1);
     SimTime lat = sim_->now() - e->start_ns;
     m_latency_->Record(lat);
+    // Per-tenant goodput latency: shed/failed completions are accounted
+    // through the shed/failed counters, not the latency distribution.
+    if (qos_ && !e->failed_marked) qos_->RecordLatency(qos_tenant_, lat);
     // Per-path latency only when the request took exactly one path.
     for (int p = 0; p < 3; p++) {
       if (e->paths_used == (1u << p)) m_path_latency_[p]->Record(lat);
@@ -1063,6 +1088,92 @@ void VirtualController::HandleUifDead(bool dead, NvmeStatus fail_status) {
       continue;
     }
     FailRequest(e, fail_status);
+  }
+}
+
+// --- Multi-tenant QoS (DESIGN.md §12) -----------------------------------------
+
+void VirtualController::AttachQos(qos::QosScheduler* qos, u32 tenant_id) {
+  qos_ = qos;
+  qos_tenant_ = tenant_id;
+  qos_ring_.clear();
+  qos_head_ = qos_count_ = 0;
+  if (qos_resume_armed_) {
+    sim_->Cancel(qos_resume_ev_);
+    qos_resume_armed_ = false;
+  }
+  if (!qos_) return;
+  u32 cap = qos_->max_deferred(tenant_id);
+  qos_ring_.assign(cap ? cap : 1, QosWaiter{});
+  if (obs_) m_qos_waiting_ = obs_->metrics().GetGauge("qos.waiting");
+}
+
+u32 VirtualController::QosTokenCost(const RequestEntry& e) {
+  if (!e.sqe.is_io_data_cmd()) return 1;
+  u64 bytes = static_cast<u64>(e.mediated_nlb) * kLbaSize;
+  u32 pages = static_cast<u32>((bytes + 4095) / 4096);
+  return pages ? pages : 1;
+}
+
+void VirtualController::QosParkOrShed(RequestEntry* e, u32 cost) {
+  if (qos_count_ >= qos_ring_.size()) {
+    QosShed(e);
+    return;
+  }
+  usize idx = (qos_head_ + qos_count_) % qos_ring_.size();
+  qos_ring_[idx] = QosWaiter{e->tag, cost, sim_->now()};
+  qos_count_++;
+  qos_deferred_++;
+  qos_->NoteDeferred(qos_tenant_);
+  if (m_qos_waiting_) m_qos_waiting_->Add(1);
+}
+
+void VirtualController::QosShed(RequestEntry* e) {
+  qos_shed_++;
+  qos_->NoteShed(qos_tenant_);
+  Stamp(e, obs::SpanKind::kQosShed);
+  // Busy-ish transient status: the guest driver's natural reaction is to
+  // back off and retry, which is exactly what load shedding asks for.
+  FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                  nvme::kScNamespaceNotReady));
+}
+
+void VirtualController::ArmQosResume(SimTime at) {
+  if (at <= sim_->now()) at = sim_->now() + 1;
+  if (qos_resume_armed_ && qos_resume_at_ <= at) return;
+  if (qos_resume_armed_) sim_->Cancel(qos_resume_ev_);
+  qos_resume_armed_ = true;
+  qos_resume_at_ = at;
+  qos_resume_ev_ = sim_->ScheduleAt(at, [this] { QosResume(); });
+}
+
+void VirtualController::QosResume() {
+  qos_resume_armed_ = false;
+  Touch();
+  while (qos_count_ > 0) {
+    const QosWaiter w = qos_ring_[qos_head_];
+    RequestEntry* e = EntryByTag(w.tag);
+    if (!e || e->completed) {
+      // Timed out (OnDeadline) while parked; the slot may already be
+      // recycled. Drop the stale waiter.
+      qos_head_ = (qos_head_ + 1) % qos_ring_.size();
+      qos_count_--;
+      if (m_qos_waiting_) m_qos_waiting_->Add(-1);
+      continue;
+    }
+    qos::AdmitResult r = qos_->Admit(qos_tenant_, w.cost, sim_->now());
+    if (r.action == qos::AdmitResult::Action::kDefer) {
+      ArmQosResume(r.retry_at);
+      return;
+    }
+    qos_head_ = (qos_head_ + 1) % qos_ring_.size();
+    qos_count_--;
+    if (m_qos_waiting_) m_qos_waiting_->Add(-1);
+    worker_->cpu()->Charge(costs_->qos_admit_ns);
+    SimTime waited = sim_->now() - w.parked_at;
+    qos_->NoteWait(qos_tenant_, waited);
+    Stamp(e, obs::SpanKind::kQosAdmit, 0, waited);
+    StartRequest(e);
   }
 }
 

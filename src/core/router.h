@@ -38,6 +38,9 @@ class Gauge;
 class Observability;
 enum class SpanKind : u8;
 }  // namespace obs
+namespace qos {
+class QosScheduler;
+}  // namespace qos
 }  // namespace nvmetro
 
 namespace nvmetro::core {
@@ -113,6 +116,11 @@ struct RouterCosts {
   /// share it. 0 = inject at the end of every batch, which leaves QD1
   /// latency untouched.
   SimTime completion_coalesce_ns = 0;
+  /// --- Multi-tenant QoS (DESIGN.md §12) --------------------------------
+  /// CPU per admission decision (token-bucket check). Charged only when
+  /// a QosScheduler is attached, so QoS-off runs are bit-identical to
+  /// the pre-QoS router.
+  SimTime qos_admit_ns = 120;
 };
 
 class RouterWorker;
@@ -152,6 +160,13 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// module does (paper SIII-C). Used by the MDev baseline.
   void SetFixedTranslationMode(bool on) { fixed_translation_ = on; }
 
+  /// Enables multi-tenant QoS: every popped command asks `qos` for
+  /// admission as `tenant_id` before classification. Deferred commands
+  /// park in a bounded FIFO (capacity = the tenant's max_deferred) and
+  /// resume when tokens accrue; arrivals beyond the bound are shed with
+  /// a busy status (DESIGN.md §12). Pass nullptr to detach.
+  void AttachQos(qos::QosScheduler* qos, u32 tenant_id);
+
   // --- virt::VirtualNvmeBackend ----------------------------------------------
 
   Status AttachQueuePair(u16 qid, nvme::SqRing* sq, nvme::CqRing* cq,
@@ -171,6 +186,10 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u64 kernel_path_sends() const { return kernel_sends_; }
   u64 requests_timed_out() const { return timeouts_; }
   u64 leg_retries() const { return retries_; }
+  u64 qos_deferrals() const { return qos_deferred_; }
+  u64 qos_sheds() const { return qos_shed_; }
+  /// Commands currently parked awaiting QoS admission.
+  u32 qos_waiting() const { return static_cast<u32>(qos_count_); }
   u64 uif_failovers() const { return uif_failovers_; }
   bool uif_dead() const { return uif_dead_; }
   ClassifierRuntime* classifier() { return classifier_.get(); }
@@ -247,6 +266,23 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// and stamps the BATCH span when the batch holds more than one.
   void HandleNewRequest(usize gq_index, const nvme::Sqe& sqe,
                         u32 batch_n = 0);
+  /// Classification + dispatch of an admitted entry — the tail of
+  /// HandleNewRequest, split out so QoS-deferred commands resume here.
+  void StartRequest(RequestEntry* e);
+  // Multi-tenant QoS (DESIGN.md §12): admission gate ahead of
+  // classification, bounded FIFO of parked commands, timer-driven resume.
+  /// Tokens one command costs: one per 4 KiB page, minimum one.
+  static u32 QosTokenCost(const RequestEntry& e);
+  /// Parks `e` (cost already computed) or sheds it at the bound.
+  void QosParkOrShed(RequestEntry* e, u32 cost);
+  /// Fails `e` with a busy status and accounts the shed.
+  void QosShed(RequestEntry* e);
+  /// Arms (or pulls in) the single resume timer for the parked FIFO.
+  void ArmQosResume(SimTime at);
+  /// Resume timer body: admit parked commands in FIFO order until the
+  /// scheduler defers again (re-arming at its retry_at) or the FIFO
+  /// drains.
+  void QosResume();
   // Batched pipeline (DESIGN.md §10). While a batch is open, dispatches
   // push without ringing and completions defer their guest interrupt;
   // FlushBatch rings each dirty HSQ doorbell once, kicks the NSQ once
@@ -315,6 +351,25 @@ class VirtualController : public virt::VirtualNvmeBackend {
   std::deque<std::pair<u32, nvme::NvmeStatus>> kcq_mailbox_;
 
   bool fixed_translation_ = false;
+  // QoS state: scheduler + tenant identity, fixed-capacity parked-command
+  // ring (no per-IO allocation), and the single resume timer. The ring
+  // stores tags, not pointers: a parked command that times out is freed
+  // by OnDeadline and its stale tag is skipped on resume.
+  struct QosWaiter {
+    u32 tag = 0;
+    u32 cost = 0;
+    SimTime parked_at = 0;
+  };
+  qos::QosScheduler* qos_ = nullptr;
+  u32 qos_tenant_ = 0;
+  std::vector<QosWaiter> qos_ring_;
+  usize qos_head_ = 0;
+  usize qos_count_ = 0;
+  bool qos_resume_armed_ = false;
+  SimTime qos_resume_at_ = 0;
+  sim::EventId qos_resume_ev_;
+  u64 qos_deferred_ = 0;
+  u64 qos_shed_ = 0;
   /// True between BeginBatch and FlushBatch; routes dispatch/completion
   /// doorbell work through the per-batch flush instead of per command.
   bool batch_active_ = false;
@@ -362,6 +417,10 @@ class VirtualController : public virt::VirtualNvmeBackend {
   LatencyHistogram* m_batch_size_ = nullptr;
   // "router.inflight": open guest requests (gauge watermark = peak depth).
   obs::Gauge* m_inflight_ = nullptr;
+  // "qos.waiting": commands parked for admission across all controllers
+  // sharing the registry (watermark = peak backlog). Registered only by
+  // AttachQos so QoS-off metric exports stay bit-identical.
+  obs::Gauge* m_qos_waiting_ = nullptr;
 };
 
 /// A router worker thread polling the queues of its assigned VMs.

@@ -16,6 +16,7 @@ const char* StageName(Stage stage) {
     case Stage::kRetryWait: return "retry_wait";
     case Stage::kFailover: return "failover";
     case Stage::kPost: return "post";
+    case Stage::kQosWait: return "qos_wait";
     case Stage::kCount: break;
   }
   return "?";
@@ -44,6 +45,9 @@ Stage StageForKind(SpanKind kind) {
     case SpanKind::kUifFailover:
       return Stage::kFailover;
     case SpanKind::kVcqPost: return Stage::kPost;
+    case SpanKind::kQosAdmit:  // the delta ending here is the parked wait
+    case SpanKind::kQosShed:
+      return Stage::kQosWait;
     case SpanKind::kIrqInject:  // handled out-of-band (post-e2e)
     case SpanKind::kSloBreach:  // req_id == 0, never folded
       return Stage::kPost;

@@ -44,6 +44,7 @@ enum class Stage : u8 {
   kRetryWait,     // backoff before a transient leg re-dispatch
   kFailover,      // deadline abort / UIF failover handling
   kPost,          // completion merge + CQE write to the guest VCQ
+  kQosWait,       // parked by QoS admission until tokens were granted
   kCount,
 };
 constexpr usize kStageCount = static_cast<usize>(Stage::kCount);

@@ -24,6 +24,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kBatch: return "BATCH";
     case SpanKind::kKernelDone: return "KBIO_DONE";
     case SpanKind::kSloBreach: return "SLO_BREACH";
+    case SpanKind::kQosAdmit: return "QOS_ADMIT";
+    case SpanKind::kQosShed: return "QOS_SHED";
   }
   return "?";
 }

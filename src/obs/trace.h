@@ -46,6 +46,10 @@ enum class SpanKind : u8 {
   kKernelDone,         // kernel-path host bio completed (pre-mailbox)
   kSloBreach,          // SLO watchdog breach mark (req_id = 0;
                        // aux = window end, status = target index)
+  kQosAdmit,           // deferred request finally admitted by the QoS
+                       // scheduler (aux = parked ns; never stamped for
+                       // requests admitted without waiting)
+  kQosShed,            // request shed at the QoS deferral bound
 };
 
 const char* SpanKindName(SpanKind kind);

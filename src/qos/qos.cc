@@ -1,0 +1,283 @@
+#include "qos/qos.h"
+
+#include <cstdio>
+
+#include "obs/obs.h"
+#include "obs/slo.h"
+
+namespace nvmetro::qos {
+
+namespace {
+constexpr u64 kNsPerSec = 1'000'000'000;
+}  // namespace
+
+const char* TenantClassName(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kLatencyCritical: return "lc";
+    case TenantClass::kBestEffort: return "be";
+  }
+  return "?";
+}
+
+QosScheduler::QosScheduler(QosConfig cfg, obs::Observability* obs)
+    : cfg_(cfg), obs_(obs) {
+  leftover_.rate = cfg_.device_tokens_per_sec;
+  leftover_.depth = DepthFor(leftover_.rate, cfg_.bucket_depth_ns);
+  leftover_.tokens = leftover_.depth;
+  initial_tokens_ = leftover_.depth;
+  if (obs_) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m_admitted_ = m.GetCounter("qos.admitted");
+    m_deferred_ = m.GetCounter("qos.deferred");
+    m_shed_ = m.GetCounter("qos.shed");
+    m_tokens_ = m.GetCounter("qos.tokens.granted");
+  }
+}
+
+u64 QosScheduler::DepthFor(u64 rate, SimTime depth_ns) {
+  if (rate == 0) return 0;
+  unsigned __int128 d =
+      static_cast<unsigned __int128>(rate) * static_cast<u64>(depth_ns) /
+      kNsPerSec;
+  u64 depth = static_cast<u64>(d);
+  return depth ? depth : 1;
+}
+
+Status QosScheduler::RegisterTenant(const TenantConfig& cfg) {
+  if (index_.count(cfg.tenant_id)) {
+    return AlreadyExists("tenant " + std::to_string(cfg.tenant_id) +
+                         " already registered");
+  }
+  // Registration rebuilds the leftover pool, which would corrupt the
+  // token ledger mid-traffic: all tenants register before the first
+  // admission.
+  if (total_granted_ || total_refilled_) {
+    return FailedPrecondition("tenants must register before traffic");
+  }
+  u64 reserved = cfg.cls == TenantClass::kLatencyCritical
+                     ? cfg.reserved_tokens_per_sec
+                     : 0;
+  if (lc_reserved_sum_ + reserved > cfg_.device_tokens_per_sec) {
+    return InvalidArgument("LC reservations oversubscribe the device rate");
+  }
+  Tenant t;
+  t.cfg = cfg;
+  t.bucket.rate = reserved;
+  t.bucket.depth = DepthFor(reserved, cfg_.bucket_depth_ns);
+  t.bucket.tokens = t.bucket.depth;
+  lc_reserved_sum_ += reserved;
+  // Leftover pool = device rate minus every LC reservation, rebuilt full.
+  leftover_.rate = cfg_.device_tokens_per_sec - lc_reserved_sum_;
+  leftover_.depth = DepthFor(leftover_.rate, cfg_.bucket_depth_ns);
+  leftover_.tokens = leftover_.depth;
+  leftover_.carry = 0;
+  if (obs_) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    std::string base = "qos.tenant" + std::to_string(cfg.tenant_id);
+    t.m_admitted = m.GetCounter(base + ".admitted");
+    t.m_deferred = m.GetCounter(base + ".deferred");
+    t.m_shed = m.GetCounter(base + ".shed");
+    t.m_tokens = m.GetCounter(base + ".tokens");
+    t.m_latency = m.GetHistogram(base + ".latency_ns");
+    t.m_wait = m.GetHistogram(base + ".wait_ns");
+  }
+  index_.emplace(cfg.tenant_id, static_cast<u32>(tenants_.size()));
+  tenants_.push_back(t);
+  initial_tokens_ = leftover_.depth;
+  for (const Tenant& tt : tenants_) initial_tokens_ += tt.bucket.depth;
+  return OkStatus();
+}
+
+bool QosScheduler::HasTenant(u32 tenant_id) const {
+  return index_.count(tenant_id) != 0;
+}
+
+QosScheduler::Tenant* QosScheduler::Find(u32 tenant_id) {
+  auto it = index_.find(tenant_id);
+  return it == index_.end() ? nullptr : &tenants_[it->second];
+}
+
+const QosScheduler::Tenant* QosScheduler::Find(u32 tenant_id) const {
+  auto it = index_.find(tenant_id);
+  return it == index_.end() ? nullptr : &tenants_[it->second];
+}
+
+const TenantConfig& QosScheduler::tenant_config(u32 tenant_id) const {
+  static const TenantConfig kEmpty{};
+  const Tenant* t = Find(tenant_id);
+  return t ? t->cfg : kEmpty;
+}
+
+void QosScheduler::RefillBucket(Bucket* b, SimTime now) {
+  if (now <= b->last) return;
+  if (b->rate == 0) {
+    b->last = now;
+    return;
+  }
+  unsigned __int128 acc =
+      static_cast<unsigned __int128>(b->rate) * (now - b->last) + b->carry;
+  u64 add = static_cast<u64>(acc / kNsPerSec);
+  b->carry = static_cast<u64>(acc % kNsPerSec);
+  b->last = now;
+  u64 room = b->depth - b->tokens;
+  if (add > room) add = room;  // overflow spills; the carry stays exact
+  b->tokens += add;
+  b->refilled += add;
+  total_refilled_ += add;
+}
+
+void QosScheduler::AdvanceTo(SimTime now) {
+  for (Tenant& t : tenants_) RefillBucket(&t.bucket, now);
+  RefillBucket(&leftover_, now);
+}
+
+AdmitResult QosScheduler::Admit(u32 tenant_id, u32 cost, SimTime now) {
+  Tenant* t = Find(tenant_id);
+  if (!t || cost == 0) return {};  // unregistered tenants are not policed
+  RefillBucket(&t->bucket, now);
+  RefillBucket(&leftover_, now);
+  bool lc = t->cfg.cls == TenantClass::kLatencyCritical;
+  u64 own = lc ? t->bucket.tokens : 0;
+  u64 avail = own + leftover_.tokens;
+  if (avail >= cost) {
+    // Reservation first, leftover for the remainder (BE: own == 0).
+    u64 from_own = own < cost ? own : cost;
+    t->bucket.tokens -= from_own;
+    leftover_.tokens -= cost - from_own;
+    t->granted += cost;
+    total_granted_ += cost;
+    t->admits++;
+    if (t->m_tokens) t->m_tokens->Inc(cost);
+    if (t->m_admitted) t->m_admitted->Inc();
+    if (m_tokens_) m_tokens_->Inc(cost);
+    if (m_admitted_) m_admitted_->Inc();
+    return {};
+  }
+  u64 rate = leftover_.rate + (lc ? t->bucket.rate : 0);
+  AdmitResult r;
+  r.action = AdmitResult::Action::kDefer;
+  if (rate == 0) {
+    r.retry_at = now + cfg_.zero_rate_poll_ns;
+    return r;
+  }
+  u64 deficit = cost - avail;
+  unsigned __int128 wait =
+      (static_cast<unsigned __int128>(deficit) * kNsPerSec + rate - 1) / rate;
+  SimTime wait_ns = static_cast<SimTime>(wait);
+  if (wait_ns < cfg_.min_backoff_ns) wait_ns = cfg_.min_backoff_ns;
+  r.retry_at = now + wait_ns;
+  return r;
+}
+
+void QosScheduler::NoteDeferred(u32 tenant_id) {
+  Tenant* t = Find(tenant_id);
+  if (!t) return;
+  t->deferrals++;
+  if (t->m_deferred) t->m_deferred->Inc();
+  if (m_deferred_) m_deferred_->Inc();
+}
+
+void QosScheduler::NoteShed(u32 tenant_id) {
+  Tenant* t = Find(tenant_id);
+  if (!t) return;
+  t->sheds++;
+  if (t->m_shed) t->m_shed->Inc();
+  if (m_shed_) m_shed_->Inc();
+}
+
+void QosScheduler::NoteWait(u32 tenant_id, SimTime wait_ns) {
+  Tenant* t = Find(tenant_id);
+  if (t && t->m_wait) t->m_wait->Record(wait_ns);
+}
+
+void QosScheduler::RecordLatency(u32 tenant_id, u64 e2e_ns) {
+  Tenant* t = Find(tenant_id);
+  if (t && t->m_latency) t->m_latency->Record(e2e_ns);
+}
+
+void QosScheduler::ArmSloTargets(obs::SloWatchdog* slo,
+                                 double quantile) const {
+  for (const Tenant& t : tenants_) {
+    if (!t.cfg.slo_latency_ns) continue;
+    std::string base = "qos.tenant" + std::to_string(t.cfg.tenant_id);
+    slo->AddLatencyTarget(base, base + ".latency_ns", quantile,
+                          t.cfg.slo_latency_ns);
+  }
+}
+
+u32 QosScheduler::max_deferred(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->cfg.max_deferred : 0;
+}
+
+u64 QosScheduler::tokens(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->bucket.tokens : 0;
+}
+
+u64 QosScheduler::bucket_depth(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->bucket.depth : 0;
+}
+
+u64 QosScheduler::granted(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->granted : 0;
+}
+
+u64 QosScheduler::admitted(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->admits : 0;
+}
+
+u64 QosScheduler::deferrals(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->deferrals : 0;
+}
+
+u64 QosScheduler::sheds(u32 tenant_id) const {
+  const Tenant* t = Find(tenant_id);
+  return t ? t->sheds : 0;
+}
+
+bool QosScheduler::CheckConservation(std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  u64 buffered = leftover_.tokens;
+  u64 per_tenant_granted = 0;
+  if (leftover_.tokens > leftover_.depth) {
+    return fail("leftover bucket above depth");
+  }
+  if (leftover_.carry >= kNsPerSec) return fail("leftover carry >= 1s");
+  for (const Tenant& t : tenants_) {
+    if (t.bucket.tokens > t.bucket.depth) {
+      return fail("tenant " + std::to_string(t.cfg.tenant_id) +
+                  " bucket above depth");
+    }
+    if (t.bucket.carry >= kNsPerSec) {
+      return fail("tenant " + std::to_string(t.cfg.tenant_id) +
+                  " carry >= 1s");
+    }
+    buffered += t.bucket.tokens;
+    per_tenant_granted += t.granted;
+  }
+  if (per_tenant_granted != total_granted_) {
+    return fail("per-tenant grants do not sum to the total");
+  }
+  if (initial_tokens_ + total_refilled_ != total_granted_ + buffered) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "ledger broken: initial %llu + refilled %llu != "
+                  "granted %llu + buffered %llu",
+                  static_cast<unsigned long long>(initial_tokens_),
+                  static_cast<unsigned long long>(total_refilled_),
+                  static_cast<unsigned long long>(total_granted_),
+                  static_cast<unsigned long long>(buffered));
+    return fail(buf);
+  }
+  return true;
+}
+
+}  // namespace nvmetro::qos

@@ -1,0 +1,204 @@
+// Multi-tenant QoS: per-tenant token-bucket rate control with admission
+// at submit time (ReFlex-style, SNIPPETS.md Snippet 1).
+//
+// Tenancy model: every VM is a tenant, tagged either latency-critical
+// (LC) or best-effort (BE). LC tenants reserve a token rate that is
+// theirs alone; the device rate left after all reservations forms a
+// single global leftover pool that every BE tenant draws from (and LC
+// tenants may dip into once their reservation is exhausted). One token
+// buys one 4 KiB page of I/O, so large commands cost proportionally
+// more than small ones.
+//
+// The scheduler is passive and allocation-free on the admission path:
+// the router asks `Admit(tenant, cost, now)` before classifying a
+// popped command. An admitted command proceeds immediately; a deferred
+// one is parked by the router (FIFO per tenant, bounded by
+// `max_deferred`) until `retry_at`, and parked commands beyond the
+// bound are shed — the guest sees a busy status and the shed is
+// accounted per tenant. Token refill is exact under irregular tick
+// spacing: a 128-bit accumulator carries the sub-nanosecond remainder
+// so no rate is lost to rounding, which the property tests in
+// tests/qos_test.cc pin as an exact conservation ledger
+// (initial + refilled == granted + still-in-bucket, to the token).
+//
+// Per-tenant observability: counters qos.tenant<id>.{admitted,
+// deferred,shed,tokens}, histograms qos.tenant<id>.{latency_ns,
+// wait_ns}, registered once at RegisterTenant so 1000-tenant configs
+// pay no per-IO registry lookups. ArmSloTargets() wires every tenant
+// with a latency objective into the SloWatchdog (DESIGN.md §11).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nvmetro::obs {
+class Counter;
+class Observability;
+class SloWatchdog;
+}  // namespace nvmetro::obs
+namespace nvmetro {
+class LatencyHistogram;
+}
+
+namespace nvmetro::qos {
+
+enum class TenantClass : u8 {
+  kLatencyCritical = 0,  // reserved token rate, may borrow leftover
+  kBestEffort = 1,       // leftover pool only
+};
+
+const char* TenantClassName(TenantClass cls);
+
+struct TenantConfig {
+  u32 tenant_id = 0;  // by convention the VM id
+  TenantClass cls = TenantClass::kBestEffort;
+  /// LC only: tokens/second carved out of the device rate. Must leave
+  /// the leftover pool non-negative across all LC tenants.
+  u64 reserved_tokens_per_sec = 0;
+  /// Commands parked awaiting tokens before the router starts shedding.
+  u32 max_deferred = 64;
+  /// Optional per-tenant latency SLO (0 = none): ArmSloTargets adds a
+  /// p-quantile target on qos.tenant<id>.latency_ns.
+  u64 slo_latency_ns = 0;
+};
+
+struct QosConfig {
+  /// Arbitrated device rate in tokens/second (1 token = one 4 KiB page).
+  u64 device_tokens_per_sec = 200'000;
+  /// Burst allowance: each bucket holds this many nanoseconds' worth of
+  /// its refill rate (bucket depth = rate * depth_ns / 1e9, min 1).
+  SimTime bucket_depth_ns = 1'000'000;
+  /// Floor on the defer backoff the scheduler hands back.
+  SimTime min_backoff_ns = 2'000;
+  /// Retry interval when a tenant's effective rate is zero (a BE tenant
+  /// with an empty leftover pool): poll until tokens appear or the
+  /// router's deferral bound sheds the queue.
+  SimTime zero_rate_poll_ns = 100'000;
+};
+
+/// Verdict of one admission attempt. There is no kShed verdict: shedding
+/// is the router's deferral-bound policy (max_deferred), accounted back
+/// through NoteShed().
+struct AdmitResult {
+  enum class Action : u8 { kAdmit = 0, kDefer };
+  Action action = Action::kAdmit;
+  /// For kDefer: earliest absolute sim-time at which the deficit can be
+  /// covered (>= now + min_backoff_ns).
+  SimTime retry_at = 0;
+};
+
+class QosScheduler {
+ public:
+  explicit QosScheduler(QosConfig cfg, obs::Observability* obs = nullptr);
+  QosScheduler(const QosScheduler&) = delete;
+  QosScheduler& operator=(const QosScheduler&) = delete;
+
+  /// Registers a tenant and its metrics. Fails on duplicate ids and on
+  /// LC reservations that oversubscribe the device rate.
+  Status RegisterTenant(const TenantConfig& cfg);
+
+  bool HasTenant(u32 tenant_id) const;
+  usize num_tenants() const { return tenants_.size(); }
+  const TenantConfig& tenant_config(u32 tenant_id) const;
+
+  /// Admission for one command costing `cost` tokens, at sim-time `now`.
+  /// On kAdmit the tokens are consumed; on kDefer nothing is consumed
+  /// and retry_at says when to ask again. O(1), allocation-free.
+  AdmitResult Admit(u32 tenant_id, u32 cost, SimTime now);
+
+  /// Refills every bucket to `now` without admitting anything (property
+  /// tests tick the clock with this).
+  void AdvanceTo(SimTime now);
+
+  // Router accounting callbacks -------------------------------------------
+  /// A command was parked (first deferral only, not per retry).
+  void NoteDeferred(u32 tenant_id);
+  /// A command was shed at the deferral bound.
+  void NoteShed(u32 tenant_id);
+  /// A parked command was finally admitted after `wait_ns`.
+  void NoteWait(u32 tenant_id, SimTime wait_ns);
+  /// Guest-visible completion latency of a successful command.
+  void RecordLatency(u32 tenant_id, u64 e2e_ns);
+
+  /// Adds a latency target on qos.tenant<id>.latency_ns for every tenant
+  /// with a non-zero slo_latency_ns (target name "qos.tenant<id>").
+  void ArmSloTargets(obs::SloWatchdog* slo, double quantile = 0.999) const;
+
+  // Introspection (property tests + bench) --------------------------------
+  u32 max_deferred(u32 tenant_id) const;
+  /// Current reserved-bucket level (always 0 for BE tenants).
+  u64 tokens(u32 tenant_id) const;
+  u64 bucket_depth(u32 tenant_id) const;
+  u64 leftover_tokens() const { return leftover_.tokens; }
+  u64 leftover_depth() const { return leftover_.depth; }
+  /// Leftover refill rate: device rate minus the sum of LC reservations.
+  u64 leftover_rate() const { return leftover_.rate; }
+  u64 granted(u32 tenant_id) const;
+  u64 admitted(u32 tenant_id) const;
+  u64 deferrals(u32 tenant_id) const;
+  u64 sheds(u32 tenant_id) const;
+  u64 total_granted() const { return total_granted_; }
+  /// Post-clamp tokens ever added by refill (excludes the initial fill).
+  u64 total_refilled() const { return total_refilled_; }
+  /// Sum of initial bucket fills (every bucket starts full).
+  u64 initial_tokens() const { return initial_tokens_; }
+
+  /// Exact token ledger: initial + refilled == granted + still buffered,
+  /// every bucket within its depth, per-tenant grants summing to the
+  /// total. Returns false and describes the violation in `error`.
+  bool CheckConservation(std::string* error) const;
+
+ private:
+  /// One token bucket with exact fractional-refill carry: refill adds
+  /// floor((rate * dt + carry) / 1e9) tokens and keeps the remainder,
+  /// so an irregular tick schedule grants exactly floor(rate * T / 1e9)
+  /// tokens over any horizon T.
+  struct Bucket {
+    u64 rate = 0;   // tokens per second
+    u64 depth = 0;  // burst capacity (bucket starts full)
+    u64 tokens = 0;
+    u64 carry = 0;  // sub-token remainder, in rate*ns units (< 1e9)
+    SimTime last = 0;
+    u64 refilled = 0;  // post-clamp tokens ever added
+  };
+
+  struct Tenant {
+    TenantConfig cfg;
+    Bucket bucket;  // LC reservation; rate 0 for BE
+    u64 granted = 0;
+    u64 admits = 0;
+    u64 deferrals = 0;
+    u64 sheds = 0;
+    obs::Counter* m_admitted = nullptr;
+    obs::Counter* m_deferred = nullptr;
+    obs::Counter* m_shed = nullptr;
+    obs::Counter* m_tokens = nullptr;
+    LatencyHistogram* m_latency = nullptr;
+    LatencyHistogram* m_wait = nullptr;
+  };
+
+  void RefillBucket(Bucket* b, SimTime now);
+  Tenant* Find(u32 tenant_id);
+  const Tenant* Find(u32 tenant_id) const;
+  static u64 DepthFor(u64 rate, SimTime depth_ns);
+
+  QosConfig cfg_;
+  obs::Observability* obs_;
+  std::unordered_map<u32, u32> index_;  // tenant_id -> slot in tenants_
+  std::vector<Tenant> tenants_;
+  Bucket leftover_;
+  u64 lc_reserved_sum_ = 0;
+  u64 total_granted_ = 0;
+  u64 total_refilled_ = 0;
+  u64 initial_tokens_ = 0;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_deferred_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_tokens_ = nullptr;
+};
+
+}  // namespace nvmetro::qos

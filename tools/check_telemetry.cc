@@ -4,11 +4,18 @@
 // telemetry files:
 //
 //   check_telemetry --perfetto=trace.json --prom=metrics.prom
-//                   [--timeseries=series.csv]
+//                   [--timeseries=series.csv] [--expect-tenants=N]
 //
 // Exits non-zero (with a diagnostic) when any given file fails its
 // format check, so the bench-smoke job rejects an export regression
 // before the artifact is uploaded.
+//
+// --expect-tenants=N additionally requires the Prometheus text to carry
+// the per-tenant QoS series (qos_tenant<i>_admitted_total and the
+// qos_tenant<i>_latency_ns summary) for every tenant 1..N, and — when a
+// Perfetto trace is also given — requires at least one QOS_ span event
+// in it, so a wiring regression that silently drops tenant attribution
+// fails the smoke job even though the files stay format-valid.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -78,6 +85,22 @@ bool ValidateTimeSeriesCsv(const std::string& text, std::string* error) {
   return true;
 }
 
+/// Per-tenant QoS coverage check against exported Prometheus text: every
+/// tenant 1..n must have its admission counter and latency summary.
+bool CheckTenantSeries(const std::string& prom, i64 n, std::string* error) {
+  for (i64 i = 1; i <= n; i++) {
+    const std::string base = "qos_tenant" + std::to_string(i);
+    for (const char* suffix : {"_admitted_total", "_latency_ns"}) {
+      const std::string name = base + suffix;
+      if (prom.find(name) == std::string::npos) {
+        *error = "missing per-tenant series '" + name + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 int Check(const std::string& path, const char* what,
           bool (*validate)(const std::string&, std::string*)) {
   std::string data;
@@ -102,6 +125,9 @@ int Main(int argc, const char* const* argv) {
   flags.DefineString("perfetto", "", "trace-event JSON file to validate");
   flags.DefineString("prom", "", "Prometheus text file to validate");
   flags.DefineString("timeseries", "", "time-series CSV file to validate");
+  flags.DefineInt("expect-tenants", 0,
+                  "require per-tenant QoS series for tenants 1..N in the "
+                  "Prometheus text (and a QOS_ span in the Perfetto trace)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -123,6 +149,37 @@ int Main(int argc, const char* const* argv) {
     any = true;
     rc |= Check(flags.GetString("timeseries"), "time-series CSV",
                 &ValidateTimeSeriesCsv);
+  }
+  i64 expect_tenants = flags.GetInt("expect-tenants");
+  if (expect_tenants > 0) {
+    any = true;
+    if (flags.GetString("prom").empty()) {
+      std::fprintf(stderr,
+                   "check_telemetry: --expect-tenants requires --prom\n");
+      return 1;
+    }
+    std::string prom, error;
+    if (!ReadFile(flags.GetString("prom"), &prom)) {
+      std::fprintf(stderr, "check_telemetry: cannot read Prometheus file\n");
+      return 1;
+    }
+    if (!CheckTenantSeries(prom, expect_tenants, &error)) {
+      std::fprintf(stderr, "check_telemetry: tenant coverage INVALID: %s\n",
+                   error.c_str());
+      rc |= 1;
+    } else {
+      std::printf("check_telemetry: per-tenant series ok (%lld tenant(s))\n",
+                  static_cast<long long>(expect_tenants));
+    }
+    if (!flags.GetString("perfetto").empty()) {
+      std::string trace;
+      if (ReadFile(flags.GetString("perfetto"), &trace) &&
+          trace.find("QOS_") == std::string::npos) {
+        std::fprintf(stderr,
+                     "check_telemetry: Perfetto trace has no QOS_ spans\n");
+        rc |= 1;
+      }
+    }
   }
   if (!any) {
     std::fprintf(stderr,
