@@ -102,6 +102,44 @@ class TelemetrySession {
 bool WriteTelemetryFile(const std::string& path, const std::string& data,
                         const char* what);
 
+/// The one shared definition of time-to-recover, used by both the fault
+/// sweep (bench/fault_availability) and the overload bench
+/// (bench/open_loop_traffic): recovery is the first request that
+/// *completes* at or after the fault/burst clears, with an OK status and
+/// an end-to-end latency no worse than `lat_ok_ns` — so a request that
+/// merely limps home through a drained backlog does not count as
+/// "recovered". `lat_ok_ns` = UINT64_MAX accepts any successful
+/// completion (the fault sweep's availability view); the overload bench
+/// passes the LC latency SLO so recovery means "fast again", not just
+/// "completing again". TTR = first_good - clear, or -1 if never.
+class RecoveryTracker {
+ public:
+  RecoveryTracker(SimTime clear_ns, u64 lat_ok_ns)
+      : clear_ns_(clear_ns), lat_ok_ns_(lat_ok_ns) {}
+
+  /// Feed every guest-visible completion.
+  void OnCompletion(SimTime at, bool ok, u64 e2e_ns) {
+    if (recovered_ || at < clear_ns_) return;
+    if (!ok || e2e_ns > lat_ok_ns_) return;
+    recovered_ = true;
+    first_good_ns_ = at;
+  }
+
+  bool recovered() const { return recovered_; }
+  SimTime clear_ns() const { return clear_ns_; }
+  SimTime first_good_ns() const { return first_good_ns_; }
+  /// Nanoseconds from clear to the first good completion; -1 = never.
+  i64 time_to_recover_ns() const {
+    return recovered_ ? static_cast<i64>(first_good_ns_ - clear_ns_) : -1;
+  }
+
+ private:
+  SimTime clear_ns_;
+  u64 lat_ok_ns_;
+  bool recovered_ = false;
+  SimTime first_good_ns_ = 0;
+};
+
 /// The six basic solutions of §V-B, in the paper's legend order.
 const std::vector<SolutionKind>& BasicSolutions();
 

@@ -12,6 +12,7 @@
 // pins — every request reaches a guest-visible outcome, the router's
 // per-path books balance (sends == completions + aborts + timeouts) and
 // no trace span stays open. Exits non-zero on any violation.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -101,6 +102,10 @@ int RunTimeline(const Flags& flags) {
   };
   std::vector<Bucket> timeline(buckets);
 
+  // Shared time-to-recover definition (bench_common): first good IO
+  // completing after the link heals. Any successful completion counts —
+  // this is the availability view, not the latency view.
+  RecoveryTracker recovery(down_at + down_for, ~0ull);
   u64 submitted = 0, completed = 0, errors = 0;
   for (SimTime t = 0; t < duration; t += interval) {
     tb.sim.ScheduleAfter(t, [&, t] {
@@ -110,6 +115,8 @@ int RunTimeline(const Flags& flags) {
                   off, bs, nullptr, [&, t](Status st) {
                     completed++;
                     if (!st.ok()) errors++;
+                    recovery.OnCompletion(tb.sim.now(), st.ok(),
+                                          tb.sim.now() - t);
                     u64 b = tb.sim.now() / bucket;
                     if (b < buckets) {
                       timeline[b].completions++;
@@ -165,6 +172,36 @@ int RunTimeline(const Flags& flags) {
   std::printf("slo: %llu windows, %llu breached\n",
               (unsigned long long)slo.windows_evaluated(),
               (unsigned long long)slo.breach_windows("write_errors"));
+  std::printf("time_to_recover: %lld ns (fault clear %llums, first good IO "
+              "%.3fms)\n",
+              (long long)recovery.time_to_recover_ns(),
+              (unsigned long long)(recovery.clear_ns() / kMs),
+              recovery.first_good_ns() / 1e6);
+
+  const std::string json_path = flags.GetString("fault-json");
+  if (!json_path.empty()) {
+    std::string json = StrFormat(
+        "{\"bench\":\"fault_availability\",\"down_at_ms\":%llu,"
+        "\"down_ms\":%llu,\"duration_ms\":%llu,\"submitted\":%llu,"
+        "\"completed\":%llu,\"errors\":%llu,\"degraded_writes\":%llu,"
+        "\"resynced_sectors\":%llu,\"slo_breach_windows\":%llu,"
+        "\"recovered\":%s,\"fault_clear_ns\":%llu,\"first_good_ns\":%llu,"
+        "\"time_to_recover_ns\":%lld}\n",
+        (unsigned long long)(down_at / kMs),
+        (unsigned long long)(down_for / kMs),
+        (unsigned long long)(duration / kMs), (unsigned long long)submitted,
+        (unsigned long long)completed, (unsigned long long)errors,
+        (unsigned long long)repl->degraded_writes(),
+        (unsigned long long)repl->resynced_sectors(),
+        (unsigned long long)slo.breach_windows("write_errors"),
+        recovery.recovered() ? "true" : "false",
+        (unsigned long long)recovery.clear_ns(),
+        (unsigned long long)recovery.first_good_ns(),
+        (long long)recovery.time_to_recover_ns());
+    if (WriteTelemetryFile(json_path, json, "fault availability JSON")) {
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
 
   telemetry.Finish();
   if (WantObservability(dump)) DumpObservability(obs, dump);
@@ -172,7 +209,7 @@ int RunTimeline(const Flags& flags) {
   // The run itself is an availability check: every write must complete
   // and the mirror must be clean again by the end.
   if (completed != submitted || errors || repl->degraded() ||
-      repl->dirty_sectors() != 0) {
+      repl->dirty_sectors() != 0 || !recovery.recovered()) {
     std::fprintf(stderr, "FAIL: outage was guest-visible or unresolved\n");
     return 1;
   }
@@ -230,6 +267,13 @@ bool SweepOne(SolutionKind kind, u64 seed, const BenchOptions& dump) {
   }
   FaultPlan plan = FaultPlan::Random(seed, caps);
   injector.Arm(plan);
+  SimTime faults_clear = 0;
+  for (const auto& f : plan.faults) {
+    faults_clear = std::max(faults_clear, f.at_ns + f.duration_ns);
+  }
+  // Availability view of recovery: first successful completion after the
+  // last fault clears (same definition as the timeline JSON field).
+  RecoveryTracker recovery(faults_clear, ~0ull);
 
   // SLO watchdog armed alongside the invariant checker: with a zero
   // error-rate budget and windows telescoping over the whole run, it
@@ -251,6 +295,7 @@ bool SweepOne(SolutionKind kind, u64 seed, const BenchOptions& dump) {
       sol->Submit(i % 4, op, (i % 32) * 4096, len, nullptr, [&](Status st) {
         done++;
         if (!st.ok()) failed++;
+        recovery.OnCompletion(tb.sim.now(), st.ok(), 0);
       });
     });
   }
@@ -280,11 +325,11 @@ bool SweepOne(SolutionKind kind, u64 seed, const BenchOptions& dump) {
   }
   std::printf(
       "%-20s seed=%-3llu %-4s done=%llu/%llu failed=%llu slo_breaches=%llu"
-      "  %s\n",
+      " ttr_ns=%lld  %s\n",
       SolutionKindName(kind), (unsigned long long)seed, ok ? "ok" : "FAIL",
       (unsigned long long)done, (unsigned long long)ops,
       (unsigned long long)failed, (unsigned long long)breach_windows,
-      plan.ToString().c_str());
+      (long long)recovery.time_to_recover_ns(), plan.ToString().c_str());
   if (WantObservability(dump)) DumpObservability(obs, dump);
   return ok;
 }
@@ -323,6 +368,9 @@ int Main(int argc, const char* const* argv) {
   flags.DefineInt("interval-us", 20, "one 4K write per interval");
   flags.DefineInt("down-at-ms", 3, "link outage start");
   flags.DefineInt("down-ms", 3, "link outage duration");
+  flags.DefineString("fault-json", "BENCH_fault.json",
+                     "timeline-mode result JSON with the first-class "
+                     "time_to_recover_ns field ('' = skip)");
   flags.DefineBool("csv", false, "CSV output");
   flags.DefineBool("metrics", false, "dump the metrics registry");
   flags.DefineBool("metrics-json", false, "dump metrics as JSON");

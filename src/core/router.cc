@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/obs.h"
+#include "overload/overload.h"
 #include "qos/qos.h"
 
 namespace nvmetro::core {
@@ -314,8 +315,25 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
       QosParkOrShed(e, cost);
       return;
     }
+    // Overload gate ahead of token arbitration (DESIGN.md §13): Shed
+    // refuses outright, Defer paces via the same parked ring.
+    if (ovl_) {
+      overload::Verdict v = ovl_->Admit(qos_tenant_, cost, sim_->now());
+      if (v.action == overload::Verdict::Action::kShed) {
+        OverloadShed(e);
+        return;
+      }
+      if (v.action == overload::Verdict::Action::kDefer) {
+        QosParkOrShed(e, cost);
+        if (qos_count_ > 0) ArmQosResume(v.retry_at);
+        return;
+      }
+    }
     qos::AdmitResult r = qos_->Admit(qos_tenant_, cost, sim_->now());
     if (r.action == qos::AdmitResult::Action::kDefer) {
+      // Give back pacing credit the overload gate charged: the command
+      // is not running after all.
+      if (ovl_) ovl_->Refund(qos_tenant_, cost);
       QosParkOrShed(e, cost);
       if (qos_count_ > 0) ArmQosResume(r.retry_at);
       return;
@@ -1094,6 +1112,8 @@ void VirtualController::HandleUifDead(bool dead, NvmeStatus fail_status) {
 // --- Multi-tenant QoS (DESIGN.md §12) -----------------------------------------
 
 void VirtualController::AttachQos(qos::QosScheduler* qos, u32 tenant_id) {
+  // Release any head reservation held with the outgoing scheduler.
+  if (qos_ && qos_count_ > 0) qos_->SetParkedHead(qos_tenant_, 0, 0);
   qos_ = qos;
   qos_tenant_ = tenant_id;
   qos_ring_.clear();
@@ -1102,10 +1122,26 @@ void VirtualController::AttachQos(qos::QosScheduler* qos, u32 tenant_id) {
     sim_->Cancel(qos_resume_ev_);
     qos_resume_armed_ = false;
   }
-  if (!qos_) return;
+  if (!qos_) {
+    ovl_ = nullptr;  // overload control layers on the QoS gate
+    return;
+  }
   u32 cap = qos_->max_deferred(tenant_id);
   qos_ring_.assign(cap ? cap : 1, QosWaiter{});
   if (obs_) m_qos_waiting_ = obs_->metrics().GetGauge("qos.waiting");
+}
+
+void VirtualController::AttachOverload(overload::OverloadController* ovl) {
+  ovl_ = qos_ ? ovl : nullptr;
+}
+
+void VirtualController::SyncParkedHead() {
+  if (qos_count_ > 0) {
+    const QosWaiter& w = qos_ring_[qos_head_];
+    qos_->SetParkedHead(qos_tenant_, w.cost, w.parked_at);
+  } else {
+    qos_->SetParkedHead(qos_tenant_, 0, 0);
+  }
 }
 
 u32 VirtualController::QosTokenCost(const RequestEntry& e) {
@@ -1125,7 +1161,18 @@ void VirtualController::QosParkOrShed(RequestEntry* e, u32 cost) {
   qos_count_++;
   qos_deferred_++;
   qos_->NoteDeferred(qos_tenant_);
+  if (qos_count_ == 1) SyncParkedHead();
+  if (ovl_) ovl_->NoteBacklog(static_cast<i64>(cost));
   if (m_qos_waiting_) m_qos_waiting_->Add(1);
+}
+
+void VirtualController::OverloadShed(RequestEntry* e) {
+  ovl_shed_++;
+  Stamp(e, obs::SpanKind::kOverloadShed);
+  // Same retryable busy status as a QoS shed: back off and try again is
+  // exactly the reaction load shedding asks of the guest.
+  FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                  nvme::kScNamespaceNotReady));
 }
 
 void VirtualController::QosShed(RequestEntry* e) {
@@ -1158,19 +1205,45 @@ void VirtualController::QosResume() {
       // recycled. Drop the stale waiter.
       qos_head_ = (qos_head_ + 1) % qos_ring_.size();
       qos_count_--;
+      SyncParkedHead();
+      if (ovl_) ovl_->NoteBacklog(-static_cast<i64>(w.cost));
       if (m_qos_waiting_) m_qos_waiting_->Add(-1);
       continue;
     }
+    // Overload gate first (DESIGN.md §13): a Shed state drains parked
+    // best-effort work instead of serializing the backlog behind it.
+    if (ovl_) {
+      overload::Verdict v = ovl_->Admit(qos_tenant_, w.cost, sim_->now());
+      if (v.action == overload::Verdict::Action::kShed) {
+        qos_head_ = (qos_head_ + 1) % qos_ring_.size();
+        qos_count_--;
+        SyncParkedHead();
+        ovl_->NoteBacklog(-static_cast<i64>(w.cost));
+        if (m_qos_waiting_) m_qos_waiting_->Add(-1);
+        OverloadShed(e);
+        continue;
+      }
+      if (v.action == overload::Verdict::Action::kDefer) {
+        ArmQosResume(v.retry_at);
+        return;
+      }
+    }
     qos::AdmitResult r = qos_->Admit(qos_tenant_, w.cost, sim_->now());
     if (r.action == qos::AdmitResult::Action::kDefer) {
+      if (ovl_) ovl_->Refund(qos_tenant_, w.cost);
       ArmQosResume(r.retry_at);
       return;
     }
     qos_head_ = (qos_head_ + 1) % qos_ring_.size();
     qos_count_--;
-    if (m_qos_waiting_) m_qos_waiting_->Add(-1);
+    SyncParkedHead();
     worker_->cpu()->Charge(costs_->qos_admit_ns);
     SimTime waited = sim_->now() - w.parked_at;
+    if (ovl_) {
+      ovl_->NoteBacklog(-static_cast<i64>(w.cost));
+      ovl_->NoteQueueWait(waited);
+    }
+    if (m_qos_waiting_) m_qos_waiting_->Add(-1);
     qos_->NoteWait(qos_tenant_, waited);
     Stamp(e, obs::SpanKind::kQosAdmit, 0, waited);
     StartRequest(e);

@@ -41,6 +41,9 @@ enum class SpanKind : u8;
 namespace qos {
 class QosScheduler;
 }  // namespace qos
+namespace overload {
+class OverloadController;
+}  // namespace overload
 }  // namespace nvmetro
 
 namespace nvmetro::core {
@@ -167,6 +170,15 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// a busy status (DESIGN.md §12). Pass nullptr to detach.
   void AttachQos(qos::QosScheduler* qos, u32 tenant_id);
 
+  /// Layers overload control on the QoS admission gate (requires an
+  /// attached QosScheduler; DESIGN.md §13): every admission consults the
+  /// controller first — a Shed verdict fails the command with a
+  /// retryable busy status, a Defer verdict parks it in the same ring
+  /// the QoS scheduler uses, and parked waits/backlog are reported back
+  /// as the controller's delay signal. Pass nullptr to detach; detached
+  /// runs are bit-identical to the QoS-only router.
+  void AttachOverload(overload::OverloadController* ovl);
+
   // --- virt::VirtualNvmeBackend ----------------------------------------------
 
   Status AttachQueuePair(u16 qid, nvme::SqRing* sq, nvme::CqRing* cq,
@@ -188,6 +200,9 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u64 leg_retries() const { return retries_; }
   u64 qos_deferrals() const { return qos_deferred_; }
   u64 qos_sheds() const { return qos_shed_; }
+  /// Commands rejected by the overload controller's Shed state (disjoint
+  /// from qos_sheds(), which counts deferral-bound sheds).
+  u64 overload_sheds() const { return ovl_shed_; }
   /// Commands currently parked awaiting QoS admission.
   u32 qos_waiting() const { return static_cast<u32>(qos_count_); }
   u64 uif_failovers() const { return uif_failovers_; }
@@ -277,6 +292,12 @@ class VirtualController : public virt::VirtualNvmeBackend {
   void QosParkOrShed(RequestEntry* e, u32 cost);
   /// Fails `e` with a busy status and accounts the shed.
   void QosShed(RequestEntry* e);
+  /// Fails `e` with the same retryable busy status on an overload-Shed
+  /// verdict (stamped OVERLOAD_SHED, accounted separately).
+  void OverloadShed(RequestEntry* e);
+  /// Reports the parked ring's head (cost + park time) to the scheduler
+  /// after any head change (anti-starvation reservation).
+  void SyncParkedHead();
   /// Arms (or pulls in) the single resume timer for the parked FIFO.
   void ArmQosResume(SimTime at);
   /// Resume timer body: admit parked commands in FIFO order until the
@@ -361,6 +382,7 @@ class VirtualController : public virt::VirtualNvmeBackend {
     SimTime parked_at = 0;
   };
   qos::QosScheduler* qos_ = nullptr;
+  overload::OverloadController* ovl_ = nullptr;
   u32 qos_tenant_ = 0;
   std::vector<QosWaiter> qos_ring_;
   usize qos_head_ = 0;
@@ -370,6 +392,7 @@ class VirtualController : public virt::VirtualNvmeBackend {
   sim::EventId qos_resume_ev_;
   u64 qos_deferred_ = 0;
   u64 qos_shed_ = 0;
+  u64 ovl_shed_ = 0;
   /// True between BeginBatch and FlushBatch; routes dispatch/completion
   /// doorbell work through the per-batch flush instead of per command.
   bool batch_active_ = false;

@@ -47,9 +47,11 @@ Stage StageForKind(SpanKind kind) {
     case SpanKind::kVcqPost: return Stage::kPost;
     case SpanKind::kQosAdmit:  // the delta ending here is the parked wait
     case SpanKind::kQosShed:
+    case SpanKind::kOverloadShed:
       return Stage::kQosWait;
-    case SpanKind::kIrqInject:  // handled out-of-band (post-e2e)
-    case SpanKind::kSloBreach:  // req_id == 0, never folded
+    case SpanKind::kIrqInject:     // handled out-of-band (post-e2e)
+    case SpanKind::kSloBreach:     // req_id == 0, never folded
+    case SpanKind::kOverloadState: // req_id == 0, never folded
       return Stage::kPost;
   }
   return Stage::kPost;

@@ -26,6 +26,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kSloBreach: return "SLO_BREACH";
     case SpanKind::kQosAdmit: return "QOS_ADMIT";
     case SpanKind::kQosShed: return "QOS_SHED";
+    case SpanKind::kOverloadState: return "OVERLOAD_STATE";
+    case SpanKind::kOverloadShed: return "OVERLOAD_SHED";
   }
   return "?";
 }

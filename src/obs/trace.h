@@ -50,6 +50,10 @@ enum class SpanKind : u8 {
                        // scheduler (aux = parked ns; never stamped for
                        // requests admitted without waiting)
   kQosShed,            // request shed at the QoS deferral bound
+  kOverloadState,      // overload-controller transition mark (req_id = 0;
+                       // aux = new state, status = previous state)
+  kOverloadShed,       // request rejected by the overload controller's
+                       // Shed state (retryable busy to the guest)
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -1,0 +1,263 @@
+#include "overload/overload.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/obs.h"
+#include "obs/slo.h"
+
+namespace nvmetro::overload {
+
+const char* StateName(State s) {
+  switch (s) {
+    case State::kNormal: return "normal";
+    case State::kBackpressure: return "backpressure";
+    case State::kBrownout: return "brownout";
+    case State::kShed: return "shed";
+  }
+  return "?";
+}
+
+OverloadController::OverloadController(OverloadConfig cfg,
+                                       obs::Observability* obs)
+    : cfg_(cfg), obs_(obs) {
+  assert(cfg_.device_tokens_per_sec > 0);
+  assert(cfg_.backpressure_enter_ns <= cfg_.brownout_enter_ns &&
+         cfg_.brownout_enter_ns <= cfg_.shed_enter_ns);
+  // Pacing bucket starts full at full fraction: the controller is
+  // invisible until the first Backpressure entry shrinks be_fraction_.
+  pace_tokens_ = std::max<u64>(
+      1, static_cast<u64>(static_cast<double>(cfg_.device_tokens_per_sec) *
+                          static_cast<double>(cfg_.pace_depth_ns) / 1e9));
+  if (obs_) {
+    auto& m = obs_->metrics();
+    m_decisions_ = m.GetCounter("overload.decisions");
+    m_sheds_ = m.GetCounter("overload.sheds");
+    m_paced_ = m.GetCounter("overload.paced");
+    m_brownouts_ = m.GetCounter("overload.brownouts");
+    for (usize i = 0; i < 4; ++i) {
+      m_transitions_[i] = m.GetCounter(
+          std::string("overload.transitions.") +
+          StateName(static_cast<State>(i)));
+    }
+    m_state_ = m.GetGauge("overload.state");
+    m_signal_us_ = m.GetGauge("overload.signal_us");
+    m_be_fraction_pct_ = m.GetGauge("overload.be_fraction_pct");
+    m_state_->Set(static_cast<i64>(state_));
+    m_be_fraction_pct_->Set(100);
+  }
+}
+
+void OverloadController::RegisterTenant(u32 tenant_id, bool best_effort) {
+  Tenant t;
+  t.tenant_id = tenant_id;
+  t.best_effort = best_effort;
+  if (obs_) {
+    auto& m = obs_->metrics();
+    std::string base = "overload.tenant" + std::to_string(tenant_id);
+    t.m_shed = m.GetCounter(base + ".shed");
+    t.m_paced = m.GetCounter(base + ".paced");
+    t.m_degraded = m.GetCounter(base + ".degraded");
+  }
+  tenants_.push_back(std::move(t));
+}
+
+void OverloadController::RegisterDegradation(std::string name,
+                                             std::function<void(bool)> hook) {
+  hooks_.push_back(Hook{std::move(name), std::move(hook)});
+  if (degraded_) hooks_.back().fn(true);
+}
+
+void OverloadController::Start(SimTime start, SimTime horizon,
+                               obs::TelemetryScheduler sched) {
+  pace_last_ = start;
+  last_transition_ = start;
+  for (SimTime at = start + cfg_.eval_period_ns; at <= start + horizon;
+       at += cfg_.eval_period_ns) {
+    sched(at, [this, at] { Evaluate(at); });
+  }
+}
+
+OverloadController::Tenant* OverloadController::Find(u32 tenant_id) {
+  for (Tenant& t : tenants_) {
+    if (t.tenant_id == tenant_id) return &t;
+  }
+  return nullptr;
+}
+
+void OverloadController::RefillPace(SimTime now) {
+  if (now <= pace_last_) return;
+  u64 dt = now - pace_last_;
+  pace_last_ = now;
+  double rate = static_cast<double>(cfg_.device_tokens_per_sec) * be_fraction_;
+  u64 rate_u = static_cast<u64>(rate);
+  if (rate_u == 0) rate_u = 1;
+  // Exact fractional carry, same scheme as qos::QosScheduler.
+  u64 acc = rate_u * dt + pace_carry_;
+  u64 add = acc / 1'000'000'000ull;
+  pace_carry_ = acc % 1'000'000'000ull;
+  u64 depth = std::max<u64>(
+      1, static_cast<u64>(static_cast<double>(cfg_.device_tokens_per_sec) *
+                          be_fraction_ * static_cast<double>(cfg_.pace_depth_ns) /
+                          1e9));
+  pace_tokens_ = std::min(depth, pace_tokens_ + add);
+}
+
+SimTime OverloadController::signal_ns(SimTime now) const {
+  (void)now;
+  double backlog_ns = static_cast<double>(backlog_tokens_) * 1e9 /
+                      static_cast<double>(cfg_.device_tokens_per_sec);
+  double s = std::max(ewma_wait_ns_, backlog_ns);
+  return static_cast<SimTime>(s);
+}
+
+Verdict OverloadController::Admit(u32 tenant_id, u32 cost, SimTime now) {
+  decisions_++;
+  if (m_decisions_) m_decisions_->Inc();
+  if (state_ == State::kNormal) return {};
+  Tenant* t = Find(tenant_id);
+  // Unknown tenants are treated as best-effort; LC passes untouched.
+  bool be = !t || t->best_effort;
+  if (!be) return {};
+  if (state_ == State::kShed) {
+    sheds_++;
+    if (m_sheds_) m_sheds_->Inc();
+    if (t && t->m_shed) t->m_shed->Inc();
+    return {Verdict::Action::kShed, 0};
+  }
+  // Backpressure / Brownout: draw from the pacing bucket.
+  if (degraded_ && t && t->m_degraded) t->m_degraded->Inc();
+  RefillPace(now);
+  if (pace_tokens_ >= cost) {
+    pace_tokens_ -= cost;
+    return {};
+  }
+  paced_++;
+  if (m_paced_) m_paced_->Inc();
+  if (t && t->m_paced) t->m_paced->Inc();
+  u64 deficit = cost - pace_tokens_;
+  double rate = static_cast<double>(cfg_.device_tokens_per_sec) * be_fraction_;
+  if (rate < 1.0) rate = 1.0;
+  SimTime wait =
+      static_cast<SimTime>(static_cast<double>(deficit) * 1e9 / rate) + 1;
+  return {Verdict::Action::kDefer, now + wait};
+}
+
+void OverloadController::Refund(u32 tenant_id, u32 cost) {
+  Tenant* t = Find(tenant_id);
+  if (state_ == State::kNormal || (t && !t->best_effort)) return;
+  pace_tokens_ += cost;  // depth clamp happens at the next refill
+}
+
+void OverloadController::NoteQueueWait(SimTime wait_ns) {
+  ewma_wait_ns_ = cfg_.ewma_alpha * static_cast<double>(wait_ns) +
+                  (1.0 - cfg_.ewma_alpha) * ewma_wait_ns_;
+  wait_sampled_ = true;
+}
+
+void OverloadController::NoteBacklog(i64 cost_delta) {
+  if (cost_delta < 0 && static_cast<u64>(-cost_delta) > backlog_tokens_) {
+    backlog_tokens_ = 0;
+    return;
+  }
+  backlog_tokens_ = static_cast<u64>(static_cast<i64>(backlog_tokens_) +
+                                     cost_delta);
+}
+
+u64 OverloadController::transitions(State into) const {
+  return transitions_[Index(into)];
+}
+
+void OverloadController::SetDegraded(bool on) {
+  if (degraded_ == on) return;
+  degraded_ = on;
+  if (on && m_brownouts_) m_brownouts_->Inc();
+  for (Hook& h : hooks_) h.fn(on);
+}
+
+void OverloadController::TransitionTo(State next, SimTime now) {
+  if (next == state_) return;
+  State prev = state_;
+  state_ = next;
+  last_transition_ = now;
+  transitions_[Index(next)]++;
+  if (m_transitions_[Index(next)]) m_transitions_[Index(next)]->Inc();
+  if (m_state_) m_state_->Set(static_cast<i64>(next));
+  if (obs_) {
+    obs::TraceEvent ev;
+    ev.req_id = 0;  // mark, not a request span
+    ev.t = now;
+    ev.aux = static_cast<u64>(next);
+    ev.status = static_cast<u16>(prev);
+    ev.kind = obs::SpanKind::kOverloadState;
+    obs_->trace().Record(ev);
+  }
+  // Entering Backpressure from Normal starts pacing at full credit; the
+  // AIMD loop shrinks it from there. Recovery to Normal restores it.
+  if (prev == State::kNormal) {
+    be_fraction_ = 1.0;
+  } else if (next == State::kNormal) {
+    be_fraction_ = 1.0;
+    if (m_be_fraction_pct_) m_be_fraction_pct_->Set(100);
+  }
+  SetDegraded(state_ >= State::kBrownout);
+}
+
+void OverloadController::Evaluate(SimTime now) {
+  // Decay the EWMA when no parked command resumed this period, so the
+  // signal ramps down once queues empty (resumes stop happening exactly
+  // when there is nothing left to wait).
+  if (!wait_sampled_) ewma_wait_ns_ *= (1.0 - cfg_.ewma_alpha);
+  wait_sampled_ = false;
+
+  SimTime sig = signal_ns(now);
+  if (m_signal_us_) m_signal_us_->Set(static_cast<i64>(sig / kUs));
+
+  // Target state from entry thresholds; upgrades are immediate.
+  State target = State::kNormal;
+  if (sig >= cfg_.shed_enter_ns) {
+    target = State::kShed;
+  } else if (sig >= cfg_.brownout_enter_ns) {
+    target = State::kBrownout;
+  } else if (sig >= cfg_.backpressure_enter_ns) {
+    target = State::kBackpressure;
+  }
+  if (target > state_) {
+    TransitionTo(target, now);
+  } else if (target < state_ && now - last_transition_ >= cfg_.cooldown_ns) {
+    // Hysteresis: require the signal below the *current* state's exit
+    // threshold before stepping down one state.
+    SimTime enter = state_ == State::kShed ? cfg_.shed_enter_ns
+                    : state_ == State::kBrownout ? cfg_.brownout_enter_ns
+                                                 : cfg_.backpressure_enter_ns;
+    if (static_cast<double>(sig) <
+        static_cast<double>(enter) * cfg_.exit_fraction) {
+      TransitionTo(static_cast<State>(static_cast<u8>(state_) - 1), now);
+    }
+  }
+
+  // AIMD credit adaptation while pacing is active.
+  if (state_ >= State::kBackpressure && state_ != State::kShed) {
+    SimTime enter = state_ == State::kBrownout ? cfg_.brownout_enter_ns
+                                               : cfg_.backpressure_enter_ns;
+    if (sig >= enter) {
+      be_fraction_ =
+          std::max(cfg_.min_be_fraction, be_fraction_ * cfg_.decrease_factor);
+    } else if (static_cast<double>(sig) <
+               static_cast<double>(enter) * cfg_.exit_fraction) {
+      be_fraction_ = std::min(1.0, be_fraction_ + cfg_.additive_step);
+    }
+    RefillPace(now);
+    if (m_be_fraction_pct_) {
+      m_be_fraction_pct_->Set(static_cast<i64>(be_fraction_ * 100.0));
+    }
+  }
+}
+
+void OverloadController::ArmSloTargets(obs::SloWatchdog* slo,
+                                       double max_shed_rate) const {
+  slo->AddErrorRateTarget("overload.shed_rate", "overload.sheds",
+                          "overload.decisions", max_shed_rate);
+}
+
+}  // namespace nvmetro::overload

@@ -1,0 +1,240 @@
+// Overload control: queue-delay-driven graceful degradation layered on
+// the QoS admission hook (DESIGN.md §13).
+//
+// The QoS scheduler (src/qos) enforces *steady-state* isolation — LC
+// reservations hold as long as offered load is near capacity. It has no
+// notion of overload: under a sustained open-loop burst its deferral
+// rings simply fill and shed blindly, and every tenant's queueing delay
+// grows together. This controller adds the missing control loop, after
+// the Breakwater/SEDA school of server overload control:
+//
+//  - Delay signal. The controller tracks max(EWMA of measured queue
+//    waits, instantaneous backlog delay), where backlog delay is the
+//    parked token mass divided by device token rate — the time the
+//    current queue needs to drain. The EWMA reacts to what requests
+//    actually experienced; the backlog term sees a standing queue the
+//    moment it forms, before any parked request has resumed.
+//
+//  - State machine Normal → Backpressure → Brownout → Shed, advanced on
+//    a fixed evaluation cadence. Entry thresholds are per-state delay
+//    bounds; exits use lower thresholds (hysteresis) plus a minimum
+//    dwell (cooldown), so the controller cannot flap around a boundary.
+//    Upgrades are immediate (overload must be met now); downgrades step
+//    one state per evaluation.
+//
+//  - Backpressure shrinks best-effort credit, Breakwater-style: BE
+//    admissions draw from a pacing bucket refilled at `be_fraction` of
+//    the device rate, and `be_fraction` is adapted AIMD — multiplicative
+//    decrease while the signal sits above the entry threshold, additive
+//    recovery while it is below the exit threshold. LC tenants are never
+//    paced; their reservations are exactly the traffic the controller
+//    exists to protect.
+//
+//  - Brownout fires registered degradation hooks (disable replication
+//    resync pacing, downshift trace sampling, ...): optional work is
+//    turned off before any request is refused. Hooks are re-entered
+//    symmetrically on recovery.
+//
+//  - Shed refuses new best-effort admissions outright (the router turns
+//    that verdict into a retryable busy status) and evicts parked BE
+//    commands, so the backlog drains at device speed instead of
+//    serializing behind doomed work.
+//
+// The controller is passive and leaf (links only common+obs): the
+// router calls Admit()/Note*() on its hot path, and the evaluation tick
+// is pre-scheduled through a TelemetryScheduler callback exactly like
+// the TimeSeries sampler, so this library never links the simulator.
+//
+// Observability: gauge `overload.state`, per-state transition counters
+// `overload.transitions.<state>`, signal gauge `overload.signal_us`,
+// pacing gauge `overload.be_fraction_pct`, per-tenant counters
+// `overload.tenant<id>.{shed,paced,degraded}`, and an OVERLOAD_STATE
+// trace mark per transition (req_id = 0, aux = new state, status = old
+// state — auto-exported as a Perfetto instant event).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/timeseries.h"
+
+namespace nvmetro::obs {
+class Counter;
+class Gauge;
+class Observability;
+class SloWatchdog;
+}  // namespace nvmetro::obs
+
+namespace nvmetro::overload {
+
+enum class State : u8 {
+  kNormal = 0,
+  kBackpressure = 1,
+  kBrownout = 2,
+  kShed = 3,
+};
+
+const char* StateName(State s);
+
+struct OverloadConfig {
+  /// Device token rate (1 token = one 4 KiB page), the same figure the
+  /// QoS scheduler arbitrates. Converts parked token mass to drain time
+  /// and sizes the best-effort pacing bucket.
+  u64 device_tokens_per_sec = 200'000;
+
+  /// State-entry delay thresholds (signal >= threshold enters the state;
+  /// must be nondecreasing).
+  SimTime backpressure_enter_ns = 200 * kUs;
+  SimTime brownout_enter_ns = 1 * kMs;
+  SimTime shed_enter_ns = 4 * kMs;
+  /// Hysteresis: a state is exited only once the signal drops below
+  /// enter * exit_fraction.
+  double exit_fraction = 0.5;
+  /// Minimum dwell after any transition before a downgrade is allowed.
+  SimTime cooldown_ns = 2 * kMs;
+
+  /// Evaluation cadence (state transitions + AIMD adaptation).
+  SimTime eval_period_ns = 100 * kUs;
+  /// Weight of a new wait sample in the EWMA; the EWMA also decays by
+  /// (1 - alpha) on every evaluation without a fresh sample so the
+  /// signal ramps down once the queue empties.
+  double ewma_alpha = 0.3;
+
+  /// AIMD pacing of best-effort credit while in Backpressure or deeper:
+  /// fraction of device rate BE admissions may draw, multiplied by
+  /// `decrease_factor` when the signal sits above the current state's
+  /// entry threshold, incremented by `additive_step` when below its exit
+  /// threshold. Clamped to [min_be_fraction, 1.0].
+  double min_be_fraction = 0.05;
+  double additive_step = 0.05;
+  double decrease_factor = 0.5;
+  /// Pacing-bucket burst allowance, as ns of refill at the device rate.
+  SimTime pace_depth_ns = 500 * kUs;
+};
+
+/// Verdict of one controller admission check. The controller never
+/// consumes QoS tokens — kPass only means "not refused here"; the QoS
+/// scheduler still arbitrates afterwards.
+struct Verdict {
+  enum class Action : u8 { kPass = 0, kDefer, kShed };
+  Action action = Action::kPass;
+  /// For kDefer: absolute sim-time when the pacing deficit clears.
+  SimTime retry_at = 0;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadConfig cfg,
+                              obs::Observability* obs = nullptr);
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  /// Declares a tenant and whether it is best-effort (paced/shed) or
+  /// latency-critical (always passed through). Registers its metrics.
+  void RegisterTenant(u32 tenant_id, bool best_effort);
+
+  /// Registers a degradation hook fired with active=true on entering
+  /// Brownout (or deeper) and active=false on recovering past it.
+  /// Registration while browned out fires the hook immediately.
+  void RegisterDegradation(std::string name, std::function<void(bool)> hook);
+
+  /// Pre-schedules evaluation ticks over [start, start + horizon] via
+  /// `sched`, exactly like TimeSeries::Start. Without Start the
+  /// controller still paces (buckets refill lazily) but never changes
+  /// state.
+  void Start(SimTime start, SimTime horizon, obs::TelemetryScheduler sched);
+
+  // --- Router hot path ----------------------------------------------------
+  /// Admission check for one command of `cost` tokens. LC tenants and
+  /// Normal state always pass. BE tenants draw `cost` from the pacing
+  /// bucket in Backpressure/Brownout and are refused in Shed.
+  Verdict Admit(u32 tenant_id, u32 cost, SimTime now);
+
+  /// Returns pacing tokens consumed by a kPass verdict whose command was
+  /// subsequently deferred by the QoS scheduler (so pacing never charges
+  /// work that did not run).
+  void Refund(u32 tenant_id, u32 cost);
+
+  /// A parked command resumed after waiting `wait_ns` (EWMA sample).
+  void NoteQueueWait(SimTime wait_ns);
+  /// Parked token mass entering (+) or leaving (-) the deferral rings.
+  void NoteBacklog(i64 cost_delta);
+
+  // --- Introspection ------------------------------------------------------
+  State state() const { return state_; }
+  /// Current delay signal (max of EWMA and backlog drain time).
+  SimTime signal_ns(SimTime now) const;
+  double be_fraction() const { return be_fraction_; }
+  u64 backlog_tokens() const { return backlog_tokens_; }
+  u64 transitions(State into) const;
+  u64 decisions() const { return decisions_; }
+  u64 sheds() const { return sheds_; }
+  u64 paced() const { return paced_; }
+  usize num_degradations() const { return hooks_.size(); }
+  bool degradation_active() const { return degraded_; }
+
+  /// Adds an error-rate target `overload.shed_rate` (sheds over
+  /// decisions) to the watchdog, so sustained shedding surfaces as an
+  /// SLO breach alongside the latency targets.
+  void ArmSloTargets(obs::SloWatchdog* slo, double max_shed_rate) const;
+
+  /// Forces one evaluation at `now` (tests; Start-driven otherwise).
+  void Evaluate(SimTime now);
+
+ private:
+  struct Tenant {
+    u32 tenant_id = 0;
+    bool best_effort = true;
+    obs::Counter* m_shed = nullptr;
+    obs::Counter* m_paced = nullptr;
+    obs::Counter* m_degraded = nullptr;
+  };
+  struct Hook {
+    std::string name;
+    std::function<void(bool)> fn;
+  };
+
+  Tenant* Find(u32 tenant_id);
+  void RefillPace(SimTime now);
+  void TransitionTo(State next, SimTime now);
+  void SetDegraded(bool on);
+  static usize Index(State s) { return static_cast<usize>(s); }
+
+  OverloadConfig cfg_;
+  obs::Observability* obs_;
+  std::vector<Tenant> tenants_;
+  std::vector<Hook> hooks_;
+
+  State state_ = State::kNormal;
+  SimTime last_transition_ = 0;
+  bool degraded_ = false;
+
+  // Delay signal.
+  double ewma_wait_ns_ = 0.0;
+  bool wait_sampled_ = false;  // fresh sample since the last evaluation
+  u64 backlog_tokens_ = 0;
+
+  // Best-effort pacing bucket (fractional-carry refill as in qos).
+  double be_fraction_ = 1.0;
+  u64 pace_tokens_ = 0;
+  u64 pace_carry_ = 0;  // in rate*ns units (< 1e9)
+  SimTime pace_last_ = 0;
+
+  u64 decisions_ = 0;
+  u64 sheds_ = 0;
+  u64 paced_ = 0;
+  u64 transitions_[4] = {};
+
+  obs::Counter* m_decisions_ = nullptr;
+  obs::Counter* m_sheds_ = nullptr;
+  obs::Counter* m_paced_ = nullptr;
+  obs::Counter* m_brownouts_ = nullptr;
+  obs::Counter* m_transitions_[4] = {};
+  obs::Gauge* m_state_ = nullptr;
+  obs::Gauge* m_signal_us_ = nullptr;
+  obs::Gauge* m_be_fraction_pct_ = nullptr;
+};
+
+}  // namespace nvmetro::overload

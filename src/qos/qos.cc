@@ -138,7 +138,15 @@ AdmitResult QosScheduler::Admit(u32 tenant_id, u32 cost, SimTime now) {
   RefillBucket(&leftover_, now);
   bool lc = t->cfg.cls == TenantClass::kLatencyCritical;
   u64 own = lc ? t->bucket.tokens : 0;
-  u64 avail = own + leftover_.tokens;
+  // Anti-starvation: a BE admission leaves the oldest *other* BE parked
+  // head's cost in the pool, so that waiter's retry timer finds tokens.
+  u64 reserve = 0;
+  if (!lc && oldest_head_slot_ >= 0) {
+    const Tenant& o = tenants_[static_cast<usize>(oldest_head_slot_)];
+    if (o.cfg.tenant_id != tenant_id) reserve = o.parked_head_cost;
+  }
+  u64 usable = leftover_.tokens > reserve ? leftover_.tokens - reserve : 0;
+  u64 avail = own + usable;
   if (avail >= cost) {
     // Reservation first, leftover for the remainder (BE: own == 0).
     u64 from_own = own < cost ? own : cost;
@@ -183,6 +191,27 @@ void QosScheduler::NoteShed(u32 tenant_id) {
   t->sheds++;
   if (t->m_shed) t->m_shed->Inc();
   if (m_shed_) m_shed_->Inc();
+}
+
+void QosScheduler::SetParkedHead(u32 tenant_id, u32 cost, SimTime parked_at) {
+  Tenant* t = Find(tenant_id);
+  if (!t || t->cfg.cls != TenantClass::kBestEffort) return;  // BE-only policy
+  t->parked_head_cost = cost;
+  t->parked_head_at = cost ? parked_at : 0;
+  RecomputeOldestHead();
+}
+
+void QosScheduler::RecomputeOldestHead() {
+  oldest_head_slot_ = -1;
+  for (usize i = 0; i < tenants_.size(); ++i) {
+    const Tenant& t = tenants_[i];
+    if (!t.parked_head_cost) continue;
+    if (oldest_head_slot_ < 0 ||
+        t.parked_head_at <
+            tenants_[static_cast<usize>(oldest_head_slot_)].parked_head_at) {
+      oldest_head_slot_ = static_cast<i32>(i);
+    }
+  }
 }
 
 void QosScheduler::NoteWait(u32 tenant_id, SimTime wait_ns) {

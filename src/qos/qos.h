@@ -121,6 +121,17 @@ class QosScheduler {
   void NoteShed(u32 tenant_id);
   /// A parked command was finally admitted after `wait_ns`.
   void NoteWait(u32 tenant_id, SimTime wait_ns);
+  /// Cross-tenant anti-starvation: the router reports the cost and park
+  /// time of its oldest parked command (cost 0 = ring empty). A
+  /// best-effort Admit reserves the *oldest other* BE parked head's cost
+  /// out of the leftover pool, so a fresh arrival can no longer snatch
+  /// newly refilled tokens ahead of a tenant that has been waiting on
+  /// its retry timer — the starvation the deferral-ring audit test pins
+  /// (tests/qos_ring_test.cc). Only the single oldest head is reserved:
+  /// reserving every head could exceed the pool depth and deadlock the
+  /// rings, while one head guarantees the oldest waiter always makes
+  /// progress and therefore every waiter eventually becomes oldest.
+  void SetParkedHead(u32 tenant_id, u32 cost, SimTime parked_at);
   /// Guest-visible completion latency of a successful command.
   void RecordLatency(u32 tenant_id, u64 e2e_ns);
 
@@ -173,6 +184,9 @@ class QosScheduler {
     u64 admits = 0;
     u64 deferrals = 0;
     u64 sheds = 0;
+    // Oldest parked command this tenant's router ring holds (0 = none).
+    u32 parked_head_cost = 0;
+    SimTime parked_head_at = 0;
     obs::Counter* m_admitted = nullptr;
     obs::Counter* m_deferred = nullptr;
     obs::Counter* m_shed = nullptr;
@@ -185,12 +199,17 @@ class QosScheduler {
   Tenant* Find(u32 tenant_id);
   const Tenant* Find(u32 tenant_id) const;
   static u64 DepthFor(u64 rate, SimTime depth_ns);
+  /// Re-derives the cached oldest BE parked head after a head change
+  /// (Admit itself stays O(1) on the cached slot).
+  void RecomputeOldestHead();
 
   QosConfig cfg_;
   obs::Observability* obs_;
   std::unordered_map<u32, u32> index_;  // tenant_id -> slot in tenants_
   std::vector<Tenant> tenants_;
   Bucket leftover_;
+  /// Slot of the tenant holding the oldest BE parked head (-1 = none).
+  i32 oldest_head_slot_ = -1;
   u64 lc_reserved_sum_ = 0;
   u64 total_granted_ = 0;
   u64 total_refilled_ = 0;

@@ -1,0 +1,183 @@
+#include "workload/openloop.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvmetro::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+OpenLoopGenerator::OpenLoopGenerator(OpenLoopConfig cfg) : cfg_(std::move(cfg)) {
+  streams_.reserve(cfg_.tenants.size());
+  for (const TenantLoad& load : cfg_.tenants) {
+    TenantStream ts;
+    ts.load = load;
+    ts.rng = Rng(FnvHash64(cfg_.seed ^
+                           (0x9E3779B97F4A7C15ull * (load.tenant_id + 1))));
+    ts.mix_total_weight = 0;
+    for (const BlockSizeMix& m : ts.load.mix) ts.mix_total_weight += m.weight;
+    if (ts.load.mix.empty() || ts.mix_total_weight == 0) {
+      ts.load.mix = {{8, 1}};
+      ts.mix_total_weight = 1;
+    }
+
+    // Peak envelope for thinning: diurnal crest times burst multiplier.
+    ts.peak_factor = 1.0 + std::max(0.0, ts.load.diurnal_amplitude);
+    if (ts.load.burst_multiplier > 1.0 &&
+        (ts.load.burst_mean_interval_ns > 0 ||
+         ts.load.forced_burst_duration_ns > 0)) {
+      ts.peak_factor *= ts.load.burst_multiplier;
+    }
+
+    // Materialize random burst episodes from a dedicated stream so the
+    // episode schedule never consumes arrival-process draws (keeps the
+    // arrival stream stable when bursts are toggled off via multiplier).
+    if (ts.load.burst_mean_interval_ns > 0 &&
+        ts.load.burst_mean_duration_ns > 0 && ts.load.burst_multiplier > 1.0) {
+      Rng erng(FnvHash64(cfg_.seed ^ 0xB5297A4D3F84D5B5ull ^
+                         (u64{load.tenant_id} << 32)));
+      SimTime t = 0;
+      while (t < cfg_.horizon_ns) {
+        t += static_cast<SimTime>(
+            erng.NextExponential(
+                static_cast<double>(ts.load.burst_mean_interval_ns)) +
+            1.0);
+        if (t >= cfg_.horizon_ns) break;
+        SimTime dur = static_cast<SimTime>(
+            erng.NextExponential(
+                static_cast<double>(ts.load.burst_mean_duration_ns)) +
+            1.0);
+        ts.episodes.push_back({t, t + dur});
+        t += dur;
+      }
+    }
+
+    streams_.push_back(std::move(ts));
+    Advance(&streams_.back());
+  }
+}
+
+double OpenLoopGenerator::RateFactor(const TenantStream& ts, SimTime t) {
+  double f = 1.0;
+  const TenantLoad& l = ts.load;
+  if (l.diurnal_period_ns > 0 && l.diurnal_amplitude > 0.0) {
+    f *= 1.0 + l.diurnal_amplitude *
+                   std::sin(2.0 * kPi * static_cast<double>(t) /
+                            static_cast<double>(l.diurnal_period_ns));
+  }
+  bool bursting = false;
+  if (l.forced_burst_duration_ns > 0 && t >= l.forced_burst_at_ns &&
+      t < l.forced_burst_at_ns + l.forced_burst_duration_ns) {
+    bursting = true;
+  }
+  if (!bursting) {
+    for (const BurstEpisode& e : ts.episodes) {
+      if (t < e.start) break;  // episodes are time-ordered
+      if (t < e.end) {
+        bursting = true;
+        break;
+      }
+    }
+  }
+  if (bursting) f *= l.burst_multiplier;
+  return f;
+}
+
+double OpenLoopGenerator::RateFactorAt(usize tenant_index, SimTime t) const {
+  return RateFactor(streams_[tenant_index], t);
+}
+
+double OpenLoopGenerator::PeakFactor(usize tenant_index) const {
+  return streams_[tenant_index].peak_factor;
+}
+
+void OpenLoopGenerator::Advance(TenantStream* ts) {
+  const TenantLoad& l = ts->load;
+  if (l.base_iops <= 0.0) {
+    ts->done = true;
+    return;
+  }
+  const double peak_rate_per_ns = l.base_iops * ts->peak_factor / 1e9;
+  const double mean_gap_ns = 1.0 / peak_rate_per_ns;
+  // Lewis-Shedler thinning: homogeneous candidates at the peak rate,
+  // accept with probability rate(t)/peak.
+  while (true) {
+    double gap = ts->rng.NextExponential(mean_gap_ns);
+    if (gap < 1.0) gap = 1.0;  // integral clock; keeps strict progress
+    SimTime next = ts->clock + static_cast<SimTime>(gap);
+    if (next >= cfg_.horizon_ns || next < ts->clock) {  // horizon or overflow
+      ts->done = true;
+      return;
+    }
+    ts->clock = next;
+    double accept_p = RateFactor(*ts, next) / ts->peak_factor;
+    if (ts->rng.NextDouble() >= accept_p) continue;
+
+    Arrival a;
+    a.at = next;
+    a.tenant_id = l.tenant_id;
+    a.is_write = ts->rng.NextBool(l.write_fraction);
+    // Weighted block-size draw.
+    u32 pick = static_cast<u32>(ts->rng.NextBounded(ts->mix_total_weight));
+    a.nlb = ts->load.mix.back().nlb;
+    for (const BlockSizeMix& m : ts->load.mix) {
+      if (pick < m.weight) {
+        a.nlb = m.nlb;
+        break;
+      }
+      pick -= m.weight;
+    }
+    // Size-aligned offset inside the tenant region.
+    u64 slots = l.region_nlb > a.nlb ? l.region_nlb / a.nlb : 1;
+    a.slba = l.first_lba + ts->rng.NextBounded(slots) * a.nlb;
+    ts->pending = a;
+    return;
+  }
+}
+
+bool OpenLoopGenerator::Next(Arrival* out) {
+  usize best = streams_.size();
+  for (usize i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].done) continue;
+    if (best == streams_.size() ||
+        streams_[i].pending.at < streams_[best].pending.at) {
+      best = i;
+    }
+  }
+  if (best == streams_.size()) return false;
+  *out = streams_[best].pending;
+  Advance(&streams_[best]);
+  return true;
+}
+
+std::vector<Arrival> OpenLoopGenerator::GenerateAll() {
+  std::vector<Arrival> all;
+  Arrival a;
+  while (Next(&a)) all.push_back(a);
+  return all;
+}
+
+std::vector<TenantLoad> BuildSkewedTenants(u32 n, u32 first_tenant_id,
+                                           double aggregate_iops, double theta,
+                                           u64 region_nlb) {
+  std::vector<TenantLoad> out;
+  if (n == 0) return out;
+  double zeta = 0.0;
+  for (u32 i = 0; i < n; ++i) zeta += 1.0 / std::pow(i + 1, theta);
+  u64 slice = region_nlb / n;
+  for (u32 i = 0; i < n; ++i) {
+    TenantLoad t;
+    t.tenant_id = first_tenant_id + i;
+    t.base_iops = aggregate_iops * (1.0 / std::pow(i + 1, theta)) / zeta;
+    t.first_lba = static_cast<u64>(i) * slice;
+    t.region_nlb = slice;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace nvmetro::workload

@@ -1,0 +1,159 @@
+// Open-loop arrival generation: production-shaped traffic that does NOT
+// wait for completions.
+//
+// Every bench before this one was closed-loop (fio/YCSB issue-on-
+// complete): offered load self-limits to service capacity, so queues can
+// never grow without bound and the overload regime is unreachable. Real
+// fleets are open-loop — arrivals come from independent clients on their
+// own schedule — and the failure mode that matters is exactly the one
+// closed-loop harnesses cannot express: offered > capacity, queues grow,
+// p999 explodes (the "hockey stick").
+//
+// The generator synthesizes per-tenant arrival streams on the virtual
+// clock:
+//
+//  - Poisson base process per tenant (exponential inter-arrivals at
+//    `base_iops`), the standard model for aggregated client fan-in.
+//  - A diurnal envelope: sinusoidal rate modulation with a configurable
+//    period/amplitude, compressing a day's load cycle into a bench run.
+//  - Burst episodes: pseudo-random on/off periods during which the
+//    tenant's rate is multiplied (e.g. 10x), modeling correlated client
+//    retry storms and batch jobs; a deterministic forced burst window
+//    can be pinned for time-to-recover measurements.
+//  - Mixed block sizes drawn from a weighted table, read/write split,
+//    and uniformly random LBAs within a per-tenant region.
+//  - Skewed tenant popularity: BuildSkewedTenants() carves an aggregate
+//    rate across N tenants Zipf-style, so a few tenants dominate the
+//    fan-in as in multi-tenant traces ("Cross-IP Request Coalescing").
+//
+// Determinism: every tenant owns an independent Rng stream derived from
+// (seed, tenant_id), so the merged stream is bit-identical for a given
+// config — adding a tenant never perturbs another tenant's arrivals.
+// Time-varying rates use Lewis-Shedler thinning against the tenant's
+// peak rate: candidate arrivals are drawn from a homogeneous Poisson
+// process at `peak_rate` and accepted with probability rate(t)/peak, so
+// the accepted process is exactly the modulated Poisson process and
+// stays deterministic under any modulation shape.
+//
+// The generator is pure (no simulator dependency): it yields Arrival
+// records in nondecreasing time order; callers schedule them (see
+// bench/open_loop_traffic) or consume them directly (tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nvmetro::workload {
+
+/// One generated request arrival.
+struct Arrival {
+  SimTime at = 0;     // arrival time on the virtual clock
+  u32 tenant_id = 0;  // matches qos::TenantConfig::tenant_id
+  bool is_write = false;
+  u64 slba = 0;
+  u32 nlb = 0;  // 512-byte blocks
+};
+
+/// One entry of a tenant's block-size mix.
+struct BlockSizeMix {
+  u32 nlb = 8;       // request size in 512-byte blocks
+  u32 weight = 1;    // relative draw weight
+};
+
+/// One tenant's open-loop load shape.
+struct TenantLoad {
+  u32 tenant_id = 0;
+  /// Base Poisson arrival rate before modulation.
+  double base_iops = 1000.0;
+  double write_fraction = 0.3;
+  /// LBA region [first_lba, first_lba + region_nlb): offsets are drawn
+  /// uniformly and aligned to the request size.
+  u64 first_lba = 0;
+  u64 region_nlb = 1 << 20;
+  std::vector<BlockSizeMix> mix = {{8, 1}};  // default: 4 KiB
+
+  // --- Burst episodes -----------------------------------------------------
+  /// Rate multiplier while a burst episode is active (1.0 = no bursts).
+  double burst_multiplier = 1.0;
+  /// Mean gap between episode starts and mean episode length; both are
+  /// exponentially distributed (episode process is itself Poisson).
+  SimTime burst_mean_interval_ns = 0;  // 0 disables random episodes
+  SimTime burst_mean_duration_ns = 0;
+  /// Deterministic forced burst window [forced_burst_at, +duration): the
+  /// time-to-recover measurement needs the burst edge at a known time.
+  SimTime forced_burst_at_ns = 0;
+  SimTime forced_burst_duration_ns = 0;  // 0 disables
+
+  // --- Diurnal envelope ---------------------------------------------------
+  /// rate(t) *= 1 + amplitude * sin(2*pi*t/period). amplitude in [0,1).
+  double diurnal_amplitude = 0.0;
+  SimTime diurnal_period_ns = 0;  // 0 disables
+};
+
+struct OpenLoopConfig {
+  u64 seed = 1;
+  SimTime horizon_ns = 100'000'000;  // generate arrivals in [0, horizon)
+  std::vector<TenantLoad> tenants;
+};
+
+/// Deterministic merged arrival stream over all configured tenants.
+class OpenLoopGenerator {
+ public:
+  explicit OpenLoopGenerator(OpenLoopConfig cfg);
+
+  /// Next arrival in nondecreasing time order; false once every tenant's
+  /// stream has passed the horizon. Ties break by tenant config order,
+  /// deterministically.
+  bool Next(Arrival* out);
+
+  /// Drains the whole stream into a vector (tests, pre-scheduling).
+  std::vector<Arrival> GenerateAll();
+
+  /// The tenant's instantaneous rate multiplier relative to base_iops at
+  /// time `t` (diurnal envelope x burst state). Exposed so tests can
+  /// validate thinning against the exact modulation the generator used.
+  double RateFactorAt(usize tenant_index, SimTime t) const;
+
+  /// Peak rate factor the thinning envelope uses for this tenant.
+  double PeakFactor(usize tenant_index) const;
+
+  const OpenLoopConfig& config() const { return cfg_; }
+
+ private:
+  struct BurstEpisode {
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+
+  struct TenantStream {
+    TenantLoad load;
+    Rng rng;               // arrival candidates + acceptance + op mix
+    double peak_factor = 1.0;
+    u32 mix_total_weight = 0;
+    /// Random burst episodes materialized up front (deterministic; the
+    /// episode process must not share draws with the arrival process).
+    std::vector<BurstEpisode> episodes;
+    Arrival pending;       // next accepted arrival, valid while !done
+    bool done = false;
+    SimTime clock = 0;     // candidate-process time
+  };
+
+  void Advance(TenantStream* ts);
+  static double RateFactor(const TenantStream& ts, SimTime t);
+
+  OpenLoopConfig cfg_;
+  std::vector<TenantStream> streams_;
+};
+
+/// Carves `aggregate_iops` across `n` tenants with Zipf-skewed shares
+/// (tenant_id = first_tenant_id + i; share_i proportional to
+/// 1/(i+1)^theta), each covering an equal slice of `region_nlb`. The
+/// few head tenants dominate, as multi-tenant fan-in traces show.
+std::vector<TenantLoad> BuildSkewedTenants(u32 n, u32 first_tenant_id,
+                                           double aggregate_iops,
+                                           double theta, u64 region_nlb);
+
+}  // namespace nvmetro::workload

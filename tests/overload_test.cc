@@ -1,0 +1,322 @@
+// Overload controller tests (src/overload, DESIGN.md §13).
+//
+// The controller is a passive state machine driven by Note*() signals
+// and Evaluate() ticks, so every property pins down here deterministically
+// without a simulator: threshold-driven transitions with immediate
+// upgrades, hysteresis + cooldown on the way down, AIMD pacing of
+// best-effort credit, shed verdicts that never touch latency-critical
+// tenants, symmetric degradation hooks, and the metrics/trace marks the
+// telemetry checker consumes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/span.h"
+#include "overload/overload.h"
+
+namespace nvmetro::overload {
+namespace {
+
+using Action = Verdict::Action;
+
+OverloadConfig TestConfig() {
+  OverloadConfig cfg;
+  cfg.device_tokens_per_sec = 100'000;
+  cfg.backpressure_enter_ns = 200 * kUs;
+  cfg.brownout_enter_ns = 1 * kMs;
+  cfg.shed_enter_ns = 4 * kMs;
+  cfg.exit_fraction = 0.5;
+  cfg.cooldown_ns = 1 * kMs;
+  cfg.eval_period_ns = 100 * kUs;
+  cfg.ewma_alpha = 0.5;
+  cfg.min_be_fraction = 0.1;
+  cfg.additive_step = 0.1;
+  cfg.decrease_factor = 0.5;
+  return cfg;
+}
+
+/// Pins the EWMA at `wait_ns` (repeated samples converge it there).
+void Saturate(OverloadController* c, SimTime wait_ns) {
+  for (int i = 0; i < 40; i++) c->NoteQueueWait(wait_ns);
+}
+
+TEST(OverloadTest, StartsNormalAndPassesEverything) {
+  OverloadController c(TestConfig());
+  c.RegisterTenant(1, /*best_effort=*/false);
+  c.RegisterTenant(2, /*best_effort=*/true);
+  EXPECT_EQ(c.state(), State::kNormal);
+  EXPECT_EQ(c.Admit(1, 8, 0).action, Action::kPass);
+  EXPECT_EQ(c.Admit(2, 8, 0).action, Action::kPass);
+  EXPECT_EQ(c.decisions(), 2u);
+  EXPECT_EQ(c.sheds(), 0u);
+}
+
+TEST(OverloadTest, SignalIsMaxOfEwmaAndBacklogDrainTime) {
+  OverloadController c(TestConfig());
+  // 100 tokens at 100k tokens/s = 1 ms of backlog drain.
+  c.NoteBacklog(100);
+  EXPECT_EQ(c.signal_ns(0), 1 * kMs);
+  // EWMA above the backlog term wins the max.
+  Saturate(&c, 3 * kMs);
+  EXPECT_NEAR(static_cast<double>(c.signal_ns(0)), 3e6, 1e4);
+  // Draining the backlog leaves the EWMA term.
+  c.NoteBacklog(-100);
+  EXPECT_NEAR(static_cast<double>(c.signal_ns(0)), 3e6, 1e4);
+  // Over-draining clamps at zero instead of wrapping.
+  c.NoteBacklog(-1'000'000);
+  EXPECT_EQ(c.backlog_tokens(), 0u);
+}
+
+TEST(OverloadTest, UpgradesAreImmediateEvenMidCooldown) {
+  OverloadController c(TestConfig());
+  Saturate(&c, 300 * kUs);
+  c.Evaluate(100 * kUs);
+  EXPECT_EQ(c.state(), State::kBackpressure);
+  // One period later — far inside the cooldown — a worse signal still
+  // escalates straight past Brownout to Shed.
+  Saturate(&c, 10 * kMs);
+  c.Evaluate(200 * kUs);
+  EXPECT_EQ(c.state(), State::kShed);
+  EXPECT_EQ(c.transitions(State::kBackpressure), 1u);
+  EXPECT_EQ(c.transitions(State::kShed), 1u);
+  EXPECT_EQ(c.transitions(State::kBrownout), 0u);  // skipped on the way up
+}
+
+TEST(OverloadTest, DowngradeWaitsForCooldownAndHysteresis) {
+  OverloadController c(TestConfig());
+  Saturate(&c, 300 * kUs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kBackpressure);
+
+  // Signal collapses to zero, but the cooldown (1 ms) has not elapsed.
+  Saturate(&c, 0);
+  c.Evaluate(200 * kUs);
+  EXPECT_EQ(c.state(), State::kBackpressure);
+  // Cooldown elapsed + signal below enter*exit_fraction: steps down.
+  c.Evaluate(1'200 * kUs);
+  EXPECT_EQ(c.state(), State::kNormal);
+  EXPECT_EQ(c.transitions(State::kNormal), 1u);
+}
+
+TEST(OverloadTest, HysteresisBandHoldsState) {
+  OverloadController c(TestConfig());
+  Saturate(&c, 300 * kUs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kBackpressure);
+  // 150 us sits below enter (200 us) but above exit (100 us): the state
+  // must hold forever, not flap.
+  for (SimTime t = 2 * kMs; t < 20 * kMs; t += 100 * kUs) {
+    Saturate(&c, 150 * kUs);
+    c.Evaluate(t);
+    ASSERT_EQ(c.state(), State::kBackpressure) << "flapped at t=" << t;
+  }
+  EXPECT_EQ(c.transitions(State::kBackpressure), 1u);
+}
+
+TEST(OverloadTest, DowngradesStepOneStatePerEvaluation) {
+  OverloadController c(TestConfig());
+  Saturate(&c, 10 * kMs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kShed);
+  Saturate(&c, 0);
+  c.Evaluate(2 * kMs);  // past cooldown, signal ~0
+  EXPECT_EQ(c.state(), State::kBrownout);
+  c.Evaluate(4 * kMs);
+  EXPECT_EQ(c.state(), State::kBackpressure);
+  c.Evaluate(6 * kMs);
+  EXPECT_EQ(c.state(), State::kNormal);
+}
+
+TEST(OverloadTest, EwmaDecaysWithoutFreshSamples) {
+  OverloadController c(TestConfig());
+  Saturate(&c, 400 * kUs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kBackpressure);
+  // No Note* traffic at all: the EWMA halves every period (alpha 0.5)
+  // and the controller must eventually find its own way back to Normal.
+  SimTime t = 200 * kUs;
+  for (; t < 10 * kMs && c.state() != State::kNormal; t += 100 * kUs) {
+    c.Evaluate(t);
+  }
+  EXPECT_EQ(c.state(), State::kNormal);
+}
+
+TEST(OverloadTest, ShedRefusesBestEffortOnly) {
+  OverloadController c(TestConfig());
+  c.RegisterTenant(1, /*best_effort=*/false);
+  c.RegisterTenant(2, /*best_effort=*/true);
+  Saturate(&c, 10 * kMs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kShed);
+  EXPECT_EQ(c.Admit(1, 8, 200 * kUs).action, Action::kPass);
+  EXPECT_EQ(c.Admit(2, 8, 200 * kUs).action, Action::kShed);
+  // Unknown tenants default to best-effort (fail safe under overload).
+  EXPECT_EQ(c.Admit(99, 8, 200 * kUs).action, Action::kShed);
+  EXPECT_EQ(c.sheds(), 2u);
+}
+
+TEST(OverloadTest, BackpressurePacesBestEffortAimd) {
+  OverloadConfig cfg = TestConfig();
+  cfg.pace_depth_ns = 100 * kUs;  // bucket depth = 10 tokens at fraction 1
+  OverloadController c(cfg);
+  c.RegisterTenant(1, false);
+  c.RegisterTenant(2, true);
+  Saturate(&c, 300 * kUs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kBackpressure);
+  // The signal sits above the entry threshold, so the first evaluation
+  // already halved the credit.
+  EXPECT_DOUBLE_EQ(c.be_fraction(), 0.5);
+
+  // Drain the pacing bucket dry: deferrals with a future retry time.
+  SimTime now = 150 * kUs;
+  u64 passed = 0, deferred = 0;
+  SimTime retry_at = 0;
+  for (int i = 0; i < 30; i++) {
+    Verdict v = c.Admit(2, 1, now);
+    if (v.action == Action::kPass) {
+      passed++;
+    } else {
+      ASSERT_EQ(v.action, Action::kDefer);
+      EXPECT_GT(v.retry_at, now);
+      retry_at = v.retry_at;
+      deferred++;
+    }
+  }
+  EXPECT_GT(passed, 0u);
+  EXPECT_GT(deferred, 0u);
+  EXPECT_EQ(c.paced(), deferred);
+  // LC is never paced, even with the bucket dry.
+  EXPECT_EQ(c.Admit(1, 64, now).action, Action::kPass);
+  // By the advertised retry time the bucket has refilled enough.
+  EXPECT_EQ(c.Admit(2, 1, retry_at).action, Action::kPass);
+
+  // Multiplicative decrease to the floor while the signal stays high...
+  for (int i = 0; i < 10; i++) {
+    Saturate(&c, 300 * kUs);
+    c.Evaluate(200 * kUs + i * 100 * kUs);
+  }
+  EXPECT_DOUBLE_EQ(c.be_fraction(), cfg.min_be_fraction);
+  // ...and additive recovery back to full credit once it clears (the
+  // state machine also steps down; credit restores on reaching Normal).
+  Saturate(&c, 0);
+  SimTime t = 2 * kMs;
+  for (int i = 0; i < 40 && c.be_fraction() < 1.0; i++, t += 100 * kUs) {
+    c.Evaluate(t);
+  }
+  EXPECT_DOUBLE_EQ(c.be_fraction(), 1.0);
+}
+
+TEST(OverloadTest, RefundReturnsPacingTokens) {
+  OverloadConfig cfg = TestConfig();
+  cfg.pace_depth_ns = 100 * kUs;  // 10-token bucket
+  OverloadController c(cfg);
+  c.RegisterTenant(2, true);
+  Saturate(&c, 250 * kUs);
+  c.Evaluate(100 * kUs);
+  ASSERT_EQ(c.state(), State::kBackpressure);
+  SimTime now = 100 * kUs;
+  ASSERT_EQ(c.Admit(2, 5, now).action, Action::kPass);
+  Verdict v = c.Admit(2, 5, now);
+  // Whatever the bucket held, pass+refund must make the same admission
+  // pass again: pacing never charges work that did not run.
+  if (v.action == Action::kPass) {
+    c.Refund(2, 5);
+    v = c.Admit(2, 5, now);
+    ASSERT_EQ(v.action, Action::kPass);
+  }
+  c.Refund(2, 5);
+  EXPECT_EQ(c.Admit(2, 5, now).action, Action::kPass);
+}
+
+TEST(OverloadTest, DegradationHooksFireSymmetrically) {
+  OverloadController c(TestConfig());
+  std::vector<std::pair<std::string, bool>> fired;
+  c.RegisterDegradation("resync", [&](bool on) { fired.push_back({"resync", on}); });
+  EXPECT_EQ(c.num_degradations(), 1u);
+  EXPECT_TRUE(fired.empty());
+
+  Saturate(&c, 2 * kMs);
+  c.Evaluate(100 * kUs);  // -> Brownout
+  ASSERT_EQ(c.state(), State::kBrownout);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_TRUE(fired[0].second);
+  EXPECT_TRUE(c.degradation_active());
+
+  // Escalating to Shed keeps degradation active without re-firing.
+  Saturate(&c, 10 * kMs);
+  c.Evaluate(200 * kUs);
+  ASSERT_EQ(c.state(), State::kShed);
+  EXPECT_EQ(fired.size(), 1u);
+
+  // Registering while degraded fires the new hook immediately.
+  c.RegisterDegradation("trace", [&](bool on) { fired.push_back({"trace", on}); });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].first, "trace");
+  EXPECT_TRUE(fired[1].second);
+
+  // Recovery below Brownout clears both hooks exactly once.
+  Saturate(&c, 0);
+  c.Evaluate(2 * kMs);   // Shed -> Brownout (still degraded)
+  EXPECT_EQ(fired.size(), 2u);
+  c.Evaluate(4 * kMs);   // Brownout -> Backpressure (clears)
+  ASSERT_EQ(c.state(), State::kBackpressure);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_FALSE(fired[2].second);
+  EXPECT_FALSE(fired[3].second);
+  EXPECT_FALSE(c.degradation_active());
+}
+
+TEST(OverloadTest, MetricsAndTraceMarks) {
+  obs::Observability obs;
+  OverloadController c(TestConfig(), &obs);
+  c.RegisterTenant(2, true);
+  const auto& m = obs.metrics();
+  ASSERT_NE(m.FindGauge("overload.state"), nullptr);
+  EXPECT_EQ(m.FindGauge("overload.state")->value(), 0);
+
+  Saturate(&c, 10 * kMs);
+  c.Evaluate(100 * kUs);  // Normal -> Shed
+  EXPECT_EQ(m.FindGauge("overload.state")->value(), 3);
+  EXPECT_EQ(m.FindCounter("overload.transitions.shed")->value(), 1u);
+  EXPECT_EQ(m.FindCounter("overload.brownouts")->value(), 1u);
+  (void)c.Admit(2, 1, 200 * kUs);
+  EXPECT_EQ(m.FindCounter("overload.sheds")->value(), 1u);
+  EXPECT_EQ(m.FindCounter("overload.tenant2.shed")->value(), 1u);
+  EXPECT_EQ(m.FindCounter("overload.decisions")->value(), 1u);
+  EXPECT_GT(m.FindGauge("overload.signal_us")->value(), 0);
+
+  // The transition wrote an OVERLOAD_STATE mark (req 0) with the new
+  // state in aux and the previous state in status.
+  bool saw_mark = false;
+  for (const obs::TraceEvent& ev : obs.trace().Events()) {
+    if (ev.kind != obs::SpanKind::kOverloadState) continue;
+    saw_mark = true;
+    EXPECT_EQ(ev.req_id, 0u);
+    EXPECT_EQ(ev.aux, static_cast<u64>(State::kShed));
+    EXPECT_EQ(ev.status, static_cast<u16>(State::kNormal));
+  }
+  EXPECT_TRUE(saw_mark);
+}
+
+TEST(OverloadTest, StartPreSchedulesEvaluationCadence) {
+  OverloadController c(TestConfig());
+  std::vector<SimTime> ticks;
+  std::vector<std::function<void()>> fns;
+  c.Start(0, 1 * kMs, [&](SimTime at, std::function<void()> fn) {
+    ticks.push_back(at);
+    fns.push_back(std::move(fn));
+  });
+  ASSERT_EQ(ticks.size(), 10u);  // 1 ms / 100 us
+  EXPECT_EQ(ticks.front(), 100 * kUs);
+  EXPECT_EQ(ticks.back(), 1 * kMs);
+  // Running the scheduled evaluations drives the state machine.
+  Saturate(&c, 10 * kMs);
+  fns[0]();
+  EXPECT_EQ(c.state(), State::kShed);
+}
+
+}  // namespace
+}  // namespace nvmetro::overload

@@ -16,6 +16,13 @@
 // Perfetto trace is also given — requires at least one QOS_ span event
 // in it, so a wiring regression that silently drops tenant attribution
 // fails the smoke job even though the files stay format-valid.
+//
+// --expect-overload similarly requires the overload-control series
+// (DESIGN.md §13): the overload_state gauge, every per-state transition
+// counter, the decision/shed/paced totals and — with --expect-tenants=N
+// — the per-tenant overload_tenant<i>_{shed,paced,degraded}_total
+// counters; a Perfetto trace, when given, must carry an OVERLOAD_ event
+// (the state-transition instant marks and/or shed spans).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -101,6 +108,43 @@ bool CheckTenantSeries(const std::string& prom, i64 n, std::string* error) {
   return true;
 }
 
+/// Overload-control series coverage: state gauge, per-state transition
+/// counters, global totals; per-tenant shed/pace/degrade attribution for
+/// tenants 1..n when n > 0.
+bool CheckOverloadSeries(const std::string& prom, i64 n, std::string* error) {
+  const char* required[] = {
+      "overload_state",
+      "overload_signal_us",
+      "overload_be_fraction_pct",
+      "overload_decisions_total",
+      "overload_sheds_total",
+      "overload_paced_total",
+      "overload_brownouts_total",
+      "overload_transitions_normal_total",
+      "overload_transitions_backpressure_total",
+      "overload_transitions_brownout_total",
+      "overload_transitions_shed_total",
+  };
+  for (const char* name : required) {
+    if (prom.find(name) == std::string::npos) {
+      *error = std::string("missing overload series '") + name + "'";
+      return false;
+    }
+  }
+  for (i64 i = 1; i <= n; i++) {
+    const std::string base = "overload_tenant" + std::to_string(i);
+    for (const char* suffix :
+         {"_shed_total", "_paced_total", "_degraded_total"}) {
+      const std::string name = base + suffix;
+      if (prom.find(name) == std::string::npos) {
+        *error = "missing per-tenant overload series '" + name + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 int Check(const std::string& path, const char* what,
           bool (*validate)(const std::string&, std::string*)) {
   std::string data;
@@ -128,6 +172,11 @@ int Main(int argc, const char* const* argv) {
   flags.DefineInt("expect-tenants", 0,
                   "require per-tenant QoS series for tenants 1..N in the "
                   "Prometheus text (and a QOS_ span in the Perfetto trace)");
+  flags.DefineBool("expect-overload", false,
+                   "require the overload-control series (state gauge, "
+                   "transition counters, per-tenant shed/pace attribution "
+                   "with --expect-tenants) in the Prometheus text and an "
+                   "OVERLOAD_ event in the Perfetto trace");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -177,6 +226,36 @@ int Main(int argc, const char* const* argv) {
           trace.find("QOS_") == std::string::npos) {
         std::fprintf(stderr,
                      "check_telemetry: Perfetto trace has no QOS_ spans\n");
+        rc |= 1;
+      }
+    }
+  }
+  if (flags.GetBool("expect-overload")) {
+    any = true;
+    if (flags.GetString("prom").empty()) {
+      std::fprintf(stderr,
+                   "check_telemetry: --expect-overload requires --prom\n");
+      return 1;
+    }
+    std::string prom, error;
+    if (!ReadFile(flags.GetString("prom"), &prom)) {
+      std::fprintf(stderr, "check_telemetry: cannot read Prometheus file\n");
+      return 1;
+    }
+    if (!CheckOverloadSeries(prom, expect_tenants, &error)) {
+      std::fprintf(stderr, "check_telemetry: overload coverage INVALID: %s\n",
+                   error.c_str());
+      rc |= 1;
+    } else {
+      std::printf("check_telemetry: overload series ok\n");
+    }
+    if (!flags.GetString("perfetto").empty()) {
+      std::string trace;
+      if (ReadFile(flags.GetString("perfetto"), &trace) &&
+          trace.find("OVERLOAD_") == std::string::npos) {
+        std::fprintf(stderr,
+                     "check_telemetry: Perfetto trace has no OVERLOAD_ "
+                     "events\n");
         rc |= 1;
       }
     }
