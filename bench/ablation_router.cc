@@ -5,11 +5,16 @@
 //   - adaptive router workers vs always-spinning workers: CPU saved by
 //     idle parking at low load;
 //   - shared router worker vs one worker per VM at 4 VMs.
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <map>
 
 #include "bench_common.h"
 #include "ebpf/assembler.h"
 #include "functions/classifiers.h"
+#include "mem/arena.h"
+#include "virt/guest_nvme.h"
 
 namespace nvmetro::bench {
 namespace {
@@ -148,6 +153,219 @@ int RunBatchSweep(const BenchOptions& opts, const std::string& json_path) {
   return qd32_ok ? 0 : 2;
 }
 
+// --- Shard sweep (DESIGN.md §14) ---------------------------------------------
+
+u64 WallNowNs() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ShardCell {
+  SimTime sim_end = 0;
+  double wall_ns_per_io = 0;
+  u64 steady_allocs = 0;
+  int completed = 0;
+};
+
+/// One closed-loop passthrough run with `queues` guest queues (=shards)
+/// and either the flat GenTable cid path or the legacy per-shard
+/// std::map ablation baseline. Simulated time is data-structure blind,
+/// so the flat-vs-legacy delta shows up only in host wall clock — which
+/// is what this cell measures, around the steady phase only (pools grow
+/// during warmup).
+ShardCell RunShardCell(u32 queues, bool legacy, int warmup_ios,
+                       int steady_ios) {
+  sim::Simulator sim;
+  mem::IommuSpace dma{nullptr, 1ull << 40};
+  ssd::ControllerConfig cfg = Testbed::DefaultDrive();
+  cfg.capacity = 64 * MiB;
+  ssd::SimulatedController phys(&sim, &dma, cfg);
+  virt::Vm vm(&sim, virt::VmConfig{.memory_bytes = 32 * MiB});
+  core::NvmetroHost::Config hcfg;
+  hcfg.costs.legacy_cid_map = legacy;
+  core::NvmetroHost host(&sim, &phys, hcfg);
+  core::VirtualController* vc = host.CreateController(&vm, {.vm_id = 1});
+  auto prog = functions::PassthroughClassifier();
+  if (!prog.ok() || !vc->InstallClassifier(std::move(*prog)).ok()) {
+    return ShardCell{};
+  }
+  host.Start();
+  virt::GuestNvmeDriver driver(&vm, vc);
+  if (!driver.Init(static_cast<u16>(queues)).ok()) return ShardCell{};
+
+  ShardCell r;
+  u64 buf = *vm.memory().AllocPages(1);
+  int issued = 0, target = 0;
+  std::function<void(u16)> issue = [&](u16 q) {
+    if (issued >= target) return;
+    issued++;
+    nvme::Sqe sqe = (issued % 2) ? nvme::MakeWrite(1, issued % 64, 1, buf, 0)
+                                 : nvme::MakeRead(1, issued % 64, 1, buf, 0);
+    driver.Submit(q, sqe, [&, q](nvme::NvmeStatus, u32) {
+      r.completed++;
+      issue(q);
+    });
+  };
+  // Warmup: pools reach their working set.
+  target = warmup_ios;
+  for (u16 q = 0; q < queues; q++) {
+    for (int d = 0; d < 8; d++) issue(q);
+  }
+  sim.Run();
+  // Steady phase, wall-clock timed, zero pool growth allowed.
+  mem::HotPathAllocs::BeginSteadyState();
+  target = warmup_ios + steady_ios;
+  u64 t0 = WallNowNs();
+  for (u16 q = 0; q < queues; q++) {
+    for (int d = 0; d < 8; d++) issue(q);
+  }
+  sim.Run();
+  u64 wall = WallNowNs() - t0;
+  mem::HotPathAllocs::EndSteadyState();
+  r.steady_allocs = mem::HotPathAllocs::steady_state_allocs();
+  r.sim_end = sim.now();
+  r.wall_ns_per_io =
+      steady_ios > 0 ? static_cast<double>(wall) / steady_ios : 0;
+  return r;
+}
+
+struct CidMicro {
+  double map_ns_per_op = 0;
+  double flat_ns_per_op = 0;
+  double speedup = 0;
+};
+
+/// Isolates the cid-table swap: alloc/lookup-free cycles at depth 16,
+/// GenTable (flat array + generation check) vs the pre-shard design
+/// (std::map<u16,u32> plus a wrapping next-cid probe). One op = one
+/// alloc or one take.
+CidMicro RunCidMicroBench() {
+  constexpr int kIters = 100'000;
+  constexpr int kDepth = 16;
+  volatile u32 sink = 0;
+
+  mem::GenTable table;
+  u16 h[kDepth];
+  u64 t0 = WallNowNs();
+  for (int it = 0; it < kIters; it++) {
+    for (int d = 0; d < kDepth; d++) {
+      table.Alloc(static_cast<u32>(d), &h[d]);
+    }
+    for (int d = 0; d < kDepth; d++) sink = sink + table.Take(h[d]);
+  }
+  u64 flat_ns = WallNowNs() - t0;
+
+  std::map<u16, u32> legacy;
+  u16 next_cid = 0;
+  u16 hh[kDepth];
+  t0 = WallNowNs();
+  for (int it = 0; it < kIters; it++) {
+    for (int d = 0; d < kDepth; d++) {
+      u16 c;
+      do {
+        c = next_cid++;
+      } while (legacy.count(c));
+      legacy.emplace(c, static_cast<u32>(d));
+      hh[d] = c;
+    }
+    for (int d = 0; d < kDepth; d++) {
+      auto it2 = legacy.find(hh[d]);
+      sink = sink + it2->second;
+      legacy.erase(it2);
+    }
+  }
+  u64 map_ns = WallNowNs() - t0;
+
+  CidMicro m;
+  const double ops = 2.0 * kIters * kDepth;
+  m.flat_ns_per_op = static_cast<double>(flat_ns) / ops;
+  m.map_ns_per_op = static_cast<double>(map_ns) / ops;
+  m.speedup = m.flat_ns_per_op > 0 ? m.map_ns_per_op / m.flat_ns_per_op : 0;
+  return m;
+}
+
+/// `--shard-sweep`: per-queue shard ablation (DESIGN.md §14). Sweeps
+/// shard count x cid-table implementation on the closed-loop passthrough
+/// stack and gates on three properties: simulated time is bit-identical
+/// flat-vs-legacy at every shard count, the flat hot path makes zero
+/// pool allocations in steady state, and the flat cid table beats the
+/// legacy map on host wall clock in the isolated micro-benchmark (whole-
+/// stack wall ns/IO is reported but not gated — it is dominated by the
+/// simulator engine and too noisy for CI). Writes BENCH_shard.json.
+int RunShardSweep(const std::string& json_path) {
+  PrintHeader("Ablation: per-queue shards & hot-path memory pools",
+              "closed-loop 512B passthrough, shard count x cid table");
+  const u32 kShards[] = {1, 2, 4};
+  const int kWarmup = 2'000, kSteady = 10'000;
+
+  TablePrinter t({"shards", "cid table", "sim end (ms)", "wall ns/IO",
+                  "steady allocs"});
+  std::string json = "{\"bench\":\"shard_sweep\",\"bs\":512,"
+                     "\"mode\":\"rw_mix\",\"warmup_ios\":2000,"
+                     "\"steady_ios\":10000,\"cells\":[";
+  bool first = true;
+  bool sim_identical = true;
+  bool zero_alloc = true;
+  for (u32 q : kShards) {
+    ShardCell legacy = RunShardCell(q, /*legacy=*/true, kWarmup, kSteady);
+    ShardCell flat = RunShardCell(q, /*legacy=*/false, kWarmup, kSteady);
+    if (flat.sim_end != legacy.sim_end) sim_identical = false;
+    if (flat.steady_allocs != 0) zero_alloc = false;
+    for (bool is_legacy : {true, false}) {
+      const ShardCell& c = is_legacy ? legacy : flat;
+      t.AddRow({StrFormat("%u", q), is_legacy ? "legacy map" : "flat gen",
+                StrFormat("%.2f", static_cast<double>(c.sim_end) / kMs),
+                StrFormat("%.0f", c.wall_ns_per_io),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(c.steady_allocs))});
+      if (!first) json += ",";
+      first = false;
+      json += StrFormat(
+          "{\"shards\":%u,\"cid\":\"%s\",\"sim_end_ns\":%llu,"
+          "\"wall_ns_per_io\":%.1f,\"steady_allocs\":%llu,"
+          "\"completed\":%d}",
+          q, is_legacy ? "legacy_map" : "flat_gen",
+          static_cast<unsigned long long>(c.sim_end), c.wall_ns_per_io,
+          static_cast<unsigned long long>(c.steady_allocs), c.completed);
+    }
+  }
+  t.Print();
+
+  CidMicro micro = RunCidMicroBench();
+  bool micro_ok = micro.speedup >= 1.2;
+  std::printf(
+      "cid micro-bench (alloc/take, depth 16): flat %.1f ns/op, "
+      "legacy map %.1f ns/op, speedup %.1fx\n",
+      micro.flat_ns_per_op, micro.map_ns_per_op, micro.speedup);
+  std::printf("sim time flat == legacy at every shard count: %s\n",
+              sim_identical ? "yes" : "NO");
+  std::printf("flat steady-state pool allocations == 0: %s\n",
+              zero_alloc ? "yes" : "NO");
+  std::printf("flat cid table >= 1.2x legacy map: %s\n",
+              micro_ok ? "yes" : "NO");
+
+  json += StrFormat(
+      "],\"cid_micro\":{\"flat_ns_per_op\":%.2f,\"map_ns_per_op\":%.2f,"
+      "\"speedup\":%.2f},\"gates\":{\"sim_identical\":%s,"
+      "\"zero_alloc\":%s,\"cid_speedup_ge_1_2\":%s}}",
+      micro.flat_ns_per_op, micro.map_ns_per_op, micro.speedup,
+      sim_identical ? "true" : "false", zero_alloc ? "true" : "false",
+      micro_ok ? "true" : "false");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return (sim_identical && zero_alloc && micro_ok) ? 0 : 2;
+}
+
 int Main(int argc, const char* const* argv) {
   Flags flags;
   DefineBenchFlags(&flags);
@@ -156,6 +374,10 @@ int Main(int argc, const char* const* argv) {
                    "standard ablation table");
   flags.DefineString("batch-json", "BENCH_batching.json",
                      "output path for the batch-sweep JSON (empty: none)");
+  flags.DefineBool("shard-sweep", false,
+                   "run the per-queue shard / cid-table ablation sweep");
+  flags.DefineString("shard-json", "BENCH_shard.json",
+                     "output path for the shard-sweep JSON (empty: none)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -165,6 +387,9 @@ int Main(int argc, const char* const* argv) {
 
   if (flags.GetBool("batch-sweep")) {
     return RunBatchSweep(opts, flags.GetString("batch-json"));
+  }
+  if (flags.GetBool("shard-sweep")) {
+    return RunShardSweep(flags.GetString("shard-json"));
   }
 
   PrintHeader("Ablation: router design choices",

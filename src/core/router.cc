@@ -13,9 +13,7 @@ using nvme::NvmeStatus;
 using nvme::Sqe;
 
 namespace {
-constexpr u32 kMaxRoutingEntries = 4096;
 constexpr u32 kLbaSize = 512;
-constexpr u32 kTagSlotMask = 0xFFFF;
 
 /// Leg failures worth a backoff retry: path errors (NVMe-oF style
 /// transport hiccups) and "namespace not ready" (which the kernel path
@@ -92,8 +90,8 @@ void VirtualController::Stamp(const RequestEntry* e, obs::SpanKind kind,
 }
 
 VirtualController::~VirtualController() {
-  for (auto& gq : queues_) {
-    if (gq.host_qid) phys_->DeleteIoQueuePair(gq.host_qid);
+  for (auto& sh : shards_) {
+    if (sh->host_qid) phys_->DeleteIoQueuePair(sh->host_qid);
   }
 }
 
@@ -140,10 +138,14 @@ Status VirtualController::AttachQueuePair(u16 qid, nvme::SqRing* sq,
                                           u64 /*cq_gpa*/) {
   if (!worker_)
     return FailedPrecondition("controller not attached to a router worker");
-  GuestQueue gq;
-  gq.qid = qid;
-  gq.vsq = sq;
-  gq.vcq = cq;
+  if (shards_.size() >= kMaxShards) {
+    return FailedPrecondition("per-VM queue-pair (shard) limit reached");
+  }
+  auto sh = std::make_unique<RouterShard>(static_cast<u32>(shards_.size()),
+                                          costs_->legacy_cid_map);
+  sh->qid = qid;
+  sh->vsq = sq;
+  sh->vcq = cq;
   auto host_q = phys_->CreateIoQueuePair(
       sq->entries(),
       [this] {
@@ -151,8 +153,15 @@ Status VirtualController::AttachQueuePair(u16 qid, nvme::SqRing* sq,
       },
       &vm_->memory());
   if (!host_q.ok()) return host_q.status();
-  gq.host_qid = *host_q;
-  queues_.push_back(std::move(gq));
+  sh->host_qid = *host_q;
+  // Completions awaiting one interrupt are bounded by the VCQ depth;
+  // reserving to it keeps coalescing bursts reallocation-free.
+  sh->ReserveScratch(cq->entries());
+  if (qos_) {
+    u32 cap = qos_->max_deferred(qos_tenant_);
+    sh->qos_ring.assign(cap ? cap : 1, RouterShard::Waiter{});
+  }
+  shards_.push_back(std::move(sh));
   return OkStatus();
 }
 
@@ -174,9 +183,9 @@ void VirtualController::CqDoorbell(u16 /*qid*/) {
 }
 
 void VirtualController::SetIrqHandler(u16 qid, std::function<void()> handler) {
-  for (auto& gq : queues_) {
-    if (gq.qid == qid) {
-      gq.irq = std::move(handler);
+  for (auto& sh : shards_) {
+    if (sh->qid == qid) {
+      sh->irq = std::move(handler);
       return;
     }
   }
@@ -187,32 +196,14 @@ u64 VirtualController::CapacityBytes() const {
   return cfg_.part_nlb * kLbaSize;
 }
 
-VirtualController::RequestEntry* VirtualController::AllocEntry() {
-  if (!free_slots_.empty()) {
-    u32 idx = free_slots_.back();
-    free_slots_.pop_back();
-    RequestEntry* e = &table_[idx];
-    u16 gen = static_cast<u16>(e->gen + 1);  // recycle: bump generation
-    *e = RequestEntry{};
-    e->in_use = true;
-    e->gen = gen;
-    e->tag = (static_cast<u32>(gen) << 16) | idx;
-    return e;
-  }
-  if (table_.size() >= kMaxRoutingEntries) return nullptr;
-  table_.emplace_back();
-  RequestEntry* e = &table_.back();
-  e->in_use = true;
-  e->tag = static_cast<u32>(table_.size() - 1);
-  return e;
+RequestEntry* VirtualController::AllocEntry(usize gq_index) {
+  return shards_[gq_index]->AllocEntry();
 }
 
-VirtualController::RequestEntry* VirtualController::EntryByTag(u32 tag) {
-  u32 slot = tag & kTagSlotMask;
-  if (slot >= table_.size()) return nullptr;
-  RequestEntry* e = &table_[slot];
-  if (!e->in_use || e->tag != tag) return nullptr;  // freed or recycled
-  return e;
+RequestEntry* VirtualController::EntryByTag(u32 tag) {
+  u32 shard = TagShard(tag);
+  if (shard >= shards_.size()) return nullptr;
+  return shards_[shard]->EntryByTag(tag);
 }
 
 void VirtualController::PollVsq(usize /*unused*/) {
@@ -221,13 +212,13 @@ void VirtualController::PollVsq(usize /*unused*/) {
     // Unbatched pipeline: round-robin one entry from the first non-empty
     // VSQ per dispatch.
     bool more = false;
-    for (usize i = 0; i < queues_.size(); i++) {
+    for (usize i = 0; i < shards_.size(); i++) {
       Sqe sqe;
-      if (queues_[i].vsq->Pop(&sqe)) {
+      if (shards_[i]->vsq->Pop(&sqe)) {
         HandleNewRequest(i, sqe);
         // Re-arm if anything is still pending on any VSQ.
-        for (const auto& gq : queues_) {
-          if (!gq.vsq->Empty()) more = true;
+        for (const auto& sh : shards_) {
+          if (!sh->vsq->Empty()) more = true;
         }
         break;
       }
@@ -239,23 +230,23 @@ void VirtualController::PollVsq(usize /*unused*/) {
   // max_batch — in one dispatch. The classifier context marshal is paid
   // once per batch; each downstream queue gets one doorbell at flush.
   u32 avail = 0;
-  for (const auto& gq : queues_) avail += gq.vsq->Pending();
+  for (const auto& sh : shards_) avail += sh->vsq->Pending();
   if (avail == 0) return;  // a prior drain already consumed this edge
   u32 n = std::min(avail, costs_->max_batch);
   if (m_batch_size_) m_batch_size_->Record(n);
   BeginBatch();
   worker_->cpu()->Charge(costs_->vsq_batch_setup_ns);
   u32 left = n;
-  for (usize i = 0; i < queues_.size() && left; i++) {
+  for (usize i = 0; i < shards_.size() && left; i++) {
     Sqe sqe;
-    while (left && queues_[i].vsq->Pop(&sqe)) {
+    while (left && shards_[i]->vsq->Pop(&sqe)) {
       HandleNewRequest(i, sqe, n);
       left--;
     }
   }
   FlushBatch();
-  for (const auto& gq : queues_) {
-    if (!gq.vsq->Empty() && worker_) {
+  for (const auto& sh : shards_) {
+    if (!sh->vsq->Empty() && worker_) {
       worker_->poller().Notify(src_vsq_);
       break;
     }
@@ -267,22 +258,22 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
   worker_->cpu()->Charge(batch_n ? PerCmdCost(costs_->vsq_pop_ns,
                                               costs_->vsq_batch_setup_ns)
                                  : costs_->vsq_pop_ns);
-  RequestEntry* e = AllocEntry();
+  RequestEntry* e = AllocEntry(gq_index);
   if (!e) {
-    // Routing table exhausted: fail the request (guest sees a busy-ish
+    // Routing slab exhausted: fail the request (guest sees a busy-ish
     // internal error and retries).
     if (m_table_full_) m_table_full_->Inc();
     worker_->cpu()->Charge(costs_->vcq_post_ns);
-    GuestQueue& gq = queues_[gq_index];
+    RouterShard& sh = *shards_[gq_index];
     Cqe cqe;
     cqe.cid = sqe.cid;
-    cqe.sq_id = gq.qid;
-    cqe.sq_head = gq.vsq->head();
+    cqe.sq_id = sh.qid;
+    cqe.sq_head = sh.vsq->head();
     cqe.set_status(
         nvme::MakeStatus(nvme::kSctGeneric, nvme::kScAbortRequested));
-    gq.vcq->Push(cqe);
-    if (gq.irq) {
-      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, gq.irq);
+    sh.vcq->Push(cqe);
+    if (sh.irq) {
+      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, sh.irq);
     }
     return;
   }
@@ -307,11 +298,12 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
   }
   if (qos_) {
     // Admission ahead of classification (DESIGN.md §12). Arrivals behind
-    // parked commands park too (FIFO — tokens go to the oldest waiter
-    // first); beyond the deferral bound they are shed.
+    // parked commands park too (FIFO per shard — tokens go to the oldest
+    // waiter first); beyond the deferral bound they are shed.
     worker_->cpu()->Charge(costs_->qos_admit_ns);
+    RouterShard& sh = *shards_[gq_index];
     u32 cost = QosTokenCost(*e);
-    if (qos_count_ > 0) {
+    if (sh.qos_count > 0) {
       QosParkOrShed(e, cost);
       return;
     }
@@ -325,7 +317,7 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
       }
       if (v.action == overload::Verdict::Action::kDefer) {
         QosParkOrShed(e, cost);
-        if (qos_count_ > 0) ArmQosResume(v.retry_at);
+        if (sh.qos_count > 0) ArmQosResume(sh, v.retry_at);
         return;
       }
     }
@@ -335,7 +327,7 @@ void VirtualController::HandleNewRequest(usize gq_index, const Sqe& sqe,
       // is not running after all.
       if (ovl_) ovl_->Refund(qos_tenant_, cost);
       QosParkOrShed(e, cost);
-      if (qos_count_ > 0) ArmQosResume(r.retry_at);
+      if (sh.qos_count > 0) ArmQosResume(sh, r.retry_at);
       return;
     }
   }
@@ -425,7 +417,7 @@ void VirtualController::ApplyVerdict(RequestEntry* e, u64 verdict) {
 }
 
 void VirtualController::DispatchFast(RequestEntry* e) {
-  GuestQueue& gq = queues_[e->gq_index];
+  RouterShard& sh = *shards_[e->gq_index];
   // Isolation: whatever the classifier did, the routed command must stay
   // inside this VM's partition of the backend namespace.
   if (e->sqe.is_io_data_cmd() || e->sqe.opcode == nvme::kCmdWriteZeroes) {
@@ -448,26 +440,32 @@ void VirtualController::DispatchFast(RequestEntry* e) {
   if (e->sqe.is_io_data_cmd() || e->sqe.opcode == nvme::kCmdWriteZeroes) {
     out.set_nlb0(static_cast<u16>(e->mediated_nlb - 1));
   }
-  // Allocate a host cid and remember the routing tag.
+  // Allocate a generation-checked host cid bound to the routing tag.
   u16 cid;
-  do {
-    cid = gq.next_host_cid++;
-  } while (gq.host_cid_map.count(cid));
+  if (!sh.AllocCid(e->tag, &cid)) {
+    // Cid space exhausted (bounded by the slab, so effectively
+    // unreachable): transient backpressure, same handling as a full
+    // host SQ.
+    if (m_aborts_[kPathH]) m_aborts_[kPathH]->Inc();
+    if (ScheduleRetryLeg(e, kPathH)) return;
+    FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                    nvme::kScAbortRequested));
+    return;
+  }
   out.cid = cid;
-  gq.host_cid_map[cid] = e->tag;
   e->outstanding++;
   e->pending[kPathH]++;
-  fast_sends_++;
+  sh.stats.fast_sends++;
   e->paths_used |= 1u << kPathH;
   if (m_sends_[kPathH]) m_sends_[kPathH]->Inc();
   Stamp(e, obs::SpanKind::kDispatchFast, 0, e->mediated_slba);
   // In a batch the command is pushed without ringing; FlushBatch rings
   // each dirty HSQ tail doorbell once for the whole batch.
-  bool pushed = batch_active_ ? phys_->Push(gq.host_qid, out)
-                              : phys_->Submit(gq.host_qid, out);
-  if (pushed && batch_active_) gq.batch_ring = true;
+  bool pushed = batch_active_ ? phys_->Push(sh.host_qid, out)
+                              : phys_->Submit(sh.host_qid, out);
+  if (pushed && batch_active_) sh.batch_ring = true;
   if (!pushed) {
-    gq.host_cid_map.erase(cid);
+    sh.FreeCid(cid);
     e->outstanding--;
     e->pending[kPathH]--;
     if (m_aborts_[kPathH]) m_aborts_[kPathH]->Inc();
@@ -508,7 +506,7 @@ void VirtualController::DispatchNotify(RequestEntry* e) {
   entry.req_id = e->req_id;
   e->outstanding++;
   e->pending[kPathN]++;
-  notify_sends_++;
+  shards_[e->gq_index]->stats.notify_sends++;
   e->paths_used |= 1u << kPathN;
   if (m_sends_[kPathN]) m_sends_[kPathN]->Inc();
   Stamp(e, obs::SpanKind::kDispatchNotify, 0, e->mediated_slba);
@@ -597,7 +595,7 @@ void VirtualController::DispatchKernel(RequestEntry* e) {
   };
   e->outstanding++;
   e->pending[kPathK]++;
-  kernel_sends_++;
+  shards_[e->gq_index]->stats.kernel_sends++;
   e->paths_used |= 1u << kPathK;
   if (m_sends_[kPathK]) m_sends_[kPathK]->Inc();
   Stamp(e, obs::SpanKind::kDispatchKernel, 0, e->mediated_slba);
@@ -608,19 +606,18 @@ void VirtualController::PollHcq() {
   Touch();
   if (costs_->max_batch <= 1) {
     bool more = false;
-    for (auto& gq : queues_) {
-      nvme::CqRing* cq = phys_->cq(gq.host_qid);
+    for (auto& shp : shards_) {
+      RouterShard& sh = *shp;
+      nvme::CqRing* cq = phys_->cq(sh.host_qid);
       if (!cq) continue;
       Cqe cqe;
       if (cq->Peek(&cqe)) {
         cq->Pop();
         cq->PublishHead();
-        phys_->RingCqDoorbell(gq.host_qid);
+        phys_->RingCqDoorbell(sh.host_qid);
         worker_->cpu()->Charge(costs_->hcq_handle_ns);
-        auto it = gq.host_cid_map.find(cqe.cid);
-        if (it != gq.host_cid_map.end()) {
-          u32 tag = it->second;
-          gq.host_cid_map.erase(it);
+        u32 tag = sh.TakeCid(cqe.cid);
+        if (tag != kNoTag) {
           OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
         }
         if (!cq->Empty()) more = true;
@@ -628,8 +625,8 @@ void VirtualController::PollHcq() {
       }
     }
     if (!more) {
-      for (auto& gq : queues_) {
-        nvme::CqRing* cq = phys_->cq(gq.host_qid);
+      for (auto& sh : shards_) {
+        nvme::CqRing* cq = phys_->cq(sh->host_qid);
         if (cq && !cq->Empty()) more = true;
       }
     }
@@ -642,8 +639,9 @@ void VirtualController::PollHcq() {
   BeginBatch();
   u32 left = costs_->max_batch;
   u32 n = 0;
-  for (auto& gq : queues_) {
-    nvme::CqRing* cq = phys_->cq(gq.host_qid);
+  for (auto& shp : shards_) {
+    RouterShard& sh = *shp;
+    nvme::CqRing* cq = phys_->cq(sh.host_qid);
     if (!cq) continue;
     Cqe cqe;
     bool popped_any = false;
@@ -654,24 +652,22 @@ void VirtualController::PollHcq() {
       n++;
       worker_->cpu()->Charge(
           PerCmdCost(costs_->hcq_handle_ns, costs_->cq_doorbell_ns));
-      auto it = gq.host_cid_map.find(cqe.cid);
-      if (it != gq.host_cid_map.end()) {
-        u32 tag = it->second;
-        gq.host_cid_map.erase(it);
+      u32 tag = sh.TakeCid(cqe.cid);
+      if (tag != kNoTag) {
         OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
       }
     }
     if (popped_any) {
       worker_->cpu()->Charge(costs_->cq_doorbell_ns);
       cq->PublishHead();
-      phys_->RingCqDoorbell(gq.host_qid);
+      phys_->RingCqDoorbell(sh.host_qid);
     }
     if (!left) break;
   }
   if (n && m_batch_size_) m_batch_size_->Record(n);
   FlushBatch();
-  for (auto& gq : queues_) {
-    nvme::CqRing* cq = phys_->cq(gq.host_qid);
+  for (auto& sh : shards_) {
+    nvme::CqRing* cq = phys_->cq(sh->host_qid);
     if (cq && !cq->Empty() && worker_) {
       worker_->poller().Notify(src_hcq_);
       break;
@@ -753,11 +749,11 @@ void VirtualController::FlushBatch() {
   // One tail doorbell per host SQ the batch pushed into. Ordered before
   // the NSQ kick and the guest interrupts, matching the per-command
   // pipeline's fast-then-notify-then-complete sequence.
-  for (auto& gq : queues_) {
-    if (!gq.batch_ring) continue;
-    gq.batch_ring = false;
+  for (auto& sh : shards_) {
+    if (!sh->batch_ring) continue;
+    sh->batch_ring = false;
     worker_->cpu()->Charge(costs_->sq_doorbell_ns);
-    phys_->RingSqDoorbell(gq.host_qid);
+    phys_->RingSqDoorbell(sh->host_qid);
   }
   // One NSQ kick for every notify-path push of the batch.
   if (uif_ && uif_->EndBatch()) {
@@ -765,39 +761,47 @@ void VirtualController::FlushBatch() {
   }
   // One guest interrupt per guest queue with freshly posted CQEs —
   // either now or merged further by the coalescing timer.
-  for (usize i = 0; i < queues_.size(); i++) {
-    GuestQueue& gq = queues_[i];
-    if (!gq.batch_irq) continue;
-    gq.batch_irq = false;
+  for (usize i = 0; i < shards_.size(); i++) {
+    RouterShard& sh = *shards_[i];
+    if (!sh.batch_irq) continue;
+    sh.batch_irq = false;
     if (costs_->completion_coalesce_ns == 0) {
-      InjectGuestIrq(gq, std::move(gq.batch_irq_reqs));
-      gq.batch_irq_reqs.clear();
+      // The IRQ lambda owns its req-id payload (several can be in
+      // flight), so the shard's scratch is copied, not moved — moving
+      // would steal the pre-reserved capacity and every later batch
+      // would reallocate inside the poll handler.
+      std::vector<u64> payload(sh.batch_irq_reqs.begin(),
+                               sh.batch_irq_reqs.end());
+      sh.batch_irq_reqs.clear();
+      InjectGuestIrq(sh, std::move(payload));
       continue;
     }
-    gq.coalesce_reqs.insert(gq.coalesce_reqs.end(),
-                            gq.batch_irq_reqs.begin(),
-                            gq.batch_irq_reqs.end());
-    gq.batch_irq_reqs.clear();
-    if (!gq.coalesce_armed) {
+    for (u64 rid : sh.batch_irq_reqs) {
+      RouterShard::PushScratch(&sh.coalesce_reqs, rid);
+    }
+    sh.batch_irq_reqs.clear();
+    if (!sh.coalesce_armed) {
       // The delay is anchored at the first uncovered completion, so the
       // added latency is bounded by completion_coalesce_ns regardless of
       // how many later batches pile on.
-      gq.coalesce_armed = true;
+      sh.coalesce_armed = true;
       sim_->ScheduleAfter(costs_->completion_coalesce_ns, [this, i] {
-        GuestQueue& q = queues_[i];
+        RouterShard& q = *shards_[i];
         q.coalesce_armed = false;
-        InjectGuestIrq(q, std::move(q.coalesce_reqs));
+        std::vector<u64> payload(q.coalesce_reqs.begin(),
+                                 q.coalesce_reqs.end());
         q.coalesce_reqs.clear();
+        InjectGuestIrq(q, std::move(payload));
       });
     }
   }
 }
 
-void VirtualController::InjectGuestIrq(GuestQueue& gq,
+void VirtualController::InjectGuestIrq(RouterShard& sh,
                                        std::vector<u64> reqs) {
-  if (!gq.irq) return;
+  if (!sh.irq) return;
   worker_->cpu()->Charge(costs_->vcq_irq_ns);
-  auto irq = gq.irq;
+  auto irq = sh.irq;
   u32 vmid = cfg_.vm_id;
   sim_->ScheduleAfter(
       costs_->irq_inject_latency_ns,
@@ -883,24 +887,24 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
   }
   if (e->completed) return;
   e->completed = true;
-  completed_++;
-  GuestQueue& gq = queues_[e->gq_index];
+  RouterShard& sh = *shards_[e->gq_index];
+  sh.stats.completed++;
   // In a batch the interrupt-injection part of the post cost is deferred
   // to FlushBatch, charged once per guest queue per batch.
-  bool defer_irq = batch_active_ && gq.irq != nullptr;
+  bool defer_irq = batch_active_ && sh.irq != nullptr;
   worker_->cpu()->Charge(defer_irq ? PerCmdCost(costs_->vcq_post_ns,
                                                 costs_->vcq_irq_ns)
                                    : costs_->vcq_post_ns);
   Cqe cqe;
   cqe.cid = e->sqe.cid;
-  cqe.sq_id = gq.qid;
-  cqe.sq_head = gq.vsq->head();
+  cqe.sq_id = sh.qid;
+  cqe.sq_head = sh.vsq->head();
   cqe.result = e->result;
   cqe.set_status(status);
-  if (!gq.vcq->Push(cqe)) {
+  if (!sh.vcq->Push(cqe)) {
     // VCQ full: retry until the guest frees slots.
     e->completed = false;
-    completed_--;
+    sh.stats.completed--;
     if (m_vcq_retries_) m_vcq_retries_->Inc();
     u32 tag = e->tag;
     sim_->ScheduleAfter(5 * kUs, [this, tag, status] {
@@ -926,15 +930,17 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
   }
   if (defer_irq) {
     // FlushBatch signals the whole batch with one interrupt.
-    gq.batch_irq = true;
-    if (obs_ && e->req_id) gq.batch_irq_reqs.push_back(e->req_id);
-  } else if (gq.irq) {
+    sh.batch_irq = true;
+    if (obs_ && e->req_id) {
+      RouterShard::PushScratch(&sh.batch_irq_reqs, e->req_id);
+    }
+  } else if (sh.irq) {
     if (obs_ && e->req_id) {
       // The entry may be freed before the posted interrupt fires; capture
       // what the stamp needs by value.
       u64 rid = e->req_id;
       u32 vmid = cfg_.vm_id;
-      auto irq = gq.irq;
+      auto irq = sh.irq;
       sim_->ScheduleAfter(costs_->irq_inject_latency_ns, [this, rid, vmid,
                                                           irq] {
         obs::TraceEvent ev;
@@ -947,7 +953,7 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
         irq();
       });
     } else {
-      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, gq.irq);
+      sim_->ScheduleAfter(costs_->irq_inject_latency_ns, sh.irq);
     }
   }
   MaybeFree(e);
@@ -955,13 +961,12 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
 
 void VirtualController::MaybeFree(RequestEntry* e) {
   if (e->completed && e->outstanding == 0) {
-    e->in_use = false;
-    free_slots_.push_back(e->tag & kTagSlotMask);
+    shards_[TagShard(e->tag)]->FreeEntry(e);
   }
 }
 
 void VirtualController::FailRequest(RequestEntry* e, NvmeStatus status) {
-  failed_++;
+  shards_[TagShard(e->tag)]->stats.failed++;
   if (!e->failed_marked) {
     e->failed_marked = true;
     if (m_failed_) m_failed_->Inc();
@@ -972,10 +977,11 @@ void VirtualController::FailRequest(RequestEntry* e, NvmeStatus status) {
 void VirtualController::OnDeadline(u32 tag) {
   RequestEntry* e = EntryByTag(tag);
   if (!e) return;
+  RouterShard& sh = *shards_[TagShard(tag)];
   e->deadline_ev = {};
   if (e->completed) return;  // completion raced the deadline event
   worker_->cpu()->Charge(costs_->timeout_abort_ns);
-  timeouts_++;
+  sh.stats.timeouts++;
   if (m_timeouts_) m_timeouts_->Inc();
   Stamp(e, obs::SpanKind::kTimeout, 0, e->outstanding);
   for (int p = 0; p < 3; p++) {
@@ -989,15 +995,9 @@ void VirtualController::OnDeadline(u32 tag) {
     notify_inflight_ = 0;
   }
   // Orphan the host cids still mapped to this request so a late HCQ
-  // completion cannot resolve to a recycled slot.
-  GuestQueue& gq = queues_[e->gq_index];
-  for (auto it = gq.host_cid_map.begin(); it != gq.host_cid_map.end();) {
-    if (it->second == tag) {
-      it = gq.host_cid_map.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // completion cannot resolve to a recycled slot (its stale generation
+  // handle is dropped by TakeCid).
+  sh.FreeCidsOf(tag);
   e->pending[0] = e->pending[1] = e->pending[2] = 0;
   e->outstanding = 0;
   e->retry_pending = 0;
@@ -1015,7 +1015,7 @@ bool VirtualController::ScheduleRetryLeg(RequestEntry* e, Path path) {
   e->retries++;
   e->retry_pending++;
   e->outstanding++;
-  retries_++;
+  shards_[e->gq_index]->stats.retries++;
   if (m_retries_) m_retries_->Inc();
   Stamp(e, obs::SpanKind::kRetry, 0, static_cast<u64>(path));
   u32 tag = e->tag;
@@ -1071,41 +1071,45 @@ void VirtualController::DeclareUifDead() {
 }
 
 void VirtualController::HandleUifDead(bool dead, NvmeStatus fail_status) {
-  for (auto& slot : table_) {
-    RequestEntry* e = &slot;
-    if (!e->in_use || e->pending[kPathN] == 0) continue;
-    u8 n = e->pending[kPathN];
-    e->pending[kPathN] = 0;
-    e->outstanding -= n;
-    if (notify_inflight_ >= n) {
-      notify_inflight_ -= n;
-    } else {
-      notify_inflight_ = 0;
+  for (auto& shp : shards_) {
+    RouterShard& sh = *shp;
+    for (u32 s = 0; s < sh.slab_size(); s++) {
+      RequestEntry* e = sh.EntryAt(s);
+      if (!e->in_use || e->pending[kPathN] == 0) continue;
+      u8 n = e->pending[kPathN];
+      e->pending[kPathN] = 0;
+      e->outstanding -= n;
+      if (notify_inflight_ >= n) {
+        notify_inflight_ -= n;
+      } else {
+        notify_inflight_ = 0;
+      }
+      // Each abandoned leg settles its send: timed out for a dead UIF,
+      // administratively aborted for a detach.
+      obs::Counter* settle =
+          dead ? m_path_timeouts_[kPathN] : m_aborts_[kPathN];
+      if (settle) settle->Inc(n);
+      u32 bit = 1u << kPathN;
+      e->hook_flags &= ~bit;
+      e->will_flags &= ~bit;
+      if (e->completed) {
+        MaybeFree(e);
+        continue;
+      }
+      Stamp(e, obs::SpanKind::kUifFailover, 0, n);
+      if (dead && costs_->uif_failover_to_kernel && kernel_dev_ &&
+          KernelEligible(*e)) {
+        DispatchKernel(e);
+        continue;
+      }
+      if (e->outstanding > 0) {
+        // Other legs will finish the request; just make sure it no longer
+        // waits for a hook that can never fire.
+        if (e->wait_for_hook && e->hook_flags == 0) e->wait_for_hook = false;
+        continue;
+      }
+      FailRequest(e, fail_status);
     }
-    // Each abandoned leg settles its send: timed out for a dead UIF,
-    // administratively aborted for a detach.
-    obs::Counter* settle = dead ? m_path_timeouts_[kPathN] : m_aborts_[kPathN];
-    if (settle) settle->Inc(n);
-    u32 bit = 1u << kPathN;
-    e->hook_flags &= ~bit;
-    e->will_flags &= ~bit;
-    if (e->completed) {
-      MaybeFree(e);
-      continue;
-    }
-    Stamp(e, obs::SpanKind::kUifFailover, 0, n);
-    if (dead && costs_->uif_failover_to_kernel && kernel_dev_ &&
-        KernelEligible(*e)) {
-      DispatchKernel(e);
-      continue;
-    }
-    if (e->outstanding > 0) {
-      // Other legs will finish the request; just make sure it no longer
-      // waits for a hook that can never fire.
-      if (e->wait_for_hook && e->hook_flags == 0) e->wait_for_hook = false;
-      continue;
-    }
-    FailRequest(e, fail_status);
   }
 }
 
@@ -1113,21 +1117,25 @@ void VirtualController::HandleUifDead(bool dead, NvmeStatus fail_status) {
 
 void VirtualController::AttachQos(qos::QosScheduler* qos, u32 tenant_id) {
   // Release any head reservation held with the outgoing scheduler.
-  if (qos_ && qos_count_ > 0) qos_->SetParkedHead(qos_tenant_, 0, 0);
+  if (qos_ && qos_waiting() > 0) qos_->SetParkedHead(qos_tenant_, 0, 0);
   qos_ = qos;
   qos_tenant_ = tenant_id;
-  qos_ring_.clear();
-  qos_head_ = qos_count_ = 0;
-  if (qos_resume_armed_) {
-    sim_->Cancel(qos_resume_ev_);
-    qos_resume_armed_ = false;
+  for (auto& sh : shards_) {
+    sh->qos_ring.clear();
+    sh->qos_head = sh->qos_count = 0;
+    if (sh->qos_resume_armed) {
+      sim_->Cancel(sh->qos_resume_ev);
+      sh->qos_resume_armed = false;
+    }
   }
   if (!qos_) {
     ovl_ = nullptr;  // overload control layers on the QoS gate
     return;
   }
   u32 cap = qos_->max_deferred(tenant_id);
-  qos_ring_.assign(cap ? cap : 1, QosWaiter{});
+  for (auto& sh : shards_) {
+    sh->qos_ring.assign(cap ? cap : 1, RouterShard::Waiter{});
+  }
   if (obs_) m_qos_waiting_ = obs_->metrics().GetGauge("qos.waiting");
 }
 
@@ -1136,9 +1144,17 @@ void VirtualController::AttachOverload(overload::OverloadController* ovl) {
 }
 
 void VirtualController::SyncParkedHead() {
-  if (qos_count_ > 0) {
-    const QosWaiter& w = qos_ring_[qos_head_];
-    qos_->SetParkedHead(qos_tenant_, w.cost, w.parked_at);
+  // One reservation per tenant: report the oldest parked head across
+  // shards (with one queue pair this is exactly the pre-shard single
+  // ring's head).
+  const RouterShard::Waiter* oldest = nullptr;
+  for (const auto& sh : shards_) {
+    if (sh->qos_count == 0) continue;
+    const RouterShard::Waiter& w = sh->qos_ring[sh->qos_head];
+    if (!oldest || w.parked_at < oldest->parked_at) oldest = &w;
+  }
+  if (oldest) {
+    qos_->SetParkedHead(qos_tenant_, oldest->cost, oldest->parked_at);
   } else {
     qos_->SetParkedHead(qos_tenant_, 0, 0);
   }
@@ -1152,22 +1168,23 @@ u32 VirtualController::QosTokenCost(const RequestEntry& e) {
 }
 
 void VirtualController::QosParkOrShed(RequestEntry* e, u32 cost) {
-  if (qos_count_ >= qos_ring_.size()) {
+  RouterShard& sh = *shards_[e->gq_index];
+  if (sh.qos_count >= sh.qos_ring.size()) {
     QosShed(e);
     return;
   }
-  usize idx = (qos_head_ + qos_count_) % qos_ring_.size();
-  qos_ring_[idx] = QosWaiter{e->tag, cost, sim_->now()};
-  qos_count_++;
-  qos_deferred_++;
+  usize idx = (sh.qos_head + sh.qos_count) % sh.qos_ring.size();
+  sh.qos_ring[idx] = RouterShard::Waiter{e->tag, cost, sim_->now()};
+  sh.qos_count++;
+  sh.stats.qos_deferred++;
   qos_->NoteDeferred(qos_tenant_);
-  if (qos_count_ == 1) SyncParkedHead();
+  if (sh.qos_count == 1) SyncParkedHead();
   if (ovl_) ovl_->NoteBacklog(static_cast<i64>(cost));
   if (m_qos_waiting_) m_qos_waiting_->Add(1);
 }
 
 void VirtualController::OverloadShed(RequestEntry* e) {
-  ovl_shed_++;
+  shards_[e->gq_index]->stats.ovl_shed++;
   Stamp(e, obs::SpanKind::kOverloadShed);
   // Same retryable busy status as a QoS shed: back off and try again is
   // exactly the reaction load shedding asks of the guest.
@@ -1176,7 +1193,7 @@ void VirtualController::OverloadShed(RequestEntry* e) {
 }
 
 void VirtualController::QosShed(RequestEntry* e) {
-  qos_shed_++;
+  shards_[e->gq_index]->stats.qos_shed++;
   qos_->NoteShed(qos_tenant_);
   Stamp(e, obs::SpanKind::kQosShed);
   // Busy-ish transient status: the guest driver's natural reaction is to
@@ -1185,26 +1202,28 @@ void VirtualController::QosShed(RequestEntry* e) {
                                   nvme::kScNamespaceNotReady));
 }
 
-void VirtualController::ArmQosResume(SimTime at) {
+void VirtualController::ArmQosResume(RouterShard& sh, SimTime at) {
   if (at <= sim_->now()) at = sim_->now() + 1;
-  if (qos_resume_armed_ && qos_resume_at_ <= at) return;
-  if (qos_resume_armed_) sim_->Cancel(qos_resume_ev_);
-  qos_resume_armed_ = true;
-  qos_resume_at_ = at;
-  qos_resume_ev_ = sim_->ScheduleAt(at, [this] { QosResume(); });
+  if (sh.qos_resume_armed && sh.qos_resume_at <= at) return;
+  if (sh.qos_resume_armed) sim_->Cancel(sh.qos_resume_ev);
+  sh.qos_resume_armed = true;
+  sh.qos_resume_at = at;
+  u32 idx = sh.index();
+  sh.qos_resume_ev = sim_->ScheduleAt(at, [this, idx] { QosResume(idx); });
 }
 
-void VirtualController::QosResume() {
-  qos_resume_armed_ = false;
+void VirtualController::QosResume(u32 shard_index) {
+  RouterShard& sh = *shards_[shard_index];
+  sh.qos_resume_armed = false;
   Touch();
-  while (qos_count_ > 0) {
-    const QosWaiter w = qos_ring_[qos_head_];
+  while (sh.qos_count > 0) {
+    const RouterShard::Waiter w = sh.qos_ring[sh.qos_head];
     RequestEntry* e = EntryByTag(w.tag);
     if (!e || e->completed) {
       // Timed out (OnDeadline) while parked; the slot may already be
       // recycled. Drop the stale waiter.
-      qos_head_ = (qos_head_ + 1) % qos_ring_.size();
-      qos_count_--;
+      sh.qos_head = (sh.qos_head + 1) % sh.qos_ring.size();
+      sh.qos_count--;
       SyncParkedHead();
       if (ovl_) ovl_->NoteBacklog(-static_cast<i64>(w.cost));
       if (m_qos_waiting_) m_qos_waiting_->Add(-1);
@@ -1215,8 +1234,8 @@ void VirtualController::QosResume() {
     if (ovl_) {
       overload::Verdict v = ovl_->Admit(qos_tenant_, w.cost, sim_->now());
       if (v.action == overload::Verdict::Action::kShed) {
-        qos_head_ = (qos_head_ + 1) % qos_ring_.size();
-        qos_count_--;
+        sh.qos_head = (sh.qos_head + 1) % sh.qos_ring.size();
+        sh.qos_count--;
         SyncParkedHead();
         ovl_->NoteBacklog(-static_cast<i64>(w.cost));
         if (m_qos_waiting_) m_qos_waiting_->Add(-1);
@@ -1224,18 +1243,18 @@ void VirtualController::QosResume() {
         continue;
       }
       if (v.action == overload::Verdict::Action::kDefer) {
-        ArmQosResume(v.retry_at);
+        ArmQosResume(sh, v.retry_at);
         return;
       }
     }
     qos::AdmitResult r = qos_->Admit(qos_tenant_, w.cost, sim_->now());
     if (r.action == qos::AdmitResult::Action::kDefer) {
       if (ovl_) ovl_->Refund(qos_tenant_, w.cost);
-      ArmQosResume(r.retry_at);
+      ArmQosResume(sh, r.retry_at);
       return;
     }
-    qos_head_ = (qos_head_ + 1) % qos_ring_.size();
-    qos_count_--;
+    sh.qos_head = (sh.qos_head + 1) % sh.qos_ring.size();
+    sh.qos_count--;
     SyncParkedHead();
     worker_->cpu()->Charge(costs_->qos_admit_ns);
     SimTime waited = sim_->now() - w.parked_at;

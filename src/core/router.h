@@ -22,6 +22,7 @@
 
 #include "core/classifier.h"
 #include "core/notify.h"
+#include "core/shard.h"
 #include "kblock/bio.h"
 #include "mem/guest_memory.h"
 #include "nvme/prp.h"
@@ -124,6 +125,12 @@ struct RouterCosts {
   /// a QosScheduler is attached, so QoS-off runs are bit-identical to
   /// the pre-QoS router.
   SimTime qos_admit_ns = 120;
+  /// --- Sharded hot path (DESIGN.md §14) --------------------------------
+  /// Ablation baseline for `ablation_router --shard-sweep`: keep the
+  /// pre-shard std::map host-cid table (per-IO node churn) instead of
+  /// the flat generation-checked table. Simulated time is identical in
+  /// both modes — the flat table's win is host wall-clock per IO.
+  bool legacy_cid_map = false;
 };
 
 class RouterWorker;
@@ -191,24 +198,46 @@ class VirtualController : public virt::VirtualNvmeBackend {
   // --- Introspection ----------------------------------------------------------
 
   u32 vm_id() const { return cfg_.vm_id; }
-  u64 requests_completed() const { return completed_; }
-  u64 requests_failed() const { return failed_; }
-  u64 fast_path_sends() const { return fast_sends_; }
-  u64 notify_path_sends() const { return notify_sends_; }
-  u64 kernel_path_sends() const { return kernel_sends_; }
-  u64 requests_timed_out() const { return timeouts_; }
-  u64 leg_retries() const { return retries_; }
-  u64 qos_deferrals() const { return qos_deferred_; }
-  u64 qos_sheds() const { return qos_shed_; }
+  u64 requests_completed() const { return SumStat(&ShardStats::completed); }
+  u64 requests_failed() const { return SumStat(&ShardStats::failed); }
+  u64 fast_path_sends() const { return SumStat(&ShardStats::fast_sends); }
+  u64 notify_path_sends() const { return SumStat(&ShardStats::notify_sends); }
+  u64 kernel_path_sends() const { return SumStat(&ShardStats::kernel_sends); }
+  u64 requests_timed_out() const { return SumStat(&ShardStats::timeouts); }
+  u64 leg_retries() const { return SumStat(&ShardStats::retries); }
+  u64 qos_deferrals() const { return SumStat(&ShardStats::qos_deferred); }
+  u64 qos_sheds() const { return SumStat(&ShardStats::qos_shed); }
   /// Commands rejected by the overload controller's Shed state (disjoint
   /// from qos_sheds(), which counts deferral-bound sheds).
-  u64 overload_sheds() const { return ovl_shed_; }
-  /// Commands currently parked awaiting QoS admission.
-  u32 qos_waiting() const { return static_cast<u32>(qos_count_); }
+  u64 overload_sheds() const { return SumStat(&ShardStats::ovl_shed); }
+  /// Commands currently parked awaiting QoS admission (all shards).
+  u32 qos_waiting() const {
+    usize n = 0;
+    for (const auto& sh : shards_) n += sh->qos_count;
+    return static_cast<u32>(n);
+  }
   u64 uif_failovers() const { return uif_failovers_; }
   bool uif_dead() const { return uif_dead_; }
   ClassifierRuntime* classifier() { return classifier_.get(); }
   bool parked() const;
+  // Shard-level introspection (DESIGN.md §14): slab/cid occupancy for
+  // leak assertions and scratch capacities for reallocation checks.
+  u32 num_shards() const { return static_cast<u32>(shards_.size()); }
+  const ShardStats& shard_stats(u32 i) const { return shards_[i]->stats; }
+  u32 shard_slots_in_use(u32 i) const { return shards_[i]->slots_in_use(); }
+  u32 shard_slab_capacity(u32 i) const { return shards_[i]->slab_capacity(); }
+  u32 shard_cid_in_use(u32 i) const { return shards_[i]->cid_in_use(); }
+  u32 shard_cid_capacity(u32 i) const { return shards_[i]->cid_capacity(); }
+  usize shard_irq_scratch_capacity(u32 i) const {
+    return shards_[i]->batch_irq_reqs.capacity();
+  }
+  usize shard_coalesce_scratch_capacity(u32 i) const {
+    return shards_[i]->coalesce_reqs.capacity();
+  }
+  /// Late host CQEs dropped by the cid generation check (all shards).
+  u64 stale_cid_drops() const {
+    return SumStat(&ShardStats::stale_cid_drops);
+  }
 
  private:
   friend class RouterWorker;
@@ -216,60 +245,10 @@ class VirtualController : public virt::VirtualNvmeBackend {
 
   enum Path : u8 { kPathH = 0, kPathN = 1, kPathK = 2 };
 
-  struct GuestQueue {
-    u16 qid = 0;
-    nvme::SqRing* vsq = nullptr;
-    nvme::CqRing* vcq = nullptr;
-    std::function<void()> irq;
-    u16 host_qid = 0;                 // 1:1 HSQ/HCQ on the physical drive
-    std::map<u16, u32> host_cid_map;  // host cid -> routing tag
-    u16 next_host_cid = 0;
-    // Batched-pipeline flush state (DESIGN.md §10): only touched while a
-    // batch is open, i.e. when RouterCosts::max_batch > 1.
-    bool batch_ring = false;          // HSQ pushes awaiting one doorbell
-    bool batch_irq = false;           // VCQ posts awaiting one interrupt
-    std::vector<u64> batch_irq_reqs;  // req_ids the pending IRQ covers
-    // Completion coalescing (completion_coalesce_ns > 0): interrupts
-    // deferred past the batch edge, merged until the delay timer fires.
-    bool coalesce_armed = false;
-    std::vector<u64> coalesce_reqs;
-  };
-
-  struct RequestEntry {
-    bool in_use = false;
-    /// Routing tag: (generation << 16) | slot. The generation guards
-    /// against stale completions (a timed-out leg finishing after its
-    /// slot was recycled must not touch the new occupant).
-    u32 tag = 0;
-    u16 gen = 0;
-    nvme::Sqe sqe;          // original guest command
-    u64 mediated_slba = 0;  // after classifier writes
-    u32 mediated_nlb = 0;
-    u16 gq_index = 0;       // guest queue it arrived on
-    u64 state = 0;          // classifier scratch
-    int outstanding = 0;
-    u8 pending[3] = {};     // in-flight legs per Path (stale-leg guard)
-    u32 hook_flags = 0;     // pending per-path hooks (bit = Path)
-    u32 will_flags = 0;     // per-path auto-complete
-    bool wait_for_hook = false;
-    bool completed = false;
-    nvme::NvmeStatus agg_status = nvme::kStatusSuccess;
-    u32 result = 0;  // CQE DW0 from the last fast-path completion
-    // Failure recovery: deadline timer + transient-retry budget.
-    // retry_pending counts legs sitting in retry backoff — they hold an
-    // `outstanding` reference but no per-path send, so timeout accounting
-    // must not double-count them.
-    sim::EventId deadline_ev;
-    u8 retries = 0;
-    u8 retry_pending = 0;
-    // Observability: trace-span id, arrival time, Path bits dispatched.
-    // failed_marked keeps "router.failed" and "router.completed" disjoint
-    // (FailRequest delivers its outcome through CompleteToGuest).
-    u64 req_id = 0;
-    SimTime start_ns = 0;
-    u8 paths_used = 0;
-    bool failed_marked = false;
-  };
+  // Per-queue state (slab, cid table, scratch, deferral ring, stats)
+  // lives in RouterShard (core/shard.h); the controller keeps only the
+  // protocol logic and genuinely shared state (classifier, UIF
+  // liveness, kernel mailbox, metrics).
 
   // Request processing (all on the router worker's vCPU context).
   void PollVsq(usize gq_index);
@@ -295,24 +274,24 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// Fails `e` with the same retryable busy status on an overload-Shed
   /// verdict (stamped OVERLOAD_SHED, accounted separately).
   void OverloadShed(RequestEntry* e);
-  /// Reports the parked ring's head (cost + park time) to the scheduler
-  /// after any head change (anti-starvation reservation).
+  /// Reports the oldest parked head across shards (cost + park time) to
+  /// the scheduler after any head change (anti-starvation reservation).
   void SyncParkedHead();
-  /// Arms (or pulls in) the single resume timer for the parked FIFO.
-  void ArmQosResume(SimTime at);
-  /// Resume timer body: admit parked commands in FIFO order until the
-  /// scheduler defers again (re-arming at its retry_at) or the FIFO
-  /// drains.
-  void QosResume();
+  /// Arms (or pulls in) the shard's resume timer for its parked FIFO.
+  void ArmQosResume(RouterShard& sh, SimTime at);
+  /// Resume timer body: admit the shard's parked commands in FIFO order
+  /// until the scheduler defers again (re-arming at its retry_at) or the
+  /// FIFO drains.
+  void QosResume(u32 shard_index);
   // Batched pipeline (DESIGN.md §10). While a batch is open, dispatches
   // push without ringing and completions defer their guest interrupt;
   // FlushBatch rings each dirty HSQ doorbell once, kicks the NSQ once
   // and injects (or coalesces) one interrupt per guest queue.
   void BeginBatch();
   void FlushBatch();
-  /// Schedules one guest interrupt for `gq`, stamping kIrqInject for
-  /// every covered request when tracing is on.
-  void InjectGuestIrq(GuestQueue& gq, std::vector<u64> reqs);
+  /// Schedules one guest interrupt for `sh`'s queue, stamping kIrqInject
+  /// for every covered request when tracing is on.
+  void InjectGuestIrq(RouterShard& sh, std::vector<u64> reqs);
   void RunClassifierAndApply(RequestEntry* e, Hook hook,
                              nvme::NvmeStatus error);
   void ApplyVerdict(RequestEntry* e, u64 verdict);
@@ -342,8 +321,15 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// True when the entry's opcode has kernel-path (bio) semantics.
   static bool KernelEligible(const RequestEntry& e);
 
-  RequestEntry* AllocEntry();
+  /// Allocates a routing slot from the arriving queue's shard.
+  RequestEntry* AllocEntry(usize gq_index);
+  /// Resolves a tag to its shard's slab entry (null if freed/recycled).
   RequestEntry* EntryByTag(u32 tag);
+  u64 SumStat(u64 ShardStats::* field) const {
+    u64 sum = 0;
+    for (const auto& sh : shards_) sum += sh->stats.*field;
+    return sum;
+  }
 
   /// Registers the router's cached metric pointers (no-op when obs_ is
   /// null; every hot-path hook is then one null-check branch).
@@ -364,35 +350,18 @@ class VirtualController : public virt::VirtualNvmeBackend {
   NotifyChannel* uif_ = nullptr;
   kblock::BlockDevice* kernel_dev_ = nullptr;
 
-  std::vector<GuestQueue> queues_;
-  std::vector<RequestEntry> table_;  // routing table (slab)
-  std::vector<u32> free_slots_;
+  // One shard per guest queue pair; unique_ptr keeps shard addresses
+  // stable across AttachQueuePair (timer lambdas capture shard indices).
+  std::vector<std::unique_ptr<RouterShard>> shards_;
 
   // Kernel-path completion mailbox, drained by the worker.
   std::deque<std::pair<u32, nvme::NvmeStatus>> kcq_mailbox_;
 
   bool fixed_translation_ = false;
-  // QoS state: scheduler + tenant identity, fixed-capacity parked-command
-  // ring (no per-IO allocation), and the single resume timer. The ring
-  // stores tags, not pointers: a parked command that times out is freed
-  // by OnDeadline and its stale tag is skipped on resume.
-  struct QosWaiter {
-    u32 tag = 0;
-    u32 cost = 0;
-    SimTime parked_at = 0;
-  };
+  // QoS identity (the parked rings live on the shards).
   qos::QosScheduler* qos_ = nullptr;
   overload::OverloadController* ovl_ = nullptr;
   u32 qos_tenant_ = 0;
-  std::vector<QosWaiter> qos_ring_;
-  usize qos_head_ = 0;
-  usize qos_count_ = 0;
-  bool qos_resume_armed_ = false;
-  SimTime qos_resume_at_ = 0;
-  sim::EventId qos_resume_ev_;
-  u64 qos_deferred_ = 0;
-  u64 qos_shed_ = 0;
-  u64 ovl_shed_ = 0;
   /// True between BeginBatch and FlushBatch; routes dispatch/completion
   /// doorbell work through the per-batch flush instead of per command.
   bool batch_active_ = false;
@@ -400,13 +369,6 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u32 src_vsq_ = 0, src_hcq_ = 0, src_ncq_ = 0, src_kcq_ = 0;
   SimTime last_activity_ = 0;
 
-  u64 completed_ = 0;
-  u64 failed_ = 0;
-  u64 fast_sends_ = 0;
-  u64 notify_sends_ = 0;
-  u64 kernel_sends_ = 0;
-  u64 timeouts_ = 0;
-  u64 retries_ = 0;
   u64 uif_failovers_ = 0;
 
   // UIF liveness tracking (active when uif_liveness_timeout_ns > 0).

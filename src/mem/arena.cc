@@ -1,0 +1,135 @@
+#include "mem/arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvmetro::mem {
+namespace {
+
+struct AllocState {
+  u64 count = 0;
+  u64 bytes = 0;
+  u64 steady_allocs = 0;
+  bool steady = false;
+  bool strict = false;
+  bool strict_checked = false;
+};
+
+AllocState& State() {
+  static AllocState s;
+  return s;
+}
+
+bool StrictMode() {
+  AllocState& s = State();
+  if (!s.strict_checked) {
+    const char* env = std::getenv("NVMETRO_ZERO_ALLOC_STRICT");
+    s.strict = env != nullptr && env[0] == '1';
+    s.strict_checked = true;
+  }
+  return s.strict;
+}
+
+}  // namespace
+
+u64 HotPathAllocs::count() { return State().count; }
+u64 HotPathAllocs::bytes() { return State().bytes; }
+
+void HotPathAllocs::Note(usize grown_bytes) {
+  AllocState& s = State();
+  s.count++;
+  s.bytes += grown_bytes;
+  if (s.steady) {
+    s.steady_allocs++;
+    if (StrictMode()) {
+      std::fprintf(stderr,
+                   "nvmetro: hot-path pool grew %zu bytes inside a "
+                   "steady-state window (NVMETRO_ZERO_ALLOC_STRICT=1)\n",
+                   grown_bytes);
+      std::abort();
+    }
+  }
+}
+
+void HotPathAllocs::BeginSteadyState() {
+  AllocState& s = State();
+  s.steady = true;
+  s.steady_allocs = 0;
+}
+
+void HotPathAllocs::EndSteadyState() { State().steady = false; }
+
+bool HotPathAllocs::in_steady_state() { return State().steady; }
+
+u64 HotPathAllocs::steady_state_allocs() { return State().steady_allocs; }
+
+bool GenTable::Alloc(u32 value, u16* handle) {
+  if (free_.empty()) {
+    if (slots_.size() >= kMaxSlots) return false;
+    // Grow by a chunk; new slots enter the free list in ascending order
+    // so low handles are preferred (matches the pre-shard cid counter's
+    // tendency to reuse small cids, which keeps traces readable).
+    u32 base = static_cast<u32>(slots_.size());
+    u32 grow = kChunk;
+    if (base + grow > kMaxSlots) grow = kMaxSlots - base;
+    HotPathAllocs::Note(grow * (sizeof(Slot) + sizeof(u16)));
+    slots_.resize(base + grow);
+    free_.reserve(slots_.capacity());
+    for (u32 i = base + grow; i > base; i--) {
+      free_.push_back(static_cast<u16>(i - 1));
+    }
+  }
+  u16 slot = free_.back();
+  free_.pop_back();
+  Slot& s = slots_[slot];
+  s.value = value;
+  in_use_++;
+  *handle = static_cast<u16>(slot | (static_cast<u16>(s.gen) << kSlotBits));
+  return true;
+}
+
+u32 GenTable::Find(u16 handle) const {
+  u32 slot = handle & kSlotMask;
+  if (slot >= slots_.size()) return kNoValue;
+  const Slot& s = slots_[slot];
+  if (s.value == kNoValue) return kNoValue;
+  if (((handle >> kSlotBits) & kGenMask) != (s.gen & kGenMask)) {
+    return kNoValue;
+  }
+  return s.value;
+}
+
+bool GenTable::Free(u16 handle) {
+  u32 slot = handle & kSlotMask;
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.value == kNoValue) return false;
+  if (((handle >> kSlotBits) & kGenMask) != (s.gen & kGenMask)) return false;
+  s.value = kNoValue;
+  s.gen = static_cast<u8>((s.gen + 1) & kGenMask);
+  in_use_--;
+  free_.push_back(static_cast<u16>(slot));
+  return true;
+}
+
+u32 GenTable::Take(u16 handle) {
+  u32 value = Find(handle);
+  if (value != kNoValue) Free(handle);
+  return value;
+}
+
+u32 GenTable::FreeValue(u32 value) {
+  u32 freed = 0;
+  for (u32 slot = 0; slot < slots_.size(); slot++) {
+    Slot& s = slots_[slot];
+    if (s.value != value || value == kNoValue) continue;
+    s.value = kNoValue;
+    s.gen = static_cast<u8>((s.gen + 1) & kGenMask);
+    in_use_--;
+    free_.push_back(static_cast<u16>(slot));
+    freed++;
+  }
+  return freed;
+}
+
+}  // namespace nvmetro::mem

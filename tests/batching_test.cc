@@ -41,6 +41,11 @@ struct RunResult {
   u64 total_cpu_ns = 0;
   int completed = 0;
   int failed = 0;
+  /// Per-shard IRQ / coalesce scratch capacities sampled right after
+  /// queue setup and again after the run drains — the pre-reserve
+  /// contract says they never move once the queues exist.
+  std::vector<usize> irq_caps_setup, irq_caps_end;
+  std::vector<usize> coalesce_caps_setup, coalesce_caps_end;
 };
 
 struct RunConfig {
@@ -103,6 +108,13 @@ RunResult RunBatchStack(const RunConfig& rc) {
   }
 
   RunResult r;
+  auto snap_caps = [&](std::vector<usize>* irq, std::vector<usize>* coal) {
+    for (u32 s = 0; s < vc->num_shards(); s++) {
+      irq->push_back(vc->shard_irq_scratch_capacity(s));
+      coal->push_back(vc->shard_coalesce_scratch_capacity(s));
+    }
+  };
+  snap_caps(&r.irq_caps_setup, &r.coalesce_caps_setup);
   u64 buf = *vm.memory().AllocPages(1);
   int issued = 0;
   std::function<void(u16)> issue = [&](u16 q) {
@@ -122,6 +134,7 @@ RunResult RunBatchStack(const RunConfig& rc) {
   }
   sim.Run();
 
+  snap_caps(&r.irq_caps_end, &r.coalesce_caps_end);
   r.end_time = sim.now();
   r.router_busy_ns = host.worker(0)->busy_ns();
   r.total_cpu_ns = sim.TotalCpuBusyNs();
@@ -289,6 +302,36 @@ TEST(BatchingEquivalenceTest, CoalescingDelayMergesInterrupts) {
   // the undelayed run.
   EXPECT_LE(merged.end_time, base.end_time + 400 * 20 * kUs);
   EXPECT_GE(merged.end_time, base.end_time);
+}
+
+TEST(BatchingEquivalenceTest, ScratchCapacityStableUnderCoalescedBursts) {
+  // The IRQ and coalesce scratch vectors are reserved once at queue
+  // setup (to the virtual CQ depth, which bounds any batch) and must
+  // never reallocate afterwards — the zero-alloc steady-state contract.
+  // Drive the worst case for both: four queues, deep batches, and a
+  // coalesce window that parks completions in the scratch between
+  // flushes, on a drive fast enough that real batches form.
+  RunConfig rc;
+  rc.costs.max_batch = 32;
+  rc.costs.completion_coalesce_ns = 20 * kUs;
+  rc.depth = 8;
+  rc.total = 500;
+  rc.queues = 4;
+  rc.fast_drive = true;
+  RunResult r = RunBatchStack(rc);
+  EXPECT_EQ(r.completed, 500);
+
+  ASSERT_EQ(r.irq_caps_setup.size(), 4u);
+  ASSERT_EQ(r.irq_caps_end.size(), 4u);
+  for (u32 s = 0; s < 4; s++) {
+    // Reserved at setup to at least a full batch...
+    EXPECT_GE(r.irq_caps_setup[s], rc.costs.max_batch) << "shard " << s;
+    EXPECT_GE(r.coalesce_caps_setup[s], rc.costs.max_batch) << "shard " << s;
+    // ...and not one byte of growth after 500 coalesced completions.
+    EXPECT_EQ(r.irq_caps_end[s], r.irq_caps_setup[s]) << "shard " << s;
+    EXPECT_EQ(r.coalesce_caps_end[s], r.coalesce_caps_setup[s])
+        << "shard " << s;
+  }
 }
 
 TEST(BatchingEquivalenceTest, InjectedErrorsKeepBalanceUnderBatching) {

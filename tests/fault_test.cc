@@ -338,6 +338,74 @@ TEST_F(FaultScenarioTest, TransientErrorsAreRetriedToSuccess) {
   CheckRouterInvariants();
 }
 
+TEST_F(FaultScenarioTest, LateCompletionAfterSlotRecycleIsDropped) {
+  // Routing-slab reuse hazard regression: a delayed-error CQE that lands
+  // AFTER its request's deadline abort must not resolve into the slot's
+  // next occupant. The deadline frees the routing slot and orphans its
+  // host cids; a second wave then recycles both the slab slot and the
+  // cid-table slot, so the late CQE's cid handle carries a stale
+  // generation and must be dropped on the floor.
+  SolutionParams params;
+  params.router_costs.request_timeout_ns = 500 * kUs;
+  params.router_costs.max_retries = 2;
+  Build(SolutionKind::kNvmetro, params);
+  fault::FaultPlan plan;
+  // Error CQEs arrive ~5 ms in — an order of magnitude after the 500 us
+  // deadline has aborted the request and recycled its slot.
+  plan.faults.push_back({.kind = fault::FaultKind::kDelayedError,
+                         .count = 8,
+                         .status = nvme::MakeStatus(
+                             nvme::kSctGeneric, nvme::kScNamespaceNotReady),
+                         .delay_ns = 5 * kMs});
+  injector->Arm(plan);
+
+  StorageSolution* sol = bundle->vm_solution(0);
+  int first_ok = 0, first_failed = 0;
+  for (int i = 0; i < 8; i++) {
+    sol->Submit(i % 4, StorageSolution::Op::kRead,
+                static_cast<u64>(i) * 4096, 4096, nullptr, [&](Status st) {
+                  if (st.ok()) {
+                    first_ok++;
+                  } else {
+                    first_failed++;
+                  }
+                });
+  }
+  // Second wave at 1 ms: the deadline has fired, the first wave's
+  // slots and cids are free, and these requests recycle them while the
+  // stale CQEs are still in flight.
+  int second_ok = 0, second_failed = 0;
+  tb->sim.ScheduleAfter(1 * kMs, [&] {
+    for (int i = 0; i < 8; i++) {
+      sol->Submit(i % 4, StorageSolution::Op::kRead,
+                  static_cast<u64>(8 + i) * 4096, 4096, nullptr,
+                  [&](Status st) {
+                    if (st.ok()) {
+                      second_ok++;
+                    } else {
+                      second_failed++;
+                    }
+                  });
+    }
+  });
+  tb->sim.Run();
+
+  // First wave: all eight time out (their only CQE is still ~4.5 ms away
+  // when the deadline fires).
+  EXPECT_EQ(first_ok, 0);
+  EXPECT_EQ(first_failed, 8);
+  EXPECT_EQ(bundle->controller(0)->requests_timed_out(), 8u);
+  // Second wave: all eight complete cleanly — the stale CQEs must not
+  // have completed (or failed) any recycled occupant.
+  EXPECT_EQ(second_ok, 8);
+  EXPECT_EQ(second_failed, 0);
+  // Every late CQE was rejected by the cid generation check.
+  EXPECT_EQ(bundle->controller(0)->stale_cid_drops(), 8u);
+  // No retry fired: the error CQEs never reached a live request.
+  EXPECT_EQ(bundle->controller(0)->leg_retries(), 0u);
+  CheckRouterInvariants();
+}
+
 TEST_F(FaultScenarioTest, WedgedUifFailsOverToKernelPath) {
   SolutionParams params;
   params.router_costs.uif_liveness_timeout_ns = 200 * kUs;

@@ -1,10 +1,12 @@
-// Tests for guest memory, the page allocator, and IOMMU windows.
+// Tests for guest memory, the page allocator, IOMMU windows, and the
+// hot-path arena pools.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
 #include "mem/address_space.h"
+#include "mem/arena.h"
 #include "mem/guest_memory.h"
 
 namespace nvmetro::mem {
@@ -168,6 +170,127 @@ TEST(IommuTest, MultipleWindowsIndependent) {
 TEST(IommuTest, UnmappedRangeBelowWindowBaseFails) {
   IommuSpace iommu(nullptr, 1 * MiB);
   EXPECT_EQ(iommu.Translate(100, 4), nullptr);
+}
+
+// --- Arena pools (DESIGN.md §14) ----------------------------------------------
+
+TEST(SlabPoolTest, PointersStableAcrossGrowth) {
+  SlabPool<u64, 4> pool;
+  u64* first = nullptr;
+  for (u32 i = 0; i < 100; i++) {
+    u32 idx = pool.PushBack();
+    *pool.at(idx) = i;
+    if (i == 0) first = pool.at(0);
+  }
+  // Growth appends chunks; existing elements never move.
+  EXPECT_EQ(pool.at(0), first);
+  for (u32 i = 0; i < 100; i++) EXPECT_EQ(*pool.at(i), i);
+  EXPECT_EQ(pool.size(), 100u);
+  EXPECT_GE(pool.capacity(), 100u);
+}
+
+TEST(SlabPoolTest, GrowthNotesOncePerChunk) {
+  u64 before = HotPathAllocs::count();
+  SlabPool<u64, 8> pool;
+  for (u32 i = 0; i < 24; i++) pool.PushBack();
+  // 24 elements in chunks of 8 = exactly 3 growth events.
+  EXPECT_EQ(HotPathAllocs::count() - before, 3u);
+}
+
+TEST(GenTableTest, AllocFindTakeRoundTrip) {
+  GenTable t;
+  u16 h1, h2;
+  ASSERT_TRUE(t.Alloc(111, &h1));
+  ASSERT_TRUE(t.Alloc(222, &h2));
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(t.Find(h1), 111u);
+  EXPECT_EQ(t.Find(h2), 222u);
+  EXPECT_EQ(t.in_use(), 2u);
+  EXPECT_EQ(t.Take(h1), 111u);
+  EXPECT_EQ(t.in_use(), 1u);
+  EXPECT_EQ(t.Find(h1), GenTable::kNoValue);
+}
+
+TEST(GenTableTest, StaleHandleRejectedAfterRecycle) {
+  GenTable t;
+  u16 old_h;
+  ASSERT_TRUE(t.Alloc(111, &old_h));
+  ASSERT_TRUE(t.Free(old_h));
+  // Recycle the same slot for a different value: the freed handle's
+  // generation no longer matches, so it must not resolve to the new
+  // occupant (the late-completion hazard the table exists to stop).
+  u16 new_h;
+  ASSERT_TRUE(t.Alloc(222, &new_h));
+  EXPECT_EQ(new_h & GenTable::kSlotMask, old_h & GenTable::kSlotMask);
+  EXPECT_NE(new_h, old_h);
+  EXPECT_EQ(t.Find(old_h), GenTable::kNoValue);
+  EXPECT_FALSE(t.Free(old_h));
+  EXPECT_EQ(t.Take(old_h), GenTable::kNoValue);
+  EXPECT_EQ(t.Find(new_h), 222u);
+}
+
+TEST(GenTableTest, DoubleFreeRejected) {
+  GenTable t;
+  u16 h;
+  ASSERT_TRUE(t.Alloc(7, &h));
+  EXPECT_TRUE(t.Free(h));
+  EXPECT_FALSE(t.Free(h));
+  EXPECT_EQ(t.in_use(), 0u);
+}
+
+TEST(GenTableTest, FreeValueReleasesEverySlotHoldingIt) {
+  GenTable t;
+  u16 a, b, c;
+  ASSERT_TRUE(t.Alloc(5, &a));
+  ASSERT_TRUE(t.Alloc(9, &b));
+  ASSERT_TRUE(t.Alloc(5, &c));
+  EXPECT_EQ(t.FreeValue(5), 2u);
+  EXPECT_EQ(t.in_use(), 1u);
+  EXPECT_EQ(t.Find(a), GenTable::kNoValue);
+  EXPECT_EQ(t.Find(c), GenTable::kNoValue);
+  EXPECT_EQ(t.Find(b), 9u);
+}
+
+TEST(GenTableTest, ExhaustsAtMaxSlotsAndRecovers) {
+  GenTable t;
+  std::vector<u16> handles;
+  handles.reserve(GenTable::kMaxSlots);
+  for (u32 i = 0; i < GenTable::kMaxSlots; i++) {
+    u16 h;
+    ASSERT_TRUE(t.Alloc(i, &h));
+    handles.push_back(h);
+  }
+  u16 h;
+  EXPECT_FALSE(t.Alloc(99, &h));
+  ASSERT_TRUE(t.Free(handles[0]));
+  EXPECT_TRUE(t.Alloc(99, &h));
+}
+
+TEST(GenTableTest, SteadyStateReuseDoesNotGrow) {
+  GenTable t;
+  u16 h;
+  ASSERT_TRUE(t.Alloc(1, &h));  // first alloc grows by one chunk
+  ASSERT_TRUE(t.Free(h));
+  u64 before = HotPathAllocs::count();
+  HotPathAllocs::BeginSteadyState();
+  for (u32 i = 0; i < 10'000; i++) {
+    ASSERT_TRUE(t.Alloc(i, &h));
+    EXPECT_EQ(t.Take(h), i);
+  }
+  HotPathAllocs::EndSteadyState();
+  EXPECT_EQ(HotPathAllocs::steady_state_allocs(), 0u);
+  EXPECT_EQ(HotPathAllocs::count(), before);
+}
+
+TEST(HotPathAllocsTest, SteadyStateWindowTalliesGrowth) {
+  HotPathAllocs::BeginSteadyState();
+  EXPECT_TRUE(HotPathAllocs::in_steady_state());
+  EXPECT_EQ(HotPathAllocs::steady_state_allocs(), 0u);
+  SlabPool<u32, 4> pool;
+  pool.PushBack();  // grows inside the window
+  EXPECT_EQ(HotPathAllocs::steady_state_allocs(), 1u);
+  HotPathAllocs::EndSteadyState();
+  EXPECT_FALSE(HotPathAllocs::in_steady_state());
 }
 
 }  // namespace

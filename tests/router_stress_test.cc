@@ -16,6 +16,7 @@
 #include "functions/encryptor_uif.h"
 #include "functions/replicator_uif.h"
 #include "mem/address_space.h"
+#include "mem/arena.h"
 #include "kblock/devices.h"
 #include "nvme/prp.h"
 #include "obs/obs.h"
@@ -116,6 +117,50 @@ TEST_F(StressFixture, ThousandsOfRequestsWrapEveryRing) {
   EXPECT_EQ(completed, kTotal);
   EXPECT_EQ(vc->requests_completed(), static_cast<u64>(kTotal));
   EXPECT_EQ(vc->requests_failed(), 0u);
+}
+
+TEST_F(StressFixture, SteadyStateIoMakesZeroPoolAllocations) {
+  // The router's pools (routing slabs, cid tables, free lists, batch
+  // scratch) grow only during warmup; once the working set exists, ten
+  // thousand more I/Os must not trigger a single pool growth event.
+  // Under NVMETRO_ZERO_ALLOC_STRICT=1 (the fault-matrix CI job) a
+  // violation aborts instead of merely failing the EXPECT below.
+  Build(nullptr, 4);
+  mem::GuestMemory& gm = vm->memory();
+  u64 buf = *gm.AllocPages(1);
+  int completed = 0, issued = 0, target = 0;
+  std::function<void(u32)> issue = [&](u32 q) {
+    if (issued >= target) return;
+    issued++;
+    nvme::Sqe sqe = (issued % 2) ? nvme::MakeWrite(1, issued % 500, 1, buf, 0)
+                                 : nvme::MakeRead(1, issued % 500, 1, buf, 0);
+    driver->Submit(q, sqe, [&, q](NvmeStatus st, u32) {
+      EXPECT_EQ(st, nvme::kStatusSuccess);
+      completed++;
+      issue(q);
+    });
+  };
+  // Warmup: every shard reaches its steady working set (depth 16 per
+  // queue bounds live slots and cids per shard).
+  target = 2'000;
+  for (u32 q = 0; q < 4; q++) {
+    for (int d = 0; d < 16; d++) issue(q);
+  }
+  sim.Run();
+  ASSERT_EQ(completed, 2'000);
+  EXPECT_GT(mem::HotPathAllocs::count(), 0u) << "warmup grew no pool?";
+
+  // Steady state: the same traffic shape, zero growth allowed.
+  mem::HotPathAllocs::BeginSteadyState();
+  target = 12'000;
+  for (u32 q = 0; q < 4; q++) {
+    for (int d = 0; d < 16; d++) issue(q);
+  }
+  sim.Run();
+  mem::HotPathAllocs::EndSteadyState();
+  EXPECT_EQ(completed, 12'000);
+  EXPECT_EQ(mem::HotPathAllocs::steady_state_allocs(), 0u)
+      << "hot path allocated in steady state";
 }
 
 TEST_F(StressFixture, SustainedRandomTrafficPreservesData) {
