@@ -22,6 +22,7 @@
 #include "ebpf/interpreter.h"
 #include "ebpf/program.h"
 #include "ebpf/verifier.h"
+#include "ebpf/vm.h"
 #include "nvme/defs.h"
 
 namespace nvmetro::core {
@@ -47,14 +48,22 @@ struct ClassifierCtx {
   u64 vm_id = 0;         // ro
   u64 part_offset = 0;   // ro: partition first LBA on backend namespace
   u64 part_limit = 0;    // ro: partition size in LBAs
+  u64 cmd_arg = 0;       // ro: SQE cdw2 | cdw3<<32 (guest-chosen argument)
+  u64 data = 0;          // ro: completed read's data page (0 when absent)
+  u64 data_len = 0;      // ro: readable bytes behind `data`
+  u64 chain_depth = 0;   // ro: resubmission hops taken so far
 };
 
-static_assert(sizeof(ClassifierCtx) == 80);
+static_assert(sizeof(ClassifierCtx) == 112);
 static_assert(offsetof(ClassifierCtx, current_hook) == 0);
 static_assert(offsetof(ClassifierCtx, opcode) == 8);
 static_assert(offsetof(ClassifierCtx, slba) == 24);
 static_assert(offsetof(ClassifierCtx, error) == 40);
 static_assert(offsetof(ClassifierCtx, state) == 48);
+static_assert(offsetof(ClassifierCtx, cmd_arg) == 80);
+static_assert(offsetof(ClassifierCtx, data) == 88);
+static_assert(offsetof(ClassifierCtx, data_len) == 96);
+static_assert(offsetof(ClassifierCtx, chain_depth) == 104);
 
 /// Verdict bits. Low 16 bits carry an NVMe status for COMPLETE.
 enum Verdict : u64 {
@@ -70,16 +79,38 @@ enum Verdict : u64 {
   kHookOnNcq = 1ull << 24,
   kHookOnKcq = 1ull << 25,
   kWaitForHook = 1ull << 26,     // suppress default completion
+  // At a completion hook of a read: re-issue the request with the
+  // rewritten slba/nlb instead of completing it — the classifier
+  // chases dependent I/O below the guest (DESIGN.md §15). The router
+  // enforces hook/opcode/status validity, a bounded chain depth, and
+  // that nlb does not grow beyond the original request.
+  kResubmit = 1ull << 27,
 };
 
 /// Ctx-access table for the verifier (reads everywhere, writes only to
 /// slba/nlb/state).
 const ebpf::CtxDescriptor& NvmetroCtxDescriptor();
 
-/// A verified classifier program plus its interpreter, with cost
+/// Bytes of a completed read's data page exposed via ctx->data (one
+/// host page; the router never maps more than the first PRP's page).
+constexpr u32 kClassifierDataRegionSize = 4096;
+
+/// A verified classifier program plus its execution engine, with cost
 /// reporting for the simulation (base cost + per-instruction cost).
+///
+/// Create() pre-decodes the insn stream once (ebpf/vm.h) so per-hop
+/// invocation — which resubmission chains multiply — skips all field
+/// decoding; the legacy interpreter is kept behind
+/// Options{pre_decoded = false} as the ablation baseline. The two
+/// engines produce bit-identical verdict streams, and the *simulated*
+/// cost model is the same for both (the pre-decode win is host wall
+/// clock, measured by bench/pushdown_lookup --micro).
 class ClassifierRuntime {
  public:
+  struct Options {
+    bool pre_decoded = true;
+  };
+
   struct RunResult {
     u64 verdict = 0;
     SimTime cpu_cost = 0;
@@ -89,21 +120,32 @@ class ClassifierRuntime {
   /// Verifies `prog` against the NVMetro context; fails on rejection
   /// (the router refuses unverifiable classifiers).
   static Result<std::unique_ptr<ClassifierRuntime>> Create(
-      ebpf::Program prog);
+      ebpf::Program prog, Options opts);
+  static Result<std::unique_ptr<ClassifierRuntime>> Create(
+      ebpf::Program prog) {
+    return Create(std::move(prog), Options{});
+  }
 
-  /// Runs the classifier for one hook invocation.
+  /// Runs the classifier for one hook invocation. When ctx->data is
+  /// set, that page is registered as the run's read-only data region.
   RunResult Run(ClassifierCtx* ctx);
 
   /// Simulated-clock / RNG hookup for helpers.
-  ebpf::HelperEnv& env() { return interp_.env(); }
+  ebpf::HelperEnv& env() {
+    return pre_decoded_ ? dvm_.env() : interp_.env();
+  }
 
   u64 invocations() const { return invocations_; }
+  bool pre_decoded() const { return pre_decoded_; }
 
  private:
-  explicit ClassifierRuntime(ebpf::Program prog);
+  ClassifierRuntime(ebpf::Program prog, Options opts);
 
   ebpf::Program prog_;
+  ebpf::DecodedProgram decoded_;
   ebpf::Interpreter interp_;
+  ebpf::DecodedVm dvm_;
+  bool pre_decoded_ = true;
   u64 invocations_ = 0;
 };
 

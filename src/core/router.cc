@@ -365,6 +365,23 @@ void VirtualController::RunClassifierAndApply(RequestEntry* e, Hook hook,
   ctx.vm_id = cfg_.vm_id;
   ctx.part_offset = cfg_.part_first_lba;
   ctx.part_limit = cfg_.part_nlb;
+  ctx.cmd_arg = static_cast<u64>(e->sqe.cdw2) |
+                (static_cast<u64>(e->sqe.cdw3) << 32);
+  ctx.chain_depth = e->chain_depth;
+  // At completion hooks of a successful read, expose the completed
+  // data: the guest buffer already holds it, so map the first PRP page
+  // read-only into the classifier (never across the page boundary, and
+  // never a PRP-list walk — that is all a chain hop may inspect).
+  if (hook != kHookVsq && e->sqe.opcode == nvme::kCmdRead &&
+      nvme::StatusOk(error) && e->sqe.prp1 != 0) {
+    u64 page_room = mem::kPageSize - (e->sqe.prp1 & (mem::kPageSize - 1));
+    u64 len = static_cast<u64>(e->mediated_nlb) * kLbaSize;
+    if (len > page_room) len = page_room;
+    if (const u8* p = vm_->memory().TranslateConst(e->sqe.prp1, len)) {
+      ctx.data = reinterpret_cast<u64>(p);
+      ctx.data_len = len;
+    }
+  }
   auto result = classifier_->Run(&ctx);
   worker_->cpu()->Charge(result.cpu_cost);
   if (m_classifier_runs_) m_classifier_runs_->Inc();
@@ -380,6 +397,32 @@ void VirtualController::RunClassifierAndApply(RequestEntry* e, Hook hook,
   e->mediated_slba = ctx.slba;
   e->mediated_nlb = static_cast<u32>(ctx.nlb);
   e->state = ctx.state;
+  if (result.verdict & kResubmit) {
+    // Below-guest dependent read: re-issue with the rewritten slba/nlb
+    // instead of completing. Only valid at a completion hook of a
+    // successful read, within the chain-depth bound, and without
+    // growing the transfer beyond the guest's original buffer.
+    if (hook == kHookVsq || e->sqe.opcode != nvme::kCmdRead ||
+        !nvme::StatusOk(error) ||
+        e->chain_depth >= costs_->max_resubmit_depth ||
+        e->mediated_nlb == 0 ||
+        e->mediated_nlb > e->sqe.block_count()) {
+      FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
+                                      nvme::kScInternalError));
+      return;
+    }
+    e->chain_depth++;
+    worker_->cpu()->Charge(costs_->resubmit_ns);
+    shards_[e->gq_index]->stats.resubmits++;
+    if (obs_ && !m_resubmits_) {
+      m_resubmits_ = obs_->metrics().GetCounter("router.resubmits");
+    }
+    if (m_resubmits_) m_resubmits_->Inc();
+    Stamp(e, obs::SpanKind::kResubmit, error, ctx.slba,
+          static_cast<u8>(hook));
+    ApplyVerdict(e, kSendHq | kHookOnHcq | kWaitForHook);
+    return;
+  }
   ApplyVerdict(e, result.verdict);
 }
 
@@ -919,6 +962,14 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
     if (m_inflight_) m_inflight_->Add(-1);
     SimTime lat = sim_->now() - e->start_ns;
     m_latency_->Record(lat);
+    if (e->chain_depth > 0) {
+      // One guest-visible completion for the whole resubmission chain;
+      // the histogram attributes how many hops it hid.
+      if (!m_chain_depth_) {
+        m_chain_depth_ = obs_->metrics().GetHistogram("router.chain_depth");
+      }
+      m_chain_depth_->Record(e->chain_depth);
+    }
     // Per-tenant goodput latency: shed/failed completions are accounted
     // through the shed/failed counters, not the latency distribution.
     if (qos_ && !e->failed_marked) qos_->RecordLatency(qos_tenant_, lat);

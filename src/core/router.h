@@ -125,6 +125,14 @@ struct RouterCosts {
   /// a QosScheduler is attached, so QoS-off runs are bit-identical to
   /// the pre-QoS router.
   SimTime qos_admit_ns = 120;
+  /// --- Resubmission chains (DESIGN.md §15) -----------------------------
+  /// Maximum kResubmit hops per request; the router fails the request
+  /// with an internal error when a classifier tries to exceed it. The
+  /// guest-visible budget is depth * request_timeout semantics unchanged
+  /// (the original deadline covers the whole chain).
+  u32 max_resubmit_depth = 8;
+  /// CPU per accepted resubmission (SQE rewrite + re-dispatch setup).
+  SimTime resubmit_ns = 180;
   /// --- Sharded hot path (DESIGN.md §14) --------------------------------
   /// Ablation baseline for `ablation_router --shard-sweep`: keep the
   /// pre-shard std::map host-cid table (per-IO node churn) instead of
@@ -207,6 +215,7 @@ class VirtualController : public virt::VirtualNvmeBackend {
   u64 leg_retries() const { return SumStat(&ShardStats::retries); }
   u64 qos_deferrals() const { return SumStat(&ShardStats::qos_deferred); }
   u64 qos_sheds() const { return SumStat(&ShardStats::qos_shed); }
+  u64 resubmissions() const { return SumStat(&ShardStats::resubmits); }
   /// Commands rejected by the overload controller's Shed state (disjoint
   /// from qos_sheds(), which counts deferral-bound sheds).
   u64 overload_sheds() const { return SumStat(&ShardStats::ovl_shed); }
@@ -400,6 +409,11 @@ class VirtualController : public virt::VirtualNvmeBackend {
   // max_batch > 1 so an unbatched run's metric export stays bit-identical
   // to the pre-batch pipeline.
   LatencyHistogram* m_batch_size_ = nullptr;
+  // "router.resubmits" / "router.chain_depth": registered lazily on the
+  // first accepted resubmission so chain-free runs keep their metric
+  // exports bit-identical (same pattern as the QoS/batch metrics).
+  obs::Counter* m_resubmits_ = nullptr;
+  LatencyHistogram* m_chain_depth_ = nullptr;
   // "router.inflight": open guest requests (gauge watermark = peak depth).
   obs::Gauge* m_inflight_ = nullptr;
   // "qos.waiting": commands parked for admission across all controllers

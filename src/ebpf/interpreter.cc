@@ -3,27 +3,23 @@
 #include <cstring>
 
 #include "common/strutil.h"
+#include "ebpf/regions.h"
 
 namespace nvmetro::ebpf {
 
 Interpreter::Interpreter(const HelperRegistry& helpers, Options opts)
     : helpers_(helpers), opts_(opts) {}
 
-namespace {
-
-struct Region {
-  u64 base;
-  u64 len;
-};
-
-bool InRegion(const Region& r, u64 addr, u64 len) {
-  return addr >= r.base && len <= r.len && addr - r.base <= r.len - len;
-}
-
-}  // namespace
-
 Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
                                         u32 ctx_size) {
+  RunParams p;
+  p.ctx = ctx;
+  p.ctx_size = ctx_size;
+  return Run(prog, p);
+}
+
+Interpreter::RunResult Interpreter::Run(const Program& prog,
+                                        const RunParams& params) {
   RunResult res;
   const auto& insns = prog.insns();
   if (insns.empty()) {
@@ -33,28 +29,33 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
 
   alignas(8) u8 stack[kStackSize];
   u64 regs[kNumRegs] = {};
-  regs[kRegCtx] = reinterpret_cast<u64>(ctx);
+  regs[kRegCtx] = reinterpret_cast<u64>(params.ctx);
   regs[kRegFp] = reinterpret_cast<u64>(stack) + kStackSize;
 
-  std::vector<Region> regions;
-  regions.push_back({reinterpret_cast<u64>(ctx), ctx_size});
-  regions.push_back({reinterpret_cast<u64>(stack), kStackSize});
+  const u64 ctx_base = reinterpret_cast<u64>(params.ctx);
+  RegionSet regions;
+  regions.AddFixed(ctx_base, params.ctx_size, /*writable=*/true);
+  regions.AddFixed(reinterpret_cast<u64>(stack), kStackSize,
+                   /*writable=*/true);
+  if (params.data && params.data_len) {
+    regions.AddFixed(reinterpret_cast<u64>(params.data), params.data_len,
+                     /*writable=*/false);
+  }
 
-  auto access_ok = [&](u64 addr, u32 len) {
-    for (const auto& r : regions) {
-      if (InRegion(r, addr, len)) return true;
-    }
-    return false;
+  auto load_ok = [&](u64 addr, u32 len) {
+    return regions.Find(addr, len) != nullptr;
   };
 
   u32 pc = 0;
   for (;;) {
     if (res.insns++ >= opts_.max_insns) {
       res.status = ResourceExhausted("instruction budget exceeded");
+      res.map_regions = regions.call_site_regions();
       return res;
     }
     if (pc >= insns.size()) {
       res.status = Internal("pc out of range");
+      res.map_regions = regions.call_site_regions();
       return res;
     }
     const Insn& in = insns[pc];
@@ -63,17 +64,20 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
     u8 src = in.src();
     if (dst >= kNumRegs || src >= kNumRegs) {
       res.status = Internal(StrFormat("insn %u: bad register", pc));
+      res.map_regions = regions.call_site_regions();
       return res;
     }
 
     if (in.opcode == kOpLdImm64) {
       if (pc + 1 >= insns.size()) {
         res.status = Internal("truncated LD_IMM64");
+        res.map_regions = regions.call_site_regions();
         return res;
       }
       if (in.src() == kPseudoMapIdx) {
         if (static_cast<u32>(in.imm) >= prog.maps().size()) {
           res.status = Internal("bad map index");
+          res.map_regions = regions.call_site_regions();
           return res;
         }
         regs[dst] = reinterpret_cast<u64>(prog.maps()[in.imm].get());
@@ -123,6 +127,7 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
           case kAluNeg: r = ~a + 1; break;
           default:
             res.status = Internal(StrFormat("insn %u: bad ALU op", pc));
+            res.map_regions = regions.call_site_regions();
             return res;
         }
         if (!is64) r &= 0xFFFFFFFF;
@@ -134,9 +139,10 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
       case kClassLdx: {
         u32 size = MemSizeBytes(in.opcode);
         u64 addr = regs[src] + static_cast<i64>(in.off);
-        if (!access_ok(addr, size)) {
+        if (!load_ok(addr, size)) {
           res.status = PermissionDenied(
               StrFormat("insn %u: invalid load addr", pc));
+          res.map_regions = regions.call_site_regions();
           return res;
         }
         u64 v = 0;
@@ -150,10 +156,30 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
       case kClassSt: {
         u32 size = MemSizeBytes(in.opcode);
         u64 addr = regs[dst] + static_cast<i64>(in.off);
-        if (!access_ok(addr, size)) {
+        const Region* r = regions.Find(addr, size);
+        if (!r) {
           res.status = PermissionDenied(
               StrFormat("insn %u: invalid store addr", pc));
+          res.map_regions = regions.call_site_regions();
           return res;
+        }
+        if (!r->writable) {
+          res.status = PermissionDenied(
+              StrFormat("insn %u: store to read-only region", pc));
+          res.map_regions = regions.call_site_regions();
+          return res;
+        }
+        // Runtime ctx write table: even if a buggy verifier let a rogue
+        // store through, only declared-writable ctx fields can change.
+        if (params.ctx_desc && r->base == ctx_base &&
+            r->site == Region::kNoSite) {
+          u32 off = static_cast<u32>(addr - ctx_base);
+          if (!params.ctx_desc->CheckAccess(off, size, /*write=*/true)) {
+            res.status = PermissionDenied(
+                StrFormat("insn %u: store to read-only ctx field", pc));
+            res.map_regions = regions.call_site_regions();
+            return res;
+          }
         }
         u64 v = cls == kClassStx ? regs[src]
                                  : static_cast<u64>(static_cast<i64>(in.imm));
@@ -167,15 +193,22 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
         if (op == kJmpExit) {
           res.r0 = regs[kRegR0];
           res.status = OkStatus();
+          res.map_regions = regions.call_site_regions();
           return res;
         }
         if (op == kJmpCall) {
           const HelperSpec* spec = helpers_.Find(static_cast<u32>(in.imm));
           if (!spec) {
             res.status = Internal(StrFormat("insn %u: bad helper", pc));
+            res.map_regions = regions.call_site_regions();
             return res;
           }
           // Runtime argument validation mirroring the verifier's typing.
+          // call_map is scoped to THIS call and arguments validate in
+          // order: a key/value pointer is only meaningful after the map
+          // argument that sizes it, so a stack pointer arriving first is
+          // an argument-order violation (mirrored in the verifier) —
+          // it must never validate against a previous call's map.
           const Map* call_map = nullptr;
           for (usize a = 0; a < spec->args.size(); a++) {
             u64 v = regs[1 + a];
@@ -194,21 +227,28 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
                 if (!found) {
                   res.status = PermissionDenied(
                       StrFormat("insn %u: bad map argument", pc));
+                  res.map_regions = regions.call_site_regions();
                   return res;
                 }
                 break;
               }
               case ArgType::kStackPtrKey:
               case ArgType::kStackPtrValue: {
-                u32 need = 0;
-                if (call_map) {
-                  need = spec->args[a] == ArgType::kStackPtrKey
-                             ? call_map->key_size()
-                             : call_map->value_size();
+                if (!call_map) {
+                  res.status = PermissionDenied(StrFormat(
+                      "insn %u: key/value argument before map argument",
+                      pc));
+                  res.map_regions = regions.call_site_regions();
+                  return res;
                 }
-                if (!call_map || !access_ok(v, need)) {
+                u32 need = spec->args[a] == ArgType::kStackPtrKey
+                               ? call_map->key_size()
+                               : call_map->value_size();
+                const Region* r = regions.Find(v, need);
+                if (!r || !r->writable) {
                   res.status = PermissionDenied(
                       StrFormat("insn %u: bad pointer argument", pc));
+                  res.map_regions = regions.call_site_regions();
                   return res;
                 }
                 break;
@@ -218,7 +258,9 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
           u64 r0 = spec->fn(env_, regs[1], regs[2], regs[3], regs[4],
                             regs[5]);
           if (spec->ret == RetType::kMapValueOrNull && r0 != 0 && call_map) {
-            regions.push_back({r0, call_map->value_size()});
+            // Reuse this call site's region slot: a looping program
+            // re-executing the lookup must not grow the region set.
+            regions.SetCallSite(pc, r0, call_map->value_size());
           }
           regs[kRegR0] = r0;
           // r1-r5 are caller-saved.
@@ -257,6 +299,7 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
             break;
           default:
             res.status = Internal(StrFormat("insn %u: bad jump op", pc));
+            res.map_regions = regions.call_site_regions();
             return res;
         }
         pc = taken ? static_cast<u32>(pc + 1 + in.off) : pc + 1;
@@ -265,6 +308,7 @@ Interpreter::RunResult Interpreter::Run(const Program& prog, void* ctx,
 
       default:
         res.status = Internal(StrFormat("insn %u: bad class", pc));
+        res.map_regions = regions.call_site_regions();
         return res;
     }
   }

@@ -3,9 +3,18 @@
 // Executes verified programs against a context structure. As a defense in
 // depth (and to make the fuzz tests meaningful), every memory access is
 // also bounds-checked at runtime against the regions the program may
-// legitimately touch: the context, the 512-byte stack, and map values
-// returned by helpers during this run. A verified program never trips
-// these checks; an unverified one cannot corrupt the host.
+// legitimately touch: the context, the 512-byte stack, the optional
+// read-only data region, and map values returned by helpers during this
+// run (one reusable region slot per helper call site — see
+// ebpf/regions.h). When a CtxDescriptor is supplied, stores into the
+// context additionally re-check the field table's write permissions at
+// run time, so even a verifier gap cannot corrupt a read-only ctx field.
+// A verified program never trips these checks; an unverified one cannot
+// corrupt the host.
+//
+// This is the legacy decode-per-step engine, kept as the ablation
+// baseline for the pre-decoded VM in ebpf/vm.h (bench/pushdown_lookup
+// --micro compares the two; their verdict streams are bit-identical).
 #pragma once
 
 #include <vector>
@@ -15,6 +24,19 @@
 #include "ebpf/program.h"
 
 namespace nvmetro::ebpf {
+
+/// Per-run inputs shared by both execution engines.
+struct RunParams {
+  void* ctx = nullptr;
+  u32 ctx_size = 0;
+  /// Optional runtime enforcement of the ctx field table for stores
+  /// (writes must hit a writable declared field). Null = any store
+  /// inside the ctx region is allowed (legacy behavior for raw tests).
+  const CtxDescriptor* ctx_desc = nullptr;
+  /// Optional read-only data region (e.g. a completed read's data page).
+  const void* data = nullptr;
+  u32 data_len = 0;
+};
 
 class Interpreter {
  public:
@@ -28,6 +50,9 @@ class Interpreter {
     Status status;      // ok unless a runtime guard fired
     u64 r0 = 0;         // program return value
     u64 insns = 0;      // instructions executed (used for cost modeling)
+    /// Live map-value regions at exit (bounded by distinct helper call
+    /// sites; the region-growth regression test pins this).
+    u64 map_regions = 0;
   };
 
   explicit Interpreter(const HelperRegistry& helpers =
@@ -40,6 +65,8 @@ class Interpreter {
 
   /// Runs the program with r1 = ctx. `ctx_size` bounds runtime ctx access.
   RunResult Run(const Program& prog, void* ctx, u32 ctx_size);
+  /// Full-parameter form: ctx write table + read-only data region.
+  RunResult Run(const Program& prog, const RunParams& params);
 
  private:
   const HelperRegistry& helpers_;

@@ -28,6 +28,16 @@ struct CtxDescriptor {
   u32 size = 0;
   std::vector<CtxField> fields;
 
+  /// Offset of an 8-byte ctx field holding a host pointer to an
+  /// attached read-only data region (0 when absent), or -1 when the
+  /// ctx has no such field. Loading this field yields a null-or-data
+  /// pointer in the verifier: the program must null-check it, after
+  /// which it may read (never write) up to `data_region_size` bytes.
+  /// Used by resubmission-chain classifiers to inspect a completed
+  /// read's data page (DESIGN.md §15).
+  i64 data_ptr_offset = -1;
+  u32 data_region_size = 0;
+
   /// True when [off, off+len) is exactly one declared field (partial or
   /// unaligned accesses are rejected, as the kernel does for most ctx
   /// types) and, for writes, the field is writable.

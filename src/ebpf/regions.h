@@ -1,0 +1,106 @@
+// Runtime memory-region guard shared by the two eBPF execution engines
+// (the legacy switch interpreter and the pre-decoded VM).
+//
+// Every load/store a program performs is bounds-checked against the
+// regions it may legitimately touch: the context structure, the 512-byte
+// stack, the optional read-only data region (a completed read's data
+// page, DESIGN.md §15) and map values returned by helpers during the
+// run. Map-value regions are keyed by the call site that produced them
+// and *reused* on re-execution, so a looping (unverified) program cannot
+// grow the region list without bound — the set is bounded by the number
+// of distinct helper call sites in the program. Verified programs are
+// loop-free, so each call site executes at most once per run and the
+// reuse is unobservable.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace nvmetro::ebpf {
+
+struct Region {
+  u64 base = 0;
+  u64 len = 0;
+  bool writable = false;
+  u32 site = kNoSite;  // helper call-site pc, or kNoSite for fixed regions
+
+  static constexpr u32 kNoSite = 0xFFFFFFFFu;
+};
+
+class RegionSet {
+ public:
+  /// Clears the set, keeping any heap capacity (a warmed-up engine
+  /// re-running programs does not allocate here).
+  void Reset() {
+    count_ = 0;
+    overflow_.clear();
+  }
+
+  /// Registers a fixed region (ctx / stack / data).
+  void AddFixed(u64 base, u64 len, bool writable) {
+    Push(Region{base, len, writable, Region::kNoSite});
+  }
+
+  /// Registers (or refreshes) the map-value region produced by the
+  /// helper call at instruction `site`. Re-executing the same call site
+  /// overwrites its slot instead of growing the set.
+  void SetCallSite(u32 site, u64 base, u64 len) {
+    for (usize i = 0; i < count_; i++) {
+      Region& r = At(i);
+      if (r.site == site) {
+        r.base = base;
+        r.len = len;
+        return;
+      }
+    }
+    Push(Region{base, len, /*writable=*/true, site});
+  }
+
+  /// Region containing [addr, addr+len), or null.
+  const Region* Find(u64 addr, u64 len) const {
+    for (usize i = 0; i < count_; i++) {
+      const Region& r = At(i);
+      if (addr >= r.base && len <= r.len && addr - r.base <= r.len - len) {
+        return &r;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Number of live map-value (call-site) regions — pinned by the
+  /// region-growth regression test.
+  usize call_site_regions() const {
+    usize n = 0;
+    for (usize i = 0; i < count_; i++) {
+      if (At(i).site != Region::kNoSite) n++;
+    }
+    return n;
+  }
+
+  usize size() const { return count_; }
+
+ private:
+  static constexpr usize kInline = 8;
+
+  Region& At(usize i) {
+    return i < kInline ? inline_[i] : overflow_[i - kInline];
+  }
+  const Region& At(usize i) const {
+    return i < kInline ? inline_[i] : overflow_[i - kInline];
+  }
+  void Push(const Region& r) {
+    if (count_ < kInline) {
+      inline_[count_] = r;
+    } else {
+      overflow_.push_back(r);
+    }
+    count_++;
+  }
+
+  Region inline_[kInline];
+  std::vector<Region> overflow_;
+  usize count_ = 0;
+};
+
+}  // namespace nvmetro::ebpf

@@ -18,6 +18,8 @@ enum class RegType : u8 {
   kPtrMapValue,
   kNullOrMapValue,  // result of map_lookup before the null check
   kMapRef,          // loaded via LD_IMM64 map pseudo
+  kPtrData,         // read-only data region (completed read's page)
+  kNullOrData,      // ctx data field before the null check
 };
 
 struct RegState {
@@ -80,7 +82,8 @@ Status At(u32 pc, const std::string& msg) {
 bool IsPointer(RegType t) {
   return t == RegType::kPtrCtx || t == RegType::kPtrStack ||
          t == RegType::kPtrMapValue || t == RegType::kNullOrMapValue ||
-         t == RegType::kMapRef;
+         t == RegType::kMapRef || t == RegType::kPtrData ||
+         t == RegType::kNullOrData;
 }
 
 }  // namespace
@@ -261,7 +264,8 @@ Status Verifier::Verify(const Program& prog) const {
           // Pointer arithmetic: 64-bit ADD/SUB of a known constant only.
           if (IsPointer(d.type)) {
             if (d.type == RegType::kMapRef ||
-                d.type == RegType::kNullOrMapValue)
+                d.type == RegType::kNullOrMapValue ||
+                d.type == RegType::kNullOrData)
               return At(st.pc, "arithmetic on map reference/unchecked ptr");
             if (!is64) return At(st.pc, "32-bit arithmetic on pointer");
             if (op != kAluAdd && op != kAluSub)
@@ -384,7 +388,14 @@ Status Verifier::Verify(const Program& prog) const {
                 return At(st.pc,
                           StrFormat("invalid ctx read at offset %lld size %u",
                                     (long long)off, size));
-              st.regs[dst] = RegState::Scalar();
+              if (off == ctx_.data_ptr_offset && size == 8) {
+                // The data field is a host pointer (0 when no data page
+                // is attached): typed, null-checked, read-only.
+                st.regs[dst] = RegState{};
+                st.regs[dst].type = RegType::kNullOrData;
+              } else {
+                st.regs[dst] = RegState::Scalar();
+              }
               break;
             }
             case RegType::kPtrMapValue: {
@@ -394,8 +405,18 @@ Status Verifier::Verify(const Program& prog) const {
               st.regs[dst] = RegState::Scalar();
               break;
             }
+            case RegType::kPtrData: {
+              i64 off = base.ptr_off + in.off;
+              if (off < 0 ||
+                  off + size > static_cast<i64>(ctx_.data_region_size))
+                return At(st.pc, "data region access out of bounds");
+              st.regs[dst] = RegState::Scalar();
+              break;
+            }
             case RegType::kNullOrMapValue:
               return At(st.pc, "dereference of possibly-null map value");
+            case RegType::kNullOrData:
+              return At(st.pc, "dereference of possibly-null data pointer");
             default:
               return At(st.pc, "load from non-pointer");
           }
@@ -455,8 +476,12 @@ Status Verifier::Verify(const Program& prog) const {
                 return At(st.pc, "map value access out of bounds");
               break;
             }
+            case RegType::kPtrData:
+              return At(st.pc, "store to read-only data region");
             case RegType::kNullOrMapValue:
               return At(st.pc, "dereference of possibly-null map value");
+            case RegType::kNullOrData:
+              return At(st.pc, "dereference of possibly-null data pointer");
             default:
               return At(st.pc, "store to non-pointer");
           }
@@ -539,7 +564,8 @@ Status Verifier::Verify(const Program& prog) const {
             return At(st.pc, "branch on uninitialized register");
           // Pointers may only be compared for (in)equality with 0
           // (the null check) or with other pointers of the same type.
-          bool null_check = lhs.type == RegType::kNullOrMapValue &&
+          bool null_check = (lhs.type == RegType::kNullOrMapValue ||
+                             lhs.type == RegType::kNullOrData) &&
                             !use_reg && in.imm == 0 &&
                             (op == kJmpJeq || op == kJmpJne);
           if (IsPointer(lhs.type) && !null_check) {
@@ -559,7 +585,9 @@ Status Verifier::Verify(const Program& prog) const {
             // JEQ 0: taken => null; JNE 0: taken => non-null.
             RegState null_reg = RegState::Const(0);
             RegState good = lhs;
-            good.type = RegType::kPtrMapValue;
+            good.type = lhs.type == RegType::kNullOrData
+                            ? RegType::kPtrData
+                            : RegType::kPtrMapValue;
             if (op == kJmpJeq) {
               taken.regs[dst] = null_reg;
               st.regs[dst] = good;

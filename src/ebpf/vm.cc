@@ -1,0 +1,669 @@
+#include "ebpf/vm.h"
+
+#include <cstring>
+
+#include "common/strutil.h"
+
+// Direct-threaded dispatch via computed goto on GCC/Clang; dense switch
+// elsewhere. Both share the same handler bodies below.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(NVMETRO_EBPF_NO_COMPUTED_GOTO)
+#define NVMETRO_VM_THREADED 1
+#else
+#define NVMETRO_VM_THREADED 0
+#endif
+
+namespace nvmetro::ebpf {
+
+namespace {
+
+// log2 of a memory access size (1/2/4/8) — indexes the sized op blocks.
+constexpr u8 SizeLog2(u32 size) {
+  return size == 1 ? 0 : size == 2 ? 1 : size == 4 ? 2 : 3;
+}
+
+// Decodes the slot at `pc` as if it could be executed. Slots that are
+// the high half of an LD_IMM64 get decoded standalone too: normal flow
+// skips them (the lo slot advances pc by 2), but a jump into the middle
+// must behave exactly like the legacy interpreter fetching that slot
+// (usually "insn %u: bad class", since the hi half's opcode is 0).
+DInsn DecodeSlot(const Program& prog, u32 pc, const HelperRegistry& helpers,
+                 std::vector<std::string>& errors) {
+  const auto& insns = prog.insns();
+  const Insn& in = insns[pc];
+
+  DInsn d;
+  auto err = [&](std::string msg) {
+    d.key = DOp::kErr;
+    errors.push_back(std::move(msg));
+    d.target = static_cast<u32>(errors.size() - 1);
+    return d;
+  };
+
+  u8 dst = in.dst();
+  u8 src = in.src();
+  if (dst >= kNumRegs || src >= kNumRegs) {
+    return err(StrFormat("insn %u: bad register", pc));
+  }
+  d.dst = dst;
+  d.src = src;
+
+  if (in.opcode == kOpLdImm64) {
+    if (pc + 1 >= insns.size()) return err("truncated LD_IMM64");
+    if (in.src() == kPseudoMapIdx) {
+      if (static_cast<u32>(in.imm) >= prog.maps().size()) {
+        return err("bad map index");
+      }
+      d.key = DOp::kLdMapPtr;
+      d.ptr = prog.maps()[in.imm].get();
+    } else {
+      d.key = DOp::kLdImm;
+      d.imm =
+          (static_cast<u64>(static_cast<u32>(insns[pc + 1].imm)) << 32) |
+          static_cast<u32>(in.imm);
+    }
+    return d;
+  }
+
+  u8 cls = InsnClassOf(in.opcode);
+  u8 op = in.opcode & 0xF0;
+  bool use_reg = (in.opcode & 0x08) != 0;
+
+  switch (cls) {
+    case kClassAlu:
+    case kClassAlu64: {
+      bool is64 = cls == kClassAlu64;
+      // Fold the immediate operand exactly as the legacy interpreter
+      // materializes it: sign-extend, then 32-bit mask for ALU32, then
+      // clamp shift counts.
+      u64 imm = static_cast<u64>(static_cast<i64>(in.imm));
+      if (!is64) imm &= 0xFFFFFFFF;
+      d.imm = imm;
+      switch (op) {
+#define NVMETRO_ALU_CASE(OPN, N)                                        \
+  case kAlu##OPN:                                                       \
+    d.key = is64 ? (use_reg ? DOp::k##N##64Reg : DOp::k##N##64Imm)      \
+                 : (use_reg ? DOp::k##N##32Reg : DOp::k##N##32Imm);     \
+    break;
+        NVMETRO_ALU_CASE(Add, Add)
+        NVMETRO_ALU_CASE(Sub, Sub)
+        NVMETRO_ALU_CASE(Mul, Mul)
+        NVMETRO_ALU_CASE(Div, Div)
+        NVMETRO_ALU_CASE(Mod, Mod)
+        NVMETRO_ALU_CASE(Or, Or)
+        NVMETRO_ALU_CASE(And, And)
+        NVMETRO_ALU_CASE(Xor, Xor)
+        NVMETRO_ALU_CASE(Lsh, Lsh)
+        NVMETRO_ALU_CASE(Rsh, Rsh)
+        NVMETRO_ALU_CASE(Arsh, Arsh)
+        NVMETRO_ALU_CASE(Mov, Mov)
+#undef NVMETRO_ALU_CASE
+        case kAluNeg:
+          d.key = is64 ? DOp::kNeg64 : DOp::kNeg32;
+          break;
+        default:
+          return err(StrFormat("insn %u: bad ALU op", pc));
+      }
+      if (op == kAluLsh || op == kAluRsh || op == kAluArsh) {
+        d.imm &= is64 ? 63 : 31;
+      }
+      return d;
+    }
+
+    case kClassLdx: {
+      u32 sz = MemSizeBytes(in.opcode);
+      d.size = static_cast<u8>(sz);
+      // The B/H/W/Dw block order matches log2(size).
+      d.key = static_cast<DOp>(static_cast<u8>(DOp::kLdxB) + SizeLog2(sz));
+      d.off = in.off;
+      return d;
+    }
+
+    case kClassStx:
+    case kClassSt: {
+      u32 sz = MemSizeBytes(in.opcode);
+      d.size = static_cast<u8>(sz);
+      u8 base = static_cast<u8>(cls == kClassStx ? DOp::kStxB : DOp::kStB);
+      d.key = static_cast<DOp>(base + SizeLog2(sz));
+      d.off = in.off;
+      d.imm = static_cast<u64>(static_cast<i64>(in.imm));
+      return d;
+    }
+
+    case kClassJmp: {
+      if (op == kJmpExit) {
+        d.key = DOp::kExit;
+        return d;
+      }
+      if (op == kJmpCall) {
+        const HelperSpec* spec = helpers.Find(static_cast<u32>(in.imm));
+        if (!spec) return err(StrFormat("insn %u: bad helper", pc));
+        d.key = DOp::kCall;
+        d.ptr = spec;
+        return d;
+      }
+      d.target = static_cast<u32>(pc + 1 + in.off);
+      if (op == kJmpJa) {
+        d.key = DOp::kJa;
+        return d;
+      }
+      d.imm = static_cast<u64>(static_cast<i64>(in.imm));
+      u8 base;
+      switch (op) {
+        case kJmpJeq: base = static_cast<u8>(DOp::kJeqReg); break;
+        case kJmpJne: base = static_cast<u8>(DOp::kJneReg); break;
+        case kJmpJgt: base = static_cast<u8>(DOp::kJgtReg); break;
+        case kJmpJge: base = static_cast<u8>(DOp::kJgeReg); break;
+        case kJmpJlt: base = static_cast<u8>(DOp::kJltReg); break;
+        case kJmpJle: base = static_cast<u8>(DOp::kJleReg); break;
+        case kJmpJset: base = static_cast<u8>(DOp::kJsetReg); break;
+        case kJmpJsgt: base = static_cast<u8>(DOp::kJsgtReg); break;
+        case kJmpJsge: base = static_cast<u8>(DOp::kJsgeReg); break;
+        case kJmpJslt: base = static_cast<u8>(DOp::kJsltReg); break;
+        case kJmpJsle: base = static_cast<u8>(DOp::kJsleReg); break;
+        default:
+          return err(StrFormat("insn %u: bad jump op", pc));
+      }
+      // The Imm block mirrors the Reg block 11 ops later.
+      d.key = static_cast<DOp>(base + (use_reg ? 0 : 11));
+      return d;
+    }
+
+    default:
+      return err(StrFormat("insn %u: bad class", pc));
+  }
+}
+
+}  // namespace
+
+DecodedProgram DecodedProgram::Decode(const Program& prog,
+                                      const HelperRegistry& helpers) {
+  DecodedProgram dp;
+  dp.maps_ = prog.maps();
+  dp.map_ptrs_.reserve(dp.maps_.size());
+  for (const auto& m : dp.maps_) dp.map_ptrs_.push_back(m.get());
+  const u32 n = static_cast<u32>(prog.insns().size());
+  dp.code_.reserve(n);
+  for (u32 pc = 0; pc < n; pc++) {
+    dp.code_.push_back(DecodeSlot(prog, pc, helpers, dp.errors_));
+  }
+  return dp;
+}
+
+Interpreter::RunResult DecodedVm::Run(const DecodedProgram& prog,
+                                      const RunParams& params) {
+  Interpreter::RunResult res;
+  const DInsn* code = prog.code().data();
+  const u32 n = static_cast<u32>(prog.code().size());
+  if (n == 0) {
+    res.status = InvalidArgument("empty program");
+    return res;
+  }
+
+  alignas(8) u8 stack[kStackSize];
+  u64 regs[kNumRegs] = {};
+  regs[kRegCtx] = reinterpret_cast<u64>(params.ctx);
+  regs[kRegFp] = reinterpret_cast<u64>(stack) + kStackSize;
+
+  const u64 ctx_base = reinterpret_cast<u64>(params.ctx);
+  regions_.Reset();
+  regions_.AddFixed(ctx_base, params.ctx_size, /*writable=*/true);
+  regions_.AddFixed(reinterpret_cast<u64>(stack), kStackSize,
+                    /*writable=*/true);
+  if (params.data && params.data_len) {
+    regions_.AddFixed(reinterpret_cast<u64>(params.data), params.data_len,
+                      /*writable=*/false);
+  }
+
+  // Fixed-region bounds mirrored into locals for the memory-op fast
+  // path (see the sized load/store handlers below). `data_size == 0`
+  // when there is no data region, which makes its range check
+  // unsatisfiable for every access size.
+  const u64 stack_base = reinterpret_cast<u64>(stack);
+  const u64 ctx_size = params.ctx_size;
+  const u64 data_base = reinterpret_cast<u64>(params.data);
+  const u64 data_size = params.data ? params.data_len : 0;
+
+  const auto& maps = prog.map_ptrs();
+  u32 pc = 0;
+  const DInsn* d = nullptr;
+
+#if NVMETRO_VM_THREADED
+#define NVMETRO_VM_OP(name) L_##name:
+#define NVMETRO_VM_NEXT(npc)                                 \
+  do {                                                       \
+    pc = (npc);                                              \
+    if (res.insns++ >= opts_.max_insns) goto budget;         \
+    if (pc >= n) goto pc_oor;                                \
+    d = &code[pc];                                           \
+    goto* kLabels[static_cast<usize>(d->key)];               \
+  } while (0)
+  static const void* const kLabels[] = {
+#define NVMETRO_EBPF_VM_LABEL(name) &&L_##name,
+      NVMETRO_EBPF_VM_OPS(NVMETRO_EBPF_VM_LABEL)
+#undef NVMETRO_EBPF_VM_LABEL
+  };
+  NVMETRO_VM_NEXT(0);
+#else
+#define NVMETRO_VM_OP(name) case DOp::name:
+#define NVMETRO_VM_NEXT(npc) \
+  do {                       \
+    pc = (npc);              \
+    goto dispatch;           \
+  } while (0)
+dispatch:
+  if (res.insns++ >= opts_.max_insns) goto budget;
+  if (pc >= n) goto pc_oor;
+  d = &code[pc];
+  switch (d->key) {
+#endif
+
+  NVMETRO_VM_OP(kErr) {
+    res.status = Internal(prog.error_msg(d->target));
+    goto done;
+  }
+
+  // --- ALU64, register operand ---------------------------------------
+  NVMETRO_VM_OP(kAdd64Reg) { regs[d->dst] += regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kSub64Reg) { regs[d->dst] -= regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMul64Reg) { regs[d->dst] *= regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kDiv64Reg) {
+    u64 b = regs[d->src];
+    regs[d->dst] = b ? regs[d->dst] / b : 0;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMod64Reg) {
+    u64 b = regs[d->src];
+    if (b) regs[d->dst] %= b;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kOr64Reg) { regs[d->dst] |= regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kAnd64Reg) { regs[d->dst] &= regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kXor64Reg) { regs[d->dst] ^= regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kLsh64Reg) { regs[d->dst] <<= regs[d->src] & 63; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kRsh64Reg) { regs[d->dst] >>= regs[d->src] & 63; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kArsh64Reg) {
+    regs[d->dst] = static_cast<u64>(static_cast<i64>(regs[d->dst]) >>
+                                    (regs[d->src] & 63));
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMov64Reg) { regs[d->dst] = regs[d->src]; }
+  NVMETRO_VM_NEXT(pc + 1);
+
+  // --- ALU64, immediate operand (pre-extended, shifts pre-clamped) ---
+  NVMETRO_VM_OP(kAdd64Imm) { regs[d->dst] += d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kSub64Imm) { regs[d->dst] -= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMul64Imm) { regs[d->dst] *= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kDiv64Imm) { regs[d->dst] = d->imm ? regs[d->dst] / d->imm : 0; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMod64Imm) {
+    if (d->imm) regs[d->dst] %= d->imm;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kOr64Imm) { regs[d->dst] |= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kAnd64Imm) { regs[d->dst] &= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kXor64Imm) { regs[d->dst] ^= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kLsh64Imm) { regs[d->dst] <<= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kRsh64Imm) { regs[d->dst] >>= d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kArsh64Imm) {
+    regs[d->dst] = static_cast<u64>(static_cast<i64>(regs[d->dst]) >> d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMov64Imm) { regs[d->dst] = d->imm; }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kNeg64) { regs[d->dst] = ~regs[d->dst] + 1; }
+  NVMETRO_VM_NEXT(pc + 1);
+
+  // --- ALU32, register operand ---------------------------------------
+  NVMETRO_VM_OP(kAdd32Reg) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] + regs[d->src]);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kSub32Reg) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] - regs[d->src]);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMul32Reg) {
+    regs[d->dst] = static_cast<u32>(static_cast<u32>(regs[d->dst]) *
+                                    static_cast<u32>(regs[d->src]));
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kDiv32Reg) {
+    u32 b = static_cast<u32>(regs[d->src]);
+    regs[d->dst] = b ? static_cast<u32>(regs[d->dst]) / b : 0;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMod32Reg) {
+    u32 a = static_cast<u32>(regs[d->dst]);
+    u32 b = static_cast<u32>(regs[d->src]);
+    regs[d->dst] = b ? a % b : a;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kOr32Reg) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] | regs[d->src]);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kAnd32Reg) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] & regs[d->src]);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kXor32Reg) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] ^ regs[d->src]);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kLsh32Reg) {
+    regs[d->dst] = static_cast<u32>(static_cast<u32>(regs[d->dst])
+                                    << (regs[d->src] & 31));
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kRsh32Reg) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst]) >>
+                   (static_cast<u32>(regs[d->src]) & 31);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kArsh32Reg) {
+    regs[d->dst] = static_cast<u32>(
+        static_cast<i32>(static_cast<u32>(regs[d->dst])) >>
+        (static_cast<u32>(regs[d->src]) & 31));
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMov32Reg) { regs[d->dst] = static_cast<u32>(regs[d->src]); }
+  NVMETRO_VM_NEXT(pc + 1);
+
+  // --- ALU32, immediate operand (pre-masked to 32 bits) --------------
+  NVMETRO_VM_OP(kAdd32Imm) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] + d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kSub32Imm) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] - d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMul32Imm) {
+    regs[d->dst] = static_cast<u32>(static_cast<u32>(regs[d->dst]) *
+                                    static_cast<u32>(d->imm));
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kDiv32Imm) {
+    regs[d->dst] =
+        d->imm ? static_cast<u32>(regs[d->dst]) / static_cast<u32>(d->imm) : 0;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMod32Imm) {
+    u32 a = static_cast<u32>(regs[d->dst]);
+    regs[d->dst] = d->imm ? a % static_cast<u32>(d->imm) : a;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kOr32Imm) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] | d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kAnd32Imm) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] & d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kXor32Imm) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst] ^ d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kLsh32Imm) {
+    regs[d->dst] = static_cast<u32>(static_cast<u32>(regs[d->dst]) << d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kRsh32Imm) {
+    regs[d->dst] = static_cast<u32>(regs[d->dst]) >> d->imm;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kArsh32Imm) {
+    regs[d->dst] = static_cast<u32>(
+        static_cast<i32>(static_cast<u32>(regs[d->dst])) >> d->imm);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kMov32Imm) { regs[d->dst] = static_cast<u32>(d->imm); }
+  NVMETRO_VM_NEXT(pc + 1);
+  NVMETRO_VM_OP(kNeg32) {
+    regs[d->dst] = static_cast<u32>(~static_cast<u32>(regs[d->dst]) + 1);
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+
+  // --- memory ---------------------------------------------------------
+  // Size-specialized: each op moves a fixed width (single load/store
+  // after inlining, no variable-length memcpy) and bounds-checks against
+  // the three fixed regions via the run-local `ctx_size` / `stack_base` /
+  // `data_base` / `data_size` first. Those locals are provably unaliased
+  // by program stores, so the compiler keeps them in registers across
+  // the dispatch loop; the regions_ member — which every store through
+  // an arbitrary program pointer forces back to memory — is only
+  // consulted for map-value regions and for diagnostics. The range
+  // predicates are exactly RegionSet::Find's, so accept/reject behavior
+  // and error strings stay bit-identical to the legacy interpreter.
+#define NVMETRO_VM_LDX(name, T)                                            \
+  NVMETRO_VM_OP(name) {                                                    \
+    const u64 addr = regs[d->src] + static_cast<i64>(d->off);              \
+    constexpr u64 kLen = sizeof(T);                                        \
+    if (!(addr >= ctx_base && kLen <= ctx_size &&                          \
+          addr - ctx_base <= ctx_size - kLen) &&                           \
+        !(addr >= stack_base && addr - stack_base <= kStackSize - kLen) && \
+        !(addr >= data_base && kLen <= data_size &&                        \
+          addr - data_base <= data_size - kLen) &&                         \
+        !regions_.Find(addr, kLen)) {                                      \
+      res.status =                                                         \
+          PermissionDenied(StrFormat("insn %u: invalid load addr", pc));   \
+      goto done;                                                           \
+    }                                                                      \
+    T v;                                                                   \
+    std::memcpy(&v, reinterpret_cast<const void*>(addr), sizeof(T));       \
+    regs[d->dst] = v;                                                      \
+  }                                                                        \
+  NVMETRO_VM_NEXT(pc + 1)
+
+  NVMETRO_VM_LDX(kLdxB, u8);
+  NVMETRO_VM_LDX(kLdxH, u16);
+  NVMETRO_VM_LDX(kLdxW, u32);
+  NVMETRO_VM_LDX(kLdxDw, u64);
+#undef NVMETRO_VM_LDX
+
+  // Stores fast-path the two writable fixed regions (stack, then ctx
+  // with its read-only-field table); everything else — map values,
+  // the read-only data region, bad addresses — takes the authoritative
+  // RegionSet walk, which produces the same verdicts and messages as
+  // the legacy interpreter.
+#define NVMETRO_VM_ST(name, T, VALUE)                                      \
+  NVMETRO_VM_OP(name) {                                                    \
+    const u64 addr = regs[d->dst] + static_cast<i64>(d->off);              \
+    constexpr u64 kLen = sizeof(T);                                        \
+    const T v = static_cast<T>(VALUE);                                     \
+    if (addr >= stack_base && addr - stack_base <= kStackSize - kLen) {    \
+      std::memcpy(reinterpret_cast<void*>(addr), &v, sizeof(T));           \
+    } else if (addr >= ctx_base && kLen <= ctx_size &&                     \
+               addr - ctx_base <= ctx_size - kLen) {                       \
+      if (params.ctx_desc &&                                               \
+          !params.ctx_desc->CheckAccess(static_cast<u32>(addr - ctx_base), \
+                                        kLen, /*write=*/true)) {           \
+        res.status = PermissionDenied(                                     \
+            StrFormat("insn %u: store to read-only ctx field", pc));       \
+        goto done;                                                         \
+      }                                                                    \
+      std::memcpy(reinterpret_cast<void*>(addr), &v, sizeof(T));           \
+    } else {                                                               \
+      const Region* r = regions_.Find(addr, kLen);                         \
+      if (!r) {                                                            \
+        res.status =                                                       \
+            PermissionDenied(StrFormat("insn %u: invalid store addr", pc));\
+        goto done;                                                         \
+      }                                                                    \
+      if (!r->writable) {                                                  \
+        res.status = PermissionDenied(                                     \
+            StrFormat("insn %u: store to read-only region", pc));          \
+        goto done;                                                         \
+      }                                                                    \
+      std::memcpy(reinterpret_cast<void*>(addr), &v, sizeof(T));           \
+    }                                                                      \
+  }                                                                        \
+  NVMETRO_VM_NEXT(pc + 1)
+
+  NVMETRO_VM_ST(kStxB, u8, regs[d->src]);
+  NVMETRO_VM_ST(kStxH, u16, regs[d->src]);
+  NVMETRO_VM_ST(kStxW, u32, regs[d->src]);
+  NVMETRO_VM_ST(kStxDw, u64, regs[d->src]);
+  NVMETRO_VM_ST(kStB, u8, d->imm);
+  NVMETRO_VM_ST(kStH, u16, d->imm);
+  NVMETRO_VM_ST(kStW, u32, d->imm);
+  NVMETRO_VM_ST(kStDw, u64, d->imm);
+#undef NVMETRO_VM_ST
+
+  // --- LD_IMM64 (two slots; hi slot only reached by a rogue jump) ----
+  NVMETRO_VM_OP(kLdImm) { regs[d->dst] = d->imm; }
+  NVMETRO_VM_NEXT(pc + 2);
+  NVMETRO_VM_OP(kLdMapPtr) { regs[d->dst] = reinterpret_cast<u64>(d->ptr); }
+  NVMETRO_VM_NEXT(pc + 2);
+
+  // --- control --------------------------------------------------------
+  NVMETRO_VM_OP(kJa)
+  NVMETRO_VM_NEXT(d->target);
+  NVMETRO_VM_OP(kExit) {
+    res.r0 = regs[kRegR0];
+    res.status = OkStatus();
+    goto done;
+  }
+  NVMETRO_VM_OP(kCall) {
+    const HelperSpec* spec = static_cast<const HelperSpec*>(d->ptr);
+    // Same per-call argument typing as the legacy interpreter: the map
+    // is scoped to this call, and key/value pointers must follow the
+    // map argument that sizes them.
+    const Map* call_map = nullptr;
+    for (usize a = 0; a < spec->args.size(); a++) {
+      u64 v = regs[1 + a];
+      switch (spec->args[a]) {
+        case ArgType::kAnything:
+          break;
+        case ArgType::kMapPtr: {
+          bool found = false;
+          for (const Map* m : maps) {
+            if (reinterpret_cast<u64>(m) == v) {
+              call_map = m;
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            res.status =
+                PermissionDenied(StrFormat("insn %u: bad map argument", pc));
+            goto done;
+          }
+          break;
+        }
+        case ArgType::kStackPtrKey:
+        case ArgType::kStackPtrValue: {
+          if (!call_map) {
+            res.status = PermissionDenied(StrFormat(
+                "insn %u: key/value argument before map argument", pc));
+            goto done;
+          }
+          u32 need = spec->args[a] == ArgType::kStackPtrKey
+                         ? call_map->key_size()
+                         : call_map->value_size();
+          const Region* r = regions_.Find(v, need);
+          if (!r || !r->writable) {
+            res.status = PermissionDenied(
+                StrFormat("insn %u: bad pointer argument", pc));
+            goto done;
+          }
+          break;
+        }
+      }
+    }
+    u64 r0 = spec->fn(env_, regs[1], regs[2], regs[3], regs[4], regs[5]);
+    if (spec->ret == RetType::kMapValueOrNull && r0 != 0 && call_map) {
+      regions_.SetCallSite(pc, r0, call_map->value_size());
+    }
+    regs[kRegR0] = r0;
+    for (int r = 1; r <= 5; r++) regs[r] = 0;
+  }
+  NVMETRO_VM_NEXT(pc + 1);
+
+  // --- conditional jumps, register operand ---------------------------
+#define NVMETRO_VM_JMP(name, expr)                     \
+  NVMETRO_VM_OP(name) {                                \
+    u64 a = regs[d->dst];                              \
+    (void)a;                                           \
+    if (expr) NVMETRO_VM_NEXT(d->target);              \
+  }                                                    \
+  NVMETRO_VM_NEXT(pc + 1);
+
+#define NVMETRO_VM_B regs[d->src]
+  NVMETRO_VM_JMP(kJeqReg, a == NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJneReg, a != NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJgtReg, a > NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJgeReg, a >= NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJltReg, a < NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJleReg, a <= NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJsetReg, (a & NVMETRO_VM_B) != 0)
+  NVMETRO_VM_JMP(kJsgtReg,
+                 static_cast<i64>(a) > static_cast<i64>(NVMETRO_VM_B))
+  NVMETRO_VM_JMP(kJsgeReg,
+                 static_cast<i64>(a) >= static_cast<i64>(NVMETRO_VM_B))
+  NVMETRO_VM_JMP(kJsltReg,
+                 static_cast<i64>(a) < static_cast<i64>(NVMETRO_VM_B))
+  NVMETRO_VM_JMP(kJsleReg,
+                 static_cast<i64>(a) <= static_cast<i64>(NVMETRO_VM_B))
+#undef NVMETRO_VM_B
+
+  // --- conditional jumps, immediate operand (pre-extended) -----------
+#define NVMETRO_VM_B d->imm
+  NVMETRO_VM_JMP(kJeqImm, a == NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJneImm, a != NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJgtImm, a > NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJgeImm, a >= NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJltImm, a < NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJleImm, a <= NVMETRO_VM_B)
+  NVMETRO_VM_JMP(kJsetImm, (a & NVMETRO_VM_B) != 0)
+  NVMETRO_VM_JMP(kJsgtImm,
+                 static_cast<i64>(a) > static_cast<i64>(NVMETRO_VM_B))
+  NVMETRO_VM_JMP(kJsgeImm,
+                 static_cast<i64>(a) >= static_cast<i64>(NVMETRO_VM_B))
+  NVMETRO_VM_JMP(kJsltImm,
+                 static_cast<i64>(a) < static_cast<i64>(NVMETRO_VM_B))
+  NVMETRO_VM_JMP(kJsleImm,
+                 static_cast<i64>(a) <= static_cast<i64>(NVMETRO_VM_B))
+#undef NVMETRO_VM_B
+#undef NVMETRO_VM_JMP
+
+#if !NVMETRO_VM_THREADED
+  }
+  // Unreachable: every DOp has a case above.
+  res.status = Internal("pc out of range");
+  goto done;
+#endif
+
+budget:
+  res.status = ResourceExhausted("instruction budget exceeded");
+  goto done;
+pc_oor:
+  res.status = Internal("pc out of range");
+  goto done;
+done:
+  res.map_regions = regions_.call_site_regions();
+  return res;
+
+#undef NVMETRO_VM_OP
+#undef NVMETRO_VM_NEXT
+}
+
+}  // namespace nvmetro::ebpf

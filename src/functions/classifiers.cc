@@ -5,6 +5,7 @@
 #include "common/strutil.h"
 #include "core/classifier.h"
 #include "ebpf/assembler.h"
+#include "kv/pushdown.h"
 #include "nvme/defs.h"
 
 namespace nvmetro::functions {
@@ -27,8 +28,11 @@ constexpr u64 kDenied =
 constexpr int kOffHook = 0;
 constexpr int kOffOpcode = 8;
 constexpr int kOffSlba = 24;
+constexpr int kOffNlb = 32;
 constexpr int kOffError = 40;
 constexpr int kOffPartOff = 64;
+constexpr int kOffCmdArg = 80;
+constexpr int kOffData = 88;
 
 /// Shared epilogue: translate guest LBA to backend-namespace LBA.
 std::string TranslateSnippet() {
@@ -228,7 +232,106 @@ std::string RateLimitText() {
          StrFormat("  mov r0, %llu\n  exit\n", (unsigned long long)kFast);
 }
 
+std::string PushdownLookupText() {
+  // Chain start (VSQ): reads route to the device with a completion hook
+  // installed; writes and everything else behave like Passthrough.
+  //
+  // Completion hook: if the returned page is a pushdown *internal* block
+  // (magic matches, level > 0), run the same 7-step uniform binary
+  // search as kv::PushdownSearchBlock — fully unrolled, so the search
+  // index is a compile-time constant on every verifier path and the
+  // data-region loads need no bounds guards — then rewrite slba to the
+  // child's LBA and return RESUBMIT. Leaf blocks (level 0), non-index
+  // pages and missing data pages complete to the guest; device errors
+  // are forwarded.
+  std::string s =
+      StrFormat(
+          "; NVMetro pushdown point-lookup classifier (DESIGN.md S15).\n"
+          "  ldxdw r2, [r1+%d]\n"
+          "  jne r2, 0, hook_cpl\n"
+          "  ldxdw r3, [r1+%d]\n"
+          "  jeq r3, %d, vsq_read\n"
+          "  jeq r3, %d, vsq_write\n"
+          "  mov r0, %llu\n"
+          "  exit\n"
+          "vsq_write:\n",
+          kOffHook, kOffOpcode, nvme::kCmdRead, nvme::kCmdWrite,
+          (unsigned long long)kFast) +
+      TranslateSnippet() +
+      StrFormat("  mov r0, %llu\n  exit\nvsq_read:\n",
+                (unsigned long long)kFast) +
+      TranslateSnippet() +
+      StrFormat("  mov r0, %llu\n  exit\n",
+                (unsigned long long)kReadViaDevice) +
+      StrFormat(
+          "hook_cpl:\n"
+          "  ldxdw r3, [r1+%d]\n"
+          "  jne r3, 0, fwd_err\n"
+          "  ldxdw r2, [r1+%d]\n"         // data page (null-checked below)
+          "  jeq r2, 0, done_ok\n"
+          "  ldxdw r3, [r2+0]\n"          // word0 = magic<<32 | level
+          "  mov r4, r3\n"
+          "  rsh r4, 32\n"
+          "  jne r4, %d, done_ok\n"       // not a pushdown block
+          "  mov32 r3, r3\n"              // level
+          "  jeq r3, 0, done_ok\n"        // leaf: guest finishes lookup
+          "  ldxdw r6, [r1+%d]\n"         // key = cmd_arg
+          "  mov r7, 0\n",                // idx
+          kOffError, kOffData, (int)kv::kPushdownMagic, kOffCmdArg);
+  // Floor search: idx = last entry with key <= target (pad keys are ~0,
+  // never <= a real key, so empty slots self-exclude).
+  for (u32 step = kv::kPushdownFanout / 2; step >= 1; step >>= 1) {
+    s += StrFormat(
+        "  mov r4, r7\n"
+        "  add r4, %u\n"                  // cand = idx + step
+        "  mov r5, r4\n"
+        "  lsh r5, 4\n"
+        "  mov r3, r2\n"
+        "  add r3, r5\n"
+        "  ldxdw r3, [r3+%u]\n"           // entry_key(cand)
+        "  jgt r3, r6, skip%u\n"
+        "  mov r7, r4\n"
+        "skip%u:\n",
+        step, kv::kPushdownHeaderBytes, step, step);
+  }
+  s += StrFormat(
+      "  mov r5, r7\n"
+      "  lsh r5, 4\n"
+      "  mov r3, r2\n"
+      "  add r3, r5\n"
+      "  ldxdw r3, [r3+%u]\n"             // entry_val(idx): child guest LBA
+      "  ldxdw r4, [r1+%d]\n"
+      "  add r3, r4\n"                    // translate to backend LBA
+      "  stxdw [r1+%d], r3\n"
+      "  mov r4, %u\n"
+      "  stxdw [r1+%d], r4\n"             // read one index block
+      "  mov r0, %llu\n"
+      "  exit\n"
+      "done_ok:\n"
+      "  mov r0, %llu\n"
+      "  exit\n"
+      "fwd_err:\n"
+      "  mov r0, r3\n"
+      "  or r0, %llu\n"
+      "  exit\n",
+      kv::kPushdownHeaderBytes + 8, kOffPartOff, kOffSlba,
+      kv::kPushdownLbasPerBlock, kOffNlb,
+      (unsigned long long)core::kResubmit,
+      (unsigned long long)core::kComplete,
+      (unsigned long long)core::kComplete);
+  return s;
+}
+
 }  // namespace
+
+const char* PushdownLookupClassifierAsm() {
+  static const std::string* kText = new std::string(PushdownLookupText());
+  return kText->c_str();
+}
+
+Result<ebpf::Program> PushdownLookupClassifier() {
+  return ebpf::Assemble(PushdownLookupClassifierAsm());
+}
 
 const char* RateLimitClassifierAsm() {
   static const std::string* kText = new std::string(RateLimitText());

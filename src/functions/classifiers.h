@@ -37,6 +37,14 @@ Result<ebpf::Program> VendorPassClassifier();
 /// set without touching the router (paper §III-B).
 Result<ebpf::Program> KvPassClassifier();
 
+/// Point-lookup pushdown over a kv::Pushdown index (DESIGN.md §15): at
+/// each completion hook the classifier searches the returned index block
+/// for the key the guest placed in cdw2/cdw3 (ctx->cmd_arg) and returns
+/// kResubmit with slba rewritten to the child block — the whole
+/// root-to-leaf walk happens below the guest, which sees exactly one
+/// completion carrying the leaf page.
+Result<ebpf::Program> PushdownLookupClassifier();
+
 /// Assembly text of each classifier (for Table I line counting and the
 /// custom-classifier example).
 const char* PassthroughClassifierAsm();
@@ -46,6 +54,7 @@ const char* ReadOnlyClassifierAsm();
 const char* VendorPassClassifierAsm();
 const char* KvPassClassifierAsm();
 const char* RateLimitClassifierAsm();
+const char* PushdownLookupClassifierAsm();
 
 /// Token-bucket rate limiting, entirely inside the classifier: bucket
 /// state and configuration live in an eBPF array map; refill uses the

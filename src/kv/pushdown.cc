@@ -1,0 +1,150 @@
+#include "kv/pushdown.h"
+
+#include <cstring>
+
+namespace nvmetro::kv {
+
+namespace {
+
+void PutWord(u8* block, u32 off, u64 v) { std::memcpy(block + off, &v, 8); }
+
+// Appends one formatted block and returns its block number.
+u64 AppendBlock(PushdownIndex* idx, u32 level,
+                const std::vector<std::pair<u64, u64>>& entries) {
+  u64 bno = idx->num_blocks();
+  idx->image.resize(idx->image.size() + kPushdownBlockBytes);
+  u8* b = idx->image.data() + bno * kPushdownBlockBytes;
+  PutWord(b, 0, (static_cast<u64>(kPushdownMagic) << 32) | level);
+  PutWord(b, 8, entries.size());
+  for (u32 i = 0; i < kPushdownFanout; i++) {
+    u32 off = kPushdownHeaderBytes + i * 16;
+    if (i < entries.size()) {
+      PutWord(b, off, entries[i].first);
+      PutWord(b, off + 8, entries[i].second);
+    } else {
+      PutWord(b, off, kPushdownPadKey);
+      PutWord(b, off + 8, 0);
+    }
+  }
+  return bno;
+}
+
+}  // namespace
+
+PushdownIndex BuildPushdownIndex(
+    const std::vector<std::pair<u64, u64>>& sorted_kvs, u64 base_lba) {
+  PushdownIndex idx;
+  idx.base_lba = base_lba;
+
+  // Level 0: leaves.
+  std::vector<u64> level_blocks;   // block numbers of the level being built
+  std::vector<u64> level_firsts;   // first key of each of those blocks
+  {
+    std::vector<std::pair<u64, u64>> chunk;
+    chunk.reserve(kPushdownFanout);
+    usize i = 0;
+    do {
+      chunk.clear();
+      while (i < sorted_kvs.size() && chunk.size() < kPushdownFanout) {
+        chunk.push_back(sorted_kvs[i++]);
+      }
+      level_firsts.push_back(chunk.empty() ? 0 : chunk.front().first);
+      level_blocks.push_back(AppendBlock(&idx, 0, chunk));
+    } while (i < sorted_kvs.size());
+  }
+  idx.levels = 1;
+
+  // Upper levels until a single root remains. Entry values are the
+  // child's guest LBA — exactly what the classifier writes into
+  // ctx.slba (plus part_offset) on a resubmission hop.
+  while (level_blocks.size() > 1) {
+    std::vector<u64> next_blocks, next_firsts;
+    std::vector<std::pair<u64, u64>> chunk;
+    chunk.reserve(kPushdownFanout);
+    for (usize i = 0; i < level_blocks.size();) {
+      chunk.clear();
+      while (i < level_blocks.size() && chunk.size() < kPushdownFanout) {
+        chunk.push_back(
+            {level_firsts[i],
+             base_lba + level_blocks[i] * kPushdownLbasPerBlock});
+        i++;
+      }
+      next_firsts.push_back(chunk.front().first);
+      next_blocks.push_back(AppendBlock(&idx, idx.levels, chunk));
+    }
+    level_blocks = std::move(next_blocks);
+    level_firsts = std::move(next_firsts);
+    idx.levels++;
+  }
+  idx.root_block = level_blocks.front();
+  return idx;
+}
+
+u32 PushdownSearchBlock(const u8* block, u64 key) {
+  // Uniform binary search, 7 fixed steps over the 128 entry slots; the
+  // classifier runs the identical unrolled sequence (pad keys are ~0,
+  // never <= a real key).
+  u32 idx = 0;
+  for (u32 step = kPushdownFanout / 2; step >= 1; step >>= 1) {
+    u32 cand = idx + step;
+    if (PushdownEntryKey(block, cand) <= key) idx = cand;
+  }
+  return idx;
+}
+
+bool PushdownLeafLookup(const u8* block, u64 key, u64* value) {
+  if (PushdownMagicOf(block) != kPushdownMagic ||
+      PushdownLevel(block) != 0) {
+    return false;
+  }
+  u64 nkeys = PushdownNumKeys(block);
+  if (nkeys == 0) return false;
+  u32 i = PushdownSearchBlock(block, key);
+  if (i >= nkeys || PushdownEntryKey(block, i) != key) return false;
+  if (value) *value = PushdownEntryVal(block, i);
+  return true;
+}
+
+bool PushdownLookupImage(const PushdownIndex& idx, u64 key, u64* value,
+                         u32* hops) {
+  if (hops) *hops = 0;
+  if (idx.num_blocks() == 0) return false;
+  u64 bno = idx.root_block;
+  for (;;) {
+    const u8* b = idx.image.data() + bno * kPushdownBlockBytes;
+    if (PushdownMagicOf(b) != kPushdownMagic) return false;
+    if (PushdownLevel(b) == 0) return PushdownLeafLookup(b, key, value);
+    u32 i = PushdownSearchBlock(b, key);
+    u64 child_lba = PushdownEntryVal(b, i);
+    u64 child = (child_lba - idx.base_lba) / kPushdownLbasPerBlock;
+    if (child >= idx.num_blocks()) return false;  // corrupt index
+    bno = child;
+    if (hops) (*hops)++;
+  }
+}
+
+u64 PushdownKeyPrefix(const std::string& key) {
+  u64 v = 0;
+  for (u32 i = 0; i < 8; i++) {
+    v <<= 8;
+    if (i < key.size()) v |= static_cast<u8>(key[i]);
+  }
+  return v;
+}
+
+PushdownIndex BuildSsTablePushdownIndex(const SsTableMeta& meta,
+                                        u64 base_lba) {
+  std::vector<std::pair<u64, u64>> kvs;
+  kvs.reserve(meta.first_keys.size());
+  for (u32 b = 0; b < meta.num_blocks(); b++) {
+    u64 prefix = PushdownKeyPrefix(meta.first_keys[b]);
+    // Prefix ties collapse to the first block: the floor search then
+    // lands on the earliest candidate, matching SsTableMeta::FindBlock
+    // semantics on the 8-byte prefix.
+    if (!kvs.empty() && kvs.back().first == prefix) continue;
+    kvs.push_back({prefix, b});
+  }
+  return BuildPushdownIndex(kvs, base_lba);
+}
+
+}  // namespace nvmetro::kv

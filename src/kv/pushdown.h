@@ -1,0 +1,108 @@
+// Pushdown index: a static on-disk B+-tree laid out for classifier
+// resubmission chains (DESIGN.md §15).
+//
+// The format is co-designed with the eBPF verifier's constraints so the
+// per-hop search program verifies without loops or variable pointer
+// arithmetic:
+//   - fixed 4096-byte blocks (one read data page per hop);
+//   - a 16-byte header: word0 = (magic32 << 32) | level, word1 = nkeys;
+//   - exactly 128 fixed-width {u64 key, u64 value} entries, missing
+//     slots padded with key = ~0 (so real keys must be < ~0);
+//   - fanout 128 = 2^7, searched by a fully unrolled 7-step uniform
+//     binary search whose index is a compile-time constant on every
+//     verifier path (max touched offset 16 + 127*16 + 8 = 2056 < 4096,
+//     provable without bounds branches).
+//
+// Internal entries hold the *guest LBA* of the child block; the
+// classifier adds part_offset and returns kResubmit, so an H-level
+// lookup costs one guest-visible completion instead of H round trips.
+// Leaf blocks (level 0) complete to the guest, which finishes the
+// lookup locally with PushdownLeafLookup on the returned page.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "kv/sstable.h"
+
+namespace nvmetro::kv {
+
+constexpr u32 kPushdownBlockBytes = 4096;
+constexpr u32 kPushdownHeaderBytes = 16;
+constexpr u32 kPushdownFanout = 128;
+constexpr u32 kPushdownMagic = 0x50444958;  // "PDIX"
+constexpr u64 kPushdownPadKey = ~0ull;
+/// 512-byte LBAs per index block.
+constexpr u32 kPushdownLbasPerBlock = kPushdownBlockBytes / 512;
+
+struct PushdownIndex {
+  u32 levels = 0;      // tree height; 1 = a single leaf
+  u64 root_block = 0;  // block number of the root within `image`
+  u64 base_lba = 0;    // guest LBA where image block 0 lives
+  std::vector<u8> image;  // num_blocks() * kPushdownBlockBytes
+
+  u64 num_blocks() const { return image.size() / kPushdownBlockBytes; }
+  u64 root_lba() const {
+    return base_lba + root_block * kPushdownLbasPerBlock;
+  }
+};
+
+/// Builds the index over strictly-increasing (key, value) pairs (keys
+/// must be < kPushdownPadKey). Leaves come first in the image, then
+/// each upper level; the root is the last block.
+PushdownIndex BuildPushdownIndex(
+    const std::vector<std::pair<u64, u64>>& sorted_kvs, u64 base_lba);
+
+/// Floor search of one block: index of the last entry with key <= `key`
+/// (0 if none). Mirrors the classifier's unrolled binary search step
+/// for step, so host and eBPF walks are comparable bit-for-bit.
+u32 PushdownSearchBlock(const u8* block, u64 key);
+
+/// Exact-match lookup in a leaf block (what the guest runs on the page
+/// a resubmission chain returns).
+bool PushdownLeafLookup(const u8* block, u64 key, u64* value);
+
+/// Host-reference walk of the whole image (the route-only baseline
+/// performs these hops as guest-visible reads). `hops` counts internal
+/// blocks traversed before the leaf.
+bool PushdownLookupImage(const PushdownIndex& idx, u64 key, u64* value,
+                         u32* hops);
+
+/// First 8 key bytes, big-endian, so u64 ordering matches string
+/// ordering on the prefix.
+u64 PushdownKeyPrefix(const std::string& key);
+
+/// SSTable tie-in: indexes `meta`'s data blocks by the prefix of each
+/// block's first key; values are data-block numbers. Lookups then chase
+/// index blocks below the guest and read the one candidate data block
+/// (consult `meta.bloom` first to skip absent keys entirely). Prefix
+/// ties collapse to the first block with that prefix.
+PushdownIndex BuildSsTablePushdownIndex(const SsTableMeta& meta,
+                                        u64 base_lba);
+
+// --- raw block accessors (shared by builder, reference walk, tests) ---
+
+inline u64 PushdownWord(const u8* block, u32 off) {
+  u64 v;
+  __builtin_memcpy(&v, block + off, 8);
+  return v;
+}
+inline u32 PushdownLevel(const u8* block) {
+  return static_cast<u32>(PushdownWord(block, 0) & 0xFFFFFFFF);
+}
+inline u32 PushdownMagicOf(const u8* block) {
+  return static_cast<u32>(PushdownWord(block, 0) >> 32);
+}
+inline u64 PushdownNumKeys(const u8* block) {
+  return PushdownWord(block, 8);
+}
+inline u64 PushdownEntryKey(const u8* block, u32 idx) {
+  return PushdownWord(block, kPushdownHeaderBytes + idx * 16);
+}
+inline u64 PushdownEntryVal(const u8* block, u32 idx) {
+  return PushdownWord(block, kPushdownHeaderBytes + idx * 16 + 8);
+}
+
+}  // namespace nvmetro::kv

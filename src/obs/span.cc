@@ -49,6 +49,8 @@ Stage StageForKind(SpanKind kind) {
     case SpanKind::kQosShed:
     case SpanKind::kOverloadShed:
       return Stage::kQosWait;
+    case SpanKind::kResubmit:      // chain hop: decision cost is dispatch
+      return Stage::kDispatch;
     case SpanKind::kIrqInject:     // handled out-of-band (post-e2e)
     case SpanKind::kSloBreach:     // req_id == 0, never folded
     case SpanKind::kOverloadState: // req_id == 0, never folded

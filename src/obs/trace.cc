@@ -28,6 +28,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kQosShed: return "QOS_SHED";
     case SpanKind::kOverloadState: return "OVERLOAD_STATE";
     case SpanKind::kOverloadShed: return "OVERLOAD_SHED";
+    case SpanKind::kResubmit: return "RESUBMIT";
   }
   return "?";
 }

@@ -54,6 +54,8 @@ enum class SpanKind : u8 {
                        // aux = new state, status = previous state)
   kOverloadShed,       // request rejected by the overload controller's
                        // Shed state (retryable busy to the guest)
+  kResubmit,           // classifier kResubmit accepted: dependent read
+                       // re-issued below the guest (aux = new slba)
 };
 
 const char* SpanKindName(SpanKind kind);

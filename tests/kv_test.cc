@@ -3,14 +3,17 @@
 // a std::map reference model.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "fsx/flatfs.h"
 #include "kv/bloom.h"
 #include "kv/minikv.h"
+#include "kv/pushdown.h"
 #include "kv/sstable.h"
 #include "sim/simulator.h"
 
@@ -573,6 +576,112 @@ TEST_F(KvFixture, RandomOpsWithReopensAndScansMatchModel) {
       ASSERT_TRUE(r.ok()) << k;
       EXPECT_EQ(*r, it->second) << k;
     }
+  }
+}
+
+// --- Pushdown index (DESIGN.md §15) ------------------------------------------
+
+TEST(PushdownTest, SingleLeafFormat) {
+  std::vector<std::pair<u64, u64>> kvs = {{10, 100}, {20, 200}, {30, 300}};
+  PushdownIndex idx = BuildPushdownIndex(kvs, /*base_lba=*/64);
+  EXPECT_EQ(idx.levels, 1u);
+  EXPECT_EQ(idx.num_blocks(), 1u);
+  EXPECT_EQ(idx.root_lba(), 64u);
+  const u8* root = idx.image.data();
+  EXPECT_EQ(PushdownMagicOf(root), kPushdownMagic);
+  EXPECT_EQ(PushdownLevel(root), 0u);
+  EXPECT_EQ(PushdownNumKeys(root), 3u);
+  EXPECT_EQ(PushdownEntryKey(root, 1), 20u);
+  EXPECT_EQ(PushdownEntryVal(root, 1), 200u);
+  // Missing slots carry the pad key so the floor search self-excludes.
+  EXPECT_EQ(PushdownEntryKey(root, 3), kPushdownPadKey);
+  EXPECT_EQ(PushdownEntryKey(root, kPushdownFanout - 1), kPushdownPadKey);
+}
+
+TEST(PushdownTest, SearchBlockIsFloorSearch) {
+  std::vector<std::pair<u64, u64>> kvs;
+  for (u64 i = 0; i < kPushdownFanout; i++) kvs.push_back({i * 10, i});
+  PushdownIndex idx = BuildPushdownIndex(kvs, 0);
+  const u8* blk = idx.image.data();
+  EXPECT_EQ(PushdownSearchBlock(blk, 0), 0u);
+  EXPECT_EQ(PushdownSearchBlock(blk, 9), 0u);    // below entry 1
+  EXPECT_EQ(PushdownSearchBlock(blk, 10), 1u);   // exact
+  EXPECT_EQ(PushdownSearchBlock(blk, 1275), 127u);
+  EXPECT_EQ(PushdownSearchBlock(blk, ~1ull), 127u);
+}
+
+TEST(PushdownTest, MultiLevelWalkFindsEveryKey) {
+  std::vector<std::pair<u64, u64>> kvs;
+  for (u64 i = 0; i < 40'000; i++) kvs.push_back({i * 13 + 5, i ^ 0xABCD});
+  PushdownIndex idx = BuildPushdownIndex(kvs, /*base_lba=*/128);
+  // 40000 keys -> 313 leaves -> 3 level-1 blocks -> 1 root.
+  EXPECT_EQ(idx.levels, 3u);
+  for (u64 i = 0; i < kvs.size(); i += 197) {
+    u64 value = 0;
+    u32 hops = 0;
+    ASSERT_TRUE(PushdownLookupImage(idx, kvs[i].first, &value, &hops))
+        << kvs[i].first;
+    EXPECT_EQ(value, kvs[i].second);
+    EXPECT_EQ(hops, idx.levels - 1);
+  }
+  // Absent keys resolve to a leaf but fail the exact match.
+  u64 value = 0;
+  u32 hops = 0;
+  EXPECT_FALSE(PushdownLookupImage(idx, 6, &value, &hops));
+}
+
+TEST(PushdownTest, LeafLookupRejectsNonLeafAndBadMagic) {
+  std::vector<std::pair<u64, u64>> kvs = {{1, 2}};
+  PushdownIndex idx = BuildPushdownIndex(kvs, 0);
+  std::vector<u8> blk(idx.image.begin(),
+                      idx.image.begin() + kPushdownBlockBytes);
+  u64 value = 0;
+  EXPECT_TRUE(PushdownLeafLookup(blk.data(), 1, &value));
+  EXPECT_EQ(value, 2u);
+  // Internal level: not a leaf.
+  u64 word0 = (static_cast<u64>(kPushdownMagic) << 32) | 1;
+  memcpy(blk.data(), &word0, 8);
+  EXPECT_FALSE(PushdownLeafLookup(blk.data(), 1, &value));
+  // Bad magic: not an index block at all.
+  word0 = 0;
+  memcpy(blk.data(), &word0, 8);
+  EXPECT_FALSE(PushdownLeafLookup(blk.data(), 1, &value));
+}
+
+TEST(PushdownTest, EmptyInputYieldsOneEmptyLeaf) {
+  PushdownIndex idx = BuildPushdownIndex({}, 0);
+  EXPECT_EQ(idx.levels, 1u);
+  EXPECT_EQ(idx.num_blocks(), 1u);
+  u64 value = 0;
+  EXPECT_FALSE(PushdownLeafLookup(idx.image.data(), 0, &value));
+}
+
+TEST(PushdownTest, KeyPrefixOrdersLikeStrings) {
+  EXPECT_LT(PushdownKeyPrefix("apple"), PushdownKeyPrefix("banana"));
+  EXPECT_LT(PushdownKeyPrefix("app"), PushdownKeyPrefix("apple"));
+  EXPECT_EQ(PushdownKeyPrefix("12345678"), PushdownKeyPrefix("12345678x"));
+}
+
+TEST(PushdownTest, SsTableIndexMatchesFindBlock) {
+  std::map<std::string, Record> records;
+  for (int i = 1000; i < 1600; i++) {
+    std::string k = "row" + std::to_string(i);
+    records[k] = Record{k, std::string(40, 'v'), false};
+  }
+  SsTableMeta meta;
+  (void)BuildSsTable(records, 256, 10, &meta);
+  ASSERT_GT(meta.num_blocks(), 2u);
+  PushdownIndex idx = BuildSsTablePushdownIndex(meta, 0);
+  // Every block's first key resolves (exact match on its prefix) to
+  // that block number, agreeing with the SSTable's own directory.
+  for (u32 b = 0; b < meta.num_blocks(); b++) {
+    const std::string& k = meta.first_keys[b];
+    u64 value = 0;
+    u32 hops = 0;
+    ASSERT_TRUE(PushdownLookupImage(idx, PushdownKeyPrefix(k), &value, &hops))
+        << k;
+    EXPECT_EQ(value, b) << k;
+    EXPECT_EQ(static_cast<i64>(b), meta.FindBlock(k)) << k;
   }
 }
 
