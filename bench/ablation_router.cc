@@ -5,15 +5,20 @@
 //   - adaptive router workers vs always-spinning workers: CPU saved by
 //     idle parking at low load;
 //   - shared router worker vs one worker per VM at 4 VMs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "bench_common.h"
 #include "ebpf/assembler.h"
+#include "fault/fault.h"
 #include "functions/classifiers.h"
 #include "mem/arena.h"
+#include "obs/flight.h"
+#include "obs/span.h"
 #include "virt/guest_nvme.h"
 
 namespace nvmetro::bench {
@@ -366,6 +371,296 @@ int RunShardSweep(const std::string& json_path) {
   return (sim_identical && zero_alloc && micro_ok) ? 0 : 2;
 }
 
+// --- Flight-recorder sweep (DESIGN.md §16) -----------------------------------
+
+struct FlightCell {
+  SimTime sim_end = 0;
+  double wall_ns_per_io = 0;  // min over reps (noise floor)
+  u64 steady_allocs = 0;
+  int completed = 0;
+};
+
+/// One closed-loop passthrough run with full observability (trace +
+/// metrics) attached and the flight recorder toggled by `flight_on` —
+/// the only difference between the A and B cells. Simulated time must be
+/// bit-identical (recording charges no simulated CPU); the recorder's
+/// real cost is host wall clock on the steady phase, reported per IO.
+FlightCell RunFlightOverheadCell(bool flight_on, int reps, int warmup_ios,
+                                 int steady_ios) {
+  FlightCell best;
+  for (int rep = 0; rep < reps; rep++) {
+    obs::ObservabilityConfig ocfg;
+    ocfg.flight = flight_on;
+    obs::Observability obs(ocfg);
+    sim::Simulator sim;
+    mem::IommuSpace dma{nullptr, 1ull << 40};
+    ssd::ControllerConfig cfg = Testbed::DefaultDrive();
+    cfg.capacity = 64 * MiB;
+    cfg.obs = &obs;
+    ssd::SimulatedController phys(&sim, &dma, cfg);
+    virt::Vm vm(&sim, virt::VmConfig{.memory_bytes = 32 * MiB});
+    core::NvmetroHost::Config hcfg;
+    hcfg.obs = &obs;
+    core::NvmetroHost host(&sim, &phys, hcfg);
+    core::VirtualController* vc = host.CreateController(&vm, {.vm_id = 1});
+    auto prog = functions::PassthroughClassifier();
+    if (!prog.ok() || !vc->InstallClassifier(std::move(*prog)).ok()) {
+      return FlightCell{};
+    }
+    host.Start();
+    virt::GuestNvmeDriver driver(&vm, vc);
+    const u32 queues = 2;
+    if (!driver.Init(queues).ok()) return FlightCell{};
+
+    FlightCell r;
+    u64 buf = *vm.memory().AllocPages(1);
+    int issued = 0, target = 0;
+    std::function<void(u16)> issue = [&](u16 q) {
+      if (issued >= target) return;
+      issued++;
+      nvme::Sqe sqe = (issued % 2)
+                          ? nvme::MakeWrite(1, issued % 64, 1, buf, 0)
+                          : nvme::MakeRead(1, issued % 64, 1, buf, 0);
+      driver.Submit(q, sqe, [&, q](nvme::NvmeStatus, u32) {
+        r.completed++;
+        issue(q);
+      });
+    };
+    target = warmup_ios;
+    for (u16 q = 0; q < queues; q++) {
+      for (int d = 0; d < 8; d++) issue(q);
+    }
+    sim.Run();
+    mem::HotPathAllocs::BeginSteadyState();
+    target = warmup_ios + steady_ios;
+    u64 t0 = WallNowNs();
+    for (u16 q = 0; q < queues; q++) {
+      for (int d = 0; d < 8; d++) issue(q);
+    }
+    sim.Run();
+    u64 wall = WallNowNs() - t0;
+    mem::HotPathAllocs::EndSteadyState();
+    r.steady_allocs = mem::HotPathAllocs::steady_state_allocs();
+    r.sim_end = sim.now();
+    r.wall_ns_per_io =
+        steady_ios > 0 ? static_cast<double>(wall) / steady_ios : 0;
+    if (rep == 0 || r.wall_ns_per_io < best.wall_ns_per_io) {
+      double keep = rep == 0 ? r.wall_ns_per_io
+                             : std::min(best.wall_ns_per_io, r.wall_ns_per_io);
+      best = r;
+      best.wall_ns_per_io = keep;
+    }
+  }
+  return best;
+}
+
+struct ForensicResult {
+  bool ran = false;         // the run itself built and completed
+  bool triggered = false;   // >= 1 anomaly dump produced
+  bool parse_ok = false;    // dump text round-trips through Parse
+  bool validate_ok = false; // timeline internal consistency
+  bool cross_ok = false;    // flight vs SpanAnalyzer agreement
+  usize compared = 0;       // requests both instruments retained
+  u64 timeouts = 0;
+  std::string dump_path;
+  std::string error;
+};
+
+/// Faulted two-tenant run: command stalls at the device push requests
+/// past the router's deadline, the kDeadlineAbort trigger freezes the
+/// rings and writes a dump into `dump_dir`, and the dump is then parsed
+/// back, internally validated, and cross-checked nanosecond-exactly
+/// against a SpanAnalyzer pass over the same run's trace.
+ForensicResult RunFlightForensic(const std::string& dump_dir) {
+  ForensicResult out;
+  obs::Observability obs;
+  sim::Simulator sim;
+  mem::IommuSpace dma{nullptr, 1ull << 40};
+  ssd::ControllerConfig cfg = Testbed::DefaultDrive();
+  cfg.capacity = 64 * MiB;
+  cfg.obs = &obs;
+  ssd::SimulatedController phys(&sim, &dma, cfg);
+  fault::FaultInjector injector(&sim, &obs);
+  phys.SetFaultInjector(&injector);
+
+  obs::FlightTriggersConfig tcfg;
+  tcfg.dump_dir = dump_dir;
+  obs::FlightTriggers ftrig(obs.flight(), &obs.metrics(), nullptr, tcfg);
+
+  core::NvmetroHost::Config hcfg;
+  hcfg.obs = &obs;
+  hcfg.flight_triggers = &ftrig;
+  hcfg.costs.request_timeout_ns = 400 * kUs;
+  core::NvmetroHost host(&sim, &phys, hcfg);
+
+  virt::Vm vm1(&sim, virt::VmConfig{.memory_bytes = 16 * MiB});
+  virt::Vm vm2(&sim, virt::VmConfig{.memory_bytes = 16 * MiB});
+  core::VirtualController* vc1 = host.CreateController(&vm1, {.vm_id = 1});
+  core::VirtualController* vc2 = host.CreateController(&vm2, {.vm_id = 2});
+  for (core::VirtualController* vc : {vc1, vc2}) {
+    auto prog = functions::PassthroughClassifier();
+    if (!prog.ok() || !vc->InstallClassifier(std::move(*prog)).ok()) {
+      out.error = "classifier install failed";
+      return out;
+    }
+  }
+  host.Start();
+  virt::GuestNvmeDriver d1(&vm1, vc1), d2(&vm2, vc2);
+  if (!d1.Init(1).ok() || !d2.Init(1).ok()) {
+    out.error = "driver init failed";
+    return out;
+  }
+
+  // A burst of certain command stalls: the affected requests sit at the
+  // device until the router's 400us deadline aborts them.
+  fault::FaultPlan plan;
+  plan.faults.push_back(
+      {.kind = fault::FaultKind::kCommandStall, .count = 4});
+  injector.Arm(plan);
+
+  struct Tenant {
+    virt::GuestNvmeDriver* drv;
+    virt::Vm* vm;
+    int completed = 0;
+    int issued = 0;
+    u64 buf = 0;
+  } tenants[2] = {{&d1, &vm1}, {&d2, &vm2}};
+  const int kIosPerTenant = 400;
+  std::function<void(int)> issue = [&](int i) {
+    Tenant& t = tenants[i];
+    if (t.issued >= kIosPerTenant) return;
+    t.issued++;
+    nvme::Sqe sqe = (t.issued % 2)
+                        ? nvme::MakeWrite(1, t.issued % 64, 1, t.buf, 0)
+                        : nvme::MakeRead(1, t.issued % 64, 1, t.buf, 0);
+    t.drv->Submit(0, sqe, [&, i](nvme::NvmeStatus, u32) {
+      tenants[i].completed++;
+      issue(i);
+    });
+  };
+  for (int i = 0; i < 2; i++) {
+    tenants[i].buf = *tenants[i].vm->memory().AllocPages(1);
+    for (int d = 0; d < 4; d++) issue(i);
+  }
+  sim.Run();
+  out.ran = tenants[0].completed == kIosPerTenant &&
+            tenants[1].completed == kIosPerTenant;
+  out.timeouts =
+      vc1->requests_timed_out() + vc2->requests_timed_out();
+  out.triggered = ftrig.dumps_produced() >= 1;
+  if (!out.triggered) {
+    out.error = "no anomaly dump was produced";
+    return out;
+  }
+  const obs::FlightTriggers::DumpInfo& info = ftrig.dumps()[0];
+  out.dump_path = info.path;
+
+  obs::FlightDump dump;
+  if (!obs::FlightDump::Parse(info.serialized, &dump, &out.error)) {
+    return out;
+  }
+  out.parse_ok = true;
+  obs::FlightTimeline timeline(dump);
+  if (!timeline.Validate(&out.error)) return out;
+  out.validate_ok = true;
+
+  obs::SpanAnalyzer spans;
+  spans.Analyze(obs.trace());
+  if (!obs::CrossValidateFlightSpans(timeline, spans, &out.compared,
+                                     &out.error)) {
+    return out;
+  }
+  out.cross_ok = true;
+  return out;
+}
+
+/// `--flight-sweep`: flight-recorder overhead + forensic round-trip
+/// (DESIGN.md §16). Gates: recorder-on host wall ns/IO within 3% of
+/// recorder-off (min over reps), simulated time bit-identical, zero
+/// steady-state pool allocations either way, and a deadline-abort dump
+/// from a faulted 2-tenant run that parses, validates, and agrees with
+/// SpanAnalyzer on every overlapping request. Writes BENCH_flight.json.
+int RunFlightSweep(const Flags& flags, const std::string& json_path) {
+  PrintHeader("Flight recorder: always-on overhead + forensic round-trip",
+              "closed-loop 512B passthrough, recorder on vs off");
+  const int reps = static_cast<int>(flags.GetInt("flight-reps"));
+  const int kWarmup = 2'000;
+  const int steady = static_cast<int>(flags.GetInt("flight-ios"));
+
+  FlightCell off = RunFlightOverheadCell(false, reps, kWarmup, steady);
+  FlightCell on = RunFlightOverheadCell(true, reps, kWarmup, steady);
+
+  double overhead_pct =
+      off.wall_ns_per_io > 0
+          ? (on.wall_ns_per_io / off.wall_ns_per_io - 1.0) * 100.0
+          : 0.0;
+  bool gate_overhead = overhead_pct <= 3.0;
+  bool gate_sim = on.sim_end == off.sim_end && on.sim_end != 0;
+  bool gate_alloc = on.steady_allocs == 0 && off.steady_allocs == 0;
+
+  TablePrinter t({"recorder", "wall ns/IO (min)", "sim end (ms)",
+                  "steady allocs"});
+  for (bool is_on : {false, true}) {
+    const FlightCell& c = is_on ? on : off;
+    t.AddRow({is_on ? "on" : "off", StrFormat("%.0f", c.wall_ns_per_io),
+              StrFormat("%.2f", static_cast<double>(c.sim_end) / kMs),
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(c.steady_allocs))});
+  }
+  t.Print();
+  std::printf("recorder overhead: %+.2f%% host ns/IO (gate <= 3%%): %s\n",
+              overhead_pct, gate_overhead ? "ok" : "FAIL");
+  std::printf("sim time identical on vs off: %s\n", gate_sim ? "yes" : "NO");
+  std::printf("zero steady-state allocations: %s\n",
+              gate_alloc ? "yes" : "NO");
+
+  ForensicResult fr = RunFlightForensic(flags.GetString("flight-dump-dir"));
+  std::printf(
+      "forensic: run=%s timeouts=%llu dump=%s parse=%s validate=%s "
+      "cross-validate=%s (%zu requests)%s%s\n",
+      fr.ran ? "ok" : "FAIL", static_cast<unsigned long long>(fr.timeouts),
+      fr.triggered ? (fr.dump_path.empty() ? "(in-memory)"
+                                           : fr.dump_path.c_str())
+                   : "NONE",
+      fr.parse_ok ? "ok" : "FAIL", fr.validate_ok ? "ok" : "FAIL",
+      fr.cross_ok ? "ok" : "FAIL", fr.compared,
+      fr.error.empty() ? "" : " error: ", fr.error.c_str());
+  bool gate_forensic = fr.ran && fr.triggered && fr.parse_ok &&
+                       fr.validate_ok && fr.cross_ok && fr.compared > 0;
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"bench\":\"flight_sweep\",\"reps\":%d,\"steady_ios\":%d,\n"
+        " \"off\":{\"wall_ns_per_io\":%.1f,\"sim_end_ns\":%llu,"
+        "\"steady_allocs\":%llu},\n"
+        " \"on\":{\"wall_ns_per_io\":%.1f,\"sim_end_ns\":%llu,"
+        "\"steady_allocs\":%llu},\n"
+        " \"overhead_pct\":%.2f,\n"
+        " \"forensic\":{\"timeouts\":%llu,\"compared\":%zu,"
+        "\"dump_path\":\"%s\"},\n"
+        " \"gates\":{\"overhead_le_3pct\":%s,\"sim_identical\":%s,"
+        "\"zero_alloc\":%s,\"forensic_roundtrip\":%s}}\n",
+        reps, steady, off.wall_ns_per_io,
+        static_cast<unsigned long long>(off.sim_end),
+        static_cast<unsigned long long>(off.steady_allocs),
+        on.wall_ns_per_io, static_cast<unsigned long long>(on.sim_end),
+        static_cast<unsigned long long>(on.steady_allocs), overhead_pct,
+        static_cast<unsigned long long>(fr.timeouts), fr.compared,
+        fr.dump_path.c_str(), gate_overhead ? "true" : "false",
+        gate_sim ? "true" : "false", gate_alloc ? "true" : "false",
+        gate_forensic ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return (gate_overhead && gate_sim && gate_alloc && gate_forensic) ? 0 : 2;
+}
+
 int Main(int argc, const char* const* argv) {
   Flags flags;
   DefineBenchFlags(&flags);
@@ -378,6 +673,17 @@ int Main(int argc, const char* const* argv) {
                    "run the per-queue shard / cid-table ablation sweep");
   flags.DefineString("shard-json", "BENCH_shard.json",
                      "output path for the shard-sweep JSON (empty: none)");
+  flags.DefineBool("flight-sweep", false,
+                   "run the flight-recorder overhead + forensic round-trip "
+                   "sweep (DESIGN.md S16)");
+  flags.DefineString("flight-json", "BENCH_flight.json",
+                     "output path for the flight-sweep JSON (empty: none)");
+  flags.DefineString("flight-dump-dir", ".",
+                     "directory for the forensic run's anomaly dump "
+                     "(empty: keep in memory)");
+  flags.DefineInt("flight-reps", 5,
+                  "wall-clock repetitions per overhead cell (min taken)");
+  flags.DefineInt("flight-ios", 20'000, "steady-phase IOs per repetition");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -390,6 +696,9 @@ int Main(int argc, const char* const* argv) {
   }
   if (flags.GetBool("shard-sweep")) {
     return RunShardSweep(flags.GetString("shard-json"));
+  }
+  if (flags.GetBool("flight-sweep")) {
+    return RunFlightSweep(flags, flags.GetString("flight-json"));
   }
 
   PrintHeader("Ablation: router design choices",

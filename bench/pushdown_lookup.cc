@@ -28,6 +28,8 @@
 #include "kv/pushdown.h"
 #include "mem/address_space.h"
 #include "nvme/prp.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "ssd/controller.h"
 #include "virt/guest_nvme.h"
 #include "virt/vm.h"
@@ -39,6 +41,8 @@ using nvme::NvmeStatus;
 
 struct Testbed {
   sim::Simulator sim;
+  // Declared before the host: components cache registry pointers.
+  obs::Observability obs;
   mem::IommuSpace dma{nullptr, 1ull << 40};
   std::unique_ptr<ssd::SimulatedController> phys;
   std::unique_ptr<virt::Vm> vm;
@@ -53,7 +57,9 @@ struct Testbed {
     virt::VmConfig vm_cfg;
     vm_cfg.memory_bytes = 16 * MiB;
     vm = std::make_unique<virt::Vm>(&sim, vm_cfg);
-    host = std::make_unique<core::NvmetroHost>(&sim, phys.get());
+    core::NvmetroHostConfig host_cfg;
+    host_cfg.obs = &obs;
+    host = std::make_unique<core::NvmetroHost>(&sim, phys.get(), host_cfg);
     vc = host->CreateController(vm.get(), {.vm_id = 1});
     auto prog = ebpf::Assemble(classifier_asm);
     if (!prog.ok()) {
@@ -139,10 +145,26 @@ struct SizeResult {
   bool values_ok = true;
 };
 
+bool WriteTextFile(const std::string& path, const std::string& text,
+                   const char* what) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s '%s'\n", what, path.c_str());
+    return false;
+  }
+  fwrite(text.data(), 1, text.size(), f);
+  fclose(f);
+  return true;
+}
+
 /// Builds an index over `nkeys` keys, loads it into two fresh testbeds
 /// (pushdown classifier vs passthrough) and times `lookups` point
-/// lookups through each.
-bool RunSize(u64 nkeys, u32 lookups, SizeResult* out) {
+/// lookups through each. When `prom_path` / `perfetto_path` are
+/// non-empty the pushdown testbed's telemetry is exported after the
+/// lookups, so CI can validate the resubmission series
+/// (check_telemetry --expect-resubmit).
+bool RunSize(u64 nkeys, u32 lookups, const std::string& prom_path,
+             const std::string& perfetto_path, SizeResult* out) {
   std::vector<std::pair<u64, u64>> kvs;
   kvs.reserve(nkeys);
   for (u64 i = 0; i < nkeys; i++) kvs.push_back({i * 7 + 3, i * 31 + 11});
@@ -177,6 +199,14 @@ bool RunSize(u64 nkeys, u32 lookups, SizeResult* out) {
         static_cast<double>(tb.vc->requests_completed() - cpl0) / lookups;
     out->resubmits_per_lookup =
         static_cast<double>(tb.vc->resubmissions() - rs0) / lookups;
+    if (!prom_path.empty() &&
+        !WriteTextFile(prom_path, obs::ExportPrometheusText(tb.obs.metrics()),
+                       "Prometheus metrics"))
+      return false;
+    if (!perfetto_path.empty() &&
+        !WriteTextFile(perfetto_path, obs::ExportPerfettoJson(tb.obs.trace()),
+                       "Perfetto trace"))
+      return false;
   }
 
   // --- route-only: the guest walks the tree itself ---
@@ -343,6 +373,10 @@ int Main(int argc, const char* const* argv) {
   flags.DefineInt("lookups", 32, "point lookups per tree size");
   flags.DefineInt("micro-iters", 2000, "microbenchmark repetitions");
   flags.DefineString("json", "BENCH_pushdown.json", "output path");
+  flags.DefineString("prom", "",
+                     "export the pushdown testbed's Prometheus metrics here");
+  flags.DefineString("perfetto", "",
+                     "export the pushdown testbed's Perfetto trace here");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -370,7 +404,8 @@ int Main(int argc, const char* const* argv) {
   bool gate_cpl = true, gate_lat = true, gate_values = true;
   for (u64 n : sizes) {
     SizeResult r;
-    if (!RunSize(n, lookups, &r)) {
+    if (!RunSize(n, lookups, flags.GetString("prom"),
+                 flags.GetString("perfetto"), &r)) {
       std::fprintf(stderr, "size %llu failed\n",
                    static_cast<unsigned long long>(n));
       return 1;

@@ -75,12 +75,34 @@ void VirtualController::InitMetrics() {
   }
 }
 
-void VirtualController::Stamp(const RequestEntry* e, obs::SpanKind kind,
+void VirtualController::Stamp(RequestEntry* e, obs::SpanKind kind,
                               u16 status, u64 aux, u8 hook) {
   if (!obs_ || !e->req_id) return;
+  SimTime now = sim_->now();
+  // Always-on flight record: one branch + one 32-byte store into the
+  // arrival shard's ring. The stage delta rides along so a dump is
+  // attributable without the (evictable) trace events.
+  if (obs::FlightRing* fr = shards_[e->gq_index]->flight) {
+    u64 d = e->last_edge_ns ? now - e->last_edge_ns : 0;
+    obs::FlightRecord r;
+    r.t = now;
+    r.req_id = e->req_id;
+    r.delta_ns = d < obs::kFlightDeltaUnknown
+                     ? static_cast<u32>(d)
+                     : obs::kFlightDeltaUnknown - 1;
+    r.aux = static_cast<u32>(aux);
+    r.status = status;
+    r.tag_lo = static_cast<u16>(e->tag);
+    r.edge = static_cast<u8>(kind);
+    r.opcode = e->sqe.opcode;
+    r.tenant = static_cast<u8>(cfg_.vm_id);
+    r.hook = hook;
+    fr->Record(r);
+    e->last_edge_ns = now;
+  }
   obs::TraceEvent ev;
   ev.req_id = e->req_id;
-  ev.t = sim_->now();
+  ev.t = now;
   ev.aux = aux;
   ev.vm_id = cfg_.vm_id;
   ev.status = status;
@@ -157,6 +179,11 @@ Status VirtualController::AttachQueuePair(u16 qid, nvme::SqRing* sq,
   // Completions awaiting one interrupt are bounded by the VCQ depth;
   // reserving to it keeps coalescing bursts reallocation-free.
   sh->ReserveScratch(cq->entries());
+  // Flight ring allocated at attach time (never on the IO path); the
+  // queue index is the shard index so TagShard(tag) resolves it.
+  if (obs_ && obs_->flight()) {
+    sh->flight = obs_->flight()->RegisterRing(cfg_.vm_id, sh->index());
+  }
   if (qos_) {
     u32 cap = qos_->max_deferred(qos_tenant_);
     sh->qos_ring.assign(cap ? cap : 1, RouterShard::Waiter{});
@@ -402,11 +429,21 @@ void VirtualController::RunClassifierAndApply(RequestEntry* e, Hook hook,
     // instead of completing. Only valid at a completion hook of a
     // successful read, within the chain-depth bound, and without
     // growing the transfer beyond the guest's original buffer.
+    bool depth_breach = hook != kHookVsq &&
+                        e->sqe.opcode == nvme::kCmdRead &&
+                        nvme::StatusOk(error) &&
+                        e->chain_depth >= costs_->max_resubmit_depth;
     if (hook == kHookVsq || e->sqe.opcode != nvme::kCmdRead ||
-        !nvme::StatusOk(error) ||
-        e->chain_depth >= costs_->max_resubmit_depth ||
-        e->mediated_nlb == 0 ||
+        !nvme::StatusOk(error) || depth_breach || e->mediated_nlb == 0 ||
         e->mediated_nlb > e->sqe.block_count()) {
+      if (depth_breach && ftrig_) {
+        // Runaway classifier chain: forensic dump before the request is
+        // failed (cold path — the chain is already dead).
+        ftrig_->Fire(obs::FlightTrigger::kResubmitDepthBreach, sim_->now(),
+                     "vm=" + std::to_string(cfg_.vm_id) +
+                         " req=" + std::to_string(e->req_id) +
+                         " depth=" + std::to_string(e->chain_depth));
+      }
       FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                       nvme::kScInternalError));
       return;
@@ -662,6 +699,8 @@ void VirtualController::PollHcq() {
         u32 tag = sh.TakeCid(cqe.cid);
         if (tag != kNoTag) {
           OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
+        } else {
+          OnStaleCid(sh, cqe.cid);
         }
         if (!cq->Empty()) more = true;
         break;
@@ -698,6 +737,8 @@ void VirtualController::PollHcq() {
       u32 tag = sh.TakeCid(cqe.cid);
       if (tag != kNoTag) {
         OnTargetDone(tag, kPathH, cqe.status(), cqe.result);
+      } else {
+        OnStaleCid(sh, cqe.cid);
       }
     }
     if (popped_any) {
@@ -846,11 +887,23 @@ void VirtualController::InjectGuestIrq(RouterShard& sh,
   worker_->cpu()->Charge(costs_->vcq_irq_ns);
   auto irq = sh.irq;
   u32 vmid = cfg_.vm_id;
+  // The entries may be freed before the posted interrupt fires; capture
+  // the flight ring itself (stable for the controller's lifetime).
+  obs::FlightRing* fr = sh.flight;
   sim_->ScheduleAfter(
       costs_->irq_inject_latency_ns,
-      [this, irq, vmid, reqs = std::move(reqs)] {
+      [this, irq, vmid, fr, reqs = std::move(reqs)] {
         if (obs_) {
           for (u64 rid : reqs) {
+            if (fr) {
+              obs::FlightRecord frec;
+              frec.t = sim_->now();
+              frec.req_id = rid;
+              frec.delta_ns = obs::kFlightDeltaUnknown;
+              frec.edge = static_cast<u8>(obs::SpanKind::kIrqInject);
+              frec.tenant = static_cast<u8>(vmid);
+              fr->Record(frec);
+            }
             obs::TraceEvent ev;
             ev.req_id = rid;
             ev.t = sim_->now();
@@ -992,8 +1045,18 @@ void VirtualController::CompleteToGuest(RequestEntry* e, NvmeStatus status) {
       u64 rid = e->req_id;
       u32 vmid = cfg_.vm_id;
       auto irq = sh.irq;
+      obs::FlightRing* fr = sh.flight;
       sim_->ScheduleAfter(costs_->irq_inject_latency_ns, [this, rid, vmid,
-                                                          irq] {
+                                                          irq, fr] {
+        if (fr) {
+          obs::FlightRecord frec;
+          frec.t = sim_->now();
+          frec.req_id = rid;
+          frec.delta_ns = obs::kFlightDeltaUnknown;
+          frec.edge = static_cast<u8>(obs::SpanKind::kIrqInject);
+          frec.tenant = static_cast<u8>(vmid);
+          fr->Record(frec);
+        }
         obs::TraceEvent ev;
         ev.req_id = rid;
         ev.t = sim_->now();
@@ -1035,6 +1098,14 @@ void VirtualController::OnDeadline(u32 tag) {
   sh.stats.timeouts++;
   if (m_timeouts_) m_timeouts_->Inc();
   Stamp(e, obs::SpanKind::kTimeout, 0, e->outstanding);
+  if (ftrig_) {
+    // A request deadline means fault recovery gave up on outstanding
+    // legs — exactly the moment the black box is worth reading.
+    ftrig_->Fire(obs::FlightTrigger::kDeadlineAbort, sim_->now(),
+                 "vm=" + std::to_string(cfg_.vm_id) +
+                     " req=" + std::to_string(e->req_id) +
+                     " outstanding=" + std::to_string(e->outstanding));
+  }
   for (int p = 0; p < 3; p++) {
     if (e->pending[p] && m_path_timeouts_[p]) {
       m_path_timeouts_[p]->Inc(e->pending[p]);
@@ -1057,6 +1128,18 @@ void VirtualController::OnDeadline(u32 tag) {
   e->wait_for_hook = false;
   FailRequest(e, nvme::MakeStatus(nvme::kSctGeneric,
                                   nvme::kScAbortRequested));
+}
+
+void VirtualController::OnStaleCid(RouterShard& sh, u16 cid) {
+  if (obs_ && obs_->flight()) {
+    obs_->flight()->Mark(sim_->now(), obs::kFlightEdgeStaleCid, cid);
+  }
+  if (ftrig_) {
+    ftrig_->Fire(obs::FlightTrigger::kStaleCidDrop, sim_->now(),
+                 "vm=" + std::to_string(cfg_.vm_id) +
+                     " queue=" + std::to_string(sh.index()) +
+                     " cid=" + std::to_string(cid));
+  }
 }
 
 bool VirtualController::ScheduleRetryLeg(RequestEntry* e, Path path) {
@@ -1373,6 +1456,7 @@ VirtualController* NvmetroHost::CreateController(virt::Vm* vm,
   auto vc = std::make_unique<VirtualController>(sim_, phys_, vm, cfg,
                                                 &cfg_.costs, cfg_.obs);
   VirtualController* ptr = vc.get();
+  if (cfg_.flight_triggers) ptr->AttachFlightTriggers(cfg_.flight_triggers);
   workers_[next_worker_ % workers_.size()]->Attach(ptr);
   next_worker_++;
   controllers_.push_back(std::move(vc));

@@ -35,6 +35,7 @@ namespace nvmetro {
 class LatencyHistogram;
 namespace obs {
 class Counter;
+class FlightTriggers;
 class Gauge;
 class Observability;
 enum class SpanKind : u8;
@@ -194,6 +195,13 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// runs are bit-identical to the QoS-only router.
   void AttachOverload(overload::OverloadController* ovl);
 
+  /// Wires the flight-recorder trigger framework (obs/flight.h): the
+  /// router fires kDeadlineAbort / kStaleCidDrop / kResubmitDepthBreach
+  /// anomalies into `ftrig` as they happen. Recording into the flight
+  /// rings is independent of this (always on whenever the Observability
+  /// context owns a FlightRecorder). Pass nullptr to detach.
+  void AttachFlightTriggers(obs::FlightTriggers* ftrig) { ftrig_ = ftrig; }
+
   // --- virt::VirtualNvmeBackend ----------------------------------------------
 
   Status AttachQueuePair(u16 qid, nvme::SqRing* sq, nvme::CqRing* cq,
@@ -316,6 +324,9 @@ class VirtualController : public virt::VirtualNvmeBackend {
   // Failure recovery (DESIGN.md §9).
   /// Request deadline fired: abort outstanding legs, fail to the guest.
   void OnDeadline(u32 tag);
+  /// A host CQE's cid failed the generation check (already counted by
+  /// TakeCid): stamp a flight mark and fire the kStaleCidDrop anomaly.
+  void OnStaleCid(RouterShard& sh, u16 cid);
   /// Schedules a backoff re-dispatch of a failed fast/kernel leg.
   /// Returns false when the retry budget is spent or retries are off.
   bool ScheduleRetryLeg(RequestEntry* e, Path path);
@@ -343,8 +354,10 @@ class VirtualController : public virt::VirtualNvmeBackend {
   /// Registers the router's cached metric pointers (no-op when obs_ is
   /// null; every hot-path hook is then one null-check branch).
   void InitMetrics();
-  /// Stamps a trace span for `e` (no-op without obs_ / req_id).
-  void Stamp(const RequestEntry* e, obs::SpanKind kind, u16 status = 0,
+  /// Stamps a trace span for `e` (no-op without obs_ / req_id) and — when
+  /// the shard carries a flight ring — the matching 32-byte flight
+  /// record, advancing e->last_edge_ns for the record's stage delta.
+  void Stamp(RequestEntry* e, obs::SpanKind kind, u16 status = 0,
              u64 aux = 0, u8 hook = 0);
 
   void Touch() { last_activity_ = sim_->now(); }
@@ -370,6 +383,7 @@ class VirtualController : public virt::VirtualNvmeBackend {
   // QoS identity (the parked rings live on the shards).
   qos::QosScheduler* qos_ = nullptr;
   overload::OverloadController* ovl_ = nullptr;
+  obs::FlightTriggers* ftrig_ = nullptr;
   u32 qos_tenant_ = 0;
   /// True between BeginBatch and FlushBatch; routes dispatch/completion
   /// doorbell work through the per-batch flush instead of per command.
@@ -450,6 +464,9 @@ struct NvmetroHostConfig {
   RouterCosts costs;
   /// Optional metrics + trace sink, shared by all workers/controllers.
   obs::Observability* obs = nullptr;
+  /// Optional anomaly->dump framework; CreateController wires it into
+  /// every new controller (same as calling AttachFlightTriggers).
+  obs::FlightTriggers* flight_triggers = nullptr;
 };
 
 class NvmetroHost {

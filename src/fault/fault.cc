@@ -120,6 +120,12 @@ void FaultInjector::Arm(const FaultPlan& plan) {
 }
 
 void FaultInjector::OpenWindow(FaultKind kind) {
+  // Annotate the black box: a dump whose marks ring shows an open fault
+  // window explains the anomalies recorded inside it.
+  if (obs_ && obs_->flight()) {
+    obs_->flight()->Mark(sim_->now(), obs::kFlightEdgeFaultWindow,
+                         (static_cast<u32>(kind) << 1) | 1u);
+  }
   switch (kind) {
     case FaultKind::kLinkDown:
       if (link_depth_++ == 0) {
@@ -145,6 +151,10 @@ void FaultInjector::OpenWindow(FaultKind kind) {
 }
 
 void FaultInjector::CloseWindow(FaultKind kind) {
+  if (obs_ && obs_->flight()) {
+    obs_->flight()->Mark(sim_->now(), obs::kFlightEdgeFaultWindow,
+                         static_cast<u32>(kind) << 1);
+  }
   switch (kind) {
     case FaultKind::kLinkDown:
       if (--link_depth_ == 0) {

@@ -1,0 +1,611 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "obs/export.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace nvmetro::obs {
+
+namespace {
+
+usize RoundUpPow2(usize n) {
+  usize p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* FlightEdgeName(u8 edge) {
+  switch (edge) {
+    case kFlightEdgeFaultWindow: return "FAULT_WINDOW";
+    case kFlightEdgeTriggerFired: return "TRIGGER_FIRED";
+    case kFlightEdgeStaleCid: return "STALE_CID_DROP";
+    default: break;
+  }
+  return SpanKindName(static_cast<SpanKind>(edge));
+}
+
+// --- FlightRing ------------------------------------------------------------
+
+FlightRing::FlightRing(u32 vm_id, u32 queue, usize capacity)
+    : vm_id_(vm_id), queue_(queue) {
+  usize cap = RoundUpPow2(capacity ? capacity : 1);
+  buf_.resize(cap);
+  mask_ = cap - 1;
+}
+
+std::vector<FlightRecord> FlightRing::Records() const {
+  std::vector<FlightRecord> out;
+  usize n = held();
+  out.reserve(n);
+  u64 first = total_ - n;
+  for (u64 i = first; i < total_; i++) {
+    out.push_back(buf_[i & mask_]);
+  }
+  return out;
+}
+
+// --- FlightRecorder --------------------------------------------------------
+
+FlightRecorder::FlightRecorder(FlightConfig cfg)
+    : cfg_(cfg), marks_(0, kFlightMarksQueue, cfg.mark_capacity) {}
+
+FlightRing* FlightRecorder::RegisterRing(u32 vm_id, u32 queue) {
+  if (FlightRing* r = Find(vm_id, queue)) return r;
+  rings_.push_back(
+      std::make_unique<FlightRing>(vm_id, queue, cfg_.ring_capacity));
+  rings_.back()->set_frozen(frozen_);
+  return rings_.back().get();
+}
+
+FlightRing* FlightRecorder::Find(u32 vm_id, u32 queue) {
+  for (auto& r : rings_) {
+    if (r->vm_id() == vm_id && r->queue() == queue) return r.get();
+  }
+  return nullptr;
+}
+
+void FlightRecorder::Mark(SimTime t, u8 edge, u32 aux, u16 status) {
+  FlightRecord r;
+  r.t = t;
+  r.edge = edge;
+  r.aux = aux;
+  r.status = status;
+  r.delta_ns = kFlightDeltaUnknown;
+  marks_.Record(r);
+}
+
+void FlightRecorder::Freeze() {
+  frozen_ = true;
+  for (auto& r : rings_) r->set_frozen(true);
+  marks_.set_frozen(true);
+}
+
+void FlightRecorder::Unfreeze() {
+  frozen_ = false;
+  for (auto& r : rings_) r->set_frozen(false);
+  marks_.set_frozen(false);
+}
+
+u64 FlightRecorder::total_records() const {
+  u64 n = marks_.total();
+  for (const auto& r : rings_) n += r->total();
+  return n;
+}
+
+u64 FlightRecorder::dropped_while_frozen() const {
+  u64 n = marks_.dropped_frozen();
+  for (const auto& r : rings_) n += r->dropped_frozen();
+  return n;
+}
+
+// --- Triggers --------------------------------------------------------------
+
+const char* FlightTriggerName(FlightTrigger t) {
+  switch (t) {
+    case FlightTrigger::kManual: return "manual";
+    case FlightTrigger::kSloBreach: return "slo_breach";
+    case FlightTrigger::kOverloadEscalation: return "overload_escalation";
+    case FlightTrigger::kDeadlineAbort: return "deadline_abort";
+    case FlightTrigger::kStaleCidDrop: return "stale_cid_drop";
+    case FlightTrigger::kResubmitDepthBreach: return "resubmit_depth_breach";
+    case FlightTrigger::kQosShedStorm: return "qos_shed_storm";
+    case FlightTrigger::kCount: break;
+  }
+  return "?";
+}
+
+bool FlightTriggerFromName(const std::string& name, FlightTrigger* out) {
+  for (usize i = 0; i < kFlightTriggerCount; i++) {
+    FlightTrigger t = static_cast<FlightTrigger>(i);
+    if (name == FlightTriggerName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- FlightDump serialization ----------------------------------------------
+//
+// Line-oriented, versioned, with length-prefixed blocks for the embedded
+// strings (detail / metrics text / time-series CSV) so no escaping is
+// needed and the round-trip is bit-exact.
+
+std::string FlightDump::Serialize() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "NVMFLIGHT %u\n", version);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "trigger %u %s\n",
+                static_cast<unsigned>(trigger), FlightTriggerName(trigger));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "t %llu\nseq %llu\n",
+                static_cast<unsigned long long>(t),
+                static_cast<unsigned long long>(seq));
+  out += buf;
+  auto block = [&out, &buf](const char* name, const std::string& data) {
+    std::snprintf(buf, sizeof(buf), "%s %zu\n", name, data.size());
+    out += buf;
+    out += data;
+    out += '\n';
+  };
+  block("detail", detail);
+  block("metrics", metrics_text);
+  block("timeseries", timeseries_csv);
+  std::snprintf(buf, sizeof(buf), "rings %zu\n", rings.size());
+  out += buf;
+  for (const RingDump& r : rings) {
+    std::snprintf(buf, sizeof(buf), "ring %u %u %llu %llu %llu %zu\n",
+                  r.vm_id, r.queue, static_cast<unsigned long long>(r.capacity),
+                  static_cast<unsigned long long>(r.total),
+                  static_cast<unsigned long long>(r.dropped_frozen),
+                  r.records.size());
+    out += buf;
+    for (const FlightRecord& rec : r.records) {
+      std::snprintf(buf, sizeof(buf),
+                    "R %llu %llu %lu %lu %u %u %u %u %u %u\n",
+                    static_cast<unsigned long long>(rec.t),
+                    static_cast<unsigned long long>(rec.req_id),
+                    static_cast<unsigned long>(rec.delta_ns),
+                    static_cast<unsigned long>(rec.aux),
+                    static_cast<unsigned>(rec.status),
+                    static_cast<unsigned>(rec.tag_lo),
+                    static_cast<unsigned>(rec.edge),
+                    static_cast<unsigned>(rec.opcode),
+                    static_cast<unsigned>(rec.tenant),
+                    static_cast<unsigned>(rec.hook));
+      out += buf;
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+/// Cursor over the serialized text; every helper fails by returning
+/// false and leaving a diagnostic.
+struct Reader {
+  const std::string& text;
+  usize pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& msg) {
+    if (error) *error = msg + " (offset " + std::to_string(pos) + ")";
+    return false;
+  }
+  bool Line(std::string* out) {
+    usize nl = text.find('\n', pos);
+    if (nl == std::string::npos) return Fail("unterminated line");
+    out->assign(text, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  }
+  /// "name <len>\n<len raw bytes>\n"
+  bool Block(const char* name, std::string* out) {
+    std::string line;
+    if (!Line(&line)) return false;
+    char fmt[32];
+    std::snprintf(fmt, sizeof(fmt), "%s %%zu", name);
+    usize len = 0;
+    if (std::sscanf(line.c_str(), fmt, &len) != 1) {
+      return Fail(std::string("expected '") + name + " <len>', got '" + line +
+                  "'");
+    }
+    if (pos + len + 1 > text.size()) return Fail("truncated block");
+    out->assign(text, pos, len);
+    pos += len;
+    if (text[pos] != '\n') return Fail("block not newline-terminated");
+    pos++;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool FlightDump::Parse(const std::string& text, FlightDump* out,
+                       std::string* error) {
+  *out = FlightDump{};
+  Reader rd{text, 0, error};
+  std::string line;
+  if (!rd.Line(&line)) return false;
+  unsigned version = 0;
+  if (std::sscanf(line.c_str(), "NVMFLIGHT %u", &version) != 1) {
+    return rd.Fail("not a flight dump (bad magic)");
+  }
+  if (version != 1) return rd.Fail("unsupported dump version");
+  out->version = version;
+  if (!rd.Line(&line)) return false;
+  unsigned trig = 0;
+  char trig_name[64] = {};
+  if (std::sscanf(line.c_str(), "trigger %u %63s", &trig, trig_name) != 2 ||
+      trig >= kFlightTriggerCount) {
+    return rd.Fail("bad trigger line '" + line + "'");
+  }
+  out->trigger = static_cast<FlightTrigger>(trig);
+  if (std::string(trig_name) != FlightTriggerName(out->trigger)) {
+    return rd.Fail("trigger name/code mismatch");
+  }
+  unsigned long long v = 0;
+  if (!rd.Line(&line) || std::sscanf(line.c_str(), "t %llu", &v) != 1) {
+    return rd.Fail("bad t line");
+  }
+  out->t = v;
+  if (!rd.Line(&line) || std::sscanf(line.c_str(), "seq %llu", &v) != 1) {
+    return rd.Fail("bad seq line");
+  }
+  out->seq = v;
+  if (!rd.Block("detail", &out->detail)) return false;
+  if (!rd.Block("metrics", &out->metrics_text)) return false;
+  if (!rd.Block("timeseries", &out->timeseries_csv)) return false;
+  usize nrings = 0;
+  if (!rd.Line(&line) || std::sscanf(line.c_str(), "rings %zu", &nrings) != 1) {
+    return rd.Fail("bad rings line");
+  }
+  for (usize i = 0; i < nrings; i++) {
+    if (!rd.Line(&line)) return false;
+    RingDump ring;
+    unsigned long long cap = 0, total = 0, dropped = 0;
+    usize nrec = 0;
+    if (std::sscanf(line.c_str(), "ring %u %u %llu %llu %llu %zu",
+                    &ring.vm_id, &ring.queue, &cap, &total, &dropped,
+                    &nrec) != 6) {
+      return rd.Fail("bad ring header '" + line + "'");
+    }
+    ring.capacity = cap;
+    ring.total = total;
+    ring.dropped_frozen = dropped;
+    ring.records.reserve(nrec);
+    for (usize j = 0; j < nrec; j++) {
+      if (!rd.Line(&line)) return false;
+      FlightRecord rec;
+      unsigned long long t = 0, req = 0;
+      unsigned long delta = 0, aux = 0;
+      unsigned status = 0, tag = 0, edge = 0, opcode = 0, tenant = 0,
+               hook = 0;
+      if (std::sscanf(line.c_str(), "R %llu %llu %lu %lu %u %u %u %u %u %u",
+                      &t, &req, &delta, &aux, &status, &tag, &edge, &opcode,
+                      &tenant, &hook) != 10) {
+        return rd.Fail("bad record '" + line + "'");
+      }
+      rec.t = t;
+      rec.req_id = req;
+      rec.delta_ns = static_cast<u32>(delta);
+      rec.aux = static_cast<u32>(aux);
+      rec.status = static_cast<u16>(status);
+      rec.tag_lo = static_cast<u16>(tag);
+      rec.edge = static_cast<u8>(edge);
+      rec.opcode = static_cast<u8>(opcode);
+      rec.tenant = static_cast<u8>(tenant);
+      rec.hook = static_cast<u8>(hook);
+      ring.records.push_back(rec);
+    }
+    out->rings.push_back(std::move(ring));
+  }
+  if (!rd.Line(&line) || line != "end") return rd.Fail("missing end marker");
+  return true;
+}
+
+// --- FlightTriggers --------------------------------------------------------
+
+FlightTriggers::FlightTriggers(FlightRecorder* recorder,
+                               MetricsRegistry* metrics,
+                               const TimeSeries* series,
+                               FlightTriggersConfig cfg)
+    : recorder_(recorder), metrics_(metrics), series_(series),
+      cfg_(std::move(cfg)) {
+  for (usize i = 0; i < kFlightTriggerCount; i++) armed_[i] = true;
+}
+
+void FlightTriggers::Arm(FlightTrigger t, bool on) {
+  armed_[static_cast<usize>(t)] = on;
+}
+
+bool FlightTriggers::Fire(FlightTrigger t, SimTime now,
+                          const std::string& detail) {
+  fires_[static_cast<usize>(t)]++;
+  bool manual = t == FlightTrigger::kManual;
+  bool in_cooldown =
+      dumped_once_ && !manual && now - last_dump_t_ < cfg_.cooldown_ns;
+  if (!armed_[static_cast<usize>(t)] || in_cooldown ||
+      dumps_.size() >= cfg_.max_dumps) {
+    suppressed_++;
+    if (m_suppressed_) m_suppressed_->Inc();
+    return false;
+  }
+  // Lazy registration keeps trigger-free metric exports bit-identical.
+  if (metrics_ && !m_dumps_) {
+    m_dumps_ = metrics_->GetCounter("flight.dumps");
+    m_suppressed_ = metrics_->GetCounter("flight.fires_suppressed");
+  }
+  recorder_->Freeze();
+  FlightDump dump = BuildDump(t, now, detail);
+  DumpInfo info;
+  info.trigger = t;
+  info.t = now;
+  info.seq = dump.seq;
+  info.detail = detail;
+  info.serialized = dump.Serialize();
+  recorder_->Unfreeze();
+  // The black box keeps its own record of the trigger (visible in the
+  // *next* dump's marks ring, and to live introspection).
+  recorder_->Mark(now, kFlightEdgeTriggerFired, static_cast<u32>(t));
+  if (!cfg_.dump_dir.empty()) {
+    info.path = cfg_.dump_dir + "/" + cfg_.dump_prefix + "-" +
+                std::to_string(dump.seq) + "-" + FlightTriggerName(t) +
+                ".flight";
+    if (std::FILE* f = std::fopen(info.path.c_str(), "wb")) {
+      std::fwrite(info.serialized.data(), 1, info.serialized.size(), f);
+      std::fclose(f);
+    } else {
+      info.path.clear();  // unwritable dir: keep the in-memory dump
+    }
+  }
+  dumps_.push_back(std::move(info));
+  last_dump_t_ = now;
+  dumped_once_ = true;
+  if (m_dumps_) m_dumps_->Inc();
+  return true;
+}
+
+bool FlightTriggers::RequestDump(SimTime now, const std::string& detail) {
+  return Fire(FlightTrigger::kManual, now, detail);
+}
+
+void FlightTriggers::ArmSlo(SloWatchdog* slo) {
+  slo->SetBreachHook([this](const SloWatchdog::Breach& b) {
+    Fire(FlightTrigger::kSloBreach, b.t, "target=" + b.target);
+  });
+}
+
+const std::string& FlightTriggers::last_dump_text() const {
+  static const std::string kEmpty;
+  return dumps_.empty() ? kEmpty : dumps_.back().serialized;
+}
+
+FlightDump FlightTriggers::BuildDump(FlightTrigger t, SimTime now,
+                                     const std::string& detail) {
+  FlightDump dump;
+  dump.trigger = t;
+  dump.t = now;
+  dump.seq = next_seq_++;
+  dump.detail = detail;
+  if (metrics_) dump.metrics_text = ExportPrometheusText(*metrics_);
+  if (series_) dump.timeseries_csv = series_->ToCsv();
+  auto snap = [](const FlightRing& r) {
+    FlightDump::RingDump rd;
+    rd.vm_id = r.vm_id();
+    rd.queue = r.queue();
+    rd.capacity = r.capacity();
+    rd.total = r.total();
+    rd.dropped_frozen = r.dropped_frozen();
+    rd.records = r.Records();
+    return rd;
+  };
+  for (const auto& r : recorder_->rings()) dump.rings.push_back(snap(*r));
+  dump.rings.push_back(snap(recorder_->marks()));
+  return dump;
+}
+
+// --- FlightTimeline --------------------------------------------------------
+
+FlightTimeline::FlightTimeline(const FlightDump& dump) {
+  // Group records by request, preserving each ring's (chronological)
+  // order; a request's records all live in its arrival queue's ring.
+  std::map<u64, FlightRequestView> live;
+  for (const FlightDump::RingDump& ring : dump.rings) {
+    for (const FlightRecord& rec : ring.records) {
+      if (rec.req_id == 0) {
+        marks_.push_back(rec);
+        continue;
+      }
+      FlightRequestView& v = live[rec.req_id];
+      if (v.records.empty()) {
+        v.req_id = rec.req_id;
+        v.vm_id = ring.vm_id;
+        v.queue = ring.queue;
+        v.opcode = rec.opcode;
+        v.tenant = rec.tenant;
+        v.tag_lo = rec.tag_lo;
+        v.complete_head = rec.edge == static_cast<u8>(SpanKind::kVsqPop);
+      }
+      v.records.push_back(rec);
+    }
+  }
+  std::stable_sort(marks_.begin(), marks_.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     return a.t < b.t;
+                   });
+
+  for (auto& [id, v] : live) {
+    if (!v.complete_head) {
+      truncated_++;
+      continue;
+    }
+    // SpanAnalyzer's folding rules (obs/span.cc), applied to the flight
+    // stream: stage named by the later edge, the delta after a RETRY
+    // stamp is the backoff wait, IRQ after post is out-of-band.
+    SimTime start_t = v.records.front().t;
+    SimTime prev_t = start_t;
+    u8 prev_edge = v.records.front().edge;
+    bool fast = false, kernel = false, notify = false;
+    for (usize i = 0; i < v.records.size(); i++) {
+      const FlightRecord& rec = v.records[i];
+      SpanKind kind = static_cast<SpanKind>(rec.edge);
+      if (i > 0) {
+        u64 delta = rec.t - prev_t;
+        prev_t = rec.t;
+        if (!v.posted) {
+          Stage stage = prev_edge == static_cast<u8>(SpanKind::kRetry)
+                            ? Stage::kRetryWait
+                            : StageForKind(kind);
+          v.stage_ns[static_cast<usize>(stage)] += delta;
+        } else if (kind == SpanKind::kIrqInject) {
+          v.irq_ns += delta;
+        }
+      }
+      prev_edge = rec.edge;
+      switch (kind) {
+        case SpanKind::kDispatchFast: fast = true; break;
+        case SpanKind::kDispatchKernel: kernel = true; break;
+        case SpanKind::kDispatchNotify: notify = true; break;
+        case SpanKind::kResubmit: v.resubmits++; break;
+        case SpanKind::kTimeout: v.timed_out = true; break;
+        case SpanKind::kQosShed:
+        case SpanKind::kOverloadShed: v.shed = true; break;
+        case SpanKind::kVcqPost:
+          if (!v.posted) {
+            v.posted = true;
+            v.e2e_ns = rec.t - start_t;
+            v.final_status = rec.status;
+          }
+          break;
+        default: break;
+      }
+    }
+    int n = (fast ? 1 : 0) + (kernel ? 1 : 0) + (notify ? 1 : 0);
+    if (n == 0) v.path = PathClass::kDirect;
+    else if (n > 1) v.path = PathClass::kFanout;
+    else if (fast) v.path = PathClass::kFast;
+    else if (kernel) v.path = PathClass::kKernel;
+    else v.path = PathClass::kNotify;
+    requests_.push_back(std::move(v));
+  }
+}
+
+const FlightRequestView* FlightTimeline::Find(u64 req_id) const {
+  for (const FlightRequestView& v : requests_) {
+    if (v.req_id == req_id) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<const FlightRequestView*> FlightTimeline::Slowest(usize n) const {
+  std::vector<const FlightRequestView*> out;
+  for (const FlightRequestView& v : requests_) {
+    if (v.attributable()) out.push_back(&v);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightRequestView* a, const FlightRequestView* b) {
+                     return a->e2e_ns > b->e2e_ns;
+                   });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<const FlightRequestView*> FlightTimeline::Failed() const {
+  std::vector<const FlightRequestView*> out;
+  for (const FlightRequestView& v : requests_) {
+    if (v.failed() || v.timed_out || v.shed) out.push_back(&v);
+  }
+  return out;
+}
+
+bool FlightTimeline::Validate(std::string* error) const {
+  char buf[192];
+  for (const FlightRequestView& v : requests_) {
+    SimTime prev_t = 0;
+    // Stored deltas measure time since the previous *router* stamp
+    // (off-hot-path edges carry the sentinel and don't advance the
+    // request's last-edge clock), so validate against the timestamp of
+    // the last non-sentinel record, not merely the previous record.
+    SimTime last_stamp_t = 0;
+    for (usize i = 0; i < v.records.size(); i++) {
+      const FlightRecord& rec = v.records[i];
+      if (i > 0) {
+        if (rec.t < prev_t) {
+          std::snprintf(buf, sizeof(buf),
+                        "req %" PRIu64 ": records not chronological", v.req_id);
+          if (error) *error = buf;
+          return false;
+        }
+        if (rec.delta_ns != kFlightDeltaUnknown) {
+          u64 delta = rec.t - last_stamp_t;
+          if (static_cast<u64>(rec.delta_ns) !=
+              std::min<u64>(delta, kFlightDeltaUnknown - 1)) {
+            std::snprintf(buf, sizeof(buf),
+                          "req %" PRIu64 " record %zu: stored delta %u != "
+                          "timestamp delta %" PRIu64,
+                          v.req_id, i, rec.delta_ns, delta);
+            if (error) *error = buf;
+            return false;
+          }
+        }
+      }
+      prev_t = rec.t;
+      if (rec.delta_ns != kFlightDeltaUnknown) last_stamp_t = rec.t;
+    }
+    if (v.attributable() && v.StageSum() != v.e2e_ns) {
+      std::snprintf(buf, sizeof(buf),
+                    "req %" PRIu64 ": stage sum %" PRIu64 " ns != e2e %" PRIu64
+                    " ns",
+                    v.req_id, v.StageSum(), v.e2e_ns);
+      if (error) *error = buf;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CrossValidateFlightSpans(const FlightTimeline& timeline,
+                              const SpanAnalyzer& spans, usize* compared,
+                              std::string* error) {
+  usize n = 0;
+  char buf[224];
+  for (const RequestBreakdown& bd : spans.requests()) {
+    const FlightRequestView* v = timeline.Find(bd.req_id);
+    if (!v || !v->attributable()) continue;  // evicted from a flight ring
+    n++;
+    if (v->e2e_ns != bd.e2e_ns) {
+      std::snprintf(buf, sizeof(buf),
+                    "req %" PRIu64 ": flight e2e %" PRIu64
+                    " ns != span e2e %" PRIu64 " ns",
+                    bd.req_id, v->e2e_ns, bd.e2e_ns);
+      if (error) *error = buf;
+      return false;
+    }
+    for (usize s = 0; s < kStageCount; s++) {
+      if (v->stage_ns[s] != bd.stage_ns[s]) {
+        std::snprintf(buf, sizeof(buf),
+                      "req %" PRIu64 " stage %s: flight %" PRIu64
+                      " ns != span %" PRIu64 " ns",
+                      bd.req_id, StageName(static_cast<Stage>(s)),
+                      v->stage_ns[s], bd.stage_ns[s]);
+        if (error) *error = buf;
+        return false;
+      }
+    }
+  }
+  if (compared) *compared = n;
+  return true;
+}
+
+}  // namespace nvmetro::obs

@@ -1,0 +1,376 @@
+// Always-on flight recorder (DESIGN.md §16): the router's black box.
+//
+// TraceRecorder is an opt-in, full-fidelity instrument — someone must
+// have enabled a big ring *before* the incident to get anything out of
+// it. Production debugging needs the opposite: a recorder that is always
+// on, cheap enough to never turn off, and that preserves the last few
+// thousand IO lifecycle edges per queue when an anomaly fires. The
+// flight recorder is that black box: one packed 32-byte FlightRecord per
+// lifecycle edge, written into a fixed-capacity per-shard ring with zero
+// steady-state allocations and zero simulated-CPU charge, plus a trigger
+// framework (FlightTriggers) that freezes every ring together and
+// serializes a self-contained forensic dump — rings + a MetricsRegistry
+// snapshot + an optional TimeSeries tail — when something goes wrong:
+//
+//   - an SLO breach (SloWatchdog breach hook),
+//   - an overload state escalation (OverloadController wiring),
+//   - a fault-recovery deadline abort (router OnDeadline),
+//   - a stale-cid drop (late completion failed the generation check),
+//   - a resubmit depth-bound breach (runaway classifier chain),
+//   - a QoS shed storm (consecutive sheds past a burst threshold), or
+//   - an explicit SIGUSR1-style programmatic RequestDump().
+//
+// Dumps round-trip through FlightDump::Serialize/Parse and are inspected
+// postmortem with tools/flight_inspect, which reconstructs per-request
+// timelines and per-stage attribution using the *same* folding rules as
+// SpanAnalyzer (obs/span.h) — CrossValidateFlightSpans pins that the two
+// instruments agree nanosecond-exactly on every request both retain.
+//
+// Leaf-library constraint (see CMakeLists.txt): nothing here may touch
+// the simulator. Timestamps are passed in by the recording components
+// and trigger sources; file IO happens only on the cold dump path.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
+
+namespace nvmetro::obs {
+
+class SloWatchdog;
+
+/// One IO lifecycle edge, packed to 32 bytes. `edge` is the SpanKind of
+/// the hook that stamped it (so flight timelines and trace spans share
+/// one taxonomy), or one of the kFlightEdge* mark codes below for
+/// req_id-0 annotations (fault windows, trigger fires, stale-cid drops).
+struct FlightRecord {
+  u64 t = 0;         // simulated timestamp of the edge
+  u64 req_id = 0;    // process-wide request id (0 = mark, not a request)
+  u32 delta_ns = 0;  // ns since this request's previous edge (saturating;
+                     // kFlightDeltaUnknown = recompute from timestamps)
+  u32 aux = 0;       // edge payload: verdict / slba / batch size (low 32)
+  u16 status = 0;    // NVMe status where the edge carries one
+  u16 tag_lo = 0;    // routing tag low 16 bits (shard:6 | slot:10)
+  u8 edge = 0;       // obs::SpanKind, or a kFlightEdge* mark code
+  u8 opcode = 0;     // guest NVMe opcode
+  u8 tenant = 0;     // tenant/VM id (low 8 bits)
+  u8 hook = 0;       // classifier hook for classifier/resubmit edges
+};
+static_assert(sizeof(FlightRecord) == 32,
+              "FlightRecord must stay one packed 32-byte line");
+
+/// delta_ns sentinel for edges stamped off the router hot path (UIF
+/// work/respond, IRQ inject) where the request's previous-edge time is
+/// not at hand; inspectors recompute deltas from timestamps anyway.
+constexpr u32 kFlightDeltaUnknown = 0xFFFFFFFFu;
+
+/// Mark codes (req_id == 0), disjoint from every SpanKind value.
+constexpr u8 kFlightEdgeFaultWindow = 0xF0;   // aux = (FaultKind << 1) | open
+constexpr u8 kFlightEdgeTriggerFired = 0xF1;  // aux = FlightTrigger reason
+constexpr u8 kFlightEdgeStaleCid = 0xF2;      // aux = host cid dropped
+
+/// "VSQ_POP" / "RESUBMIT" / "FAULT_WINDOW" / ... for any edge byte.
+const char* FlightEdgeName(u8 edge);
+
+/// Queue index used by the recorder's process-wide marks ring.
+constexpr u32 kFlightMarksQueue = 0xFFFFFFFFu;
+
+/// Fixed-capacity ring of FlightRecords for one guest queue (shard).
+/// Record() is the always-on hot path: one branch and one 32-byte store,
+/// no allocation, no simulated-CPU charge.
+class FlightRing {
+ public:
+  /// `capacity` is rounded up to a power of two and allocated up front
+  /// (attach time, never on the IO path).
+  FlightRing(u32 vm_id, u32 queue, usize capacity);
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  void Record(const FlightRecord& r) {
+    if (frozen_) {
+      dropped_frozen_++;
+      return;
+    }
+    buf_[total_ & mask_] = r;
+    total_++;
+  }
+
+  u32 vm_id() const { return vm_id_; }
+  u32 queue() const { return queue_; }
+  usize capacity() const { return buf_.size(); }
+  /// Records ever written (including overwritten ones).
+  u64 total() const { return total_; }
+  /// Records currently retained (<= capacity).
+  usize held() const {
+    return total_ < buf_.size() ? static_cast<usize>(total_) : buf_.size();
+  }
+  /// Records dropped because the ring was frozen for a dump.
+  u64 dropped_frozen() const { return dropped_frozen_; }
+  bool frozen() const { return frozen_; }
+  void set_frozen(bool on) { frozen_ = on; }
+
+  /// Chronological copy, oldest retained record first (cold path).
+  std::vector<FlightRecord> Records() const;
+
+ private:
+  u32 vm_id_;
+  u32 queue_;
+  std::vector<FlightRecord> buf_;
+  u64 mask_;
+  u64 total_ = 0;
+  u64 dropped_frozen_ = 0;
+  bool frozen_ = false;
+};
+
+struct FlightConfig {
+  /// Records retained per queue ring (rounded up to a power of two).
+  /// 4096 records x 32 B = 128 KiB per guest queue.
+  usize ring_capacity = 1 << 12;
+  /// Process-wide marks ring (fault windows, trigger fires).
+  usize mark_capacity = 256;
+};
+
+/// Owns one FlightRing per registered guest queue plus the marks ring.
+/// Registration happens at queue-attach time; the steady-state surface
+/// is FlightRing::Record through the pointer each shard caches.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightConfig cfg = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Allocates (or returns the existing) ring for a guest queue. Called
+  /// at AttachQueuePair time — never on the IO path.
+  FlightRing* RegisterRing(u32 vm_id, u32 queue);
+  /// Ring lookup for off-router recorders (UIF framework); null when the
+  /// queue was never registered.
+  FlightRing* Find(u32 vm_id, u32 queue);
+
+  /// Stamps a req_id-0 annotation into the marks ring.
+  void Mark(SimTime t, u8 edge, u32 aux, u16 status = 0);
+
+  /// Freeze/unfreeze every ring together (trigger snapshot window).
+  /// Records arriving while frozen are dropped and counted per ring.
+  void Freeze();
+  void Unfreeze();
+  bool frozen() const { return frozen_; }
+
+  u64 total_records() const;
+  u64 dropped_while_frozen() const;
+  const std::vector<std::unique_ptr<FlightRing>>& rings() const {
+    return rings_;
+  }
+  const FlightRing& marks() const { return marks_; }
+
+ private:
+  FlightConfig cfg_;
+  std::vector<std::unique_ptr<FlightRing>> rings_;
+  FlightRing marks_;
+  bool frozen_ = false;
+};
+
+// --- Triggers --------------------------------------------------------------
+
+enum class FlightTrigger : u8 {
+  kManual = 0,           // explicit RequestDump (SIGUSR1-style)
+  kSloBreach,            // SloWatchdog breach hook
+  kOverloadEscalation,   // OverloadController state upgrade
+  kDeadlineAbort,        // router request deadline fired
+  kStaleCidDrop,         // late completion failed the generation check
+  kResubmitDepthBreach,  // classifier chain hit max_resubmit_depth
+  kQosShedStorm,         // consecutive QoS sheds past the burst threshold
+  kCount,
+};
+constexpr usize kFlightTriggerCount = static_cast<usize>(FlightTrigger::kCount);
+
+const char* FlightTriggerName(FlightTrigger t);
+
+/// Parse by name ("deadline_abort"); false on unknown names.
+bool FlightTriggerFromName(const std::string& name, FlightTrigger* out);
+
+/// A parsed (or freshly built) forensic dump: trigger context, a
+/// Prometheus-text metrics snapshot, an optional TimeSeries CSV tail,
+/// and every ring's retained records. Serialize/Parse round-trip
+/// bit-exactly (tests/flight_test.cc).
+struct FlightDump {
+  u32 version = 1;
+  FlightTrigger trigger = FlightTrigger::kManual;
+  SimTime t = 0;    // sim time the trigger fired
+  u64 seq = 0;      // dump sequence number within the run
+  std::string detail;
+  std::string metrics_text;    // ExportPrometheusText at dump time ("" = none)
+  std::string timeseries_csv;  // TimeSeries::ToCsv at dump time ("" = none)
+
+  struct RingDump {
+    u32 vm_id = 0;
+    u32 queue = 0;
+    u64 capacity = 0;
+    u64 total = 0;           // records ever written (eviction detector)
+    u64 dropped_frozen = 0;
+    std::vector<FlightRecord> records;  // oldest first
+  };
+  std::vector<RingDump> rings;  // marks ring included (queue == kFlightMarksQueue)
+
+  std::string Serialize() const;
+  static bool Parse(const std::string& text, FlightDump* out,
+                    std::string* error);
+};
+
+struct FlightTriggersConfig {
+  /// Directory for dump files; "" keeps dumps in memory only (the
+  /// serialized text stays retrievable via dumps()).
+  std::string dump_dir;
+  /// File name prefix: <dir>/<prefix>-<seq>-<reason>.flight
+  std::string dump_prefix = "flight";
+  /// Minimum sim-time spacing between anomaly dumps (manual requests
+  /// bypass it) so a breach storm cannot dump itself to death.
+  SimTime cooldown_ns = 5'000'000;
+  /// Hard cap on dumps per run; later fires are counted but suppressed.
+  u32 max_dumps = 4;
+};
+
+/// The anomaly->dump framework. Components report anomalies with Fire();
+/// an accepted fire freezes every ring, serializes a FlightDump (rings +
+/// metrics + time-series), optionally writes it to dump_dir, stamps a
+/// TRIGGER_FIRED mark, and unfreezes. Registers "flight.dumps" /
+/// "flight.fires_suppressed" counters lazily on the first fire so
+/// trigger-free runs keep their metric exports bit-identical.
+class FlightTriggers {
+ public:
+  /// `metrics` and `series` may be null (their snapshot is omitted).
+  FlightTriggers(FlightRecorder* recorder, MetricsRegistry* metrics,
+                 const TimeSeries* series, FlightTriggersConfig cfg = {});
+  FlightTriggers(const FlightTriggers&) = delete;
+  FlightTriggers& operator=(const FlightTriggers&) = delete;
+
+  /// Arms or disarms one trigger source (all armed by default).
+  void Arm(FlightTrigger t, bool on);
+  bool armed(FlightTrigger t) const {
+    return armed_[static_cast<usize>(t)];
+  }
+
+  /// Reports an anomaly. Returns true when a dump was produced; false
+  /// when the source is disarmed, in cooldown, or the dump cap is hit.
+  bool Fire(FlightTrigger t, SimTime now, const std::string& detail);
+
+  /// SIGUSR1-style explicit dump: always armed, bypasses the cooldown
+  /// (still bounded by max_dumps).
+  bool RequestDump(SimTime now, const std::string& detail);
+
+  /// Wires the SLO watchdog's breach hook to Fire(kSloBreach).
+  void ArmSlo(SloWatchdog* slo);
+
+  u64 fires(FlightTrigger t) const { return fires_[static_cast<usize>(t)]; }
+  u64 dumps_produced() const { return static_cast<u64>(dumps_.size()); }
+  u64 fires_suppressed() const { return suppressed_; }
+
+  struct DumpInfo {
+    FlightTrigger trigger = FlightTrigger::kManual;
+    SimTime t = 0;
+    u64 seq = 0;
+    std::string detail;
+    std::string path;        // "" when dump_dir is empty
+    std::string serialized;  // the full dump text
+  };
+  const std::vector<DumpInfo>& dumps() const { return dumps_; }
+  /// Serialized text of the most recent dump ("" before the first).
+  const std::string& last_dump_text() const;
+
+ private:
+  FlightDump BuildDump(FlightTrigger t, SimTime now,
+                       const std::string& detail);
+
+  FlightRecorder* recorder_;
+  MetricsRegistry* metrics_;
+  const TimeSeries* series_;
+  FlightTriggersConfig cfg_;
+  bool armed_[kFlightTriggerCount];
+  u64 fires_[kFlightTriggerCount] = {};
+  u64 suppressed_ = 0;
+  u64 next_seq_ = 0;
+  SimTime last_dump_t_ = 0;
+  bool dumped_once_ = false;
+  std::vector<DumpInfo> dumps_;
+  Counter* m_dumps_ = nullptr;
+  Counter* m_suppressed_ = nullptr;
+};
+
+// --- Postmortem timeline reconstruction ------------------------------------
+
+/// One request reconstructed from a dump: its retained records plus the
+/// SpanAnalyzer-rule attribution (stage named by the later edge, the
+/// delta after a RETRY stamp is retry wait, IRQ after post is irq_ns).
+struct FlightRequestView {
+  u64 req_id = 0;
+  u32 vm_id = 0;
+  u32 queue = 0;
+  u8 opcode = 0;
+  u8 tenant = 0;
+  u16 tag_lo = 0;
+  /// First retained record is the VSQ pop — nothing of this request was
+  /// evicted, so its attribution is trustworthy end to end.
+  bool complete_head = false;
+  bool posted = false;   // saw VCQ_POST
+  bool timed_out = false;
+  bool shed = false;
+  u16 final_status = 0;  // VCQ_POST status (valid when posted)
+  u64 e2e_ns = 0;        // VSQ pop -> VCQ post (valid when attributable())
+  u64 irq_ns = 0;        // VCQ post -> IRQ inject
+  u64 resubmits = 0;     // RESUBMIT edges seen
+  PathClass path = PathClass::kDirect;
+  std::array<u64, kStageCount> stage_ns{};
+  std::vector<FlightRecord> records;  // chronological
+
+  bool attributable() const { return complete_head && posted; }
+  bool failed() const { return posted && final_status != 0; }
+  u64 StageSum() const {
+    u64 s = 0;
+    for (u64 v : stage_ns) s += v;
+    return s;
+  }
+};
+
+/// Groups a dump's records into per-request timelines and attributes
+/// every inter-edge delta to a stage with SpanAnalyzer's folding rules.
+class FlightTimeline {
+ public:
+  explicit FlightTimeline(const FlightDump& dump);
+
+  const std::vector<FlightRequestView>& requests() const { return requests_; }
+  const FlightRequestView* Find(u64 req_id) const;
+  /// Attributable requests by descending e2e latency, at most `n`.
+  std::vector<const FlightRequestView*> Slowest(usize n) const;
+  /// Posted-with-error, timed-out, or shed requests.
+  std::vector<const FlightRequestView*> Failed() const;
+  const std::vector<FlightRecord>& marks() const { return marks_; }
+  /// Requests whose head was evicted by ring wraparound (excluded from
+  /// requests() attribution but still counted).
+  u64 truncated_requests() const { return truncated_; }
+
+  /// Internal consistency: chronological records per request, stored
+  /// deltas (where not kFlightDeltaUnknown) equal to the timestamp
+  /// deltas, and per-stage sums exactly equal to e2e for every
+  /// attributable request. Returns false with a diagnostic on violation.
+  bool Validate(std::string* error) const;
+
+ private:
+  std::vector<FlightRequestView> requests_;
+  std::vector<FlightRecord> marks_;
+  u64 truncated_ = 0;
+};
+
+/// Cross-instrument agreement: for every request that is attributable in
+/// `timeline` AND fully retained by the SpanAnalyzer (same req_id), the
+/// e2e and every per-stage nanosecond figure must match exactly.
+/// `compared` (optional) receives the number of requests checked.
+bool CrossValidateFlightSpans(const FlightTimeline& timeline,
+                              const SpanAnalyzer& spans, usize* compared,
+                              std::string* error);
+
+}  // namespace nvmetro::obs

@@ -5,6 +5,9 @@
 // does not change any simulated timing or CPU figure.
 #pragma once
 
+#include <memory>
+
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -13,12 +16,25 @@ namespace nvmetro::obs {
 struct ObservabilityConfig {
   /// TraceRecorder ring capacity, in events.
   usize trace_capacity = 1 << 16;
+  /// Always-on flight recorder (obs/flight.h). On by default — it is the
+  /// black box; `false` exists for the overhead ablation and for pinning
+  /// that recorder-off behavior is unchanged.
+  bool flight = true;
+  /// FlightRing capacity per guest queue, in 32-byte records.
+  usize flight_ring_capacity = 1 << 12;
+  /// Process-wide flight marks ring capacity.
+  usize flight_mark_capacity = 256;
 };
 
 class Observability {
  public:
   explicit Observability(ObservabilityConfig cfg = {})
-      : trace_(cfg.trace_capacity) {}
+      : trace_(cfg.trace_capacity) {
+    if (cfg.flight) {
+      flight_ = std::make_unique<FlightRecorder>(FlightConfig{
+          cfg.flight_ring_capacity, cfg.flight_mark_capacity});
+    }
+  }
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
@@ -26,10 +42,14 @@ class Observability {
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+  /// Null when ObservabilityConfig::flight was false.
+  FlightRecorder* flight() { return flight_.get(); }
+  const FlightRecorder* flight() const { return flight_.get(); }
 
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace nvmetro::obs

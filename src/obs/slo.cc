@@ -91,6 +91,7 @@ void SloWatchdog::Publish(Target* t, usize index, SimTime now, double observed,
   t->breach_windows++;
   t->breaches_ctr->Inc();
   breaches_.push_back(Breach{now, t->name, observed, limit});
+  if (breach_hook_) breach_hook_(breaches_.back());
   if (trace_) {
     TraceEvent ev;
     ev.req_id = 0;  // mark, not a request span

@@ -16,6 +16,7 @@
 // scheduler callback (the obs library cannot link the simulator).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,14 @@ class SloWatchdog {
   u64 breach_windows(const std::string& target) const;
   u64 windows_evaluated() const { return windows_; }
 
+  /// Invoked synchronously on every breach, after it is published to
+  /// metrics/trace. The flight-recorder trigger framework hangs off this
+  /// (FlightTriggers::ArmSlo); anything else can observe breaches the
+  /// same way without polling breaches().
+  void SetBreachHook(std::function<void(const Breach&)> hook) {
+    breach_hook_ = std::move(hook);
+  }
+
  private:
   struct Target {
     std::string name;
@@ -95,6 +104,7 @@ class SloWatchdog {
   Config cfg_;
   std::vector<Target> targets_;
   std::vector<Breach> breaches_;
+  std::function<void(const Breach&)> breach_hook_;
   u64 windows_ = 0;
 };
 

@@ -17,6 +17,7 @@ const char* StageName(Stage stage) {
     case Stage::kFailover: return "failover";
     case Stage::kPost: return "post";
     case Stage::kQosWait: return "qos_wait";
+    case Stage::kResubmit: return "resubmit";
     case Stage::kCount: break;
   }
   return "?";
@@ -49,8 +50,8 @@ Stage StageForKind(SpanKind kind) {
     case SpanKind::kQosShed:
     case SpanKind::kOverloadShed:
       return Stage::kQosWait;
-    case SpanKind::kResubmit:      // chain hop: decision cost is dispatch
-      return Stage::kDispatch;
+    case SpanKind::kResubmit:      // chain hop: hook rerun + re-dispatch
+      return Stage::kResubmit;
     case SpanKind::kIrqInject:     // handled out-of-band (post-e2e)
     case SpanKind::kSloBreach:     // req_id == 0, never folded
     case SpanKind::kOverloadState: // req_id == 0, never folded

@@ -45,6 +45,8 @@ enum class Stage : u8 {
   kFailover,      // deadline abort / UIF failover handling
   kPost,          // completion merge + CQE write to the guest VCQ
   kQosWait,       // parked by QoS admission until tokens were granted
+  kResubmit,      // classifier-chained re-issue (completion-hook rerun
+                  // + LBA rewrite + re-dispatch of the same slot)
   kCount,
 };
 constexpr usize kStageCount = static_cast<usize>(Stage::kCount);

@@ -192,6 +192,12 @@ void OverloadController::TransitionTo(State next, SimTime now) {
     ev.kind = obs::SpanKind::kOverloadState;
     obs_->trace().Record(ev);
   }
+  if (ftrig_ && next > prev) {
+    // Escalation only — recovery downgrades are good news, not anomalies.
+    ftrig_->Fire(obs::FlightTrigger::kOverloadEscalation, now,
+                 std::string("state=") + StateName(next) +
+                     " from=" + StateName(prev));
+  }
   // Entering Backpressure from Normal starts pacing at full credit; the
   // AIMD loop shrinks it from there. Recovery to Normal restores it.
   if (prev == State::kNormal) {

@@ -62,6 +62,7 @@
 
 namespace nvmetro::obs {
 class Counter;
+class FlightTriggers;
 class Gauge;
 class Observability;
 class SloWatchdog;
@@ -183,6 +184,11 @@ class OverloadController {
   /// Forces one evaluation at `now` (tests; Start-driven otherwise).
   void Evaluate(SimTime now);
 
+  /// Wires the flight-recorder trigger framework: every state *upgrade*
+  /// (Normal -> Backpressure -> Brownout -> Shed) fires the
+  /// kOverloadEscalation anomaly. Pass nullptr to detach.
+  void ArmFlightTriggers(obs::FlightTriggers* ftrig) { ftrig_ = ftrig; }
+
  private:
   struct Tenant {
     u32 tenant_id = 0;
@@ -204,6 +210,7 @@ class OverloadController {
 
   OverloadConfig cfg_;
   obs::Observability* obs_;
+  obs::FlightTriggers* ftrig_ = nullptr;
   std::vector<Tenant> tenants_;
   std::vector<Hook> hooks_;
 

@@ -159,6 +159,7 @@ AdmitResult QosScheduler::Admit(u32 tenant_id, u32 cost, SimTime now) {
     if (t->m_admitted) t->m_admitted->Inc();
     if (m_tokens_) m_tokens_->Inc(cost);
     if (m_admitted_) m_admitted_->Inc();
+    consecutive_sheds_ = 0;  // an admission breaks any shed run
     return {};
   }
   u64 rate = leftover_.rate + (lc ? t->bucket.rate : 0);
@@ -191,6 +192,22 @@ void QosScheduler::NoteShed(u32 tenant_id) {
   t->sheds++;
   if (t->m_shed) t->m_shed->Inc();
   if (m_shed_) m_shed_->Inc();
+  consecutive_sheds_++;
+  if (ftrig_ && consecutive_sheds_ == shed_burst_) {
+    // Exactly at the threshold crossing: the run continues to count but
+    // fires once per storm (an admission resets it). The fire time is
+    // the last refill edge — NoteShed always follows an Admit at `now`.
+    ftrig_->Fire(obs::FlightTrigger::kQosShedStorm, leftover_.last,
+                 "tenant=" + std::to_string(tenant_id) +
+                     " burst=" + std::to_string(consecutive_sheds_));
+  }
+}
+
+void QosScheduler::ArmFlightTriggers(obs::FlightTriggers* ftrig,
+                                     u32 shed_burst) {
+  ftrig_ = ftrig;
+  shed_burst_ = shed_burst ? shed_burst : 1;
+  consecutive_sheds_ = 0;
 }
 
 void QosScheduler::SetParkedHead(u32 tenant_id, u32 cost, SimTime parked_at) {

@@ -37,6 +37,7 @@
 
 namespace nvmetro::obs {
 class Counter;
+class FlightTriggers;
 class Observability;
 class SloWatchdog;
 }  // namespace nvmetro::obs
@@ -139,6 +140,14 @@ class QosScheduler {
   /// with a non-zero slo_latency_ns (target name "qos.tenant<id>").
   void ArmSloTargets(obs::SloWatchdog* slo, double quantile = 0.999) const;
 
+  /// Wires the flight-recorder trigger framework: `shed_burst`
+  /// consecutive sheds without an intervening admission fire the
+  /// kQosShedStorm anomaly (a lone shed at the deferral bound is normal
+  /// backpressure; a run of them means a tenant is drowning). Pass
+  /// nullptr to detach.
+  void ArmFlightTriggers(obs::FlightTriggers* ftrig, u32 shed_burst = 16);
+  u32 consecutive_sheds() const { return consecutive_sheds_; }
+
   // Introspection (property tests + bench) --------------------------------
   u32 max_deferred(u32 tenant_id) const;
   /// Current reserved-bucket level (always 0 for BE tenants).
@@ -205,6 +214,9 @@ class QosScheduler {
 
   QosConfig cfg_;
   obs::Observability* obs_;
+  obs::FlightTriggers* ftrig_ = nullptr;
+  u32 shed_burst_ = 16;
+  u32 consecutive_sheds_ = 0;
   std::unordered_map<u32, u32> index_;  // tenant_id -> slot in tenants_
   std::vector<Tenant> tenants_;
   Bucket leftover_;

@@ -1,8 +1,33 @@
 #include "uif/framework.h"
 
+#include "core/shard.h"
 #include "obs/obs.h"
 
 namespace nvmetro::uif {
+
+namespace {
+/// Flight record for a UIF-side edge. The UIF runs outside the router's
+/// per-request state, so the ring is resolved from the routing tag's
+/// shard bits and the delta carries the recompute-from-timestamps
+/// sentinel.
+void FlightUifEdge(obs::Observability* obs, SimTime now, u64 req_id, u32 tag,
+                   u32 vm_id, obs::SpanKind kind, u16 status, u8 opcode) {
+  obs::FlightRecorder* flight = obs->flight();
+  if (!flight) return;
+  obs::FlightRing* fr = flight->Find(vm_id, core::TagShard(tag));
+  if (!fr) return;
+  obs::FlightRecord r;
+  r.t = now;
+  r.req_id = req_id;
+  r.delta_ns = obs::kFlightDeltaUnknown;
+  r.status = status;
+  r.tag_lo = static_cast<u16>(tag);
+  r.edge = static_cast<u8>(kind);
+  r.opcode = opcode;
+  r.tenant = static_cast<u8>(vm_id);
+  fr->Record(r);
+}
+}  // namespace
 
 void UifFunction::Respond(u32 tag, u16 status) {
   responses_++;
@@ -17,6 +42,8 @@ void UifFunction::Respond(u32 tag, u16 status) {
       ev.status = status;
       ev.kind = obs::SpanKind::kUifRespond;
       obs_->trace().Record(ev);
+      FlightUifEdge(obs_, ev.t, it->second, tag, channel_->vm_id(),
+                    obs::SpanKind::kUifRespond, status, 0);
       inflight_.erase(it);
     }
   }
@@ -103,6 +130,8 @@ void UifHost::PollChannel(usize index) {
       ev.vm_id = entry.vm_id;
       ev.kind = obs::SpanKind::kUifWork;
       fn.obs_->trace().Record(ev);
+      FlightUifEdge(fn.obs_, ev.t, entry.req_id, entry.tag, entry.vm_id,
+                    obs::SpanKind::kUifWork, 0, entry.sqe.opcode);
     }
     u16 status = nvme::kStatusSuccess;
     bool async = fn.impl_->work(entry.sqe, entry.tag, status);

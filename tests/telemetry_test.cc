@@ -114,6 +114,42 @@ TEST(SpanAnalyzerTest, NotifyAndRetryKindsLandInTheirStages) {
   EXPECT_TRUE(an.CheckExactAttribution(&err)) << err;
 }
 
+TEST(SpanAnalyzerTest, ResubmitChainHopsLandInTheResubmitStage) {
+  // A two-hop pushdown chain: each RESUBMIT stamp ends a hook-rerun
+  // delta (charged to the dedicated resubmit stage, not to classify or
+  // dispatch), and the chain's extra device crossings stay in device.
+  TraceRecorder tr(64);
+  u64 id = tr.BeginRequest();
+  tr.Record(Ev(id, 0, SpanKind::kVsqPop));
+  tr.Record(Ev(id, 10, SpanKind::kClassifier));      // classify  +10
+  tr.Record(Ev(id, 20, SpanKind::kDispatchFast));    // dispatch  +10
+  tr.Record(Ev(id, 1020, SpanKind::kHcqComplete));   // device    +1000
+  tr.Record(Ev(id, 1070, SpanKind::kResubmit));      // resubmit  +50
+  tr.Record(Ev(id, 1080, SpanKind::kDispatchFast));  // dispatch  +10
+  tr.Record(Ev(id, 2080, SpanKind::kHcqComplete));   // device    +1000
+  tr.Record(Ev(id, 2120, SpanKind::kResubmit));      // resubmit  +40
+  tr.Record(Ev(id, 2130, SpanKind::kDispatchFast));  // dispatch  +10
+  tr.Record(Ev(id, 3130, SpanKind::kHcqComplete));   // device    +1000
+  tr.Record(Ev(id, 3180, SpanKind::kVcqPost));       // post      +50
+  tr.EndRequest();
+
+  SpanAnalyzer an;
+  an.Analyze(tr);
+  ASSERT_EQ(an.requests().size(), 1u);
+  const RequestBreakdown& bd = an.requests()[0];
+  EXPECT_EQ(bd.path, PathClass::kFast);
+  EXPECT_EQ(bd.stage_ns[static_cast<usize>(Stage::kClassify)], 10u);
+  EXPECT_EQ(bd.stage_ns[static_cast<usize>(Stage::kDispatch)], 30u);
+  EXPECT_EQ(bd.stage_ns[static_cast<usize>(Stage::kDevice)], 3000u);
+  EXPECT_EQ(bd.stage_ns[static_cast<usize>(Stage::kResubmit)], 90u);
+  EXPECT_EQ(bd.stage_ns[static_cast<usize>(Stage::kPost)], 50u);
+  EXPECT_EQ(bd.e2e_ns, 3180u);
+  EXPECT_EQ(bd.StageSum(), bd.e2e_ns);
+  std::string err;
+  EXPECT_TRUE(an.CheckExactAttribution(&err)) << err;
+  EXPECT_STREQ(StageName(Stage::kResubmit), "resubmit");
+}
+
 TEST(SpanAnalyzerTest, LateFanoutLegAfterPostStaysUnattributed) {
   // A mirror write completes to the guest when the faster leg settles;
   // the slower leg's completion arrives after VCQ_POST and must not be
@@ -359,6 +395,43 @@ TEST(TimeSeriesTest, CsvIsRectangularWithHeader) {
   }
   EXPECT_EQ(commas_first, 4u);  // same column count as the header
   EXPECT_NE(row.find("-2"), std::string::npos);  // negative gauge intact
+}
+
+TEST(TimeSeriesTest, CsvSnapshotAfterWrapKeepsOnlyRetainedWindow) {
+  // A forensic dump embeds ToCsv() from a long-running ring: after the
+  // ring wraps, the snapshot must hold exactly the newest `capacity`
+  // samples with their per-window deltas intact — not a blend of old
+  // and new rows.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ios");
+  TimeSeries ts(&reg, {.interval_ns = 1'000'000, .capacity = 4});
+  ts.AddCounterProbe("ios", "ios");
+  for (int i = 1; i <= 10; i++) {
+    c->Inc(static_cast<u64>(i));  // window i's delta is exactly i
+    ts.SampleNow(static_cast<SimTime>(i) * 1'000'000);
+  }
+  EXPECT_EQ(ts.total_sampled(), 10u);
+  ASSERT_EQ(ts.samples().size(), 4u);
+
+  std::string csv = ts.ToCsv();
+  std::vector<std::string> lines;
+  for (usize pos = 0; pos < csv.size();) {
+    usize nl = csv.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    lines.push_back(csv.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 5u);  // header + the 4 retained samples
+  EXPECT_EQ(lines[0], "t_ns,ios_delta,ios_rate");
+  // Oldest retained row first: windows 7..10, each delta = window index
+  // and rate = delta / 1 ms.
+  for (int i = 0; i < 4; i++) {
+    int w = 7 + i;
+    EXPECT_EQ(lines[static_cast<usize>(1 + i)],
+              std::to_string(w * 1'000'000) + "," + std::to_string(w) + "," +
+                  std::to_string(w * 1000))
+        << "window " << w;
+  }
 }
 
 // --- SloWatchdog -------------------------------------------------------------

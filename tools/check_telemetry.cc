@@ -17,6 +17,12 @@
 // in it, so a wiring regression that silently drops tenant attribution
 // fails the smoke job even though the files stay format-valid.
 //
+// --expect-resubmit requires the classifier-chain resubmission series
+// (DESIGN.md §15): the router_resubmits_total counter and the
+// router_chain_depth histogram summary in the Prometheus text, and — when
+// a Perfetto trace is given — at least one RESUBMIT span event, so the
+// pushdown bench-smoke fails if chain telemetry silently disappears.
+//
 // --expect-overload similarly requires the overload-control series
 // (DESIGN.md §13): the overload_state gauge, every per-state transition
 // counter, the decision/shed/paced totals and — with --expect-tenants=N
@@ -145,6 +151,18 @@ bool CheckOverloadSeries(const std::string& prom, i64 n, std::string* error) {
   return true;
 }
 
+/// Classifier-chain resubmission coverage: the resubmit counter plus the
+/// chain-depth summary (count + quantile lines both spell the base name).
+bool CheckResubmitSeries(const std::string& prom, std::string* error) {
+  for (const char* name : {"router_resubmits_total", "router_chain_depth"}) {
+    if (prom.find(name) == std::string::npos) {
+      *error = std::string("missing resubmission series '") + name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
 int Check(const std::string& path, const char* what,
           bool (*validate)(const std::string&, std::string*)) {
   std::string data;
@@ -172,6 +190,11 @@ int Main(int argc, const char* const* argv) {
   flags.DefineInt("expect-tenants", 0,
                   "require per-tenant QoS series for tenants 1..N in the "
                   "Prometheus text (and a QOS_ span in the Perfetto trace)");
+  flags.DefineBool("expect-resubmit", false,
+                   "require the classifier-chain resubmission series "
+                   "(router_resubmits_total counter, router_chain_depth "
+                   "summary) in the Prometheus text and a RESUBMIT span in "
+                   "the Perfetto trace");
   flags.DefineBool("expect-overload", false,
                    "require the overload-control series (state gauge, "
                    "transition counters, per-tenant shed/pace attribution "
@@ -226,6 +249,36 @@ int Main(int argc, const char* const* argv) {
           trace.find("QOS_") == std::string::npos) {
         std::fprintf(stderr,
                      "check_telemetry: Perfetto trace has no QOS_ spans\n");
+        rc |= 1;
+      }
+    }
+  }
+  if (flags.GetBool("expect-resubmit")) {
+    any = true;
+    if (flags.GetString("prom").empty()) {
+      std::fprintf(stderr,
+                   "check_telemetry: --expect-resubmit requires --prom\n");
+      return 1;
+    }
+    std::string prom, error;
+    if (!ReadFile(flags.GetString("prom"), &prom)) {
+      std::fprintf(stderr, "check_telemetry: cannot read Prometheus file\n");
+      return 1;
+    }
+    if (!CheckResubmitSeries(prom, &error)) {
+      std::fprintf(stderr, "check_telemetry: resubmit coverage INVALID: %s\n",
+                   error.c_str());
+      rc |= 1;
+    } else {
+      std::printf("check_telemetry: resubmission series ok\n");
+    }
+    if (!flags.GetString("perfetto").empty()) {
+      std::string trace;
+      if (ReadFile(flags.GetString("perfetto"), &trace) &&
+          trace.find("RESUBMIT") == std::string::npos) {
+        std::fprintf(stderr,
+                     "check_telemetry: Perfetto trace has no RESUBMIT "
+                     "spans\n");
         rc |= 1;
       }
     }

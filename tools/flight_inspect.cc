@@ -1,0 +1,258 @@
+// Postmortem inspector for flight-recorder dumps (DESIGN.md §16).
+//
+//   flight_inspect <dump.flight> [--slowest=N] [--failed] [--req=ID]
+//                  [--tenant=T] [--path=fast|kernel|notify|direct|fanout]
+//                  [--queue=Q] [--validate] [--metrics] [--timeseries]
+//
+// Loads a FlightDump produced by a FlightTriggers anomaly (or
+// RequestDump), reconstructs per-request timelines with the same folding
+// rules as SpanAnalyzer, and answers the first questions of any incident
+// review: what fired, what was in flight, which requests were slow or
+// failed, and where each one's nanoseconds went.
+//
+// With no listing flag it prints the dump header, per-ring occupancy and
+// the marks timeline (fault windows, trigger fires, stale-cid drops).
+// --validate re-checks the dump's internal consistency (chronological
+// order, stored deltas vs. timestamps, stage sums == e2e) and exits
+// non-zero on any violation, so CI can gate on a dump round-tripping.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/flight.h"
+#include "obs/span.h"
+
+namespace nvmetro {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  usize n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool PathFromName(const std::string& name, obs::PathClass* out) {
+  for (usize i = 0; i < obs::kPathClassCount; i++) {
+    obs::PathClass pc = static_cast<obs::PathClass>(i);
+    if (name == obs::PathClassName(pc)) {
+      *out = pc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Listing filter assembled from --tenant/--path/--queue.
+struct Filter {
+  i64 tenant = -1;
+  i64 queue = -1;
+  bool have_path = false;
+  obs::PathClass path = obs::PathClass::kDirect;
+
+  bool Pass(const obs::FlightRequestView& v) const {
+    if (tenant >= 0 && static_cast<i64>(v.tenant) != tenant) return false;
+    if (queue >= 0 && static_cast<i64>(v.queue) != queue) return false;
+    if (have_path && v.path != path) return false;
+    return true;
+  }
+};
+
+void PrintRequestRow(const obs::FlightRequestView& v) {
+  std::printf("  req=%-8" PRIu64 " vm=%u q=%u op=0x%02x path=%-7s e2e=%-10" PRIu64
+              " status=0x%04x%s%s\n",
+              v.req_id, v.vm_id, v.queue, v.opcode, obs::PathClassName(v.path),
+              v.e2e_ns, v.final_status, v.timed_out ? " TIMEOUT" : "",
+              v.shed ? " SHED" : "");
+  std::printf("    stages:");
+  for (usize s = 0; s < obs::kStageCount; s++) {
+    if (v.stage_ns[s] == 0) continue;
+    std::printf(" %s=%" PRIu64,
+                obs::StageName(static_cast<obs::Stage>(s)), v.stage_ns[s]);
+  }
+  if (v.irq_ns) std::printf(" | irq=%" PRIu64, v.irq_ns);
+  if (v.resubmits) std::printf(" | resubmits=%" PRIu64, v.resubmits);
+  std::printf("\n");
+}
+
+void PrintRecords(const std::vector<obs::FlightRecord>& records) {
+  for (const obs::FlightRecord& r : records) {
+    std::printf("    t=%-12" PRIu64 " %-16s delta=", r.t,
+                obs::FlightEdgeName(r.edge));
+    if (r.delta_ns == obs::kFlightDeltaUnknown) {
+      std::printf("%-10s", "-");
+    } else {
+      std::printf("%-10u", r.delta_ns);
+    }
+    std::printf(" status=0x%04x aux=%u tag=0x%04x hook=%u\n", r.status, r.aux,
+                r.tag_lo, r.hook);
+  }
+}
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  flags.DefineInt("slowest", 0,
+                  "list the N slowest attributable requests with per-stage "
+                  "attribution");
+  flags.DefineBool("failed", false,
+                   "list failed (error-posted, timed-out or shed) requests");
+  flags.DefineInt("req", -1, "print the full record timeline of one request");
+  flags.DefineInt("tenant", -1, "restrict listings to one tenant/VM id");
+  flags.DefineInt("queue", -1, "restrict listings to one guest queue");
+  flags.DefineString("path", "",
+                     "restrict listings to one routing path "
+                     "(direct|fast|kernel|notify|fanout)");
+  flags.DefineBool("validate", false,
+                   "re-check dump consistency (deltas, ordering, stage sums) "
+                   "and exit non-zero on violation");
+  flags.DefineBool("metrics", false, "print the embedded metrics snapshot");
+  flags.DefineBool("timeseries", false,
+                   "print the embedded time-series CSV tail");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: flight_inspect <dump.flight> [flags]\n");
+    return 1;
+  }
+  const std::string& path = flags.positional()[0];
+
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "flight_inspect: cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  obs::FlightDump dump;
+  std::string error;
+  if (!obs::FlightDump::Parse(text, &dump, &error)) {
+    std::fprintf(stderr, "flight_inspect: '%s' does not parse: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+
+  Filter filter;
+  filter.tenant = flags.GetInt("tenant");
+  filter.queue = flags.GetInt("queue");
+  if (!flags.GetString("path").empty()) {
+    if (!PathFromName(flags.GetString("path"), &filter.path)) {
+      std::fprintf(stderr, "flight_inspect: unknown --path '%s'\n",
+                   flags.GetString("path").c_str());
+      return 1;
+    }
+    filter.have_path = true;
+  }
+
+  obs::FlightTimeline timeline(dump);
+
+  // --- Header -------------------------------------------------------------
+  std::printf("flight dump: %s\n", path.c_str());
+  std::printf("  trigger: %s (seq %" PRIu64 ") at t=%" PRIu64 "\n",
+              obs::FlightTriggerName(dump.trigger), dump.seq, dump.t);
+  if (!dump.detail.empty()) std::printf("  detail: %s\n", dump.detail.c_str());
+  u64 total_records = 0;
+  for (const obs::FlightDump::RingDump& r : dump.rings) {
+    if (r.queue == obs::kFlightMarksQueue) {
+      std::printf("  marks ring: %zu/%" PRIu64 " records (total %" PRIu64
+                  ")\n",
+                  r.records.size(), r.capacity, r.total);
+    } else {
+      std::printf("  ring vm=%u q=%u: %zu/%" PRIu64 " records (total %" PRIu64
+                  ", dropped-frozen %" PRIu64 ")\n",
+                  r.vm_id, r.queue, r.records.size(), r.capacity, r.total,
+                  r.dropped_frozen);
+    }
+    total_records += r.records.size();
+  }
+  std::printf("  %" PRIu64 " records, %zu requests reconstructed, %" PRIu64
+              " truncated by wraparound\n",
+              total_records, timeline.requests().size(),
+              timeline.truncated_requests());
+  std::printf("  snapshots: metrics %zu bytes, timeseries %zu bytes\n",
+              dump.metrics_text.size(), dump.timeseries_csv.size());
+
+  if (!timeline.marks().empty()) {
+    std::printf("marks:\n");
+    PrintRecords(timeline.marks());
+  }
+
+  int rc = 0;
+
+  // --- Listings -----------------------------------------------------------
+  i64 slowest = flags.GetInt("slowest");
+  if (slowest > 0) {
+    std::vector<const obs::FlightRequestView*> rows =
+        timeline.Slowest(timeline.requests().size());
+    std::printf("slowest %lld (of %zu attributable):\n",
+                static_cast<long long>(slowest), rows.size());
+    i64 shown = 0;
+    for (const obs::FlightRequestView* v : rows) {
+      if (!filter.Pass(*v)) continue;
+      PrintRequestRow(*v);
+      if (++shown == slowest) break;
+    }
+    if (shown == 0) std::printf("  (none matched the filter)\n");
+  }
+
+  if (flags.GetBool("failed")) {
+    std::vector<const obs::FlightRequestView*> rows = timeline.Failed();
+    std::printf("failed/timed-out/shed:\n");
+    usize shown = 0;
+    for (const obs::FlightRequestView* v : rows) {
+      if (!filter.Pass(*v)) continue;
+      PrintRequestRow(*v);
+      shown++;
+    }
+    if (shown == 0) std::printf("  (none)\n");
+  }
+
+  i64 req = flags.GetInt("req");
+  if (req >= 0) {
+    const obs::FlightRequestView* v = timeline.Find(static_cast<u64>(req));
+    if (!v) {
+      std::fprintf(stderr, "flight_inspect: request %lld not in dump\n",
+                   static_cast<long long>(req));
+      rc = 1;
+    } else {
+      std::printf("request %lld:\n", static_cast<long long>(req));
+      PrintRequestRow(*v);
+      PrintRecords(v->records);
+      if (!v->complete_head) {
+        std::printf("    (head evicted by wraparound — attribution partial)\n");
+      }
+    }
+  }
+
+  if (flags.GetBool("metrics")) {
+    std::fwrite(dump.metrics_text.data(), 1, dump.metrics_text.size(), stdout);
+  }
+  if (flags.GetBool("timeseries")) {
+    std::fwrite(dump.timeseries_csv.data(), 1, dump.timeseries_csv.size(),
+                stdout);
+  }
+
+  if (flags.GetBool("validate")) {
+    if (!timeline.Validate(&error)) {
+      std::fprintf(stderr, "flight_inspect: dump INVALID: %s\n",
+                   error.c_str());
+      rc = 1;
+    } else {
+      std::printf("validate: ok (%zu requests, %" PRIu64 " truncated)\n",
+                  timeline.requests().size(), timeline.truncated_requests());
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace nvmetro
+
+int main(int argc, char** argv) { return nvmetro::Main(argc, argv); }
